@@ -1,0 +1,42 @@
+//! E3 — Fig. 10: response time and deadlocks vs. update percentage.
+//!
+//! Paper §3.2.2: 50 clients fixed, 5 txns × 5 ops each, update-transaction
+//! percentage swept 20→60 %, 20 % update operations per update
+//! transaction, partial replication, 4 sites.
+//!
+//! Expected shape (paper): DTX (XDGL) response time stays low and well
+//! under Node2PL as updates grow; DTX's *deadlock count* is much higher
+//! than Node2PL's and grows with the update share (the cost of fine
+//! granularity / higher concurrency).
+
+use dtx_bench::{header, ms, row, run, setup, ExpEnv, SEED};
+use dtx_core::ProtocolKind;
+use dtx_xmark::workload::WorkloadConfig;
+
+fn main() {
+    let pct_sweep = [20u32, 30, 40, 50, 60];
+    let clients = 50;
+    println!("# E3 / Fig. 10 — response time (ms) and deadlocks vs update txn %");
+    println!("# 4 sites, partial replication, {clients} clients, 5x5 ops, 20% update ops/txn");
+    header(&["update_pct", "protocol", "mean_resp_ms", "deadlocks", "committed", "aborted"]);
+    for protocol in [ProtocolKind::Xdgl, ProtocolKind::Node2Pl] {
+        for &pct in &pct_sweep {
+            // Fresh cluster per cell: update workloads mutate the base.
+            let (cluster, frags) = setup(ExpEnv::standard(protocol));
+            let report = run(
+                &cluster,
+                &frags,
+                WorkloadConfig::with_updates(clients, pct, SEED + pct as u64),
+            );
+            row(&[
+                pct.to_string(),
+                protocol.name().to_owned(),
+                format!("{:.2}", ms(report.mean_response())),
+                report.deadlocks().to_string(),
+                report.committed().to_string(),
+                report.aborted().to_string(),
+            ]);
+            cluster.shutdown();
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! E4 — Fig. 11(a): response time and deadlocks vs. base size.
+//!
+//! Paper §3.2.3: 50 clients per site, 5 txns × 5 ops, 20 % update txns
+//! (20 % update ops each), partial replication; "The size of the base
+//! varied between 50 MB and 200 MB". We sweep the same ×4 range at 1:100
+//! scale (500 KiB → 2 MiB).
+//!
+//! Expected shape (paper): DTX (XDGL) response time "well below" and
+//! nearly flat as the base grows; Node2PL's grows with base size (its
+//! lock count scales with the document, XDGL's with the DataGuide). The
+//! deadlock counts favour Node2PL (slower → less concurrency → fewer
+//! conflicts).
+
+use dtx_bench::{header, ms, row, run, setup, ExpEnv, SEED};
+use dtx_core::ProtocolKind;
+use dtx_xmark::workload::WorkloadConfig;
+
+fn main() {
+    // 1:100 of the paper's 50/100/150/200 MB sweep.
+    let sizes = [500_000usize, 1_000_000, 1_500_000, 2_000_000];
+    let clients = 50;
+    println!("# E4 / Fig. 11(a) — response time (ms) and deadlocks vs base size");
+    println!("# 4 sites, partial replication, {clients} clients, 20% update txns");
+    header(&["base_kib", "protocol", "mean_resp_ms", "deadlocks", "committed"]);
+    for protocol in [ProtocolKind::Xdgl, ProtocolKind::Node2Pl] {
+        for &size in &sizes {
+            let mut env = ExpEnv::standard(protocol);
+            env.base_bytes = size;
+            let (cluster, frags) = setup(env);
+            let report = run(
+                &cluster,
+                &frags,
+                WorkloadConfig::with_updates(clients, 20, SEED + size as u64),
+            );
+            row(&[
+                (size / 1024).to_string(),
+                protocol.name().to_owned(),
+                format!("{:.2}", ms(report.mean_response())),
+                report.deadlocks().to_string(),
+                report.committed().to_string(),
+            ]);
+            cluster.shutdown();
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! E5 — Fig. 11(b): response time vs. number of sites.
+//!
+//! Paper §3.2.3: the 40 MB base is fragmented, allocated and loaded per
+//! site count; "The number of sites varied between 2 and 8", same client
+//! and update parameters as Fig. 11(a).
+//!
+//! Expected shape (paper): DTX (XDGL) response time *decreases* with more
+//! sites (more parallelism, similar data volume per site); Node2PL shows
+//! a worse result as synchronization messages and lock-management
+//! overhead grow.
+
+use dtx_bench::{header, ms, row, run, setup, ExpEnv, SEED};
+use dtx_core::ProtocolKind;
+use dtx_xmark::workload::WorkloadConfig;
+
+fn main() {
+    let site_sweep = [2u16, 4, 6, 8];
+    let clients = 50;
+    println!("# E5 / Fig. 11(b) — response time (ms) vs number of sites");
+    println!("# partial replication, {clients} clients, 20% update txns, fixed base");
+    header(&["sites", "protocol", "mean_resp_ms", "deadlocks", "committed"]);
+    for protocol in [ProtocolKind::Xdgl, ProtocolKind::Node2Pl] {
+        for &sites in &site_sweep {
+            let mut env = ExpEnv::standard(protocol);
+            env.sites = sites;
+            let (cluster, frags) = setup(env);
+            let report = run(
+                &cluster,
+                &frags,
+                WorkloadConfig::with_updates(clients, 20, SEED + sites as u64),
+            );
+            row(&[
+                sites.to_string(),
+                protocol.name().to_owned(),
+                format!("{:.2}", ms(report.mean_response())),
+                report.deadlocks().to_string(),
+                report.committed().to_string(),
+            ]);
+            cluster.shutdown();
+        }
+    }
+}

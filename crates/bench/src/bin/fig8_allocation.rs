@@ -1,0 +1,33 @@
+//! E1 — Fig. 8: fragmentation and data allocation.
+//!
+//! Regenerates the paper's allocation table: the base is fragmented into
+//! similar-size fragments and allocated for 2, 4 and 8 sites under both
+//! replication modes. The paper's Fig. 8 lists, per scenario, each site
+//! and its contents (bold = replicated copies); we print the same
+//! structure plus the size-balance ratio the fragmentation achieves.
+
+use dtx_bench::{BASE_BYTES, SEED};
+use dtx_xmark::fragment::{allocate, fragment_doc, ReplicationMode};
+use dtx_xmark::generator::{generate, XmarkConfig};
+
+fn main() {
+    println!("# E1 / Fig. 8 — fragmentation and data allocation");
+    println!("# base target: {} KiB (1:100 of the paper's 40 MB)", BASE_BYTES / 1024);
+    let doc = generate(XmarkConfig::sized(BASE_BYTES, SEED));
+    println!("# generated base: {} KiB\n", doc.byte_size() / 1024);
+
+    for sites in [2u16, 4, 8] {
+        let frags = fragment_doc(&doc, sites as usize);
+        println!("== {sites} sites ==");
+        println!(
+            "fragments: {} | balance (max/min size): {:.3}",
+            frags.fragments.len(),
+            frags.balance_ratio()
+        );
+        for mode in [ReplicationMode::Partial, ReplicationMode::Total] {
+            let alloc = allocate(&doc, &frags, sites, mode);
+            print!("{}", alloc.render());
+        }
+        println!();
+    }
+}

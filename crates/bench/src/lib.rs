@@ -1,0 +1,121 @@
+//! # dtx-bench — experiment harness
+//!
+//! Shared plumbing for the figure-regeneration binaries (one per figure of
+//! the paper's §3) and the Criterion micro-benchmarks. Each binary prints
+//! the same series the paper plots; EXPERIMENTS.md records the measured
+//! numbers next to the paper's.
+//!
+//! Scale note: the paper ran 8 physical PCs against 40–200 MB databases.
+//! This harness runs everything in one process against ~100× smaller
+//! bases (see DESIGN.md's substitution table); the *comparisons* between
+//! protocols and replication modes are the reproduction target, not the
+//! absolute times.
+
+use dtx_core::{Cluster, ClusterConfig, ProtocolKind};
+use dtx_xmark::fragment::{allocate, fragment_doc, load_allocation, Fragmented, ReplicationMode};
+use dtx_xmark::generator::{generate, XmarkConfig};
+use dtx_xmark::tester::{run_workload, TestReport};
+use dtx_xmark::workload::{generate as gen_workload, Workload, WorkloadConfig};
+use std::time::Duration;
+
+/// Default scaled base size: 1:100 of the paper's 40 MB database.
+pub const BASE_BYTES: usize = 400_000;
+
+/// Default experiment seed.
+pub const SEED: u64 = 2009;
+
+/// One experiment's environment description.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpEnv {
+    /// Number of sites.
+    pub sites: u16,
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Replication mode.
+    pub mode: ReplicationMode,
+    /// Base size in bytes.
+    pub base_bytes: usize,
+    /// Seed.
+    pub seed: u64,
+    /// Whether to enable the LAN latency + storage cost profile.
+    pub realistic: bool,
+}
+
+impl ExpEnv {
+    /// Standard environment: 4 sites, partial replication, realistic
+    /// profile, default base size.
+    pub fn standard(protocol: ProtocolKind) -> Self {
+        ExpEnv {
+            sites: 4,
+            protocol,
+            mode: ReplicationMode::Partial,
+            base_bytes: BASE_BYTES,
+            seed: SEED,
+            realistic: true,
+        }
+    }
+}
+
+/// Boots a cluster, generates + fragments + loads the base, returns the
+/// cluster and the fragment manifest.
+pub fn setup(env: ExpEnv) -> (Cluster, Fragmented) {
+    let doc = generate(XmarkConfig::sized(env.base_bytes, env.seed));
+    let frags = fragment_doc(&doc, env.sites as usize);
+    let mut config = ClusterConfig::new(env.sites, env.protocol);
+    config.seed = env.seed;
+    if env.realistic {
+        config = config.with_lan_profile();
+    }
+    let cluster = Cluster::start(config);
+    let alloc = allocate(&doc, &frags, env.sites, env.mode);
+    load_allocation(&cluster, &alloc).expect("load allocation");
+    (cluster, frags)
+}
+
+/// Runs one workload and returns its report.
+pub fn run(cluster: &Cluster, frags: &Fragmented, wl: WorkloadConfig) -> TestReport {
+    let workload: Workload = gen_workload(wl, frags);
+    run_workload(cluster, &workload)
+}
+
+/// Milliseconds with two decimals, for table printing.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Prints a table header row.
+pub fn header(cols: &[&str]) {
+    println!("{}", cols.join("\t"));
+}
+
+/// Prints a table data row.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.join("\t"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_and_tiny_run_smoke() {
+        let env = ExpEnv {
+            sites: 2,
+            protocol: ProtocolKind::Xdgl,
+            mode: ReplicationMode::Partial,
+            base_bytes: 30_000,
+            seed: 1,
+            realistic: false,
+        };
+        let (cluster, frags) = setup(env);
+        let report = run(&cluster, &frags, WorkloadConfig::read_only(2, 1));
+        assert_eq!(report.outcomes.len(), 10);
+        assert_eq!(report.committed(), 10);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn ms_conversion() {
+        assert!((ms(Duration::from_millis(1500)) - 1500.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,150 @@
+//! The replica catalog: which sites hold which documents.
+//!
+//! DTX "operates on totally or partially replicated XML data" (§2). The
+//! catalog is the cluster-wide mapping from document (or fragment) name to
+//! the set of sites holding a replica; the coordinator consults it to
+//! decide where an operation must execute (Algorithm 1 l. 12
+//! `sites.get_participants(operation.get_sites())`).
+
+use dtx_net::SiteId;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// Thread-safe document → replica-sites mapping.
+///
+/// A document is either **replicated** (every listed site holds a full
+/// copy; results agree and one site's answer suffices) or **fragmented**
+/// (each listed site holds a disjoint fragment of the logical document;
+/// an operation executes on every fragment and the coordinator merges
+/// the per-site results).
+#[derive(Debug, Default)]
+pub struct Catalog {
+    map: RwLock<BTreeMap<String, (Vec<SiteId>, bool)>>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the replica set of `doc` (full copies).
+    /// Site lists are kept sorted and deduplicated.
+    pub fn register(&self, doc: &str, sites: &[SiteId]) {
+        let mut sites = sites.to_vec();
+        sites.sort();
+        sites.dedup();
+        self.map.write().insert(doc.to_owned(), (sites, false));
+    }
+
+    /// Registers `doc` as horizontally fragmented over `sites` (each site
+    /// holds a disjoint fragment under the same logical name).
+    pub fn register_fragmented(&self, doc: &str, sites: &[SiteId]) {
+        let mut sites = sites.to_vec();
+        sites.sort();
+        sites.dedup();
+        self.map.write().insert(doc.to_owned(), (sites, true));
+    }
+
+    /// True when `doc` is registered as fragmented.
+    pub fn is_fragmented(&self, doc: &str) -> bool {
+        self.map.read().get(doc).map(|(_, f)| *f).unwrap_or(false)
+    }
+
+    /// The replica sites of `doc` (empty when unknown).
+    pub fn sites_of(&self, doc: &str) -> Vec<SiteId> {
+        self.map.read().get(doc).map(|(s, _)| s.clone()).unwrap_or_default()
+    }
+
+    /// True when `site` holds a replica of `doc`.
+    pub fn holds(&self, site: SiteId, doc: &str) -> bool {
+        self.map.read().get(doc).map(|(s, _)| s.contains(&site)).unwrap_or(false)
+    }
+
+    /// All document names (sorted).
+    pub fn documents(&self) -> Vec<String> {
+        self.map.read().keys().cloned().collect()
+    }
+
+    /// Documents held by `site` (sorted).
+    pub fn documents_at(&self, site: SiteId) -> Vec<String> {
+        self.map
+            .read()
+            .iter()
+            .filter(|(_, (sites, _))| sites.contains(&site))
+            .map(|(d, _)| d.clone())
+            .collect()
+    }
+
+    /// Renders the allocation as a table in the style of the paper's
+    /// Fig. 8 (site → contents).
+    pub fn render_allocation(&self) -> String {
+        let map = self.map.read();
+        let mut by_site: BTreeMap<SiteId, Vec<&str>> = BTreeMap::new();
+        for (doc, (sites, _)) in map.iter() {
+            for &s in sites {
+                by_site.entry(s).or_default().push(doc);
+            }
+        }
+        let mut out = String::new();
+        for (site, docs) in by_site {
+            out.push_str(&format!("{site}: {}\n", docs.join(", ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let c = Catalog::new();
+        c.register("d1", &[SiteId(0), SiteId(1)]);
+        c.register("d2", &[SiteId(1)]);
+        assert_eq!(c.sites_of("d1"), vec![SiteId(0), SiteId(1)]);
+        assert_eq!(c.sites_of("d2"), vec![SiteId(1)]);
+        assert!(c.sites_of("ghost").is_empty());
+        assert!(c.holds(SiteId(1), "d2"));
+        assert!(!c.holds(SiteId(0), "d2"));
+    }
+
+    #[test]
+    fn register_sorts_and_dedupes() {
+        let c = Catalog::new();
+        c.register("d", &[SiteId(3), SiteId(1), SiteId(3)]);
+        assert_eq!(c.sites_of("d"), vec![SiteId(1), SiteId(3)]);
+    }
+
+    #[test]
+    fn documents_at_site() {
+        let c = Catalog::new();
+        c.register("d1", &[SiteId(0), SiteId(1)]);
+        c.register("d2", &[SiteId(1)]);
+        assert_eq!(c.documents_at(SiteId(1)), vec!["d1".to_owned(), "d2".to_owned()]);
+        assert_eq!(c.documents_at(SiteId(0)), vec!["d1".to_owned()]);
+        assert_eq!(c.documents(), vec!["d1".to_owned(), "d2".to_owned()]);
+    }
+
+    #[test]
+    fn fragmented_registration() {
+        let c = Catalog::new();
+        c.register_fragmented("x", &[SiteId(0), SiteId(1)]);
+        c.register("y", &[SiteId(0)]);
+        assert!(c.is_fragmented("x"));
+        assert!(!c.is_fragmented("y"));
+        assert!(!c.is_fragmented("ghost"));
+        assert_eq!(c.sites_of("x").len(), 2);
+    }
+
+    #[test]
+    fn allocation_rendering() {
+        let c = Catalog::new();
+        c.register("d1", &[SiteId(0)]);
+        c.register("d2", &[SiteId(0), SiteId(1)]);
+        let r = c.render_allocation();
+        assert!(r.contains("s0: d1, d2"));
+        assert!(r.contains("s1: d2"));
+    }
+}

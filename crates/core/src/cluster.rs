@@ -1,0 +1,523 @@
+//! DTX instances and clusters.
+//!
+//! A [`DtxInstance`] is the per-site assembly of the paper's Fig. 1
+//! architecture: a *Listener* (the control channel clients submit
+//! through), a *TransactionManager* (the scheduler thread with its lock
+//! manager) and a *DataManager* (the storage backend inside the lock
+//! manager). A [`Cluster`] bootstraps N instances over a shared simulated
+//! network, a replica catalog, a transaction-id generator and a metrics
+//! collector — the whole "set of sites S = {S1..SN}" of §3.1.
+
+use crate::catalog::Catalog;
+use crate::lockmgr::{LockManager, OpCostModel};
+use crate::metrics::Metrics;
+use crate::msg::Message;
+use crate::op::{TxnOutcome, TxnSpec};
+use crate::scheduler::{Control, Scheduler, SchedulerConfig};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use dtx_locks::txn::TxnIdGen;
+use dtx_locks::ProtocolKind;
+use dtx_net::{LatencyModel, Network, SiteId};
+use dtx_storage::{CostModel, MemStore};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of sites.
+    pub sites: u16,
+    /// Concurrency-control protocol run by every instance.
+    pub protocol: ProtocolKind,
+    /// Network latency model (default: zero — synchronous delivery; use
+    /// [`ClusterConfig::with_lan_profile`] for experiment realism).
+    pub latency: LatencyModel,
+    /// Storage I/O cost model (default: free).
+    pub storage_cost: CostModel,
+    /// Per-operation processing/lock-management cost model (default:
+    /// free; [`ClusterConfig::with_lan_profile`] enables the calibrated
+    /// one).
+    pub op_cost: OpCostModel,
+    /// Scheduler tuning.
+    pub scheduler: SchedulerConfig,
+    /// Master seed (drives retry jitter and network jitter).
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// A test-friendly config: zero latency, free storage.
+    pub fn new(sites: u16, protocol: ProtocolKind) -> Self {
+        ClusterConfig {
+            sites,
+            protocol,
+            latency: LatencyModel::zero(),
+            storage_cost: CostModel::zero(),
+            op_cost: OpCostModel::zero(),
+            scheduler: SchedulerConfig::default(),
+            seed: 0xD7C5,
+        }
+    }
+
+    /// Experiment profile: 100 Mbit/s LAN latency and the default storage
+    /// cost model — the substituted equivalents of the paper's testbed.
+    pub fn with_lan_profile(mut self) -> Self {
+        self.latency = LatencyModel::lan(self.seed);
+        self.storage_cost = CostModel::default();
+        self.op_cost = OpCostModel::realistic();
+        self
+    }
+
+    /// Sets the deadlock-detection period.
+    pub fn with_deadlock_period(mut self, period: Duration) -> Self {
+        self.scheduler.deadlock_period = period;
+        self
+    }
+}
+
+/// One DTX instance: the Listener side of a scheduler thread.
+pub struct DtxInstance {
+    /// This instance's site id.
+    pub site: SiteId,
+    control: Sender<Control>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl DtxInstance {
+    /// Submits a transaction, returning the outcome channel immediately.
+    pub fn submit_async(&self, spec: TxnSpec) -> Receiver<TxnOutcome> {
+        let (reply, rx) = bounded(1);
+        let _ = self.control.send(Control::Submit { spec, reply });
+        rx
+    }
+
+    /// Submits a transaction and blocks for its outcome.
+    pub fn submit(&self, spec: TxnSpec) -> TxnOutcome {
+        self.submit_async(spec).recv().expect("scheduler alive")
+    }
+
+    /// Loads a document (name + raw XML) into this instance's store.
+    pub fn load_document(&self, name: &str, xml: &str) -> Result<(), String> {
+        let (ack, rx) = bounded(1);
+        self.control
+            .send(Control::LoadDoc { name: name.to_owned(), xml: xml.to_owned(), ack })
+            .map_err(|_| "scheduler is down".to_owned())?;
+        rx.recv().map_err(|_| "scheduler is down".to_owned())?
+    }
+
+    fn shutdown(&mut self) {
+        let _ = self.control.send(Control::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A running DTX cluster.
+pub struct Cluster {
+    instances: Vec<DtxInstance>,
+    net: Network<Message>,
+    catalog: Arc<Catalog>,
+    metrics: Arc<Metrics>,
+    config: ClusterConfig,
+}
+
+impl Cluster {
+    /// Boots `config.sites` instances, each with its own scheduler thread,
+    /// in-memory store and lock manager, sharing one simulated network.
+    pub fn start(config: ClusterConfig) -> Self {
+        let mut latency = config.latency;
+        latency.seed = config.seed;
+        let net: Network<Message> = Network::new(latency);
+        let catalog = Arc::new(Catalog::new());
+        let idgen = Arc::new(TxnIdGen::new());
+        let metrics = Arc::new(Metrics::new());
+        let mut instances = Vec::with_capacity(config.sites as usize);
+        for i in 0..config.sites {
+            let site = SiteId(i);
+            let endpoint = net.register(site);
+            let (control_tx, control_rx): (Sender<Control>, Receiver<Control>) = unbounded();
+            let store = MemStore::new(config.storage_cost);
+            let lockmgr = LockManager::with_cost(
+                config.protocol.instantiate(),
+                Box::new(store),
+                config.op_cost,
+            );
+            let mut sched_cfg = config.scheduler;
+            sched_cfg.seed = config.seed.wrapping_add(i as u64);
+            let scheduler = Scheduler::new(
+                site,
+                net.clone(),
+                endpoint,
+                control_rx,
+                catalog.clone(),
+                lockmgr,
+                idgen.clone(),
+                metrics.clone(),
+                sched_cfg,
+            );
+            let handle = std::thread::Builder::new()
+                .name(format!("dtx-scheduler-{site}"))
+                .spawn(move || scheduler.run())
+                .expect("spawn scheduler");
+            instances.push(DtxInstance { site, control: control_tx, handle: Some(handle) });
+        }
+        Cluster { instances, net, catalog, metrics, config }
+    }
+
+    /// The cluster's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The site ids.
+    pub fn sites(&self) -> Vec<SiteId> {
+        self.instances.iter().map(|i| i.site).collect()
+    }
+
+    /// Registers `doc` (raw XML) at the given replica sites and updates
+    /// the catalog. With `sites` = all sites this is total replication;
+    /// a singleton is an unreplicated placement.
+    pub fn load_document(&self, name: &str, xml: &str, sites: &[SiteId]) -> Result<(), String> {
+        if sites.is_empty() {
+            return Err("replica set must not be empty".into());
+        }
+        for &s in sites {
+            let inst = self
+                .instances
+                .iter()
+                .find(|i| i.site == s)
+                .ok_or_else(|| format!("unknown site {s}"))?;
+            inst.load_document(name, xml)?;
+        }
+        self.catalog.register(name, sites);
+        Ok(())
+    }
+
+    /// Registers `doc` as horizontally fragmented: each `(site, xml)`
+    /// pair loads that site's fragment under the shared logical name.
+    /// Operations on `doc` will execute on every fragment and merge.
+    pub fn load_fragments(&self, name: &str, parts: &[(SiteId, String)]) -> Result<(), String> {
+        if parts.is_empty() {
+            return Err("fragment set must not be empty".into());
+        }
+        let mut sites = Vec::with_capacity(parts.len());
+        for (s, xml) in parts {
+            let inst = self
+                .instances
+                .iter()
+                .find(|i| i.site == *s)
+                .ok_or_else(|| format!("unknown site {s}"))?;
+            inst.load_document(name, xml)?;
+            sites.push(*s);
+        }
+        self.catalog.register_fragmented(name, &sites);
+        Ok(())
+    }
+
+    /// Submits a transaction at `site` and blocks for the outcome.
+    pub fn submit(&self, site: SiteId, spec: TxnSpec) -> TxnOutcome {
+        self.instance(site).submit(spec)
+    }
+
+    /// Submits a transaction at `site`, returning its outcome channel.
+    pub fn submit_async(&self, site: SiteId, spec: TxnSpec) -> Receiver<TxnOutcome> {
+        self.instance(site).submit_async(spec)
+    }
+
+    /// The instance at `site`.
+    ///
+    /// # Panics
+    /// Panics when `site` is not part of this cluster.
+    pub fn instance(&self, site: SiteId) -> &DtxInstance {
+        self.instances.iter().find(|i| i.site == site).expect("site exists")
+    }
+
+    /// The shared replica catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The shared metrics collector.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Network counters.
+    pub fn net_messages(&self) -> u64 {
+        self.net.stats().messages()
+    }
+
+    /// Network byte counter.
+    pub fn net_bytes(&self) -> u64 {
+        self.net.stats().bytes()
+    }
+
+    /// Stops all schedulers and tears the network down. In-flight
+    /// transactions are aborted with [`crate::op::AbortReason::Shutdown`].
+    pub fn shutdown(mut self) {
+        for inst in &mut self.instances {
+            inst.shutdown();
+        }
+        self.net.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{OpSpec, TxnStatus};
+    use dtx_xml::document::{Fragment, InsertPos};
+    use dtx_xpath::{Query, UpdateOp};
+
+    fn q(s: &str) -> Query {
+        Query::parse(s).unwrap()
+    }
+
+    const D1: &str = "<people><person><id>4</id><name>John</name></person></people>";
+    const D2: &str = "<products><product><id>14</id><price>55.50</price></product></products>";
+
+    #[test]
+    fn single_site_read_transaction() {
+        let cluster = Cluster::start(ClusterConfig::new(1, ProtocolKind::Xdgl));
+        cluster.load_document("d1", D1, &[SiteId(0)]).unwrap();
+        let out = cluster.submit(
+            SiteId(0),
+            TxnSpec::new(vec![OpSpec::query("d1", q("/people/person/name"))]),
+        );
+        assert!(out.committed(), "{:?}", out.status);
+        assert_eq!(
+            out.results,
+            vec![crate::op::OpResult::Query { values: vec!["John".to_owned()] }]
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn single_site_update_commits_and_persists() {
+        let cluster = Cluster::start(ClusterConfig::new(1, ProtocolKind::Xdgl));
+        cluster.load_document("d2", D2, &[SiteId(0)]).unwrap();
+        let out = cluster.submit(
+            SiteId(0),
+            TxnSpec::new(vec![
+                OpSpec::update(
+                    "d2",
+                    UpdateOp::Insert {
+                        target: q("/products"),
+                        fragment: Fragment::elem(
+                            "product",
+                            vec![Fragment::elem_text("id", "13"), Fragment::elem_text("price", "10.30")],
+                        ),
+                        pos: InsertPos::Into,
+                    },
+                ),
+                OpSpec::query("d2", q("/products/product/id")),
+            ]),
+        );
+        assert!(out.committed(), "{:?}", out.status);
+        match &out.results[1] {
+            crate::op::OpResult::Query { values } => {
+                assert_eq!(values, &vec!["14".to_owned(), "13".to_owned()])
+            }
+            other => panic!("{other:?}"),
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn distributed_query_touches_all_replicas() {
+        let cluster = Cluster::start(ClusterConfig::new(2, ProtocolKind::Xdgl));
+        cluster.load_document("d1", D1, &[SiteId(0), SiteId(1)]).unwrap();
+        // Coordinator 0 must lock at both sites (the paper's t1op1).
+        let out = cluster.submit(
+            SiteId(0),
+            TxnSpec::new(vec![OpSpec::query("d1", q("/people/person[id=4]"))]),
+        );
+        assert!(out.committed(), "{:?}", out.status);
+        assert!(cluster.net_messages() > 0, "remote execution goes over the network");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn remote_only_document_is_reachable() {
+        let cluster = Cluster::start(ClusterConfig::new(2, ProtocolKind::Xdgl));
+        cluster.load_document("d2", D2, &[SiteId(1)]).unwrap();
+        // Submitted at site 0, data only at site 1.
+        let out = cluster.submit(
+            SiteId(0),
+            TxnSpec::new(vec![OpSpec::update(
+                "d2",
+                UpdateOp::Change { target: q("/products/product/price"), new_value: "60".into() },
+            )]),
+        );
+        assert!(out.committed(), "{:?}", out.status);
+        // Verify at site 1 via a follow-up read.
+        let out = cluster.submit(
+            SiteId(1),
+            TxnSpec::new(vec![OpSpec::query("d2", q("/products/product/price"))]),
+        );
+        match &out.results[0] {
+            crate::op::OpResult::Query { values } => assert_eq!(values, &vec!["60".to_owned()]),
+            other => panic!("{other:?}"),
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn replicated_update_applies_everywhere() {
+        let cluster = Cluster::start(ClusterConfig::new(3, ProtocolKind::Xdgl));
+        let all = [SiteId(0), SiteId(1), SiteId(2)];
+        cluster.load_document("d2", D2, &all).unwrap();
+        let out = cluster.submit(
+            SiteId(2),
+            TxnSpec::new(vec![OpSpec::update(
+                "d2",
+                UpdateOp::Change { target: q("/products/product[id=14]/price"), new_value: "1.00".into() },
+            )]),
+        );
+        assert!(out.committed(), "{:?}", out.status);
+        // Read from every site: replicas agree.
+        for s in all {
+            let out = cluster
+                .submit(s, TxnSpec::new(vec![OpSpec::query("d2", q("/products/product/price"))]));
+            match &out.results[0] {
+                crate::op::OpResult::Query { values } => {
+                    assert_eq!(values, &vec!["1.00".to_owned()], "site {s}")
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn unknown_document_aborts() {
+        let cluster = Cluster::start(ClusterConfig::new(1, ProtocolKind::Xdgl));
+        let out =
+            cluster.submit(SiteId(0), TxnSpec::new(vec![OpSpec::query("ghost", q("/a"))]));
+        assert!(matches!(out.status, TxnStatus::Aborted(crate::op::AbortReason::OperationFailed(_))));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn failed_update_rolls_back_everything() {
+        let cluster = Cluster::start(ClusterConfig::new(1, ProtocolKind::Xdgl));
+        cluster.load_document("d2", D2, &[SiteId(0)]).unwrap();
+        let out = cluster.submit(
+            SiteId(0),
+            TxnSpec::new(vec![
+                OpSpec::update(
+                    "d2",
+                    UpdateOp::Change { target: q("/products/product/price"), new_value: "9".into() },
+                ),
+                // This remove targets nothing → operation fails → abort.
+                OpSpec::update("d2", UpdateOp::Remove { target: q("/products/widget") }),
+            ]),
+        );
+        assert!(!out.committed());
+        // First op's change must have been rolled back.
+        let check = cluster
+            .submit(SiteId(0), TxnSpec::new(vec![OpSpec::query("d2", q("/products/product/price"))]));
+        match &check.results[0] {
+            crate::op::OpResult::Query { values } => assert_eq!(values, &vec!["55.50".to_owned()]),
+            other => panic!("{other:?}"),
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn concurrent_disjoint_transactions_all_commit() {
+        let cluster = Cluster::start(ClusterConfig::new(2, ProtocolKind::Xdgl));
+        cluster.load_document("d1", D1, &[SiteId(0)]).unwrap();
+        cluster.load_document("d2", D2, &[SiteId(1)]).unwrap();
+        let rx1 = cluster.submit_async(
+            SiteId(0),
+            TxnSpec::new(vec![OpSpec::query("d1", q("/people/person"))]),
+        );
+        let rx2 = cluster.submit_async(
+            SiteId(1),
+            TxnSpec::new(vec![OpSpec::query("d2", q("/products/product"))]),
+        );
+        assert!(rx1.recv().unwrap().committed());
+        assert!(rx2.recv().unwrap().committed());
+        let s = cluster.metrics().summary();
+        assert_eq!(s.committed, 2);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn contended_updates_serialize_but_commit() {
+        // Many clients hammering the same path: strict 2PL must serialize
+        // them; every transaction eventually commits.
+        let cluster = Cluster::start(ClusterConfig::new(1, ProtocolKind::Xdgl));
+        cluster.load_document("d2", D2, &[SiteId(0)]).unwrap();
+        let mut rxs = Vec::new();
+        for i in 0..8 {
+            rxs.push(cluster.submit_async(
+                SiteId(0),
+                TxnSpec::new(vec![OpSpec::update(
+                    "d2",
+                    UpdateOp::Change {
+                        target: q("/products/product[id=14]/price"),
+                        new_value: format!("{i}.00"),
+                    },
+                )]),
+            ));
+        }
+        for rx in rxs {
+            let out = rx.recv().unwrap();
+            assert!(out.committed(), "{:?}", out.status);
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn distributed_deadlock_resolved_by_detector() {
+        // The paper's §2.4 shape: t1 reads d1 (both sites) then writes d2;
+        // t2 reads d2 then writes d1. With unlucky interleaving this forms
+        // a distributed cycle; the detector must abort the newest and let
+        // the other commit. With lucky interleaving both commit. Either
+        // way, BOTH terminate.
+        let cfg = ClusterConfig::new(2, ProtocolKind::Xdgl)
+            .with_deadlock_period(Duration::from_millis(20));
+        let cluster = Cluster::start(cfg);
+        cluster.load_document("d1", D1, &[SiteId(0), SiteId(1)]).unwrap();
+        cluster.load_document("d2", D2, &[SiteId(1)]).unwrap();
+        let t1 = TxnSpec::new(vec![
+            OpSpec::query("d1", q("/people/person")),
+            OpSpec::update(
+                "d2",
+                UpdateOp::Insert {
+                    target: q("/products"),
+                    fragment: Fragment::elem("product", vec![Fragment::elem_text("id", "13")]),
+                    pos: InsertPos::Into,
+                },
+            ),
+        ]);
+        let t2 = TxnSpec::new(vec![
+            OpSpec::query("d2", q("/products/product")),
+            OpSpec::update(
+                "d1",
+                UpdateOp::Insert {
+                    target: q("/people"),
+                    fragment: Fragment::elem("person", vec![Fragment::elem_text("id", "22")]),
+                    pos: InsertPos::Into,
+                },
+            ),
+        ]);
+        let rx1 = cluster.submit_async(SiteId(0), t1);
+        let rx2 = cluster.submit_async(SiteId(1), t2);
+        let o1 = rx1.recv_timeout(Duration::from_secs(60)).expect("t1 terminates");
+        let o2 = rx2.recv_timeout(Duration::from_secs(60)).expect("t2 terminates");
+        // At least one commits; a deadlock abort is acceptable for the other.
+        assert!(o1.committed() || o2.committed(), "o1={:?} o2={:?}", o1.status, o2.status);
+        for o in [&o1, &o2] {
+            assert!(
+                o.committed() || o.deadlocked(),
+                "unexpected terminal status {:?}",
+                o.status
+            );
+        }
+        cluster.shutdown();
+    }
+}

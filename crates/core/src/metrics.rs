@@ -1,0 +1,278 @@
+//! Cluster-wide experiment metrics.
+//!
+//! The paper's evaluation measures "response time and number of
+//! deadlocks" (§3.2), plus throughput / concurrency degree over time
+//! (Fig. 12: "the number of transactions consolidated at each time
+//! interval"). This module records one [`TxnRecord`] per terminated
+//! transaction and derives all of those series.
+
+use crate::op::{AbortReason, TxnStatus};
+use dtx_locks::TxnId;
+use dtx_net::SiteId;
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// One terminated transaction.
+#[derive(Debug, Clone)]
+pub struct TxnRecord {
+    /// The transaction.
+    pub txn: TxnId,
+    /// Coordinator site.
+    pub coordinator: SiteId,
+    /// Submission time.
+    pub submitted: Instant,
+    /// Termination time.
+    pub finished: Instant,
+    /// Terminal status.
+    pub status: TxnStatus,
+    /// Number of operations in the transaction.
+    pub ops: usize,
+    /// Whether any operation was an update.
+    pub is_update: bool,
+}
+
+impl TxnRecord {
+    /// Response time (submission → termination).
+    pub fn response_time(&self) -> Duration {
+        self.finished.duration_since(self.submitted)
+    }
+}
+
+/// Shared metrics collector.
+#[derive(Debug)]
+pub struct Metrics {
+    origin: Instant,
+    records: Mutex<Vec<TxnRecord>>,
+    detector_runs: Mutex<u64>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// New collector; `origin` is "time zero" for the series.
+    pub fn new() -> Self {
+        Metrics { origin: Instant::now(), records: Mutex::new(Vec::new()), detector_runs: Mutex::new(0) }
+    }
+
+    /// Records a terminated transaction.
+    pub fn record(&self, rec: TxnRecord) {
+        self.records.lock().push(rec);
+    }
+
+    /// Notes one execution of the distributed deadlock detector.
+    pub fn note_detector_run(&self) {
+        *self.detector_runs.lock() += 1;
+    }
+
+    /// Number of detector executions.
+    pub fn detector_runs(&self) -> u64 {
+        *self.detector_runs.lock()
+    }
+
+    /// Snapshot of all records.
+    pub fn records(&self) -> Vec<TxnRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Aggregated summary.
+    pub fn summary(&self) -> Summary {
+        let records = self.records.lock();
+        let mut s = Summary::default();
+        let mut rts: Vec<Duration> = Vec::with_capacity(records.len());
+        let mut first: Option<Instant> = None;
+        let mut last: Option<Instant> = None;
+        for r in records.iter() {
+            s.terminated += 1;
+            match &r.status {
+                TxnStatus::Committed => {
+                    s.committed += 1;
+                    rts.push(r.response_time());
+                }
+                TxnStatus::Aborted(AbortReason::Deadlock) => {
+                    s.aborted += 1;
+                    s.deadlocks += 1;
+                }
+                TxnStatus::Aborted(_) => s.aborted += 1,
+                TxnStatus::Failed(_) => s.failed += 1,
+            }
+            first = Some(first.map_or(r.submitted, |f| f.min(r.submitted)));
+            last = Some(last.map_or(r.finished, |l| l.max(r.finished)));
+        }
+        if let (Some(f), Some(l)) = (first, last) {
+            s.makespan = l.duration_since(f);
+        }
+        if !rts.is_empty() {
+            rts.sort();
+            s.mean_response = rts.iter().sum::<Duration>() / (rts.len() as u32);
+            s.p50_response = rts[rts.len() / 2];
+            s.p95_response = rts[(rts.len() * 95 / 100).min(rts.len() - 1)];
+            s.max_response = *rts.last().expect("non-empty");
+        }
+        s
+    }
+
+    /// Fig. 12 series: cumulative committed transactions at the end of
+    /// each `bucket`-sized interval since the first submission.
+    pub fn throughput_series(&self, bucket: Duration) -> Vec<(Duration, usize)> {
+        let records = self.records.lock();
+        let Some(start) = records.iter().map(|r| r.submitted).min() else { return Vec::new() };
+        let mut ends: Vec<Duration> = records
+            .iter()
+            .filter(|r| r.status == TxnStatus::Committed)
+            .map(|r| r.finished.duration_since(start))
+            .collect();
+        ends.sort();
+        let Some(&latest) = ends.last() else { return Vec::new() };
+        let buckets = (latest.as_nanos() / bucket.as_nanos().max(1)) as usize + 1;
+        let mut out = Vec::with_capacity(buckets);
+        for b in 1..=buckets {
+            let t = bucket * (b as u32);
+            let cum = ends.iter().take_while(|&&e| e <= t).count();
+            out.push((t, cum));
+        }
+        out
+    }
+
+    /// Concurrency-degree series: average number of in-flight transactions
+    /// during each `bucket`-sized interval.
+    pub fn concurrency_series(&self, bucket: Duration) -> Vec<(Duration, f64)> {
+        let records = self.records.lock();
+        let Some(start) = records.iter().map(|r| r.submitted).min() else { return Vec::new() };
+        let Some(end) = records.iter().map(|r| r.finished).max() else { return Vec::new() };
+        let total = end.duration_since(start);
+        let buckets = (total.as_nanos() / bucket.as_nanos().max(1)) as usize + 1;
+        let mut out = Vec::with_capacity(buckets);
+        for b in 0..buckets {
+            let lo = bucket * (b as u32);
+            let hi = bucket * ((b + 1) as u32);
+            // Overlap of [submitted, finished) with [lo, hi), averaged.
+            let mut busy = Duration::ZERO;
+            for r in records.iter() {
+                let s = r.submitted.duration_since(start);
+                let f = r.finished.duration_since(start);
+                let o_lo = s.max(lo);
+                let o_hi = f.min(hi);
+                if o_hi > o_lo {
+                    busy += o_hi - o_lo;
+                }
+            }
+            out.push((hi, busy.as_secs_f64() / bucket.as_secs_f64()));
+        }
+        out
+    }
+
+    /// Seconds since collector creation (for traces).
+    pub fn elapsed(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// Aggregate counters; see [`Metrics::summary`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Summary {
+    /// Terminated transactions.
+    pub terminated: usize,
+    /// Committed.
+    pub committed: usize,
+    /// Aborted (all reasons, including deadlock).
+    pub aborted: usize,
+    /// Failed (abort could not complete).
+    pub failed: usize,
+    /// Aborts whose reason was deadlock victimization.
+    pub deadlocks: usize,
+    /// Mean response time of committed transactions.
+    pub mean_response: Duration,
+    /// Median response time.
+    pub p50_response: Duration,
+    /// 95th percentile response time.
+    pub p95_response: Duration,
+    /// Maximum response time.
+    pub max_response: Duration,
+    /// First submission → last termination.
+    pub makespan: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(txn: u64, start_ms: u64, end_ms: u64, status: TxnStatus, base: Instant) -> TxnRecord {
+        TxnRecord {
+            txn: TxnId(txn),
+            coordinator: SiteId(0),
+            submitted: base + Duration::from_millis(start_ms),
+            finished: base + Duration::from_millis(end_ms),
+            status,
+            ops: 5,
+            is_update: false,
+        }
+    }
+
+    #[test]
+    fn summary_counts_and_percentiles() {
+        let m = Metrics::new();
+        let base = Instant::now();
+        m.record(rec(1, 0, 10, TxnStatus::Committed, base));
+        m.record(rec(2, 0, 20, TxnStatus::Committed, base));
+        m.record(rec(3, 0, 30, TxnStatus::Committed, base));
+        m.record(rec(4, 0, 5, TxnStatus::Aborted(AbortReason::Deadlock), base));
+        m.record(rec(5, 0, 5, TxnStatus::Failed("x".into()), base));
+        let s = m.summary();
+        assert_eq!(s.terminated, 5);
+        assert_eq!(s.committed, 3);
+        assert_eq!(s.aborted, 1);
+        assert_eq!(s.deadlocks, 1);
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.mean_response, Duration::from_millis(20));
+        assert_eq!(s.p50_response, Duration::from_millis(20));
+        assert_eq!(s.max_response, Duration::from_millis(30));
+        assert_eq!(s.makespan, Duration::from_millis(30));
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = Metrics::new().summary();
+        assert_eq!(s, Summary::default());
+    }
+
+    #[test]
+    fn throughput_series_is_cumulative() {
+        let m = Metrics::new();
+        let base = Instant::now();
+        m.record(rec(1, 0, 10, TxnStatus::Committed, base));
+        m.record(rec(2, 0, 25, TxnStatus::Committed, base));
+        m.record(rec(3, 0, 25, TxnStatus::Aborted(AbortReason::Deadlock), base));
+        let series = m.throughput_series(Duration::from_millis(10));
+        // Buckets at 10, 20, 30 ms → cumulative 1, 1, 2.
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0].1, 1);
+        assert_eq!(series[1].1, 1);
+        assert_eq!(series[2].1, 2);
+        // Monotone non-decreasing.
+        assert!(series.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn concurrency_series_reflects_overlap() {
+        let m = Metrics::new();
+        let base = Instant::now();
+        // Two fully-overlapping txns for 10ms.
+        m.record(rec(1, 0, 10, TxnStatus::Committed, base));
+        m.record(rec(2, 0, 10, TxnStatus::Committed, base));
+        let series = m.concurrency_series(Duration::from_millis(10));
+        assert!(!series.is_empty());
+        assert!((series[0].1 - 2.0).abs() < 0.01, "got {}", series[0].1);
+    }
+
+    #[test]
+    fn detector_run_counter() {
+        let m = Metrics::new();
+        m.note_detector_run();
+        m.note_detector_run();
+        assert_eq!(m.detector_runs(), 2);
+    }
+}

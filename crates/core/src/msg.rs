@@ -1,0 +1,161 @@
+//! Inter-scheduler messages.
+//!
+//! The paper's modification (i) to XDGL: "a communication infrastructure
+//! between schedulers was inserted, allowing it to execute remote
+//! functions, at the same time that it acquires necessary locks and allows
+//! the commitment and abortion of a distributed transaction" (§2). These
+//! are exactly the message kinds below, plus the wait-for-graph exchange
+//! used by the distributed deadlock detector (Algorithm 4).
+
+use crate::op::{OpResult, OpSpec};
+use dtx_locks::{TxnId, WaitForGraph};
+use dtx_net::{SiteId, Wire};
+
+/// A message between DTX schedulers.
+#[derive(Debug)]
+pub enum Message {
+    /// Coordinator → participant: execute operation `op_seq` of `txn`
+    /// (Algorithm 1 l. 13 `participants.send_operation`).
+    ExecRemote {
+        /// The distributed transaction.
+        txn: TxnId,
+        /// Which site coordinates `txn` (participants learn this here).
+        coordinator: SiteId,
+        /// Index of the operation within the transaction.
+        op_seq: usize,
+        /// The operation itself.
+        op: OpSpec,
+        /// Retry attempt number, echoed in the response so responses to
+        /// undone attempts are discarded.
+        attempt: u64,
+        /// Whether the transaction contains updates (coarse protocols
+        /// lock conservatively for updating transactions).
+        update_txn: bool,
+    },
+    /// Participant → coordinator: status of a remote operation
+    /// (Algorithm 2 l. 13 `send_remote_operation_coordinator`).
+    RemoteDone {
+        /// The transaction.
+        txn: TxnId,
+        /// Operation index.
+        op_seq: usize,
+        /// Attempt this response answers.
+        attempt: u64,
+        /// Reporting site.
+        site: SiteId,
+        /// Whether all locks were acquired (Alg. 2 l. 8 sets false).
+        acquired: bool,
+        /// Whether the operation executed (implies `acquired`).
+        executed: bool,
+        /// Whether the operation failed for a non-lock reason.
+        failed: bool,
+        /// Whether acquiring created a local wait-for cycle.
+        deadlock: bool,
+        /// Query values when executed.
+        result: Option<OpResult>,
+    },
+    /// Coordinator → participant: undo the effects of one operation that
+    /// could not be executed at *all* sites (Alg. 1 l. 16).
+    UndoOp {
+        /// The transaction.
+        txn: TxnId,
+        /// Operation index to undo.
+        op_seq: usize,
+    },
+    /// Coordinator → participant: consolidate `txn` (Algorithm 5 l. 4).
+    Commit {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Participant → coordinator: commit acknowledgement.
+    CommitAck {
+        /// The transaction.
+        txn: TxnId,
+        /// Reporting site.
+        site: SiteId,
+        /// Whether the consolidation succeeded.
+        ok: bool,
+    },
+    /// Coordinator → participant: cancel `txn` (Algorithm 6 l. 4).
+    Abort {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Participant → coordinator: abort acknowledgement.
+    AbortAck {
+        /// The transaction.
+        txn: TxnId,
+        /// Reporting site.
+        site: SiteId,
+        /// Whether the cancellation succeeded.
+        ok: bool,
+    },
+    /// Coordinator → all: the transaction failed (Algorithm 6 l. 7);
+    /// best-effort cleanup, no acknowledgement.
+    Fail {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Detector → site: request your wait-for graph (Alg. 4 l. 4).
+    WfgRequest {
+        /// Requesting site.
+        from: SiteId,
+        /// Round number, so stale replies are discarded.
+        round: u64,
+    },
+    /// Site → detector: the local wait-for graph.
+    WfgReply {
+        /// Replying site.
+        site: SiteId,
+        /// Round this reply answers.
+        round: u64,
+        /// Snapshot of the local graph.
+        graph: WaitForGraph,
+    },
+    /// Detector → coordinator of the victim: abort this transaction
+    /// (Alg. 4 l. 8, when the victim is coordinated elsewhere).
+    AbortVictim {
+        /// The deadlock victim.
+        txn: TxnId,
+    },
+}
+
+impl Wire for Message {
+    fn wire_size(&self) -> usize {
+        match self {
+            Message::ExecRemote { op, .. } => 48 + op.wire_size(),
+            Message::RemoteDone { result, .. } => {
+                64 + match result {
+                    Some(OpResult::Query { values }) => {
+                        values.iter().map(String::len).sum::<usize>()
+                    }
+                    _ => 0,
+                }
+            }
+            Message::WfgReply { graph, .. } => 32 + graph.edge_count() * 16,
+            _ => 48,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtx_xpath::Query;
+
+    #[test]
+    fn wire_sizes_reflect_payloads() {
+        let small = Message::Commit { txn: TxnId(1) };
+        let op = OpSpec::query("d", Query::parse("/a/b/c").unwrap());
+        let exec =
+            Message::ExecRemote { txn: TxnId(1), coordinator: SiteId(0), op_seq: 0, op, attempt: 1, update_txn: false };
+        assert!(exec.wire_size() > small.wire_size());
+
+        let mut g = WaitForGraph::new();
+        for i in 0..10 {
+            g.add_edge(TxnId(i), TxnId(i + 1));
+        }
+        let reply = Message::WfgReply { site: SiteId(0), round: 1, graph: g };
+        assert!(reply.wire_size() >= 32 + 160);
+    }
+}

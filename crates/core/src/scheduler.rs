@@ -1,0 +1,811 @@
+//! The per-site Scheduler: Algorithms 1, 2, 4, 5 and 6 of the paper.
+//!
+//! One scheduler thread runs per DTX instance. It plays **both** roles of
+//! the distributed transaction model (§2.2): *coordinator* for the
+//! transactions submitted at its site (Algorithm 1) and *participant* for
+//! remote operations sent by other coordinators (Algorithm 2 — "this
+//! procedure is also common to the coordinator"). It also runs the
+//! periodic distributed deadlock detection (Algorithm 4) and the
+//! commit/abort termination protocols (Algorithms 5 and 6).
+//!
+//! ## Concurrency model
+//!
+//! The scheduler is a single-threaded event loop: it alternates between
+//! draining client submissions, draining scheduler-to-scheduler messages,
+//! running deadlock detection when due, and executing the next available
+//! operation of a coordinated transaction. While a coordinator "waits for
+//! the operation to be executed on all the sites" (Alg. 1 l. 14) or for
+//! commit/abort acknowledgements (Alg. 5/6), it keeps serving participant
+//! duties through a nested message pump — otherwise two coordinators
+//! waiting on each other's acknowledgements would deadlock the protocol
+//! itself.
+//!
+//! Transactions denied a lock enter **wait mode** (Alg. 1 l. 9/17) and are
+//! retried after a short jittered interval; their wait-for edges live in
+//! the lock-holding site's graph until the retry succeeds or a deadlock
+//! detector aborts a victim.
+
+use crate::catalog::Catalog;
+use crate::lockmgr::{LockManager, ProcessResult};
+use crate::metrics::{Metrics, TxnRecord};
+use crate::msg::Message;
+use crate::op::{AbortReason, OpResult, OpSpec, TxnOutcome, TxnSpec, TxnStatus};
+use crossbeam::channel::{Receiver, Sender};
+use dtx_locks::{TxnId, TxnMode, WaitForGraph};
+use dtx_locks::txn::TxnIdGen;
+use dtx_net::{Endpoint, Envelope, Network, SiteId};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// How long a waiting transaction pauses before retrying its blocked
+    /// operation (jittered ±50 %).
+    pub retry_interval: Duration,
+    /// Period of the distributed deadlock detector (Algorithm 4);
+    /// staggered per site to avoid synchronized rounds.
+    pub deadlock_period: Duration,
+    /// How long a coordinator waits for remote-operation responses and
+    /// commit/abort acknowledgements before treating the site as failed.
+    pub remote_timeout: Duration,
+    /// Safety net: a transaction continuously in wait mode longer than
+    /// this is aborted (covers pathological workloads; the detector
+    /// normally resolves deadlocks much sooner).
+    pub wait_timeout: Duration,
+    /// Event-loop poll interval when idle.
+    pub idle_wait: Duration,
+    /// Seed for retry jitter.
+    pub seed: u64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            retry_interval: Duration::from_millis(2),
+            deadlock_period: Duration::from_millis(50),
+            remote_timeout: Duration::from_secs(60),
+            wait_timeout: Duration::from_secs(180),
+            idle_wait: Duration::from_micros(500),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Client-side commands delivered through the Listener.
+pub enum Control {
+    /// Submit a transaction; the outcome is sent on `reply`.
+    Submit {
+        /// The transaction.
+        spec: TxnSpec,
+        /// Outcome channel.
+        reply: Sender<TxnOutcome>,
+    },
+    /// Load a document into this site's store + memory.
+    LoadDoc {
+        /// Document name.
+        name: String,
+        /// Raw XML.
+        xml: String,
+        /// Ack channel (parse/storage errors reported).
+        ack: Sender<Result<(), String>>,
+    },
+    /// Stop the scheduler; in-flight transactions are aborted.
+    Shutdown,
+}
+
+/// Coordinator-side execution state (Alg. 1's view of one transaction).
+struct CoordTxn {
+    id: TxnId,
+    spec: TxnSpec,
+    next_op: usize,
+    waiting_until: Option<Instant>,
+    wait_since: Option<Instant>,
+    /// Remote sites that executed at least one operation (commit/abort
+    /// must reach all of them).
+    remote_sites: Vec<SiteId>,
+    results: Vec<OpResult>,
+    submitted: Instant,
+    reply: Sender<TxnOutcome>,
+}
+
+/// A participant's report about one remote operation.
+#[derive(Debug, Clone)]
+struct DoneInfo {
+    acquired: bool,
+    executed: bool,
+    failed: bool,
+    deadlock: bool,
+    result: Option<OpResult>,
+}
+
+/// The scheduler of one DTX instance.
+pub struct Scheduler {
+    site: SiteId,
+    net: Network<Message>,
+    endpoint: Endpoint<Message>,
+    control: Receiver<Control>,
+    catalog: Arc<Catalog>,
+    lockmgr: LockManager,
+    txns: Vec<CoordTxn>,
+    /// Coordinator of each transaction seen as a participant.
+    txn_coord: HashMap<TxnId, SiteId>,
+    /// Responses collected for in-flight remote operations, keyed by
+    /// (txn, op index, attempt) so stale retries cannot pollute new ones.
+    pending_done: HashMap<(TxnId, usize, u64), HashMap<SiteId, DoneInfo>>,
+    /// Commit acknowledgements per transaction.
+    pending_commit: HashMap<TxnId, HashMap<SiteId, bool>>,
+    /// Abort acknowledgements per transaction.
+    pending_abort: HashMap<TxnId, HashMap<SiteId, bool>>,
+    /// Current deadlock-detection round and its collected graphs.
+    wfg_round: u64,
+    wfg_replies: HashMap<SiteId, WaitForGraph>,
+    idgen: Arc<TxnIdGen>,
+    metrics: Arc<Metrics>,
+    cfg: SchedulerConfig,
+    attempt: u64,
+    next_detection: Instant,
+    rr_cursor: usize,
+    rng: u64,
+}
+
+impl Scheduler {
+    /// Assembles a scheduler. `endpoint` must already be registered on
+    /// `net` for `site`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        site: SiteId,
+        net: Network<Message>,
+        endpoint: Endpoint<Message>,
+        control: Receiver<Control>,
+        catalog: Arc<Catalog>,
+        lockmgr: LockManager,
+        idgen: Arc<TxnIdGen>,
+        metrics: Arc<Metrics>,
+        cfg: SchedulerConfig,
+    ) -> Self {
+        // Stagger detector rounds per site so sites do not all fire at once.
+        let stagger = cfg.deadlock_period / 8 * (site.0 as u32 % 8);
+        Scheduler {
+            site,
+            net,
+            endpoint,
+            control,
+            catalog,
+            lockmgr,
+            txns: Vec::new(),
+            txn_coord: HashMap::new(),
+            pending_done: HashMap::new(),
+            pending_commit: HashMap::new(),
+            pending_abort: HashMap::new(),
+            wfg_round: 0,
+            wfg_replies: HashMap::new(),
+            idgen,
+            metrics,
+            cfg,
+            attempt: 0,
+            next_detection: Instant::now() + cfg.deadlock_period + stagger,
+            rr_cursor: 0,
+            rng: cfg.seed ^ ((site.0 as u64) << 32) | 1,
+        }
+    }
+
+    /// Runs the event loop until a [`Control::Shutdown`] arrives.
+    pub fn run(mut self) {
+        loop {
+            // 1. Client commands.
+            loop {
+                match self.control.try_recv() {
+                    Ok(Control::Submit { spec, reply }) => {
+                        let id = self.idgen.next();
+                        self.txns.push(CoordTxn {
+                            id,
+                            spec,
+                            next_op: 0,
+                            waiting_until: None,
+                            wait_since: None,
+                            remote_sites: Vec::new(),
+                            results: Vec::new(),
+                            submitted: Instant::now(),
+                            reply,
+                        });
+                    }
+                    Ok(Control::LoadDoc { name, xml, ack }) => {
+                        let r = self
+                            .lockmgr
+                            .put_and_load(&name, &xml)
+                            .map_err(|e| e.to_string());
+                        let _ = ack.send(r);
+                    }
+                    Ok(Control::Shutdown) => {
+                        self.shutdown();
+                        return;
+                    }
+                    Err(_) => break,
+                }
+            }
+            // 2. Network messages.
+            while let Some(env) = self.endpoint.try_recv() {
+                self.handle_message(env);
+            }
+            // 3. Periodic distributed deadlock detection (Algorithm 4).
+            if Instant::now() >= self.next_detection {
+                self.next_detection = Instant::now() + self.cfg.deadlock_period;
+                if !self.lockmgr.wfg().is_empty()
+                    || self.txns.iter().any(|t| t.waiting_until.is_some())
+                {
+                    self.run_deadlock_detection();
+                }
+            }
+            // 4. Execute the next operation of an available transaction
+            //    (Alg. 1 l. 3: "next_transaction_available").
+            if let Some(id) = self.pick_available() {
+                self.execute_next_op(id);
+                continue;
+            }
+            // 5. Idle: block briefly for the next message.
+            let wait = self
+                .txns
+                .iter()
+                .filter_map(|t| t.waiting_until)
+                .min()
+                .map(|at| at.saturating_duration_since(Instant::now()))
+                .unwrap_or(self.cfg.idle_wait)
+                .min(self.cfg.idle_wait)
+                .max(Duration::from_micros(50));
+            if let Ok(Some(env)) = self.endpoint.recv_timeout(wait) {
+                self.handle_message(env);
+            }
+        }
+    }
+
+    fn shutdown(&mut self) {
+        // Abort whatever is still in flight so clients unblock.
+        while let Some(txn) = self.txns.pop() {
+            self.lockmgr.abort_local(txn.id);
+            let _ = txn.reply.send(TxnOutcome {
+                txn: txn.id,
+                status: TxnStatus::Aborted(AbortReason::Shutdown),
+                response_time: txn.submitted.elapsed(),
+                results: Vec::new(),
+            });
+        }
+    }
+
+    fn jitter(&mut self, base: Duration) -> Duration {
+        // xorshift64 for ±50 % jitter.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        let frac = 0.5 + ((x >> 33) as f64 / (1u64 << 31) as f64);
+        Duration::from_nanos((base.as_nanos() as f64 * frac) as u64)
+    }
+
+    fn txn_index(&self, id: TxnId) -> Option<usize> {
+        self.txns.iter().position(|t| t.id == id)
+    }
+
+    /// Round-robin pick of an available coordinated transaction: not in
+    /// wait mode, or whose retry time has come.
+    fn pick_available(&mut self) -> Option<TxnId> {
+        if self.txns.is_empty() {
+            return None;
+        }
+        let now = Instant::now();
+        let n = self.txns.len();
+        for off in 0..n {
+            let idx = (self.rr_cursor + off) % n;
+            let t = &self.txns[idx];
+            let ready = match t.waiting_until {
+                None => true,
+                Some(at) => now >= at,
+            };
+            if ready {
+                self.rr_cursor = (idx + 1) % n;
+                return Some(t.id);
+            }
+        }
+        None
+    }
+
+    // -----------------------------------------------------------------
+    // Algorithm 1 — coordinator
+    // -----------------------------------------------------------------
+
+    fn execute_next_op(&mut self, id: TxnId) {
+        let Some(idx) = self.txn_index(id) else { return };
+        // Wait-timeout safety net.
+        if let Some(since) = self.txns[idx].wait_since {
+            if since.elapsed() > self.cfg.wait_timeout {
+                self.abort_transaction(
+                    id,
+                    AbortReason::OperationFailed("wait-mode timeout".into()),
+                );
+                return;
+            }
+        }
+        let op_seq = self.txns[idx].next_op;
+        if op_seq >= self.txns[idx].spec.ops.len() {
+            // No available operation left (Alg. 1 l. 24) → commit.
+            self.commit_transaction(id);
+            return;
+        }
+        let op = self.txns[idx].spec.ops[op_seq].clone();
+        let sites = self.catalog.sites_of(&op.doc);
+        if sites.is_empty() {
+            self.abort_transaction(
+                id,
+                AbortReason::OperationFailed(format!("document {:?} unknown to catalog", op.doc)),
+            );
+            return;
+        }
+        if sites.len() == 1 && sites[0] == self.site {
+            self.execute_local_op(id, op_seq, &op);
+        } else {
+            self.execute_distributed_op(id, op_seq, &op, &sites);
+        }
+    }
+
+    fn coord_txn_mode(&self, id: TxnId) -> TxnMode {
+        match self.txn_index(id) {
+            Some(idx) if self.txns[idx].spec.is_read_only() => TxnMode::ReadOnly,
+            _ => TxnMode::Updating,
+        }
+    }
+
+    /// Alg. 1 l. 5-10: the operation only involves the coordinator site.
+    fn execute_local_op(&mut self, id: TxnId, op_seq: usize, op: &OpSpec) {
+        let mode = self.coord_txn_mode(id);
+        match self.lockmgr.process_operation(id, op_seq, op, mode, false) {
+            ProcessResult::Executed(result) => self.op_succeeded(id, result),
+            ProcessResult::Conflict { deadlock, .. } => {
+                if deadlock {
+                    // Alg. 1 l. 19-20 via Alg. 3's deadlock tag.
+                    self.abort_transaction(id, AbortReason::Deadlock);
+                } else {
+                    self.enter_wait(id);
+                }
+            }
+            ProcessResult::Failed(e) => {
+                self.abort_transaction(id, AbortReason::OperationFailed(e));
+            }
+        }
+    }
+
+    /// Alg. 1 l. 11-22: the operation involves other sites; send it to all
+    /// participants holding the data, wait for every response, and either
+    /// advance, undo + wait, or abort.
+    fn execute_distributed_op(&mut self, id: TxnId, op_seq: usize, op: &OpSpec, sites: &[SiteId]) {
+        self.attempt += 1;
+        let attempt = self.attempt;
+        let key = (id, op_seq, attempt);
+        let mode = self.coord_txn_mode(id);
+        self.pending_done.insert(key, HashMap::new());
+        // Send to remote participants (Alg. 1 l. 13).
+        for &s in sites {
+            if s != self.site {
+                let _ = self.net.send(
+                    self.site,
+                    s,
+                    Message::ExecRemote {
+                        txn: id,
+                        coordinator: self.site,
+                        op_seq,
+                        op: op.clone(),
+                        attempt,
+                        update_txn: mode == TxnMode::Updating,
+                    },
+                );
+            }
+        }
+        // Execute locally when the coordinator also holds the data
+        // ("including the coordinator if it contains data involved").
+        if sites.contains(&self.site) {
+            let done = self.participant_execute(id, op_seq, op, mode);
+            if let Some(map) = self.pending_done.get_mut(&key) {
+                map.insert(self.site, done);
+            }
+        }
+        // Wait for all responses (Alg. 1 l. 14) while serving other
+        // traffic.
+        let expected = sites.len();
+        let deadline = Instant::now() + self.cfg.remote_timeout;
+        let complete = self.pump_until(deadline, |me| {
+            me.txn_index(id).is_none()
+                || me.pending_done.get(&key).map(|m| m.len() >= expected).unwrap_or(true)
+        });
+        let Some(statuses) = self.pending_done.remove(&key) else { return };
+        if self.txn_index(id).is_none() {
+            // Aborted reentrantly (deadlock victim) while we pumped; the
+            // abort already undid remote effects.
+            return;
+        }
+        if !complete {
+            // A participant did not answer: undo what executed and abort.
+            self.undo_partial(id, op_seq, &statuses);
+            self.abort_transaction(id, AbortReason::RemoteTimeout);
+            return;
+        }
+        // Record participation for commit/abort routing.
+        {
+            let Some(idx) = self.txn_index(id) else { return };
+            let txn = &mut self.txns[idx];
+            for &s in sites {
+                if s != self.site && !txn.remote_sites.contains(&s) {
+                    txn.remote_sites.push(s);
+                }
+            }
+        }
+        let any_failed = statuses.values().any(|d| d.failed);
+        let any_deadlock = statuses.values().any(|d| d.deadlock);
+        let all_acquired = statuses.values().all(|d| d.acquired);
+        if !all_acquired {
+            // Alg. 1 l. 15-17: undo wherever it executed, then wait.
+            self.undo_partial(id, op_seq, &statuses);
+            if any_deadlock {
+                self.abort_transaction(id, AbortReason::Deadlock);
+            } else {
+                self.enter_wait(id);
+            }
+            return;
+        }
+        if any_failed || any_deadlock {
+            // Alg. 1 l. 19-20.
+            let reason = if any_deadlock {
+                AbortReason::Deadlock
+            } else {
+                AbortReason::OperationFailed("remote operation failed".into())
+            };
+            self.abort_transaction(id, reason);
+            return;
+        }
+        // Success everywhere. For replicated documents the replicas agree
+        // and one answer suffices; for fragmented documents the coordinator
+        // merges the per-fragment results (query values united in site
+        // order, update counts summed).
+        let result = if self.catalog.is_fragmented(&op.doc) {
+            let mut ordered: Vec<(&SiteId, &DoneInfo)> = statuses.iter().collect();
+            ordered.sort_by_key(|(s, _)| **s);
+            let mut values: Vec<String> = Vec::new();
+            let mut affected = 0usize;
+            let mut is_query = false;
+            for (_, d) in ordered {
+                match &d.result {
+                    Some(OpResult::Query { values: v }) => {
+                        is_query = true;
+                        values.extend(v.iter().cloned());
+                    }
+                    Some(OpResult::Update { affected: a }) => affected += a,
+                    None => {}
+                }
+            }
+            if is_query {
+                OpResult::Query { values }
+            } else {
+                if affected == 0 {
+                    // The update matched no fragment: the logical target
+                    // does not exist → the operation failed (Alg. 1 l. 19).
+                    self.abort_transaction(
+                        id,
+                        AbortReason::OperationFailed(
+                            "update target matched no fragment".into(),
+                        ),
+                    );
+                    return;
+                }
+                OpResult::Update { affected }
+            }
+        } else {
+            statuses
+                .get(&self.site)
+                .and_then(|d| d.result.clone())
+                .or_else(|| statuses.values().find_map(|d| d.result.clone()))
+                .unwrap_or(OpResult::Update { affected: 0 })
+        };
+        self.op_succeeded(id, result);
+    }
+
+    fn undo_partial(&mut self, id: TxnId, op_seq: usize, statuses: &HashMap<SiteId, DoneInfo>) {
+        for (&site, done) in statuses {
+            if done.executed {
+                if site == self.site {
+                    self.lockmgr.undo_op(id, op_seq);
+                } else {
+                    let _ = self.net.send(self.site, site, Message::UndoOp { txn: id, op_seq });
+                }
+            }
+        }
+    }
+
+    fn op_succeeded(&mut self, id: TxnId, result: OpResult) {
+        let Some(idx) = self.txn_index(id) else { return };
+        let txn = &mut self.txns[idx];
+        txn.results.push(result);
+        txn.next_op += 1;
+        txn.waiting_until = None;
+        txn.wait_since = None;
+        if txn.next_op >= txn.spec.ops.len() {
+            self.commit_transaction(id);
+        }
+    }
+
+    fn enter_wait(&mut self, id: TxnId) {
+        let retry = self.jitter(self.cfg.retry_interval);
+        let Some(idx) = self.txn_index(id) else { return };
+        let txn = &mut self.txns[idx];
+        txn.waiting_until = Some(Instant::now() + retry);
+        if txn.wait_since.is_none() {
+            txn.wait_since = Some(Instant::now());
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Algorithm 5 — commit
+    // -----------------------------------------------------------------
+
+    fn commit_transaction(&mut self, id: TxnId) {
+        let Some(idx) = self.txn_index(id) else { return };
+        let txn = self.txns.remove(idx);
+        let remotes = txn.remote_sites.clone();
+        // Ask every involved site to consolidate (Alg. 5 l. 3-4).
+        self.pending_commit.insert(id, HashMap::new());
+        for &s in &remotes {
+            let _ = self.net.send(self.site, s, Message::Commit { txn: id });
+        }
+        let deadline = Instant::now() + self.cfg.remote_timeout;
+        let expected = remotes.len();
+        let complete = self
+            .pump_until(deadline, |me| {
+                me.pending_commit.get(&id).map(|m| m.len() >= expected).unwrap_or(true)
+            });
+        let acks = self.pending_commit.remove(&id).unwrap_or_default();
+        let all_ok = complete && acks.values().all(|&ok| ok);
+        if !all_ok {
+            // Alg. 5 l. 5-7: a site did not consolidate → abort.
+            self.finish_abort(txn, AbortReason::CommitFailed);
+            return;
+        }
+        // Local consolidation: persist + release (Alg. 5 l. 10-11).
+        match self.lockmgr.commit_local(id) {
+            Ok(()) => self.finish(txn, TxnStatus::Committed),
+            Err(e) => {
+                self.finish(txn, TxnStatus::Failed(format!("local persist failed: {e}")))
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Algorithm 6 — abort
+    // -----------------------------------------------------------------
+
+    fn abort_transaction(&mut self, id: TxnId, reason: AbortReason) {
+        let Some(idx) = self.txn_index(id) else { return };
+        let txn = self.txns.remove(idx);
+        self.finish_abort(txn, reason);
+    }
+
+    fn finish_abort(&mut self, txn: CoordTxn, reason: AbortReason) {
+        let id = txn.id;
+        let remotes = txn.remote_sites.clone();
+        self.pending_abort.insert(id, HashMap::new());
+        for &s in &remotes {
+            let _ = self.net.send(self.site, s, Message::Abort { txn: id });
+        }
+        let deadline = Instant::now() + self.cfg.remote_timeout;
+        let expected = remotes.len();
+        let complete = self.pump_until(deadline, |me| {
+            me.pending_abort.get(&id).map(|m| m.len() >= expected).unwrap_or(true)
+        });
+        let acks = self.pending_abort.remove(&id).unwrap_or_default();
+        let all_ok = complete && acks.values().all(|&ok| ok);
+        // Local rollback either way (Alg. 6 l. 13-14).
+        self.lockmgr.abort_local(id);
+        // Drop any stale response buffers.
+        self.pending_done.retain(|(t, _, _), _| *t != id);
+        if !all_ok {
+            // Alg. 6 l. 5-10: request failure everywhere; the transaction
+            // *fails* and the application is alerted.
+            for &s in &remotes {
+                let _ = self.net.send(self.site, s, Message::Fail { txn: id });
+            }
+            self.finish(txn, TxnStatus::Failed("abort could not complete at a site".into()));
+        } else {
+            self.finish(txn, TxnStatus::Aborted(reason));
+        }
+    }
+
+    fn finish(&mut self, txn: CoordTxn, status: TxnStatus) {
+        let now = Instant::now();
+        self.metrics.record(TxnRecord {
+            txn: txn.id,
+            coordinator: self.site,
+            submitted: txn.submitted,
+            finished: now,
+            status: status.clone(),
+            ops: txn.spec.ops.len(),
+            is_update: !txn.spec.is_read_only(),
+        });
+        let results = if status == TxnStatus::Committed { txn.results } else { Vec::new() };
+        let _ = txn.reply.send(TxnOutcome {
+            txn: txn.id,
+            status,
+            response_time: now.duration_since(txn.submitted),
+            results,
+        });
+    }
+
+    // -----------------------------------------------------------------
+    // Algorithm 2 — participant
+    // -----------------------------------------------------------------
+
+    fn participant_execute(
+        &mut self,
+        txn: TxnId,
+        op_seq: usize,
+        op: &OpSpec,
+        mode: TxnMode,
+    ) -> DoneInfo {
+        let tolerate_empty = self.catalog.is_fragmented(&op.doc);
+        match self.lockmgr.process_operation(txn, op_seq, op, mode, tolerate_empty) {
+            ProcessResult::Executed(result) => DoneInfo {
+                acquired: true,
+                executed: true,
+                failed: false,
+                deadlock: false,
+                result: Some(result),
+            },
+            ProcessResult::Conflict { deadlock, .. } => DoneInfo {
+                acquired: false,
+                executed: false,
+                failed: false,
+                deadlock,
+                result: None,
+            },
+            ProcessResult::Failed(_) => DoneInfo {
+                acquired: true,
+                executed: false,
+                failed: true,
+                deadlock: false,
+                result: None,
+            },
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Algorithm 4 — distributed deadlock detection
+    // -----------------------------------------------------------------
+
+    fn run_deadlock_detection(&mut self) {
+        self.metrics.note_detector_run();
+        self.wfg_round += 1;
+        let round = self.wfg_round;
+        self.wfg_replies.clear();
+        let sites: Vec<SiteId> = self.net.sites().into_iter().filter(|&s| s != self.site).collect();
+        for &s in &sites {
+            let _ = self.net.send(self.site, s, Message::WfgRequest { from: self.site, round });
+        }
+        let expected = sites.len();
+        let deadline = Instant::now() + self.cfg.deadlock_period.min(Duration::from_millis(100));
+        self.pump_until(deadline, |me| me.wfg_replies.len() >= expected);
+        // Union of all graphs (Alg. 4 l. 5), starting from the local one.
+        let mut merged = self.lockmgr.wfg().clone();
+        for g in self.wfg_replies.values() {
+            merged.union(g);
+        }
+        self.wfg_replies.clear();
+        if let Some(victim) = merged.newest_in_cycle() {
+            // Alg. 4 l. 7-8: abort the most recent transaction in the circle.
+            if self.txn_index(victim).is_some() {
+                self.abort_transaction(victim, AbortReason::Deadlock);
+            } else if let Some(&coord) = self.txn_coord.get(&victim) {
+                let _ = self.net.send(self.site, coord, Message::AbortVictim { txn: victim });
+            } else {
+                // Coordinator unknown here: tell everyone; the coordinator
+                // will recognize its transaction.
+                for &s in &sites {
+                    let _ = self.net.send(self.site, s, Message::AbortVictim { txn: victim });
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Message handling (shared by the main loop and nested pumps)
+    // -----------------------------------------------------------------
+
+    fn pump_until(&mut self, deadline: Instant, pred: impl Fn(&Self) -> bool) -> bool {
+        loop {
+            if pred(self) {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let timeout = deadline.duration_since(now).min(Duration::from_millis(1));
+            match self.endpoint.recv_timeout(timeout) {
+                Ok(Some(env)) => self.handle_message(env),
+                Ok(None) => {}
+                Err(_) => return false,
+            }
+        }
+    }
+
+    fn handle_message(&mut self, env: Envelope<Message>) {
+        match env.payload {
+            Message::ExecRemote { txn, coordinator, op_seq, op, attempt, update_txn } => {
+                self.txn_coord.insert(txn, coordinator);
+                let mode = if update_txn { TxnMode::Updating } else { TxnMode::ReadOnly };
+                let done = self.participant_execute(txn, op_seq, &op, mode);
+                let _ = self.net.send(
+                    self.site,
+                    coordinator,
+                    Message::RemoteDone {
+                        txn,
+                        op_seq,
+                        attempt,
+                        site: self.site,
+                        acquired: done.acquired,
+                        executed: done.executed,
+                        failed: done.failed,
+                        deadlock: done.deadlock,
+                        result: done.result,
+                    },
+                );
+            }
+            Message::RemoteDone { txn, op_seq, attempt, site, acquired, executed, failed, deadlock, result } => {
+                if let Some(map) = self.pending_done.get_mut(&(txn, op_seq, attempt)) {
+                    map.insert(site, DoneInfo { acquired, executed, failed, deadlock, result });
+                }
+                // Stale (undone attempt / aborted txn) responses are dropped.
+            }
+            Message::UndoOp { txn, op_seq } => {
+                self.lockmgr.undo_op(txn, op_seq);
+            }
+            Message::Commit { txn } => {
+                let ok = self.lockmgr.commit_local(txn).is_ok();
+                self.txn_coord.remove(&txn);
+                let _ = self.net.send(self.site, env.from, Message::CommitAck { txn, site: self.site, ok });
+            }
+            Message::CommitAck { txn, site, ok } => {
+                if let Some(map) = self.pending_commit.get_mut(&txn) {
+                    map.insert(site, ok);
+                }
+            }
+            Message::Abort { txn } => {
+                self.lockmgr.abort_local(txn);
+                self.txn_coord.remove(&txn);
+                let _ = self.net.send(self.site, env.from, Message::AbortAck { txn, site: self.site, ok: true });
+            }
+            Message::AbortAck { txn, site, ok } => {
+                if let Some(map) = self.pending_abort.get_mut(&txn) {
+                    map.insert(site, ok);
+                }
+            }
+            Message::Fail { txn } => {
+                self.lockmgr.abort_local(txn);
+                self.txn_coord.remove(&txn);
+            }
+            Message::WfgRequest { from, round } => {
+                let _ = self.net.send(
+                    self.site,
+                    from,
+                    Message::WfgReply { site: self.site, round, graph: self.lockmgr.wfg().clone() },
+                );
+            }
+            Message::WfgReply { site, round, graph } => {
+                if round == self.wfg_round {
+                    self.wfg_replies.insert(site, graph);
+                }
+            }
+            Message::AbortVictim { txn } => {
+                if self.txn_index(txn).is_some() {
+                    self.abort_transaction(txn, AbortReason::Deadlock);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,795 @@
+//! Lock-placement rules: which locks each operation must acquire.
+//!
+//! The paper's rules for XDGL (§2):
+//!
+//! > "When an XPath expression is run, ST is applied to the target nodes
+//! > and IS to its ancestors. While executing an insertion operation, X
+//! > lock is used on the node to be inserted and IX is applied on its
+//! > ancestors. On the node that connects to the target node, it is
+//! > applied a SI lock and an IS one to its ancestors. On the target nodes
+//! > of the path-expression predicate are used ST, and IS on its
+//! > ancestors. While executing a removing operation, XT locks are applied
+//! > to the target nodes and IX to their ancestors. In the nodes that are
+//! > part of the path-expression predicate, ST locks are applied to them
+//! > and IS locks to their ancestors."
+//!
+//! Rename/change are node modifications (X + IX ancestors); transpose
+//! moves subtrees (XT on both + IX ancestors). Inserts *before*/*after* a
+//! sibling use SB/SA on the sibling anchor with SI on the connecting
+//! parent.
+//!
+//! The two baselines mirror §3's evaluation setup:
+//!
+//! * [`Node2Pl`] — "locks in trees": tree locks (ST/XT) placed on a
+//!   *coarse ancestor* of the touched paths (by default the top-level
+//!   section under the root), the behaviour of the tree-locking protocols
+//!   the paper compares against. The coarseness depth is tunable for
+//!   ablation.
+//! * [`DocLock`] — the "traditional technique which makes use [of] a
+//!   complete lock on the document": a single ST/XT on the DataGuide root.
+
+use crate::modes::LockMode;
+use dtx_dataguide::{DataGuide, GuideId};
+use dtx_xml::document::InsertPos;
+use dtx_xpath::{Query, UpdateOp};
+use serde::{Deserialize, Serialize};
+
+/// One lock to acquire: a mode on a DataGuide node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LockRequest {
+    /// The DataGuide node to lock.
+    pub node: GuideId,
+    /// The mode to acquire.
+    pub mode: LockMode,
+}
+
+impl LockRequest {
+    /// Convenience constructor.
+    pub fn new(node: GuideId, mode: LockMode) -> Self {
+        LockRequest { node, mode }
+    }
+}
+
+/// Whether the requesting transaction contains any update operation.
+///
+/// Coarse-granularity protocols use this the way document-lock systems do
+/// in practice: an *updating* transaction takes exclusive locks from its
+/// first touch, avoiding the shared→exclusive upgrade deadlocks that
+/// read-then-write patterns cause at document granularity. This is what
+/// makes those baselines "more restricted and less concurrent" (paper
+/// §3.2.2). Fine-granularity XDGL ignores the hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxnMode {
+    /// No update operation in the transaction.
+    ReadOnly,
+    /// At least one update operation.
+    Updating,
+}
+
+/// A concurrency-control protocol: maps operations to lock requests.
+///
+/// Implementations receive a mutable guide because insert operations may
+/// introduce new label paths that must exist (and be locked) before the
+/// data is touched.
+pub trait LockProtocol: Send + Sync {
+    /// Protocol name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Locks needed to evaluate a read-only query.
+    fn query_requests(&self, guide: &mut DataGuide, query: &Query, mode: TxnMode)
+        -> Vec<LockRequest>;
+
+    /// Locks needed to execute an update.
+    fn update_requests(&self, guide: &mut DataGuide, op: &UpdateOp, mode: TxnMode)
+        -> Vec<LockRequest>;
+
+    /// Lock-management work units for one request, charged by the
+    /// operation cost model.
+    ///
+    /// XDGL's point is that a lock on a DataGuide node is **one** table
+    /// entry regardless of how much data the path summarizes ("an
+    /// optimized structure to represent locks"). Protocols that lock
+    /// *document* trees pay per covered document node — "in DTX with
+    /// locks in trees lock management is much greater, since the
+    /// application of these locks is in trees and sub-trees of the
+    /// document ... if the document grows, the number of locks also
+    /// increases" (§3.2.3). The default is the XDGL behaviour: 1 unit.
+    fn lock_weight(&self, _guide: &DataGuide, _req: &LockRequest) -> u64 {
+        1
+    }
+}
+
+/// Selector for the protocols shipped with DTX.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// The paper's adapted XDGL (DataGuide multi-granularity locking).
+    Xdgl,
+    /// Tree locking at a coarse ancestor ("DTX with locks in trees").
+    Node2Pl,
+    /// Whole-document locking (traditional 2PL + 2PC baseline).
+    DocLock,
+}
+
+impl ProtocolKind {
+    /// Instantiates the protocol.
+    pub fn instantiate(self) -> Box<dyn LockProtocol> {
+        match self {
+            ProtocolKind::Xdgl => Box::new(Xdgl),
+            ProtocolKind::Node2Pl => Box::new(Node2Pl::default()),
+            ProtocolKind::DocLock => Box::new(DocLock),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Xdgl => "XDGL",
+            ProtocolKind::Node2Pl => "Node2PL",
+            ProtocolKind::DocLock => "DocLock",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------
+
+/// Pushes `mode` on `node` plus the matching intention mode on every
+/// ancestor, ancestors first (top-down multi-granularity order), skipping
+/// exact duplicates already queued.
+fn push_with_intentions(
+    guide: &DataGuide,
+    node: GuideId,
+    mode: LockMode,
+    out: &mut Vec<LockRequest>,
+) {
+    let intention = mode.intention();
+    let mut ancestors = guide.ancestors(node);
+    ancestors.reverse(); // root first
+    for a in ancestors {
+        push_unique(out, LockRequest::new(a, intention));
+    }
+    push_unique(out, LockRequest::new(node, mode));
+}
+
+fn push_unique(out: &mut Vec<LockRequest>, req: LockRequest) {
+    if !out.contains(&req) {
+        out.push(req);
+    }
+}
+
+/// Locks the targets of every predicate of `query` with ST (+ IS on
+/// ancestors): "On the target nodes of the path-expression predicate are
+/// used ST, and IS on its ancestors."
+fn predicate_requests(guide: &DataGuide, query: &Query, out: &mut Vec<LockRequest>) {
+    for (step_idx, pred) in query.predicates() {
+        // Context of the predicate: guide nodes matched by the step prefix
+        // up to and including the predicate's step.
+        let context = guide.match_steps(&query.steps[..=step_idx]);
+        for path in pred.paths() {
+            for target in guide.match_relative(&context, path) {
+                push_with_intentions(guide, target, LockMode::ST, out);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// XDGL
+// ---------------------------------------------------------------------
+
+/// The paper's adapted XDGL protocol.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Xdgl;
+
+impl LockProtocol for Xdgl {
+    fn name(&self) -> &'static str {
+        "XDGL"
+    }
+
+    fn query_requests(
+        &self,
+        guide: &mut DataGuide,
+        query: &Query,
+        _mode: TxnMode,
+    ) -> Vec<LockRequest> {
+        let mut out = Vec::new();
+        for target in guide.match_query(query) {
+            push_with_intentions(guide, target, LockMode::ST, &mut out);
+        }
+        predicate_requests(guide, query, &mut out);
+        out
+    }
+
+    fn update_requests(
+        &self,
+        guide: &mut DataGuide,
+        op: &UpdateOp,
+        _mode: TxnMode,
+    ) -> Vec<LockRequest> {
+        let mut out = Vec::new();
+        match op {
+            UpdateOp::Insert { target, fragment, pos } => {
+                let anchors = guide.match_query(target);
+                for anchor in anchors {
+                    // The connecting node (future parent of the new node).
+                    let (connect, sibling_mode) = match pos {
+                        InsertPos::Into | InsertPos::FirstInto => (anchor, None),
+                        InsertPos::Before => {
+                            (guide.node(anchor).parent.unwrap_or(anchor), Some(LockMode::SB))
+                        }
+                        InsertPos::After => {
+                            (guide.node(anchor).parent.unwrap_or(anchor), Some(LockMode::SA))
+                        }
+                    };
+                    // SI on the connecting node, IS on its ancestors.
+                    push_with_intentions(guide, connect, LockMode::SI, &mut out);
+                    // SB/SA on the sibling anchor for positional inserts.
+                    if let Some(mode) = sibling_mode {
+                        push_with_intentions(guide, anchor, mode, &mut out);
+                    }
+                    // X on the node to be inserted (its guide path is
+                    // created now if new), IX on its ancestors.
+                    let new_node = guide.ensure_fragment(connect, fragment);
+                    push_with_intentions(guide, new_node, LockMode::X, &mut out);
+                }
+                predicate_requests(guide, target, &mut out);
+            }
+            UpdateOp::Remove { target } => {
+                for victim in guide.match_query(target) {
+                    push_with_intentions(guide, victim, LockMode::XT, &mut out);
+                }
+                predicate_requests(guide, target, &mut out);
+            }
+            UpdateOp::Rename { target, new_label } => {
+                for victim in guide.match_query(target) {
+                    // The renamed path is a *new* label path; ensure and
+                    // exclusively lock both old and new guide nodes.
+                    push_with_intentions(guide, victim, LockMode::XT, &mut out);
+                    if let Some(parent) = guide.node(victim).parent {
+                        let is_attr = guide.node(victim).is_attr;
+                        let renamed = guide.ensure_child(parent, new_label, is_attr);
+                        push_with_intentions(guide, renamed, LockMode::X, &mut out);
+                    }
+                }
+                predicate_requests(guide, target, &mut out);
+            }
+            UpdateOp::Change { target, .. } => {
+                for victim in guide.match_query(target) {
+                    push_with_intentions(guide, victim, LockMode::X, &mut out);
+                }
+                predicate_requests(guide, target, &mut out);
+            }
+            UpdateOp::Transpose { a, b } => {
+                for q in [a, b] {
+                    for victim in guide.match_query(q) {
+                        push_with_intentions(guide, victim, LockMode::XT, &mut out);
+                    }
+                    predicate_requests(guide, q, &mut out);
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Node2PL — coarse tree locking
+// ---------------------------------------------------------------------
+
+/// The tree-locking baseline: every operation locks the subtree rooted at
+/// the target's ancestor at `depth`, shared for queries, exclusive for
+/// updates.
+///
+/// This reproduces "DTX with locks in trees". The paper describes the
+/// related works' strategy as locking "from the query starting point all
+/// the way down to the end of the document" — and every query in the DTX
+/// subset starts at the document root, so the faithful default is
+/// `depth = 0`: document-level tree locks (the paper's §3.2 equally says
+/// the related works "carry out the complete lock of the document").
+/// Unlike [`DocLock`] (a single cheap document latch), Node2PL *pays per
+/// covered document node* in [`LockProtocol::lock_weight`] — the
+/// node-at-a-time lock placement of DOM-based protocols, which is what
+/// makes its cost grow with document size (§3.2.3). `depth = 1`
+/// (section-level subtree locks) is available for ablations.
+#[derive(Debug, Clone, Copy)]
+pub struct Node2Pl {
+    /// Guide depth at which tree locks are placed (0 = root, i.e.
+    /// document-level; 1 = top-level sections).
+    pub depth: usize,
+}
+
+impl Default for Node2Pl {
+    fn default() -> Self {
+        Node2Pl { depth: 0 }
+    }
+}
+
+impl Node2Pl {
+    /// The ancestor of `node` at the protocol's lock depth.
+    fn lock_root(&self, guide: &DataGuide, node: GuideId) -> GuideId {
+        // ancestors() is nearest-first and ends at the root.
+        let mut chain = vec![node];
+        chain.extend(guide.ancestors(node));
+        chain.reverse(); // root first: chain[0] = root, chain[d] = depth d
+        let idx = self.depth.min(chain.len() - 1);
+        chain[idx]
+    }
+
+    fn requests(
+        &self,
+        guide: &DataGuide,
+        queries: &[&Query],
+        mode: LockMode,
+    ) -> Vec<LockRequest> {
+        let mut out = Vec::new();
+        for q in queries {
+            let mut targets = guide.match_query(q);
+            // Predicate paths are inside the same subtree for depth-1
+            // locks except when they cross sections; lock them too.
+            for (step_idx, pred) in q.predicates() {
+                let context = guide.match_steps(&q.steps[..=step_idx]);
+                for path in pred.paths() {
+                    targets.extend(guide.match_relative(&context, path));
+                }
+            }
+            for t in targets {
+                let root = self.lock_root(guide, t);
+                push_with_intentions(guide, root, mode, &mut out);
+            }
+        }
+        out
+    }
+}
+
+impl LockProtocol for Node2Pl {
+    fn name(&self) -> &'static str {
+        "Node2PL"
+    }
+
+    fn query_requests(
+        &self,
+        guide: &mut DataGuide,
+        query: &Query,
+        mode: TxnMode,
+    ) -> Vec<LockRequest> {
+        // Updating transactions tree-lock exclusively from the start
+        // (upgrade-deadlock avoidance at coarse granularity).
+        let lock = if mode == TxnMode::Updating { LockMode::XT } else { LockMode::ST };
+        self.requests(guide, &[query], lock)
+    }
+
+    fn update_requests(
+        &self,
+        guide: &mut DataGuide,
+        op: &UpdateOp,
+        _mode: TxnMode,
+    ) -> Vec<LockRequest> {
+        // Make sure insert targets exist in the guide so future queries
+        // classify them (parity with XDGL's ensure_fragment).
+        if let UpdateOp::Insert { target, fragment, pos } = op {
+            let anchors = guide.match_query(target);
+            for anchor in anchors {
+                let connect = match pos {
+                    InsertPos::Into | InsertPos::FirstInto => anchor,
+                    InsertPos::Before | InsertPos::After => {
+                        guide.node(anchor).parent.unwrap_or(anchor)
+                    }
+                };
+                guide.ensure_fragment(connect, fragment);
+            }
+        }
+        self.requests(guide, &op.queries(), LockMode::XT)
+    }
+
+    /// Tree locks in the document pay one unit per covered document node
+    /// per path level: node-granularity protocols place a lock on every
+    /// covered node *and* intention entries on each of its ancestors
+    /// (taDOM-style), so the work per covered node scales with depth.
+    /// Intention locks at the guide level are single entries.
+    fn lock_weight(&self, guide: &DataGuide, req: &LockRequest) -> u64 {
+        if req.mode.is_tree() {
+            let depth = (guide.ancestors(req.node).len() + 2) as u64;
+            guide.subtree_extent(req.node).max(1) * depth
+        } else {
+            1
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DocLock — whole-document locking
+// ---------------------------------------------------------------------
+
+/// The traditional baseline: one shared/exclusive lock on the whole
+/// document (the DataGuide root).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DocLock;
+
+impl LockProtocol for DocLock {
+    fn name(&self) -> &'static str {
+        "DocLock"
+    }
+
+    fn query_requests(
+        &self,
+        guide: &mut DataGuide,
+        _query: &Query,
+        mode: TxnMode,
+    ) -> Vec<LockRequest> {
+        let lock = if mode == TxnMode::Updating { LockMode::XT } else { LockMode::ST };
+        vec![LockRequest::new(guide.root(), lock)]
+    }
+
+    fn update_requests(
+        &self,
+        guide: &mut DataGuide,
+        op: &UpdateOp,
+        _mode: TxnMode,
+    ) -> Vec<LockRequest> {
+        if let UpdateOp::Insert { target, fragment, pos } = op {
+            let anchors = guide.match_query(target);
+            for anchor in anchors {
+                let connect = match pos {
+                    InsertPos::Into | InsertPos::FirstInto => anchor,
+                    InsertPos::Before | InsertPos::After => {
+                        guide.node(anchor).parent.unwrap_or(anchor)
+                    }
+                };
+                guide.ensure_fragment(connect, fragment);
+            }
+        }
+        vec![LockRequest::new(guide.root(), LockMode::XT)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtx_xml::document::Fragment;
+    use dtx_xml::parse;
+    use LockMode::*;
+    use TxnMode::{ReadOnly, Updating};
+
+    /// Builds the paper's d2 DataGuide: products → product → {id,
+    /// description, price} (Fig. 5).
+    fn d2_guide() -> DataGuide {
+        let doc = parse(
+            "<products><product><id>4</id><description>Monitor</description>\
+             <price>120.00</price></product></products>",
+        )
+        .unwrap();
+        DataGuide::build(&doc)
+    }
+
+    fn q(s: &str) -> Query {
+        Query::parse(s).unwrap()
+    }
+
+    fn modes_on(reqs: &[LockRequest], node: GuideId) -> Vec<LockMode> {
+        reqs.iter().filter(|r| r.node == node).map(|r| r.mode).collect()
+    }
+
+    #[test]
+    fn query_locks_st_on_target_is_on_ancestors() {
+        let mut g = d2_guide();
+        let reqs = Xdgl.query_requests(&mut g, &q("/products/product"), ReadOnly);
+        let product = g.child(g.root(), "product", false).unwrap();
+        assert_eq!(modes_on(&reqs, product), vec![ST]);
+        assert_eq!(modes_on(&reqs, g.root()), vec![IS]);
+        // Ancestors come first (top-down MGL order).
+        assert_eq!(reqs[0], LockRequest::new(g.root(), IS));
+    }
+
+    #[test]
+    fn query_predicate_targets_get_st() {
+        let mut g = d2_guide();
+        let reqs = Xdgl.query_requests(&mut g, &q("/products/product[id=4]/price"), ReadOnly);
+        let product = g.child(g.root(), "product", false).unwrap();
+        let id = g.child(product, "id", false).unwrap();
+        let price = g.child(product, "price", false).unwrap();
+        assert_eq!(modes_on(&reqs, price), vec![ST]);
+        assert_eq!(modes_on(&reqs, id), vec![ST]);
+        // product is an ancestor of both targets → IS.
+        assert_eq!(modes_on(&reqs, product), vec![IS]);
+    }
+
+    #[test]
+    fn insert_follows_paper_rules() {
+        // The paper's t1op2: insert a product into /products. X on the new
+        // product node, IX on ancestors, SI on the connect node (products
+        // root), IS on its ancestors (none beyond root here).
+        let mut g = d2_guide();
+        let frag = Fragment::elem(
+            "product",
+            vec![Fragment::elem_text("id", "13"), Fragment::elem_text("price", "10.30")],
+        );
+        let op = UpdateOp::Insert { target: q("/products"), fragment: frag, pos: dtx_xml::document::InsertPos::Into };
+        let reqs = Xdgl.update_requests(&mut g, &op, Updating);
+        let product = g.child(g.root(), "product", false).unwrap();
+        let root_modes = modes_on(&reqs, g.root());
+        assert!(root_modes.contains(&SI), "connect node gets SI, got {root_modes:?}");
+        assert!(root_modes.contains(&IX), "ancestor of X gets IX");
+        assert_eq!(modes_on(&reqs, product), vec![X]);
+    }
+
+    #[test]
+    fn paper_fig6_incompatibility_reproduced() {
+        // t2 queries all products: ST on product node + IS above.
+        // t1 inserts a product: needs IX on the products root... and the
+        // insert's X on `product` conflicts with t2's ST on `product`.
+        let mut g = d2_guide();
+        let query_reqs = Xdgl.query_requests(&mut g, &q("/products/product"), ReadOnly);
+        let frag = Fragment::elem("product", vec![Fragment::elem_text("id", "13")]);
+        let insert_reqs = Xdgl.update_requests(
+            &mut g,
+            &UpdateOp::Insert {
+                target: q("/products"),
+                fragment: frag,
+                pos: dtx_xml::document::InsertPos::Into,
+            },
+            TxnMode::Updating,
+        );
+        // Simulate both acquiring via the table.
+        let mut table = crate::table::LockTable::new();
+        for r in &query_reqs {
+            assert!(table.try_acquire(crate::TxnId(2), r.node, r.mode).is_granted());
+        }
+        let mut conflicted = false;
+        for r in &insert_reqs {
+            if !table.try_acquire(crate::TxnId(1), r.node, r.mode).is_granted() {
+                conflicted = true;
+                break;
+            }
+        }
+        assert!(conflicted, "insert must conflict with a full-scan query");
+    }
+
+    #[test]
+    fn concurrent_inserts_do_not_conflict() {
+        // Two inserts of different products: SI+SI on the connect node,
+        // X on the same `product` guide node — the guide summarizes both
+        // products into one path, so same-type inserts DO serialize (the
+        // price of path-granularity); inserts of *different element types*
+        // proceed concurrently.
+        let mut g = d2_guide();
+        g.ensure_path(&["vendor"]); // second section
+        let ins_product = Xdgl.update_requests(
+            &mut g,
+            &UpdateOp::Insert {
+                target: q("/products"),
+                fragment: Fragment::elem("product", vec![]),
+                pos: dtx_xml::document::InsertPos::Into,
+            },
+            TxnMode::Updating,
+        );
+        let ins_vendor = Xdgl.update_requests(
+            &mut g,
+            &UpdateOp::Insert {
+                target: q("/products"),
+                fragment: Fragment::elem("vendor", vec![]),
+                pos: dtx_xml::document::InsertPos::Into,
+            },
+            TxnMode::Updating,
+        );
+        let mut table = crate::table::LockTable::new();
+        for r in &ins_product {
+            assert!(table.try_acquire(crate::TxnId(1), r.node, r.mode).is_granted());
+        }
+        for r in &ins_vendor {
+            assert!(
+                table.try_acquire(crate::TxnId(2), r.node, r.mode).is_granted(),
+                "different-type inserts must be concurrent (req {r:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_before_uses_sb_on_anchor() {
+        let mut g = d2_guide();
+        let product = g.child(g.root(), "product", false).unwrap();
+        let op = UpdateOp::Insert {
+            target: q("/products/product"),
+            fragment: Fragment::elem("banner", vec![]),
+            pos: dtx_xml::document::InsertPos::Before,
+        };
+        let reqs = Xdgl.update_requests(&mut g, &op, Updating);
+        assert!(modes_on(&reqs, product).contains(&SB));
+        assert!(modes_on(&reqs, g.root()).contains(&SI)); // connect = parent
+    }
+
+    #[test]
+    fn insert_after_uses_sa_on_anchor() {
+        let mut g = d2_guide();
+        let product = g.child(g.root(), "product", false).unwrap();
+        let op = UpdateOp::Insert {
+            target: q("/products/product"),
+            fragment: Fragment::elem("banner", vec![]),
+            pos: dtx_xml::document::InsertPos::After,
+        };
+        let reqs = Xdgl.update_requests(&mut g, &op, Updating);
+        assert!(modes_on(&reqs, product).contains(&SA));
+    }
+
+    #[test]
+    fn remove_locks_xt_on_target() {
+        let mut g = d2_guide();
+        let product = g.child(g.root(), "product", false).unwrap();
+        let reqs = Xdgl.update_requests(&mut g, &UpdateOp::Remove { target: q("/products/product[id=14]") }, Updating);
+        // XT on the victim, plus IS as ancestor of the predicate target.
+        assert!(modes_on(&reqs, product).contains(&XT));
+        assert!(modes_on(&reqs, g.root()).contains(&IX));
+        // Predicate path /id under product gets ST.
+        let id = g.child(product, "id", false).unwrap();
+        assert!(modes_on(&reqs, id).contains(&ST));
+    }
+
+    #[test]
+    fn change_locks_x_on_target() {
+        let mut g = d2_guide();
+        let product = g.child(g.root(), "product", false).unwrap();
+        let price = g.child(product, "price", false).unwrap();
+        let reqs = Xdgl.update_requests(
+            &mut g,
+            &UpdateOp::Change { target: q("/products/product/price"), new_value: "1".into() },
+            TxnMode::Updating,
+        );
+        assert_eq!(modes_on(&reqs, price), vec![X]);
+        assert!(modes_on(&reqs, product).contains(&IX));
+    }
+
+    #[test]
+    fn rename_locks_old_and_new_paths() {
+        let mut g = d2_guide();
+        let product = g.child(g.root(), "product", false).unwrap();
+        let reqs = Xdgl.update_requests(
+            &mut g,
+            &UpdateOp::Rename { target: q("/products/product/description"), new_label: "title".into() },
+            TxnMode::Updating,
+        );
+        let desc = g.child(product, "description", false).unwrap();
+        let title = g.child(product, "title", false).expect("new path ensured");
+        assert_eq!(modes_on(&reqs, desc), vec![XT]);
+        assert_eq!(modes_on(&reqs, title), vec![X]);
+    }
+
+    #[test]
+    fn transpose_locks_both_subtrees() {
+        let mut g = d2_guide();
+        let product = g.child(g.root(), "product", false).unwrap();
+        let id = g.child(product, "id", false).unwrap();
+        let price = g.child(product, "price", false).unwrap();
+        let reqs = Xdgl.update_requests(
+            &mut g,
+            &UpdateOp::Transpose {
+                a: q("/products/product/id"),
+                b: q("/products/product/price"),
+            },
+            TxnMode::Updating,
+        );
+        assert_eq!(modes_on(&reqs, id), vec![XT]);
+        assert_eq!(modes_on(&reqs, price), vec![XT]);
+    }
+
+    #[test]
+    fn node2pl_default_locks_document_root() {
+        let mut g = d2_guide();
+        let n2pl = Node2Pl::default();
+        let reqs = n2pl.query_requests(&mut g, &q("/products/product/price"), ReadOnly);
+        assert_eq!(modes_on(&reqs, g.root()), vec![ST]);
+        let upd = n2pl.update_requests(
+            &mut g,
+            &UpdateOp::Change { target: q("/products/product/price"), new_value: "0".into() },
+            TxnMode::Updating,
+        );
+        assert_eq!(modes_on(&upd, g.root()), vec![XT]);
+    }
+
+    #[test]
+    fn node2pl_section_depth_locks_section_subtrees() {
+        let mut g = d2_guide();
+        let product = g.child(g.root(), "product", false).unwrap();
+        let n2pl = Node2Pl { depth: 1 };
+        // A deep query locks at depth 1 (the `product` child of the root).
+        let reqs = n2pl.query_requests(&mut g, &q("/products/product/price"), ReadOnly);
+        assert_eq!(modes_on(&reqs, product), vec![ST]);
+        // Updates exclusive-tree-lock the same section → readers of ANY
+        // product path block.
+        let upd = n2pl.update_requests(
+            &mut g,
+            &UpdateOp::Change { target: q("/products/product/price"), new_value: "0".into() },
+            TxnMode::Updating,
+        );
+        assert_eq!(modes_on(&upd, product), vec![XT]);
+    }
+
+    #[test]
+    fn node2pl_weight_scales_with_covered_extent() {
+        // The node-at-a-time cost model: a tree lock pays per covered
+        // document node (times depth), XDGL pays 1 per request.
+        let mut g = d2_guide();
+        let root_req = LockRequest::new(g.root(), XT);
+        let n2pl = Node2Pl::default();
+        assert!(n2pl.lock_weight(&g, &root_req) >= g.subtree_extent(g.root()));
+        assert_eq!(Xdgl.lock_weight(&g, &root_req), 1);
+        assert_eq!(DocLock.lock_weight(&g, &root_req), 1);
+        // Intention locks are single entries for everyone.
+        let is_req = LockRequest::new(g.root(), IS);
+        assert_eq!(n2pl.lock_weight(&g, &is_req), 1);
+        let _ = &mut g;
+    }
+
+    #[test]
+    fn node2pl_coarser_than_xdgl() {
+        // The whole point of the evaluation: XDGL admits a read of /id
+        // concurrent with a change of /price; Node2PL does not.
+        let mut table = crate::table::LockTable::new();
+        let mut g = d2_guide();
+        let n2pl = Node2Pl { depth: 1 };
+        let read = n2pl.query_requests(&mut g, &q("/products/product/id"), ReadOnly);
+        let write = n2pl.update_requests(
+            &mut g,
+            &UpdateOp::Change { target: q("/products/product/price"), new_value: "0".into() },
+            TxnMode::Updating,
+        );
+        for r in &read {
+            assert!(table.try_acquire(crate::TxnId(1), r.node, r.mode).is_granted());
+        }
+        let blocked = write.iter().any(|r| !table.try_acquire(crate::TxnId(2), r.node, r.mode).is_granted());
+        assert!(blocked, "Node2PL must block write vs read in same section");
+
+        // XDGL grants the same pair.
+        let mut table = crate::table::LockTable::new();
+        let read = Xdgl.query_requests(&mut g, &q("/products/product/id"), ReadOnly);
+        let write = Xdgl.update_requests(
+            &mut g,
+            &UpdateOp::Change { target: q("/products/product/price"), new_value: "0".into() },
+            TxnMode::Updating,
+        );
+        for r in &read {
+            assert!(table.try_acquire(crate::TxnId(1), r.node, r.mode).is_granted());
+        }
+        for r in &write {
+            assert!(
+                table.try_acquire(crate::TxnId(2), r.node, r.mode).is_granted(),
+                "XDGL must admit disjoint read/write (req {r:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn doclock_single_request() {
+        let mut g = d2_guide();
+        let reqs = DocLock.query_requests(&mut g, &q("/products/product"), ReadOnly);
+        assert_eq!(reqs, vec![LockRequest::new(g.root(), ST)]);
+        let upd = DocLock.update_requests(
+            &mut g,
+            &UpdateOp::Remove { target: q("/products/product") },
+            TxnMode::Updating,
+        );
+        assert_eq!(upd, vec![LockRequest::new(g.root(), XT)]);
+    }
+
+    #[test]
+    fn request_counts_reflect_granularity() {
+        // XDGL requests more, finer locks; DocLock exactly one.
+        let mut g = d2_guide();
+        let query = q("/products/product[id=4]/price");
+        let xdgl = Xdgl.query_requests(&mut g, &query, ReadOnly).len();
+        let doc = DocLock.query_requests(&mut g, &query, ReadOnly).len();
+        assert!(xdgl > doc);
+        assert_eq!(doc, 1);
+    }
+
+    #[test]
+    fn protocol_kind_instantiation() {
+        for (kind, name) in [
+            (ProtocolKind::Xdgl, "XDGL"),
+            (ProtocolKind::Node2Pl, "Node2PL"),
+            (ProtocolKind::DocLock, "DocLock"),
+        ] {
+            assert_eq!(kind.instantiate().name(), name);
+            assert_eq!(kind.name(), name);
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! # dtx-net — simulated site-to-site transport
+//!
+//! The paper's testbed was "a cluster of eight PCs connected through an
+//! Ethernet hub ... 100 Mbit/s full-duplex" (§3.1). This crate replaces
+//! the physical network with an in-process simulation that preserves what
+//! the concurrency-control experiments depend on: **message ordering,
+//! blocking round-trips, and size-dependent latency**.
+//!
+//! * [`Network`] — a cloneable handle to a simulated broadcast domain.
+//!   Every site [`Network::register`]s an [`Endpoint`]; messages are
+//!   routed through a hub thread that delays each message according to
+//!   the [`LatencyModel`] before delivering it to the destination's
+//!   channel (FIFO per sender-receiver pair, like TCP).
+//! * [`LatencyModel`] — fixed + per-KiB + seeded jitter; the default is
+//!   calibrated to a 100 Mbit/s switched LAN. Tests use
+//!   [`LatencyModel::zero`], which delivers synchronously.
+//! * [`NetStats`] — message/byte counters for the experiment reports
+//!   (the paper attributes part of total-replication's cost to
+//!   "communication and synchronization overhead in all the sites").
+//!
+//! The transport is generic over the payload type `M`; `dtx-core` provides
+//! its `Message` enum and implements [`Wire`] to give payloads a size.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Identifier of a site (system node) in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct SiteId(pub u16);
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Payloads must report an approximate wire size for the latency model.
+pub trait Wire: Send + 'static {
+    /// Approximate serialized size in bytes (default: one small frame).
+    fn wire_size(&self) -> usize {
+        128
+    }
+}
+
+/// Latency model: `fixed + per_kib * size + U(0, jitter)`.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// Propagation + protocol-stack cost per message.
+    pub fixed: Duration,
+    /// Serialization cost per KiB (bandwidth).
+    pub per_kib: Duration,
+    /// Upper bound of uniform jitter added per message.
+    pub jitter: Duration,
+    /// Seed for the jitter PRNG (deterministic runs).
+    pub seed: u64,
+}
+
+impl LatencyModel {
+    /// Synchronous delivery (tests).
+    pub fn zero() -> Self {
+        LatencyModel { fixed: Duration::ZERO, per_kib: Duration::ZERO, jitter: Duration::ZERO, seed: 0 }
+    }
+
+    /// 100 Mbit/s LAN through a hub: ~150 µs fixed, ~80 µs/KiB
+    /// (12.5 MB/s), 50 µs jitter.
+    pub fn lan(seed: u64) -> Self {
+        LatencyModel {
+            fixed: Duration::from_micros(150),
+            per_kib: Duration::from_micros(80),
+            jitter: Duration::from_micros(50),
+            seed,
+        }
+    }
+
+    /// True when every component is zero (fast path: no hub thread delay).
+    pub fn is_zero(&self) -> bool {
+        self.fixed.is_zero() && self.per_kib.is_zero() && self.jitter.is_zero()
+    }
+
+    fn delay(&self, bytes: usize, rng_state: &mut u64) -> Duration {
+        let mut d = self.fixed + self.per_kib * ((bytes / 1024) as u32);
+        if !self.jitter.is_zero() {
+            // xorshift64* — tiny, deterministic, good enough for jitter.
+            let mut x = *rng_state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            *rng_state = x;
+            let r = x.wrapping_mul(0x2545F4914F6CDD1D) >> 33;
+            let frac = (r as f64) / ((1u64 << 31) as f64);
+            d += Duration::from_nanos((self.jitter.as_nanos() as f64 * frac) as u64);
+        }
+        d
+    }
+}
+
+/// A routed message.
+#[derive(Debug)]
+pub struct Envelope<M> {
+    /// Sending site.
+    pub from: SiteId,
+    /// Destination site.
+    pub to: SiteId,
+    /// Payload.
+    pub payload: M,
+}
+
+/// Transport errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Destination site was never registered (or already shut down).
+    UnknownSite(SiteId),
+    /// The network has been shut down.
+    Closed,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownSite(s) => write!(f, "no endpoint registered for site {s}"),
+            NetError::Closed => write!(f, "network is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Message/byte counters.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl NetStats {
+    /// Messages sent so far.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes sent so far (per [`Wire::wire_size`]).
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+struct Delayed<M> {
+    deliver_at: Instant,
+    seq: u64,
+    envelope: Envelope<M>,
+}
+
+impl<M> PartialEq for Delayed<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Delayed<M> {}
+impl<M> PartialOrd for Delayed<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Delayed<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we want earliest first;
+        // ties broken by send sequence to keep FIFO.
+        other.deliver_at.cmp(&self.deliver_at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct Inner<M> {
+    endpoints: RwLock<HashMap<SiteId, Sender<Envelope<M>>>>,
+    latency: LatencyModel,
+    stats: NetStats,
+    hub_tx: Mutex<Option<Sender<Delayed<M>>>>,
+    seq: AtomicU64,
+}
+
+/// A handle to the simulated network (cloneable; all clones share state).
+pub struct Network<M: Send + 'static> {
+    inner: Arc<Inner<M>>,
+}
+
+impl<M: Send + 'static> Clone for Network<M> {
+    fn clone(&self) -> Self {
+        Network { inner: self.inner.clone() }
+    }
+}
+
+/// A site's receive side.
+pub struct Endpoint<M> {
+    /// This endpoint's site id.
+    pub site: SiteId,
+    rx: Receiver<Envelope<M>>,
+}
+
+impl<M> Endpoint<M> {
+    /// Blocking receive.
+    pub fn recv(&self) -> Result<Envelope<M>, NetError> {
+        self.rx.recv().map_err(|_| NetError::Closed)
+    }
+
+    /// Receive with timeout; `Ok(None)` on timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<Envelope<M>>, NetError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(e) => Ok(Some(e)),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(NetError::Closed),
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+impl<M: Wire> Network<M> {
+    /// Creates a network with the given latency model. A hub thread is
+    /// spawned only when the model actually delays messages.
+    pub fn new(latency: LatencyModel) -> Self {
+        let inner = Arc::new(Inner {
+            endpoints: RwLock::new(HashMap::new()),
+            latency,
+            stats: NetStats::default(),
+            hub_tx: Mutex::new(None),
+            seq: AtomicU64::new(0),
+        });
+        if !latency.is_zero() {
+            let (tx, rx) = unbounded::<Delayed<M>>();
+            *inner.hub_tx.lock() = Some(tx);
+            let hub_inner = Arc::downgrade(&inner);
+            std::thread::Builder::new()
+                .name("dtx-net-hub".into())
+                .spawn(move || hub_loop(rx, hub_inner))
+                .expect("spawn hub thread");
+        }
+        Network { inner }
+    }
+
+    /// Registers `site`, returning its endpoint. Re-registering replaces
+    /// the previous endpoint (old receiver disconnects).
+    pub fn register(&self, site: SiteId) -> Endpoint<M> {
+        let (tx, rx) = unbounded();
+        self.inner.endpoints.write().insert(site, tx);
+        Endpoint { site, rx }
+    }
+
+    /// Sends `payload` from `from` to `to`, applying the latency model.
+    pub fn send(&self, from: SiteId, to: SiteId, payload: M) -> Result<(), NetError> {
+        let bytes = payload.wire_size();
+        self.inner.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        let envelope = Envelope { from, to, payload };
+        let hub = self.inner.hub_tx.lock();
+        match hub.as_ref() {
+            Some(hub_tx) => {
+                // Jitter state is derived from the shared seq counter so
+                // concurrent senders stay deterministic *per message index*.
+                let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+                let mut rng = self.inner.latency.seed ^ (seq.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+                let delay = self.inner.latency.delay(bytes, &mut rng);
+                hub_tx
+                    .send(Delayed { deliver_at: Instant::now() + delay, seq, envelope })
+                    .map_err(|_| NetError::Closed)
+            }
+            None => {
+                let endpoints = self.inner.endpoints.read();
+                let dest = endpoints.get(&to).ok_or(NetError::UnknownSite(to))?;
+                dest.send(envelope).map_err(|_| NetError::UnknownSite(to))
+            }
+        }
+    }
+
+    /// Registered site ids (sorted).
+    pub fn sites(&self) -> Vec<SiteId> {
+        let mut v: Vec<SiteId> = self.inner.endpoints.read().keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.inner.stats
+    }
+
+    /// Shuts the network down: endpoints disconnect, the hub thread exits.
+    pub fn shutdown(&self) {
+        *self.inner.hub_tx.lock() = None;
+        self.inner.endpoints.write().clear();
+    }
+}
+
+fn hub_loop<M: Send + 'static>(rx: Receiver<Delayed<M>>, inner: std::sync::Weak<Inner<M>>) {
+    let mut queue: BinaryHeap<Delayed<M>> = BinaryHeap::new();
+    loop {
+        // Deliver everything due.
+        let now = Instant::now();
+        while queue.peek().map(|d| d.deliver_at <= now).unwrap_or(false) {
+            let d = queue.pop().expect("peeked");
+            if let Some(inner) = inner.upgrade() {
+                let endpoints = inner.endpoints.read();
+                if let Some(dest) = endpoints.get(&d.envelope.to) {
+                    let _ = dest.send(d.envelope);
+                }
+            } else {
+                return; // network dropped
+            }
+        }
+        // Wait for the next due time or a new message.
+        let wait = queue
+            .peek()
+            .map(|d| d.deliver_at.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(50));
+        match rx.recv_timeout(wait.max(Duration::from_micros(10))) {
+            Ok(d) => queue.push(d),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                if inner.upgrade().is_none() {
+                    return;
+                }
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                // Drain remaining queue then exit.
+                let now_final = Instant::now() + Duration::from_secs(1);
+                while let Some(d) = queue.pop() {
+                    std::thread::sleep(d.deliver_at.saturating_duration_since(Instant::now()));
+                    if Instant::now() > now_final {
+                        return;
+                    }
+                    if let Some(inner) = inner.upgrade() {
+                        let endpoints = inner.endpoints.read();
+                        if let Some(dest) = endpoints.get(&d.envelope.to) {
+                            let _ = dest.send(d.envelope);
+                        }
+                    }
+                }
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Msg(u32);
+    impl Wire for Msg {
+        fn wire_size(&self) -> usize {
+            64
+        }
+    }
+
+    #[test]
+    fn zero_latency_delivers_synchronously() {
+        let net: Network<Msg> = Network::new(LatencyModel::zero());
+        let a = net.register(SiteId(0));
+        let _b = net.register(SiteId(1));
+        net.send(SiteId(1), SiteId(0), Msg(7)).unwrap();
+        let e = a.try_recv().expect("synchronous delivery");
+        assert_eq!(e.payload, Msg(7));
+        assert_eq!(e.from, SiteId(1));
+        assert_eq!(net.stats().messages(), 1);
+        assert_eq!(net.stats().bytes(), 64);
+    }
+
+    #[test]
+    fn unknown_destination_is_an_error() {
+        let net: Network<Msg> = Network::new(LatencyModel::zero());
+        let _a = net.register(SiteId(0));
+        assert_eq!(net.send(SiteId(0), SiteId(9), Msg(1)), Err(NetError::UnknownSite(SiteId(9))));
+    }
+
+    #[test]
+    fn fifo_order_preserved_same_pair() {
+        let net: Network<Msg> = Network::new(LatencyModel::zero());
+        let a = net.register(SiteId(0));
+        let _b = net.register(SiteId(1));
+        for i in 0..100 {
+            net.send(SiteId(1), SiteId(0), Msg(i)).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(a.recv().unwrap().payload, Msg(i));
+        }
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let model = LatencyModel {
+            fixed: Duration::from_millis(20),
+            per_kib: Duration::ZERO,
+            jitter: Duration::ZERO,
+            seed: 1,
+        };
+        let net: Network<Msg> = Network::new(model);
+        let a = net.register(SiteId(0));
+        let _b = net.register(SiteId(1));
+        let t0 = Instant::now();
+        net.send(SiteId(1), SiteId(0), Msg(1)).unwrap();
+        // Not there immediately.
+        assert!(a.try_recv().is_none());
+        let e = a.recv_timeout(Duration::from_millis(500)).unwrap().expect("delivered");
+        assert_eq!(e.payload, Msg(1));
+        assert!(t0.elapsed() >= Duration::from_millis(18), "elapsed {:?}", t0.elapsed());
+        net.shutdown();
+    }
+
+    #[test]
+    fn delayed_messages_keep_order_with_equal_delay() {
+        let model = LatencyModel {
+            fixed: Duration::from_millis(5),
+            per_kib: Duration::ZERO,
+            jitter: Duration::ZERO,
+            seed: 1,
+        };
+        let net: Network<Msg> = Network::new(model);
+        let a = net.register(SiteId(0));
+        let _b = net.register(SiteId(1));
+        for i in 0..20 {
+            net.send(SiteId(1), SiteId(0), Msg(i)).unwrap();
+        }
+        for i in 0..20 {
+            let e = a.recv_timeout(Duration::from_millis(500)).unwrap().expect("delivered");
+            assert_eq!(e.payload, Msg(i));
+        }
+        net.shutdown();
+    }
+
+    #[test]
+    fn recv_timeout_returns_none_when_idle() {
+        let net: Network<Msg> = Network::new(LatencyModel::zero());
+        let a = net.register(SiteId(0));
+        assert!(a.recv_timeout(Duration::from_millis(5)).unwrap().is_none());
+    }
+
+    #[test]
+    fn sites_listing() {
+        let net: Network<Msg> = Network::new(LatencyModel::zero());
+        let _e0 = net.register(SiteId(2));
+        let _e1 = net.register(SiteId(0));
+        assert_eq!(net.sites(), vec![SiteId(0), SiteId(2)]);
+    }
+
+    #[test]
+    fn shutdown_disconnects_endpoints() {
+        let net: Network<Msg> = Network::new(LatencyModel::zero());
+        let a = net.register(SiteId(0));
+        net.shutdown();
+        assert!(matches!(a.recv(), Err(NetError::Closed)));
+        assert!(net.send(SiteId(0), SiteId(0), Msg(1)).is_err());
+    }
+}

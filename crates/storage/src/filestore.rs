@@ -1,0 +1,155 @@
+//! File-system storage backend: one `.xml` file per document.
+//!
+//! This is the "XML data persisted in a file system" variant from the
+//! paper's Fig. 2 deployment example. It is functional (used by the
+//! `filesystem_site` example and its tests) but the experiments use
+//! [`crate::MemStore`] for determinism.
+
+use crate::{DataManager, StorageError, StorageResult, StoreStats};
+use dtx_xml::Document;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A directory-backed document store.
+#[derive(Debug)]
+pub struct FileStore {
+    dir: PathBuf,
+    stats: StoreStats,
+}
+
+impl FileStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> StorageResult<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(FileStore { dir, stats: StoreStats::default() })
+    }
+
+    fn path_of(&self, name: &str) -> PathBuf {
+        // Sanitize: document names become file names.
+        let safe: String = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .collect();
+        self.dir.join(format!("{safe}.xml"))
+    }
+}
+
+impl DataManager for FileStore {
+    fn backend(&self) -> &'static str {
+        "filestore"
+    }
+
+    fn list(&self) -> Vec<String> {
+        let mut out: Vec<String> = fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter_map(|e| {
+                        let p = e.path();
+                        if p.extension().and_then(|x| x.to_str()) == Some("xml") {
+                            p.file_stem().and_then(|s| s.to_str()).map(str::to_owned)
+                        } else {
+                            None
+                        }
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.sort();
+        out
+    }
+
+    fn contains(&self, name: &str) -> bool {
+        self.path_of(name).exists()
+    }
+
+    fn put_raw(&mut self, name: &str, xml: &str) -> StorageResult<()> {
+        Document::parse(xml)
+            .map_err(|cause| StorageError::Corrupt { name: name.to_owned(), cause })?;
+        fs::write(self.path_of(name), xml)?;
+        Ok(())
+    }
+
+    fn load(&mut self, name: &str) -> StorageResult<Document> {
+        let path = self.path_of(name);
+        if !path.exists() {
+            return Err(StorageError::NotFound(name.to_owned()));
+        }
+        let xml = fs::read_to_string(path)?;
+        self.stats.loads += 1;
+        self.stats.bytes_read += xml.len() as u64;
+        Document::parse(&xml)
+            .map_err(|cause| StorageError::Corrupt { name: name.to_owned(), cause })
+    }
+
+    fn persist(&mut self, name: &str, doc: &Document) -> StorageResult<()> {
+        let xml = doc.to_xml();
+        self.stats.persists += 1;
+        self.stats.bytes_written += xml.len() as u64;
+        // Write-then-rename for crash atomicity of individual persists.
+        let tmp = self.path_of(name).with_extension("xml.tmp");
+        fs::write(&tmp, &xml)?;
+        fs::rename(&tmp, self.path_of(name))?;
+        Ok(())
+    }
+
+    fn remove(&mut self, name: &str) -> StorageResult<()> {
+        let path = self.path_of(name);
+        if !path.exists() {
+            return Err(StorageError::NotFound(name.to_owned()));
+        }
+        fs::remove_file(path)?;
+        Ok(())
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dtx-filestore-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn round_trip_on_disk() {
+        let dir = tmpdir("rt");
+        let mut s = FileStore::open(&dir).unwrap();
+        s.put_raw("d1", "<products><product><id>4</id></product></products>").unwrap();
+        assert!(s.contains("d1"));
+        assert_eq!(s.list(), vec!["d1".to_owned()]);
+        let doc = s.load("d1").unwrap();
+        s.persist("d1", &doc).unwrap();
+        let again = s.load("d1").unwrap();
+        assert_eq!(again.to_xml(), doc.to_xml());
+        s.remove("d1").unwrap();
+        assert!(!s.contains("d1"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        let dir = tmpdir("san");
+        let mut s = FileStore::open(&dir).unwrap();
+        s.put_raw("weird/../name", "<r/>").unwrap();
+        // The file lives inside the store dir, not outside it.
+        assert_eq!(s.list().len(), 1);
+        assert!(s.contains("weird/../name"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_and_corrupt() {
+        let dir = tmpdir("err");
+        let mut s = FileStore::open(&dir).unwrap();
+        assert!(matches!(s.load("ghost"), Err(StorageError::NotFound(_))));
+        assert!(matches!(s.put_raw("bad", "<a>"), Err(StorageError::Corrupt { .. })));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

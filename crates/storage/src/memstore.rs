@@ -1,0 +1,152 @@
+//! The Sedna-substitute: an in-memory XML store with an I/O cost model.
+
+use crate::cost::CostModel;
+use crate::{DataManager, StorageError, StorageResult, StoreStats};
+use dtx_xml::Document;
+use std::collections::BTreeMap;
+
+/// In-memory document store.
+///
+/// Documents are kept as serialized XML (as a disk-backed store would);
+/// loads re-parse and persists re-serialize, paying the [`CostModel`]
+/// charge — the same work profile DTX's DataManager had against Sedna,
+/// minus the actual disk.
+#[derive(Debug)]
+pub struct MemStore {
+    docs: BTreeMap<String, String>,
+    cost: CostModel,
+    stats: StoreStats,
+}
+
+impl MemStore {
+    /// An empty store with the given cost model.
+    pub fn new(cost: CostModel) -> Self {
+        MemStore { docs: BTreeMap::new(), cost, stats: StoreStats::default() }
+    }
+
+    /// An empty store that charges no I/O time (tests).
+    pub fn free() -> Self {
+        Self::new(CostModel::zero())
+    }
+
+    /// Size in bytes of a stored document.
+    pub fn size_of(&self, name: &str) -> Option<usize> {
+        self.docs.get(name).map(String::len)
+    }
+
+    /// Total stored bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.docs.values().map(String::len).sum()
+    }
+}
+
+impl Default for MemStore {
+    fn default() -> Self {
+        Self::new(CostModel::default())
+    }
+}
+
+impl DataManager for MemStore {
+    fn backend(&self) -> &'static str {
+        "memstore"
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.docs.keys().cloned().collect()
+    }
+
+    fn contains(&self, name: &str) -> bool {
+        self.docs.contains_key(name)
+    }
+
+    fn put_raw(&mut self, name: &str, xml: &str) -> StorageResult<()> {
+        // Validate eagerly so corrupt documents are rejected at load time,
+        // not at first transaction.
+        Document::parse(xml)
+            .map_err(|cause| StorageError::Corrupt { name: name.to_owned(), cause })?;
+        self.docs.insert(name.to_owned(), xml.to_owned());
+        Ok(())
+    }
+
+    fn load(&mut self, name: &str) -> StorageResult<Document> {
+        let xml =
+            self.docs.get(name).ok_or_else(|| StorageError::NotFound(name.to_owned()))?;
+        self.cost.pay(xml.len());
+        self.stats.loads += 1;
+        self.stats.bytes_read += xml.len() as u64;
+        Document::parse(xml).map_err(|cause| StorageError::Corrupt { name: name.to_owned(), cause })
+    }
+
+    fn persist(&mut self, name: &str, doc: &Document) -> StorageResult<()> {
+        let xml = doc.to_xml();
+        self.cost.pay(xml.len());
+        self.stats.persists += 1;
+        self.stats.bytes_written += xml.len() as u64;
+        self.docs.insert(name.to_owned(), xml);
+        Ok(())
+    }
+
+    fn remove(&mut self, name: &str) -> StorageResult<()> {
+        self.docs
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| StorageError::NotFound(name.to_owned()))
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_load_persist_round_trip() {
+        let mut s = MemStore::free();
+        s.put_raw("d1", "<people><person><id>4</id></person></people>").unwrap();
+        assert!(s.contains("d1"));
+        assert_eq!(s.list(), vec!["d1".to_owned()]);
+        let mut doc = s.load("d1").unwrap();
+        doc.insert_element(doc.root(), "person", dtx_xml::document::InsertPos::Into).unwrap();
+        s.persist("d1", &doc).unwrap();
+        let again = s.load("d1").unwrap();
+        assert_eq!(again.node_count(), doc.node_count());
+        let st = s.stats();
+        assert_eq!(st.loads, 2);
+        assert_eq!(st.persists, 1);
+        assert!(st.bytes_read > 0 && st.bytes_written > 0);
+    }
+
+    #[test]
+    fn missing_document_errors() {
+        let mut s = MemStore::free();
+        assert!(matches!(s.load("nope"), Err(StorageError::NotFound(_))));
+        assert!(matches!(s.remove("nope"), Err(StorageError::NotFound(_))));
+    }
+
+    #[test]
+    fn corrupt_xml_rejected_at_put() {
+        let mut s = MemStore::free();
+        assert!(matches!(s.put_raw("bad", "<a><b>"), Err(StorageError::Corrupt { .. })));
+        assert!(!s.contains("bad"));
+    }
+
+    #[test]
+    fn remove_deletes() {
+        let mut s = MemStore::free();
+        s.put_raw("d", "<r/>").unwrap();
+        s.remove("d").unwrap();
+        assert!(!s.contains("d"));
+        assert_eq!(s.total_bytes(), 0);
+    }
+
+    #[test]
+    fn sizes_tracked() {
+        let mut s = MemStore::free();
+        s.put_raw("d", "<r><a>xyz</a></r>").unwrap();
+        assert_eq!(s.size_of("d"), Some("<r><a>xyz</a></r>".len()));
+        assert!(s.size_of("missing").is_none());
+    }
+}

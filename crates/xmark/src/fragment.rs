@@ -1,0 +1,401 @@
+//! Size-balanced fragmentation and site allocation (paper §3.2, Fig. 8).
+//!
+//! "To carry out the experiments in partial replication the database was
+//! fragmented according to the approach proposed by [Kurita et al.]. In
+//! this approach the data is fragmented considering the structure and
+//! size of the document, so that each generated fragment has a similar
+//! size. The fragmentation approach used in this work makes all sites
+//! have similar volumes of data."
+//!
+//! [`fragment_doc`] splits an XMark document into `n` fragments: each
+//! fragment keeps the full `site` skeleton (so every query path remains
+//! valid against every fragment) and receives a greedy size-balanced
+//! subset of each section's entities. [`allocate`] then produces the
+//! Fig. 8 placement: **partial** (fragment *i* on site *i*) or **total**
+//! (every fragment on every site).
+
+use crate::generator::XmarkDoc;
+use dtx_net::SiteId;
+use dtx_xml::{Document, NodeId};
+
+/// The logical document name all experiment operations target; sites hold
+/// either a fragment (partial replication) or a full copy (total
+/// replication) under this name.
+pub const LOGICAL_DOC: &str = "xmark";
+
+/// How fragments are replicated across sites (§3.2.1 compares both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationMode {
+    /// Each fragment lives on exactly one site (similar data volume per
+    /// site).
+    Partial,
+    /// Every fragment is copied to every site.
+    Total,
+}
+
+impl ReplicationMode {
+    /// Display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplicationMode::Partial => "partial",
+            ReplicationMode::Total => "total",
+        }
+    }
+}
+
+/// One fragment: a standalone well-formed document plus its entity ids.
+#[derive(Debug, Clone)]
+pub struct Fragment {
+    /// Fragment/document name ("part0", "part1", ...).
+    pub name: String,
+    /// Serialized XML.
+    pub xml: String,
+    /// Person ids present in this fragment.
+    pub person_ids: Vec<u64>,
+    /// Open-auction ids present in this fragment.
+    pub open_auction_ids: Vec<u64>,
+    /// Item ids present in this fragment.
+    pub item_ids: Vec<u64>,
+    /// Category ids present in this fragment.
+    pub category_ids: Vec<u64>,
+}
+
+/// The result of fragmentation.
+#[derive(Debug, Clone)]
+pub struct Fragmented {
+    /// The fragments, in name order.
+    pub fragments: Vec<Fragment>,
+}
+
+impl Fragmented {
+    /// Total serialized bytes across fragments.
+    pub fn total_bytes(&self) -> usize {
+        self.fragments.iter().map(|f| f.xml.len()).sum()
+    }
+
+    /// Max/min fragment size ratio (balance quality; 1.0 is perfect).
+    pub fn balance_ratio(&self) -> f64 {
+        let max = self.fragments.iter().map(|f| f.xml.len()).max().unwrap_or(1);
+        let min = self.fragments.iter().map(|f| f.xml.len()).min().unwrap_or(1);
+        max as f64 / min.max(1) as f64
+    }
+}
+
+/// A placement plan for the logical document (paper Fig. 8).
+///
+/// Under **partial** replication each site holds one fragment of
+/// [`LOGICAL_DOC`]; under **total** replication each site holds a full
+/// copy of the base.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// `(site, xml held at that site)` pairs.
+    pub parts: Vec<(SiteId, String)>,
+    /// The replication mode this allocation implements.
+    pub mode: ReplicationMode,
+}
+
+impl Allocation {
+    /// Renders the plan in the style of the paper's Fig. 8.
+    pub fn render(&self) -> String {
+        let mut out = format!("replication: {}\n", self.mode.name());
+        for (site, xml) in &self.parts {
+            let kind = match self.mode {
+                ReplicationMode::Partial => "fragment",
+                ReplicationMode::Total => "full copy",
+            };
+            out.push_str(&format!(
+                "  {site}: {LOGICAL_DOC} {kind} ({} KiB)\n",
+                xml.len() / 1024
+            ));
+        }
+        out
+    }
+}
+
+/// Splits `doc` into `n` similar-size fragments.
+pub fn fragment_doc(doc: &XmarkDoc, n: usize) -> Fragmented {
+    assert!(n >= 1, "need at least one fragment");
+    let parsed = Document::parse(&doc.xml).expect("valid XMark XML");
+    let root = parsed.root();
+
+    // Per-fragment accumulators: one XML buffer per section.
+    let mut frags: Vec<FragBuild> = (0..n).map(|_| FragBuild::default()).collect();
+    let sections = parsed.children(root).expect("root children").to_vec();
+    for section in sections {
+        let sec_label = parsed.label_str(section).unwrap_or("").to_owned();
+        match sec_label.as_str() {
+            "regions" => {
+                // Keep region sub-elements; distribute their items.
+                for region in parsed.children(section).expect("regions").to_vec() {
+                    let region_label = parsed.label_str(region).unwrap_or("").to_owned();
+                    distribute_children(
+                        &parsed,
+                        region,
+                        &mut frags,
+                        |fb| fb.region_bufs.entry(region_label.clone()).or_default(),
+                        |fb, id| fb.item_ids.push(id),
+                    );
+                }
+            }
+            "people" => distribute_children(
+                &parsed,
+                section,
+                &mut frags,
+                |fb| &mut fb.people,
+                |fb, id| fb.person_ids.push(id),
+            ),
+            "open_auctions" => distribute_children(
+                &parsed,
+                section,
+                &mut frags,
+                |fb| &mut fb.open_auctions,
+                |fb, id| fb.open_auction_ids.push(id),
+            ),
+            "closed_auctions" => distribute_children(
+                &parsed,
+                section,
+                &mut frags,
+                |fb| &mut fb.closed_auctions,
+                |_fb, _| {},
+            ),
+            "categories" => distribute_children(
+                &parsed,
+                section,
+                &mut frags,
+                |fb| &mut fb.categories,
+                |fb, id| fb.category_ids.push(id),
+            ),
+            _ => {}
+        }
+    }
+
+    let fragments = frags
+        .into_iter()
+        .enumerate()
+        .map(|(i, fb)| fb.finish(format!("part{i}")))
+        .collect();
+    Fragmented { fragments }
+}
+
+#[derive(Default)]
+struct FragBuild {
+    bytes: usize,
+    region_bufs: std::collections::BTreeMap<String, String>,
+    categories: String,
+    people: String,
+    open_auctions: String,
+    closed_auctions: String,
+    person_ids: Vec<u64>,
+    open_auction_ids: Vec<u64>,
+    item_ids: Vec<u64>,
+    category_ids: Vec<u64>,
+}
+
+impl FragBuild {
+    fn finish(self, name: String) -> Fragment {
+        let mut xml = String::with_capacity(self.bytes + 256);
+        xml.push_str("<site><regions>");
+        // Always emit all six regions so fragment schemas are identical.
+        for region in ["africa", "asia", "australia", "europe", "namerica", "samerica"] {
+            xml.push_str(&format!("<{region}>"));
+            if let Some(buf) = self.region_bufs.get(region) {
+                xml.push_str(buf);
+            }
+            xml.push_str(&format!("</{region}>"));
+        }
+        xml.push_str("</regions><categories>");
+        xml.push_str(&self.categories);
+        xml.push_str("</categories><people>");
+        xml.push_str(&self.people);
+        xml.push_str("</people><open_auctions>");
+        xml.push_str(&self.open_auctions);
+        xml.push_str("</open_auctions><closed_auctions>");
+        xml.push_str(&self.closed_auctions);
+        xml.push_str("</closed_auctions></site>");
+        Fragment {
+            name,
+            xml,
+            person_ids: self.person_ids,
+            open_auction_ids: self.open_auction_ids,
+            item_ids: self.item_ids,
+            category_ids: self.category_ids,
+        }
+    }
+}
+
+/// Greedy size-balancing: each child subtree goes to the currently
+/// smallest fragment ("each generated fragment has a similar size").
+fn distribute_children(
+    doc: &Document,
+    parent: NodeId,
+    frags: &mut [FragBuild],
+    buf_of: impl Fn(&mut FragBuild) -> &mut String,
+    note_id: impl Fn(&mut FragBuild, u64),
+) {
+    let ser = dtx_xml::Serializer::new(doc);
+    for &child in doc.children(parent).expect("children") {
+        let xml = ser.subtree(child);
+        // Smallest-first greedy bin packing.
+        let (idx, _) = frags
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, fb)| fb.bytes)
+            .expect("at least one fragment");
+        let fb = &mut frags[idx];
+        fb.bytes += xml.len();
+        if let Some(id) = entity_id(doc, child) {
+            note_id(fb, id);
+        }
+        buf_of(fb).push_str(&xml);
+    }
+}
+
+fn entity_id(doc: &Document, node: NodeId) -> Option<u64> {
+    let id_sym = doc.interner().get("id")?;
+    let id_node = doc.child_by_label(node, id_sym).ok()??;
+    doc.text_of(id_node).ok()?.trim().parse().ok()
+}
+
+/// Loads an [`Allocation`] into a cluster: fragments register the logical
+/// document as *fragmented*, full copies as *replicated*.
+pub fn load_allocation(
+    cluster: &dtx_core::Cluster,
+    alloc: &Allocation,
+) -> Result<(), String> {
+    match alloc.mode {
+        ReplicationMode::Partial => cluster.load_fragments(LOGICAL_DOC, &alloc.parts),
+        ReplicationMode::Total => {
+            let sites: Vec<SiteId> = alloc.parts.iter().map(|(s, _)| *s).collect();
+            let xml = &alloc.parts[0].1;
+            cluster.load_document(LOGICAL_DOC, xml, &sites)
+        }
+    }
+}
+
+/// Produces the Fig. 8-style placement over `n_sites` sites: the
+/// fragments one-per-site under partial replication, or the full base
+/// everywhere under total replication. (`fragments` must have exactly
+/// `n_sites` entries for partial replication.)
+pub fn allocate(
+    base: &XmarkDoc,
+    fragments: &Fragmented,
+    n_sites: u16,
+    mode: ReplicationMode,
+) -> Allocation {
+    let parts = match mode {
+        ReplicationMode::Partial => fragments
+            .fragments
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (SiteId((i as u16) % n_sites), f.xml.clone()))
+            .collect(),
+        ReplicationMode::Total => {
+            (0..n_sites).map(|i| (SiteId(i), base.xml.clone())).collect()
+        }
+    };
+    Allocation { parts, mode }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, XmarkConfig};
+    use dtx_xpath::{eval, Query};
+
+    fn base() -> XmarkDoc {
+        generate(XmarkConfig::sized(120_000, 11))
+    }
+
+    #[test]
+    fn fragments_are_well_formed_and_schema_complete() {
+        let f = fragment_doc(&base(), 4);
+        assert_eq!(f.fragments.len(), 4);
+        for frag in &f.fragments {
+            let doc = Document::parse(&frag.xml).expect("well-formed fragment");
+            doc.check_integrity().unwrap();
+            // Full skeleton present even if a section is empty.
+            for path in ["/site/regions/africa", "/site/people", "/site/open_auctions"] {
+                assert_eq!(
+                    eval(&doc, &Query::parse(path).unwrap()).len(),
+                    1,
+                    "{path} missing in {}",
+                    frag.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fragments_have_similar_sizes() {
+        let f = fragment_doc(&base(), 4);
+        assert!(f.balance_ratio() < 1.35, "balance ratio {}", f.balance_ratio());
+    }
+
+    #[test]
+    fn no_entity_lost_or_duplicated() {
+        let gen = base();
+        let f = fragment_doc(&gen, 3);
+        let mut person_ids: Vec<u64> =
+            f.fragments.iter().flat_map(|fr| fr.person_ids.iter().copied()).collect();
+        person_ids.sort();
+        let mut expected = gen.person_ids.clone();
+        expected.sort();
+        assert_eq!(person_ids, expected);
+        let mut auction_ids: Vec<u64> =
+            f.fragments.iter().flat_map(|fr| fr.open_auction_ids.iter().copied()).collect();
+        auction_ids.sort();
+        let mut expected = gen.open_auction_ids.clone();
+        expected.sort();
+        assert_eq!(auction_ids, expected);
+    }
+
+    #[test]
+    fn single_fragment_keeps_everything() {
+        let gen = base();
+        let f = fragment_doc(&gen, 1);
+        let doc = Document::parse(&f.fragments[0].xml).unwrap();
+        assert_eq!(
+            eval(&doc, &Query::parse("/site/people/person").unwrap()).len(),
+            gen.person_ids.len()
+        );
+    }
+
+    #[test]
+    fn partial_allocation_spreads_fragments() {
+        let doc = base();
+        let f = fragment_doc(&doc, 4);
+        let a = allocate(&doc, &f, 4, ReplicationMode::Partial);
+        assert_eq!(a.parts.len(), 4);
+        for (i, (site, xml)) in a.parts.iter().enumerate() {
+            assert_eq!(*site, SiteId(i as u16));
+            assert_eq!(xml, &f.fragments[i].xml);
+        }
+        let rendered = a.render();
+        assert!(rendered.contains("partial"));
+        assert!(rendered.contains("fragment"));
+    }
+
+    #[test]
+    fn total_allocation_copies_full_base_everywhere() {
+        let doc = base();
+        let f = fragment_doc(&doc, 2);
+        let a = allocate(&doc, &f, 3, ReplicationMode::Total);
+        assert_eq!(a.parts.len(), 3);
+        for (_, xml) in &a.parts {
+            assert_eq!(xml, &doc.xml);
+        }
+        assert!(a.render().contains("full copy"));
+    }
+
+    #[test]
+    fn category_ids_tracked_per_fragment() {
+        let doc = base();
+        let f = fragment_doc(&doc, 3);
+        let mut all: Vec<u64> =
+            f.fragments.iter().flat_map(|fr| fr.category_ids.iter().copied()).collect();
+        all.sort();
+        let mut expected = doc.category_ids.clone();
+        expected.sort();
+        assert_eq!(all, expected);
+    }
+}

@@ -1,0 +1,337 @@
+//! XMark-like auction-site document generator.
+//!
+//! Generates the schema of the paper's Fig. 7 / the XMark benchmark:
+//! a `site` with `regions` (six continents of `item`s), `categories`,
+//! `people` (`person`s with profiles) and `open_auctions` /
+//! `closed_auctions`. Entity counts follow XMark's ratios and are scaled
+//! to an approximate **target byte size**, so experiments can sweep the
+//! base size exactly like §3.2.3 ("The size of the base varied between
+//! 50 MB and 200 MB" — we sweep a scaled-down range, see EXPERIMENTS.md).
+//!
+//! Every entity carries a numeric `<id>` child (the paper's §2.4 example
+//! uses the same convention) so workload predicates like
+//! `person[id=42]` are expressible in the DTX XPath subset.
+
+use dtx_xml::Document;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct XmarkConfig {
+    /// Approximate serialized size to generate, in bytes.
+    pub target_bytes: usize,
+    /// PRNG seed (same seed ⇒ identical document).
+    pub seed: u64,
+}
+
+impl XmarkConfig {
+    /// Config for a document of roughly `target_bytes` bytes.
+    pub fn sized(target_bytes: usize, seed: u64) -> Self {
+        XmarkConfig { target_bytes, seed }
+    }
+}
+
+/// A generated document plus its entity-id manifest (used by the workload
+/// generator to build predicates that actually select something).
+#[derive(Debug, Clone)]
+pub struct XmarkDoc {
+    /// The serialized XML.
+    pub xml: String,
+    /// Ids of generated persons.
+    pub person_ids: Vec<u64>,
+    /// Ids of generated items (across all regions).
+    pub item_ids: Vec<u64>,
+    /// Ids of generated open auctions.
+    pub open_auction_ids: Vec<u64>,
+    /// Ids of generated closed auctions.
+    pub closed_auction_ids: Vec<u64>,
+    /// Ids of generated categories.
+    pub category_ids: Vec<u64>,
+}
+
+const REGIONS: [&str; 6] = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+
+const FIRST_NAMES: [&str; 12] = [
+    "Ana", "Bruno", "Caio", "Dora", "Enzo", "Flora", "Gil", "Helena", "Ivo", "Julia", "Kleber",
+    "Lia",
+];
+const LAST_NAMES: [&str; 10] =
+    ["Silva", "Souza", "Moreira", "Machado", "Costa", "Lima", "Alves", "Rocha", "Dias", "Nunes"];
+const CITIES: [&str; 8] =
+    ["Fortaleza", "Recife", "Natal", "Salvador", "Belem", "Manaus", "Curitiba", "Porto"];
+const WORDS: [&str; 16] = [
+    "auction", "vintage", "rare", "boxed", "mint", "classic", "signed", "limited", "edition",
+    "antique", "restored", "original", "sealed", "imported", "handmade", "certified",
+];
+
+/// Average serialized bytes per entity, measured empirically from the
+/// templates below; used to convert a byte target into entity counts.
+const BYTES_PER_UNIT: f64 = 330.0;
+
+/// Generates an XMark-like document of approximately
+/// [`XmarkConfig::target_bytes`] bytes.
+pub fn generate(config: XmarkConfig) -> XmarkDoc {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // XMark f=1 ratios: items 21750 : persons 25500 : open 12000 :
+    // closed 9750 : categories 1000. Normalized per "unit".
+    let units = (config.target_bytes as f64 / BYTES_PER_UNIT).max(2.0);
+    let n_items = ((units * 0.31) as usize).max(2);
+    let n_persons = ((units * 0.36) as usize).max(2);
+    let n_open = ((units * 0.17) as usize).max(1);
+    let n_closed = ((units * 0.14) as usize).max(1);
+    let n_categories = ((units * 0.02) as usize).max(1);
+
+    let mut next_id: u64 = 1;
+    let mut take_id = |n: usize| -> Vec<u64> {
+        let ids: Vec<u64> = (next_id..next_id + n as u64).collect();
+        next_id += n as u64;
+        ids
+    };
+    let category_ids = take_id(n_categories);
+    let item_ids = take_id(n_items);
+    let person_ids = take_id(n_persons);
+    let open_auction_ids = take_id(n_open);
+    let closed_auction_ids = take_id(n_closed);
+
+    let mut xml = String::with_capacity(config.target_bytes + 4096);
+    xml.push_str("<site>");
+
+    // regions
+    xml.push_str("<regions>");
+    for (r, region) in REGIONS.iter().enumerate() {
+        xml.push_str(&format!("<{region}>"));
+        for (i, &id) in item_ids.iter().enumerate() {
+            if i % REGIONS.len() == r {
+                push_item(&mut xml, id, &category_ids, &mut rng);
+            }
+        }
+        xml.push_str(&format!("</{region}>"));
+    }
+    xml.push_str("</regions>");
+
+    // categories
+    xml.push_str("<categories>");
+    for &id in &category_ids {
+        xml.push_str(&format!(
+            "<category><id>{id}</id><name>{} {}</name><description>{}</description></category>",
+            pick(&WORDS, &mut rng),
+            pick(&WORDS, &mut rng),
+            sentence(&mut rng, 6),
+        ));
+    }
+    xml.push_str("</categories>");
+
+    // people
+    xml.push_str("<people>");
+    for &id in &person_ids {
+        push_person(&mut xml, id, &mut rng);
+    }
+    xml.push_str("</people>");
+
+    // open_auctions
+    xml.push_str("<open_auctions>");
+    for &id in &open_auction_ids {
+        push_open_auction(&mut xml, id, &item_ids, &person_ids, &mut rng);
+    }
+    xml.push_str("</open_auctions>");
+
+    // closed_auctions
+    xml.push_str("<closed_auctions>");
+    for &id in &closed_auction_ids {
+        let seller = pick(&person_ids, &mut rng);
+        let buyer = pick(&person_ids, &mut rng);
+        let item = pick(&item_ids, &mut rng);
+        xml.push_str(&format!(
+            "<closed_auction><id>{id}</id><seller>{seller}</seller><buyer>{buyer}</buyer>\
+             <itemref>{item}</itemref><price>{}.{:02}</price><date>2009-{:02}-{:02}</date>\
+             <quantity>{}</quantity><annotation>{}</annotation></closed_auction>",
+            rng.gen_range(5..500),
+            rng.gen_range(0..100),
+            rng.gen_range(1..13),
+            rng.gen_range(1..29),
+            rng.gen_range(1..5),
+            sentence(&mut rng, 8),
+        ));
+    }
+    xml.push_str("</closed_auctions>");
+
+    xml.push_str("</site>");
+    XmarkDoc { xml, person_ids, item_ids, open_auction_ids, closed_auction_ids, category_ids }
+}
+
+fn pick<'a, T>(items: &'a [T], rng: &mut StdRng) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+fn sentence(rng: &mut StdRng, n: usize) -> String {
+    let mut s = String::new();
+    for i in 0..n {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    s
+}
+
+fn push_item(xml: &mut String, id: u64, categories: &[u64], rng: &mut StdRng) {
+    let cat = pick(categories, rng);
+    xml.push_str(&format!(
+        "<item><id>{id}</id><name>{} {}</name><location>{}</location><quantity>{}</quantity>\
+         <payment>Creditcard</payment><description>{}</description><shipping>Will ship \
+         internationally</shipping><incategory>{cat}</incategory></item>",
+        pick(&WORDS, rng),
+        pick(&WORDS, rng),
+        pick(&CITIES, rng),
+        rng.gen_range(1..10),
+        sentence(rng, 10),
+    ));
+}
+
+fn push_person(xml: &mut String, id: u64, rng: &mut StdRng) {
+    let name = format!("{} {}", pick(&FIRST_NAMES, rng), pick(&LAST_NAMES, rng));
+    let email = format!("p{id}@example.org");
+    let age = rng.gen_range(18..80);
+    xml.push_str(&format!(
+        "<person><id>{id}</id><name>{name}</name><emailaddress>{email}</emailaddress>\
+         <phone>+55 85 9{:07}</phone><address><street>{} St</street><city>{}</city>\
+         <country>Brazil</country><zipcode>{}</zipcode></address>\
+         <profile><interest>{}</interest><education>Graduate</education><age>{age}</age>\
+         <income>{}</income></profile></person>",
+        rng.gen_range(0..9_999_999),
+        pick(&WORDS, rng),
+        pick(&CITIES, rng),
+        rng.gen_range(10_000..99_999),
+        pick(&WORDS, rng),
+        rng.gen_range(20_000..120_000),
+    ));
+}
+
+fn push_open_auction(
+    xml: &mut String,
+    id: u64,
+    items: &[u64],
+    persons: &[u64],
+    rng: &mut StdRng,
+) {
+    let item = pick(items, rng);
+    let seller = pick(persons, rng);
+    let n_bidders = rng.gen_range(1..4);
+    let initial = rng.gen_range(1..100);
+    xml.push_str(&format!(
+        "<open_auction><id>{id}</id><initial>{initial}.00</initial><reserve>{}.00</reserve>",
+        initial + rng.gen_range(1..50),
+    ));
+    let mut current = initial as f64;
+    for _ in 0..n_bidders {
+        let bidder = pick(persons, rng);
+        let increase = rng.gen_range(1..20) as f64;
+        current += increase;
+        xml.push_str(&format!(
+            "<bidder><date>2009-{:02}-{:02}</date><personref>{bidder}</personref>\
+             <increase>{increase:.2}</increase></bidder>",
+            rng.gen_range(1..13),
+            rng.gen_range(1..29),
+        ));
+    }
+    xml.push_str(&format!(
+        "<current>{current:.2}</current><itemref>{item}</itemref><seller>{seller}</seller>\
+         <quantity>1</quantity><type>Regular</type><annotation>{}</annotation></open_auction>",
+        sentence(rng, 6),
+    ));
+}
+
+impl XmarkDoc {
+    /// Parses the generated XML (convenience for tests).
+    pub fn parse(&self) -> Document {
+        Document::parse(&self.xml).expect("generator emits well-formed XML")
+    }
+
+    /// Serialized size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.xml.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtx_xpath::{eval, Query};
+
+    #[test]
+    fn generates_well_formed_xml_of_requested_size() {
+        let doc = generate(XmarkConfig::sized(200_000, 42));
+        let parsed = doc.parse();
+        parsed.check_integrity().unwrap();
+        // Within 40 % of the target (entity granularity causes slack).
+        let sz = doc.byte_size() as f64;
+        assert!(
+            sz > 120_000.0 && sz < 280_000.0,
+            "size {sz} not near target 200000"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate(XmarkConfig::sized(50_000, 7));
+        let b = generate(XmarkConfig::sized(50_000, 7));
+        assert_eq!(a.xml, b.xml);
+        let c = generate(XmarkConfig::sized(50_000, 8));
+        assert_ne!(a.xml, c.xml);
+    }
+
+    #[test]
+    fn schema_sections_present() {
+        let doc = generate(XmarkConfig::sized(60_000, 1)).parse();
+        let q = |s: &str| eval(&doc, &Query::parse(s).unwrap()).len();
+        assert_eq!(q("/site"), 1);
+        assert!(q("/site/regions/*") >= 6);
+        assert!(q("/site/people/person") >= 2);
+        assert!(q("/site/open_auctions/open_auction") >= 1);
+        assert!(q("/site/closed_auctions/closed_auction") >= 1);
+        assert!(q("/site/categories/category") >= 1);
+        assert!(q("//item") >= 2);
+    }
+
+    #[test]
+    fn manifest_ids_resolve_in_document() {
+        let gen = generate(XmarkConfig::sized(60_000, 3));
+        let doc = gen.parse();
+        let pid = gen.person_ids[0];
+        let hits = eval(&doc, &Query::parse(&format!("/site/people/person[id={pid}]")).unwrap());
+        assert_eq!(hits.len(), 1, "person id {pid} must be unique and findable");
+        let aid = gen.open_auction_ids[0];
+        let hits = eval(
+            &doc,
+            &Query::parse(&format!("/site/open_auctions/open_auction[id={aid}]")).unwrap(),
+        );
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn ids_globally_unique() {
+        let gen = generate(XmarkConfig::sized(40_000, 5));
+        let mut all: Vec<u64> = gen
+            .person_ids
+            .iter()
+            .chain(&gen.item_ids)
+            .chain(&gen.open_auction_ids)
+            .chain(&gen.closed_auction_ids)
+            .chain(&gen.category_ids)
+            .copied()
+            .collect();
+        let n = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), n);
+    }
+
+    #[test]
+    fn size_scales_linearly() {
+        let small = generate(XmarkConfig::sized(50_000, 9)).byte_size();
+        let large = generate(XmarkConfig::sized(200_000, 9)).byte_size();
+        let ratio = large as f64 / small as f64;
+        assert!(ratio > 2.5 && ratio < 6.0, "ratio {ratio}");
+    }
+}

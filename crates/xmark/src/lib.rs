@@ -1,0 +1,35 @@
+//! # dtx-xmark — benchmark data, workload and client simulator
+//!
+//! The paper's evaluation (§3) extends the **XMark** benchmark: "To
+//! evaluate DTX the XMark benchmark is extended, adapting its queries to
+//! the XPath language and adding update operations ... and we made use of
+//! fragmentation techniques to tackle data distribution issues. A client
+//! simulator called DTXTester is developed."
+//!
+//! This crate is that tooling, rebuilt:
+//!
+//! * [`generator`] — an XMark-like auction-site document generator
+//!   (schema of the paper's Fig. 7: regions/items, categories, people,
+//!   open and closed auctions) with a byte-size target and deterministic
+//!   seeding;
+//! * [`fragment`] — size-balanced fragmentation in the style of Kurita et
+//!   al. (the paper's [22]): "the data is fragmented considering the
+//!   structure and size of the document, so that each generated fragment
+//!   has a similar size", plus the Fig. 8 allocation schemes (partial /
+//!   total replication);
+//! * [`workload`] — XMark queries adapted to the DTX XPath subset and the
+//!   five update operations, generated into client transaction lists with
+//!   the paper's knobs (clients, transactions per client, operations per
+//!   transaction, update-transaction %, update-operation %);
+//! * [`tester`] — **DTXTester**: spawns one thread per client, submits
+//!   the workload against a [`dtx_core::Cluster`], and collects outcomes.
+
+pub mod fragment;
+pub mod generator;
+pub mod tester;
+pub mod workload;
+
+pub use fragment::{allocate, load_allocation, Allocation, Fragmented, ReplicationMode, LOGICAL_DOC};
+pub use generator::{XmarkConfig, XmarkDoc};
+pub use tester::{run_workload, TestReport};
+pub use workload::{Workload, WorkloadConfig};

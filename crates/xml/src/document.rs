@@ -1,0 +1,859 @@
+//! Arena-based ordered XML tree.
+//!
+//! [`Document`] owns every node of one XML document in a flat arena and
+//! exposes exactly the update vocabulary of the XDGL update language used
+//! by DTX: **insert**, **remove**, **rename**, **change** and **transpose**
+//! (paper §2: "This language has five types of update operations").
+//!
+//! Updates are designed to be *invertible*: every mutating method returns
+//! the information needed to undo it ([`Removed`] for removals, the old
+//! label/value for renames/changes), which the storage layer's undo log
+//! records so aborted transactions can roll back (paper §2: "upon abortion,
+//! the transaction undoes all its effects on the required data").
+
+use crate::error::{XmlError, XmlResult};
+use crate::intern::{Interner, Symbol};
+use crate::node::{Node, NodeId, NodeKind};
+use serde::{Deserialize, Serialize};
+
+/// Where to place an inserted node relative to its anchor.
+///
+/// These correspond to the three shared insert-lock modes of XDGL:
+/// *SI (shared into)*, *SB (shared before)*, *SA (shared after)*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InsertPos {
+    /// Append as the last child of the anchor element.
+    Into,
+    /// Insert as the first child of the anchor element.
+    FirstInto,
+    /// Insert as the sibling immediately before the anchor node.
+    Before,
+    /// Insert as the sibling immediately after the anchor node.
+    After,
+}
+
+/// A detached, self-contained XML subtree.
+///
+/// Fragments use string labels (not interned symbols) so they can travel
+/// between documents, sites and network messages; insertion re-interns the
+/// labels into the receiving document.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fragment {
+    /// Element with label and ordered children.
+    Element { label: String, children: Vec<Fragment> },
+    /// Attribute with label and value.
+    Attribute { label: String, value: String },
+    /// Text content.
+    Text { value: String },
+}
+
+impl Fragment {
+    /// Convenience constructor for an element fragment.
+    pub fn elem(label: impl Into<String>, children: Vec<Fragment>) -> Self {
+        Fragment::Element { label: label.into(), children }
+    }
+
+    /// Convenience constructor for an element holding a single text child.
+    pub fn elem_text(label: impl Into<String>, text: impl Into<String>) -> Self {
+        Fragment::Element {
+            label: label.into(),
+            children: vec![Fragment::Text { value: text.into() }],
+        }
+    }
+
+    /// Convenience constructor for an attribute fragment.
+    pub fn attr(label: impl Into<String>, value: impl Into<String>) -> Self {
+        Fragment::Attribute { label: label.into(), value: value.into() }
+    }
+
+    /// Convenience constructor for a text fragment.
+    pub fn text(value: impl Into<String>) -> Self {
+        Fragment::Text { value: value.into() }
+    }
+
+    /// Number of nodes in the fragment (itself plus descendants).
+    pub fn node_count(&self) -> usize {
+        match self {
+            Fragment::Element { children, .. } => {
+                1 + children.iter().map(Fragment::node_count).sum::<usize>()
+            }
+            _ => 1,
+        }
+    }
+
+    /// Label of the fragment root, when it has one.
+    pub fn label(&self) -> Option<&str> {
+        match self {
+            Fragment::Element { label, .. } | Fragment::Attribute { label, .. } => Some(label),
+            Fragment::Text { .. } => None,
+        }
+    }
+
+    /// Approximate serialized size in bytes, used by the storage cost model.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Fragment::Element { label, children } => {
+                2 * label.len() + 5 + children.iter().map(Fragment::byte_size).sum::<usize>()
+            }
+            Fragment::Attribute { label, value } => label.len() + value.len() + 4,
+            Fragment::Text { value } => value.len(),
+        }
+    }
+}
+
+/// Undo record for a removal: the detached subtree plus its position, so an
+/// abort can splice it back exactly where it was.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Removed {
+    /// The subtree that was removed.
+    pub fragment: Fragment,
+    /// Parent it was removed from.
+    pub parent: NodeId,
+    /// Index within the parent's child list it occupied.
+    pub index: usize,
+}
+
+/// An in-memory XML document: a rooted ordered tree in an arena, plus a
+/// label interner.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Document {
+    nodes: Vec<Option<Node>>,
+    root: NodeId,
+    interner: Interner,
+    live: usize,
+}
+
+impl Document {
+    /// Creates a document whose root element is labelled `root_label`.
+    pub fn new(root_label: &str) -> Self {
+        let mut interner = Interner::new();
+        let label = interner.intern(root_label);
+        Document {
+            nodes: vec![Some(Node::element(label))],
+            root: NodeId(0),
+            interner,
+            live: 1,
+        }
+    }
+
+    /// Parses an XML string into a document. See [`crate::parser`].
+    pub fn parse(input: &str) -> XmlResult<Self> {
+        crate::parser::parse(input)
+    }
+
+    /// Builds a document from a fragment (the fragment root becomes the
+    /// document root; it must be an element).
+    pub fn from_fragment(fragment: &Fragment) -> XmlResult<Self> {
+        match fragment {
+            Fragment::Element { label, children } => {
+                let mut doc = Document::new(label);
+                let root = doc.root();
+                for child in children {
+                    doc.insert_fragment(root, child, InsertPos::Into)?;
+                }
+                Ok(doc)
+            }
+            _ => Err(XmlError::InvalidTreeOp("document root must be an element".into())),
+        }
+    }
+
+    /// The root element id.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Shared access to the interner.
+    #[inline]
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Interns a label into this document's interner.
+    pub fn intern(&mut self, label: &str) -> Symbol {
+        self.interner.intern(label)
+    }
+
+    /// Number of live nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.live
+    }
+
+    /// Total arena slots allocated (live + tombstoned); ids are `< capacity`.
+    #[inline]
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether `id` refers to a live node.
+    #[inline]
+    pub fn is_live(&self, id: NodeId) -> bool {
+        self.nodes.get(id.index()).map(Option::is_some).unwrap_or(false)
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> XmlResult<&Node> {
+        self.nodes
+            .get(id.index())
+            .and_then(Option::as_ref)
+            .ok_or(XmlError::StaleNode(id.0))
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> XmlResult<&mut Node> {
+        self.nodes
+            .get_mut(id.index())
+            .and_then(Option::as_mut)
+            .ok_or(XmlError::StaleNode(id.0))
+    }
+
+    /// Parent of a node (`None` for the root).
+    pub fn parent(&self, id: NodeId) -> XmlResult<Option<NodeId>> {
+        Ok(self.node(id)?.parent)
+    }
+
+    /// Ordered children of a node.
+    pub fn children(&self, id: NodeId) -> XmlResult<&[NodeId]> {
+        Ok(&self.node(id)?.children)
+    }
+
+    /// Label of a node, when it has one (elements, attributes).
+    pub fn label(&self, id: NodeId) -> XmlResult<Option<Symbol>> {
+        Ok(self.node(id)?.kind.label())
+    }
+
+    /// Resolves a node's label to a string (empty for text nodes).
+    pub fn label_str(&self, id: NodeId) -> XmlResult<&str> {
+        Ok(match self.node(id)?.kind.label() {
+            Some(sym) => self.interner.resolve(sym),
+            None => "",
+        })
+    }
+
+    /// Value of a node, when it has one (attributes, text).
+    pub fn value(&self, id: NodeId) -> XmlResult<Option<&str>> {
+        Ok(self.node(id)?.kind.value())
+    }
+
+    /// The label path from the root down to `id` (root label first).
+    /// Text nodes contribute no step; attribute steps carry the attribute
+    /// label. This is the key the DataGuide classifies nodes by.
+    pub fn label_path(&self, id: NodeId) -> XmlResult<Vec<Symbol>> {
+        let mut path = Vec::new();
+        let mut cur = Some(id);
+        while let Some(n) = cur {
+            let node = self.node(n)?;
+            if let Some(sym) = node.kind.label() {
+                path.push(sym);
+            }
+            cur = node.parent;
+        }
+        path.reverse();
+        Ok(path)
+    }
+
+    /// All ancestors of `id`, nearest first (excludes `id` itself).
+    pub fn ancestors(&self, id: NodeId) -> XmlResult<Vec<NodeId>> {
+        let mut out = Vec::new();
+        let mut cur = self.node(id)?.parent;
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.node(p)?.parent;
+        }
+        Ok(out)
+    }
+
+    /// True when `anc` is a strict ancestor of `id`.
+    pub fn is_ancestor(&self, anc: NodeId, id: NodeId) -> XmlResult<bool> {
+        let mut cur = self.node(id)?.parent;
+        while let Some(p) = cur {
+            if p == anc {
+                return Ok(true);
+            }
+            cur = self.node(p)?.parent;
+        }
+        Ok(false)
+    }
+
+    /// Pre-order iterator over the subtree rooted at `id` (including `id`).
+    pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        Descendants { doc: self, stack: vec![id] }
+    }
+
+    /// Concatenated text content of the subtree rooted at `id`.
+    pub fn text_of(&self, id: NodeId) -> XmlResult<String> {
+        let mut out = String::new();
+        for n in self.descendants(id) {
+            if let NodeKind::Text { value } = &self.node(n)?.kind {
+                out.push_str(value);
+            }
+        }
+        Ok(out)
+    }
+
+    /// First child element of `id` labelled `label`, if any.
+    pub fn child_by_label(&self, id: NodeId, label: Symbol) -> XmlResult<Option<NodeId>> {
+        for &c in self.children(id)? {
+            if self.node(c)?.kind.label() == Some(label) {
+                return Ok(Some(c));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Value of the attribute `label` on element `id`, if present.
+    pub fn attribute(&self, id: NodeId, label: Symbol) -> XmlResult<Option<&str>> {
+        for &c in self.children(id)? {
+            let n = self.node(c)?;
+            if n.is_attribute() && n.kind.label() == Some(label) {
+                return Ok(n.kind.value());
+            }
+        }
+        Ok(None)
+    }
+
+    /// Number of nodes in the subtree rooted at `id`.
+    pub fn subtree_size(&self, id: NodeId) -> usize {
+        self.descendants(id).count()
+    }
+
+    fn alloc(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Some(node));
+        self.live += 1;
+        id
+    }
+
+    // ----------------------------------------------------------------
+    // The five XDGL update operations
+    // ----------------------------------------------------------------
+
+    /// **insert**: splices `fragment` into the tree relative to `anchor`.
+    ///
+    /// Returns the id of the new subtree root. `Into`/`FirstInto` require
+    /// `anchor` to be an element; `Before`/`After` require `anchor` to have
+    /// a parent.
+    pub fn insert_fragment(
+        &mut self,
+        anchor: NodeId,
+        fragment: &Fragment,
+        pos: InsertPos,
+    ) -> XmlResult<NodeId> {
+        let (parent, index) = self.resolve_insert_target(anchor, pos)?;
+        let new_id = self.build_fragment(fragment)?;
+        self.node_mut(new_id)?.parent = Some(parent);
+        self.node_mut(parent)?.children.insert(index, new_id);
+        Ok(new_id)
+    }
+
+    /// **insert** of a bare element (no subtree), returning its id.
+    pub fn insert_element(
+        &mut self,
+        anchor: NodeId,
+        label: &str,
+        pos: InsertPos,
+    ) -> XmlResult<NodeId> {
+        self.insert_fragment(anchor, &Fragment::elem(label, vec![]), pos)
+    }
+
+    fn resolve_insert_target(&self, anchor: NodeId, pos: InsertPos) -> XmlResult<(NodeId, usize)> {
+        match pos {
+            InsertPos::Into => {
+                let n = self.node(anchor)?;
+                if !n.is_element() {
+                    return Err(XmlError::KindMismatch {
+                        expected: "element",
+                        found: n.kind.kind_name(),
+                    });
+                }
+                Ok((anchor, n.children.len()))
+            }
+            InsertPos::FirstInto => {
+                let n = self.node(anchor)?;
+                if !n.is_element() {
+                    return Err(XmlError::KindMismatch {
+                        expected: "element",
+                        found: n.kind.kind_name(),
+                    });
+                }
+                Ok((anchor, 0))
+            }
+            InsertPos::Before | InsertPos::After => {
+                let parent = self
+                    .node(anchor)?
+                    .parent
+                    .ok_or_else(|| XmlError::InvalidTreeOp("cannot insert beside the root".into()))?;
+                let idx = self.child_index(parent, anchor)?;
+                Ok((parent, if pos == InsertPos::Before { idx } else { idx + 1 }))
+            }
+        }
+    }
+
+    fn child_index(&self, parent: NodeId, child: NodeId) -> XmlResult<usize> {
+        self.node(parent)?
+            .children
+            .iter()
+            .position(|&c| c == child)
+            .ok_or_else(|| XmlError::InvalidTreeOp(format!("{child} is not a child of {parent}")))
+    }
+
+    fn build_fragment(&mut self, fragment: &Fragment) -> XmlResult<NodeId> {
+        match fragment {
+            Fragment::Element { label, children } => {
+                let sym = self.interner.intern(label);
+                let id = self.alloc(Node::element(sym));
+                for child in children {
+                    let cid = self.build_fragment(child)?;
+                    self.node_mut(cid)?.parent = Some(id);
+                    self.node_mut(id)?.children.push(cid);
+                }
+                Ok(id)
+            }
+            Fragment::Attribute { label, value } => {
+                let sym = self.interner.intern(label);
+                Ok(self.alloc(Node::attribute(sym, value.clone())))
+            }
+            Fragment::Text { value } => Ok(self.alloc(Node::text(value.clone()))),
+        }
+    }
+
+    /// **remove**: detaches the subtree rooted at `id` and tombstones its
+    /// nodes. Returns a [`Removed`] record sufficient to undo the removal.
+    pub fn remove(&mut self, id: NodeId) -> XmlResult<Removed> {
+        let parent = self
+            .node(id)?
+            .parent
+            .ok_or_else(|| XmlError::InvalidTreeOp("cannot remove the document root".into()))?;
+        let index = self.child_index(parent, id)?;
+        let fragment = self.to_fragment(id)?;
+        self.node_mut(parent)?.children.retain(|&c| c != id);
+        // Tombstone the whole subtree.
+        let subtree: Vec<NodeId> = self.descendants(id).collect();
+        for n in subtree {
+            self.nodes[n.index()] = None;
+            self.live -= 1;
+        }
+        Ok(Removed { fragment, parent, index })
+    }
+
+    /// Undoes a removal by splicing the recorded fragment back at its
+    /// original position. Returns the id of the restored subtree root
+    /// (a fresh id — ids are never reused).
+    pub fn unremove(&mut self, removed: &Removed) -> XmlResult<NodeId> {
+        let new_id = self.build_fragment(&removed.fragment)?;
+        self.node_mut(new_id)?.parent = Some(removed.parent);
+        let parent = self.node_mut(removed.parent)?;
+        let idx = removed.index.min(parent.children.len());
+        parent.children.insert(idx, new_id);
+        Ok(new_id)
+    }
+
+    /// **rename**: relabels an element or attribute; returns the old label.
+    pub fn rename(&mut self, id: NodeId, new_label: &str) -> XmlResult<Symbol> {
+        let sym = self.interner.intern(new_label);
+        let node = self.node_mut(id)?;
+        match &mut node.kind {
+            NodeKind::Element { label } | NodeKind::Attribute { label, .. } => {
+                let old = *label;
+                *label = sym;
+                Ok(old)
+            }
+            NodeKind::Text { .. } => {
+                Err(XmlError::KindMismatch { expected: "element or attribute", found: "text" })
+            }
+        }
+    }
+
+    /// **change**: replaces the value of a text or attribute node; returns
+    /// the old value. Applied to an *element*, it replaces the element's
+    /// single text child (creating one if absent) — the common "change the
+    /// price" usage in the paper's scenario.
+    pub fn change_value(&mut self, id: NodeId, new_value: &str) -> XmlResult<String> {
+        let is_element = self.node(id)?.is_element();
+        if is_element {
+            // Find (or create) the text child.
+            let text_child = self
+                .children(id)?
+                .iter()
+                .copied()
+                .find(|&c| self.node(c).map(|n| n.is_text()).unwrap_or(false));
+            return match text_child {
+                Some(t) => self.change_value(t, new_value),
+                None => {
+                    let tid = self.alloc(Node::text(new_value));
+                    self.node_mut(tid)?.parent = Some(id);
+                    self.node_mut(id)?.children.push(tid);
+                    Ok(String::new())
+                }
+            };
+        }
+        let node = self.node_mut(id)?;
+        match &mut node.kind {
+            NodeKind::Attribute { value, .. } | NodeKind::Text { value } => {
+                Ok(std::mem::replace(value, new_value.to_owned()))
+            }
+            NodeKind::Element { .. } => unreachable!("handled above"),
+        }
+    }
+
+    /// **transpose**: swaps the tree positions of two nodes (and their
+    /// subtrees). Neither may be the root or an ancestor of the other.
+    pub fn transpose(&mut self, a: NodeId, b: NodeId) -> XmlResult<()> {
+        if a == b {
+            return Ok(());
+        }
+        if self.is_ancestor(a, b)? || self.is_ancestor(b, a)? {
+            return Err(XmlError::InvalidTreeOp(
+                "cannot transpose a node with its own ancestor/descendant".into(),
+            ));
+        }
+        let pa = self
+            .node(a)?
+            .parent
+            .ok_or_else(|| XmlError::InvalidTreeOp("cannot transpose the root".into()))?;
+        let pb = self
+            .node(b)?
+            .parent
+            .ok_or_else(|| XmlError::InvalidTreeOp("cannot transpose the root".into()))?;
+        let ia = self.child_index(pa, a)?;
+        let ib = self.child_index(pb, b)?;
+        self.node_mut(pa)?.children[ia] = b;
+        self.node_mut(pb)?.children[ib] = a;
+        self.node_mut(a)?.parent = Some(pb);
+        self.node_mut(b)?.parent = Some(pa);
+        Ok(())
+    }
+
+    /// Clones the subtree rooted at `id` into a detached [`Fragment`].
+    pub fn to_fragment(&self, id: NodeId) -> XmlResult<Fragment> {
+        let node = self.node(id)?;
+        Ok(match &node.kind {
+            NodeKind::Element { label } => {
+                let mut children = Vec::with_capacity(node.children.len());
+                for &c in &node.children {
+                    children.push(self.to_fragment(c)?);
+                }
+                Fragment::Element { label: self.interner.resolve(*label).to_owned(), children }
+            }
+            NodeKind::Attribute { label, value } => Fragment::Attribute {
+                label: self.interner.resolve(*label).to_owned(),
+                value: value.clone(),
+            },
+            NodeKind::Text { value } => Fragment::Text { value: value.clone() },
+        })
+    }
+
+    /// Serializes the whole document to XML text.
+    pub fn to_xml(&self) -> String {
+        crate::serializer::Serializer::new(self).document()
+    }
+
+    /// Checks structural invariants (parent/child symmetry, liveness,
+    /// acyclicity). Intended for tests and debug assertions; returns a
+    /// description of the first violation found.
+    pub fn check_integrity(&self) -> Result<(), String> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![self.root];
+        let mut visited = 0usize;
+        while let Some(id) = stack.pop() {
+            if seen[id.index()] {
+                return Err(format!("cycle or shared node at {id}"));
+            }
+            seen[id.index()] = true;
+            visited += 1;
+            let node = match self.nodes.get(id.index()).and_then(Option::as_ref) {
+                Some(n) => n,
+                None => return Err(format!("dangling child reference {id}")),
+            };
+            for &c in &node.children {
+                let child = match self.nodes.get(c.index()).and_then(Option::as_ref) {
+                    Some(n) => n,
+                    None => return Err(format!("child {c} of {id} is tombstoned")),
+                };
+                if child.parent != Some(id) {
+                    return Err(format!("child {c} of {id} has parent {:?}", child.parent));
+                }
+                stack.push(c);
+            }
+        }
+        if visited != self.live {
+            return Err(format!(
+                "live count mismatch: counted {visited} reachable, recorded {}",
+                self.live
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Pre-order traversal iterator, see [`Document::descendants`].
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    stack: Vec<NodeId>,
+}
+
+impl<'a> Iterator for Descendants<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        if let Ok(node) = self.doc.node(id) {
+            // Push in reverse so children pop in document order.
+            for &c in node.children.iter().rev() {
+                self.stack.push(c);
+            }
+        }
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_doc() -> Document {
+        // The paper's d2: products with two products.
+        let mut doc = Document::new("products");
+        let root = doc.root();
+        for (id, desc, price) in [("4", "Monitor", "120.00"), ("14", "Printer", "55.50")] {
+            doc.insert_fragment(
+                root,
+                &Fragment::elem(
+                    "product",
+                    vec![
+                        Fragment::elem_text("id", id),
+                        Fragment::elem_text("description", desc),
+                        Fragment::elem_text("price", price),
+                    ],
+                ),
+                InsertPos::Into,
+            )
+            .unwrap();
+        }
+        doc
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let doc = store_doc();
+        let root = doc.root();
+        assert_eq!(doc.label_str(root).unwrap(), "products");
+        let products = doc.children(root).unwrap();
+        assert_eq!(products.len(), 2);
+        let p0 = products[0];
+        assert_eq!(doc.label_str(p0).unwrap(), "product");
+        let id_sym = doc.interner().get("id").unwrap();
+        let id_node = doc.child_by_label(p0, id_sym).unwrap().unwrap();
+        assert_eq!(doc.text_of(id_node).unwrap(), "4");
+        doc.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn insert_positions() {
+        let mut doc = Document::new("r");
+        let root = doc.root();
+        let b = doc.insert_element(root, "b", InsertPos::Into).unwrap();
+        let _a = doc.insert_fragment(b, &Fragment::elem("a", vec![]), InsertPos::Before).unwrap();
+        let _c = doc.insert_fragment(b, &Fragment::elem("c", vec![]), InsertPos::After).unwrap();
+        let _z = doc.insert_element(root, "z", InsertPos::FirstInto).unwrap();
+        let labels: Vec<_> = doc
+            .children(root)
+            .unwrap()
+            .iter()
+            .map(|&c| doc.label_str(c).unwrap().to_owned())
+            .collect();
+        assert_eq!(labels, vec!["z", "a", "b", "c"]);
+        doc.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn insert_beside_root_fails() {
+        let mut doc = Document::new("r");
+        let root = doc.root();
+        let err = doc.insert_element(root, "x", InsertPos::Before).unwrap_err();
+        assert!(matches!(err, XmlError::InvalidTreeOp(_)));
+    }
+
+    #[test]
+    fn insert_into_text_fails() {
+        let mut doc = Document::new("r");
+        let root = doc.root();
+        let e = doc.insert_fragment(root, &Fragment::text("hi"), InsertPos::Into).unwrap();
+        let err = doc.insert_element(e, "x", InsertPos::Into).unwrap_err();
+        assert!(matches!(err, XmlError::KindMismatch { .. }));
+    }
+
+    #[test]
+    fn remove_and_unremove_round_trip() {
+        let mut doc = store_doc();
+        let before = doc.to_xml();
+        let root = doc.root();
+        let victim = doc.children(root).unwrap()[0];
+        let n_before = doc.node_count();
+        let sz = doc.subtree_size(victim);
+        let removed = doc.remove(victim).unwrap();
+        assert_eq!(doc.node_count(), n_before - sz);
+        assert!(!doc.is_live(victim));
+        doc.check_integrity().unwrap();
+        doc.unremove(&removed).unwrap();
+        assert_eq!(doc.node_count(), n_before);
+        assert_eq!(doc.to_xml(), before);
+        doc.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn remove_root_fails() {
+        let mut doc = store_doc();
+        let root = doc.root();
+        assert!(matches!(doc.remove(root), Err(XmlError::InvalidTreeOp(_))));
+    }
+
+    #[test]
+    fn stale_ids_are_rejected() {
+        let mut doc = store_doc();
+        let victim = doc.children(doc.root()).unwrap()[0];
+        doc.remove(victim).unwrap();
+        assert!(matches!(doc.node(victim), Err(XmlError::StaleNode(_))));
+        assert!(matches!(doc.remove(victim), Err(XmlError::StaleNode(_))));
+    }
+
+    #[test]
+    fn rename_returns_old_label() {
+        let mut doc = store_doc();
+        let p0 = doc.children(doc.root()).unwrap()[0];
+        let old = doc.rename(p0, "item").unwrap();
+        assert_eq!(doc.interner().resolve(old), "product");
+        assert_eq!(doc.label_str(p0).unwrap(), "item");
+    }
+
+    #[test]
+    fn rename_text_fails() {
+        let mut doc = Document::new("r");
+        let t = doc.insert_fragment(doc.root(), &Fragment::text("x"), InsertPos::Into).unwrap();
+        assert!(matches!(doc.rename(t, "y"), Err(XmlError::KindMismatch { .. })));
+    }
+
+    #[test]
+    fn change_value_on_element_replaces_text_child() {
+        let mut doc = store_doc();
+        let p0 = doc.children(doc.root()).unwrap()[0];
+        let price_sym = doc.interner().get("price").unwrap();
+        let price = doc.child_by_label(p0, price_sym).unwrap().unwrap();
+        let old = doc.change_value(price, "99.99").unwrap();
+        assert_eq!(old, "120.00");
+        assert_eq!(doc.text_of(price).unwrap(), "99.99");
+    }
+
+    #[test]
+    fn change_value_creates_text_when_absent() {
+        let mut doc = Document::new("r");
+        let e = doc.insert_element(doc.root(), "empty", InsertPos::Into).unwrap();
+        let old = doc.change_value(e, "now").unwrap();
+        assert_eq!(old, "");
+        assert_eq!(doc.text_of(e).unwrap(), "now");
+        doc.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn transpose_swaps_subtrees() {
+        let mut doc = store_doc();
+        let root = doc.root();
+        let kids = doc.children(root).unwrap().to_vec();
+        doc.transpose(kids[0], kids[1]).unwrap();
+        let after = doc.children(root).unwrap();
+        assert_eq!(after[0], kids[1]);
+        assert_eq!(after[1], kids[0]);
+        doc.check_integrity().unwrap();
+        // Transposing back restores the original order.
+        doc.transpose(kids[0], kids[1]).unwrap();
+        assert_eq!(doc.children(root).unwrap(), &kids[..]);
+    }
+
+    #[test]
+    fn transpose_with_ancestor_fails() {
+        let doc_err = {
+            let mut doc = store_doc();
+            let root = doc.root();
+            let p0 = doc.children(root).unwrap()[0];
+            let id_child = doc.children(p0).unwrap()[0];
+            doc.transpose(p0, id_child).unwrap_err()
+        };
+        assert!(matches!(doc_err, XmlError::InvalidTreeOp(_)));
+    }
+
+    #[test]
+    fn transpose_self_is_noop() {
+        let mut doc = store_doc();
+        let p0 = doc.children(doc.root()).unwrap()[0];
+        let before = doc.to_xml();
+        doc.transpose(p0, p0).unwrap();
+        assert_eq!(doc.to_xml(), before);
+    }
+
+    #[test]
+    fn label_path_skips_text() {
+        let doc = store_doc();
+        let p0 = doc.children(doc.root()).unwrap()[0];
+        let id_sym = doc.interner().get("id").unwrap();
+        let id_node = doc.child_by_label(p0, id_sym).unwrap().unwrap();
+        let text = doc.children(id_node).unwrap()[0];
+        let path = doc.label_path(text).unwrap();
+        let strs: Vec<_> = path.iter().map(|&s| doc.interner().resolve(s)).collect();
+        assert_eq!(strs, vec!["products", "product", "id"]);
+    }
+
+    #[test]
+    fn ancestors_nearest_first() {
+        let doc = store_doc();
+        let p0 = doc.children(doc.root()).unwrap()[0];
+        let id_node = doc.children(p0).unwrap()[0];
+        let anc = doc.ancestors(id_node).unwrap();
+        assert_eq!(anc, vec![p0, doc.root()]);
+    }
+
+    #[test]
+    fn fragment_counts() {
+        let f = Fragment::elem(
+            "product",
+            vec![Fragment::elem_text("id", "13"), Fragment::attr("cur", "USD")],
+        );
+        // product + id + "13" + cur = 4
+        assert_eq!(f.node_count(), 4);
+        assert!(f.byte_size() > 0);
+        assert_eq!(f.label(), Some("product"));
+        assert_eq!(Fragment::text("x").label(), None);
+    }
+
+    #[test]
+    fn from_fragment_round_trip() {
+        let f = Fragment::elem(
+            "people",
+            vec![Fragment::elem(
+                "person",
+                vec![Fragment::elem_text("id", "22"), Fragment::elem_text("name", "Patricia")],
+            )],
+        );
+        let doc = Document::from_fragment(&f).unwrap();
+        assert_eq!(doc.to_fragment(doc.root()).unwrap(), f);
+        assert!(Document::from_fragment(&Fragment::text("x")).is_err());
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let doc = store_doc();
+        let order: Vec<String> = doc
+            .descendants(doc.root())
+            .map(|n| {
+                if doc.node(n).unwrap().is_text() {
+                    format!("#{}", doc.value(n).unwrap().unwrap())
+                } else {
+                    doc.label_str(n).unwrap().to_owned()
+                }
+            })
+            .collect();
+        assert_eq!(order[0], "products");
+        assert_eq!(order[1], "product");
+        assert_eq!(order[2], "id");
+        assert_eq!(order[3], "#4");
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type shared by the XML substrate.
+
+use std::fmt;
+
+/// Result alias used throughout `dtx-xml`.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+/// Errors raised by the XML document model and parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// The parser encountered malformed input. Carries a byte offset and a
+    /// human-readable description.
+    Parse { offset: usize, message: String },
+    /// An operation referenced a [`crate::NodeId`] that is not live in the
+    /// document (never allocated, or already removed).
+    StaleNode(u32),
+    /// An operation would have violated the tree shape (e.g. transposing a
+    /// node under its own descendant, removing the root).
+    InvalidTreeOp(String),
+    /// A value operation (`change`) was applied to a node kind that carries
+    /// no value.
+    KindMismatch { expected: &'static str, found: &'static str },
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Parse { offset, message } => {
+                write!(f, "XML parse error at byte {offset}: {message}")
+            }
+            XmlError::StaleNode(id) => write!(f, "node id {id} is not live in this document"),
+            XmlError::InvalidTreeOp(msg) => write!(f, "invalid tree operation: {msg}"),
+            XmlError::KindMismatch { expected, found } => {
+                write!(f, "node kind mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = XmlError::Parse { offset: 12, message: "unexpected '<'".into() };
+        assert_eq!(e.to_string(), "XML parse error at byte 12: unexpected '<'");
+        assert_eq!(XmlError::StaleNode(7).to_string(), "node id 7 is not live in this document");
+        let e = XmlError::KindMismatch { expected: "text", found: "element" };
+        assert!(e.to_string().contains("expected text"));
+    }
+}

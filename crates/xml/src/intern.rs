@@ -1,0 +1,132 @@
+//! Label interning.
+//!
+//! XML element and attribute names repeat massively (an XMark document has
+//! millions of nodes but only ~80 distinct labels). DTX's DataGuide and lock
+//! table operate on *label paths*, so comparing labels is on the hot path of
+//! every lock acquisition. Interning maps each distinct label to a dense
+//! `u32` [`Symbol`] once, making all later comparisons integer compares and
+//! all label storage 4 bytes.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A dense handle for an interned string.
+///
+/// Symbols are only meaningful relative to the [`Interner`] that produced
+/// them. The DataGuide layer guarantees that all sites fragmenting the same
+/// logical document use a shared interner snapshot, so symbols can travel in
+/// messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// Index form, for direct table addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A string interner with stable indices.
+///
+/// `resolve` is O(1); `intern` is a single hash lookup. The interner never
+/// forgets a label — XML vocabularies are tiny compared to documents, so
+/// unbounded growth is not a practical concern.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Interner {
+    map: HashMap<String, Symbol>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its symbol. Idempotent.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(self.strings.len() as u32);
+        self.strings.push(s.to_owned());
+        self.map.insert(s.to_owned(), sym);
+        sym
+    }
+
+    /// Looks up a symbol without interning. Returns `None` when `s` was
+    /// never interned.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` did not come from this interner (index out of range).
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when no label has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates `(Symbol, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings.iter().enumerate().map(|(i, s)| (Symbol(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut i = Interner::new();
+        let a = i.intern("person");
+        let b = i.intern("name");
+        let a2 = i.intern("person");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let labels = ["site", "people", "person", "id", "name", "price"];
+        let syms: Vec<_> = labels.iter().map(|l| i.intern(l)).collect();
+        for (sym, label) in syms.iter().zip(labels.iter()) {
+            assert_eq!(i.resolve(*sym), *label);
+        }
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert!(i.get("absent").is_none());
+        i.intern("present");
+        assert!(i.get("present").is_some());
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        let collected: Vec<_> = i.iter().map(|(s, l)| (s.0, l.to_owned())).collect();
+        assert_eq!(collected, vec![(0, "a".to_owned()), (1, "b".to_owned())]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # dtx-xml — in-memory XML document model for DTX
+//!
+//! This crate is the lowest substrate of the DTX reproduction. The paper
+//! (Moreira et al., *A distributed concurrency control mechanism for XML
+//! data*) handles "XML data handling ... in the main memory": documents are
+//! loaded from a storage structure, manipulated in memory, and written back.
+//! This crate provides that in-memory representation:
+//!
+//! * [`Document`] — an arena-based ordered tree of [`Node`]s with stable
+//!   [`NodeId`]s, supporting the five update operations of the XDGL update
+//!   language (*insert*, *remove*, *rename*, *change*, *transpose*);
+//! * [`parse`] / [`Document::parse`] — a small, dependency-free XML parser
+//!   covering the subset XMark-style documents use (elements, attributes,
+//!   text, comments, CDATA, processing instructions, entities);
+//! * [`Serializer`] — the inverse transformation, used by the storage
+//!   substrate to persist documents;
+//! * [`Interner`] — per-document label interning so that structural
+//!   operations (DataGuide construction, lock placement) compare `u32`
+//!   symbols instead of strings.
+//!
+//! The crate is deliberately free of any concurrency-control logic; it is a
+//! plain ordered-tree library that the DataGuide, locking and transaction
+//! layers build upon.
+
+pub mod document;
+pub mod error;
+pub mod intern;
+pub mod node;
+pub mod parser;
+pub mod serializer;
+
+pub use document::{Document, Fragment, InsertPos, Removed};
+pub use error::{XmlError, XmlResult};
+pub use intern::{Interner, Symbol};
+pub use node::{Node, NodeId, NodeKind};
+pub use parser::parse;
+pub use serializer::Serializer;

@@ -1,0 +1,156 @@
+//! Node identity and payload types for the arena tree.
+
+use crate::intern::Symbol;
+use serde::{Deserialize, Serialize};
+
+/// Stable identifier of a node inside one [`crate::Document`] arena.
+///
+/// Ids are dense indices into the arena. Removed nodes leave their slot
+/// tombstoned; ids are never reused within a document's lifetime, so an id
+/// held across an update either still refers to the same logical node or is
+/// reported stale — exactly the behaviour a lock manager needs when a
+/// transaction's undo log replays against the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index form, for direct arena addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The payload kind of a node.
+///
+/// The model follows the simplified DOM the XDGL protocol operates on:
+/// element nodes carry a label; attribute nodes carry a label and a value
+/// and are ordered before element children; text nodes carry only a value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An element, e.g. `<person>`. The label symbol resolves via the
+    /// document's interner.
+    Element { label: Symbol },
+    /// An attribute, e.g. `id="4"`.
+    Attribute { label: Symbol, value: String },
+    /// A text node.
+    Text { value: String },
+}
+
+impl NodeKind {
+    /// Short static name of the kind, used in error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            NodeKind::Element { .. } => "element",
+            NodeKind::Attribute { .. } => "attribute",
+            NodeKind::Text { .. } => "text",
+        }
+    }
+
+    /// The label symbol for labelled kinds (element, attribute).
+    pub fn label(&self) -> Option<Symbol> {
+        match self {
+            NodeKind::Element { label } | NodeKind::Attribute { label, .. } => Some(*label),
+            NodeKind::Text { .. } => None,
+        }
+    }
+
+    /// The textual value for valued kinds (attribute, text).
+    pub fn value(&self) -> Option<&str> {
+        match self {
+            NodeKind::Attribute { value, .. } | NodeKind::Text { value } => Some(value),
+            NodeKind::Element { .. } => None,
+        }
+    }
+}
+
+/// One node of the arena tree.
+///
+/// Children are stored as an ordered `Vec<NodeId>`; sibling order is
+/// document order, which the XDGL insert modes (*into*, *before*, *after*)
+/// depend on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// Payload.
+    pub kind: NodeKind,
+    /// Parent node; `None` only for the root element.
+    pub parent: Option<NodeId>,
+    /// Ordered children (attributes first, then elements/text in document
+    /// order).
+    pub children: Vec<NodeId>,
+}
+
+impl Node {
+    /// Creates a parentless element node (parent fixed up by the arena).
+    pub fn element(label: Symbol) -> Self {
+        Node { kind: NodeKind::Element { label }, parent: None, children: Vec::new() }
+    }
+
+    /// Creates a parentless attribute node.
+    pub fn attribute(label: Symbol, value: impl Into<String>) -> Self {
+        Node {
+            kind: NodeKind::Attribute { label, value: value.into() },
+            parent: None,
+            children: Vec::new(),
+        }
+    }
+
+    /// Creates a parentless text node.
+    pub fn text(value: impl Into<String>) -> Self {
+        Node { kind: NodeKind::Text { value: value.into() }, parent: None, children: Vec::new() }
+    }
+
+    /// True if this node is an element.
+    pub fn is_element(&self) -> bool {
+        matches!(self.kind, NodeKind::Element { .. })
+    }
+
+    /// True if this node is an attribute.
+    pub fn is_attribute(&self) -> bool {
+        matches!(self.kind, NodeKind::Attribute { .. })
+    }
+
+    /// True if this node is a text node.
+    pub fn is_text(&self) -> bool {
+        matches!(self.kind, NodeKind::Text { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_accessors() {
+        let e = NodeKind::Element { label: Symbol(3) };
+        assert_eq!(e.label(), Some(Symbol(3)));
+        assert_eq!(e.value(), None);
+        assert_eq!(e.kind_name(), "element");
+
+        let a = NodeKind::Attribute { label: Symbol(1), value: "4".into() };
+        assert_eq!(a.label(), Some(Symbol(1)));
+        assert_eq!(a.value(), Some("4"));
+
+        let t = NodeKind::Text { value: "Mouse".into() };
+        assert_eq!(t.label(), None);
+        assert_eq!(t.value(), Some("Mouse"));
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        assert!(Node::element(Symbol(0)).is_element());
+        assert!(Node::attribute(Symbol(0), "x").is_attribute());
+        assert!(Node::text("x").is_text());
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(42).to_string(), "n42");
+    }
+}

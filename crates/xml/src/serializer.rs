@@ -1,0 +1,197 @@
+//! Document → XML text serialization.
+//!
+//! The output round-trips through [`crate::parser::parse`] (modulo
+//! formatting whitespace, which the parser drops). The storage substrate
+//! uses this to persist documents; the benchmark harness uses byte counts
+//! from here to size fragments.
+
+use crate::document::Document;
+use crate::node::{NodeId, NodeKind};
+
+/// Serializer over a borrowed document.
+pub struct Serializer<'a> {
+    doc: &'a Document,
+    indent: Option<usize>,
+}
+
+impl<'a> Serializer<'a> {
+    /// Compact serializer (no added whitespace).
+    pub fn new(doc: &'a Document) -> Self {
+        Serializer { doc, indent: None }
+    }
+
+    /// Pretty-printing serializer with `width`-space indentation.
+    pub fn pretty(doc: &'a Document, width: usize) -> Self {
+        Serializer { doc, indent: Some(width) }
+    }
+
+    /// Serializes the whole document.
+    pub fn document(&self) -> String {
+        let mut out = String::new();
+        self.node_into(self.doc.root(), 0, &mut out);
+        out
+    }
+
+    /// Serializes the subtree rooted at `id`.
+    pub fn subtree(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.node_into(id, 0, &mut out);
+        out
+    }
+
+    fn pad(&self, depth: usize, out: &mut String) {
+        if let Some(w) = self.indent {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            for _ in 0..depth * w {
+                out.push(' ');
+            }
+        }
+    }
+
+    fn node_into(&self, id: NodeId, depth: usize, out: &mut String) {
+        let node = match self.doc.node(id) {
+            Ok(n) => n,
+            Err(_) => return,
+        };
+        match &node.kind {
+            NodeKind::Element { label } => {
+                self.pad(depth, out);
+                let name = self.doc.interner().resolve(*label);
+                out.push('<');
+                out.push_str(name);
+                let (attrs, content): (Vec<&NodeId>, Vec<&NodeId>) = node
+                    .children
+                    .iter()
+                    .partition(|&&c| self.doc.node(c).map(|n| n.is_attribute()).unwrap_or(false));
+                for &a in &attrs {
+                    if let Ok(an) = self.doc.node(*a) {
+                        if let NodeKind::Attribute { label, value } = &an.kind {
+                            out.push(' ');
+                            out.push_str(self.doc.interner().resolve(*label));
+                            out.push_str("=\"");
+                            escape_into(value, true, out);
+                            out.push('"');
+                        }
+                    }
+                }
+                if content.is_empty() {
+                    out.push_str("/>");
+                } else {
+                    out.push('>');
+                    let only_text = content.len() == 1
+                        && self.doc.node(*content[0]).map(|n| n.is_text()).unwrap_or(false);
+                    for &c in &content {
+                        if only_text {
+                            // Keep `<id>4</id>` on one line even when pretty.
+                            if let Ok(n) = self.doc.node(*c) {
+                                if let NodeKind::Text { value } = &n.kind {
+                                    escape_into(value, false, out);
+                                }
+                            }
+                        } else {
+                            self.node_into(*c, depth + 1, out);
+                        }
+                    }
+                    if !only_text {
+                        self.pad(depth, out);
+                    }
+                    out.push_str("</");
+                    out.push_str(name);
+                    out.push('>');
+                }
+            }
+            NodeKind::Attribute { label, value } => {
+                // A detached attribute serialization (rare; used in debug).
+                out.push_str(self.doc.interner().resolve(*label));
+                out.push_str("=\"");
+                escape_into(value, true, out);
+                out.push('"');
+            }
+            NodeKind::Text { value } => {
+                self.pad(depth, out);
+                escape_into(value, false, out);
+            }
+        }
+    }
+}
+
+/// Escapes XML-special characters. `in_attr` additionally escapes quotes.
+fn escape_into(s: &str, in_attr: bool, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if in_attr => out.push_str("&quot;"),
+            '\'' if in_attr => out.push_str("&apos;"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn round_trip_compact() {
+        let src = r#"<products><product id="4"><description>Monitor &amp; stand</description><price>120.00</price></product></products>"#;
+        let doc = parse(src).unwrap();
+        assert_eq!(doc.to_xml(), src);
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        let doc = parse("<r><empty/></r>").unwrap();
+        assert_eq!(doc.to_xml(), "<r><empty/></r>");
+    }
+
+    #[test]
+    fn attribute_values_escaped() {
+        let mut doc = Document::new("r");
+        let sym = doc.intern("a");
+        let root = doc.root();
+        doc.insert_fragment(
+            root,
+            &crate::document::Fragment::Attribute { label: "a".into(), value: "x\"<>&".into() },
+            crate::document::InsertPos::Into,
+        )
+        .unwrap();
+        let _ = sym;
+        let xml = doc.to_xml();
+        assert_eq!(xml, r#"<r a="x&quot;&lt;&gt;&amp;"/>"#);
+        // And it reparses to the same value.
+        let doc2 = parse(&xml).unwrap();
+        let a = doc2.interner().get("a").unwrap();
+        assert_eq!(doc2.attribute(doc2.root(), a).unwrap(), Some("x\"<>&"));
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let doc = parse("<r><a><b>x</b></a></r>").unwrap();
+        let pretty = Serializer::pretty(&doc, 2).document();
+        assert_eq!(pretty, "<r>\n  <a>\n    <b>x</b>\n  </a>\n</r>");
+        // Pretty output reparses to an equivalent document.
+        let doc2 = parse(&pretty).unwrap();
+        assert_eq!(doc2.to_xml(), doc.to_xml());
+    }
+
+    #[test]
+    fn subtree_serialization() {
+        let doc = parse("<r><a>1</a><b>2</b></r>").unwrap();
+        let b = doc.children(doc.root()).unwrap()[1];
+        assert_eq!(Serializer::new(&doc).subtree(b), "<b>2</b>");
+    }
+
+    #[test]
+    fn parse_serialize_fixpoint() {
+        // serialize(parse(x)) must be a fixpoint: applying again is stable.
+        let src = "<site><people><person id=\"p0\"><name>A &amp; B</name></person></people></site>";
+        let once = parse(src).unwrap().to_xml();
+        let twice = parse(&once).unwrap().to_xml();
+        assert_eq!(once, twice);
+    }
+}

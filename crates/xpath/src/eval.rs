@@ -1,0 +1,338 @@
+//! Query evaluation against an in-memory [`Document`].
+//!
+//! Evaluation is set-at-a-time: each step maps the current context set to
+//! the next, de-duplicating while preserving document order (important for
+//! `//` steps whose expansions overlap). Predicates are evaluated per
+//! context node by recursively evaluating their relative paths.
+
+use crate::ast::{Axis, CmpOp, Literal, NodeTest, Predicate, Query, Step};
+use dtx_xml::{Document, NodeId};
+use std::collections::HashSet;
+
+/// Evaluates an absolute query against `doc`, returning matching nodes in
+/// document order.
+///
+/// Per XPath semantics the first step is matched against the *root
+/// element*: `/products/...` requires the root to be labelled `products`.
+pub fn eval(doc: &Document, query: &Query) -> Vec<NodeId> {
+    let mut current: Vec<NodeId> = vec![];
+    for (i, step) in query.steps.iter().enumerate() {
+        current = if i == 0 {
+            step_from_virtual_root(doc, step)
+        } else {
+            apply_step(doc, &current, step)
+        };
+        if current.is_empty() {
+            break;
+        }
+    }
+    current
+}
+
+/// The first step is matched against the virtual document root, whose only
+/// child is the root element.
+fn step_from_virtual_root(doc: &Document, step: &Step) -> Vec<NodeId> {
+    let root = doc.root();
+    let mut out = Vec::new();
+    match step.axis {
+        Axis::Child => {
+            if test_matches(doc, root, &step.test) {
+                out.push(root);
+            }
+        }
+        Axis::Descendant => {
+            for n in doc.descendants(root) {
+                if is_element_or_text(doc, n) && test_matches(doc, n, &step.test) {
+                    out.push(n);
+                }
+            }
+        }
+        Axis::Attribute => {
+            // `/@x` on the virtual root matches nothing (roots are elements).
+        }
+    }
+    filter_by_predicate(doc, out, step.predicate.as_ref())
+}
+
+/// Evaluates a (relative) query starting from the given context nodes.
+pub fn eval_from(doc: &Document, context: &[NodeId], query: &Query) -> Vec<NodeId> {
+    let mut current = context.to_vec();
+    for step in &query.steps {
+        current = apply_step(doc, &current, step);
+        if current.is_empty() {
+            break;
+        }
+    }
+    current
+}
+
+fn apply_step(doc: &Document, context: &[NodeId], step: &Step) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut seen = HashSet::new();
+    for &ctx in context {
+        match step.axis {
+            Axis::Child => {
+                if let Ok(children) = doc.children(ctx) {
+                    for &c in children {
+                        if is_element_or_text(doc, c) && test_matches(doc, c, &step.test) {
+                            push_unique(&mut out, &mut seen, c);
+                        }
+                    }
+                }
+            }
+            Axis::Descendant => {
+                // descendant-or-self on children: all strict descendants.
+                for n in doc.descendants(ctx).skip(1) {
+                    if is_element_or_text(doc, n) && test_matches(doc, n, &step.test) {
+                        push_unique(&mut out, &mut seen, n);
+                    }
+                }
+            }
+            Axis::Attribute => {
+                if let Ok(children) = doc.children(ctx) {
+                    for &c in children {
+                        let is_attr = doc.node(c).map(|n| n.is_attribute()).unwrap_or(false);
+                        if is_attr && test_matches(doc, c, &step.test) {
+                            push_unique(&mut out, &mut seen, c);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    filter_by_predicate(doc, out, step.predicate.as_ref())
+}
+
+fn push_unique(out: &mut Vec<NodeId>, seen: &mut HashSet<NodeId>, n: NodeId) {
+    if seen.insert(n) {
+        out.push(n);
+    }
+}
+
+fn is_element_or_text(doc: &Document, n: NodeId) -> bool {
+    doc.node(n).map(|node| !node.is_attribute()).unwrap_or(false)
+}
+
+fn test_matches(doc: &Document, n: NodeId, test: &NodeTest) -> bool {
+    let Ok(node) = doc.node(n) else { return false };
+    match test {
+        NodeTest::Wildcard => node.is_element(),
+        NodeTest::Text => node.is_text(),
+        NodeTest::Name(name) => match node.kind.label() {
+            Some(sym) => doc.interner().resolve(sym) == name,
+            None => false,
+        },
+    }
+}
+
+fn filter_by_predicate(doc: &Document, nodes: Vec<NodeId>, pred: Option<&Predicate>) -> Vec<NodeId> {
+    match pred {
+        None => nodes,
+        Some(p) => nodes.into_iter().filter(|&n| matches_predicate(doc, n, p)).collect(),
+    }
+}
+
+/// Evaluates a predicate with `n` as the context node.
+pub fn matches_predicate(doc: &Document, n: NodeId, pred: &Predicate) -> bool {
+    match pred {
+        Predicate::Exists(path) => !eval_from(doc, &[n], path).is_empty(),
+        Predicate::Cmp { path, op, value } => {
+            let targets = eval_from(doc, &[n], path);
+            // XPath existential semantics: true if ANY target compares true.
+            targets.iter().any(|&t| compare_node(doc, t, *op, value))
+        }
+        Predicate::And(a, b) => matches_predicate(doc, n, a) && matches_predicate(doc, n, b),
+        Predicate::Or(a, b) => matches_predicate(doc, n, a) || matches_predicate(doc, n, b),
+        Predicate::Not(p) => !matches_predicate(doc, n, p),
+    }
+}
+
+fn compare_node(doc: &Document, n: NodeId, op: CmpOp, value: &Literal) -> bool {
+    let actual = string_value(doc, n);
+    match value {
+        Literal::Str(expected) => {
+            let ord = actual.as_str().cmp(expected.as_str());
+            ord_matches(op, ord)
+        }
+        Literal::Number(expected) => match actual.trim().parse::<f64>() {
+            Ok(v) => match v.partial_cmp(expected) {
+                Some(ord) => ord_matches(op, ord),
+                None => false,
+            },
+            // Non-numeric string-values never compare true to numbers.
+            Err(_) => false,
+        },
+    }
+}
+
+fn ord_matches(op: CmpOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    matches!(
+        (op, ord),
+        (CmpOp::Eq, Equal)
+            | (CmpOp::Ne, Less)
+            | (CmpOp::Ne, Greater)
+            | (CmpOp::Lt, Less)
+            | (CmpOp::Le, Less)
+            | (CmpOp::Le, Equal)
+            | (CmpOp::Gt, Greater)
+            | (CmpOp::Ge, Greater)
+            | (CmpOp::Ge, Equal)
+    )
+}
+
+/// XPath string-value of a node: concatenated descendant text for
+/// elements, the value itself for attributes/text.
+pub fn string_value(doc: &Document, n: NodeId) -> String {
+    match doc.node(n) {
+        Ok(node) if node.is_element() => doc.text_of(n).unwrap_or_default(),
+        Ok(node) => node.kind.value().unwrap_or("").to_owned(),
+        Err(_) => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtx_xml::parse;
+
+    fn doc() -> Document {
+        parse(
+            r#"<site>
+                 <people>
+                   <person id="p0"><name>Ana</name><age>31</age></person>
+                   <person id="p1"><name>Bruno</name><age>45</age><phone>555</phone></person>
+                 </people>
+                 <products>
+                   <product><id>4</id><name>Monitor</name><price>120.00</price></product>
+                   <product><id>14</id><name>Printer</name><price>55.50</price></product>
+                 </products>
+               </site>"#,
+        )
+        .unwrap()
+    }
+
+    fn names(doc: &Document, nodes: &[NodeId]) -> Vec<String> {
+        nodes.iter().map(|&n| doc.label_str(n).unwrap_or("").to_owned()).collect()
+    }
+
+    fn q(s: &str) -> Query {
+        Query::parse(s).unwrap()
+    }
+
+    #[test]
+    fn root_test_must_match() {
+        let d = doc();
+        assert_eq!(eval(&d, &q("/site")).len(), 1);
+        assert!(eval(&d, &q("/wrong")).is_empty());
+    }
+
+    #[test]
+    fn child_paths() {
+        let d = doc();
+        let r = eval(&d, &q("/site/people/person"));
+        assert_eq!(r.len(), 2);
+        assert_eq!(names(&d, &r), vec!["person", "person"]);
+    }
+
+    #[test]
+    fn descendant_axis_finds_all_depths() {
+        let d = doc();
+        assert_eq!(eval(&d, &q("//name")).len(), 4);
+        assert_eq!(eval(&d, &q("//person")).len(), 2);
+        assert_eq!(eval(&d, &q("/site//price")).len(), 2);
+    }
+
+    #[test]
+    fn descendant_results_deduplicated_in_doc_order() {
+        let d = parse("<r><a><a><b/></a></a></r>").unwrap();
+        // //a//b: both a's reach the same b; result must contain b once.
+        let r = eval(&d, &q("//a//b"));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn wildcard_and_text_tests() {
+        let d = doc();
+        let r = eval(&d, &q("/site/*"));
+        assert_eq!(names(&d, &r), vec!["people", "products"]);
+        let r = eval(&d, &q("/site/people/person/name/text()"));
+        assert_eq!(r.len(), 2);
+        assert_eq!(string_value(&d, r[0]), "Ana");
+    }
+
+    #[test]
+    fn attribute_axis() {
+        let d = doc();
+        let r = eval(&d, &q("/site/people/person/@id"));
+        assert_eq!(r.len(), 2);
+        assert_eq!(string_value(&d, r[0]), "p0");
+        // Attributes are not matched by child steps.
+        assert!(eval(&d, &q("/site/people/person/id")).is_empty());
+    }
+
+    #[test]
+    fn numeric_equality_predicate() {
+        let d = doc();
+        let r = eval(&d, &q("/site/products/product[id=4]"));
+        assert_eq!(r.len(), 1);
+        let name = eval_from(&d, &r, &Query::path(&["name"]));
+        assert_eq!(string_value(&d, name[0]), "Monitor");
+    }
+
+    #[test]
+    fn numeric_ordering_predicates() {
+        let d = doc();
+        assert_eq!(eval(&d, &q("/site/products/product[price>100]")).len(), 1);
+        assert_eq!(eval(&d, &q("/site/products/product[price<=120]")).len(), 2);
+        assert_eq!(eval(&d, &q("/site/people/person[age!=31]")).len(), 1);
+    }
+
+    #[test]
+    fn string_predicates() {
+        let d = doc();
+        assert_eq!(eval(&d, &q("/site/people/person[name=\"Ana\"]")).len(), 1);
+        assert_eq!(eval(&d, &q("/site/people/person[@id=\"p1\"]")).len(), 1);
+        assert!(eval(&d, &q("/site/people/person[name=\"Zeno\"]")).is_empty());
+    }
+
+    #[test]
+    fn exists_predicate() {
+        let d = doc();
+        let r = eval(&d, &q("/site/people/person[phone]"));
+        assert_eq!(r.len(), 1);
+        let id_sym = d.interner().get("id").unwrap();
+        assert_eq!(d.attribute(r[0], id_sym).unwrap(), Some("p1"));
+    }
+
+    #[test]
+    fn boolean_predicates() {
+        let d = doc();
+        assert_eq!(eval(&d, &q("/site/people/person[age>30 and phone]")).len(), 1);
+        assert_eq!(eval(&d, &q("/site/people/person[age>30 or phone]")).len(), 2);
+        assert_eq!(eval(&d, &q("/site/people/person[not(phone)]")).len(), 1);
+    }
+
+    #[test]
+    fn predicate_on_missing_path_is_false() {
+        let d = doc();
+        assert!(eval(&d, &q("/site/people/person[salary=10]")).is_empty());
+    }
+
+    #[test]
+    fn non_numeric_text_never_equals_number() {
+        let d = doc();
+        assert!(eval(&d, &q("/site/people/person[name=31]")).is_empty());
+    }
+
+    #[test]
+    fn deep_relative_predicate_path() {
+        let d = parse(
+            "<site><open_auctions><open_auction><bidder><increase>12</increase></bidder></open_auction>\
+             <open_auction><bidder><increase>3</increase></bidder></open_auction></open_auctions></site>",
+        )
+        .unwrap();
+        let r = eval(&d, &q("/site/open_auctions/open_auction[bidder/increase>10]"));
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! A distributed XMark auction site: generate the base, fragment it over
+//! four sites, run a mixed DTXTester workload, and print a mini report in
+//! the style of the paper's Fig. 12.
+//!
+//! ```text
+//! cargo run --release --example auction_site
+//! ```
+
+use dtx::core::{Cluster, ClusterConfig, ProtocolKind};
+use dtx::xmark::fragment::{allocate, fragment_doc, load_allocation, ReplicationMode};
+use dtx::xmark::generator::{generate, XmarkConfig};
+use dtx::xmark::tester::run_workload;
+use dtx::xmark::workload::{generate as gen_workload, WorkloadConfig};
+use std::time::Duration;
+
+fn main() {
+    let sites = 4u16;
+    let base = generate(XmarkConfig::sized(200_000, 42));
+    println!(
+        "generated XMark base: {} KiB, {} persons, {} open auctions",
+        base.byte_size() / 1024,
+        base.person_ids.len(),
+        base.open_auction_ids.len()
+    );
+    let frags = fragment_doc(&base, sites as usize);
+    println!("fragmented into {} parts (balance {:.3})", frags.fragments.len(), frags.balance_ratio());
+
+    let cluster = Cluster::start(ClusterConfig::new(sites, ProtocolKind::Xdgl).with_lan_profile());
+    let alloc = allocate(&base, &frags, sites, ReplicationMode::Partial);
+    print!("{}", alloc.render());
+    load_allocation(&cluster, &alloc).expect("load");
+
+    // 20 clients x 5 txns x 5 ops, 30 % update transactions.
+    let workload = gen_workload(WorkloadConfig::with_updates(20, 30, 7), &frags);
+    println!(
+        "running {} transactions ({} update txns) from {} clients...",
+        workload.total_txns(),
+        workload.update_txns(),
+        workload.clients.len()
+    );
+    let report = run_workload(&cluster, &workload);
+    println!(
+        "committed {}/{} | deadlock victims {} | mean response {:.2} ms | wall {:.2} s",
+        report.committed(),
+        report.outcomes.len(),
+        report.deadlocks(),
+        report.mean_response().as_secs_f64() * 1e3,
+        report.wall.as_secs_f64()
+    );
+
+    // Cumulative commits per interval (Fig. 12 style).
+    let bucket = (report.wall / 10).max(Duration::from_millis(1));
+    println!("t(ms)\tcumulative commits\tconcurrency");
+    let tp = cluster.metrics().throughput_series(bucket);
+    let cc = cluster.metrics().concurrency_series(bucket);
+    for (i, (t, commits)) in tp.iter().enumerate() {
+        let degree = cc.get(i).map(|(_, d)| *d).unwrap_or(0.0);
+        println!("{:.0}\t{}\t{:.2}", t.as_secs_f64() * 1e3, commits, degree);
+    }
+    println!(
+        "network: {} messages, {} KiB",
+        cluster.net_messages(),
+        cluster.net_bytes() / 1024
+    );
+    cluster.shutdown();
+}

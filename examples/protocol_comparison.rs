@@ -1,0 +1,40 @@
+//! Compare the three concurrency-control protocols on the same workload —
+//! a one-command taste of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release --example protocol_comparison
+//! ```
+
+use dtx::core::{Cluster, ClusterConfig, ProtocolKind};
+use dtx::xmark::fragment::{allocate, fragment_doc, load_allocation, ReplicationMode};
+use dtx::xmark::generator::{generate, XmarkConfig};
+use dtx::xmark::tester::run_workload;
+use dtx::xmark::workload::{generate as gen_workload, WorkloadConfig};
+
+fn main() {
+    let sites = 2u16;
+    println!("protocol\tmean_resp_ms\tdeadlocks\tcommitted/total");
+    for protocol in [ProtocolKind::Xdgl, ProtocolKind::Node2Pl, ProtocolKind::DocLock] {
+        // Fresh base and cluster per protocol so runs are independent.
+        let base = generate(XmarkConfig::sized(100_000, 99));
+        let frags = fragment_doc(&base, sites as usize);
+        let cluster = Cluster::start(ClusterConfig::new(sites, protocol).with_lan_profile());
+        let alloc = allocate(&base, &frags, sites, ReplicationMode::Partial);
+        load_allocation(&cluster, &alloc).expect("load");
+        let workload = gen_workload(WorkloadConfig::with_updates(10, 40, 5), &frags);
+        let report = run_workload(&cluster, &workload);
+        println!(
+            "{}\t{:.2}\t{}\t{}/{}",
+            protocol.name(),
+            report.mean_response().as_secs_f64() * 1e3,
+            report.deadlocks(),
+            report.committed(),
+            report.outcomes.len()
+        );
+        cluster.shutdown();
+    }
+    println!();
+    println!("Expected shape (paper §3): XDGL's fine DataGuide locks give the");
+    println!("lowest response time; the tree/document-lock baselines pay heavy");
+    println!("lock-management and serialization costs but suffer fewer deadlocks.");
+}

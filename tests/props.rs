@@ -1,0 +1,211 @@
+//! Property-based tests over the substrate invariants:
+//! parser/serializer round-trips, update/undo inverses, DataGuide
+//! conservativeness, and lock-matrix soundness under the protocols.
+
+use dtx::dataguide::DataGuide;
+use dtx::locks::{LockMode, LockProtocol, LockTable, ProtocolKind, TxnId, TxnMode};
+use dtx::xml::{Document, Fragment, InsertPos};
+use dtx::xpath::{apply_update, eval, undo_update, Query, UpdateOp};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+fn arb_label() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "a", "b", "c", "item", "name", "price", "person", "note",
+    ])
+    .prop_map(str::to_owned)
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Includes XML-special characters to exercise escaping.
+    "[ -~]{0,12}".prop_map(|s| s)
+}
+
+fn arb_fragment(depth: u32) -> impl Strategy<Value = Fragment> {
+    let leaf = prop_oneof![
+        arb_text().prop_map(|v| Fragment::Text { value: v }),
+        (arb_label(), arb_text()).prop_map(|(l, v)| Fragment::Attribute { label: l, value: v }),
+        arb_label().prop_map(|l| Fragment::Element { label: l, children: vec![] }),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        (arb_label(), prop::collection::vec(inner, 0..4))
+            .prop_map(|(label, children)| Fragment::Element { label, children })
+    })
+}
+
+fn arb_doc() -> impl Strategy<Value = Document> {
+    (arb_label(), prop::collection::vec(arb_fragment(3), 1..5)).prop_map(|(root, frags)| {
+        Document::from_fragment(&Fragment::Element { label: root, children: frags })
+            .expect("element root")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ------------------------------------------------------------------
+    // XML substrate
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn serialize_parse_round_trip(doc in arb_doc()) {
+        let xml = doc.to_xml();
+        let reparsed = Document::parse(&xml).expect("serializer output parses");
+        // Serialization is a fixpoint (text nodes that are pure whitespace
+        // are dropped by the parser, so compare the reparsed form).
+        prop_assert_eq!(reparsed.to_xml(), Document::parse(&reparsed.to_xml()).unwrap().to_xml());
+        reparsed.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn remove_unremove_is_identity(doc in arb_doc(), seed in 0u32..100) {
+        let mut doc = doc;
+        let root = doc.root();
+        let kids = doc.children(root).unwrap().to_vec();
+        prop_assume!(!kids.is_empty());
+        let victim = kids[(seed as usize) % kids.len()];
+        let before = doc.to_xml();
+        let removed = doc.remove(victim).unwrap();
+        let after_remove = doc.to_xml();
+        prop_assert_ne!(&before, &after_remove);
+        doc.unremove(&removed).unwrap();
+        prop_assert_eq!(doc.to_xml(), before);
+        doc.check_integrity().unwrap();
+    }
+
+    // ------------------------------------------------------------------
+    // Update language
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn applied_updates_undo_exactly(
+        frag in arb_fragment(2),
+        value in arb_text(),
+        which in 0u8..3,
+    ) {
+        // Build a document with a known path to operate on.
+        let mut doc = Document::parse(
+            "<r><x><y>old</y></x><x><y>two</y></x></r>"
+        ).unwrap();
+        let target = Query::parse("/r/x").unwrap();
+        let op = match which {
+            0 => UpdateOp::Insert { target, fragment: frag, pos: InsertPos::Into },
+            1 => UpdateOp::Change { target: Query::parse("/r/x/y").unwrap(), new_value: value },
+            _ => UpdateOp::Rename { target: Query::parse("/r/x/y").unwrap(), new_label: "z".into() },
+        };
+        let before = doc.to_xml();
+        let undo = apply_update(&mut doc, &op).unwrap();
+        undo_update(&mut doc, &undo).unwrap();
+        prop_assert_eq!(doc.to_xml(), before);
+        doc.check_integrity().unwrap();
+    }
+
+    // ------------------------------------------------------------------
+    // DataGuide
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn dataguide_covers_every_labelled_node(doc in arb_doc()) {
+        let guide = DataGuide::build(&doc);
+        for node in doc.descendants(doc.root()) {
+            if doc.node(node).unwrap().kind.label().is_some() || node == doc.root() {
+                prop_assert!(
+                    guide.classify(&doc, node).is_some(),
+                    "node {} with path {:?} must classify",
+                    node,
+                    doc.label_path(node).unwrap()
+                );
+            }
+        }
+        // Guide is never larger than the document's labelled-node count.
+        let labelled = doc
+            .descendants(doc.root())
+            .filter(|&n| doc.node(n).unwrap().kind.label().is_some())
+            .count();
+        prop_assert!(guide.len() <= labelled.max(1));
+    }
+
+    #[test]
+    fn guide_match_is_superset_of_eval(doc in arb_doc()) {
+        // Structural guarantee: for any child-path query, every document
+        // node the query matches classifies to a guide node the guide
+        // match returns (the guide is a conservative summary).
+        let guide = DataGuide::build(&doc);
+        for q in ["/a/b", "/a/*", "//name", "//item/price", "/person//note"] {
+            let query = Query::parse(q).unwrap();
+            let matched_guides = guide.match_query(&query);
+            for hit in eval(&doc, &query) {
+                if doc.node(hit).unwrap().is_text() {
+                    continue; // text hits are summarized by parents
+                }
+                let g = guide.classify(&doc, hit).expect("classifies");
+                prop_assert!(
+                    matched_guides.contains(&g),
+                    "query {} matched doc node {} whose guide {} was not locked",
+                    q, hit, g
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Locking
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn lock_table_never_grants_incompatible(
+        requests in prop::collection::vec((1u64..5, 0u32..6, 0usize..8), 1..40)
+    ) {
+        let modes = LockMode::ALL;
+        let mut table = LockTable::new();
+        let mut granted: Vec<(TxnId, dtx::dataguide::GuideId, LockMode)> = Vec::new();
+        for (txn, node, mode_idx) in requests {
+            let txn = TxnId(txn);
+            let node = dtx::dataguide::GuideId(node);
+            let mode = modes[mode_idx % modes.len()];
+            if table.try_acquire(txn, node, mode).is_granted() {
+                // Invariant: compatible with everything other txns hold.
+                for (other, n, m) in &granted {
+                    if *other != txn && *n == node {
+                        prop_assert!(
+                            m.compatible(mode),
+                            "granted {mode} on {node:?} against {other}'s {m}"
+                        );
+                    }
+                }
+                granted.push((txn, node, mode));
+            }
+        }
+    }
+
+    #[test]
+    fn protocols_always_lock_query_targets(doc in arb_doc()) {
+        // For every protocol, evaluating a query after acquiring its lock
+        // requests must be safe: the target guide nodes are covered by at
+        // least one requested lock (directly or via a tree lock above).
+        let mut guide = DataGuide::build(&doc);
+        for kind in [ProtocolKind::Xdgl, ProtocolKind::Node2Pl, ProtocolKind::DocLock] {
+            let protocol = kind.instantiate();
+            for q in ["/a/b", "//name", "/item/price"] {
+                let query = Query::parse(q).unwrap();
+                let targets = guide.match_query(&query);
+                let reqs = protocol.query_requests(&mut guide, &query, TxnMode::ReadOnly);
+                for t in &targets {
+                    let covered = reqs.iter().any(|r| {
+                        r.node == *t
+                            || (r.mode.is_tree()
+                                && (r.node == *t || guide.is_ancestor(r.node, *t)))
+                    });
+                    prop_assert!(
+                        covered,
+                        "{}: query {} target {} uncovered by {:?}",
+                        kind.name(), q, t, reqs
+                    );
+                }
+            }
+        }
+    }
+}
