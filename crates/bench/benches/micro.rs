@@ -46,7 +46,9 @@ fn xpath_eval(c: &mut Criterion) {
     let mut group = c.benchmark_group("xpath_eval");
     for (name, q) in queries {
         let query = Query::parse(q).unwrap();
-        group.bench_function(name, |b| b.iter(|| eval(black_box(&doc), black_box(&query))));
+        group.bench_function(name, |b| {
+            b.iter(|| eval(black_box(&doc), black_box(&query)))
+        });
     }
     group.finish();
 }
@@ -69,14 +71,22 @@ fn lock_requests_per_protocol(c: &mut Criterion) {
         group.bench_function(format!("{}_query", kind.name()), |b| {
             b.iter_batched(
                 || guide.clone(),
-                |mut g| protocol.query_requests(black_box(&mut g), black_box(&query), TxnMode::ReadOnly),
+                |mut g| {
+                    protocol.query_requests(black_box(&mut g), black_box(&query), TxnMode::ReadOnly)
+                },
                 criterion::BatchSize::SmallInput,
             )
         });
         group.bench_function(format!("{}_update", kind.name()), |b| {
             b.iter_batched(
                 || guide.clone(),
-                |mut g| protocol.update_requests(black_box(&mut g), black_box(&update), TxnMode::Updating),
+                |mut g| {
+                    protocol.update_requests(
+                        black_box(&mut g),
+                        black_box(&update),
+                        TxnMode::Updating,
+                    )
+                },
                 criterion::BatchSize::SmallInput,
             )
         });

@@ -18,7 +18,13 @@ fn main() {
     let periods_ms = [10u64, 25, 50, 100, 250];
     println!("# A2 — deadlock-detector period sweep (XDGL)");
     println!("# 4 sites, partial replication, {clients} clients, 40% update txns");
-    header(&["period_ms", "mean_resp_ms", "deadlocks", "detector_runs", "committed"]);
+    header(&[
+        "period_ms",
+        "mean_resp_ms",
+        "deadlocks",
+        "detector_runs",
+        "committed",
+    ]);
     for &period in &periods_ms {
         let env = ExpEnv::standard(ProtocolKind::Xdgl);
         let doc = generate(XmarkConfig::sized(env.base_bytes, env.seed));
@@ -29,7 +35,11 @@ fn main() {
         let cluster = Cluster::start(config);
         let alloc = allocate(&doc, &frags, env.sites, ReplicationMode::Partial);
         load_allocation(&cluster, &alloc).expect("load allocation");
-        let report = run(&cluster, &frags, WorkloadConfig::with_updates(clients, 40, SEED));
+        let report = run(
+            &cluster,
+            &frags,
+            WorkloadConfig::with_updates(clients, 40, SEED),
+        );
         row(&[
             period.to_string(),
             format!("{:.2}", ms(report.mean_response())),

@@ -15,13 +15,32 @@ fn main() {
     let clients = 30;
     println!("# A1 — protocol granularity ablation");
     println!("# 4 sites, partial replication, {clients} clients, 40% update txns");
-    header(&["protocol", "mean_resp_ms", "p95_ms", "deadlocks", "committed", "aborted"]);
-    for protocol in [ProtocolKind::Xdgl, ProtocolKind::Node2Pl, ProtocolKind::DocLock] {
+    header(&[
+        "protocol",
+        "mean_resp_ms",
+        "p95_ms",
+        "deadlocks",
+        "committed",
+        "aborted",
+    ]);
+    for protocol in [
+        ProtocolKind::Xdgl,
+        ProtocolKind::Node2Pl,
+        ProtocolKind::DocLock,
+    ] {
         let (cluster, frags) = setup(ExpEnv::standard(protocol));
-        let report = run(&cluster, &frags, WorkloadConfig::with_updates(clients, 40, SEED));
+        let report = run(
+            &cluster,
+            &frags,
+            WorkloadConfig::with_updates(clients, 40, SEED),
+        );
         let p95 = {
-            let mut rts: Vec<_> =
-                report.outcomes.iter().filter(|o| o.committed()).map(|o| o.response_time).collect();
+            let mut rts: Vec<_> = report
+                .outcomes
+                .iter()
+                .filter(|o| o.committed())
+                .map(|o| o.response_time)
+                .collect();
             rts.sort();
             rts.get(rts.len() * 95 / 100).copied().unwrap_or_default()
         };

@@ -18,7 +18,14 @@ fn main() {
     let clients = 50;
     println!("# E3 / Fig. 10 — response time (ms) and deadlocks vs update txn %");
     println!("# 4 sites, partial replication, {clients} clients, 5x5 ops, 20% update ops/txn");
-    header(&["update_pct", "protocol", "mean_resp_ms", "deadlocks", "committed", "aborted"]);
+    header(&[
+        "update_pct",
+        "protocol",
+        "mean_resp_ms",
+        "deadlocks",
+        "committed",
+        "aborted",
+    ]);
     for protocol in [ProtocolKind::Xdgl, ProtocolKind::Node2Pl] {
         for &pct in &pct_sweep {
             // Fresh cluster per cell: update workloads mutate the base.

@@ -21,7 +21,13 @@ fn main() {
     let clients = 50;
     println!("# E4 / Fig. 11(a) — response time (ms) and deadlocks vs base size");
     println!("# 4 sites, partial replication, {clients} clients, 20% update txns");
-    header(&["base_kib", "protocol", "mean_resp_ms", "deadlocks", "committed"]);
+    header(&[
+        "base_kib",
+        "protocol",
+        "mean_resp_ms",
+        "deadlocks",
+        "committed",
+    ]);
     for protocol in [ProtocolKind::Xdgl, ProtocolKind::Node2Pl] {
         for &size in &sizes {
             let mut env = ExpEnv::standard(protocol);

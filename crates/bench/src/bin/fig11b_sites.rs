@@ -18,7 +18,13 @@ fn main() {
     let clients = 50;
     println!("# E5 / Fig. 11(b) — response time (ms) vs number of sites");
     println!("# partial replication, {clients} clients, 20% update txns, fixed base");
-    header(&["sites", "protocol", "mean_resp_ms", "deadlocks", "committed"]);
+    header(&[
+        "sites",
+        "protocol",
+        "mean_resp_ms",
+        "deadlocks",
+        "committed",
+    ]);
     for protocol in [ProtocolKind::Xdgl, ProtocolKind::Node2Pl] {
         for &sites in &site_sweep {
             let mut env = ExpEnv::standard(protocol);

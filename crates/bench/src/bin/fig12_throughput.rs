@@ -15,15 +15,64 @@
 use dtx_bench::{header, ms, row, run, setup, ExpEnv, SEED};
 use dtx_core::ProtocolKind;
 use dtx_xmark::workload::WorkloadConfig;
+use std::fmt::Write as _;
 use std::time::Duration;
+
+/// Per-protocol results captured for the JSON baseline.
+struct ProtocolResult {
+    name: &'static str,
+    committed: usize,
+    submitted: usize,
+    aborted: usize,
+    wall_ms: f64,
+    max_inflight_remote: usize,
+    /// (t_ms, cumulative commits) series.
+    series: Vec<(f64, usize)>,
+}
+
+/// Emits `BENCH_throughput.json` next to the working directory so later
+/// PRs have a perf trajectory to diff against. Hand-rolled JSON: the
+/// workspace's serde is a no-op shim (see the root manifest).
+fn write_json(results: &[ProtocolResult]) -> std::io::Result<()> {
+    let mut out = String::from("{\n  \"experiment\": \"fig12_throughput\",\n  \"protocols\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let series: Vec<String> = r
+            .series
+            .iter()
+            .map(|(t, c)| format!("[{t:.1}, {c}]"))
+            .collect();
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"committed\": {}, \"submitted\": {}, \"aborted\": {}, \
+             \"wall_ms\": {:.2}, \"max_inflight_remote\": {}, \"throughput_txn_per_s\": {:.2}, \
+             \"series_ms_commits\": [{}]}}",
+            r.name,
+            r.committed,
+            r.submitted,
+            r.aborted,
+            r.wall_ms,
+            r.max_inflight_remote,
+            r.committed as f64 / (r.wall_ms / 1e3).max(1e-9),
+            series.join(", ")
+        );
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_throughput.json", out)
+}
 
 fn main() {
     let clients = 50;
+    let mut results = Vec::new();
     println!("# E6 / Fig. 12 — throughput and concurrency degree");
     println!("# 4 sites, partial replication, {clients} clients x 5 txns = 250 submitted");
     for protocol in [ProtocolKind::Xdgl, ProtocolKind::Node2Pl] {
         let (cluster, frags) = setup(ExpEnv::standard(protocol));
-        let report = run(&cluster, &frags, WorkloadConfig::with_updates(clients, 20, SEED));
+        let report = run(
+            &cluster,
+            &frags,
+            WorkloadConfig::with_updates(clients, 20, SEED),
+        );
         let metrics = cluster.metrics();
         println!("\n== {} ==", protocol.name());
         println!(
@@ -46,6 +95,19 @@ fn main() {
                 format!("{degree:.2}"),
             ]);
         }
+        results.push(ProtocolResult {
+            name: protocol.name(),
+            committed: report.committed(),
+            submitted: report.outcomes.len(),
+            aborted: report.aborted(),
+            wall_ms: ms(report.wall),
+            max_inflight_remote: metrics.max_inflight_remote(),
+            series: tp.iter().map(|(t, c)| (ms(*t), *c)).collect(),
+        });
         cluster.shutdown();
+    }
+    match write_json(&results) {
+        Ok(()) => println!("\n# baseline written to BENCH_throughput.json"),
+        Err(e) => eprintln!("could not write BENCH_throughput.json: {e}"),
     }
 }

@@ -12,7 +12,10 @@ use dtx_xmark::generator::{generate, XmarkConfig};
 
 fn main() {
     println!("# E1 / Fig. 8 — fragmentation and data allocation");
-    println!("# base target: {} KiB (1:100 of the paper's 40 MB)", BASE_BYTES / 1024);
+    println!(
+        "# base target: {} KiB (1:100 of the paper's 40 MB)",
+        BASE_BYTES / 1024
+    );
     let doc = generate(XmarkConfig::sized(BASE_BYTES, SEED));
     println!("# generated base: {} KiB\n", doc.byte_size() / 1024);
 

@@ -17,15 +17,25 @@ fn main() {
     let clients_sweep = [10usize, 20, 30, 40, 50];
     println!("# E2 / Fig. 9 — response time (ms) vs number of clients");
     println!("# 4 sites, 5 read-only txns x 5 ops per client");
-    header(&["clients", "replication", "protocol", "mean_resp_ms", "p95_ms", "committed"]);
+    header(&[
+        "clients",
+        "replication",
+        "protocol",
+        "mean_resp_ms",
+        "p95_ms",
+        "committed",
+    ]);
     for mode in [ReplicationMode::Total, ReplicationMode::Partial] {
         for protocol in [ProtocolKind::Xdgl, ProtocolKind::Node2Pl] {
             let mut env = ExpEnv::standard(protocol);
             env.mode = mode;
             let (cluster, frags) = setup(env);
             for &clients in &clients_sweep {
-                let report =
-                    run(&cluster, &frags, WorkloadConfig::read_only(clients, SEED + clients as u64));
+                let report = run(
+                    &cluster,
+                    &frags,
+                    WorkloadConfig::read_only(clients, SEED + clients as u64),
+                );
                 let summary_p95 = {
                     let mut rts: Vec<_> = report
                         .outcomes

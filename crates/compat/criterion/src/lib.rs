@@ -1,0 +1,339 @@
+//! Offline shim for the `criterion` API subset DTX's micro-benchmarks use.
+//!
+//! Implements a small but honest measurement loop: per benchmark it
+//! calibrates an iteration count to a target measurement time, runs
+//! batched samples, and reports min/mean/max per-iteration time (plus
+//! derived throughput when one was declared). No plotting, no statistics
+//! beyond the three-point summary — the numbers land on stdout and in the
+//! JSON the bench binaries write themselves.
+//!
+//! Supported: `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, `BatchSize`,
+//! `black_box`, `criterion_group!`, `criterion_main!`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    /// Target time each benchmark spends measuring.
+    measurement_time: Duration,
+    /// Substring filter from the command line (criterion-compatible).
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(400),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies a benchmark-name substring filter.
+    pub fn with_filter(mut self, filter: Option<String>) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            header_printed: false,
+        }
+    }
+}
+
+/// Declared work-per-iteration, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Batch sizing for `iter_batched`; the shim treats every variant the same.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A group of benchmarks sharing a name prefix and throughput declaration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    header_printed: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        if let Some(f) = &self.criterion.filter {
+            if !full.contains(f.as_str()) {
+                return;
+            }
+        }
+        if !self.header_printed {
+            println!("group {}", self.name);
+            self.header_printed = true;
+        }
+        let mut bencher = Bencher {
+            measurement_time: self.criterion.measurement_time,
+            samples: Vec::new(),
+        };
+        routine(&mut bencher);
+        report(&full, &bencher.samples, self.throughput);
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| routine(b, input));
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Per-sample measurement state handed to the benchmark closure.
+pub struct Bencher {
+    measurement_time: Duration,
+    /// (iterations, elapsed) per sample.
+    samples: Vec<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the iteration count until one sample is ≥ 1/20 of
+        // the measurement budget, then take up to 20 samples.
+        let budget = self.measurement_time;
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= budget / 20 || iters >= 1 << 30 {
+                self.samples.push((iters, dt));
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        let mut spent = self.samples.last().map(|(_, d)| *d).unwrap_or_default();
+        while spent < budget && self.samples.len() < 20 {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            spent += dt;
+            self.samples.push((iters, dt));
+        }
+    }
+
+    /// Measures `routine` over fresh inputs built by `setup` (setup time
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let budget = self.measurement_time;
+        let mut spent = Duration::ZERO;
+        while spent < budget && self.samples.len() < 200 {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            let dt = t0.elapsed();
+            spent += dt;
+            self.samples.push((1, dt));
+        }
+    }
+}
+
+fn report(name: &str, samples: &[(u64, Duration)], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("  {name}: no samples");
+        return;
+    }
+    let per_iter: Vec<f64> = samples
+        .iter()
+        .map(|(n, d)| d.as_secs_f64() / (*n).max(1) as f64)
+        .collect();
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(0.0, f64::max);
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let tp = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            format!("  {:.1} MiB/s", b as f64 / mean / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(e)) => format!("  {:.0} elem/s", e as f64 / mean),
+        None => String::new(),
+    };
+    println!(
+        "  {name}: [{} {} {}]{tp}",
+        fmt_seconds(min),
+        fmt_seconds(mean),
+        fmt_seconds(max)
+    );
+}
+
+fn fmt_seconds(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+/// Entry point used by `criterion_main!`: builds a `Criterion` from the
+/// command line (ignoring harness flags, honouring a name filter) and runs
+/// every registered group function.
+pub fn run_registered(groups: &[fn(&mut Criterion)]) {
+    let filter = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-') && a != "bench");
+    let mut c = Criterion::default().with_filter(filter);
+    for g in groups {
+        g(&mut c);
+    }
+}
+
+/// Registers benchmark functions under a group name (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `fn main()` running the registered groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $crate::run_registered(&[$($group),+]);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples_and_output() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+            filter: None,
+        };
+        let mut group = c.benchmark_group("shim");
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+            filter: Some("other".into()),
+        };
+        let mut group = c.benchmark_group("shim");
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| ());
+            ran = true;
+        });
+        group.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(2),
+            filter: None,
+        };
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,117 @@
+//! Offline shim for the `crossbeam::channel` API subset DTX uses.
+//!
+//! Backed by `std::sync::mpsc`, whose `Sender` has been `Sync` since Rust
+//! 1.72, which is all the multi-producer use in this workspace needs.
+//! `bounded(n)` is backed by an unbounded queue: every bounded channel in
+//! DTX is a single-use reply channel (capacity 1, exactly one send), so
+//! backpressure never engages and the relaxation is unobservable.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half of a channel (multi-producer via `Clone`).
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message; errors when every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Receive with a timeout.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Iterator over currently queued messages (non-blocking).
+        pub fn try_iter(&self) -> mpsc::TryIter<'_, T> {
+            self.inner.try_iter()
+        }
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    /// A "bounded" channel; see the module note on the capacity relaxation.
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvTimeoutError, TryRecvError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn clone_sender_multi_producer() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(42).unwrap())
+            .join()
+            .unwrap();
+        tx.send(7).unwrap();
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort();
+        assert_eq!(got, vec![7, 42]);
+    }
+
+    #[test]
+    fn timeout_and_disconnect() {
+        let (tx, rx) = bounded::<u32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Offline shim for the `parking_lot` API subset DTX uses: `Mutex` and
+//! `RwLock` whose lock methods return guards directly (no poison `Result`).
+//! Backed by `std::sync`; a poisoned lock is recovered by taking the inner
+//! guard, matching parking_lot's no-poisoning semantics.
+
+use std::fmt;
+use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// A mutex returning its guard directly from `lock()`.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex guarding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, recovering from poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// A reader-writer lock returning guards directly from `read()`/`write()`.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a lock guarding `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard, recovering from poisoning.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires the exclusive write guard, recovering from poisoning.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let l = RwLock::new(vec![1]);
+        assert_eq!(l.read().len(), 1);
+        l.write().push(2);
+        assert_eq!(*l.read(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` purely as markers (the
+//! simulated transport passes payloads by move, never through bytes), so
+//! this shim provides the two trait names with blanket implementations and
+//! re-exports the no-op derive macros. Replacing it with the real serde is
+//! a one-line change in the workspace manifest; the derive attributes in
+//! the code are already the real thing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -53,12 +53,20 @@ impl Catalog {
 
     /// The replica sites of `doc` (empty when unknown).
     pub fn sites_of(&self, doc: &str) -> Vec<SiteId> {
-        self.map.read().get(doc).map(|(s, _)| s.clone()).unwrap_or_default()
+        self.map
+            .read()
+            .get(doc)
+            .map(|(s, _)| s.clone())
+            .unwrap_or_default()
     }
 
     /// True when `site` holds a replica of `doc`.
     pub fn holds(&self, site: SiteId, doc: &str) -> bool {
-        self.map.read().get(doc).map(|(s, _)| s.contains(&site)).unwrap_or(false)
+        self.map
+            .read()
+            .get(doc)
+            .map(|(s, _)| s.contains(&site))
+            .unwrap_or(false)
     }
 
     /// All document names (sorted).
@@ -122,7 +130,10 @@ mod tests {
         let c = Catalog::new();
         c.register("d1", &[SiteId(0), SiteId(1)]);
         c.register("d2", &[SiteId(1)]);
-        assert_eq!(c.documents_at(SiteId(1)), vec!["d1".to_owned(), "d2".to_owned()]);
+        assert_eq!(
+            c.documents_at(SiteId(1)),
+            vec!["d1".to_owned(), "d2".to_owned()]
+        );
         assert_eq!(c.documents_at(SiteId(0)), vec!["d1".to_owned()]);
         assert_eq!(c.documents(), vec!["d1".to_owned(), "d2".to_owned()]);
     }

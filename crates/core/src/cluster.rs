@@ -100,7 +100,11 @@ impl DtxInstance {
     pub fn load_document(&self, name: &str, xml: &str) -> Result<(), String> {
         let (ack, rx) = bounded(1);
         self.control
-            .send(Control::LoadDoc { name: name.to_owned(), xml: xml.to_owned(), ack })
+            .send(Control::LoadDoc {
+                name: name.to_owned(),
+                xml: xml.to_owned(),
+                ack,
+            })
             .map_err(|_| "scheduler is down".to_owned())?;
         rx.recv().map_err(|_| "scheduler is down".to_owned())?
     }
@@ -160,9 +164,19 @@ impl Cluster {
                 .name(format!("dtx-scheduler-{site}"))
                 .spawn(move || scheduler.run())
                 .expect("spawn scheduler");
-            instances.push(DtxInstance { site, control: control_tx, handle: Some(handle) });
+            instances.push(DtxInstance {
+                site,
+                control: control_tx,
+                handle: Some(handle),
+            });
         }
-        Cluster { instances, net, catalog, metrics, config }
+        Cluster {
+            instances,
+            net,
+            catalog,
+            metrics,
+            config,
+        }
     }
 
     /// The cluster's configuration.
@@ -230,7 +244,10 @@ impl Cluster {
     /// # Panics
     /// Panics when `site` is not part of this cluster.
     pub fn instance(&self, site: SiteId) -> &DtxInstance {
-        self.instances.iter().find(|i| i.site == site).expect("site exists")
+        self.instances
+            .iter()
+            .find(|i| i.site == site)
+            .expect("site exists")
     }
 
     /// The shared replica catalog.
@@ -288,7 +305,9 @@ mod tests {
         assert!(out.committed(), "{:?}", out.status);
         assert_eq!(
             out.results,
-            vec![crate::op::OpResult::Query { values: vec!["John".to_owned()] }]
+            vec![crate::op::OpResult::Query {
+                values: vec!["John".to_owned()]
+            }]
         );
         cluster.shutdown();
     }
@@ -306,7 +325,10 @@ mod tests {
                         target: q("/products"),
                         fragment: Fragment::elem(
                             "product",
-                            vec![Fragment::elem_text("id", "13"), Fragment::elem_text("price", "10.30")],
+                            vec![
+                                Fragment::elem_text("id", "13"),
+                                Fragment::elem_text("price", "10.30"),
+                            ],
                         ),
                         pos: InsertPos::Into,
                     },
@@ -327,14 +349,19 @@ mod tests {
     #[test]
     fn distributed_query_touches_all_replicas() {
         let cluster = Cluster::start(ClusterConfig::new(2, ProtocolKind::Xdgl));
-        cluster.load_document("d1", D1, &[SiteId(0), SiteId(1)]).unwrap();
+        cluster
+            .load_document("d1", D1, &[SiteId(0), SiteId(1)])
+            .unwrap();
         // Coordinator 0 must lock at both sites (the paper's t1op1).
         let out = cluster.submit(
             SiteId(0),
             TxnSpec::new(vec![OpSpec::query("d1", q("/people/person[id=4]"))]),
         );
         assert!(out.committed(), "{:?}", out.status);
-        assert!(cluster.net_messages() > 0, "remote execution goes over the network");
+        assert!(
+            cluster.net_messages() > 0,
+            "remote execution goes over the network"
+        );
         cluster.shutdown();
     }
 
@@ -347,7 +374,10 @@ mod tests {
             SiteId(0),
             TxnSpec::new(vec![OpSpec::update(
                 "d2",
-                UpdateOp::Change { target: q("/products/product/price"), new_value: "60".into() },
+                UpdateOp::Change {
+                    target: q("/products/product/price"),
+                    new_value: "60".into(),
+                },
             )]),
         );
         assert!(out.committed(), "{:?}", out.status);
@@ -372,14 +402,19 @@ mod tests {
             SiteId(2),
             TxnSpec::new(vec![OpSpec::update(
                 "d2",
-                UpdateOp::Change { target: q("/products/product[id=14]/price"), new_value: "1.00".into() },
+                UpdateOp::Change {
+                    target: q("/products/product[id=14]/price"),
+                    new_value: "1.00".into(),
+                },
             )]),
         );
         assert!(out.committed(), "{:?}", out.status);
         // Read from every site: replicas agree.
         for s in all {
-            let out = cluster
-                .submit(s, TxnSpec::new(vec![OpSpec::query("d2", q("/products/product/price"))]));
+            let out = cluster.submit(
+                s,
+                TxnSpec::new(vec![OpSpec::query("d2", q("/products/product/price"))]),
+            );
             match &out.results[0] {
                 crate::op::OpResult::Query { values } => {
                     assert_eq!(values, &vec!["1.00".to_owned()], "site {s}")
@@ -393,9 +428,14 @@ mod tests {
     #[test]
     fn unknown_document_aborts() {
         let cluster = Cluster::start(ClusterConfig::new(1, ProtocolKind::Xdgl));
-        let out =
-            cluster.submit(SiteId(0), TxnSpec::new(vec![OpSpec::query("ghost", q("/a"))]));
-        assert!(matches!(out.status, TxnStatus::Aborted(crate::op::AbortReason::OperationFailed(_))));
+        let out = cluster.submit(
+            SiteId(0),
+            TxnSpec::new(vec![OpSpec::query("ghost", q("/a"))]),
+        );
+        assert!(matches!(
+            out.status,
+            TxnStatus::Aborted(crate::op::AbortReason::OperationFailed(_))
+        ));
         cluster.shutdown();
     }
 
@@ -408,16 +448,26 @@ mod tests {
             TxnSpec::new(vec![
                 OpSpec::update(
                     "d2",
-                    UpdateOp::Change { target: q("/products/product/price"), new_value: "9".into() },
+                    UpdateOp::Change {
+                        target: q("/products/product/price"),
+                        new_value: "9".into(),
+                    },
                 ),
                 // This remove targets nothing → operation fails → abort.
-                OpSpec::update("d2", UpdateOp::Remove { target: q("/products/widget") }),
+                OpSpec::update(
+                    "d2",
+                    UpdateOp::Remove {
+                        target: q("/products/widget"),
+                    },
+                ),
             ]),
         );
         assert!(!out.committed());
         // First op's change must have been rolled back.
-        let check = cluster
-            .submit(SiteId(0), TxnSpec::new(vec![OpSpec::query("d2", q("/products/product/price"))]));
+        let check = cluster.submit(
+            SiteId(0),
+            TxnSpec::new(vec![OpSpec::query("d2", q("/products/product/price"))]),
+        );
         match &check.results[0] {
             crate::op::OpResult::Query { values } => assert_eq!(values, &vec!["55.50".to_owned()]),
             other => panic!("{other:?}"),
@@ -481,7 +531,9 @@ mod tests {
         let cfg = ClusterConfig::new(2, ProtocolKind::Xdgl)
             .with_deadlock_period(Duration::from_millis(20));
         let cluster = Cluster::start(cfg);
-        cluster.load_document("d1", D1, &[SiteId(0), SiteId(1)]).unwrap();
+        cluster
+            .load_document("d1", D1, &[SiteId(0), SiteId(1)])
+            .unwrap();
         cluster.load_document("d2", D2, &[SiteId(1)]).unwrap();
         let t1 = TxnSpec::new(vec![
             OpSpec::query("d1", q("/people/person")),
@@ -507,10 +559,19 @@ mod tests {
         ]);
         let rx1 = cluster.submit_async(SiteId(0), t1);
         let rx2 = cluster.submit_async(SiteId(1), t2);
-        let o1 = rx1.recv_timeout(Duration::from_secs(60)).expect("t1 terminates");
-        let o2 = rx2.recv_timeout(Duration::from_secs(60)).expect("t2 terminates");
+        let o1 = rx1
+            .recv_timeout(Duration::from_secs(60))
+            .expect("t1 terminates");
+        let o2 = rx2
+            .recv_timeout(Duration::from_secs(60))
+            .expect("t2 terminates");
         // At least one commits; a deadlock abort is acceptable for the other.
-        assert!(o1.committed() || o2.committed(), "o1={:?} o2={:?}", o1.status, o2.status);
+        assert!(
+            o1.committed() || o2.committed(),
+            "o1={:?} o2={:?}",
+            o1.status,
+            o2.status
+        );
         for o in [&o1, &o2] {
             assert!(
                 o.committed() || o.deadlocked(),

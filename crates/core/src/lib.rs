@@ -34,7 +34,7 @@ pub use cluster::{Cluster, ClusterConfig, DtxInstance};
 pub use dtx_locks::{ProtocolKind, TxnId};
 pub use dtx_net::SiteId;
 pub use lockmgr::{LockManager, OpCostModel, ProcessResult};
-pub use metrics::{Metrics, Summary, TxnRecord};
+pub use metrics::{Metrics, PhaseTimes, Summary, TxnRecord};
 pub use msg::Message;
 pub use op::{AbortReason, OpKind, OpResult, OpSpec, TxnOutcome, TxnSpec, TxnStatus};
 pub use scheduler::{Control, Scheduler, SchedulerConfig};

@@ -58,6 +58,9 @@ struct UndoEntry {
     record: UndoRecord,
 }
 
+/// One acquired lock: guide node, mode, owning document.
+type AcquiredLock = (dtx_dataguide::GuideId, dtx_locks::LockMode, String);
+
 /// Wall-clock cost charged per operation, modelling the work a real
 /// deployment spends that this in-memory reproduction otherwise wouldn't:
 /// lock-table maintenance (per [`LockProtocol::lock_weight`] unit — this
@@ -120,7 +123,7 @@ pub struct LockManager {
     /// Locks acquired per (txn, op_seq), so a partially-executed
     /// distributed operation can release exactly its own locks
     /// (Alg. 1 l. 16 / Alg. 3 l. 12).
-    op_locks: HashMap<(TxnId, usize), Vec<(dtx_dataguide::GuideId, dtx_locks::LockMode, String)>>,
+    op_locks: HashMap<(TxnId, usize), Vec<AcquiredLock>>,
     /// Documents touched (locked or read) per transaction.
     touched: HashMap<TxnId, Vec<String>>,
     /// This site's waits-for relation. Owned here so lock releases can
@@ -169,7 +172,15 @@ impl LockManager {
             .get(name)
             .map(|d| d.tag)
             .unwrap_or_else(|| (self.docs.len() as u32) << 24);
-        self.docs.insert(name.to_owned(), DocState { doc, guide, dirty: false, tag });
+        self.docs.insert(
+            name.to_owned(),
+            DocState {
+                doc,
+                guide,
+                dirty: false,
+                tag,
+            },
+        );
         Ok(())
     }
 
@@ -238,15 +249,20 @@ impl LockManager {
         };
         // Lock-management work this operation performs (per protocol —
         // this is where document-tree locking pays per covered node).
-        let lock_units: u64 =
-            requests.iter().map(|r| self.protocol.lock_weight(&state.guide, r)).sum();
+        let lock_units: u64 = requests
+            .iter()
+            .map(|r| self.protocol.lock_weight(&state.guide, r))
+            .sum();
         // 2. Walk the guide elements of the operation, acquiring locks
         //    (Alg. 3 l. 3-4). Guide ids are offset by the document tag so
         //    replicas of different documents never alias in the shared
         //    table.
         let mut acquired: Vec<(dtx_dataguide::GuideId, dtx_locks::LockMode, String)> = Vec::new();
         for req in &requests {
-            match self.table.try_acquire(txn, doc_scoped(tag, req.node), req.mode) {
+            match self
+                .table
+                .try_acquire(txn, doc_scoped(tag, req.node), req.mode)
+            {
                 LockOutcome::Granted => {
                     acquired.push((doc_scoped(tag, req.node), req.mode, op.doc.clone()))
                 }
@@ -255,7 +271,13 @@ impl LockManager {
                     let pairs: Vec<_> = acquired.iter().map(|(g, m, _)| (*g, *m)).collect();
                     self.table.release_scoped(txn, &pairs);
                     // Record the wait (Alg. 3 l. 8) and check for a local
-                    // cycle (l. 9).
+                    // cycle (l. 9). A transaction executes one operation at
+                    // a time, so its current waits *replace* the ones from
+                    // earlier retries of this operation — accumulating them
+                    // would let stale edges (holders that have since
+                    // released) fabricate deadlock cycles out of plain
+                    // retries.
+                    self.wfg.clear_waits_of(txn);
                     self.wfg.add_edges(txn, &holders);
                     let deadlock = self.wfg.has_cycle();
                     // The traversal + partial acquisition work was done.
@@ -267,7 +289,10 @@ impl LockManager {
         // All locks held: the transaction no longer waits (Alg. 1: waiting
         // transactions "start executing again").
         self.wfg.clear_waits_of(txn);
-        self.op_locks.entry((txn, op_seq)).or_default().extend(acquired);
+        self.op_locks
+            .entry((txn, op_seq))
+            .or_default()
+            .extend(acquired);
         let touched = self.touched.entry(txn).or_default();
         if !touched.contains(&op.doc) {
             touched.push(op.doc.clone());
@@ -276,8 +301,10 @@ impl LockManager {
         match &op.kind {
             OpKind::Query(q) => {
                 let nodes = eval(&state.doc, q);
-                let values: Vec<String> =
-                    nodes.iter().map(|&n| dtx_xpath::eval::string_value(&state.doc, n)).collect();
+                let values: Vec<String> = nodes
+                    .iter()
+                    .map(|&n| dtx_xpath::eval::string_value(&state.doc, n))
+                    .collect();
                 self.cost.charge(lock_units, nodes.len() as u64);
                 ProcessResult::Executed(OpResult::Query { values })
             }
@@ -285,10 +312,11 @@ impl LockManager {
                 Ok(record) => {
                     let affected = undo_size(&record);
                     state.dirty = true;
-                    self.undo_log
-                        .entry(txn)
-                        .or_default()
-                        .push(UndoEntry { doc: op.doc.clone(), op_seq, record });
+                    self.undo_log.entry(txn).or_default().push(UndoEntry {
+                        doc: op.doc.clone(),
+                        op_seq,
+                        record,
+                    });
                     self.cost.charge(lock_units, affected as u64);
                     ProcessResult::Executed(OpResult::Update { affected })
                 }
@@ -458,7 +486,10 @@ mod tests {
                 target: q("/products"),
                 fragment: Fragment::elem(
                     "product",
-                    vec![Fragment::elem_text("id", "13"), Fragment::elem_text("name", "Mouse")],
+                    vec![
+                        Fragment::elem_text("id", "13"),
+                        Fragment::elem_text("name", "Mouse"),
+                    ],
                 ),
                 pos: InsertPos::Into,
             },
@@ -478,7 +509,10 @@ mod tests {
         let mut lm = manager();
         let op = OpSpec::update(
             "d2",
-            UpdateOp::Change { target: q("/products/product[id=4]/price"), new_value: "99".into() },
+            UpdateOp::Change {
+                target: q("/products/product[id=4]/price"),
+                new_value: "99".into(),
+            },
         );
         assert!(matches!(
             lm.process_operation(TxnId(1), 0, &op, TxnMode::Updating, false),
@@ -536,7 +570,10 @@ mod tests {
         let scan_products = OpSpec::query("d2", q("/products/product"));
         let change_price = OpSpec::update(
             "d2",
-            UpdateOp::Change { target: q("/products/product/price"), new_value: "0".into() },
+            UpdateOp::Change {
+                target: q("/products/product/price"),
+                new_value: "0".into(),
+            },
         );
         let scan_price = OpSpec::query("d2", q("/products/product/price"));
         let insert_product = OpSpec::update(
@@ -576,14 +613,26 @@ mod tests {
         let before = lm.document("d2").unwrap().to_xml();
         let op0 = OpSpec::update(
             "d2",
-            UpdateOp::Change { target: q("/products/product[id=4]/price"), new_value: "1".into() },
+            UpdateOp::Change {
+                target: q("/products/product[id=4]/price"),
+                new_value: "1".into(),
+            },
         );
         let op1 = OpSpec::update(
             "d2",
-            UpdateOp::Change { target: q("/products/product[id=14]/price"), new_value: "2".into() },
+            UpdateOp::Change {
+                target: q("/products/product[id=14]/price"),
+                new_value: "2".into(),
+            },
         );
-        assert!(matches!(lm.process_operation(TxnId(1), 0, &op0, TxnMode::Updating, false), ProcessResult::Executed(_)));
-        assert!(matches!(lm.process_operation(TxnId(1), 1, &op1, TxnMode::Updating, false), ProcessResult::Executed(_)));
+        assert!(matches!(
+            lm.process_operation(TxnId(1), 0, &op0, TxnMode::Updating, false),
+            ProcessResult::Executed(_)
+        ));
+        assert!(matches!(
+            lm.process_operation(TxnId(1), 1, &op1, TxnMode::Updating, false),
+            ProcessResult::Executed(_)
+        ));
         // Undo only op 1.
         lm.undo_op(TxnId(1), 1);
         let doc = lm.document("d2").unwrap();
@@ -601,7 +650,9 @@ mod tests {
         let mut lm = manager();
         let op = OpSpec::update(
             "d2",
-            UpdateOp::Remove { target: q("/products/widget") },
+            UpdateOp::Remove {
+                target: q("/products/widget"),
+            },
         );
         assert!(matches!(
             lm.process_operation(TxnId(1), 0, &op, TxnMode::Updating, false),
@@ -628,13 +679,29 @@ mod tests {
         lm.load_document("a").unwrap();
         lm.load_document("b").unwrap();
         // t1 exclusively locks doc a (root), t2 exclusively locks doc b.
-        let upd_a =
-            OpSpec::update("a", UpdateOp::Change { target: q("/r/x"), new_value: "2".into() });
-        let upd_b =
-            OpSpec::update("b", UpdateOp::Change { target: q("/r/x"), new_value: "3".into() });
-        assert!(matches!(lm.process_operation(TxnId(1), 0, &upd_a, TxnMode::Updating, false), ProcessResult::Executed(_)));
+        let upd_a = OpSpec::update(
+            "a",
+            UpdateOp::Change {
+                target: q("/r/x"),
+                new_value: "2".into(),
+            },
+        );
+        let upd_b = OpSpec::update(
+            "b",
+            UpdateOp::Change {
+                target: q("/r/x"),
+                new_value: "3".into(),
+            },
+        );
+        assert!(matches!(
+            lm.process_operation(TxnId(1), 0, &upd_a, TxnMode::Updating, false),
+            ProcessResult::Executed(_)
+        ));
         // Same guide id (root = 0) in a different document must not clash.
-        assert!(matches!(lm.process_operation(TxnId(2), 0, &upd_b, TxnMode::Updating, false), ProcessResult::Executed(_)));
+        assert!(matches!(
+            lm.process_operation(TxnId(2), 0, &upd_b, TxnMode::Updating, false),
+            ProcessResult::Executed(_)
+        ));
     }
 
     #[test]

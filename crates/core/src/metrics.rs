@@ -10,7 +10,38 @@ use crate::op::{AbortReason, TxnStatus};
 use dtx_locks::TxnId;
 use dtx_net::SiteId;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+/// Time a coordinated transaction spent in each scheduler state.
+///
+/// The scheduler advances every transaction through an explicit state
+/// machine (ready → waiting / awaiting-remote-ops → terminating); these
+/// buckets partition the whole response time, so they localize where
+/// latency goes: lock contention shows up in `waiting`, network
+/// round-trips in `remote`, commit/abort protocol cost in `terminating`,
+/// and scheduler queueing in `ready`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Runnable but not yet dispatched (scheduler queueing delay).
+    pub ready: Duration,
+    /// In wait mode after a lock denial, until the retry fired.
+    pub waiting: Duration,
+    /// Awaiting remote-operation responses (`AwaitingRemoteOps`).
+    pub remote: Duration,
+    /// Awaiting commit/abort acknowledgements.
+    pub terminating: Duration,
+}
+
+impl PhaseTimes {
+    /// Adds `other` into `self`, bucket by bucket.
+    pub fn accumulate(&mut self, other: &PhaseTimes) {
+        self.ready += other.ready;
+        self.waiting += other.waiting;
+        self.remote += other.remote;
+        self.terminating += other.terminating;
+    }
+}
 
 /// One terminated transaction.
 #[derive(Debug, Clone)]
@@ -29,6 +60,8 @@ pub struct TxnRecord {
     pub ops: usize,
     /// Whether any operation was an update.
     pub is_update: bool,
+    /// Per-scheduler-state timing breakdown.
+    pub phase_times: PhaseTimes,
 }
 
 impl TxnRecord {
@@ -44,6 +77,11 @@ pub struct Metrics {
     origin: Instant,
     records: Mutex<Vec<TxnRecord>>,
     detector_runs: Mutex<u64>,
+    /// High-water mark of transactions simultaneously in
+    /// `AwaitingRemoteOps` at any single coordinator — the direct measure
+    /// of distributed-operation pipelining (the blocking nested-pump
+    /// design pinned this at 1 per site).
+    max_inflight_remote: AtomicUsize,
 }
 
 impl Default for Metrics {
@@ -55,7 +93,24 @@ impl Default for Metrics {
 impl Metrics {
     /// New collector; `origin` is "time zero" for the series.
     pub fn new() -> Self {
-        Metrics { origin: Instant::now(), records: Mutex::new(Vec::new()), detector_runs: Mutex::new(0) }
+        Metrics {
+            origin: Instant::now(),
+            records: Mutex::new(Vec::new()),
+            detector_runs: Mutex::new(0),
+            max_inflight_remote: AtomicUsize::new(0),
+        }
+    }
+
+    /// Reports that a coordinator currently has `n` transactions in
+    /// `AwaitingRemoteOps`; the high-water mark is kept.
+    pub fn note_inflight_remote(&self, n: usize) {
+        self.max_inflight_remote.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Highest number of distributed operations any single coordinator
+    /// had in flight simultaneously.
+    pub fn max_inflight_remote(&self) -> usize {
+        self.max_inflight_remote.load(Ordering::Relaxed)
     }
 
     /// Records a terminated transaction.
@@ -87,6 +142,7 @@ impl Metrics {
         let mut last: Option<Instant> = None;
         for r in records.iter() {
             s.terminated += 1;
+            s.phase_times.accumulate(&r.phase_times);
             match &r.status {
                 TxnStatus::Committed => {
                     s.committed += 1;
@@ -119,14 +175,18 @@ impl Metrics {
     /// each `bucket`-sized interval since the first submission.
     pub fn throughput_series(&self, bucket: Duration) -> Vec<(Duration, usize)> {
         let records = self.records.lock();
-        let Some(start) = records.iter().map(|r| r.submitted).min() else { return Vec::new() };
+        let Some(start) = records.iter().map(|r| r.submitted).min() else {
+            return Vec::new();
+        };
         let mut ends: Vec<Duration> = records
             .iter()
             .filter(|r| r.status == TxnStatus::Committed)
             .map(|r| r.finished.duration_since(start))
             .collect();
         ends.sort();
-        let Some(&latest) = ends.last() else { return Vec::new() };
+        let Some(&latest) = ends.last() else {
+            return Vec::new();
+        };
         let buckets = (latest.as_nanos() / bucket.as_nanos().max(1)) as usize + 1;
         let mut out = Vec::with_capacity(buckets);
         for b in 1..=buckets {
@@ -141,8 +201,12 @@ impl Metrics {
     /// during each `bucket`-sized interval.
     pub fn concurrency_series(&self, bucket: Duration) -> Vec<(Duration, f64)> {
         let records = self.records.lock();
-        let Some(start) = records.iter().map(|r| r.submitted).min() else { return Vec::new() };
-        let Some(end) = records.iter().map(|r| r.finished).max() else { return Vec::new() };
+        let Some(start) = records.iter().map(|r| r.submitted).min() else {
+            return Vec::new();
+        };
+        let Some(end) = records.iter().map(|r| r.finished).max() else {
+            return Vec::new();
+        };
         let total = end.duration_since(start);
         let buckets = (total.as_nanos() / bucket.as_nanos().max(1)) as usize + 1;
         let mut out = Vec::with_capacity(buckets);
@@ -194,6 +258,9 @@ pub struct Summary {
     pub max_response: Duration,
     /// First submission → last termination.
     pub makespan: Duration,
+    /// Sum of per-state time over all terminated transactions (see
+    /// [`PhaseTimes`]): where the response time actually went.
+    pub phase_times: PhaseTimes,
 }
 
 #[cfg(test)]
@@ -209,6 +276,7 @@ mod tests {
             status,
             ops: 5,
             is_update: false,
+            phase_times: PhaseTimes::default(),
         }
     }
 
@@ -219,7 +287,13 @@ mod tests {
         m.record(rec(1, 0, 10, TxnStatus::Committed, base));
         m.record(rec(2, 0, 20, TxnStatus::Committed, base));
         m.record(rec(3, 0, 30, TxnStatus::Committed, base));
-        m.record(rec(4, 0, 5, TxnStatus::Aborted(AbortReason::Deadlock), base));
+        m.record(rec(
+            4,
+            0,
+            5,
+            TxnStatus::Aborted(AbortReason::Deadlock),
+            base,
+        ));
         m.record(rec(5, 0, 5, TxnStatus::Failed("x".into()), base));
         let s = m.summary();
         assert_eq!(s.terminated, 5);
@@ -245,7 +319,13 @@ mod tests {
         let base = Instant::now();
         m.record(rec(1, 0, 10, TxnStatus::Committed, base));
         m.record(rec(2, 0, 25, TxnStatus::Committed, base));
-        m.record(rec(3, 0, 25, TxnStatus::Aborted(AbortReason::Deadlock), base));
+        m.record(rec(
+            3,
+            0,
+            25,
+            TxnStatus::Aborted(AbortReason::Deadlock),
+            base,
+        ));
         let series = m.throughput_series(Duration::from_millis(10));
         // Buckets at 10, 20, 30 ms → cumulative 1, 1, 2.
         assert_eq!(series.len(), 3);
@@ -274,5 +354,33 @@ mod tests {
         m.note_detector_run();
         m.note_detector_run();
         assert_eq!(m.detector_runs(), 2);
+    }
+
+    #[test]
+    fn inflight_remote_keeps_high_water_mark() {
+        let m = Metrics::new();
+        assert_eq!(m.max_inflight_remote(), 0);
+        m.note_inflight_remote(2);
+        m.note_inflight_remote(5);
+        m.note_inflight_remote(3);
+        assert_eq!(m.max_inflight_remote(), 5);
+    }
+
+    #[test]
+    fn summary_accumulates_phase_times() {
+        let m = Metrics::new();
+        let base = Instant::now();
+        let mut r = rec(1, 0, 10, TxnStatus::Committed, base);
+        r.phase_times.waiting = Duration::from_millis(4);
+        r.phase_times.remote = Duration::from_millis(3);
+        m.record(r);
+        let mut r2 = rec(2, 0, 20, TxnStatus::Committed, base);
+        r2.phase_times.waiting = Duration::from_millis(1);
+        r2.phase_times.terminating = Duration::from_millis(2);
+        m.record(r2);
+        let s = m.summary();
+        assert_eq!(s.phase_times.waiting, Duration::from_millis(5));
+        assert_eq!(s.phase_times.remote, Duration::from_millis(3));
+        assert_eq!(s.phase_times.terminating, Duration::from_millis(2));
     }
 }

@@ -25,9 +25,12 @@ pub enum Message {
         op_seq: usize,
         /// The operation itself.
         op: OpSpec,
-        /// Retry attempt number, echoed in the response so responses to
-        /// undone attempts are discarded.
-        attempt: u64,
+        /// Correlation id of this dispatch, unique per coordinator
+        /// scheduler. Echoed in the response: the coordinator's
+        /// continuation table is keyed by it, so responses to undone
+        /// retries or aborted transactions fall on the floor instead of
+        /// polluting a newer dispatch.
+        corr: u64,
         /// Whether the transaction contains updates (coarse protocols
         /// lock conservatively for updating transactions).
         update_txn: bool,
@@ -39,8 +42,8 @@ pub enum Message {
         txn: TxnId,
         /// Operation index.
         op_seq: usize,
-        /// Attempt this response answers.
-        attempt: u64,
+        /// Correlation id this response answers.
+        corr: u64,
         /// Reporting site.
         site: SiteId,
         /// Whether all locks were acquired (Alg. 2 l. 8 sets false).
@@ -147,15 +150,25 @@ mod tests {
     fn wire_sizes_reflect_payloads() {
         let small = Message::Commit { txn: TxnId(1) };
         let op = OpSpec::query("d", Query::parse("/a/b/c").unwrap());
-        let exec =
-            Message::ExecRemote { txn: TxnId(1), coordinator: SiteId(0), op_seq: 0, op, attempt: 1, update_txn: false };
+        let exec = Message::ExecRemote {
+            txn: TxnId(1),
+            coordinator: SiteId(0),
+            op_seq: 0,
+            op,
+            corr: 1,
+            update_txn: false,
+        };
         assert!(exec.wire_size() > small.wire_size());
 
         let mut g = WaitForGraph::new();
         for i in 0..10 {
             g.add_edge(TxnId(i), TxnId(i + 1));
         }
-        let reply = Message::WfgReply { site: SiteId(0), round: 1, graph: g };
+        let reply = Message::WfgReply {
+            site: SiteId(0),
+            round: 1,
+            graph: g,
+        };
         assert!(reply.wire_size() >= 32 + 160);
     }
 }

@@ -28,12 +28,18 @@ pub enum OpKind {
 impl OpSpec {
     /// A query operation.
     pub fn query(doc: impl Into<String>, query: Query) -> Self {
-        OpSpec { doc: doc.into(), kind: OpKind::Query(query) }
+        OpSpec {
+            doc: doc.into(),
+            kind: OpKind::Query(query),
+        }
     }
 
     /// An update operation.
     pub fn update(doc: impl Into<String>, op: UpdateOp) -> Self {
-        OpSpec { doc: doc.into(), kind: OpKind::Update(op) }
+        OpSpec {
+            doc: doc.into(),
+            kind: OpKind::Update(op),
+        }
     }
 
     /// True for updates.
@@ -46,9 +52,9 @@ impl OpSpec {
         let body = match &self.kind {
             OpKind::Query(q) => q.to_string().len(),
             OpKind::Update(u) => match u {
-                UpdateOp::Insert { target, fragment, .. } => {
-                    target.to_string().len() + fragment.byte_size()
-                }
+                UpdateOp::Insert {
+                    target, fragment, ..
+                } => target.to_string().len() + fragment.byte_size(),
                 other => other.to_string().len(),
             },
         };
@@ -155,7 +161,9 @@ mod tests {
         assert!(!q.is_update());
         let u = OpSpec::update(
             "d2",
-            UpdateOp::Remove { target: Query::parse("/products/product").unwrap() },
+            UpdateOp::Remove {
+                target: Query::parse("/products/product").unwrap(),
+            },
         );
         assert!(u.is_update());
         let t = TxnSpec::new(vec![q.clone(), u]);

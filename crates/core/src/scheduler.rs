@@ -10,33 +10,45 @@
 //!
 //! ## Concurrency model
 //!
-//! The scheduler is a single-threaded event loop: it alternates between
-//! draining client submissions, draining scheduler-to-scheduler messages,
-//! running deadlock detection when due, and executing the next available
-//! operation of a coordinated transaction. While a coordinator "waits for
-//! the operation to be executed on all the sites" (Alg. 1 l. 14) or for
-//! commit/abort acknowledgements (Alg. 5/6), it keeps serving participant
-//! duties through a nested message pump — otherwise two coordinators
-//! waiting on each other's acknowledgements would deadlock the protocol
-//! itself.
+//! The scheduler is a single-threaded, **event-driven state machine**.
+//! Every coordinated transaction carries an explicit [`Phase`]; the event
+//! loop drains client submissions and scheduler-to-scheduler messages,
+//! advances whichever transactions became runnable, and sweeps state
+//! deadlines — it never blocks on a remote round-trip.
 //!
-//! Transactions denied a lock enter **wait mode** (Alg. 1 l. 9/17) and are
-//! retried after a short jittered interval; their wait-for edges live in
-//! the lock-holding site's graph until the retry succeeds or a deadlock
-//! detector aborts a victim.
+//! Where Algorithm 1 says the coordinator "waits for the operation to be
+//! executed on all the sites" (l. 14), the transaction enters
+//! [`Phase::AwaitingRemoteOps`] and the loop moves on: the dispatched
+//! operation lives in a continuation table keyed by a correlation id, and
+//! the arrival of the last `RemoteDone` (or the deadline) resumes it.
+//! Commit and abort acknowledgement waits (Alg. 5/6) work the same way
+//! through [`Phase::AwaitingCommitAcks`] / [`Phase::AwaitingAbortAcks`].
+//! One scheduler thread therefore pipelines many in-flight distributed
+//! transactions instead of head-of-line blocking on each round-trip — the
+//! earlier design's nested message pump served participant duties while
+//! blocked but could drive only **one** coordinated round-trip at a time.
+//!
+//! Transactions denied a lock enter **wait mode** (Alg. 1 l. 9/17,
+//! [`Phase::Waiting`]) and are retried after a short jittered interval;
+//! their wait-for edges live in the lock-holding site's graph until the
+//! retry succeeds or a deadlock detector aborts a victim.
 
 use crate::catalog::Catalog;
 use crate::lockmgr::{LockManager, ProcessResult};
-use crate::metrics::{Metrics, TxnRecord};
+use crate::metrics::{Metrics, PhaseTimes, TxnRecord};
 use crate::msg::Message;
 use crate::op::{AbortReason, OpResult, OpSpec, TxnOutcome, TxnSpec, TxnStatus};
 use crossbeam::channel::{Receiver, Sender};
-use dtx_locks::{TxnId, TxnMode, WaitForGraph};
 use dtx_locks::txn::TxnIdGen;
+use dtx_locks::{TxnId, TxnMode, WaitForGraph};
 use dtx_net::{Endpoint, Envelope, Network, SiteId};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Upper bound of network envelopes handled per loop iteration, so a
+/// message flood cannot starve transaction dispatch.
+const DRAIN_BATCH: usize = 256;
 
 /// Tuning knobs of a scheduler.
 #[derive(Debug, Clone, Copy)]
@@ -95,12 +107,65 @@ pub enum Control {
     Shutdown,
 }
 
+/// Execution state of one coordinated transaction — the explicit form of
+/// every point where Algorithm 1/5/6 says "wait".
+///
+/// The event loop is the only thing that advances a transaction between
+/// phases; message handlers record arrivals in the continuation tables and
+/// trigger the transition when a phase's completion condition is met.
+#[derive(Debug, Clone)]
+enum Phase {
+    /// Runnable: the next operation can be dispatched.
+    Ready,
+    /// Lock-denied (Alg. 1 l. 9/17): retry the blocked operation at
+    /// `retry_at`.
+    Waiting {
+        /// When the jittered retry fires.
+        retry_at: Instant,
+    },
+    /// A distributed operation is in flight (Alg. 1 l. 14): responses are
+    /// collected under `corr` until every site in `sites` reported (or
+    /// `deadline` passes).
+    AwaitingRemoteOps {
+        /// Correlation id of this dispatch (continuation-table key).
+        corr: u64,
+        /// Index of the in-flight operation.
+        op_seq: usize,
+        /// All sites the operation was dispatched to (self included when
+        /// the coordinator holds data).
+        sites: Vec<SiteId>,
+        /// Response deadline (remote timeout).
+        deadline: Instant,
+    },
+    /// Commit requests sent (Alg. 5 l. 4); awaiting `expected` acks.
+    AwaitingCommitAcks {
+        /// Number of acknowledgements required.
+        expected: usize,
+        /// Ack deadline.
+        deadline: Instant,
+    },
+    /// Abort requests sent (Alg. 6 l. 4); awaiting `expected` acks.
+    AwaitingAbortAcks {
+        /// Number of acknowledgements required.
+        expected: usize,
+        /// Why the transaction aborts (reported to the client).
+        reason: AbortReason,
+        /// Ack deadline.
+        deadline: Instant,
+    },
+}
+
 /// Coordinator-side execution state (Alg. 1's view of one transaction).
 struct CoordTxn {
     id: TxnId,
     spec: TxnSpec,
     next_op: usize,
-    waiting_until: Option<Instant>,
+    phase: Phase,
+    /// When the current phase was entered (per-state timing).
+    phase_entered: Instant,
+    /// Accumulated per-state timing.
+    times: PhaseTimes,
+    /// First entry into the current wait-mode stretch (wait timeout).
     wait_since: Option<Instant>,
     /// Remote sites that executed at least one operation (commit/abort
     /// must reach all of them).
@@ -108,6 +173,25 @@ struct CoordTxn {
     results: Vec<OpResult>,
     submitted: Instant,
     reply: Sender<TxnOutcome>,
+}
+
+impl CoordTxn {
+    /// Leaves the current phase, charging its elapsed time to the right
+    /// bucket, and enters `next`.
+    fn set_phase(&mut self, next: Phase) {
+        let now = Instant::now();
+        let dt = now.duration_since(self.phase_entered);
+        match self.phase {
+            Phase::Ready => self.times.ready += dt,
+            Phase::Waiting { .. } => self.times.waiting += dt,
+            Phase::AwaitingRemoteOps { .. } => self.times.remote += dt,
+            Phase::AwaitingCommitAcks { .. } | Phase::AwaitingAbortAcks { .. } => {
+                self.times.terminating += dt
+            }
+        }
+        self.phase = next;
+        self.phase_entered = now;
+    }
 }
 
 /// A participant's report about one remote operation.
@@ -131,9 +215,10 @@ pub struct Scheduler {
     txns: Vec<CoordTxn>,
     /// Coordinator of each transaction seen as a participant.
     txn_coord: HashMap<TxnId, SiteId>,
-    /// Responses collected for in-flight remote operations, keyed by
-    /// (txn, op index, attempt) so stale retries cannot pollute new ones.
-    pending_done: HashMap<(TxnId, usize, u64), HashMap<SiteId, DoneInfo>>,
+    /// Continuation table: responses collected per in-flight distributed
+    /// operation, keyed by correlation id. Stale responses (undone retry,
+    /// aborted transaction) find no entry and are dropped.
+    pending_done: HashMap<u64, HashMap<SiteId, DoneInfo>>,
     /// Commit acknowledgements per transaction.
     pending_commit: HashMap<TxnId, HashMap<SiteId, bool>>,
     /// Abort acknowledgements per transaction.
@@ -141,10 +226,16 @@ pub struct Scheduler {
     /// Current deadlock-detection round and its collected graphs.
     wfg_round: u64,
     wfg_replies: HashMap<SiteId, WaitForGraph>,
+    /// Replies expected in the current round; `wfg_deadline` is `Some`
+    /// while a round is being collected (the detector, too, is
+    /// event-driven — it never pumps).
+    wfg_expected: usize,
+    wfg_deadline: Option<Instant>,
     idgen: Arc<TxnIdGen>,
     metrics: Arc<Metrics>,
     cfg: SchedulerConfig,
-    attempt: u64,
+    /// Correlation-id source (unique per dispatch from this scheduler).
+    next_corr: u64,
     next_detection: Instant,
     rr_cursor: usize,
     rng: u64,
@@ -181,10 +272,12 @@ impl Scheduler {
             pending_abort: HashMap::new(),
             wfg_round: 0,
             wfg_replies: HashMap::new(),
+            wfg_expected: 0,
+            wfg_deadline: None,
             idgen,
             metrics,
             cfg,
-            attempt: 0,
+            next_corr: 0,
             next_detection: Instant::now() + cfg.deadlock_period + stagger,
             rr_cursor: 0,
             rng: cfg.seed ^ ((site.0 as u64) << 32) | 1,
@@ -199,15 +292,18 @@ impl Scheduler {
                 match self.control.try_recv() {
                     Ok(Control::Submit { spec, reply }) => {
                         let id = self.idgen.next();
+                        let now = Instant::now();
                         self.txns.push(CoordTxn {
                             id,
                             spec,
                             next_op: 0,
-                            waiting_until: None,
+                            phase: Phase::Ready,
+                            phase_entered: now,
+                            times: PhaseTimes::default(),
                             wait_since: None,
                             remote_sites: Vec::new(),
                             results: Vec::new(),
-                            submitted: Instant::now(),
+                            submitted: now,
                             reply,
                         });
                     }
@@ -225,31 +321,38 @@ impl Scheduler {
                     Err(_) => break,
                 }
             }
-            // 2. Network messages.
-            while let Some(env) = self.endpoint.try_recv() {
+            // 2. Network messages (bounded batch; handlers advance any
+            //    transaction whose completion condition is now met).
+            for env in self.endpoint.drain(DRAIN_BATCH) {
                 self.handle_message(env);
             }
             // 3. Periodic distributed deadlock detection (Algorithm 4).
             if Instant::now() >= self.next_detection {
                 self.next_detection = Instant::now() + self.cfg.deadlock_period;
-                if !self.lockmgr.wfg().is_empty()
-                    || self.txns.iter().any(|t| t.waiting_until.is_some())
+                if self.wfg_deadline.is_none()
+                    && (!self.lockmgr.wfg().is_empty()
+                        || self
+                            .txns
+                            .iter()
+                            .any(|t| matches!(t.phase, Phase::Waiting { .. })))
                 {
-                    self.run_deadlock_detection();
+                    self.start_deadlock_round();
                 }
             }
-            // 4. Execute the next operation of an available transaction
-            //    (Alg. 1 l. 3: "next_transaction_available").
+            self.maybe_finish_deadlock_round();
+            // 4. State deadlines (remote/ack timeouts).
+            self.sweep_deadlines();
+            // 5. Dispatch the next operation of an available transaction
+            //    (Alg. 1 l. 3: "next_transaction_available"). Dispatch
+            //    never blocks, so consecutive iterations interleave many
+            //    coordinated transactions.
             if let Some(id) = self.pick_available() {
                 self.execute_next_op(id);
                 continue;
             }
-            // 5. Idle: block briefly for the next message.
+            // 6. Idle: block until the next timed event or message.
             let wait = self
-                .txns
-                .iter()
-                .filter_map(|t| t.waiting_until)
-                .min()
+                .next_wakeup()
                 .map(|at| at.saturating_duration_since(Instant::now()))
                 .unwrap_or(self.cfg.idle_wait)
                 .min(self.cfg.idle_wait)
@@ -288,8 +391,36 @@ impl Scheduler {
         self.txns.iter().position(|t| t.id == id)
     }
 
-    /// Round-robin pick of an available coordinated transaction: not in
-    /// wait mode, or whose retry time has come.
+    fn set_phase(&mut self, id: TxnId, phase: Phase) {
+        if let Some(idx) = self.txn_index(id) {
+            self.txns[idx].set_phase(phase);
+        }
+    }
+
+    /// Earliest instant at which a timed event (retry, deadline, detector
+    /// round) fires; `None` when nothing is scheduled.
+    fn next_wakeup(&self) -> Option<Instant> {
+        let mut earliest: Option<Instant> = Some(self.next_detection);
+        let mut consider = |at: Instant| {
+            earliest = Some(earliest.map_or(at, |e| e.min(at)));
+        };
+        if let Some(d) = self.wfg_deadline {
+            consider(d);
+        }
+        for t in &self.txns {
+            match t.phase {
+                Phase::Waiting { retry_at } => consider(retry_at),
+                Phase::AwaitingRemoteOps { deadline, .. }
+                | Phase::AwaitingCommitAcks { deadline, .. }
+                | Phase::AwaitingAbortAcks { deadline, .. } => consider(deadline),
+                Phase::Ready => consider(Instant::now()),
+            }
+        }
+        earliest
+    }
+
+    /// Round-robin pick of a runnable coordinated transaction: in
+    /// [`Phase::Ready`], or in wait mode with an expired retry time.
     fn pick_available(&mut self) -> Option<TxnId> {
         if self.txns.is_empty() {
             return None;
@@ -298,17 +429,29 @@ impl Scheduler {
         let n = self.txns.len();
         for off in 0..n {
             let idx = (self.rr_cursor + off) % n;
-            let t = &self.txns[idx];
-            let ready = match t.waiting_until {
-                None => true,
-                Some(at) => now >= at,
+            let ready = match self.txns[idx].phase {
+                Phase::Ready => true,
+                Phase::Waiting { retry_at } => now >= retry_at,
+                _ => false,
             };
             if ready {
                 self.rr_cursor = (idx + 1) % n;
-                return Some(t.id);
+                return Some(self.txns[idx].id);
             }
         }
         None
+    }
+
+    /// Number of transactions currently awaiting remote responses; the
+    /// metric witnesses pipelining (> 1 is impossible under a blocking
+    /// coordinator).
+    fn note_remote_inflight(&self) {
+        let n = self
+            .txns
+            .iter()
+            .filter(|t| matches!(t.phase, Phase::AwaitingRemoteOps { .. }))
+            .count();
+        self.metrics.note_inflight_remote(n);
     }
 
     // -----------------------------------------------------------------
@@ -316,27 +459,26 @@ impl Scheduler {
     // -----------------------------------------------------------------
 
     fn execute_next_op(&mut self, id: TxnId) {
-        let Some(idx) = self.txn_index(id) else { return };
+        let Some(idx) = self.txn_index(id) else {
+            return;
+        };
         // Wait-timeout safety net.
         if let Some(since) = self.txns[idx].wait_since {
             if since.elapsed() > self.cfg.wait_timeout {
-                self.abort_transaction(
-                    id,
-                    AbortReason::OperationFailed("wait-mode timeout".into()),
-                );
+                self.begin_abort(id, AbortReason::OperationFailed("wait-mode timeout".into()));
                 return;
             }
         }
         let op_seq = self.txns[idx].next_op;
         if op_seq >= self.txns[idx].spec.ops.len() {
             // No available operation left (Alg. 1 l. 24) → commit.
-            self.commit_transaction(id);
+            self.begin_commit(id);
             return;
         }
         let op = self.txns[idx].spec.ops[op_seq].clone();
         let sites = self.catalog.sites_of(&op.doc);
         if sites.is_empty() {
-            self.abort_transaction(
+            self.begin_abort(
                 id,
                 AbortReason::OperationFailed(format!("document {:?} unknown to catalog", op.doc)),
             );
@@ -345,7 +487,7 @@ impl Scheduler {
         if sites.len() == 1 && sites[0] == self.site {
             self.execute_local_op(id, op_seq, &op);
         } else {
-            self.execute_distributed_op(id, op_seq, &op, &sites);
+            self.dispatch_distributed_op(id, op_seq, &op, &sites);
         }
     }
 
@@ -364,26 +506,27 @@ impl Scheduler {
             ProcessResult::Conflict { deadlock, .. } => {
                 if deadlock {
                     // Alg. 1 l. 19-20 via Alg. 3's deadlock tag.
-                    self.abort_transaction(id, AbortReason::Deadlock);
+                    self.begin_abort(id, AbortReason::Deadlock);
                 } else {
                     self.enter_wait(id);
                 }
             }
             ProcessResult::Failed(e) => {
-                self.abort_transaction(id, AbortReason::OperationFailed(e));
+                self.begin_abort(id, AbortReason::OperationFailed(e));
             }
         }
     }
 
-    /// Alg. 1 l. 11-22: the operation involves other sites; send it to all
-    /// participants holding the data, wait for every response, and either
-    /// advance, undo + wait, or abort.
-    fn execute_distributed_op(&mut self, id: TxnId, op_seq: usize, op: &OpSpec, sites: &[SiteId]) {
-        self.attempt += 1;
-        let attempt = self.attempt;
-        let key = (id, op_seq, attempt);
+    /// Alg. 1 l. 11-13: the operation involves other sites. Send it to all
+    /// participants holding the data and park the transaction in
+    /// [`Phase::AwaitingRemoteOps`]; [`Self::finish_remote_op`] runs when
+    /// the last response (or the deadline) arrives. The event loop keeps
+    /// dispatching other transactions meanwhile.
+    fn dispatch_distributed_op(&mut self, id: TxnId, op_seq: usize, op: &OpSpec, sites: &[SiteId]) {
+        self.next_corr += 1;
+        let corr = self.next_corr;
         let mode = self.coord_txn_mode(id);
-        self.pending_done.insert(key, HashMap::new());
+        self.pending_done.insert(corr, HashMap::new());
         // Send to remote participants (Alg. 1 l. 13).
         for &s in sites {
             if s != self.site {
@@ -395,7 +538,7 @@ impl Scheduler {
                         coordinator: self.site,
                         op_seq,
                         op: op.clone(),
-                        attempt,
+                        corr,
                         update_txn: mode == TxnMode::Updating,
                     },
                 );
@@ -405,40 +548,75 @@ impl Scheduler {
         // ("including the coordinator if it contains data involved").
         if sites.contains(&self.site) {
             let done = self.participant_execute(id, op_seq, op, mode);
-            if let Some(map) = self.pending_done.get_mut(&key) {
+            if let Some(map) = self.pending_done.get_mut(&corr) {
                 map.insert(self.site, done);
             }
         }
-        // Wait for all responses (Alg. 1 l. 14) while serving other
-        // traffic.
-        let expected = sites.len();
-        let deadline = Instant::now() + self.cfg.remote_timeout;
-        let complete = self.pump_until(deadline, |me| {
-            me.txn_index(id).is_none()
-                || me.pending_done.get(&key).map(|m| m.len() >= expected).unwrap_or(true)
-        });
-        let Some(statuses) = self.pending_done.remove(&key) else { return };
-        if self.txn_index(id).is_none() {
-            // Aborted reentrantly (deadlock victim) while we pumped; the
-            // abort already undid remote effects.
+        self.set_phase(
+            id,
+            Phase::AwaitingRemoteOps {
+                corr,
+                op_seq,
+                sites: sites.to_vec(),
+                deadline: Instant::now() + self.cfg.remote_timeout,
+            },
+        );
+        self.note_remote_inflight();
+        // Degenerate completion (every participant local) resolves now.
+        self.try_finish_remote_op(id);
+    }
+
+    /// Advances a transaction out of [`Phase::AwaitingRemoteOps`] if every
+    /// dispatched site has reported.
+    fn try_finish_remote_op(&mut self, id: TxnId) {
+        let Some(idx) = self.txn_index(id) else {
             return;
+        };
+        let Phase::AwaitingRemoteOps {
+            corr, ref sites, ..
+        } = self.txns[idx].phase
+        else {
+            return;
+        };
+        let expected = sites.len();
+        let complete = self
+            .pending_done
+            .get(&corr)
+            .map(|m| m.len() >= expected)
+            .unwrap_or(false);
+        if complete {
+            self.finish_remote_op(id, true);
         }
+    }
+
+    /// Alg. 1 l. 14-22, resumed event-style: all responses arrived
+    /// (`complete`) or the deadline passed. Either advance, undo + wait,
+    /// or abort.
+    fn finish_remote_op(&mut self, id: TxnId, complete: bool) {
+        let Some(idx) = self.txn_index(id) else {
+            return;
+        };
+        let Phase::AwaitingRemoteOps {
+            corr,
+            op_seq,
+            ref sites,
+            ..
+        } = self.txns[idx].phase
+        else {
+            return;
+        };
+        let sites = sites.clone();
+        let op_doc = self.txns[idx].spec.ops[op_seq].doc.clone();
+        let statuses = self.pending_done.remove(&corr).unwrap_or_default();
         if !complete {
             // A participant did not answer: undo what executed and abort.
             self.undo_partial(id, op_seq, &statuses);
-            self.abort_transaction(id, AbortReason::RemoteTimeout);
+            self.record_participation(id, &sites);
+            self.begin_abort(id, AbortReason::RemoteTimeout);
             return;
         }
         // Record participation for commit/abort routing.
-        {
-            let Some(idx) = self.txn_index(id) else { return };
-            let txn = &mut self.txns[idx];
-            for &s in sites {
-                if s != self.site && !txn.remote_sites.contains(&s) {
-                    txn.remote_sites.push(s);
-                }
-            }
-        }
+        self.record_participation(id, &sites);
         let any_failed = statuses.values().any(|d| d.failed);
         let any_deadlock = statuses.values().any(|d| d.deadlock);
         let all_acquired = statuses.values().all(|d| d.acquired);
@@ -446,7 +624,7 @@ impl Scheduler {
             // Alg. 1 l. 15-17: undo wherever it executed, then wait.
             self.undo_partial(id, op_seq, &statuses);
             if any_deadlock {
-                self.abort_transaction(id, AbortReason::Deadlock);
+                self.begin_abort(id, AbortReason::Deadlock);
             } else {
                 self.enter_wait(id);
             }
@@ -459,14 +637,14 @@ impl Scheduler {
             } else {
                 AbortReason::OperationFailed("remote operation failed".into())
             };
-            self.abort_transaction(id, reason);
+            self.begin_abort(id, reason);
             return;
         }
         // Success everywhere. For replicated documents the replicas agree
         // and one answer suffices; for fragmented documents the coordinator
         // merges the per-fragment results (query values united in site
         // order, update counts summed).
-        let result = if self.catalog.is_fragmented(&op.doc) {
+        let result = if self.catalog.is_fragmented(&op_doc) {
             let mut ordered: Vec<(&SiteId, &DoneInfo)> = statuses.iter().collect();
             ordered.sort_by_key(|(s, _)| **s);
             let mut values: Vec<String> = Vec::new();
@@ -488,11 +666,9 @@ impl Scheduler {
                 if affected == 0 {
                     // The update matched no fragment: the logical target
                     // does not exist → the operation failed (Alg. 1 l. 19).
-                    self.abort_transaction(
+                    self.begin_abort(
                         id,
-                        AbortReason::OperationFailed(
-                            "update target matched no fragment".into(),
-                        ),
+                        AbortReason::OperationFailed("update target matched no fragment".into()),
                     );
                     return;
                 }
@@ -508,35 +684,56 @@ impl Scheduler {
         self.op_succeeded(id, result);
     }
 
+    fn record_participation(&mut self, id: TxnId, sites: &[SiteId]) {
+        let my_site = self.site;
+        let Some(idx) = self.txn_index(id) else {
+            return;
+        };
+        let txn = &mut self.txns[idx];
+        for &s in sites {
+            if s != my_site && !txn.remote_sites.contains(&s) {
+                txn.remote_sites.push(s);
+            }
+        }
+    }
+
     fn undo_partial(&mut self, id: TxnId, op_seq: usize, statuses: &HashMap<SiteId, DoneInfo>) {
         for (&site, done) in statuses {
             if done.executed {
                 if site == self.site {
                     self.lockmgr.undo_op(id, op_seq);
                 } else {
-                    let _ = self.net.send(self.site, site, Message::UndoOp { txn: id, op_seq });
+                    let _ = self
+                        .net
+                        .send(self.site, site, Message::UndoOp { txn: id, op_seq });
                 }
             }
         }
     }
 
     fn op_succeeded(&mut self, id: TxnId, result: OpResult) {
-        let Some(idx) = self.txn_index(id) else { return };
+        let Some(idx) = self.txn_index(id) else {
+            return;
+        };
         let txn = &mut self.txns[idx];
         txn.results.push(result);
         txn.next_op += 1;
-        txn.waiting_until = None;
         txn.wait_since = None;
+        txn.set_phase(Phase::Ready);
         if txn.next_op >= txn.spec.ops.len() {
-            self.commit_transaction(id);
+            self.begin_commit(id);
         }
     }
 
     fn enter_wait(&mut self, id: TxnId) {
         let retry = self.jitter(self.cfg.retry_interval);
-        let Some(idx) = self.txn_index(id) else { return };
+        let Some(idx) = self.txn_index(id) else {
+            return;
+        };
         let txn = &mut self.txns[idx];
-        txn.waiting_until = Some(Instant::now() + retry);
+        txn.set_phase(Phase::Waiting {
+            retry_at: Instant::now() + retry,
+        });
         if txn.wait_since.is_none() {
             txn.wait_since = Some(Instant::now());
         }
@@ -546,33 +743,76 @@ impl Scheduler {
     // Algorithm 5 — commit
     // -----------------------------------------------------------------
 
-    fn commit_transaction(&mut self, id: TxnId) {
-        let Some(idx) = self.txn_index(id) else { return };
-        let txn = self.txns.remove(idx);
-        let remotes = txn.remote_sites.clone();
-        // Ask every involved site to consolidate (Alg. 5 l. 3-4).
+    /// Asks every involved site to consolidate (Alg. 5 l. 3-4). With no
+    /// remote participants the transaction consolidates immediately;
+    /// otherwise it parks in [`Phase::AwaitingCommitAcks`].
+    fn begin_commit(&mut self, id: TxnId) {
+        let Some(idx) = self.txn_index(id) else {
+            return;
+        };
+        let remotes = self.txns[idx].remote_sites.clone();
+        if remotes.is_empty() {
+            self.consolidate_local(id);
+            return;
+        }
         self.pending_commit.insert(id, HashMap::new());
         for &s in &remotes {
             let _ = self.net.send(self.site, s, Message::Commit { txn: id });
         }
-        let deadline = Instant::now() + self.cfg.remote_timeout;
-        let expected = remotes.len();
+        self.set_phase(
+            id,
+            Phase::AwaitingCommitAcks {
+                expected: remotes.len(),
+                deadline: Instant::now() + self.cfg.remote_timeout,
+            },
+        );
+    }
+
+    /// Advances a transaction out of [`Phase::AwaitingCommitAcks`] if
+    /// every ack arrived.
+    fn try_finish_commit(&mut self, id: TxnId) {
+        let Some(idx) = self.txn_index(id) else {
+            return;
+        };
+        let Phase::AwaitingCommitAcks { expected, .. } = self.txns[idx].phase else {
+            return;
+        };
         let complete = self
-            .pump_until(deadline, |me| {
-                me.pending_commit.get(&id).map(|m| m.len() >= expected).unwrap_or(true)
-            });
+            .pending_commit
+            .get(&id)
+            .map(|m| m.len() >= expected)
+            .unwrap_or(false);
+        if complete {
+            self.finish_commit(id, true);
+        }
+    }
+
+    /// Alg. 5 l. 5-11, resumed event-style.
+    fn finish_commit(&mut self, id: TxnId, complete: bool) {
         let acks = self.pending_commit.remove(&id).unwrap_or_default();
         let all_ok = complete && acks.values().all(|&ok| ok);
         if !all_ok {
             // Alg. 5 l. 5-7: a site did not consolidate → abort.
-            self.finish_abort(txn, AbortReason::CommitFailed);
+            self.begin_abort(id, AbortReason::CommitFailed);
             return;
         }
-        // Local consolidation: persist + release (Alg. 5 l. 10-11).
+        self.consolidate_local(id);
+    }
+
+    /// Local consolidation: persist + release (Alg. 5 l. 10-11), then
+    /// report the outcome.
+    fn consolidate_local(&mut self, id: TxnId) {
+        let Some(idx) = self.txn_index(id) else {
+            return;
+        };
         match self.lockmgr.commit_local(id) {
-            Ok(()) => self.finish(txn, TxnStatus::Committed),
+            Ok(()) => {
+                let txn = self.txns.remove(idx);
+                self.finish(txn, TxnStatus::Committed);
+            }
             Err(e) => {
-                self.finish(txn, TxnStatus::Failed(format!("local persist failed: {e}")))
+                let txn = self.txns.remove(idx);
+                self.finish(txn, TxnStatus::Failed(format!("local persist failed: {e}")));
             }
         }
     }
@@ -581,44 +821,106 @@ impl Scheduler {
     // Algorithm 6 — abort
     // -----------------------------------------------------------------
 
-    fn abort_transaction(&mut self, id: TxnId, reason: AbortReason) {
-        let Some(idx) = self.txn_index(id) else { return };
-        let txn = self.txns.remove(idx);
-        self.finish_abort(txn, reason);
-    }
-
-    fn finish_abort(&mut self, txn: CoordTxn, reason: AbortReason) {
-        let id = txn.id;
-        let remotes = txn.remote_sites.clone();
+    /// Cancels `id` everywhere (Alg. 6). Rolls back locally at once; if an
+    /// operation was in flight its partial effects are undone and its
+    /// participant set is folded into the abort targets. With no remote
+    /// participants the transaction terminates immediately; otherwise it
+    /// parks in [`Phase::AwaitingAbortAcks`].
+    fn begin_abort(&mut self, id: TxnId, reason: AbortReason) {
+        let Some(idx) = self.txn_index(id) else {
+            return;
+        };
+        // An in-flight distributed operation may have executed at sites not
+        // yet recorded in `remote_sites`: undo what reported execution and
+        // make sure the abort reaches every dispatched site (participants
+        // that have not executed yet treat `Abort` as a no-op; the per-pair
+        // FIFO transport guarantees `Abort` cannot overtake `ExecRemote`).
+        if let Phase::AwaitingRemoteOps {
+            corr,
+            op_seq,
+            sites,
+            ..
+        } = self.txns[idx].phase.clone()
+        {
+            let statuses = self.pending_done.remove(&corr).unwrap_or_default();
+            self.undo_partial(id, op_seq, &statuses);
+            self.record_participation(id, &sites);
+            self.note_remote_inflight();
+        }
+        // Local rollback (Alg. 6 l. 13-14).
+        self.lockmgr.abort_local(id);
+        let Some(idx) = self.txn_index(id) else {
+            return;
+        };
+        let remotes = self.txns[idx].remote_sites.clone();
+        if remotes.is_empty() {
+            let txn = self.txns.remove(idx);
+            self.finish(txn, TxnStatus::Aborted(reason));
+            return;
+        }
         self.pending_abort.insert(id, HashMap::new());
         for &s in &remotes {
             let _ = self.net.send(self.site, s, Message::Abort { txn: id });
         }
-        let deadline = Instant::now() + self.cfg.remote_timeout;
-        let expected = remotes.len();
-        let complete = self.pump_until(deadline, |me| {
-            me.pending_abort.get(&id).map(|m| m.len() >= expected).unwrap_or(true)
-        });
+        self.set_phase(
+            id,
+            Phase::AwaitingAbortAcks {
+                expected: remotes.len(),
+                reason,
+                deadline: Instant::now() + self.cfg.remote_timeout,
+            },
+        );
+    }
+
+    /// Advances a transaction out of [`Phase::AwaitingAbortAcks`] if every
+    /// ack arrived.
+    fn try_finish_abort(&mut self, id: TxnId) {
+        let Some(idx) = self.txn_index(id) else {
+            return;
+        };
+        let Phase::AwaitingAbortAcks { expected, .. } = self.txns[idx].phase else {
+            return;
+        };
+        let complete = self
+            .pending_abort
+            .get(&id)
+            .map(|m| m.len() >= expected)
+            .unwrap_or(false);
+        if complete {
+            self.finish_abort(id, true);
+        }
+    }
+
+    /// Alg. 6 l. 5-14, resumed event-style.
+    fn finish_abort(&mut self, id: TxnId, complete: bool) {
+        let Some(idx) = self.txn_index(id) else {
+            return;
+        };
+        let Phase::AwaitingAbortAcks { ref reason, .. } = self.txns[idx].phase else {
+            return;
+        };
+        let reason = reason.clone();
         let acks = self.pending_abort.remove(&id).unwrap_or_default();
         let all_ok = complete && acks.values().all(|&ok| ok);
-        // Local rollback either way (Alg. 6 l. 13-14).
-        self.lockmgr.abort_local(id);
-        // Drop any stale response buffers.
-        self.pending_done.retain(|(t, _, _), _| *t != id);
+        let txn = self.txns.remove(idx);
         if !all_ok {
             // Alg. 6 l. 5-10: request failure everywhere; the transaction
             // *fails* and the application is alerted.
-            for &s in &remotes {
+            for &s in &txn.remote_sites {
                 let _ = self.net.send(self.site, s, Message::Fail { txn: id });
             }
-            self.finish(txn, TxnStatus::Failed("abort could not complete at a site".into()));
+            self.finish(
+                txn,
+                TxnStatus::Failed("abort could not complete at a site".into()),
+            );
         } else {
             self.finish(txn, TxnStatus::Aborted(reason));
         }
     }
 
-    fn finish(&mut self, txn: CoordTxn, status: TxnStatus) {
+    fn finish(&mut self, mut txn: CoordTxn, status: TxnStatus) {
         let now = Instant::now();
+        txn.set_phase(Phase::Ready); // close the timing bucket of the final phase
         self.metrics.record(TxnRecord {
             txn: txn.id,
             coordinator: self.site,
@@ -627,14 +929,57 @@ impl Scheduler {
             status: status.clone(),
             ops: txn.spec.ops.len(),
             is_update: !txn.spec.is_read_only(),
+            phase_times: txn.times,
         });
-        let results = if status == TxnStatus::Committed { txn.results } else { Vec::new() };
+        let results = if status == TxnStatus::Committed {
+            txn.results
+        } else {
+            Vec::new()
+        };
         let _ = txn.reply.send(TxnOutcome {
             txn: txn.id,
             status,
             response_time: now.duration_since(txn.submitted),
             results,
         });
+    }
+
+    // -----------------------------------------------------------------
+    // Deadline sweep
+    // -----------------------------------------------------------------
+
+    /// Times out phases whose deadline passed. Each expired transaction is
+    /// resumed through the same completion path as a full set of arrivals,
+    /// with `complete = false`.
+    fn sweep_deadlines(&mut self) {
+        let now = Instant::now();
+        // Collect first: the handlers mutate `self.txns`.
+        let mut remote_expired = Vec::new();
+        let mut commit_expired = Vec::new();
+        let mut abort_expired = Vec::new();
+        for t in &self.txns {
+            match t.phase {
+                Phase::AwaitingRemoteOps { deadline, .. } if now >= deadline => {
+                    remote_expired.push(t.id)
+                }
+                Phase::AwaitingCommitAcks { deadline, .. } if now >= deadline => {
+                    commit_expired.push(t.id)
+                }
+                Phase::AwaitingAbortAcks { deadline, .. } if now >= deadline => {
+                    abort_expired.push(t.id)
+                }
+                _ => {}
+            }
+        }
+        for id in remote_expired {
+            self.finish_remote_op(id, false);
+        }
+        for id in commit_expired {
+            self.finish_commit(id, false);
+        }
+        for id in abort_expired {
+            self.finish_abort(id, false);
+        }
     }
 
     // -----------------------------------------------------------------
@@ -649,7 +994,10 @@ impl Scheduler {
         mode: TxnMode,
     ) -> DoneInfo {
         let tolerate_empty = self.catalog.is_fragmented(&op.doc);
-        match self.lockmgr.process_operation(txn, op_seq, op, mode, tolerate_empty) {
+        match self
+            .lockmgr
+            .process_operation(txn, op_seq, op, mode, tolerate_empty)
+        {
             ProcessResult::Executed(result) => DoneInfo {
                 acquired: true,
                 executed: true,
@@ -678,18 +1026,48 @@ impl Scheduler {
     // Algorithm 4 — distributed deadlock detection
     // -----------------------------------------------------------------
 
-    fn run_deadlock_detection(&mut self) {
+    /// Starts a detection round: requests every site's wait-for graph and
+    /// returns to the event loop. [`Self::maybe_finish_deadlock_round`]
+    /// evaluates the union when the replies (or the deadline) are in.
+    fn start_deadlock_round(&mut self) {
         self.metrics.note_detector_run();
         self.wfg_round += 1;
         let round = self.wfg_round;
         self.wfg_replies.clear();
-        let sites: Vec<SiteId> = self.net.sites().into_iter().filter(|&s| s != self.site).collect();
+        let sites: Vec<SiteId> = self
+            .net
+            .sites()
+            .into_iter()
+            .filter(|&s| s != self.site)
+            .collect();
         for &s in &sites {
-            let _ = self.net.send(self.site, s, Message::WfgRequest { from: self.site, round });
+            let _ = self.net.send(
+                self.site,
+                s,
+                Message::WfgRequest {
+                    from: self.site,
+                    round,
+                },
+            );
         }
-        let expected = sites.len();
-        let deadline = Instant::now() + self.cfg.deadlock_period.min(Duration::from_millis(100));
-        self.pump_until(deadline, |me| me.wfg_replies.len() >= expected);
+        self.wfg_expected = sites.len();
+        self.wfg_deadline =
+            Some(Instant::now() + self.cfg.deadlock_period.min(Duration::from_millis(100)));
+        if self.wfg_expected == 0 {
+            self.maybe_finish_deadlock_round();
+        }
+    }
+
+    /// Evaluates the current detection round once every reply arrived or
+    /// the collection deadline passed.
+    fn maybe_finish_deadlock_round(&mut self) {
+        let Some(deadline) = self.wfg_deadline else {
+            return;
+        };
+        if self.wfg_replies.len() < self.wfg_expected && Instant::now() < deadline {
+            return;
+        }
+        self.wfg_deadline = None;
         // Union of all graphs (Alg. 4 l. 5), starting from the local one.
         let mut merged = self.lockmgr.wfg().clone();
         for g in self.wfg_replies.values() {
@@ -698,47 +1076,59 @@ impl Scheduler {
         self.wfg_replies.clear();
         if let Some(victim) = merged.newest_in_cycle() {
             // Alg. 4 l. 7-8: abort the most recent transaction in the circle.
-            if self.txn_index(victim).is_some() {
-                self.abort_transaction(victim, AbortReason::Deadlock);
-            } else if let Some(&coord) = self.txn_coord.get(&victim) {
-                let _ = self.net.send(self.site, coord, Message::AbortVictim { txn: victim });
-            } else {
-                // Coordinator unknown here: tell everyone; the coordinator
-                // will recognize its transaction.
-                for &s in &sites {
-                    let _ = self.net.send(self.site, s, Message::AbortVictim { txn: victim });
+            self.abort_victim(victim);
+        }
+    }
+
+    /// Routes a detector verdict to the victim's coordinator.
+    fn abort_victim(&mut self, victim: TxnId) {
+        if let Some(idx) = self.txn_index(victim) {
+            // Only transactions that can still be waiting are viable
+            // victims; one already in its termination protocol holds no
+            // waits (its graph edges are gone) and must not be disturbed.
+            if matches!(
+                self.txns[idx].phase,
+                Phase::Ready | Phase::Waiting { .. } | Phase::AwaitingRemoteOps { .. }
+            ) {
+                self.begin_abort(victim, AbortReason::Deadlock);
+            }
+        } else if let Some(&coord) = self.txn_coord.get(&victim) {
+            let _ = self
+                .net
+                .send(self.site, coord, Message::AbortVictim { txn: victim });
+        } else {
+            // Coordinator unknown here: tell everyone; the coordinator
+            // will recognize its transaction.
+            for s in self.net.sites() {
+                if s != self.site {
+                    let _ = self
+                        .net
+                        .send(self.site, s, Message::AbortVictim { txn: victim });
                 }
             }
         }
     }
 
     // -----------------------------------------------------------------
-    // Message handling (shared by the main loop and nested pumps)
+    // Message handling
     // -----------------------------------------------------------------
-
-    fn pump_until(&mut self, deadline: Instant, pred: impl Fn(&Self) -> bool) -> bool {
-        loop {
-            if pred(self) {
-                return true;
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return false;
-            }
-            let timeout = deadline.duration_since(now).min(Duration::from_millis(1));
-            match self.endpoint.recv_timeout(timeout) {
-                Ok(Some(env)) => self.handle_message(env),
-                Ok(None) => {}
-                Err(_) => return false,
-            }
-        }
-    }
 
     fn handle_message(&mut self, env: Envelope<Message>) {
         match env.payload {
-            Message::ExecRemote { txn, coordinator, op_seq, op, attempt, update_txn } => {
+            Message::ExecRemote {
+                txn,
+                coordinator,
+                op_seq,
+                op,
+                corr,
+                update_txn,
+            } => {
                 self.txn_coord.insert(txn, coordinator);
-                let mode = if update_txn { TxnMode::Updating } else { TxnMode::ReadOnly };
+                let mode = if update_txn {
+                    TxnMode::Updating
+                } else {
+                    TxnMode::ReadOnly
+                };
                 let done = self.participant_execute(txn, op_seq, &op, mode);
                 let _ = self.net.send(
                     self.site,
@@ -746,7 +1136,7 @@ impl Scheduler {
                     Message::RemoteDone {
                         txn,
                         op_seq,
-                        attempt,
+                        corr,
                         site: self.site,
                         acquired: done.acquired,
                         executed: done.executed,
@@ -756,11 +1146,32 @@ impl Scheduler {
                     },
                 );
             }
-            Message::RemoteDone { txn, op_seq, attempt, site, acquired, executed, failed, deadlock, result } => {
-                if let Some(map) = self.pending_done.get_mut(&(txn, op_seq, attempt)) {
-                    map.insert(site, DoneInfo { acquired, executed, failed, deadlock, result });
+            Message::RemoteDone {
+                txn,
+                corr,
+                site,
+                acquired,
+                executed,
+                failed,
+                deadlock,
+                result,
+                ..
+            } => {
+                // Continuation-table lookup; stale correlation ids (undone
+                // retries, aborted transactions) find no entry and drop.
+                if let Some(map) = self.pending_done.get_mut(&corr) {
+                    map.insert(
+                        site,
+                        DoneInfo {
+                            acquired,
+                            executed,
+                            failed,
+                            deadlock,
+                            result,
+                        },
+                    );
+                    self.try_finish_remote_op(txn);
                 }
-                // Stale (undone attempt / aborted txn) responses are dropped.
             }
             Message::UndoOp { txn, op_seq } => {
                 self.lockmgr.undo_op(txn, op_seq);
@@ -768,21 +1179,39 @@ impl Scheduler {
             Message::Commit { txn } => {
                 let ok = self.lockmgr.commit_local(txn).is_ok();
                 self.txn_coord.remove(&txn);
-                let _ = self.net.send(self.site, env.from, Message::CommitAck { txn, site: self.site, ok });
+                let _ = self.net.send(
+                    self.site,
+                    env.from,
+                    Message::CommitAck {
+                        txn,
+                        site: self.site,
+                        ok,
+                    },
+                );
             }
             Message::CommitAck { txn, site, ok } => {
                 if let Some(map) = self.pending_commit.get_mut(&txn) {
                     map.insert(site, ok);
+                    self.try_finish_commit(txn);
                 }
             }
             Message::Abort { txn } => {
                 self.lockmgr.abort_local(txn);
                 self.txn_coord.remove(&txn);
-                let _ = self.net.send(self.site, env.from, Message::AbortAck { txn, site: self.site, ok: true });
+                let _ = self.net.send(
+                    self.site,
+                    env.from,
+                    Message::AbortAck {
+                        txn,
+                        site: self.site,
+                        ok: true,
+                    },
+                );
             }
             Message::AbortAck { txn, site, ok } => {
                 if let Some(map) = self.pending_abort.get_mut(&txn) {
                     map.insert(site, ok);
+                    self.try_finish_abort(txn);
                 }
             }
             Message::Fail { txn } => {
@@ -793,17 +1222,22 @@ impl Scheduler {
                 let _ = self.net.send(
                     self.site,
                     from,
-                    Message::WfgReply { site: self.site, round, graph: self.lockmgr.wfg().clone() },
+                    Message::WfgReply {
+                        site: self.site,
+                        round,
+                        graph: self.lockmgr.wfg().clone(),
+                    },
                 );
             }
             Message::WfgReply { site, round, graph } => {
                 if round == self.wfg_round {
                     self.wfg_replies.insert(site, graph);
+                    self.maybe_finish_deadlock_round();
                 }
             }
             Message::AbortVictim { txn } => {
                 if self.txn_index(txn).is_some() {
-                    self.abort_transaction(txn, AbortReason::Deadlock);
+                    self.abort_victim(txn);
                 }
             }
         }

@@ -99,7 +99,9 @@ impl DataGuide {
     }
 
     fn absorb_subtree(&mut self, doc: &Document, node: NodeId, gid: GuideId) {
-        let Ok(children) = doc.children(node) else { return };
+        let Ok(children) = doc.children(node) else {
+            return;
+        };
         for &c in children {
             let Ok(n) = doc.node(c) else { continue };
             match n.kind.label() {
@@ -146,7 +148,9 @@ impl DataGuide {
 
     /// The child of `parent` with the given label/kind, if present.
     pub fn child(&self, parent: GuideId, label: &str, is_attr: bool) -> Option<GuideId> {
-        self.index.get(&(parent, label.to_owned(), is_attr)).copied()
+        self.index
+            .get(&(parent, label.to_owned(), is_attr))
+            .copied()
     }
 
     /// Finds-or-creates the child of `parent` for `label`.
@@ -201,7 +205,10 @@ impl DataGuide {
     /// the cost model of tree-locking baselines, whose real
     /// implementations place one lock per covered document node.
     pub fn subtree_extent(&self, id: GuideId) -> u64 {
-        self.descendants(id).iter().map(|g| self.nodes[g.index()].extent).sum()
+        self.descendants(id)
+            .iter()
+            .map(|g| self.nodes[g.index()].extent)
+            .sum()
     }
 
     /// Adjusts extents after an applied update (best-effort bookkeeping;
@@ -411,7 +418,10 @@ impl DataGuide {
             out.push_str("  ");
         }
         let kind = if n.is_attr { "@" } else { "" };
-        out.push_str(&format!("[{}] {kind}{} (extent {})\n", id.0, n.label, n.extent));
+        out.push_str(&format!(
+            "[{}] {kind}{} (extent {})\n",
+            id.0, n.label, n.extent
+        ));
         for &c in &n.children {
             self.render_node(c, depth + 1, out);
         }
@@ -530,7 +540,10 @@ mod tests {
     #[test]
     fn predicates_ignored_for_structure() {
         let g = DataGuide::build(&people_doc());
-        assert_eq!(g.match_query(&q("/people/person[id=1]")), g.match_query(&q("/people/person")));
+        assert_eq!(
+            g.match_query(&q("/people/person[id=1]")),
+            g.match_query(&q("/people/person"))
+        );
     }
 
     #[test]
@@ -550,7 +563,10 @@ mod tests {
         let mut g = DataGuide::new("products");
         let frag = Fragment::elem(
             "product",
-            vec![Fragment::elem_text("id", "13"), Fragment::elem_text("price", "10.30")],
+            vec![
+                Fragment::elem_text("id", "13"),
+                Fragment::elem_text("price", "10.30"),
+            ],
         );
         let gid = g.ensure_fragment(g.root(), &frag);
         assert_eq!(g.label_path(gid), vec!["products", "product"]);

@@ -76,12 +76,20 @@ pub trait LockProtocol: Send + Sync {
     fn name(&self) -> &'static str;
 
     /// Locks needed to evaluate a read-only query.
-    fn query_requests(&self, guide: &mut DataGuide, query: &Query, mode: TxnMode)
-        -> Vec<LockRequest>;
+    fn query_requests(
+        &self,
+        guide: &mut DataGuide,
+        query: &Query,
+        mode: TxnMode,
+    ) -> Vec<LockRequest>;
 
     /// Locks needed to execute an update.
-    fn update_requests(&self, guide: &mut DataGuide, op: &UpdateOp, mode: TxnMode)
-        -> Vec<LockRequest>;
+    fn update_requests(
+        &self,
+        guide: &mut DataGuide,
+        op: &UpdateOp,
+        mode: TxnMode,
+    ) -> Vec<LockRequest>;
 
     /// Lock-management work units for one request, charged by the
     /// operation cost model.
@@ -209,18 +217,24 @@ impl LockProtocol for Xdgl {
     ) -> Vec<LockRequest> {
         let mut out = Vec::new();
         match op {
-            UpdateOp::Insert { target, fragment, pos } => {
+            UpdateOp::Insert {
+                target,
+                fragment,
+                pos,
+            } => {
                 let anchors = guide.match_query(target);
                 for anchor in anchors {
                     // The connecting node (future parent of the new node).
                     let (connect, sibling_mode) = match pos {
                         InsertPos::Into | InsertPos::FirstInto => (anchor, None),
-                        InsertPos::Before => {
-                            (guide.node(anchor).parent.unwrap_or(anchor), Some(LockMode::SB))
-                        }
-                        InsertPos::After => {
-                            (guide.node(anchor).parent.unwrap_or(anchor), Some(LockMode::SA))
-                        }
+                        InsertPos::Before => (
+                            guide.node(anchor).parent.unwrap_or(anchor),
+                            Some(LockMode::SB),
+                        ),
+                        InsertPos::After => (
+                            guide.node(anchor).parent.unwrap_or(anchor),
+                            Some(LockMode::SA),
+                        ),
                     };
                     // SI on the connecting node, IS on its ancestors.
                     push_with_intentions(guide, connect, LockMode::SI, &mut out);
@@ -292,17 +306,11 @@ impl LockProtocol for Xdgl {
 /// node-at-a-time lock placement of DOM-based protocols, which is what
 /// makes its cost grow with document size (§3.2.3). `depth = 1`
 /// (section-level subtree locks) is available for ablations.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Node2Pl {
     /// Guide depth at which tree locks are placed (0 = root, i.e.
     /// document-level; 1 = top-level sections).
     pub depth: usize,
-}
-
-impl Default for Node2Pl {
-    fn default() -> Self {
-        Node2Pl { depth: 0 }
-    }
 }
 
 impl Node2Pl {
@@ -316,12 +324,7 @@ impl Node2Pl {
         chain[idx]
     }
 
-    fn requests(
-        &self,
-        guide: &DataGuide,
-        queries: &[&Query],
-        mode: LockMode,
-    ) -> Vec<LockRequest> {
+    fn requests(&self, guide: &DataGuide, queries: &[&Query], mode: LockMode) -> Vec<LockRequest> {
         let mut out = Vec::new();
         for q in queries {
             let mut targets = guide.match_query(q);
@@ -355,7 +358,11 @@ impl LockProtocol for Node2Pl {
     ) -> Vec<LockRequest> {
         // Updating transactions tree-lock exclusively from the start
         // (upgrade-deadlock avoidance at coarse granularity).
-        let lock = if mode == TxnMode::Updating { LockMode::XT } else { LockMode::ST };
+        let lock = if mode == TxnMode::Updating {
+            LockMode::XT
+        } else {
+            LockMode::ST
+        };
         self.requests(guide, &[query], lock)
     }
 
@@ -367,7 +374,12 @@ impl LockProtocol for Node2Pl {
     ) -> Vec<LockRequest> {
         // Make sure insert targets exist in the guide so future queries
         // classify them (parity with XDGL's ensure_fragment).
-        if let UpdateOp::Insert { target, fragment, pos } = op {
+        if let UpdateOp::Insert {
+            target,
+            fragment,
+            pos,
+        } = op
+        {
             let anchors = guide.match_query(target);
             for anchor in anchors {
                 let connect = match pos {
@@ -417,7 +429,11 @@ impl LockProtocol for DocLock {
         _query: &Query,
         mode: TxnMode,
     ) -> Vec<LockRequest> {
-        let lock = if mode == TxnMode::Updating { LockMode::XT } else { LockMode::ST };
+        let lock = if mode == TxnMode::Updating {
+            LockMode::XT
+        } else {
+            LockMode::ST
+        };
         vec![LockRequest::new(guide.root(), lock)]
     }
 
@@ -427,7 +443,12 @@ impl LockProtocol for DocLock {
         op: &UpdateOp,
         _mode: TxnMode,
     ) -> Vec<LockRequest> {
-        if let UpdateOp::Insert { target, fragment, pos } = op {
+        if let UpdateOp::Insert {
+            target,
+            fragment,
+            pos,
+        } = op
+        {
             let anchors = guide.match_query(target);
             for anchor in anchors {
                 let connect = match pos {
@@ -467,7 +488,10 @@ mod tests {
     }
 
     fn modes_on(reqs: &[LockRequest], node: GuideId) -> Vec<LockMode> {
-        reqs.iter().filter(|r| r.node == node).map(|r| r.mode).collect()
+        reqs.iter()
+            .filter(|r| r.node == node)
+            .map(|r| r.mode)
+            .collect()
     }
 
     #[test]
@@ -502,13 +526,23 @@ mod tests {
         let mut g = d2_guide();
         let frag = Fragment::elem(
             "product",
-            vec![Fragment::elem_text("id", "13"), Fragment::elem_text("price", "10.30")],
+            vec![
+                Fragment::elem_text("id", "13"),
+                Fragment::elem_text("price", "10.30"),
+            ],
         );
-        let op = UpdateOp::Insert { target: q("/products"), fragment: frag, pos: dtx_xml::document::InsertPos::Into };
+        let op = UpdateOp::Insert {
+            target: q("/products"),
+            fragment: frag,
+            pos: dtx_xml::document::InsertPos::Into,
+        };
         let reqs = Xdgl.update_requests(&mut g, &op, Updating);
         let product = g.child(g.root(), "product", false).unwrap();
         let root_modes = modes_on(&reqs, g.root());
-        assert!(root_modes.contains(&SI), "connect node gets SI, got {root_modes:?}");
+        assert!(
+            root_modes.contains(&SI),
+            "connect node gets SI, got {root_modes:?}"
+        );
         assert!(root_modes.contains(&IX), "ancestor of X gets IX");
         assert_eq!(modes_on(&reqs, product), vec![X]);
     }
@@ -533,11 +567,16 @@ mod tests {
         // Simulate both acquiring via the table.
         let mut table = crate::table::LockTable::new();
         for r in &query_reqs {
-            assert!(table.try_acquire(crate::TxnId(2), r.node, r.mode).is_granted());
+            assert!(table
+                .try_acquire(crate::TxnId(2), r.node, r.mode)
+                .is_granted());
         }
         let mut conflicted = false;
         for r in &insert_reqs {
-            if !table.try_acquire(crate::TxnId(1), r.node, r.mode).is_granted() {
+            if !table
+                .try_acquire(crate::TxnId(1), r.node, r.mode)
+                .is_granted()
+            {
                 conflicted = true;
                 break;
             }
@@ -574,11 +613,15 @@ mod tests {
         );
         let mut table = crate::table::LockTable::new();
         for r in &ins_product {
-            assert!(table.try_acquire(crate::TxnId(1), r.node, r.mode).is_granted());
+            assert!(table
+                .try_acquire(crate::TxnId(1), r.node, r.mode)
+                .is_granted());
         }
         for r in &ins_vendor {
             assert!(
-                table.try_acquire(crate::TxnId(2), r.node, r.mode).is_granted(),
+                table
+                    .try_acquire(crate::TxnId(2), r.node, r.mode)
+                    .is_granted(),
                 "different-type inserts must be concurrent (req {r:?})"
             );
         }
@@ -615,7 +658,13 @@ mod tests {
     fn remove_locks_xt_on_target() {
         let mut g = d2_guide();
         let product = g.child(g.root(), "product", false).unwrap();
-        let reqs = Xdgl.update_requests(&mut g, &UpdateOp::Remove { target: q("/products/product[id=14]") }, Updating);
+        let reqs = Xdgl.update_requests(
+            &mut g,
+            &UpdateOp::Remove {
+                target: q("/products/product[id=14]"),
+            },
+            Updating,
+        );
         // XT on the victim, plus IS as ancestor of the predicate target.
         assert!(modes_on(&reqs, product).contains(&XT));
         assert!(modes_on(&reqs, g.root()).contains(&IX));
@@ -631,7 +680,10 @@ mod tests {
         let price = g.child(product, "price", false).unwrap();
         let reqs = Xdgl.update_requests(
             &mut g,
-            &UpdateOp::Change { target: q("/products/product/price"), new_value: "1".into() },
+            &UpdateOp::Change {
+                target: q("/products/product/price"),
+                new_value: "1".into(),
+            },
             TxnMode::Updating,
         );
         assert_eq!(modes_on(&reqs, price), vec![X]);
@@ -644,7 +696,10 @@ mod tests {
         let product = g.child(g.root(), "product", false).unwrap();
         let reqs = Xdgl.update_requests(
             &mut g,
-            &UpdateOp::Rename { target: q("/products/product/description"), new_label: "title".into() },
+            &UpdateOp::Rename {
+                target: q("/products/product/description"),
+                new_label: "title".into(),
+            },
             TxnMode::Updating,
         );
         let desc = g.child(product, "description", false).unwrap();
@@ -679,7 +734,10 @@ mod tests {
         assert_eq!(modes_on(&reqs, g.root()), vec![ST]);
         let upd = n2pl.update_requests(
             &mut g,
-            &UpdateOp::Change { target: q("/products/product/price"), new_value: "0".into() },
+            &UpdateOp::Change {
+                target: q("/products/product/price"),
+                new_value: "0".into(),
+            },
             TxnMode::Updating,
         );
         assert_eq!(modes_on(&upd, g.root()), vec![XT]);
@@ -697,7 +755,10 @@ mod tests {
         // product path block.
         let upd = n2pl.update_requests(
             &mut g,
-            &UpdateOp::Change { target: q("/products/product/price"), new_value: "0".into() },
+            &UpdateOp::Change {
+                target: q("/products/product/price"),
+                new_value: "0".into(),
+            },
             TxnMode::Updating,
         );
         assert_eq!(modes_on(&upd, product), vec![XT]);
@@ -729,13 +790,22 @@ mod tests {
         let read = n2pl.query_requests(&mut g, &q("/products/product/id"), ReadOnly);
         let write = n2pl.update_requests(
             &mut g,
-            &UpdateOp::Change { target: q("/products/product/price"), new_value: "0".into() },
+            &UpdateOp::Change {
+                target: q("/products/product/price"),
+                new_value: "0".into(),
+            },
             TxnMode::Updating,
         );
         for r in &read {
-            assert!(table.try_acquire(crate::TxnId(1), r.node, r.mode).is_granted());
+            assert!(table
+                .try_acquire(crate::TxnId(1), r.node, r.mode)
+                .is_granted());
         }
-        let blocked = write.iter().any(|r| !table.try_acquire(crate::TxnId(2), r.node, r.mode).is_granted());
+        let blocked = write.iter().any(|r| {
+            !table
+                .try_acquire(crate::TxnId(2), r.node, r.mode)
+                .is_granted()
+        });
         assert!(blocked, "Node2PL must block write vs read in same section");
 
         // XDGL grants the same pair.
@@ -743,15 +813,22 @@ mod tests {
         let read = Xdgl.query_requests(&mut g, &q("/products/product/id"), ReadOnly);
         let write = Xdgl.update_requests(
             &mut g,
-            &UpdateOp::Change { target: q("/products/product/price"), new_value: "0".into() },
+            &UpdateOp::Change {
+                target: q("/products/product/price"),
+                new_value: "0".into(),
+            },
             TxnMode::Updating,
         );
         for r in &read {
-            assert!(table.try_acquire(crate::TxnId(1), r.node, r.mode).is_granted());
+            assert!(table
+                .try_acquire(crate::TxnId(1), r.node, r.mode)
+                .is_granted());
         }
         for r in &write {
             assert!(
-                table.try_acquire(crate::TxnId(2), r.node, r.mode).is_granted(),
+                table
+                    .try_acquire(crate::TxnId(2), r.node, r.mode)
+                    .is_granted(),
                 "XDGL must admit disjoint read/write (req {r:?})"
             );
         }
@@ -764,7 +841,9 @@ mod tests {
         assert_eq!(reqs, vec![LockRequest::new(g.root(), ST)]);
         let upd = DocLock.update_requests(
             &mut g,
-            &UpdateOp::Remove { target: q("/products/product") },
+            &UpdateOp::Remove {
+                target: q("/products/product"),
+            },
             TxnMode::Updating,
         );
         assert_eq!(upd, vec![LockRequest::new(g.root(), XT)]);

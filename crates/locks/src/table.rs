@@ -74,10 +74,8 @@ impl LockTable {
                 if g.mode.covers(mode) {
                     covered = true;
                 }
-            } else if !g.mode.compatible(mode) {
-                if !conflicts.contains(&g.txn) {
-                    conflicts.push(g.txn);
-                }
+            } else if !g.mode.compatible(mode) && !conflicts.contains(&g.txn) {
+                conflicts.push(g.txn);
             }
         }
         if !conflicts.is_empty() {
@@ -93,7 +91,9 @@ impl LockTable {
     /// Releases every lock held by `txn` (commit/abort). Returns the guide
     /// nodes that had locks released, so the scheduler can wake waiters.
     pub fn release_all(&mut self, txn: TxnId) -> Vec<GuideId> {
-        let Some(held) = self.by_txn.remove(&txn) else { return Vec::new() };
+        let Some(held) = self.by_txn.remove(&txn) else {
+            return Vec::new();
+        };
         let mut nodes: Vec<GuideId> = Vec::with_capacity(held.len());
         for (node, _) in held {
             if let Some(grants) = self.grants.get_mut(&node) {
@@ -152,7 +152,13 @@ impl LockTable {
     pub fn modes_of(&self, txn: TxnId, node: GuideId) -> Vec<LockMode> {
         self.grants
             .get(&node)
-            .map(|grants| grants.iter().filter(|g| g.txn == txn).map(|g| g.mode).collect())
+            .map(|grants| {
+                grants
+                    .iter()
+                    .filter(|g| g.txn == txn)
+                    .map(|g| g.mode)
+                    .collect()
+            })
             .unwrap_or_default()
     }
 

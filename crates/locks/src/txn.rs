@@ -31,7 +31,9 @@ pub struct TxnIdGen {
 impl TxnIdGen {
     /// Creates a generator starting at id 1.
     pub fn new() -> Self {
-        TxnIdGen { next: AtomicU64::new(1) }
+        TxnIdGen {
+            next: AtomicU64::new(1),
+        }
     }
 
     /// Allocates the next id. Thread-safe; ids are strictly increasing.
@@ -63,7 +65,10 @@ mod tests {
                 (0..1000).map(|_| g.next()).collect::<Vec<_>>()
             }));
         }
-        let mut all: Vec<TxnId> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<TxnId> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         let n = all.len();
         all.sort();
         all.dedup();

@@ -80,14 +80,20 @@ impl WaitForGraph {
 
     /// The transactions `waiter` currently waits for.
     pub fn waits_for(&self, waiter: TxnId) -> Vec<TxnId> {
-        self.edges.get(&waiter).map(|s| s.iter().copied().collect()).unwrap_or_default()
+        self.edges
+            .get(&waiter)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Merges `other` into `self` (Algorithm 4 l. 5:
     /// `result_graph.union(graph)`).
     pub fn union(&mut self, other: &WaitForGraph) {
         for (&waiter, holders) in &other.edges {
-            self.edges.entry(waiter).or_default().extend(holders.iter().copied());
+            self.edges
+                .entry(waiter)
+                .or_default()
+                .extend(holders.iter().copied());
         }
     }
 
@@ -111,8 +117,11 @@ impl WaitForGraph {
             }
             // stack of (node, next-neighbour-index)
             let mut stack: Vec<(TxnId, Vec<TxnId>, usize)> = Vec::new();
-            let mut neigh: Vec<TxnId> =
-                self.edges.get(&start).map(|s| s.iter().copied().collect()).unwrap_or_default();
+            let mut neigh: Vec<TxnId> = self
+                .edges
+                .get(&start)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
             neigh.sort();
             colour.insert(start, Colour::Grey);
             stack.push((start, neigh, 0));
@@ -162,7 +171,8 @@ impl WaitForGraph {
     /// The newest (largest-id, i.e. most recently started) transaction in
     /// the first cycle found — DTX's deadlock victim (Alg. 4 l. 7).
     pub fn newest_in_cycle(&self) -> Option<TxnId> {
-        self.find_cycle().map(|c| c.into_iter().max().expect("cycles are non-empty"))
+        self.find_cycle()
+            .map(|c| c.into_iter().max().expect("cycles are non-empty"))
     }
 }
 

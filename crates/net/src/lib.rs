@@ -30,7 +30,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Identifier of a site (system node) in the cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct SiteId(pub u16);
 
 impl fmt::Display for SiteId {
@@ -63,7 +65,12 @@ pub struct LatencyModel {
 impl LatencyModel {
     /// Synchronous delivery (tests).
     pub fn zero() -> Self {
-        LatencyModel { fixed: Duration::ZERO, per_kib: Duration::ZERO, jitter: Duration::ZERO, seed: 0 }
+        LatencyModel {
+            fixed: Duration::ZERO,
+            per_kib: Duration::ZERO,
+            jitter: Duration::ZERO,
+            seed: 0,
+        }
     }
 
     /// 100 Mbit/s LAN through a hub: ~150 µs fixed, ~80 µs/KiB
@@ -170,7 +177,10 @@ impl<M> Ord for Delayed<M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reverse order: BinaryHeap is a max-heap, we want earliest first;
         // ties broken by send sequence to keep FIFO.
-        other.deliver_at.cmp(&self.deliver_at).then(other.seq.cmp(&self.seq))
+        other
+            .deliver_at
+            .cmp(&self.deliver_at)
+            .then(other.seq.cmp(&self.seq))
     }
 }
 
@@ -180,6 +190,11 @@ struct Inner<M> {
     stats: NetStats,
     hub_tx: Mutex<Option<Sender<Delayed<M>>>>,
     seq: AtomicU64,
+    /// Per (sender, receiver) message counter. Jitter for the k-th message
+    /// of a pair is derived from (seed, from, to, k) alone, so the random
+    /// delay stream of every link is reproducible from the seed no matter
+    /// how concurrent senders interleave globally.
+    pair_seq: Mutex<HashMap<(SiteId, SiteId), u64>>,
 }
 
 /// A handle to the simulated network (cloneable; all clones share state).
@@ -189,7 +204,9 @@ pub struct Network<M: Send + 'static> {
 
 impl<M: Send + 'static> Clone for Network<M> {
     fn clone(&self) -> Self {
-        Network { inner: self.inner.clone() }
+        Network {
+            inner: self.inner.clone(),
+        }
     }
 }
 
@@ -219,6 +236,15 @@ impl<M> Endpoint<M> {
     pub fn try_recv(&self) -> Option<Envelope<M>> {
         self.rx.try_recv().ok()
     }
+
+    /// Non-blocking batch drain: returns up to `limit` queued envelopes
+    /// without ever blocking. Event-driven consumers (the scheduler's
+    /// single-threaded state machine) use this to interleave network
+    /// intake with dispatch work in bounded slices, so a message flood
+    /// cannot starve transaction progress.
+    pub fn drain(&self, limit: usize) -> Vec<Envelope<M>> {
+        self.rx.try_iter().take(limit).collect()
+    }
 }
 
 impl<M: Wire> Network<M> {
@@ -231,6 +257,7 @@ impl<M: Wire> Network<M> {
             stats: NetStats::default(),
             hub_tx: Mutex::new(None),
             seq: AtomicU64::new(0),
+            pair_seq: Mutex::new(HashMap::new()),
         });
         if !latency.is_zero() {
             let (tx, rx) = unbounded::<Delayed<M>>();
@@ -256,18 +283,35 @@ impl<M: Wire> Network<M> {
     pub fn send(&self, from: SiteId, to: SiteId, payload: M) -> Result<(), NetError> {
         let bytes = payload.wire_size();
         self.inner.stats.messages.fetch_add(1, Ordering::Relaxed);
-        self.inner.stats.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.inner
+            .stats
+            .bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
         let envelope = Envelope { from, to, payload };
         let hub = self.inner.hub_tx.lock();
         match hub.as_ref() {
             Some(hub_tx) => {
-                // Jitter state is derived from the shared seq counter so
-                // concurrent senders stay deterministic *per message index*.
+                // Jitter is a pure function of (seed, from, to, k-th message
+                // of this pair): every link's delay stream is reproducible
+                // from the seed regardless of global thread interleaving.
                 let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
-                let mut rng = self.inner.latency.seed ^ (seq.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+                let k = {
+                    let mut pairs = self.inner.pair_seq.lock();
+                    let c = pairs.entry((from, to)).or_insert(0);
+                    let k = *c;
+                    *c += 1;
+                    k
+                };
+                let mut rng = mix64(
+                    self.inner.latency.seed ^ ((from.0 as u64) << 48) ^ ((to.0 as u64) << 32) ^ k,
+                );
                 let delay = self.inner.latency.delay(bytes, &mut rng);
                 hub_tx
-                    .send(Delayed { deliver_at: Instant::now() + delay, seq, envelope })
+                    .send(Delayed {
+                        deliver_at: Instant::now() + delay,
+                        seq,
+                        envelope,
+                    })
                     .map_err(|_| NetError::Closed)
             }
             None => {
@@ -297,8 +341,23 @@ impl<M: Wire> Network<M> {
     }
 }
 
+/// splitmix64 finalizer: spreads structured seeds (pair ids, counters)
+/// into well-mixed PRNG states.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    (z ^ (z >> 31)) | 1
+}
+
 fn hub_loop<M: Send + 'static>(rx: Receiver<Delayed<M>>, inner: std::sync::Weak<Inner<M>>) {
     let mut queue: BinaryHeap<Delayed<M>> = BinaryHeap::new();
+    // Per-pair FIFO clamp: a later message of the same (from, to) pair is
+    // never scheduled before an earlier one, even when size-dependent
+    // latency or jitter would say otherwise — the link behaves like one
+    // TCP stream. The schedulers' termination protocol relies on this
+    // (e.g. an `Abort` must not overtake the `ExecRemote` it cancels).
+    let mut pair_last: HashMap<(SiteId, SiteId), Instant> = HashMap::new();
     loop {
         // Deliver everything due.
         let now = Instant::now();
@@ -319,7 +378,14 @@ fn hub_loop<M: Send + 'static>(rx: Receiver<Delayed<M>>, inner: std::sync::Weak<
             .map(|d| d.deliver_at.saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_millis(50));
         match rx.recv_timeout(wait.max(Duration::from_micros(10))) {
-            Ok(d) => queue.push(d),
+            Ok(mut d) => {
+                let pair = (d.envelope.from, d.envelope.to);
+                if let Some(&last) = pair_last.get(&pair) {
+                    d.deliver_at = d.deliver_at.max(last);
+                }
+                pair_last.insert(pair, d.deliver_at);
+                queue.push(d);
+            }
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                 if inner.upgrade().is_none() {
                     return;
@@ -375,7 +441,10 @@ mod tests {
     fn unknown_destination_is_an_error() {
         let net: Network<Msg> = Network::new(LatencyModel::zero());
         let _a = net.register(SiteId(0));
-        assert_eq!(net.send(SiteId(0), SiteId(9), Msg(1)), Err(NetError::UnknownSite(SiteId(9))));
+        assert_eq!(
+            net.send(SiteId(0), SiteId(9), Msg(1)),
+            Err(NetError::UnknownSite(SiteId(9)))
+        );
     }
 
     #[test]
@@ -406,9 +475,16 @@ mod tests {
         net.send(SiteId(1), SiteId(0), Msg(1)).unwrap();
         // Not there immediately.
         assert!(a.try_recv().is_none());
-        let e = a.recv_timeout(Duration::from_millis(500)).unwrap().expect("delivered");
+        let e = a
+            .recv_timeout(Duration::from_millis(500))
+            .unwrap()
+            .expect("delivered");
         assert_eq!(e.payload, Msg(1));
-        assert!(t0.elapsed() >= Duration::from_millis(18), "elapsed {:?}", t0.elapsed());
+        assert!(
+            t0.elapsed() >= Duration::from_millis(18),
+            "elapsed {:?}",
+            t0.elapsed()
+        );
         net.shutdown();
     }
 
@@ -427,10 +503,65 @@ mod tests {
             net.send(SiteId(1), SiteId(0), Msg(i)).unwrap();
         }
         for i in 0..20 {
-            let e = a.recv_timeout(Duration::from_millis(500)).unwrap().expect("delivered");
+            let e = a
+                .recv_timeout(Duration::from_millis(500))
+                .unwrap()
+                .expect("delivered");
             assert_eq!(e.payload, Msg(i));
         }
         net.shutdown();
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct SizedMsg(u32, usize);
+    impl Wire for SizedMsg {
+        fn wire_size(&self) -> usize {
+            self.1
+        }
+    }
+
+    #[test]
+    fn fifo_preserved_despite_size_dependent_latency() {
+        // A large message followed by a small one on the same link: the
+        // small one's computed delay is shorter, but the per-pair FIFO
+        // clamp must keep delivery in send order.
+        let model = LatencyModel {
+            fixed: Duration::from_millis(1),
+            per_kib: Duration::from_millis(10),
+            jitter: Duration::from_micros(500),
+            seed: 3,
+        };
+        let net: Network<SizedMsg> = Network::new(model);
+        let a = net.register(SiteId(0));
+        let _b = net.register(SiteId(1));
+        net.send(SiteId(1), SiteId(0), SizedMsg(0, 64 * 1024))
+            .unwrap();
+        net.send(SiteId(1), SiteId(0), SizedMsg(1, 16)).unwrap();
+        for i in 0..2 {
+            let e = a
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap()
+                .expect("delivered");
+            assert_eq!(e.payload.0, i, "messages must arrive in send order");
+        }
+        net.shutdown();
+    }
+
+    #[test]
+    fn drain_returns_batch_without_blocking() {
+        let net: Network<Msg> = Network::new(LatencyModel::zero());
+        let a = net.register(SiteId(0));
+        let _b = net.register(SiteId(1));
+        assert!(a.drain(16).is_empty(), "empty queue drains to nothing");
+        for i in 0..10 {
+            net.send(SiteId(1), SiteId(0), Msg(i)).unwrap();
+        }
+        let batch = a.drain(4);
+        assert_eq!(
+            batch.iter().map(|e| e.payload.0).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(a.drain(100).len(), 6, "remainder drains in order");
     }
 
     #[test]

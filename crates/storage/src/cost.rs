@@ -26,14 +26,20 @@ impl Default for CostModel {
     /// so that full experiment sweeps finish in seconds, preserving the
     /// storage-vs-CPU cost ratio rather than absolute numbers).
     fn default() -> Self {
-        CostModel { base: Duration::from_micros(200), per_kib: Duration::from_micros(20) }
+        CostModel {
+            base: Duration::from_micros(200),
+            per_kib: Duration::from_micros(20),
+        }
     }
 }
 
 impl CostModel {
     /// A model that charges nothing (unit tests).
     pub fn zero() -> Self {
-        CostModel { base: Duration::ZERO, per_kib: Duration::ZERO }
+        CostModel {
+            base: Duration::ZERO,
+            per_kib: Duration::ZERO,
+        }
     }
 
     /// The charge for an operation moving `bytes` bytes.
@@ -63,7 +69,10 @@ mod tests {
 
     #[test]
     fn charge_scales_with_size() {
-        let m = CostModel { base: Duration::from_micros(100), per_kib: Duration::from_micros(10) };
+        let m = CostModel {
+            base: Duration::from_micros(100),
+            per_kib: Duration::from_micros(10),
+        };
         assert_eq!(m.charge(0), Duration::from_micros(100));
         assert_eq!(m.charge(1024), Duration::from_micros(110));
         assert_eq!(m.charge(10 * 1024), Duration::from_micros(200));

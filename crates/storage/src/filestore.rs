@@ -22,14 +22,23 @@ impl FileStore {
     pub fn open(dir: impl AsRef<Path>) -> StorageResult<Self> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
-        Ok(FileStore { dir, stats: StoreStats::default() })
+        Ok(FileStore {
+            dir,
+            stats: StoreStats::default(),
+        })
     }
 
     fn path_of(&self, name: &str) -> PathBuf {
         // Sanitize: document names become file names.
         let safe: String = name
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         self.dir.join(format!("{safe}.xml"))
     }
@@ -64,8 +73,10 @@ impl DataManager for FileStore {
     }
 
     fn put_raw(&mut self, name: &str, xml: &str) -> StorageResult<()> {
-        Document::parse(xml)
-            .map_err(|cause| StorageError::Corrupt { name: name.to_owned(), cause })?;
+        Document::parse(xml).map_err(|cause| StorageError::Corrupt {
+            name: name.to_owned(),
+            cause,
+        })?;
         fs::write(self.path_of(name), xml)?;
         Ok(())
     }
@@ -78,8 +89,10 @@ impl DataManager for FileStore {
         let xml = fs::read_to_string(path)?;
         self.stats.loads += 1;
         self.stats.bytes_read += xml.len() as u64;
-        Document::parse(&xml)
-            .map_err(|cause| StorageError::Corrupt { name: name.to_owned(), cause })
+        Document::parse(&xml).map_err(|cause| StorageError::Corrupt {
+            name: name.to_owned(),
+            cause,
+        })
     }
 
     fn persist(&mut self, name: &str, doc: &Document) -> StorageResult<()> {
@@ -121,7 +134,8 @@ mod tests {
     fn round_trip_on_disk() {
         let dir = tmpdir("rt");
         let mut s = FileStore::open(&dir).unwrap();
-        s.put_raw("d1", "<products><product><id>4</id></product></products>").unwrap();
+        s.put_raw("d1", "<products><product><id>4</id></product></products>")
+            .unwrap();
         assert!(s.contains("d1"));
         assert_eq!(s.list(), vec!["d1".to_owned()]);
         let doc = s.load("d1").unwrap();
@@ -149,7 +163,10 @@ mod tests {
         let dir = tmpdir("err");
         let mut s = FileStore::open(&dir).unwrap();
         assert!(matches!(s.load("ghost"), Err(StorageError::NotFound(_))));
-        assert!(matches!(s.put_raw("bad", "<a>"), Err(StorageError::Corrupt { .. })));
+        assert!(matches!(
+            s.put_raw("bad", "<a>"),
+            Err(StorageError::Corrupt { .. })
+        ));
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -21,7 +21,11 @@ pub struct MemStore {
 impl MemStore {
     /// An empty store with the given cost model.
     pub fn new(cost: CostModel) -> Self {
-        MemStore { docs: BTreeMap::new(), cost, stats: StoreStats::default() }
+        MemStore {
+            docs: BTreeMap::new(),
+            cost,
+            stats: StoreStats::default(),
+        }
     }
 
     /// An empty store that charges no I/O time (tests).
@@ -62,19 +66,26 @@ impl DataManager for MemStore {
     fn put_raw(&mut self, name: &str, xml: &str) -> StorageResult<()> {
         // Validate eagerly so corrupt documents are rejected at load time,
         // not at first transaction.
-        Document::parse(xml)
-            .map_err(|cause| StorageError::Corrupt { name: name.to_owned(), cause })?;
+        Document::parse(xml).map_err(|cause| StorageError::Corrupt {
+            name: name.to_owned(),
+            cause,
+        })?;
         self.docs.insert(name.to_owned(), xml.to_owned());
         Ok(())
     }
 
     fn load(&mut self, name: &str) -> StorageResult<Document> {
-        let xml =
-            self.docs.get(name).ok_or_else(|| StorageError::NotFound(name.to_owned()))?;
+        let xml = self
+            .docs
+            .get(name)
+            .ok_or_else(|| StorageError::NotFound(name.to_owned()))?;
         self.cost.pay(xml.len());
         self.stats.loads += 1;
         self.stats.bytes_read += xml.len() as u64;
-        Document::parse(xml).map_err(|cause| StorageError::Corrupt { name: name.to_owned(), cause })
+        Document::parse(xml).map_err(|cause| StorageError::Corrupt {
+            name: name.to_owned(),
+            cause,
+        })
     }
 
     fn persist(&mut self, name: &str, doc: &Document) -> StorageResult<()> {
@@ -105,11 +116,13 @@ mod tests {
     #[test]
     fn put_load_persist_round_trip() {
         let mut s = MemStore::free();
-        s.put_raw("d1", "<people><person><id>4</id></person></people>").unwrap();
+        s.put_raw("d1", "<people><person><id>4</id></person></people>")
+            .unwrap();
         assert!(s.contains("d1"));
         assert_eq!(s.list(), vec!["d1".to_owned()]);
         let mut doc = s.load("d1").unwrap();
-        doc.insert_element(doc.root(), "person", dtx_xml::document::InsertPos::Into).unwrap();
+        doc.insert_element(doc.root(), "person", dtx_xml::document::InsertPos::Into)
+            .unwrap();
         s.persist("d1", &doc).unwrap();
         let again = s.load("d1").unwrap();
         assert_eq!(again.node_count(), doc.node_count());
@@ -129,7 +142,10 @@ mod tests {
     #[test]
     fn corrupt_xml_rejected_at_put() {
         let mut s = MemStore::free();
-        assert!(matches!(s.put_raw("bad", "<a><b>"), Err(StorageError::Corrupt { .. })));
+        assert!(matches!(
+            s.put_raw("bad", "<a><b>"),
+            Err(StorageError::Corrupt { .. })
+        ));
         assert!(!s.contains("bad"));
     }
 

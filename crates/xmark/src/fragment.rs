@@ -75,8 +75,18 @@ impl Fragmented {
 
     /// Max/min fragment size ratio (balance quality; 1.0 is perfect).
     pub fn balance_ratio(&self) -> f64 {
-        let max = self.fragments.iter().map(|f| f.xml.len()).max().unwrap_or(1);
-        let min = self.fragments.iter().map(|f| f.xml.len()).min().unwrap_or(1);
+        let max = self
+            .fragments
+            .iter()
+            .map(|f| f.xml.len())
+            .max()
+            .unwrap_or(1);
+        let min = self
+            .fragments
+            .iter()
+            .map(|f| f.xml.len())
+            .min()
+            .unwrap_or(1);
         max as f64 / min.max(1) as f64
     }
 }
@@ -196,7 +206,14 @@ impl FragBuild {
         let mut xml = String::with_capacity(self.bytes + 256);
         xml.push_str("<site><regions>");
         // Always emit all six regions so fragment schemas are identical.
-        for region in ["africa", "asia", "australia", "europe", "namerica", "samerica"] {
+        for region in [
+            "africa",
+            "asia",
+            "australia",
+            "europe",
+            "namerica",
+            "samerica",
+        ] {
             xml.push_str(&format!("<{region}>"));
             if let Some(buf) = self.region_bufs.get(region) {
                 xml.push_str(buf);
@@ -258,10 +275,7 @@ fn entity_id(doc: &Document, node: NodeId) -> Option<u64> {
 
 /// Loads an [`Allocation`] into a cluster: fragments register the logical
 /// document as *fragmented*, full copies as *replicated*.
-pub fn load_allocation(
-    cluster: &dtx_core::Cluster,
-    alloc: &Allocation,
-) -> Result<(), String> {
+pub fn load_allocation(cluster: &dtx_core::Cluster, alloc: &Allocation) -> Result<(), String> {
     match alloc.mode {
         ReplicationMode::Partial => cluster.load_fragments(LOGICAL_DOC, &alloc.parts),
         ReplicationMode::Total => {
@@ -289,9 +303,9 @@ pub fn allocate(
             .enumerate()
             .map(|(i, f)| (SiteId((i as u16) % n_sites), f.xml.clone()))
             .collect(),
-        ReplicationMode::Total => {
-            (0..n_sites).map(|i| (SiteId(i), base.xml.clone())).collect()
-        }
+        ReplicationMode::Total => (0..n_sites)
+            .map(|i| (SiteId(i), base.xml.clone()))
+            .collect(),
     };
     Allocation { parts, mode }
 }
@@ -314,7 +328,11 @@ mod tests {
             let doc = Document::parse(&frag.xml).expect("well-formed fragment");
             doc.check_integrity().unwrap();
             // Full skeleton present even if a section is empty.
-            for path in ["/site/regions/africa", "/site/people", "/site/open_auctions"] {
+            for path in [
+                "/site/regions/africa",
+                "/site/people",
+                "/site/open_auctions",
+            ] {
                 assert_eq!(
                     eval(&doc, &Query::parse(path).unwrap()).len(),
                     1,
@@ -328,21 +346,31 @@ mod tests {
     #[test]
     fn fragments_have_similar_sizes() {
         let f = fragment_doc(&base(), 4);
-        assert!(f.balance_ratio() < 1.35, "balance ratio {}", f.balance_ratio());
+        assert!(
+            f.balance_ratio() < 1.35,
+            "balance ratio {}",
+            f.balance_ratio()
+        );
     }
 
     #[test]
     fn no_entity_lost_or_duplicated() {
         let gen = base();
         let f = fragment_doc(&gen, 3);
-        let mut person_ids: Vec<u64> =
-            f.fragments.iter().flat_map(|fr| fr.person_ids.iter().copied()).collect();
+        let mut person_ids: Vec<u64> = f
+            .fragments
+            .iter()
+            .flat_map(|fr| fr.person_ids.iter().copied())
+            .collect();
         person_ids.sort();
         let mut expected = gen.person_ids.clone();
         expected.sort();
         assert_eq!(person_ids, expected);
-        let mut auction_ids: Vec<u64> =
-            f.fragments.iter().flat_map(|fr| fr.open_auction_ids.iter().copied()).collect();
+        let mut auction_ids: Vec<u64> = f
+            .fragments
+            .iter()
+            .flat_map(|fr| fr.open_auction_ids.iter().copied())
+            .collect();
         auction_ids.sort();
         let mut expected = gen.open_auction_ids.clone();
         expected.sort();
@@ -391,8 +419,11 @@ mod tests {
     fn category_ids_tracked_per_fragment() {
         let doc = base();
         let f = fragment_doc(&doc, 3);
-        let mut all: Vec<u64> =
-            f.fragments.iter().flat_map(|fr| fr.category_ids.iter().copied()).collect();
+        let mut all: Vec<u64> = f
+            .fragments
+            .iter()
+            .flat_map(|fr| fr.category_ids.iter().copied())
+            .collect();
         all.sort();
         let mut expected = doc.category_ids.clone();
         expected.sort();

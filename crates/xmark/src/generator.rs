@@ -50,19 +50,49 @@ pub struct XmarkDoc {
     pub category_ids: Vec<u64>,
 }
 
-const REGIONS: [&str; 6] = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+const REGIONS: [&str; 6] = [
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
 
 const FIRST_NAMES: [&str; 12] = [
     "Ana", "Bruno", "Caio", "Dora", "Enzo", "Flora", "Gil", "Helena", "Ivo", "Julia", "Kleber",
     "Lia",
 ];
-const LAST_NAMES: [&str; 10] =
-    ["Silva", "Souza", "Moreira", "Machado", "Costa", "Lima", "Alves", "Rocha", "Dias", "Nunes"];
-const CITIES: [&str; 8] =
-    ["Fortaleza", "Recife", "Natal", "Salvador", "Belem", "Manaus", "Curitiba", "Porto"];
+const LAST_NAMES: [&str; 10] = [
+    "Silva", "Souza", "Moreira", "Machado", "Costa", "Lima", "Alves", "Rocha", "Dias", "Nunes",
+];
+const CITIES: [&str; 8] = [
+    "Fortaleza",
+    "Recife",
+    "Natal",
+    "Salvador",
+    "Belem",
+    "Manaus",
+    "Curitiba",
+    "Porto",
+];
 const WORDS: [&str; 16] = [
-    "auction", "vintage", "rare", "boxed", "mint", "classic", "signed", "limited", "edition",
-    "antique", "restored", "original", "sealed", "imported", "handmade", "certified",
+    "auction",
+    "vintage",
+    "rare",
+    "boxed",
+    "mint",
+    "classic",
+    "signed",
+    "limited",
+    "edition",
+    "antique",
+    "restored",
+    "original",
+    "sealed",
+    "imported",
+    "handmade",
+    "certified",
 ];
 
 /// Average serialized bytes per entity, measured empirically from the
@@ -157,7 +187,14 @@ pub fn generate(config: XmarkConfig) -> XmarkDoc {
     xml.push_str("</closed_auctions>");
 
     xml.push_str("</site>");
-    XmarkDoc { xml, person_ids, item_ids, open_auction_ids, closed_auction_ids, category_ids }
+    XmarkDoc {
+        xml,
+        person_ids,
+        item_ids,
+        open_auction_ids,
+        closed_auction_ids,
+        category_ids,
+    }
 }
 
 fn pick<'a, T>(items: &'a [T], rng: &mut StdRng) -> &'a T {
@@ -208,13 +245,7 @@ fn push_person(xml: &mut String, id: u64, rng: &mut StdRng) {
     ));
 }
 
-fn push_open_auction(
-    xml: &mut String,
-    id: u64,
-    items: &[u64],
-    persons: &[u64],
-    rng: &mut StdRng,
-) {
+fn push_open_auction(xml: &mut String, id: u64, items: &[u64], persons: &[u64], rng: &mut StdRng) {
     let item = pick(items, rng);
     let seller = pick(persons, rng);
     let n_bidders = rng.gen_range(1..4);
@@ -299,7 +330,10 @@ mod tests {
         let gen = generate(XmarkConfig::sized(60_000, 3));
         let doc = gen.parse();
         let pid = gen.person_ids[0];
-        let hits = eval(&doc, &Query::parse(&format!("/site/people/person[id={pid}]")).unwrap());
+        let hits = eval(
+            &doc,
+            &Query::parse(&format!("/site/people/person[id={pid}]")).unwrap(),
+        );
         assert_eq!(hits.len(), 1, "person id {pid} must be unique and findable");
         let aid = gen.open_auction_ids[0];
         let hits = eval(

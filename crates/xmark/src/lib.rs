@@ -29,7 +29,9 @@ pub mod generator;
 pub mod tester;
 pub mod workload;
 
-pub use fragment::{allocate, load_allocation, Allocation, Fragmented, ReplicationMode, LOGICAL_DOC};
+pub use fragment::{
+    allocate, load_allocation, Allocation, Fragmented, ReplicationMode, LOGICAL_DOC,
+};
 pub use generator::{XmarkConfig, XmarkDoc};
 pub use tester::{run_workload, TestReport};
 pub use workload::{Workload, WorkloadConfig};

@@ -46,8 +46,7 @@ impl TestReport {
 
     /// Mean response time over committed transactions (zero when none).
     pub fn mean_response(&self) -> Duration {
-        let committed: Vec<&TxnOutcome> =
-            self.outcomes.iter().filter(|o| o.committed()).collect();
+        let committed: Vec<&TxnOutcome> = self.outcomes.iter().filter(|o| o.committed()).collect();
         if committed.is_empty() {
             return Duration::ZERO;
         }
@@ -59,7 +58,10 @@ impl TestReport {
         if self.outcomes.is_empty() {
             return Duration::ZERO;
         }
-        self.outcomes.iter().map(|o| o.response_time).sum::<Duration>()
+        self.outcomes
+            .iter()
+            .map(|o| o.response_time)
+            .sum::<Duration>()
             / (self.outcomes.len() as u32)
     }
 }
@@ -82,7 +84,10 @@ pub fn run_workload(cluster: &Cluster, workload: &Workload) -> TestReport {
         }
         all
     });
-    TestReport { outcomes, wall: start.elapsed() }
+    TestReport {
+        outcomes,
+        wall: start.elapsed(),
+    }
 }
 
 fn client_loop(cluster: &Cluster, site: SiteId, txns: &[dtx_core::TxnSpec]) -> Vec<TxnOutcome> {
@@ -120,7 +125,11 @@ mod tests {
         let w = gen_workload(WorkloadConfig::read_only(4, 1), &frags);
         let report = run_workload(&cluster, &w);
         assert_eq!(report.outcomes.len(), 20);
-        assert_eq!(report.committed(), 20, "read-only workloads never conflict fatally");
+        assert_eq!(
+            report.committed(),
+            20,
+            "read-only workloads never conflict fatally"
+        );
         assert!(report.mean_response() > Duration::ZERO);
         cluster.shutdown();
     }

@@ -97,7 +97,11 @@ impl Workload {
 
     /// Number of transactions containing at least one update.
     pub fn update_txns(&self) -> usize {
-        self.clients.iter().flatten().filter(|t| !t.is_read_only()).count()
+        self.clients
+            .iter()
+            .flatten()
+            .filter(|t| !t.is_read_only())
+            .count()
     }
 }
 
@@ -112,7 +116,14 @@ pub fn generate(config: WorkloadConfig, frags: &Fragmented) -> Workload {
         for _ in 0..config.txns_per_client {
             let is_update_txn = rng.gen_range(0..100) < config.update_txn_pct;
             let home = rng.gen_range(0..frags.fragments.len());
-            txns.push(gen_txn(config, frags, home, is_update_txn, &mut rng, &mut next_fresh));
+            txns.push(gen_txn(
+                config,
+                frags,
+                home,
+                is_update_txn,
+                &mut rng,
+                &mut next_fresh,
+            ));
         }
         clients.push(txns);
     }
@@ -130,7 +141,7 @@ fn gen_txn(
     let n_ops = config.ops_per_txn.max(1);
     // How many of the ops are updates (at least one in an update txn).
     let n_updates = if is_update_txn {
-        ((n_ops as u32 * config.update_op_pct + 99) / 100).max(1) as usize
+        (n_ops as u32 * config.update_op_pct).div_ceil(100).max(1) as usize
     } else {
         0
     };
@@ -180,11 +191,7 @@ fn pick_id(ids: &[u64], rng: &mut StdRng) -> Option<u64> {
 }
 
 /// One of eight XMark-derived query templates, adapted to the subset.
-fn gen_query(
-    _frags: &Fragmented,
-    frag: &crate::fragment::Fragment,
-    rng: &mut StdRng,
-) -> OpSpec {
+fn gen_query(_frags: &Fragmented, frag: &crate::fragment::Fragment, rng: &mut StdRng) -> OpSpec {
     let template = rng.gen_range(0..8u32);
     let q = match template {
         0 => match pick_id(&frag.person_ids, rng) {
@@ -193,11 +200,20 @@ fn gen_query(
         },
         1 => "/site/open_auctions/open_auction/bidder/increase".to_owned(),
         2 => {
-            let region = ["africa", "asia", "australia", "europe", "namerica", "samerica"]
-                [rng.gen_range(0..6)];
+            let region = [
+                "africa",
+                "asia",
+                "australia",
+                "europe",
+                "namerica",
+                "samerica",
+            ][rng.gen_range(0..6)];
             format!("/site/regions/{region}/item/name")
         }
-        3 => format!("/site/people/person[profile/age>{}]/name", rng.gen_range(25..60)),
+        3 => format!(
+            "/site/people/person[profile/age>{}]/name",
+            rng.gen_range(25..60)
+        ),
         4 => match pick_id(&frag.open_auction_ids, rng) {
             Some(id) => format!("/site/open_auctions/open_auction[id={id}]/current"),
             None => "/site/open_auctions/open_auction/current".to_owned(),
@@ -264,7 +280,10 @@ fn gen_update(
                         "bidder",
                         vec![
                             XmlFragment::elem_text("date", "2009-06-01"),
-                            XmlFragment::elem_text("increase", format!("{}.00", rng.gen_range(1..20))),
+                            XmlFragment::elem_text(
+                                "increase",
+                                format!("{}.00", rng.gen_range(1..20)),
+                            ),
                         ],
                     ),
                     pos: InsertPos::Into,

@@ -40,7 +40,10 @@ pub enum InsertPos {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Fragment {
     /// Element with label and ordered children.
-    Element { label: String, children: Vec<Fragment> },
+    Element {
+        label: String,
+        children: Vec<Fragment>,
+    },
     /// Attribute with label and value.
     Attribute { label: String, value: String },
     /// Text content.
@@ -50,7 +53,10 @@ pub enum Fragment {
 impl Fragment {
     /// Convenience constructor for an element fragment.
     pub fn elem(label: impl Into<String>, children: Vec<Fragment>) -> Self {
-        Fragment::Element { label: label.into(), children }
+        Fragment::Element {
+            label: label.into(),
+            children,
+        }
     }
 
     /// Convenience constructor for an element holding a single text child.
@@ -63,12 +69,17 @@ impl Fragment {
 
     /// Convenience constructor for an attribute fragment.
     pub fn attr(label: impl Into<String>, value: impl Into<String>) -> Self {
-        Fragment::Attribute { label: label.into(), value: value.into() }
+        Fragment::Attribute {
+            label: label.into(),
+            value: value.into(),
+        }
     }
 
     /// Convenience constructor for a text fragment.
     pub fn text(value: impl Into<String>) -> Self {
-        Fragment::Text { value: value.into() }
+        Fragment::Text {
+            value: value.into(),
+        }
     }
 
     /// Number of nodes in the fragment (itself plus descendants).
@@ -153,7 +164,9 @@ impl Document {
                 }
                 Ok(doc)
             }
-            _ => Err(XmlError::InvalidTreeOp("document root must be an element".into())),
+            _ => Err(XmlError::InvalidTreeOp(
+                "document root must be an element".into(),
+            )),
         }
     }
 
@@ -189,7 +202,10 @@ impl Document {
     /// Whether `id` refers to a live node.
     #[inline]
     pub fn is_live(&self, id: NodeId) -> bool {
-        self.nodes.get(id.index()).map(Option::is_some).unwrap_or(false)
+        self.nodes
+            .get(id.index())
+            .map(Option::is_some)
+            .unwrap_or(false)
     }
 
     /// Borrow a node.
@@ -277,7 +293,10 @@ impl Document {
 
     /// Pre-order iterator over the subtree rooted at `id` (including `id`).
     pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
-        Descendants { doc: self, stack: vec![id] }
+        Descendants {
+            doc: self,
+            stack: vec![id],
+        }
     }
 
     /// Concatenated text content of the subtree rooted at `id`.
@@ -379,12 +398,18 @@ impl Document {
                 Ok((anchor, 0))
             }
             InsertPos::Before | InsertPos::After => {
-                let parent = self
-                    .node(anchor)?
-                    .parent
-                    .ok_or_else(|| XmlError::InvalidTreeOp("cannot insert beside the root".into()))?;
+                let parent = self.node(anchor)?.parent.ok_or_else(|| {
+                    XmlError::InvalidTreeOp("cannot insert beside the root".into())
+                })?;
                 let idx = self.child_index(parent, anchor)?;
-                Ok((parent, if pos == InsertPos::Before { idx } else { idx + 1 }))
+                Ok((
+                    parent,
+                    if pos == InsertPos::Before {
+                        idx
+                    } else {
+                        idx + 1
+                    },
+                ))
             }
         }
     }
@@ -433,7 +458,11 @@ impl Document {
             self.nodes[n.index()] = None;
             self.live -= 1;
         }
-        Ok(Removed { fragment, parent, index })
+        Ok(Removed {
+            fragment,
+            parent,
+            index,
+        })
     }
 
     /// Undoes a removal by splicing the recorded fragment back at its
@@ -458,9 +487,10 @@ impl Document {
                 *label = sym;
                 Ok(old)
             }
-            NodeKind::Text { .. } => {
-                Err(XmlError::KindMismatch { expected: "element or attribute", found: "text" })
-            }
+            NodeKind::Text { .. } => Err(XmlError::KindMismatch {
+                expected: "element or attribute",
+                found: "text",
+            }),
         }
     }
 
@@ -533,13 +563,18 @@ impl Document {
                 for &c in &node.children {
                     children.push(self.to_fragment(c)?);
                 }
-                Fragment::Element { label: self.interner.resolve(*label).to_owned(), children }
+                Fragment::Element {
+                    label: self.interner.resolve(*label).to_owned(),
+                    children,
+                }
             }
             NodeKind::Attribute { label, value } => Fragment::Attribute {
                 label: self.interner.resolve(*label).to_owned(),
                 value: value.clone(),
             },
-            NodeKind::Text { value } => Fragment::Text { value: value.clone() },
+            NodeKind::Text { value } => Fragment::Text {
+                value: value.clone(),
+            },
         })
     }
 
@@ -653,8 +688,12 @@ mod tests {
         let mut doc = Document::new("r");
         let root = doc.root();
         let b = doc.insert_element(root, "b", InsertPos::Into).unwrap();
-        let _a = doc.insert_fragment(b, &Fragment::elem("a", vec![]), InsertPos::Before).unwrap();
-        let _c = doc.insert_fragment(b, &Fragment::elem("c", vec![]), InsertPos::After).unwrap();
+        let _a = doc
+            .insert_fragment(b, &Fragment::elem("a", vec![]), InsertPos::Before)
+            .unwrap();
+        let _c = doc
+            .insert_fragment(b, &Fragment::elem("c", vec![]), InsertPos::After)
+            .unwrap();
         let _z = doc.insert_element(root, "z", InsertPos::FirstInto).unwrap();
         let labels: Vec<_> = doc
             .children(root)
@@ -670,7 +709,9 @@ mod tests {
     fn insert_beside_root_fails() {
         let mut doc = Document::new("r");
         let root = doc.root();
-        let err = doc.insert_element(root, "x", InsertPos::Before).unwrap_err();
+        let err = doc
+            .insert_element(root, "x", InsertPos::Before)
+            .unwrap_err();
         assert!(matches!(err, XmlError::InvalidTreeOp(_)));
     }
 
@@ -678,7 +719,9 @@ mod tests {
     fn insert_into_text_fails() {
         let mut doc = Document::new("r");
         let root = doc.root();
-        let e = doc.insert_fragment(root, &Fragment::text("hi"), InsertPos::Into).unwrap();
+        let e = doc
+            .insert_fragment(root, &Fragment::text("hi"), InsertPos::Into)
+            .unwrap();
         let err = doc.insert_element(e, "x", InsertPos::Into).unwrap_err();
         assert!(matches!(err, XmlError::KindMismatch { .. }));
     }
@@ -729,8 +772,13 @@ mod tests {
     #[test]
     fn rename_text_fails() {
         let mut doc = Document::new("r");
-        let t = doc.insert_fragment(doc.root(), &Fragment::text("x"), InsertPos::Into).unwrap();
-        assert!(matches!(doc.rename(t, "y"), Err(XmlError::KindMismatch { .. })));
+        let t = doc
+            .insert_fragment(doc.root(), &Fragment::text("x"), InsertPos::Into)
+            .unwrap();
+        assert!(matches!(
+            doc.rename(t, "y"),
+            Err(XmlError::KindMismatch { .. })
+        ));
     }
 
     #[test]
@@ -747,7 +795,9 @@ mod tests {
     #[test]
     fn change_value_creates_text_when_absent() {
         let mut doc = Document::new("r");
-        let e = doc.insert_element(doc.root(), "empty", InsertPos::Into).unwrap();
+        let e = doc
+            .insert_element(doc.root(), "empty", InsertPos::Into)
+            .unwrap();
         let old = doc.change_value(e, "now").unwrap();
         assert_eq!(old, "");
         assert_eq!(doc.text_of(e).unwrap(), "now");
@@ -815,7 +865,10 @@ mod tests {
     fn fragment_counts() {
         let f = Fragment::elem(
             "product",
-            vec![Fragment::elem_text("id", "13"), Fragment::attr("cur", "USD")],
+            vec![
+                Fragment::elem_text("id", "13"),
+                Fragment::attr("cur", "USD"),
+            ],
         );
         // product + id + "13" + cur = 4
         assert_eq!(f.node_count(), 4);
@@ -830,7 +883,10 @@ mod tests {
             "people",
             vec![Fragment::elem(
                 "person",
-                vec![Fragment::elem_text("id", "22"), Fragment::elem_text("name", "Patricia")],
+                vec![
+                    Fragment::elem_text("id", "22"),
+                    Fragment::elem_text("name", "Patricia"),
+                ],
             )],
         );
         let doc = Document::from_fragment(&f).unwrap();

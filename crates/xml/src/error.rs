@@ -19,7 +19,10 @@ pub enum XmlError {
     InvalidTreeOp(String),
     /// A value operation (`change`) was applied to a node kind that carries
     /// no value.
-    KindMismatch { expected: &'static str, found: &'static str },
+    KindMismatch {
+        expected: &'static str,
+        found: &'static str,
+    },
 }
 
 impl fmt::Display for XmlError {
@@ -45,10 +48,19 @@ mod tests {
 
     #[test]
     fn display_formats_are_stable() {
-        let e = XmlError::Parse { offset: 12, message: "unexpected '<'".into() };
+        let e = XmlError::Parse {
+            offset: 12,
+            message: "unexpected '<'".into(),
+        };
         assert_eq!(e.to_string(), "XML parse error at byte 12: unexpected '<'");
-        assert_eq!(XmlError::StaleNode(7).to_string(), "node id 7 is not live in this document");
-        let e = XmlError::KindMismatch { expected: "text", found: "element" };
+        assert_eq!(
+            XmlError::StaleNode(7).to_string(),
+            "node id 7 is not live in this document"
+        );
+        let e = XmlError::KindMismatch {
+            expected: "text",
+            found: "element",
+        };
         assert!(e.to_string().contains("expected text"));
     }
 }

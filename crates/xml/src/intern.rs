@@ -81,7 +81,10 @@ impl Interner {
 
     /// Iterates `(Symbol, &str)` pairs in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
-        self.strings.iter().enumerate().map(|(i, s)| (Symbol(i as u32), s.as_str()))
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_str()))
     }
 }
 

@@ -89,13 +89,20 @@ pub struct Node {
 impl Node {
     /// Creates a parentless element node (parent fixed up by the arena).
     pub fn element(label: Symbol) -> Self {
-        Node { kind: NodeKind::Element { label }, parent: None, children: Vec::new() }
+        Node {
+            kind: NodeKind::Element { label },
+            parent: None,
+            children: Vec::new(),
+        }
     }
 
     /// Creates a parentless attribute node.
     pub fn attribute(label: Symbol, value: impl Into<String>) -> Self {
         Node {
-            kind: NodeKind::Attribute { label, value: value.into() },
+            kind: NodeKind::Attribute {
+                label,
+                value: value.into(),
+            },
             parent: None,
             children: Vec::new(),
         }
@@ -103,7 +110,13 @@ impl Node {
 
     /// Creates a parentless text node.
     pub fn text(value: impl Into<String>) -> Self {
-        Node { kind: NodeKind::Text { value: value.into() }, parent: None, children: Vec::new() }
+        Node {
+            kind: NodeKind::Text {
+                value: value.into(),
+            },
+            parent: None,
+            children: Vec::new(),
+        }
     }
 
     /// True if this node is an element.
@@ -133,11 +146,16 @@ mod tests {
         assert_eq!(e.value(), None);
         assert_eq!(e.kind_name(), "element");
 
-        let a = NodeKind::Attribute { label: Symbol(1), value: "4".into() };
+        let a = NodeKind::Attribute {
+            label: Symbol(1),
+            value: "4".into(),
+        };
         assert_eq!(a.label(), Some(Symbol(1)));
         assert_eq!(a.value(), Some("4"));
 
-        let t = NodeKind::Text { value: "Mouse".into() };
+        let t = NodeKind::Text {
+            value: "Mouse".into(),
+        };
         assert_eq!(t.label(), None);
         assert_eq!(t.value(), Some("Mouse"));
     }

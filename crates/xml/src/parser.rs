@@ -26,11 +26,17 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str) -> Self {
-        Parser { input: input.as_bytes(), pos: 0 }
+        Parser {
+            input: input.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn err(&self, message: impl Into<String>) -> XmlError {
-        XmlError::Parse { offset: self.pos, message: message.into() }
+        XmlError::Parse {
+            offset: self.pos,
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -141,9 +147,10 @@ impl<'a> Parser<'a> {
     }
 
     fn attr_value(&mut self) -> XmlResult<String> {
-        let quote = self.bump().filter(|&q| q == b'"' || q == b'\'').ok_or_else(|| {
-            self.err("expected quoted attribute value")
-        })?;
+        let quote = self
+            .bump()
+            .filter(|&q| q == b'"' || q == b'\'')
+            .ok_or_else(|| self.err("expected quoted attribute value"))?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -247,7 +254,9 @@ impl<'a> Parser<'a> {
         let end_name = self.name()?;
         let expected = doc.label_str(elem)?.to_owned();
         if end_name != expected {
-            return Err(self.err(format!("mismatched end tag: expected </{expected}>, found </{end_name}>")));
+            return Err(self.err(format!(
+                "mismatched end tag: expected </{expected}>, found </{end_name}>"
+            )));
         }
         self.skip_ws();
         self.expect(">")?;
@@ -315,14 +324,17 @@ impl<'a> Parser<'a> {
 fn attach(doc: &mut Document, parent: NodeId, node: Node) -> XmlResult<NodeId> {
     use crate::document::{Fragment, InsertPos};
     let frag = match &node.kind {
-        crate::node::NodeKind::Element { label } => {
-            Fragment::Element { label: doc.interner().resolve(*label).to_owned(), children: vec![] }
-        }
+        crate::node::NodeKind::Element { label } => Fragment::Element {
+            label: doc.interner().resolve(*label).to_owned(),
+            children: vec![],
+        },
         crate::node::NodeKind::Attribute { label, value } => Fragment::Attribute {
             label: doc.interner().resolve(*label).to_owned(),
             value: value.clone(),
         },
-        crate::node::NodeKind::Text { value } => Fragment::Text { value: value.clone() },
+        crate::node::NodeKind::Text { value } => Fragment::Text {
+            value: value.clone(),
+        },
     };
     doc.insert_fragment(parent, &frag, InsertPos::Into)
 }
@@ -406,7 +418,8 @@ mod tests {
 
     #[test]
     fn doctype_skipped() {
-        let doc = parse("<!DOCTYPE site SYSTEM \"auction.dtd\" [ <!ENTITY x \"y\"> ]><site/>").unwrap();
+        let doc =
+            parse("<!DOCTYPE site SYSTEM \"auction.dtd\" [ <!ENTITY x \"y\"> ]><site/>").unwrap();
         assert_eq!(doc.label_str(doc.root()).unwrap(), "site");
     }
 
@@ -424,7 +437,14 @@ mod tests {
 
     #[test]
     fn unterminated_inputs_are_errors() {
-        for bad in ["<a>", "<a", "<a b=>", "<a b=\"x>", "<t>&unknown;</t>", "<t>&#xZZ;</t>"] {
+        for bad in [
+            "<a>",
+            "<a",
+            "<a b=>",
+            "<a b=\"x>",
+            "<t>&unknown;</t>",
+            "<t>&#xZZ;</t>",
+        ] {
             assert!(parse(bad).is_err(), "expected error for {bad:?}");
         }
     }

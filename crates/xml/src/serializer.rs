@@ -22,7 +22,10 @@ impl<'a> Serializer<'a> {
 
     /// Pretty-printing serializer with `width`-space indentation.
     pub fn pretty(doc: &'a Document, width: usize) -> Self {
-        Serializer { doc, indent: Some(width) }
+        Serializer {
+            doc,
+            indent: Some(width),
+        }
     }
 
     /// Serializes the whole document.
@@ -81,7 +84,11 @@ impl<'a> Serializer<'a> {
                 } else {
                     out.push('>');
                     let only_text = content.len() == 1
-                        && self.doc.node(*content[0]).map(|n| n.is_text()).unwrap_or(false);
+                        && self
+                            .doc
+                            .node(*content[0])
+                            .map(|n| n.is_text())
+                            .unwrap_or(false);
                     for &c in &content {
                         if only_text {
                             // Keep `<id>4</id>` on one line even when pretty.
@@ -156,7 +163,10 @@ mod tests {
         let root = doc.root();
         doc.insert_fragment(
             root,
-            &crate::document::Fragment::Attribute { label: "a".into(), value: "x\"<>&".into() },
+            &crate::document::Fragment::Attribute {
+                label: "a".into(),
+                value: "x\"<>&".into(),
+            },
             crate::document::InsertPos::Into,
         )
         .unwrap();

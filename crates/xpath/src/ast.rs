@@ -54,7 +54,10 @@ impl Query {
     /// All predicates appearing in the query, with the index of the step
     /// carrying them. The XDGL rules lock predicate target paths with ST.
     pub fn predicates(&self) -> impl Iterator<Item = (usize, &Predicate)> {
-        self.steps.iter().enumerate().filter_map(|(i, s)| s.predicate.as_ref().map(|p| (i, p)))
+        self.steps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.predicate.as_ref().map(|p| (i, p)))
     }
 }
 

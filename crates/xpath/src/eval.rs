@@ -110,7 +110,9 @@ fn push_unique(out: &mut Vec<NodeId>, seen: &mut HashSet<NodeId>, n: NodeId) {
 }
 
 fn is_element_or_text(doc: &Document, n: NodeId) -> bool {
-    doc.node(n).map(|node| !node.is_attribute()).unwrap_or(false)
+    doc.node(n)
+        .map(|node| !node.is_attribute())
+        .unwrap_or(false)
 }
 
 fn test_matches(doc: &Document, n: NodeId, test: &NodeTest) -> bool {
@@ -125,10 +127,17 @@ fn test_matches(doc: &Document, n: NodeId, test: &NodeTest) -> bool {
     }
 }
 
-fn filter_by_predicate(doc: &Document, nodes: Vec<NodeId>, pred: Option<&Predicate>) -> Vec<NodeId> {
+fn filter_by_predicate(
+    doc: &Document,
+    nodes: Vec<NodeId>,
+    pred: Option<&Predicate>,
+) -> Vec<NodeId> {
     match pred {
         None => nodes,
-        Some(p) => nodes.into_iter().filter(|&n| matches_predicate(doc, n, p)).collect(),
+        Some(p) => nodes
+            .into_iter()
+            .filter(|&n| matches_predicate(doc, n, p))
+            .collect(),
     }
 }
 
@@ -213,7 +222,10 @@ mod tests {
     }
 
     fn names(doc: &Document, nodes: &[NodeId]) -> Vec<String> {
-        nodes.iter().map(|&n| doc.label_str(n).unwrap_or("").to_owned()).collect()
+        nodes
+            .iter()
+            .map(|&n| doc.label_str(n).unwrap_or("").to_owned())
+            .collect()
     }
 
     fn q(s: &str) -> Query {
@@ -308,8 +320,14 @@ mod tests {
     #[test]
     fn boolean_predicates() {
         let d = doc();
-        assert_eq!(eval(&d, &q("/site/people/person[age>30 and phone]")).len(), 1);
-        assert_eq!(eval(&d, &q("/site/people/person[age>30 or phone]")).len(), 2);
+        assert_eq!(
+            eval(&d, &q("/site/people/person[age>30 and phone]")).len(),
+            1
+        );
+        assert_eq!(
+            eval(&d, &q("/site/people/person[age>30 or phone]")).len(),
+            2
+        );
         assert_eq!(eval(&d, &q("/site/people/person[not(phone)]")).len(), 1);
     }
 
@@ -332,7 +350,10 @@ mod tests {
              <open_auction><bidder><increase>3</increase></bidder></open_auction></open_auctions></site>",
         )
         .unwrap();
-        let r = eval(&d, &q("/site/open_auctions/open_auction[bidder/increase>10]"));
+        let r = eval(
+            &d,
+            &q("/site/open_auctions/open_auction[bidder/increase>10]"),
+        );
         assert_eq!(r.len(), 1);
     }
 }

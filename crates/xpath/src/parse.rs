@@ -30,7 +30,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "query parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "query parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -38,7 +42,10 @@ impl std::error::Error for ParseError {}
 
 /// Parses an absolute query. See the module-level grammar.
 pub fn parse_query(input: &str) -> Result<Query, ParseError> {
-    let mut p = P { input: input.as_bytes(), pos: 0 };
+    let mut p = P {
+        input: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     if p.peek() != Some(b'/') {
         return Err(p.err("queries must be absolute (start with '/')"));
@@ -61,7 +68,10 @@ struct P<'a> {
 
 impl<'a> P<'a> {
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { offset: self.pos, message: message.into() }
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -81,7 +91,8 @@ impl<'a> P<'a> {
     fn eat_kw(&mut self, kw: &str) -> bool {
         if self.input[self.pos..].starts_with(kw.as_bytes()) {
             let next = self.input.get(self.pos + kw.len()).copied();
-            let boundary = !matches!(next, Some(b) if b.is_ascii_alphanumeric() || b == b'_' || b == b'-');
+            let boundary =
+                !matches!(next, Some(b) if b.is_ascii_alphanumeric() || b == b'_' || b == b'-');
             if boundary {
                 self.pos += kw.len();
                 return true;
@@ -108,7 +119,9 @@ impl<'a> P<'a> {
         if self.pos == start {
             return Err(self.err("expected a name"));
         }
-        Ok(std::str::from_utf8(&self.input[start..self.pos]).expect("ascii").to_owned())
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .expect("ascii")
+            .to_owned())
     }
 
     /// Parses a location path. `absolute` paths require a leading axis
@@ -144,7 +157,11 @@ impl<'a> P<'a> {
     /// with a default child axis.
     fn bare_step(&mut self) -> Result<Step, ParseError> {
         self.skip_ws();
-        let axis = if self.eat("@") { Axis::Attribute } else { Axis::Child };
+        let axis = if self.eat("@") {
+            Axis::Attribute
+        } else {
+            Axis::Child
+        };
         let test = if self.eat("*") {
             NodeTest::Wildcard
         } else {
@@ -175,7 +192,11 @@ impl<'a> P<'a> {
         } else {
             None
         };
-        Ok(Step { axis, test, predicate })
+        Ok(Step {
+            axis,
+            test,
+            predicate,
+        })
     }
 
     fn or_expr(&mut self) -> Result<Predicate, ParseError> {
@@ -358,14 +379,20 @@ mod tests {
     #[test]
     fn boolean_predicates() {
         let query = q("/a[b=1 and c=2]");
-        assert!(matches!(query.steps[0].predicate, Some(Predicate::And(_, _))));
+        assert!(matches!(
+            query.steps[0].predicate,
+            Some(Predicate::And(_, _))
+        ));
         let query = q("/a[b=1 or c=2 and d=3]"); // and binds tighter
         match query.steps[0].predicate.as_ref().unwrap() {
             Predicate::Or(_, rhs) => assert!(matches!(**rhs, Predicate::And(_, _))),
             other => panic!("unexpected {other:?}"),
         }
         let query = q("/a[not(b) and (c or d)]");
-        assert!(matches!(query.steps[0].predicate, Some(Predicate::And(_, _))));
+        assert!(matches!(
+            query.steps[0].predicate,
+            Some(Predicate::And(_, _))
+        ));
     }
 
     #[test]

@@ -82,14 +82,22 @@ impl UpdateOp {
 impl fmt::Display for UpdateOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            UpdateOp::Insert { target, fragment, pos } => {
+            UpdateOp::Insert {
+                target,
+                fragment,
+                pos,
+            } => {
                 let pos = match pos {
                     InsertPos::Into => "into",
                     InsertPos::FirstInto => "first-into",
                     InsertPos::Before => "before",
                     InsertPos::After => "after",
                 };
-                write!(f, "insert {} {pos} {target}", fragment.label().unwrap_or("#text"))
+                write!(
+                    f,
+                    "insert {} {pos} {target}",
+                    fragment.label().unwrap_or("#text")
+                )
             }
             UpdateOp::Remove { target } => write!(f, "remove {target}"),
             UpdateOp::Rename { target, new_label } => write!(f, "rename {target} to {new_label}"),
@@ -117,7 +125,10 @@ impl fmt::Display for UpdateError {
         match self {
             UpdateError::EmptyTarget(p) => write!(f, "update target matched no node: {p}"),
             UpdateError::AmbiguousTranspose { path, matches } => {
-                write!(f, "transpose path {path} matched {matches} nodes (need exactly 1)")
+                write!(
+                    f,
+                    "transpose path {path} matched {matches} nodes (need exactly 1)"
+                )
             }
             UpdateError::Xml(e) => write!(f, "{e}"),
         }
@@ -157,7 +168,11 @@ pub enum UndoRecord {
 /// one level up; see `dtx-core`).
 pub fn apply_update(doc: &mut Document, op: &UpdateOp) -> Result<UndoRecord, UpdateError> {
     match op {
-        UpdateOp::Insert { target, fragment, pos } => {
+        UpdateOp::Insert {
+            target,
+            fragment,
+            pos,
+        } => {
             let anchors = non_empty(doc, target)?;
             let mut inserted = Vec::with_capacity(anchors.len());
             for anchor in anchors {
@@ -265,7 +280,10 @@ fn single(doc: &Document, q: &Query) -> Result<NodeId, UpdateError> {
     let nodes = eval(doc, q);
     match nodes.len() {
         1 => Ok(nodes[0]),
-        n => Err(UpdateError::AmbiguousTranspose { path: q.to_string(), matches: n }),
+        n => Err(UpdateError::AmbiguousTranspose {
+            path: q.to_string(),
+            matches: n,
+        }),
     }
 }
 
@@ -333,14 +351,19 @@ mod tests {
             fragment: Fragment::text("x"),
             pos: InsertPos::Into,
         };
-        assert!(matches!(apply_update(&mut doc, &op), Err(UpdateError::EmptyTarget(_))));
+        assert!(matches!(
+            apply_update(&mut doc, &op),
+            Err(UpdateError::EmptyTarget(_))
+        ));
     }
 
     #[test]
     fn remove_and_undo_preserves_positions() {
         let mut doc = products();
         let before = doc.to_xml();
-        let op = UpdateOp::Remove { target: q("/products/product[id=4]") };
+        let op = UpdateOp::Remove {
+            target: q("/products/product[id=4]"),
+        };
         let undo = apply_update(&mut doc, &op).unwrap();
         assert_eq!(eval(&doc, &q("/products/product")).len(), 1);
         undo_update(&mut doc, &undo).unwrap();
@@ -350,7 +373,9 @@ mod tests {
     #[test]
     fn remove_multiple_targets() {
         let mut doc = products();
-        let op = UpdateOp::Remove { target: q("/products/product/price") };
+        let op = UpdateOp::Remove {
+            target: q("/products/product/price"),
+        };
         let undo = apply_update(&mut doc, &op).unwrap();
         assert!(eval(&doc, &q("//price")).is_empty());
         undo_update(&mut doc, &undo).unwrap();
@@ -380,7 +405,10 @@ mod tests {
     #[test]
     fn rename_round_trip() {
         let mut doc = products();
-        let op = UpdateOp::Rename { target: q("/products/product/name"), new_label: "title".into() };
+        let op = UpdateOp::Rename {
+            target: q("/products/product/name"),
+            new_label: "title".into(),
+        };
         let undo = apply_update(&mut doc, &op).unwrap();
         assert_eq!(eval(&doc, &q("//title")).len(), 2);
         assert!(eval(&doc, &q("//name")).is_empty());
@@ -391,7 +419,10 @@ mod tests {
     #[test]
     fn change_round_trip() {
         let mut doc = products();
-        let op = UpdateOp::Change { target: q("/products/product[id=4]/price"), new_value: "99.99".into() };
+        let op = UpdateOp::Change {
+            target: q("/products/product[id=4]/price"),
+            new_value: "99.99".into(),
+        };
         let undo = apply_update(&mut doc, &op).unwrap();
         let price = eval(&doc, &q("/products/product[id=4]/price"));
         assert_eq!(doc.text_of(price[0]).unwrap(), "99.99");
@@ -417,7 +448,10 @@ mod tests {
     #[test]
     fn transpose_requires_single_matches() {
         let mut doc = products();
-        let op = UpdateOp::Transpose { a: q("/products/product"), b: q("/products/product[id=4]") };
+        let op = UpdateOp::Transpose {
+            a: q("/products/product"),
+            b: q("/products/product[id=4]"),
+        };
         assert!(matches!(
             apply_update(&mut doc, &op),
             Err(UpdateError::AmbiguousTranspose { matches: 2, .. })
@@ -430,7 +464,10 @@ mod tests {
         assert_eq!(op.op_name(), "remove");
         assert_eq!(op.queries().len(), 1);
         assert_eq!(op.to_string(), "remove /a/b");
-        let op = UpdateOp::Transpose { a: q("/a"), b: q("/b") };
+        let op = UpdateOp::Transpose {
+            a: q("/a"),
+            b: q("/b"),
+        };
         assert_eq!(op.queries().len(), 2);
     }
 }

@@ -23,7 +23,11 @@ fn main() {
         base.open_auction_ids.len()
     );
     let frags = fragment_doc(&base, sites as usize);
-    println!("fragmented into {} parts (balance {:.3})", frags.fragments.len(), frags.balance_ratio());
+    println!(
+        "fragmented into {} parts (balance {:.3})",
+        frags.fragments.len(),
+        frags.balance_ratio()
+    );
 
     let cluster = Cluster::start(ClusterConfig::new(sites, ProtocolKind::Xdgl).with_lan_profile());
     let alloc = allocate(&base, &frags, sites, ReplicationMode::Partial);

@@ -14,7 +14,11 @@ use dtx::xmark::workload::{generate as gen_workload, WorkloadConfig};
 fn main() {
     let sites = 2u16;
     println!("protocol\tmean_resp_ms\tdeadlocks\tcommitted/total");
-    for protocol in [ProtocolKind::Xdgl, ProtocolKind::Node2Pl, ProtocolKind::DocLock] {
+    for protocol in [
+        ProtocolKind::Xdgl,
+        ProtocolKind::Node2Pl,
+        ProtocolKind::DocLock,
+    ] {
         // Fresh base and cluster per protocol so runs are independent.
         let base = generate(XmarkConfig::sized(100_000, 99));
         let frags = fragment_doc(&base, sites as usize);

@@ -34,9 +34,16 @@ fn main() {
     // A read transaction: find person 4 (locks acquired at both replicas).
     let out = cluster.submit(
         SiteId(0),
-        TxnSpec::new(vec![OpSpec::query("d1", Query::parse("/people/person[id=4]/name").unwrap())]),
+        TxnSpec::new(vec![OpSpec::query(
+            "d1",
+            Query::parse("/people/person[id=4]/name").unwrap(),
+        )]),
     );
-    println!("t1 status: {:?} ({} ms)", out.status, out.response_time.as_millis());
+    println!(
+        "t1 status: {:?} ({} ms)",
+        out.status,
+        out.response_time.as_millis()
+    );
     println!("t1 result: {:?}", out.results);
 
     // An update transaction submitted at site 0 against data held only at

@@ -122,7 +122,10 @@ fn main() {
     // Final state of d2 as seen through a read transaction.
     let check = cluster.submit(
         s2,
-        TxnSpec::new(vec![OpSpec::query("d2", Query::parse("/products/product/description").unwrap())]),
+        TxnSpec::new(vec![OpSpec::query(
+            "d2",
+            Query::parse("/products/product/description").unwrap(),
+        )]),
     );
     println!("products at the end: {:?}", check.results);
     cluster.shutdown();

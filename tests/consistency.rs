@@ -12,7 +12,10 @@ use dtx::xpath::{Query, UpdateOp};
 fn person_count(cluster: &Cluster, site: SiteId, doc: &str) -> usize {
     let out = cluster.submit(
         site,
-        TxnSpec::new(vec![OpSpec::query(doc, Query::parse("/people/person").unwrap())]),
+        TxnSpec::new(vec![OpSpec::query(
+            doc,
+            Query::parse("/people/person").unwrap(),
+        )]),
     );
     assert!(out.committed(), "{:?}", out.status);
     match &out.results[0] {
@@ -50,7 +53,10 @@ fn concurrent_inserts_commit_exactly_once_per_commit() {
             )
         })
         .collect();
-    let committed = rxs.into_iter().filter(|rx| rx.recv().unwrap().committed()).count();
+    let committed = rxs
+        .into_iter()
+        .filter(|rx| rx.recv().unwrap().committed())
+        .count();
     for s in sites {
         assert_eq!(
             person_count(&cluster, s, "d1"),
@@ -78,8 +84,7 @@ fn replicas_agree_after_mixed_workload() {
     let q = Query::parse("/site/people/person/id").unwrap();
     let mut snapshots = Vec::new();
     for s in cluster.sites() {
-        let out = cluster
-            .submit(s, TxnSpec::new(vec![OpSpec::query(LOGICAL_DOC, q.clone())]));
+        let out = cluster.submit(s, TxnSpec::new(vec![OpSpec::query(LOGICAL_DOC, q.clone())]));
         assert!(out.committed());
         snapshots.push(out.results[0].clone());
     }
@@ -128,8 +133,10 @@ fn fragmented_update_applies_in_exactly_one_fragment() {
         TxnSpec::new(vec![OpSpec::update(
             LOGICAL_DOC,
             UpdateOp::Change {
-                target: Query::parse(&format!("/site/open_auctions/open_auction[id={aid}]/current"))
-                    .unwrap(),
+                target: Query::parse(&format!(
+                    "/site/open_auctions/open_auction[id={aid}]/current"
+                ))
+                .unwrap(),
                 new_value: "999.99".into(),
             },
         )]),
@@ -141,7 +148,10 @@ fn fragmented_update_applies_in_exactly_one_fragment() {
         SiteId(0),
         TxnSpec::new(vec![OpSpec::query(
             LOGICAL_DOC,
-            Query::parse(&format!("/site/open_auctions/open_auction[id={aid}]/current")).unwrap(),
+            Query::parse(&format!(
+                "/site/open_auctions/open_auction[id={aid}]/current"
+            ))
+            .unwrap(),
         )]),
     );
     match &check.results[0] {
@@ -169,13 +179,20 @@ fn update_matching_no_fragment_aborts() {
             },
         )]),
     );
-    assert!(!out.committed(), "an update matching nothing anywhere must abort");
+    assert!(
+        !out.committed(),
+        "an update matching nothing anywhere must abort"
+    );
     cluster.shutdown();
 }
 
 #[test]
 fn every_protocol_terminates_the_same_workload() {
-    for protocol in [ProtocolKind::Xdgl, ProtocolKind::Node2Pl, ProtocolKind::DocLock] {
+    for protocol in [
+        ProtocolKind::Xdgl,
+        ProtocolKind::Node2Pl,
+        ProtocolKind::DocLock,
+    ] {
         let base = generate(XmarkConfig::sized(25_000, 88));
         let frags = fragment_doc(&base, 2);
         let cluster = Cluster::start(ClusterConfig::new(2, protocol));
@@ -189,7 +206,11 @@ fn every_protocol_terminates_the_same_workload() {
             "{}: every transaction must terminate",
             protocol.name()
         );
-        assert!(report.committed() > 0, "{}: progress required", protocol.name());
+        assert!(
+            report.committed() > 0,
+            "{}: progress required",
+            protocol.name()
+        );
         cluster.shutdown();
     }
 }

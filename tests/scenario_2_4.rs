@@ -22,7 +22,10 @@ fn t1() -> TxnSpec {
                 target: Query::parse("/products").unwrap(),
                 fragment: Fragment::elem(
                     "product",
-                    vec![Fragment::elem_text("id", "13"), Fragment::elem_text("description", "Mouse")],
+                    vec![
+                        Fragment::elem_text("id", "13"),
+                        Fragment::elem_text("description", "Mouse"),
+                    ],
                 ),
                 pos: InsertPos::Into,
             },
@@ -39,7 +42,10 @@ fn t2() -> TxnSpec {
                 target: Query::parse("/people").unwrap(),
                 fragment: Fragment::elem(
                     "person",
-                    vec![Fragment::elem_text("id", "22"), Fragment::elem_text("name", "Patricia")],
+                    vec![
+                        Fragment::elem_text("id", "22"),
+                        Fragment::elem_text("name", "Patricia"),
+                    ],
                 ),
                 pos: InsertPos::Into,
             },
@@ -51,7 +57,9 @@ fn scenario_cluster() -> Cluster {
     let mut config = ClusterConfig::new(2, ProtocolKind::Xdgl);
     config.scheduler.deadlock_period = Duration::from_millis(20);
     let cluster = Cluster::start(config);
-    cluster.load_document("d1", D1, &[SiteId(0), SiteId(1)]).unwrap();
+    cluster
+        .load_document("d1", D1, &[SiteId(0), SiteId(1)])
+        .unwrap();
     cluster.load_document("d2", D2, &[SiteId(1)]).unwrap();
     cluster
 }
@@ -64,8 +72,12 @@ fn crossing_transactions_always_terminate() {
         let cluster = scenario_cluster();
         let rx1 = cluster.submit_async(SiteId(0), t1());
         let rx2 = cluster.submit_async(SiteId(1), t2());
-        let o1 = rx1.recv_timeout(Duration::from_secs(120)).expect("t1 terminates");
-        let o2 = rx2.recv_timeout(Duration::from_secs(120)).expect("t2 terminates");
+        let o1 = rx1
+            .recv_timeout(Duration::from_secs(120))
+            .expect("t1 terminates");
+        let o2 = rx2
+            .recv_timeout(Duration::from_secs(120))
+            .expect("t2 terminates");
         assert!(
             o1.committed() || o2.committed(),
             "round {round}: at least one of the crossing transactions commits \
@@ -84,12 +96,19 @@ fn crossing_transactions_always_terminate() {
         // person count reflects only committed work.
         let people = cluster.submit(
             SiteId(0),
-            TxnSpec::new(vec![OpSpec::query("d1", Query::parse("/people/person").unwrap())]),
+            TxnSpec::new(vec![OpSpec::query(
+                "d1",
+                Query::parse("/people/person").unwrap(),
+            )]),
         );
         let expected_people = if o2.committed() { 2 } else { 1 };
         match &people.results[0] {
             dtx::core::OpResult::Query { values } => {
-                assert_eq!(values.len(), expected_people, "round {round}: rollback integrity")
+                assert_eq!(
+                    values.len(),
+                    expected_people,
+                    "round {round}: rollback integrity"
+                )
             }
             other => panic!("{other:?}"),
         }
@@ -114,7 +133,10 @@ fn t3_commits_after_the_conflict() {
                 target: Query::parse("/products").unwrap(),
                 fragment: Fragment::elem(
                     "product",
-                    vec![Fragment::elem_text("id", "32"), Fragment::elem_text("description", "Keyboard")],
+                    vec![
+                        Fragment::elem_text("id", "32"),
+                        Fragment::elem_text("description", "Keyboard"),
+                    ],
                 ),
                 pos: InsertPos::Into,
             },
@@ -124,7 +146,10 @@ fn t3_commits_after_the_conflict() {
     assert!(o3.committed(), "{:?}", o3.status);
     let check = cluster.submit(
         SiteId(1),
-        TxnSpec::new(vec![OpSpec::query("d2", Query::parse("/products/product[id=32]/description").unwrap())]),
+        TxnSpec::new(vec![OpSpec::query(
+            "d2",
+            Query::parse("/products/product[id=32]/description").unwrap(),
+        )]),
     );
     match &check.results[0] {
         dtx::core::OpResult::Query { values } => assert_eq!(values, &vec!["Keyboard".to_owned()]),
