@@ -1,0 +1,62 @@
+//! Ablation: placement policies on a replicated read-heavy workload.
+//!
+//! Compares the four [`PolicyKind`]s under **total** replication (every
+//! site holds a full copy — the setting where read placement has choices
+//! to make). The headline column is `remote_msgs`: the seed's `primary`
+//! policy fans every replicated read to all replicas (`|replicas| - 1`
+//! remote dispatches per read), while the read-one policies serve each
+//! read from a single replica — `locality` from the coordinator's own
+//! copy, for zero remote messages on reads.
+//!
+//! `site_ops` shows where the load lands: `locality` keeps it at the
+//! submission sites, `round-robin` and `hotness-aware` spread it evenly.
+
+use dtx_bench::{header, ms, row, run, setup, ExpEnv, SEED};
+use dtx_core::{PolicyKind, ProtocolKind};
+use dtx_xmark::fragment::ReplicationMode;
+use dtx_xmark::workload::WorkloadConfig;
+
+fn main() {
+    let clients = 16;
+    let update_pct = 10;
+    println!("# Ablation — placement policies (read-one vs write-all reads)");
+    println!("# 4 sites, total replication, {clients} clients x 5 txns, {update_pct}% update txns");
+    header(&[
+        "policy",
+        "committed",
+        "submitted",
+        "wall_ms",
+        "mean_resp_ms",
+        "remote_msgs",
+        "net_msgs",
+        "site_ops",
+    ]);
+    for policy in PolicyKind::ALL {
+        let mut env = ExpEnv::standard(ProtocolKind::Xdgl);
+        env.mode = ReplicationMode::Total;
+        env.base_bytes /= 4; // keep the ablation CI-friendly
+        let (cluster, frags) = setup(env.with_policy(policy));
+        let report = run(
+            &cluster,
+            &frags,
+            WorkloadConfig::with_updates(clients, update_pct, SEED),
+        );
+        let metrics = cluster.metrics();
+        let site_ops: Vec<String> = metrics
+            .site_ops_snapshot()
+            .iter()
+            .map(|(s, n)| format!("{s}={n}"))
+            .collect();
+        row(&[
+            policy.name().to_owned(),
+            report.committed().to_string(),
+            report.outcomes.len().to_string(),
+            format!("{:.2}", ms(report.wall)),
+            format!("{:.2}", ms(report.mean_response())),
+            metrics.remote_msgs().to_string(),
+            cluster.net_messages().to_string(),
+            site_ops.join(","),
+        ]);
+        cluster.shutdown();
+    }
+}

@@ -26,6 +26,8 @@ struct ProtocolResult {
     aborted: usize,
     wall_ms: f64,
     max_inflight_remote: usize,
+    /// Coordinator → participant operation dispatches (placement cost).
+    remote_msgs: u64,
     /// (t_ms, cumulative commits) series.
     series: Vec<(f64, usize)>,
 }
@@ -44,14 +46,15 @@ fn write_json(results: &[ProtocolResult]) -> std::io::Result<()> {
         let _ = write!(
             out,
             "    {{\"name\": \"{}\", \"committed\": {}, \"submitted\": {}, \"aborted\": {}, \
-             \"wall_ms\": {:.2}, \"max_inflight_remote\": {}, \"throughput_txn_per_s\": {:.2}, \
-             \"series_ms_commits\": [{}]}}",
+             \"wall_ms\": {:.2}, \"max_inflight_remote\": {}, \"remote_msgs\": {}, \
+             \"throughput_txn_per_s\": {:.2}, \"series_ms_commits\": [{}]}}",
             r.name,
             r.committed,
             r.submitted,
             r.aborted,
             r.wall_ms,
             r.max_inflight_remote,
+            r.remote_msgs,
             r.committed as f64 / (r.wall_ms / 1e3).max(1e-9),
             series.join(", ")
         );
@@ -102,6 +105,7 @@ fn main() {
             aborted: report.aborted(),
             wall_ms: ms(report.wall),
             max_inflight_remote: metrics.max_inflight_remote(),
+            remote_msgs: metrics.remote_msgs(),
             series: tp.iter().map(|(t, c)| (ms(*t), *c)).collect(),
         });
         cluster.shutdown();

@@ -4,11 +4,25 @@
 //! similar-size fragments and allocated for 2, 4 and 8 sites under both
 //! replication modes. The paper's Fig. 8 lists, per scenario, each site
 //! and its contents (bold = replicated copies); we print the same
-//! structure plus the size-balance ratio the fragmentation achieves.
+//! structure plus the size-balance ratio the fragmentation achieves, and
+//! the **versioned catalog view** of each placement — every site listed
+//! (including empty ones), fragments marked `[frag]`, stamped with the
+//! catalog epoch the placement is valid under.
 
 use dtx_bench::{BASE_BYTES, SEED};
-use dtx_xmark::fragment::{allocate, fragment_doc, ReplicationMode};
+use dtx_core::{Catalog, SiteId};
+use dtx_xmark::fragment::{allocate, fragment_doc, Allocation, ReplicationMode, LOGICAL_DOC};
 use dtx_xmark::generator::{generate, XmarkConfig};
+
+/// Registers an allocation in a catalog exactly as
+/// [`dtx_xmark::fragment::load_allocation`] would in a live cluster.
+fn register(catalog: &Catalog, alloc: &Allocation) {
+    let sites: Vec<SiteId> = alloc.parts.iter().map(|(s, _)| *s).collect();
+    match alloc.mode {
+        ReplicationMode::Partial => catalog.register_fragmented(LOGICAL_DOC, &sites),
+        ReplicationMode::Total => catalog.register(LOGICAL_DOC, &sites),
+    }
+}
 
 fn main() {
     println!("# E1 / Fig. 8 — fragmentation and data allocation");
@@ -19,8 +33,12 @@ fn main() {
     let doc = generate(XmarkConfig::sized(BASE_BYTES, SEED));
     println!("# generated base: {} KiB\n", doc.byte_size() / 1024);
 
+    // One catalog across all scenarios: the epoch advances with each
+    // registered placement, demonstrating the versioned allocation.
+    let catalog = Catalog::new();
     for sites in [2u16, 4, 8] {
         let frags = fragment_doc(&doc, sites as usize);
+        let all_sites: Vec<SiteId> = (0..sites).map(SiteId).collect();
         println!("== {sites} sites ==");
         println!(
             "fragments: {} | balance (max/min size): {:.3}",
@@ -30,6 +48,8 @@ fn main() {
         for mode in [ReplicationMode::Partial, ReplicationMode::Total] {
             let alloc = allocate(&doc, &frags, sites, mode);
             print!("{}", alloc.render());
+            register(&catalog, &alloc);
+            print!("{}", catalog.render_allocation(&all_sites));
         }
         println!();
     }

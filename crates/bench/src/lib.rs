@@ -11,7 +11,7 @@
 //! protocols and replication modes are the reproduction target, not the
 //! absolute times.
 
-use dtx_core::{Cluster, ClusterConfig, ProtocolKind};
+use dtx_core::{Cluster, ClusterConfig, PolicyKind, ProtocolKind};
 use dtx_xmark::fragment::{allocate, fragment_doc, load_allocation, Fragmented, ReplicationMode};
 use dtx_xmark::generator::{generate, XmarkConfig};
 use dtx_xmark::tester::{run_workload, TestReport};
@@ -39,11 +39,13 @@ pub struct ExpEnv {
     pub seed: u64,
     /// Whether to enable the LAN latency + storage cost profile.
     pub realistic: bool,
+    /// Placement policy installed in the cluster's catalog.
+    pub policy: PolicyKind,
 }
 
 impl ExpEnv {
     /// Standard environment: 4 sites, partial replication, realistic
-    /// profile, default base size.
+    /// profile, default base size, default (primary) placement.
     pub fn standard(protocol: ProtocolKind) -> Self {
         ExpEnv {
             sites: 4,
@@ -52,7 +54,14 @@ impl ExpEnv {
             base_bytes: BASE_BYTES,
             seed: SEED,
             realistic: true,
+            policy: PolicyKind::default(),
         }
+    }
+
+    /// Selects the placement policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
     }
 }
 
@@ -61,7 +70,7 @@ impl ExpEnv {
 pub fn setup(env: ExpEnv) -> (Cluster, Fragmented) {
     let doc = generate(XmarkConfig::sized(env.base_bytes, env.seed));
     let frags = fragment_doc(&doc, env.sites as usize);
-    let mut config = ClusterConfig::new(env.sites, env.protocol);
+    let mut config = ClusterConfig::new(env.sites, env.protocol).with_policy(env.policy);
     config.seed = env.seed;
     if env.realistic {
         config = config.with_lan_profile();
@@ -106,6 +115,7 @@ mod tests {
             base_bytes: 30_000,
             seed: 1,
             realistic: false,
+            policy: PolicyKind::Primary,
         };
         let (cluster, frags) = setup(env);
         let report = run(&cluster, &frags, WorkloadConfig::read_only(2, 1));

@@ -1,49 +1,199 @@
-//! The replica catalog: which sites hold which documents.
+//! The versioned replica catalog: which sites hold which documents, and
+//! how operations are routed to them.
 //!
 //! DTX "operates on totally or partially replicated XML data" (§2). The
 //! catalog is the cluster-wide mapping from document (or fragment) name to
 //! the set of sites holding a replica; the coordinator consults it to
 //! decide where an operation must execute (Algorithm 1 l. 12
-//! `sites.get_participants(operation.get_sites())`).
+//! `sites.get_participants(operation.get_sites())`) — but through one
+//! entry point, [`Catalog::route`], which turns an operation into an
+//! explicit [`RoutingPlan`] under the installed [`PlacementPolicy`].
+//!
+//! The catalog carries an **epoch** that every mutation bumps. Remote
+//! dispatches stamp the coordinator's epoch; a participant that observes a
+//! different epoch refuses the operation as stale and the coordinator
+//! re-routes under the fresh catalog — which is what makes **online
+//! re-replication** ([`Catalog::add_replica`] / [`Catalog::drop_replica`]
+//! under traffic) safe to express.
 
+use crate::op::OpSpec;
+use crate::routing::{PlacementPolicy, PolicyKind, ReadChoice, RoutingCtx, RoutingPlan};
 use dtx_net::SiteId;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Thread-safe document → replica-sites mapping.
+/// Thread-safe, versioned document → replica-sites mapping with a
+/// pluggable placement policy.
 ///
 /// A document is either **replicated** (every listed site holds a full
 /// copy; results agree and one site's answer suffices) or **fragmented**
 /// (each listed site holds a disjoint fragment of the logical document;
 /// an operation executes on every fragment and the coordinator merges
 /// the per-site results).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Catalog {
     map: RwLock<BTreeMap<String, (Vec<SiteId>, bool)>>,
+    /// Bumped by every mutation; stamped onto remote dispatches so
+    /// participants can detect routing decisions made under an older
+    /// placement.
+    epoch: AtomicU64,
+    policy: RwLock<Box<dyn PlacementPolicy>>,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog {
+            map: RwLock::new(BTreeMap::new()),
+            epoch: AtomicU64::new(1),
+            policy: RwLock::new(PolicyKind::default().instantiate()),
+        }
+    }
 }
 
 impl Catalog {
-    /// Empty catalog.
+    /// Empty catalog at epoch 1 under the default ([`PolicyKind::Primary`])
+    /// policy.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// The current catalog version. Any two [`Catalog::route`] calls that
+    /// observed the same epoch saw the same placement.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    fn bump_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Installs a placement policy (cluster-wide; takes effect on the next
+    /// routed operation). Policy changes do not bump the epoch: placement
+    /// *data* is unchanged, only the read-replica choice.
+    pub fn set_policy(&self, policy: Box<dyn PlacementPolicy>) {
+        *self.policy.write() = policy;
+    }
+
+    /// The installed policy's display name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.read().name()
+    }
+
     /// Registers (or replaces) the replica set of `doc` (full copies).
-    /// Site lists are kept sorted and deduplicated.
+    /// Site lists are kept sorted and deduplicated. Bumps the epoch.
     pub fn register(&self, doc: &str, sites: &[SiteId]) {
         let mut sites = sites.to_vec();
         sites.sort();
         sites.dedup();
         self.map.write().insert(doc.to_owned(), (sites, false));
+        self.bump_epoch();
     }
 
     /// Registers `doc` as horizontally fragmented over `sites` (each site
-    /// holds a disjoint fragment under the same logical name).
+    /// holds a disjoint fragment under the same logical name). Bumps the
+    /// epoch.
     pub fn register_fragmented(&self, doc: &str, sites: &[SiteId]) {
         let mut sites = sites.to_vec();
         sites.sort();
         sites.dedup();
         self.map.write().insert(doc.to_owned(), (sites, true));
+        self.bump_epoch();
+    }
+
+    /// Adds `site` to the replica set of the replicated document `doc`,
+    /// bumping the epoch. The caller must have loaded the document's data
+    /// at `site` **before** publishing it here (new reads may route to it
+    /// immediately after). Idempotent: adding an existing replica is a
+    /// no-op that leaves the epoch alone.
+    pub fn add_replica(&self, doc: &str, site: SiteId) -> Result<(), String> {
+        {
+            let mut map = self.map.write();
+            let Some((sites, fragmented)) = map.get_mut(doc) else {
+                return Err(format!("document {doc:?} unknown to catalog"));
+            };
+            if *fragmented {
+                return Err(format!("document {doc:?} is fragmented, not replicated"));
+            }
+            if sites.contains(&site) {
+                return Ok(());
+            }
+            sites.push(site);
+            sites.sort();
+        }
+        self.bump_epoch();
+        Ok(())
+    }
+
+    /// Removes `site` from the replica set of the replicated document
+    /// `doc`, bumping the epoch. The last replica cannot be dropped.
+    /// Idempotent: dropping a non-replica is a no-op that leaves the epoch
+    /// alone.
+    pub fn drop_replica(&self, doc: &str, site: SiteId) -> Result<(), String> {
+        {
+            let mut map = self.map.write();
+            let Some((sites, fragmented)) = map.get_mut(doc) else {
+                return Err(format!("document {doc:?} unknown to catalog"));
+            };
+            if *fragmented {
+                return Err(format!("document {doc:?} is fragmented, not replicated"));
+            }
+            if !sites.contains(&site) {
+                return Ok(());
+            }
+            if sites.len() == 1 {
+                return Err(format!("cannot drop the last replica of {doc:?}"));
+            }
+            sites.retain(|&s| s != site);
+        }
+        self.bump_epoch();
+        Ok(())
+    }
+
+    /// Routes one operation: the single placement entry point the
+    /// scheduler uses (Alg. 1 l. 12, generalized). Returns `None` when the
+    /// document is unknown to the catalog.
+    ///
+    /// Structure is decided here — updates and fragment operations have no
+    /// placement freedom — and only the read-replica choice on replicated
+    /// documents is delegated to the installed [`PlacementPolicy`]. Any
+    /// plan that collapses to "the coordinator alone" normalizes to
+    /// [`RoutingPlan::Local`].
+    pub fn route(&self, op: &OpSpec, ctx: &RoutingCtx<'_>) -> Option<RoutingPlan> {
+        let (sites, fragmented) = {
+            let map = self.map.read();
+            let (sites, fragmented) = map.get(&op.doc)?;
+            (sites.clone(), *fragmented)
+        };
+        if sites.is_empty() {
+            // A registration with no sites is as unroutable as an unknown
+            // document (and policies must never see an empty replica set).
+            return None;
+        }
+        let solo_coordinator = sites.len() == 1 && sites[0] == ctx.coordinator;
+        if fragmented {
+            return Some(if solo_coordinator {
+                RoutingPlan::Local
+            } else {
+                RoutingPlan::FragmentFanOut { sites }
+            });
+        }
+        if op.is_update() || solo_coordinator {
+            return Some(if solo_coordinator {
+                RoutingPlan::Local
+            } else {
+                RoutingPlan::WriteAll { sites }
+            });
+        }
+        // Read on a replicated document: the policy's call.
+        Some(match self.policy.read().read_site(&op.doc, &sites, ctx) {
+            ReadChoice::All => RoutingPlan::WriteAll { sites },
+            ReadChoice::One(site) if site == ctx.coordinator => RoutingPlan::Local,
+            ReadChoice::One(site) => {
+                debug_assert!(sites.contains(&site), "policy chose a non-replica");
+                RoutingPlan::ReadOne { site }
+            }
+        })
     }
 
     /// True when `doc` is registered as fragmented.
@@ -85,18 +235,36 @@ impl Catalog {
     }
 
     /// Renders the allocation as a table in the style of the paper's
-    /// Fig. 8 (site → contents).
-    pub fn render_allocation(&self) -> String {
+    /// Fig. 8 (site → contents), versioned by the current epoch.
+    ///
+    /// `all_sites` is the cluster's full site set: sites holding nothing
+    /// are listed as `(empty)` instead of silently disappearing, and
+    /// sites known only to the catalog are appended even if missing from
+    /// `all_sites`. Fragmented entries are marked with `[frag]` so they
+    /// are distinguishable from replicated full copies.
+    pub fn render_allocation(&self, all_sites: &[SiteId]) -> String {
         let map = self.map.read();
-        let mut by_site: BTreeMap<SiteId, Vec<&str>> = BTreeMap::new();
-        for (doc, (sites, _)) in map.iter() {
+        let mut by_site: BTreeMap<SiteId, Vec<String>> = BTreeMap::new();
+        for &s in all_sites {
+            by_site.entry(s).or_default();
+        }
+        for (doc, (sites, fragmented)) in map.iter() {
+            let label = if *fragmented {
+                format!("{doc}[frag]")
+            } else {
+                doc.clone()
+            };
             for &s in sites {
-                by_site.entry(s).or_default().push(doc);
+                by_site.entry(s).or_default().push(label.clone());
             }
         }
-        let mut out = String::new();
+        let mut out = format!("catalog epoch {}\n", self.epoch());
         for (site, docs) in by_site {
-            out.push_str(&format!("{site}: {}\n", docs.join(", ")));
+            if docs.is_empty() {
+                out.push_str(&format!("{site}: (empty)\n"));
+            } else {
+                out.push_str(&format!("{site}: {}\n", docs.join(", ")));
+            }
         }
         out
     }
@@ -105,6 +273,22 @@ impl Catalog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::op::OpSpec;
+    use dtx_xpath::{Query, UpdateOp};
+
+    fn read(doc: &str) -> OpSpec {
+        OpSpec::query(doc, Query::parse("/a/b").unwrap())
+    }
+
+    fn write(doc: &str) -> OpSpec {
+        OpSpec::update(
+            doc,
+            UpdateOp::Change {
+                target: Query::parse("/a/b").unwrap(),
+                new_value: "x".into(),
+            },
+        )
+    }
 
     #[test]
     fn register_and_lookup() {
@@ -150,12 +334,133 @@ mod tests {
     }
 
     #[test]
-    fn allocation_rendering() {
+    fn every_mutation_bumps_the_epoch() {
+        let c = Catalog::new();
+        let e0 = c.epoch();
+        c.register("d", &[SiteId(0)]);
+        let e1 = c.epoch();
+        assert!(e1 > e0);
+        c.add_replica("d", SiteId(1)).unwrap();
+        let e2 = c.epoch();
+        assert!(e2 > e1);
+        c.drop_replica("d", SiteId(0)).unwrap();
+        assert!(c.epoch() > e2);
+        c.register_fragmented("f", &[SiteId(0), SiteId(1)]);
+        assert!(c.epoch() > e2 + 1);
+    }
+
+    #[test]
+    fn add_and_drop_replica_edit_the_set() {
+        let c = Catalog::new();
+        c.register("d", &[SiteId(0)]);
+        c.add_replica("d", SiteId(2)).unwrap();
+        assert_eq!(c.sites_of("d"), vec![SiteId(0), SiteId(2)]);
+        // Idempotent add: no epoch bump.
+        let e = c.epoch();
+        c.add_replica("d", SiteId(2)).unwrap();
+        assert_eq!(c.epoch(), e);
+        c.drop_replica("d", SiteId(0)).unwrap();
+        assert_eq!(c.sites_of("d"), vec![SiteId(2)]);
+        // Idempotent drop: no epoch bump.
+        let e = c.epoch();
+        c.drop_replica("d", SiteId(0)).unwrap();
+        assert_eq!(c.epoch(), e);
+        // The last replica is protected.
+        assert!(c.drop_replica("d", SiteId(2)).is_err());
+        // Unknown / fragmented documents are rejected.
+        assert!(c.add_replica("ghost", SiteId(0)).is_err());
+        c.register_fragmented("f", &[SiteId(0), SiteId(1)]);
+        assert!(c.add_replica("f", SiteId(2)).is_err());
+        assert!(c.drop_replica("f", SiteId(0)).is_err());
+    }
+
+    #[test]
+    fn route_unknown_document_is_none() {
+        let c = Catalog::new();
+        assert_eq!(c.route(&read("ghost"), &RoutingCtx::new(SiteId(0))), None);
+        // An empty registration is equally unroutable (and must not reach
+        // a policy, whose replica set is contractually non-empty).
+        c.register("empty", &[]);
+        for kind in PolicyKind::ALL {
+            c.set_policy(kind.instantiate());
+            assert_eq!(c.route(&read("empty"), &RoutingCtx::new(SiteId(0))), None);
+        }
+    }
+
+    #[test]
+    fn route_normalizes_solo_coordinator_to_local() {
+        let c = Catalog::new();
+        c.register("d", &[SiteId(0)]);
+        c.register_fragmented("f", &[SiteId(0)]);
+        let ctx = RoutingCtx::new(SiteId(0));
+        assert_eq!(c.route(&read("d"), &ctx), Some(RoutingPlan::Local));
+        assert_eq!(c.route(&write("d"), &ctx), Some(RoutingPlan::Local));
+        assert_eq!(c.route(&read("f"), &ctx), Some(RoutingPlan::Local));
+    }
+
+    #[test]
+    fn route_updates_always_write_all() {
+        let c = Catalog::new();
+        c.register("d", &[SiteId(0), SiteId(1)]);
+        c.set_policy(PolicyKind::Locality.instantiate());
+        assert_eq!(
+            c.route(&write("d"), &RoutingCtx::new(SiteId(0))),
+            Some(RoutingPlan::WriteAll {
+                sites: vec![SiteId(0), SiteId(1)]
+            })
+        );
+    }
+
+    #[test]
+    fn route_fragments_always_fan_out() {
+        let c = Catalog::new();
+        c.register_fragmented("f", &[SiteId(0), SiteId(1), SiteId(2)]);
+        c.set_policy(PolicyKind::RoundRobin.instantiate());
+        let plan = c.route(&read("f"), &RoutingCtx::new(SiteId(0))).unwrap();
+        assert_eq!(
+            plan,
+            RoutingPlan::FragmentFanOut {
+                sites: vec![SiteId(0), SiteId(1), SiteId(2)]
+            }
+        );
+        assert!(plan.is_fragment_fan_out());
+    }
+
+    #[test]
+    fn route_replicated_read_follows_policy() {
+        let c = Catalog::new();
+        c.register("d", &[SiteId(0), SiteId(1), SiteId(2)]);
+        // Default (primary): everywhere.
+        assert_eq!(
+            c.route(&read("d"), &RoutingCtx::new(SiteId(9))),
+            Some(RoutingPlan::WriteAll {
+                sites: vec![SiteId(0), SiteId(1), SiteId(2)]
+            })
+        );
+        // Locality from a replica-holding coordinator: local, no messages.
+        c.set_policy(PolicyKind::Locality.instantiate());
+        assert_eq!(
+            c.route(&read("d"), &RoutingCtx::new(SiteId(1))),
+            Some(RoutingPlan::Local)
+        );
+        // Locality from elsewhere: one replica serves the read.
+        assert_eq!(
+            c.route(&read("d"), &RoutingCtx::new(SiteId(9))),
+            Some(RoutingPlan::ReadOne { site: SiteId(0) })
+        );
+        assert_eq!(c.policy_name(), "locality");
+    }
+
+    #[test]
+    fn allocation_rendering_lists_empty_sites_and_marks_fragments() {
         let c = Catalog::new();
         c.register("d1", &[SiteId(0)]);
         c.register("d2", &[SiteId(0), SiteId(1)]);
-        let r = c.render_allocation();
+        c.register_fragmented("fx", &[SiteId(1)]);
+        let r = c.render_allocation(&[SiteId(0), SiteId(1), SiteId(2)]);
+        assert!(r.contains(&format!("catalog epoch {}", c.epoch())));
         assert!(r.contains("s0: d1, d2"));
-        assert!(r.contains("s1: d2"));
+        assert!(r.contains("s1: d2, fx[frag]"));
+        assert!(r.contains("s2: (empty)"), "empty site must be listed: {r}");
     }
 }

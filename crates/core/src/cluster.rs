@@ -13,6 +13,7 @@ use crate::lockmgr::{LockManager, OpCostModel};
 use crate::metrics::Metrics;
 use crate::msg::Message;
 use crate::op::{TxnOutcome, TxnSpec};
+use crate::routing::PolicyKind;
 use crate::scheduler::{Control, Scheduler, SchedulerConfig};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use dtx_locks::txn::TxnIdGen;
@@ -41,6 +42,10 @@ pub struct ClusterConfig {
     pub op_cost: OpCostModel,
     /// Scheduler tuning.
     pub scheduler: SchedulerConfig,
+    /// Placement policy installed in the catalog (how reads are spread
+    /// over replicas; default: [`PolicyKind::Primary`], the paper's
+    /// everywhere-read behavior).
+    pub policy: PolicyKind,
     /// Master seed (drives retry jitter and network jitter).
     pub seed: u64,
 }
@@ -55,6 +60,7 @@ impl ClusterConfig {
             storage_cost: CostModel::zero(),
             op_cost: OpCostModel::zero(),
             scheduler: SchedulerConfig::default(),
+            policy: PolicyKind::default(),
             seed: 0xD7C5,
         }
     }
@@ -71,6 +77,12 @@ impl ClusterConfig {
     /// Sets the deadlock-detection period.
     pub fn with_deadlock_period(mut self, period: Duration) -> Self {
         self.scheduler.deadlock_period = period;
+        self
+    }
+
+    /// Selects the placement policy installed in the catalog.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
         self
     }
 }
@@ -109,6 +121,19 @@ impl DtxInstance {
         rx.recv().map_err(|_| "scheduler is down".to_owned())?
     }
 
+    /// Serializes the last committed state of a document hosted at this
+    /// instance (the copy shipped to a new replica).
+    pub fn dump_document(&self, name: &str) -> Result<String, String> {
+        let (reply, rx) = bounded(1);
+        self.control
+            .send(Control::DumpDoc {
+                name: name.to_owned(),
+                reply,
+            })
+            .map_err(|_| "scheduler is down".to_owned())?;
+        rx.recv().map_err(|_| "scheduler is down".to_owned())?
+    }
+
     fn shutdown(&mut self) {
         let _ = self.control.send(Control::Shutdown);
         if let Some(h) = self.handle.take() {
@@ -134,6 +159,7 @@ impl Cluster {
         latency.seed = config.seed;
         let net: Network<Message> = Network::new(latency);
         let catalog = Arc::new(Catalog::new());
+        catalog.set_policy(config.policy.instantiate());
         let idgen = Arc::new(TxnIdGen::new());
         let metrics = Arc::new(Metrics::new());
         let mut instances = Vec::with_capacity(config.sites as usize);
@@ -227,6 +253,52 @@ impl Cluster {
         }
         self.catalog.register_fragmented(name, &sites);
         Ok(())
+    }
+
+    /// Online re-replication: copies the replicated document `doc` to
+    /// `to` and publishes the new replica in the catalog (epoch bump).
+    ///
+    /// Works under traffic: the data is loaded at `to` *before* the
+    /// catalog mutation, so any read routed to the new replica finds it;
+    /// in-flight dispatches routed under the old epoch are refused as
+    /// stale by participants and transparently re-routed by their
+    /// coordinators.
+    ///
+    /// **Consistency caveat (no copy fence yet):** the copy is the
+    /// source's last *committed* state. An update whose write-all
+    /// dispatch completed under the old epoch but which commits after the
+    /// publish never reaches `to`, and later write-alls apply their own
+    /// deltas without resyncing the missed one — the divergence is
+    /// permanent, not self-healing. Quiesce updates to `doc` around the
+    /// call (as a read-mostly re-replication naturally does); a copy
+    /// fence is a recorded ROADMAP follow-up.
+    pub fn add_replica(&self, doc: &str, to: SiteId) -> Result<(), String> {
+        if self.catalog.is_fragmented(doc) {
+            return Err(format!("document {doc:?} is fragmented, not replicated"));
+        }
+        if self.catalog.holds(to, doc) {
+            return Ok(());
+        }
+        let sites = self.catalog.sites_of(doc);
+        let src = *sites
+            .first()
+            .ok_or_else(|| format!("document {doc:?} unknown to catalog"))?;
+        let xml = self.instance(src).dump_document(doc)?;
+        self.instance(to).load_document(doc, &xml)?;
+        self.catalog.add_replica(doc, to)
+    }
+
+    /// Online re-replication: unpublishes the replica of `doc` at `from`
+    /// (epoch bump). The site's data is left in place — it simply stops
+    /// being routed to; dropping the last replica is refused.
+    pub fn drop_replica(&self, doc: &str, from: SiteId) -> Result<(), String> {
+        self.catalog.drop_replica(doc, from)
+    }
+
+    /// Renders the catalog's current placement over this cluster's sites
+    /// (the paper's Fig. 8 table, versioned by the catalog epoch).
+    pub fn render_allocation(&self) -> String {
+        self.catalog.render_allocation(&self.sites())
     }
 
     /// Submits a transaction at `site` and blocks for the outcome.

@@ -20,6 +20,14 @@
 //! Transactions follow strict two-phase locking, commit only when they
 //! depend on no other active transaction, and terminate in exactly one of
 //! the paper's three states: committed, aborted, or failed.
+//!
+//! Placement is a layer of its own ([`routing`]): the scheduler asks the
+//! versioned [`catalog::Catalog`] to [`catalog::Catalog::route`] each
+//! operation into an explicit [`routing::RoutingPlan`] under a pluggable
+//! [`routing::PlacementPolicy`], so swapping how reads are spread over
+//! replicas requires no scheduler change.
+
+#![deny(missing_docs)]
 
 pub mod catalog;
 pub mod cluster;
@@ -27,6 +35,7 @@ pub mod lockmgr;
 pub mod metrics;
 pub mod msg;
 pub mod op;
+pub mod routing;
 pub mod scheduler;
 
 pub use catalog::Catalog;
@@ -37,4 +46,5 @@ pub use lockmgr::{LockManager, OpCostModel, ProcessResult};
 pub use metrics::{Metrics, PhaseTimes, Summary, TxnRecord};
 pub use msg::Message;
 pub use op::{AbortReason, OpKind, OpResult, OpSpec, TxnOutcome, TxnSpec, TxnStatus};
+pub use routing::{PlacementPolicy, PolicyKind, ReadChoice, RoutingCtx, RoutingPlan};
 pub use scheduler::{Control, Scheduler, SchedulerConfig};

@@ -276,10 +276,25 @@ impl LockManager {
                     // earlier retries of this operation — accumulating them
                     // would let stale edges (holders that have since
                     // released) fabricate deadlock cycles out of plain
-                    // retries.
+                    // retries. The deadlock tag is raised only when `txn`
+                    // is the *newest* transaction in a cycle through
+                    // itself, matching the paper's victim rule ("the most
+                    // recent transaction involved in the circle is rolled
+                    // back"): every member of a cycle retries and conflicts
+                    // here, so the newest is always flagged eventually, and
+                    // tagging only it keeps the immediate tag and the
+                    // periodic detector (Alg. 4) choosing the *same*
+                    // victim — otherwise two mutually-deadlocked
+                    // transactions retrying in lockstep (speculative wakes
+                    // synchronize retries) can both see the cycle and both
+                    // abort.
                     self.wfg.clear_waits_of(txn);
                     self.wfg.add_edges(txn, &holders);
-                    let deadlock = self.wfg.has_cycle();
+                    let deadlock = self
+                        .wfg
+                        .cycle_containing(txn)
+                        .map(|c| c.into_iter().max() == Some(txn))
+                        .unwrap_or(false);
                     // The traversal + partial acquisition work was done.
                     self.cost.charge(lock_units, 0);
                     return ProcessResult::Conflict { holders, deadlock };
@@ -338,7 +353,10 @@ impl LockManager {
     /// Undoes one specific operation of `txn` (a remote operation that
     /// executed here but failed to acquire locks at a sibling site —
     /// Alg. 1 l. 16) and releases the locks that operation took.
-    pub fn undo_op(&mut self, txn: TxnId, op_seq: usize) {
+    ///
+    /// Returns the transactions that were waiting on `txn` here and may
+    /// now be able to acquire their locks (speculative-wake feed).
+    pub fn undo_op(&mut self, txn: TxnId, op_seq: usize) -> Vec<TxnId> {
         if let Some(entries) = self.undo_log.get_mut(&txn) {
             // Undo in reverse application order.
             let mut kept = Vec::with_capacity(entries.len());
@@ -365,13 +383,20 @@ impl LockManager {
         // If the transaction no longer holds anything here, nobody is
         // genuinely waiting for it here either.
         if self.table.is_lock_free(txn) {
+            let waiters = self.wfg.waiters_of(txn);
             self.wfg.remove_edges_into(txn);
+            waiters
+        } else {
+            Vec::new()
         }
     }
 
     /// Commits `txn` locally: persist touched documents (Alg. 5 l. 10) and
     /// release all its locks (l. 11).
-    pub fn commit_local(&mut self, txn: TxnId) -> StorageResult<()> {
+    ///
+    /// On success returns the transactions that were waiting on `txn` here
+    /// (speculative-wake feed: they may now acquire their locks).
+    pub fn commit_local(&mut self, txn: TxnId) -> StorageResult<Vec<TxnId>> {
         self.undo_log.remove(&txn);
         self.op_locks.retain(|(t, _), _| *t != txn);
         if let Some(docs) = self.touched.remove(&txn) {
@@ -385,13 +410,17 @@ impl LockManager {
             }
         }
         self.table.release_all(txn);
+        let waiters = self.wfg.waiters_of(txn);
         self.wfg.remove_txn(txn);
-        Ok(())
+        Ok(waiters)
     }
 
     /// Aborts `txn` locally: undo every applied update in reverse order
     /// (Alg. 6 l. 13) and release all locks (l. 14).
-    pub fn abort_local(&mut self, txn: TxnId) {
+    ///
+    /// Returns the transactions that were waiting on `txn` here
+    /// (speculative-wake feed: they may now acquire their locks).
+    pub fn abort_local(&mut self, txn: TxnId) -> Vec<TxnId> {
         if let Some(mut entries) = self.undo_log.remove(&txn) {
             while let Some(e) = entries.pop() {
                 if let Some(state) = self.docs.get_mut(&e.doc) {
@@ -402,7 +431,18 @@ impl LockManager {
         self.op_locks.retain(|(t, _), _| *t != txn);
         self.touched.remove(&txn);
         self.table.release_all(txn);
+        let waiters = self.wfg.waiters_of(txn);
         self.wfg.remove_txn(txn);
+        waiters
+    }
+
+    /// Serializes the last **committed** (persisted) state of `name` from
+    /// the store — the copy shipped to a new replica during online
+    /// re-replication. Uncommitted in-memory changes are excluded; see
+    /// the copy-fence caveat on `Cluster::add_replica` for the update
+    /// race this leaves open.
+    pub fn dump_committed(&mut self, name: &str) -> StorageResult<String> {
+        Ok(self.store.load(name)?.to_xml())
     }
 
     /// Storage statistics of the underlying store.
@@ -414,6 +454,13 @@ impl LockManager {
     /// serves it to the distributed detector, Alg. 4 l. 4).
     pub fn wfg(&self) -> &WaitForGraph {
         &self.wfg
+    }
+
+    /// Drops every wait edge out of `txn`: it stopped waiting here
+    /// without retrying (its coordinator re-routed the blocked operation
+    /// to a different placement).
+    pub fn clear_waits(&mut self, txn: TxnId) {
+        self.wfg.clear_waits_of(txn);
     }
 }
 
@@ -561,6 +608,64 @@ mod tests {
         ));
         // And its wait edges were cleared on success.
         assert!(lm.wfg().waits_for(TxnId(2)).is_empty());
+    }
+
+    #[test]
+    fn release_reports_waiters_for_speculative_wake() {
+        let mut lm = manager();
+        let scan = OpSpec::query("d2", q("/products/product"));
+        assert!(matches!(
+            lm.process_operation(TxnId(1), 0, &scan, TxnMode::ReadOnly, false),
+            ProcessResult::Executed(_)
+        ));
+        let ins = OpSpec::update(
+            "d2",
+            UpdateOp::Insert {
+                target: q("/products"),
+                fragment: Fragment::elem("product", vec![]),
+                pos: InsertPos::Into,
+            },
+        );
+        // t2 and t3 both block on t1's scan lock.
+        for t in [TxnId(2), TxnId(3)] {
+            assert!(matches!(
+                lm.process_operation(t, 0, &ins, TxnMode::Updating, false),
+                ProcessResult::Conflict { .. }
+            ));
+        }
+        assert_eq!(lm.commit_local(TxnId(1)).unwrap(), vec![TxnId(2), TxnId(3)]);
+        // A release with nobody waiting reports nothing.
+        assert!(matches!(
+            lm.process_operation(TxnId(2), 0, &ins, TxnMode::Updating, false),
+            ProcessResult::Executed(_)
+        ));
+        assert!(lm.abort_local(TxnId(3)).is_empty());
+        assert_eq!(lm.commit_local(TxnId(2)).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn dump_committed_excludes_uncommitted_changes() {
+        let mut lm = manager();
+        let committed = lm.document("d2").unwrap().to_xml();
+        let op = OpSpec::update(
+            "d2",
+            UpdateOp::Change {
+                target: q("/products/product[id=4]/price"),
+                new_value: "1".into(),
+            },
+        );
+        assert!(matches!(
+            lm.process_operation(TxnId(1), 0, &op, TxnMode::Updating, false),
+            ProcessResult::Executed(_)
+        ));
+        // In-memory state changed; the committed dump has not.
+        assert_ne!(lm.document("d2").unwrap().to_xml(), committed);
+        assert_eq!(lm.dump_committed("d2").unwrap(), committed);
+        lm.commit_local(TxnId(1)).unwrap();
+        assert_eq!(
+            lm.dump_committed("d2").unwrap(),
+            lm.document("d2").unwrap().to_xml()
+        );
     }
 
     #[test]

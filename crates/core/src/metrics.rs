@@ -9,8 +9,8 @@
 use crate::op::{AbortReason, TxnStatus};
 use dtx_locks::TxnId;
 use dtx_net::SiteId;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Time a coordinated transaction spent in each scheduler state.
@@ -82,6 +82,19 @@ pub struct Metrics {
     /// of distributed-operation pipelining (the blocking nested-pump
     /// design pinned this at 1 per site).
     max_inflight_remote: AtomicUsize,
+    /// Coordinator → participant `ExecRemote` dispatches — the per-plan
+    /// remote message cost of placement. Read-one routing cuts this from
+    /// `|replicas|` to at most 1 per read operation.
+    remote_msgs: AtomicU64,
+    /// Operations routed per site (local executions included), indexed by
+    /// site id: the load feed of the hotness-aware placement policy. The
+    /// vector grows on first touch of a site; reads and increments are
+    /// lock-free thereafter (this sits on every scheduler's dispatch hot
+    /// path, and the hotness policy reads it per routed operation).
+    site_ops: RwLock<Vec<AtomicU64>>,
+    /// Dispatches refused as stale (catalog epoch mismatch) and re-routed
+    /// by their coordinator under the fresh placement.
+    stale_reroutes: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -98,7 +111,74 @@ impl Metrics {
             records: Mutex::new(Vec::new()),
             detector_runs: Mutex::new(0),
             max_inflight_remote: AtomicUsize::new(0),
+            remote_msgs: AtomicU64::new(0),
+            site_ops: RwLock::new(Vec::new()),
+            stale_reroutes: AtomicU64::new(0),
         }
+    }
+
+    /// Counts `n` coordinator → participant operation dispatches.
+    pub fn note_remote_msgs(&self, n: u64) {
+        self.remote_msgs.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total `ExecRemote` dispatches so far (the placement message cost).
+    pub fn remote_msgs(&self) -> u64 {
+        self.remote_msgs.load(Ordering::Relaxed)
+    }
+
+    /// Counts one operation routed to `site` (local or remote): feeds the
+    /// hotness-aware placement policy.
+    ///
+    /// Counted per **dispatch attempt** — a blocked operation re-counts
+    /// its plan's sites on every retry. That is deliberate: retries load
+    /// a site's scheduler and lock table just like executions do, and the
+    /// hotness policy is steering *future* reads away from busy sites,
+    /// not accounting for completed work.
+    pub fn note_site_op(&self, site: SiteId) {
+        let idx = site.0 as usize;
+        {
+            let ops = self.site_ops.read();
+            if let Some(c) = ops.get(idx) {
+                c.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        let mut ops = self.site_ops.write();
+        while ops.len() <= idx {
+            ops.push(AtomicU64::new(0));
+        }
+        ops[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Operations routed to `site` so far.
+    pub fn site_ops(&self, site: SiteId) -> u64 {
+        self.site_ops
+            .read()
+            .get(site.0 as usize)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Per-site operation counts (sites touched at least once, sorted).
+    pub fn site_ops_snapshot(&self) -> Vec<(SiteId, u64)> {
+        self.site_ops
+            .read()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (SiteId(i as u16), c.load(Ordering::Relaxed)))
+            .filter(|&(_, n)| n > 0)
+            .collect()
+    }
+
+    /// Counts one stale-epoch refusal that was re-routed.
+    pub fn note_stale_reroute(&self) {
+        self.stale_reroutes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Dispatches refused for a stale catalog epoch and re-routed.
+    pub fn stale_reroutes(&self) -> u64 {
+        self.stale_reroutes.load(Ordering::Relaxed)
     }
 
     /// Reports that a coordinator currently has `n` transactions in
@@ -364,6 +444,23 @@ mod tests {
         m.note_inflight_remote(5);
         m.note_inflight_remote(3);
         assert_eq!(m.max_inflight_remote(), 5);
+    }
+
+    #[test]
+    fn routing_counters_accumulate() {
+        let m = Metrics::new();
+        assert_eq!(m.remote_msgs(), 0);
+        m.note_remote_msgs(3);
+        m.note_remote_msgs(1);
+        assert_eq!(m.remote_msgs(), 4);
+        m.note_site_op(SiteId(1));
+        m.note_site_op(SiteId(1));
+        m.note_site_op(SiteId(0));
+        assert_eq!(m.site_ops(SiteId(1)), 2);
+        assert_eq!(m.site_ops(SiteId(9)), 0);
+        assert_eq!(m.site_ops_snapshot(), vec![(SiteId(0), 1), (SiteId(1), 2)]);
+        m.note_stale_reroute();
+        assert_eq!(m.stale_reroutes(), 1);
     }
 
     #[test]

@@ -34,6 +34,16 @@ pub enum Message {
         /// Whether the transaction contains updates (coarse protocols
         /// lock conservatively for updating transactions).
         update_txn: bool,
+        /// Catalog epoch the coordinator routed this dispatch under. A
+        /// participant observing a different epoch answers stale instead
+        /// of executing; the coordinator re-routes under the fresh
+        /// placement.
+        epoch: u64,
+        /// Whether the target document is a fragment of a logical
+        /// document at this site (an update matching nothing is then a
+        /// no-op, not an error). Routed placement knowledge travels with
+        /// the dispatch so participants need no catalog consultation.
+        fragment: bool,
     },
     /// Participant → coordinator: status of a remote operation
     /// (Algorithm 2 l. 13 `send_remote_operation_coordinator`).
@@ -54,6 +64,11 @@ pub enum Message {
         failed: bool,
         /// Whether acquiring created a local wait-for cycle.
         deadlock: bool,
+        /// The participant refused the dispatch because it carried a
+        /// catalog epoch different from the participant's view
+        /// (`StaleCatalog`): nothing executed, no locks were taken; the
+        /// coordinator must refresh its routing and re-dispatch.
+        stale: bool,
         /// Query values when executed.
         result: Option<OpResult>,
     },
@@ -121,6 +136,23 @@ pub enum Message {
         /// The deadlock victim.
         txn: TxnId,
     },
+    /// Participant → coordinator of a waiter: locks the waiter was blocked
+    /// on were just released here — retry now instead of waiting out the
+    /// blind retry timer. Purely an acceleration hint; losing it only
+    /// costs the timer interval.
+    Wake {
+        /// The transaction that may now acquire its locks.
+        txn: TxnId,
+    },
+    /// Coordinator → participant: `txn` abandoned the routing plan it was
+    /// waiting under (stale-epoch re-route) — drop its wait-for edges
+    /// here. Without this, a re-routed transaction's conflict edges would
+    /// linger at sites its fresh plan no longer visits and fabricate
+    /// phantom distributed deadlocks.
+    ClearWaits {
+        /// The re-routed transaction.
+        txn: TxnId,
+    },
 }
 
 impl Wire for Message {
@@ -157,6 +189,8 @@ mod tests {
             op,
             corr: 1,
             update_txn: false,
+            epoch: 1,
+            fragment: false,
         };
         assert!(exec.wire_size() > small.wire_size());
 

@@ -107,6 +107,11 @@ pub enum AbortReason {
     OperationFailed(String),
     /// A remote site did not answer in time.
     RemoteTimeout,
+    /// Routing kept racing catalog mutations: every re-route attempt was
+    /// refused as stale until the retry budget ran out. Only reachable
+    /// under pathological mutation rates — ordinary re-replication is
+    /// absorbed by refresh-and-re-route without surfacing to the client.
+    StaleCatalog,
     /// The commit protocol could not complete at some site.
     CommitFailed,
     /// The client/scheduler was shut down mid-flight.

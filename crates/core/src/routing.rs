@@ -1,0 +1,339 @@
+//! Placement routing: where an operation executes.
+//!
+//! The paper's coordinator consults a static doc → sites map (Algorithm 1
+//! l. 12 `sites.get_participants(operation.get_sites())`). This module
+//! generalizes that lookup into an explicit routing layer: the scheduler
+//! asks [`crate::Catalog::route`] for a [`RoutingPlan`] and executes it
+//! without knowing *why* the sites were chosen. The *why* lives in a
+//! pluggable [`PlacementPolicy`]: the seed's conservative everywhere-read
+//! ([`Primary`]), or one of the read-one policies ([`RoundRobin`],
+//! [`Locality`], [`HotnessAware`]) that serve a read on a replicated
+//! document from a single replica — cutting the remote message count of a
+//! read-only transaction from `|replicas|` to at most 1.
+
+use crate::metrics::Metrics;
+use dtx_net::SiteId;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How one operation is placed across the cluster, as decided by
+/// [`crate::Catalog::route`].
+///
+/// The plan is explicit about the execution shape so the scheduler needs
+/// no catalog knowledge of its own: it either runs the operation locally
+/// or dispatches it to the listed sites and merges per the variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoutingPlan {
+    /// The operation involves only the coordinator site: execute it
+    /// in-process, no messages (Alg. 1 l. 5-10).
+    Local,
+    /// A read on a replicated document served by a single chosen replica.
+    /// One site's answer suffices because full copies agree.
+    ReadOne {
+        /// The replica chosen by the placement policy (never the
+        /// coordinator — that case normalizes to [`RoutingPlan::Local`]).
+        site: SiteId,
+    },
+    /// Execute at **every** replica: updates always (full copies must stay
+    /// identical), and reads under the [`Primary`] policy (the seed
+    /// behavior, locking all replicas like the paper's t1op1).
+    WriteAll {
+        /// All replica sites, coordinator included when it holds a copy.
+        sites: Vec<SiteId>,
+    },
+    /// The document is horizontally fragmented: execute on every fragment
+    /// and merge the per-site results (query values united in site order,
+    /// update counts summed).
+    FragmentFanOut {
+        /// The fragment-holding sites.
+        sites: Vec<SiteId>,
+    },
+}
+
+impl RoutingPlan {
+    /// The sites the operation executes at under this plan; `local` is the
+    /// coordinator (for [`RoutingPlan::Local`]).
+    pub fn sites(&self, local: SiteId) -> Vec<SiteId> {
+        match self {
+            RoutingPlan::Local => vec![local],
+            RoutingPlan::ReadOne { site } => vec![*site],
+            RoutingPlan::WriteAll { sites } | RoutingPlan::FragmentFanOut { sites } => {
+                sites.clone()
+            }
+        }
+    }
+
+    /// True when per-site results must be merged as disjoint fragments.
+    pub fn is_fragment_fan_out(&self) -> bool {
+        matches!(self, RoutingPlan::FragmentFanOut { .. })
+    }
+}
+
+/// Per-decision context a [`PlacementPolicy`] may consult.
+pub struct RoutingCtx<'a> {
+    /// The site coordinating the transaction (where the plan executes
+    /// from).
+    pub coordinator: SiteId,
+    /// Cluster metrics, when available: the feed for load-aware policies
+    /// (per-site operation counters).
+    pub metrics: Option<&'a Metrics>,
+}
+
+impl<'a> RoutingCtx<'a> {
+    /// Context without a metrics feed (load-aware policies fall back to
+    /// deterministic choices).
+    pub fn new(coordinator: SiteId) -> Self {
+        RoutingCtx {
+            coordinator,
+            metrics: None,
+        }
+    }
+
+    /// Operations routed to `site` so far (0 without a metrics feed).
+    pub fn load_of(&self, site: SiteId) -> u64 {
+        self.metrics.map(|m| m.site_ops(site)).unwrap_or(0)
+    }
+}
+
+/// A policy's verdict for a read on a replicated document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadChoice {
+    /// Serve the read from this single replica.
+    One(SiteId),
+    /// Lock and execute at every replica (the seed's conservative
+    /// behavior).
+    All,
+}
+
+/// Chooses which replica serves a read on a replicated document.
+///
+/// Policies only decide *reads on full replicas*; structure is fixed by
+/// the catalog (updates go everywhere, fragments fan out, unreplicated
+/// documents have no choice). Implementations must be cheap: the
+/// scheduler consults the policy once per dispatched operation.
+pub trait PlacementPolicy: Send + Sync + fmt::Debug {
+    /// Display name (experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Picks the replica that serves a read of `doc`. `replicas` is the
+    /// sorted, non-empty replica set from the catalog.
+    fn read_site(&self, doc: &str, replicas: &[SiteId], ctx: &RoutingCtx<'_>) -> ReadChoice;
+}
+
+/// The seed behavior and default: a read locks and executes at **every**
+/// replica, exactly like the paper's Algorithm 1 (t1op1 locks `d1` at both
+/// sites). Maximally conservative — replicas can never drift unnoticed —
+/// and maximally expensive: `|replicas|` messages per read.
+#[derive(Debug, Default)]
+pub struct Primary;
+
+impl PlacementPolicy for Primary {
+    fn name(&self) -> &'static str {
+        "primary"
+    }
+
+    fn read_site(&self, _doc: &str, _replicas: &[SiteId], _ctx: &RoutingCtx<'_>) -> ReadChoice {
+        ReadChoice::All
+    }
+}
+
+/// Read-one, rotating: the k-th routed read goes to replica `k mod n`.
+/// Spreads read load evenly regardless of where clients connect.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    cursor: AtomicUsize,
+}
+
+impl PlacementPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn read_site(&self, _doc: &str, replicas: &[SiteId], _ctx: &RoutingCtx<'_>) -> ReadChoice {
+        let k = self.cursor.fetch_add(1, Ordering::Relaxed);
+        ReadChoice::One(replicas[k % replicas.len()])
+    }
+}
+
+/// Read-one, coordinator-first: serve the read from the coordinator's own
+/// replica when it holds one (zero messages), else from the first replica.
+#[derive(Debug, Default)]
+pub struct Locality;
+
+impl PlacementPolicy for Locality {
+    fn name(&self) -> &'static str {
+        "locality"
+    }
+
+    fn read_site(&self, _doc: &str, replicas: &[SiteId], ctx: &RoutingCtx<'_>) -> ReadChoice {
+        if replicas.contains(&ctx.coordinator) {
+            ReadChoice::One(ctx.coordinator)
+        } else {
+            ReadChoice::One(replicas[0])
+        }
+    }
+}
+
+/// Read-one, load-aware: route the read to the replica with the fewest
+/// operations so far (per-site op counters fed from [`Metrics`]) — i.e.
+/// *off* the hottest replica. Ties break to the lowest site id; without a
+/// metrics feed every count is 0 and the first replica wins.
+#[derive(Debug, Default)]
+pub struct HotnessAware;
+
+impl PlacementPolicy for HotnessAware {
+    fn name(&self) -> &'static str {
+        "hotness-aware"
+    }
+
+    fn read_site(&self, _doc: &str, replicas: &[SiteId], ctx: &RoutingCtx<'_>) -> ReadChoice {
+        let coldest = replicas
+            .iter()
+            .copied()
+            .min_by_key(|&s| (ctx.load_of(s), s))
+            .expect("replica set is non-empty");
+        ReadChoice::One(coldest)
+    }
+}
+
+/// Nameable policy selection (cluster configuration, experiment tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PolicyKind {
+    /// [`Primary`] — the seed behavior, default.
+    #[default]
+    Primary,
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`Locality`].
+    Locality,
+    /// [`HotnessAware`].
+    HotnessAware,
+}
+
+impl PolicyKind {
+    /// Every selectable policy, in ablation order.
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::Primary,
+        PolicyKind::RoundRobin,
+        PolicyKind::Locality,
+        PolicyKind::HotnessAware,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Primary => "primary",
+            PolicyKind::RoundRobin => "round-robin",
+            PolicyKind::Locality => "locality",
+            PolicyKind::HotnessAware => "hotness-aware",
+        }
+    }
+
+    /// Builds the policy.
+    pub fn instantiate(self) -> Box<dyn PlacementPolicy> {
+        match self {
+            PolicyKind::Primary => Box::new(Primary),
+            PolicyKind::RoundRobin => Box::<RoundRobin>::default(),
+            PolicyKind::Locality => Box::new(Locality),
+            PolicyKind::HotnessAware => Box::new(HotnessAware),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: u16) -> SiteId {
+        SiteId(n)
+    }
+
+    #[test]
+    fn primary_reads_everywhere() {
+        let p = Primary;
+        let ctx = RoutingCtx::new(s(0));
+        assert_eq!(p.read_site("d", &[s(0), s(1), s(2)], &ctx), ReadChoice::All);
+    }
+
+    #[test]
+    fn round_robin_rotates_over_replicas() {
+        let p = RoundRobin::default();
+        let ctx = RoutingCtx::new(s(9));
+        let replicas = [s(0), s(1), s(2)];
+        let picks: Vec<ReadChoice> = (0..6).map(|_| p.read_site("d", &replicas, &ctx)).collect();
+        assert_eq!(
+            picks,
+            vec![
+                ReadChoice::One(s(0)),
+                ReadChoice::One(s(1)),
+                ReadChoice::One(s(2)),
+                ReadChoice::One(s(0)),
+                ReadChoice::One(s(1)),
+                ReadChoice::One(s(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn locality_prefers_coordinator_replica() {
+        let p = Locality;
+        let holds = RoutingCtx::new(s(1));
+        assert_eq!(
+            p.read_site("d", &[s(0), s(1)], &holds),
+            ReadChoice::One(s(1))
+        );
+        let elsewhere = RoutingCtx::new(s(7));
+        assert_eq!(
+            p.read_site("d", &[s(0), s(1)], &elsewhere),
+            ReadChoice::One(s(0))
+        );
+    }
+
+    #[test]
+    fn hotness_aware_picks_coldest_replica() {
+        let metrics = Metrics::new();
+        // Site 0 hot, site 1 lukewarm, site 2 untouched.
+        for _ in 0..5 {
+            metrics.note_site_op(s(0));
+        }
+        metrics.note_site_op(s(1));
+        let ctx = RoutingCtx {
+            coordinator: s(0),
+            metrics: Some(&metrics),
+        };
+        let p = HotnessAware;
+        assert_eq!(
+            p.read_site("d", &[s(0), s(1), s(2)], &ctx),
+            ReadChoice::One(s(2))
+        );
+        // Ties break to the lowest site id.
+        let tied = RoutingCtx::new(s(0));
+        assert_eq!(
+            p.read_site("d", &[s(3), s(4)], &tied),
+            ReadChoice::One(s(3))
+        );
+    }
+
+    #[test]
+    fn policy_kind_round_trips() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(kind.instantiate().name(), kind.name());
+        }
+        assert_eq!(PolicyKind::default(), PolicyKind::Primary);
+    }
+
+    #[test]
+    fn plan_sites_and_fragment_predicate() {
+        assert_eq!(RoutingPlan::Local.sites(s(3)), vec![s(3)]);
+        assert_eq!(RoutingPlan::ReadOne { site: s(2) }.sites(s(0)), vec![s(2)]);
+        let wa = RoutingPlan::WriteAll {
+            sites: vec![s(0), s(1)],
+        };
+        assert_eq!(wa.sites(s(0)), vec![s(0), s(1)]);
+        assert!(!wa.is_fragment_fan_out());
+        assert!(RoutingPlan::FragmentFanOut {
+            sites: vec![s(0), s(1)]
+        }
+        .is_fragment_fan_out());
+    }
+}

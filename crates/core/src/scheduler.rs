@@ -38,6 +38,7 @@ use crate::lockmgr::{LockManager, ProcessResult};
 use crate::metrics::{Metrics, PhaseTimes, TxnRecord};
 use crate::msg::Message;
 use crate::op::{AbortReason, OpResult, OpSpec, TxnOutcome, TxnSpec, TxnStatus};
+use crate::routing::RoutingCtx;
 use crossbeam::channel::{Receiver, Sender};
 use dtx_locks::txn::TxnIdGen;
 use dtx_locks::{TxnId, TxnMode, WaitForGraph};
@@ -49,6 +50,13 @@ use std::time::{Duration, Instant};
 /// Upper bound of network envelopes handled per loop iteration, so a
 /// message flood cannot starve transaction dispatch.
 const DRAIN_BATCH: usize = 256;
+
+/// How many times one transaction may be refused as stale (catalog epoch
+/// mismatch) and re-routed before it aborts with
+/// [`AbortReason::StaleCatalog`]. Each refusal implies a concurrent
+/// catalog mutation; ordinary re-replication bumps the epoch a handful of
+/// times, so hitting this cap means placement is churning pathologically.
+const MAX_STALE_REROUTES: u32 = 16;
 
 /// Tuning knobs of a scheduler.
 #[derive(Debug, Clone, Copy)]
@@ -103,6 +111,14 @@ pub enum Control {
         /// Ack channel (parse/storage errors reported).
         ack: Sender<Result<(), String>>,
     },
+    /// Serialize the last committed state of a hosted document (the copy
+    /// shipped to a new replica during online re-replication).
+    DumpDoc {
+        /// Document name.
+        name: String,
+        /// Reply channel (serialized XML or an error).
+        reply: Sender<Result<String, String>>,
+    },
     /// Stop the scheduler; in-flight transactions are aborted.
     Shutdown,
 }
@@ -134,6 +150,10 @@ enum Phase {
         /// All sites the operation was dispatched to (self included when
         /// the coordinator holds data).
         sites: Vec<SiteId>,
+        /// Whether the routing plan was a fragment fan-out (per-site
+        /// results merge as disjoint fragments instead of agreeing
+        /// replicas).
+        fragmented: bool,
         /// Response deadline (remote timeout).
         deadline: Instant,
     },
@@ -155,6 +175,21 @@ enum Phase {
     },
 }
 
+/// The placement a dispatched operation was routed under, pinned for the
+/// operation's lifetime: wait-mode retries re-dispatch to the **same**
+/// sites, so the wait-for edges a conflict left at a participant are
+/// revisited (and replaced or cleared) by the retry instead of being
+/// stranded there while the operation re-routes elsewhere — stranded
+/// edges would fabricate phantom distributed deadlocks. A fresh route is
+/// taken when the operation succeeds (next op), or when a participant
+/// refuses the pinned epoch as stale.
+#[derive(Debug, Clone)]
+struct PinnedPlan {
+    sites: Vec<SiteId>,
+    fragmented: bool,
+    epoch: u64,
+}
+
 /// Coordinator-side execution state (Alg. 1's view of one transaction).
 struct CoordTxn {
     id: TxnId,
@@ -167,6 +202,12 @@ struct CoordTxn {
     times: PhaseTimes,
     /// First entry into the current wait-mode stretch (wait timeout).
     wait_since: Option<Instant>,
+    /// Dispatches of the *current* operation refused for a stale catalog
+    /// epoch and re-routed (aborts at [`MAX_STALE_REROUTES`]; reset when
+    /// the operation succeeds).
+    stale_retries: u32,
+    /// The current operation's routed placement (see [`PinnedPlan`]).
+    pinned: Option<PinnedPlan>,
     /// Remote sites that executed at least one operation (commit/abort
     /// must reach all of them).
     remote_sites: Vec<SiteId>,
@@ -201,6 +242,9 @@ struct DoneInfo {
     executed: bool,
     failed: bool,
     deadlock: bool,
+    /// The participant refused the dispatch for a catalog-epoch mismatch
+    /// (nothing executed, no locks taken).
+    stale: bool,
     result: Option<OpResult>,
 }
 
@@ -301,6 +345,8 @@ impl Scheduler {
                             phase_entered: now,
                             times: PhaseTimes::default(),
                             wait_since: None,
+                            stale_retries: 0,
+                            pinned: None,
                             remote_sites: Vec::new(),
                             results: Vec::new(),
                             submitted: now,
@@ -313,6 +359,13 @@ impl Scheduler {
                             .put_and_load(&name, &xml)
                             .map_err(|e| e.to_string());
                         let _ = ack.send(r);
+                    }
+                    Ok(Control::DumpDoc { name, reply }) => {
+                        let r = self
+                            .lockmgr
+                            .dump_committed(&name)
+                            .map_err(|e| e.to_string());
+                        let _ = reply.send(r);
                     }
                     Ok(Control::Shutdown) => {
                         self.shutdown();
@@ -366,7 +419,7 @@ impl Scheduler {
     fn shutdown(&mut self) {
         // Abort whatever is still in flight so clients unblock.
         while let Some(txn) = self.txns.pop() {
-            self.lockmgr.abort_local(txn.id);
+            let _ = self.lockmgr.abort_local(txn.id);
             let _ = txn.reply.send(TxnOutcome {
                 txn: txn.id,
                 status: TxnStatus::Aborted(AbortReason::Shutdown),
@@ -476,18 +529,65 @@ impl Scheduler {
             return;
         }
         let op = self.txns[idx].spec.ops[op_seq].clone();
-        let sites = self.catalog.sites_of(&op.doc);
-        if sites.is_empty() {
-            self.begin_abort(
-                id,
-                AbortReason::OperationFailed(format!("document {:?} unknown to catalog", op.doc)),
-            );
-            return;
+        // A wait-mode retry re-dispatches under the operation's pinned
+        // plan (see [`PinnedPlan`]) — but only while the pin's epoch is
+        // still current. A catalog mutation invalidates the pin: local
+        // execution has no participant to refuse the stale epoch for it
+        // (a dropped local replica must not keep serving reads), so the
+        // check happens here, and the abandoned plan's wait edges are
+        // cleared at its sites before routing anew.
+        let dead_pin_sites = match &self.txns[idx].pinned {
+            Some(pin) if pin.epoch != self.catalog.epoch() => Some(pin.sites.clone()),
+            _ => None,
+        };
+        if let Some(sites) = dead_pin_sites {
+            self.abandon_plan(id, &sites);
+            if let Some(idx) = self.txn_index(id) {
+                self.txns[idx].pinned = None;
+            }
         }
-        if sites.len() == 1 && sites[0] == self.site {
+        let Some(idx) = self.txn_index(id) else {
+            return;
+        };
+        let pin = match self.txns[idx].pinned.clone() {
+            Some(pin) => pin,
+            None => {
+                // Placement is entirely the catalog's call (Alg. 1 l. 12,
+                // generalized): the epoch is read *before* routing so a
+                // mutation racing this dispatch can only make the stamp
+                // conservatively stale — participants then refuse and the
+                // operation re-routes.
+                let epoch = self.catalog.epoch();
+                let ctx = RoutingCtx {
+                    coordinator: self.site,
+                    metrics: Some(&self.metrics),
+                };
+                let Some(plan) = self.catalog.route(&op, &ctx) else {
+                    self.begin_abort(
+                        id,
+                        AbortReason::OperationFailed(format!(
+                            "document {:?} unknown to catalog",
+                            op.doc
+                        )),
+                    );
+                    return;
+                };
+                let pin = PinnedPlan {
+                    sites: plan.sites(self.site),
+                    fragmented: plan.is_fragment_fan_out(),
+                    epoch,
+                };
+                self.txns[idx].pinned = Some(pin.clone());
+                pin
+            }
+        };
+        for &s in &pin.sites {
+            self.metrics.note_site_op(s);
+        }
+        if pin.sites.len() == 1 && pin.sites[0] == self.site {
             self.execute_local_op(id, op_seq, &op);
         } else {
-            self.dispatch_distributed_op(id, op_seq, &op, &sites);
+            self.dispatch_distributed_op(id, op_seq, &op, &pin.sites, pin.fragmented, pin.epoch);
         }
     }
 
@@ -517,19 +617,29 @@ impl Scheduler {
         }
     }
 
-    /// Alg. 1 l. 11-13: the operation involves other sites. Send it to all
-    /// participants holding the data and park the transaction in
+    /// Alg. 1 l. 11-13: the operation involves other sites. Send it to the
+    /// participants the routing plan selected and park the transaction in
     /// [`Phase::AwaitingRemoteOps`]; [`Self::finish_remote_op`] runs when
     /// the last response (or the deadline) arrives. The event loop keeps
     /// dispatching other transactions meanwhile.
-    fn dispatch_distributed_op(&mut self, id: TxnId, op_seq: usize, op: &OpSpec, sites: &[SiteId]) {
+    fn dispatch_distributed_op(
+        &mut self,
+        id: TxnId,
+        op_seq: usize,
+        op: &OpSpec,
+        sites: &[SiteId],
+        fragmented: bool,
+        epoch: u64,
+    ) {
         self.next_corr += 1;
         let corr = self.next_corr;
         let mode = self.coord_txn_mode(id);
         self.pending_done.insert(corr, HashMap::new());
         // Send to remote participants (Alg. 1 l. 13).
+        let mut sent = 0u64;
         for &s in sites {
             if s != self.site {
+                sent += 1;
                 let _ = self.net.send(
                     self.site,
                     s,
@@ -540,14 +650,17 @@ impl Scheduler {
                         op: op.clone(),
                         corr,
                         update_txn: mode == TxnMode::Updating,
+                        epoch,
+                        fragment: fragmented,
                     },
                 );
             }
         }
+        self.metrics.note_remote_msgs(sent);
         // Execute locally when the coordinator also holds the data
         // ("including the coordinator if it contains data involved").
         if sites.contains(&self.site) {
-            let done = self.participant_execute(id, op_seq, op, mode);
+            let done = self.participant_execute(id, op_seq, op, mode, fragmented);
             if let Some(map) = self.pending_done.get_mut(&corr) {
                 map.insert(self.site, done);
             }
@@ -558,6 +671,7 @@ impl Scheduler {
                 corr,
                 op_seq,
                 sites: sites.to_vec(),
+                fragmented,
                 deadline: Instant::now() + self.cfg.remote_timeout,
             },
         );
@@ -591,7 +705,7 @@ impl Scheduler {
 
     /// Alg. 1 l. 14-22, resumed event-style: all responses arrived
     /// (`complete`) or the deadline passed. Either advance, undo + wait,
-    /// or abort.
+    /// re-route (stale catalog), or abort.
     fn finish_remote_op(&mut self, id: TxnId, complete: bool) {
         let Some(idx) = self.txn_index(id) else {
             return;
@@ -600,19 +714,61 @@ impl Scheduler {
             corr,
             op_seq,
             ref sites,
+            fragmented,
             ..
         } = self.txns[idx].phase
         else {
             return;
         };
         let sites = sites.clone();
-        let op_doc = self.txns[idx].spec.ops[op_seq].doc.clone();
         let statuses = self.pending_done.remove(&corr).unwrap_or_default();
         if !complete {
             // A participant did not answer: undo what executed and abort.
             self.undo_partial(id, op_seq, &statuses);
             self.record_participation(id, &sites);
             self.begin_abort(id, AbortReason::RemoteTimeout);
+            return;
+        }
+        if statuses.values().any(|d| d.stale) {
+            // A participant refused the dispatch: its catalog epoch differs
+            // from the one this plan was routed under. Undo whatever
+            // executed at the sites that accepted and re-route the same
+            // operation under the fresh placement — the transaction is NOT
+            // aborted (the whole point of versioning the catalog). Refusing
+            // sites executed nothing, took no locks and recorded no
+            // coordinator, so they are excluded from the participant set —
+            // commit/abort must not round-trip through them.
+            let engaged: Vec<SiteId> = sites
+                .iter()
+                .copied()
+                .filter(|s| !statuses.get(s).is_some_and(|d| d.stale))
+                .collect();
+            self.record_participation(id, &engaged);
+            self.undo_partial(id, op_seq, &statuses);
+            self.metrics.note_stale_reroute();
+            // An engaged participant may still have tagged this
+            // transaction as the deadlock victim — that verdict survives
+            // the re-route decision (the cycle is real regardless of the
+            // refused site).
+            if statuses.values().any(|d| d.deadlock) {
+                self.begin_abort(id, AbortReason::Deadlock);
+                return;
+            }
+            let Some(idx) = self.txn_index(id) else {
+                return;
+            };
+            self.txns[idx].stale_retries += 1;
+            if self.txns[idx].stale_retries > MAX_STALE_REROUTES {
+                self.begin_abort(id, AbortReason::StaleCatalog);
+            } else {
+                // Route anew next time: the pinned plan's epoch is dead.
+                // Conflict edges this dispatch left at engaged sites are
+                // dropped with it — the fresh plan may never revisit them.
+                self.txns[idx].pinned = None;
+                self.txns[idx].set_phase(Phase::Ready);
+                self.abandon_plan(id, &engaged);
+                self.note_remote_inflight();
+            }
             return;
         }
         // Record participation for commit/abort routing.
@@ -643,8 +799,9 @@ impl Scheduler {
         // Success everywhere. For replicated documents the replicas agree
         // and one answer suffices; for fragmented documents the coordinator
         // merges the per-fragment results (query values united in site
-        // order, update counts summed).
-        let result = if self.catalog.is_fragmented(&op_doc) {
+        // order, update counts summed). The merge mode travels with the
+        // routing plan — the scheduler never consults the catalog here.
+        let result = if fragmented {
             let mut ordered: Vec<(&SiteId, &DoneInfo)> = statuses.iter().collect();
             ordered.sort_by_key(|(s, _)| **s);
             let mut values: Vec<String> = Vec::new();
@@ -701,11 +858,46 @@ impl Scheduler {
         for (&site, done) in statuses {
             if done.executed {
                 if site == self.site {
-                    self.lockmgr.undo_op(id, op_seq);
+                    let waiters = self.lockmgr.undo_op(id, op_seq);
+                    self.wake_waiters(waiters);
                 } else {
                     let _ = self
                         .net
                         .send(self.site, site, Message::UndoOp { txn: id, op_seq });
+                }
+            }
+        }
+    }
+
+    /// A transaction stops pursuing the given plan without retrying it:
+    /// drop its wait-for edges at every plan site (locally and via
+    /// [`Message::ClearWaits`]) so they cannot linger and fabricate
+    /// phantom deadlock cycles once the fresh plan routes elsewhere.
+    fn abandon_plan(&mut self, id: TxnId, sites: &[SiteId]) {
+        for &s in sites {
+            if s == self.site {
+                self.lockmgr.clear_waits(id);
+            } else {
+                let _ = self.net.send(self.site, s, Message::ClearWaits { txn: id });
+            }
+        }
+    }
+
+    /// Speculative wake (the lock table's release feed): transactions that
+    /// were blocked on just-released locks retry **now** instead of
+    /// waiting out their blind retry timer. Local waiters' retry times are
+    /// pulled to the present; waiters coordinated elsewhere get a
+    /// [`Message::Wake`] hint.
+    fn wake_waiters(&mut self, waiters: Vec<TxnId>) {
+        let now = Instant::now();
+        for w in waiters {
+            if let Some(idx) = self.txn_index(w) {
+                if matches!(self.txns[idx].phase, Phase::Waiting { .. }) {
+                    self.txns[idx].set_phase(Phase::Waiting { retry_at: now });
+                }
+            } else if let Some(&coord) = self.txn_coord.get(&w) {
+                if coord != self.site {
+                    let _ = self.net.send(self.site, coord, Message::Wake { txn: w });
                 }
             }
         }
@@ -719,6 +911,9 @@ impl Scheduler {
         txn.results.push(result);
         txn.next_op += 1;
         txn.wait_since = None;
+        // The next operation routes fresh, with a fresh stale budget.
+        txn.pinned = None;
+        txn.stale_retries = 0;
         txn.set_phase(Phase::Ready);
         if txn.next_op >= txn.spec.ops.len() {
             self.begin_commit(id);
@@ -806,9 +1001,10 @@ impl Scheduler {
             return;
         };
         match self.lockmgr.commit_local(id) {
-            Ok(()) => {
+            Ok(waiters) => {
                 let txn = self.txns.remove(idx);
                 self.finish(txn, TxnStatus::Committed);
+                self.wake_waiters(waiters);
             }
             Err(e) => {
                 let txn = self.txns.remove(idx);
@@ -848,7 +1044,8 @@ impl Scheduler {
             self.note_remote_inflight();
         }
         // Local rollback (Alg. 6 l. 13-14).
-        self.lockmgr.abort_local(id);
+        let waiters = self.lockmgr.abort_local(id);
+        self.wake_waiters(waiters);
         let Some(idx) = self.txn_index(id) else {
             return;
         };
@@ -986,14 +1183,18 @@ impl Scheduler {
     // Algorithm 2 — participant
     // -----------------------------------------------------------------
 
+    /// Executes one dispatched operation in the participant role.
+    /// `tolerate_empty` travels with the routing plan (set for fragment
+    /// fan-outs, where an update matching nothing locally is a no-op) —
+    /// participants make no placement decisions of their own.
     fn participant_execute(
         &mut self,
         txn: TxnId,
         op_seq: usize,
         op: &OpSpec,
         mode: TxnMode,
+        tolerate_empty: bool,
     ) -> DoneInfo {
-        let tolerate_empty = self.catalog.is_fragmented(&op.doc);
         match self
             .lockmgr
             .process_operation(txn, op_seq, op, mode, tolerate_empty)
@@ -1003,6 +1204,7 @@ impl Scheduler {
                 executed: true,
                 failed: false,
                 deadlock: false,
+                stale: false,
                 result: Some(result),
             },
             ProcessResult::Conflict { deadlock, .. } => DoneInfo {
@@ -1010,6 +1212,7 @@ impl Scheduler {
                 executed: false,
                 failed: false,
                 deadlock,
+                stale: false,
                 result: None,
             },
             ProcessResult::Failed(_) => DoneInfo {
@@ -1017,6 +1220,7 @@ impl Scheduler {
                 executed: false,
                 failed: true,
                 deadlock: false,
+                stale: false,
                 result: None,
             },
         }
@@ -1122,14 +1326,34 @@ impl Scheduler {
                 op,
                 corr,
                 update_txn,
+                epoch,
+                fragment,
             } => {
-                self.txn_coord.insert(txn, coordinator);
-                let mode = if update_txn {
-                    TxnMode::Updating
+                // Catalog-version check: a dispatch routed under a
+                // different epoch may be aimed at a placement that no
+                // longer holds (this site gained/lost the replica, the
+                // read-one choice is obsolete, ...). Refuse without
+                // executing — and without recording the coordinator: this
+                // site did nothing for the transaction, so it must not be
+                // treated as a participant needing cleanup.
+                let done = if epoch != self.catalog.epoch() {
+                    DoneInfo {
+                        acquired: false,
+                        executed: false,
+                        failed: false,
+                        deadlock: false,
+                        stale: true,
+                        result: None,
+                    }
                 } else {
-                    TxnMode::ReadOnly
+                    self.txn_coord.insert(txn, coordinator);
+                    let mode = if update_txn {
+                        TxnMode::Updating
+                    } else {
+                        TxnMode::ReadOnly
+                    };
+                    self.participant_execute(txn, op_seq, &op, mode, fragment)
                 };
-                let done = self.participant_execute(txn, op_seq, &op, mode);
                 let _ = self.net.send(
                     self.site,
                     coordinator,
@@ -1142,6 +1366,7 @@ impl Scheduler {
                         executed: done.executed,
                         failed: done.failed,
                         deadlock: done.deadlock,
+                        stale: done.stale,
                         result: done.result,
                     },
                 );
@@ -1154,6 +1379,7 @@ impl Scheduler {
                 executed,
                 failed,
                 deadlock,
+                stale,
                 result,
                 ..
             } => {
@@ -1167,6 +1393,7 @@ impl Scheduler {
                             executed,
                             failed,
                             deadlock,
+                            stale,
                             result,
                         },
                     );
@@ -1174,10 +1401,12 @@ impl Scheduler {
                 }
             }
             Message::UndoOp { txn, op_seq } => {
-                self.lockmgr.undo_op(txn, op_seq);
+                let waiters = self.lockmgr.undo_op(txn, op_seq);
+                self.wake_waiters(waiters);
             }
             Message::Commit { txn } => {
-                let ok = self.lockmgr.commit_local(txn).is_ok();
+                let released = self.lockmgr.commit_local(txn);
+                let ok = released.is_ok();
                 self.txn_coord.remove(&txn);
                 let _ = self.net.send(
                     self.site,
@@ -1188,6 +1417,9 @@ impl Scheduler {
                         ok,
                     },
                 );
+                if let Ok(waiters) = released {
+                    self.wake_waiters(waiters);
+                }
             }
             Message::CommitAck { txn, site, ok } => {
                 if let Some(map) = self.pending_commit.get_mut(&txn) {
@@ -1196,7 +1428,7 @@ impl Scheduler {
                 }
             }
             Message::Abort { txn } => {
-                self.lockmgr.abort_local(txn);
+                let waiters = self.lockmgr.abort_local(txn);
                 self.txn_coord.remove(&txn);
                 let _ = self.net.send(
                     self.site,
@@ -1207,6 +1439,7 @@ impl Scheduler {
                         ok: true,
                     },
                 );
+                self.wake_waiters(waiters);
             }
             Message::AbortAck { txn, site, ok } => {
                 if let Some(map) = self.pending_abort.get_mut(&txn) {
@@ -1215,8 +1448,9 @@ impl Scheduler {
                 }
             }
             Message::Fail { txn } => {
-                self.lockmgr.abort_local(txn);
+                let waiters = self.lockmgr.abort_local(txn);
                 self.txn_coord.remove(&txn);
+                self.wake_waiters(waiters);
             }
             Message::WfgRequest { from, round } => {
                 let _ = self.net.send(
@@ -1239,6 +1473,21 @@ impl Scheduler {
                 if self.txn_index(txn).is_some() {
                     self.abort_victim(txn);
                 }
+            }
+            Message::Wake { txn } => {
+                // A participant released locks this transaction was
+                // blocked on: retry immediately instead of waiting out the
+                // timer. (Only meaningful while it is still waiting.)
+                if let Some(idx) = self.txn_index(txn) {
+                    if matches!(self.txns[idx].phase, Phase::Waiting { .. }) {
+                        self.txns[idx].set_phase(Phase::Waiting {
+                            retry_at: Instant::now(),
+                        });
+                    }
+                }
+            }
+            Message::ClearWaits { txn } => {
+                self.lockmgr.clear_waits(txn);
             }
         }
     }

@@ -86,6 +86,20 @@ impl WaitForGraph {
             .unwrap_or_default()
     }
 
+    /// The transactions currently waiting on `holder` (sorted): the set a
+    /// lock release by `holder` may unblock, used to wake waiters eagerly
+    /// instead of letting their retry timers expire.
+    pub fn waiters_of(&self, holder: TxnId) -> Vec<TxnId> {
+        let mut v: Vec<TxnId> = self
+            .edges
+            .iter()
+            .filter(|(_, holders)| holders.contains(&holder))
+            .map(|(&w, _)| w)
+            .collect();
+        v.sort();
+        v
+    }
+
     /// Merges `other` into `self` (Algorithm 4 l. 5:
     /// `result_graph.union(graph)`).
     pub fn union(&mut self, other: &WaitForGraph) {
@@ -166,6 +180,47 @@ impl WaitForGraph {
     /// True when the graph contains a cycle.
     pub fn has_cycle(&self) -> bool {
         self.find_cycle().is_some()
+    }
+
+    /// Finds a cycle passing through `txn` (a path from `txn` back to
+    /// itself), returning its transactions if one exists. Unlike
+    /// [`WaitForGraph::find_cycle`] this ignores cycles `txn` is not part
+    /// of — the question a lock manager asks when `txn`'s new wait edges
+    /// may have closed a circle.
+    pub fn cycle_containing(&self, txn: TxnId) -> Option<Vec<TxnId>> {
+        // Iterative DFS from `txn`; sorted neighbours for determinism.
+        let mut visited: HashSet<TxnId> = HashSet::new();
+        let mut parent: HashMap<TxnId, TxnId> = HashMap::new();
+        let mut stack: Vec<TxnId> = vec![txn];
+        while let Some(node) = stack.pop() {
+            if !visited.insert(node) {
+                continue;
+            }
+            let mut neigh: Vec<TxnId> = self
+                .edges
+                .get(&node)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            neigh.sort();
+            for next in neigh {
+                if next == txn {
+                    // Path txn → ... → node → txn: reconstruct it.
+                    let mut cycle = vec![node];
+                    let mut cur = node;
+                    while cur != txn {
+                        cur = *parent.get(&cur).expect("path back to start");
+                        cycle.push(cur);
+                    }
+                    cycle.reverse();
+                    return Some(cycle);
+                }
+                if !visited.contains(&next) {
+                    parent.insert(next, node);
+                    stack.push(next);
+                }
+            }
+        }
+        None
     }
 
     /// The newest (largest-id, i.e. most recently started) transaction in
@@ -278,6 +333,36 @@ mod tests {
         let v1 = build().newest_in_cycle();
         let v2 = build().newest_in_cycle();
         assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn cycle_containing_ignores_unrelated_cycles() {
+        let mut g = WaitForGraph::new();
+        // Cycle {1,2}; txn 5 waits on it but is in no cycle.
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(2), t(1));
+        g.add_edge(t(5), t(1));
+        let c = g.cycle_containing(t(2)).unwrap();
+        assert!(c.contains(&t(1)) && c.contains(&t(2)));
+        assert!(g.cycle_containing(t(5)).is_none());
+        assert!(g.cycle_containing(t(9)).is_none());
+        // A disjoint cycle {6,7} is invisible from txn 1's perspective...
+        g.add_edge(t(6), t(7));
+        g.add_edge(t(7), t(6));
+        let c1 = g.cycle_containing(t(1)).unwrap();
+        assert!(!c1.contains(&t(6)) && !c1.contains(&t(7)));
+        // ...but found from its own members.
+        assert!(g.cycle_containing(t(7)).is_some());
+    }
+
+    #[test]
+    fn waiters_of_lists_incoming_edges_sorted() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(t(5), t(2));
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(2), t(3));
+        assert_eq!(g.waiters_of(t(2)), vec![t(1), t(5)]);
+        assert_eq!(g.waiters_of(t(9)), vec![]);
     }
 
     #[test]
