@@ -1,0 +1,218 @@
+//! Ingest benchmark: tree-parse vs streaming ingestion.
+//!
+//! The paper sizes its base between 50 MB and 200 MB (§3.2.3); every
+//! pre-streaming ingestion path materialized the whole base as a string
+//! (generator output), parsed it into a second full-size structure, and
+//! re-walked the tree for the DataGuide. This binary measures both
+//! pipelines at several scale factors:
+//!
+//! * **tree path**  — `generate()` → `Document::parse` →
+//!   `DataGuide::build` (string + tree + guide resident simultaneously);
+//! * **stream path** — `emit()` events → `TreeBuilder` ⊕ `GuideBuilder`
+//!   in one pass (tree + guide only; no serialized intermediary).
+//!
+//! It reports wall time, ingest MB/s and **peak allocated bytes** (exact,
+//! via the counting global allocator) per path and scale, then proves the
+//! end-to-end claim: at ≥10× the default experiment base, the streamed
+//! fragments boot a cluster and serve the fig12 mixed workload. Results
+//! land in `BENCH_ingest.json`.
+//!
+//! `--smoke` runs a seconds-scale subset (CI).
+
+use dtx_bench::{ms, setup_streamed, CountingAlloc, ExpEnv, BASE_BYTES, SEED};
+use dtx_core::ProtocolKind;
+use dtx_dataguide::{DataGuide, GuideBuilder};
+use dtx_xmark::generator::{emit, generate, XmarkConfig};
+use dtx_xmark::workload::WorkloadConfig;
+use dtx_xml::stream::{Tee, TreeBuilder};
+use dtx_xml::Document;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+struct IngestPoint {
+    scale: f64,
+    bytes: usize,
+    tree_ms: f64,
+    tree_peak: usize,
+    tree_mb_s: f64,
+    stream_ms: f64,
+    stream_peak: usize,
+    stream_mb_s: f64,
+    /// Transient streaming overhead: peak minus the resident tree+guide
+    /// that any ingest must end up holding. O(one entity), not O(base) —
+    /// the "no full-string materialization" witness.
+    stream_overhead: usize,
+}
+
+fn measure(scale: f64) -> IngestPoint {
+    let target = (BASE_BYTES as f64 * scale) as usize;
+    let config = XmarkConfig::sized(target, SEED);
+
+    // Tree path: serialized base → parse → guide rebuild.
+    let base = ALLOC.reset_peak();
+    let t0 = Instant::now();
+    let doc = generate(config);
+    let parsed = Document::parse(&doc.xml).expect("well-formed");
+    let guide = DataGuide::build(&parsed);
+    let tree_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let tree_peak = ALLOC.peak().saturating_sub(base);
+    let bytes = doc.xml.len();
+    assert!(guide.len() > 10);
+    drop((doc, parsed, guide));
+
+    // Stream path: events → tree ⊕ guide, one pass, no string.
+    let base = ALLOC.reset_peak();
+    let t0 = Instant::now();
+    let mut tree = TreeBuilder::new();
+    let mut guide = GuideBuilder::new();
+    emit(config, &mut Tee::new(&mut tree, &mut guide)).expect("well-formed events");
+    let sdoc = tree.finish().expect("balanced");
+    let sguide = guide.finish().expect("rooted");
+    let stream_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let stream_peak = ALLOC.peak().saturating_sub(base);
+    let stream_resident = ALLOC.current().saturating_sub(base);
+    let stream_overhead = stream_peak.saturating_sub(stream_resident);
+    assert_eq!(sguide.len(), DataGuide::build(&sdoc).len());
+    drop((sdoc, sguide));
+
+    let mb = bytes as f64 / (1024.0 * 1024.0);
+    IngestPoint {
+        scale,
+        bytes,
+        tree_ms,
+        tree_peak,
+        tree_mb_s: mb / (tree_ms / 1e3),
+        stream_ms,
+        stream_peak,
+        stream_mb_s: mb / (stream_ms / 1e3),
+        stream_overhead,
+    }
+}
+
+struct E2e {
+    base_bytes: usize,
+    committed: usize,
+    submitted: usize,
+    wall_ms: f64,
+    mean_resp_ms: f64,
+}
+
+/// The acceptance demonstration: a base ≥10× today's default generates,
+/// ingests and serves the fig12 mixed workload end-to-end via the
+/// streaming path (partial replication, 4 sites, 20 % update txns).
+fn end_to_end(scale: f64, clients: usize) -> E2e {
+    let mut env = ExpEnv::standard(ProtocolKind::Xdgl);
+    env.base_bytes = (BASE_BYTES as f64 * scale) as usize;
+    let (cluster, manifests, total_bytes) = setup_streamed(env);
+    let workload =
+        dtx_xmark::workload::generate(WorkloadConfig::with_updates(clients, 20, SEED), &manifests);
+    let report = dtx_xmark::tester::run_workload(&cluster, &workload);
+    let out = E2e {
+        base_bytes: total_bytes,
+        committed: report.committed(),
+        submitted: report.outcomes.len(),
+        wall_ms: ms(report.wall),
+        mean_resp_ms: ms(report.mean_response()),
+    };
+    cluster.shutdown();
+    out
+}
+
+fn write_json(points: &[IngestPoint], e2e: &E2e) -> std::io::Result<()> {
+    let mut out = String::from("{\n  \"experiment\": \"bench_ingest\",\n");
+    let _ = writeln!(
+        out,
+        "  \"default_base_bytes\": {BASE_BYTES},\n  \"points\": ["
+    );
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"scale\": {}, \"bytes\": {}, \
+             \"tree\": {{\"wall_ms\": {:.2}, \"peak_alloc_bytes\": {}, \"mb_per_s\": {:.2}}}, \
+             \"stream\": {{\"wall_ms\": {:.2}, \"peak_alloc_bytes\": {}, \"mb_per_s\": {:.2}, \
+             \"transient_overhead_bytes\": {}}}, \
+             \"peak_ratio_tree_over_stream\": {:.3}}}",
+            p.scale,
+            p.bytes,
+            p.tree_ms,
+            p.tree_peak,
+            p.tree_mb_s,
+            p.stream_ms,
+            p.stream_peak,
+            p.stream_mb_s,
+            p.stream_overhead,
+            p.tree_peak as f64 / p.stream_peak.max(1) as f64,
+        );
+        out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    let _ = writeln!(
+        out,
+        "  ],\n  \"e2e_fig12_streamed\": {{\"base_bytes\": {}, \"protocol\": \"xdgl\", \
+         \"committed\": {}, \"submitted\": {}, \"wall_ms\": {:.2}, \"mean_resp_ms\": {:.2}}}\n}}",
+        e2e.base_bytes, e2e.committed, e2e.submitted, e2e.wall_ms, e2e.mean_resp_ms
+    );
+    std::fs::write("BENCH_ingest.json", out)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Scale factors relative to the default experiment base (400 KB):
+    // 1×, 4×, 10× normally; a sub-second subset under --smoke.
+    let scales: &[f64] = if smoke {
+        &[0.25, 1.0]
+    } else {
+        &[1.0, 4.0, 10.0]
+    };
+    println!("# ingest — tree-parse vs streaming (scales × default {BASE_BYTES} B base)");
+    println!(
+        "scale\tbytes\ttree_ms\ttree_peak_B\ttree_MB/s\tstream_ms\tstream_peak_B\tstream_MB/s\tstream_transient_B"
+    );
+    let mut points = Vec::new();
+    for &scale in scales {
+        let p = measure(scale);
+        println!(
+            "{}\t{}\t{:.1}\t{}\t{:.1}\t{:.1}\t{}\t{:.1}\t{}",
+            p.scale,
+            p.bytes,
+            p.tree_ms,
+            p.tree_peak,
+            p.tree_mb_s,
+            p.stream_ms,
+            p.stream_peak,
+            p.stream_mb_s,
+            p.stream_overhead
+        );
+        assert!(
+            p.stream_peak < p.tree_peak,
+            "streaming ingest must stay below the tree path's peak"
+        );
+        points.push(p);
+    }
+
+    // End-to-end at ≥10× the default base (2× under --smoke to stay CI-fast).
+    let (e2e_scale, clients) = if smoke { (2.0, 8) } else { (10.0, 50) };
+    println!("\n# e2e: streamed ingest at {e2e_scale}× default base serving the fig12 workload");
+    let e = end_to_end(e2e_scale, clients);
+    println!(
+        "base {} B: committed {}/{} in {:.1} ms (mean resp {:.2} ms)",
+        e.base_bytes, e.committed, e.submitted, e.wall_ms, e.mean_resp_ms
+    );
+    assert!(
+        e.committed * 10 >= e.submitted * 8,
+        "most transactions must commit over the streamed base"
+    );
+
+    if smoke {
+        // Smoke runs measure a reduced subset; never overwrite the
+        // committed full-scale baseline with it.
+        println!("\n# smoke run: BENCH_ingest.json left untouched");
+    } else {
+        match write_json(&points, &e) {
+            Ok(()) => println!("\n# baseline written to BENCH_ingest.json"),
+            Err(err) => eprintln!("could not write BENCH_ingest.json: {err}"),
+        }
+    }
+}

@@ -3,22 +3,100 @@
 //! Paper §3.2.3: 50 clients per site, 5 txns × 5 ops, 20 % update txns
 //! (20 % update ops each), partial replication; "The size of the base
 //! varied between 50 MB and 200 MB". We sweep the same ×4 range at 1:100
-//! scale (500 KiB → 2 MiB).
+//! scale (500 KiB → 2 MiB) — **plus one paper-scale point** (50 MB,
+//! XDGL, streamed ingest) now that ingestion streams: the base
+//! generates, fragments and loads without ever materializing a base
+//! string (`FIG11A_PAPER_BYTES` overrides the size; `0` skips it).
 //!
 //! Expected shape (paper): DTX (XDGL) response time "well below" and
 //! nearly flat as the base grows; Node2PL's grows with base size (its
 //! lock count scales with the document, XDGL's with the DataGuide). The
 //! deadlock counts favour Node2PL (slower → less concurrency → fewer
-//! conflicts).
+//! conflicts). Node2PL is omitted at paper scale: its per-covered-node
+//! lock weights make a 50 MB run take hours — the very effect Fig. 11(a)
+//! plots.
+//!
+//! Alongside throughput, each size reports its **streaming ingest**
+//! metrics (wall, MB/s, peak allocated bytes, exact via the counting
+//! global allocator). Everything lands in `BENCH_basesize.json`.
 
-use dtx_bench::{header, ms, row, run, setup, ExpEnv, SEED};
+use dtx_bench::{boot_streamed, header, ms, row, run, CountingAlloc, ExpEnv, SEED};
 use dtx_core::ProtocolKind;
+use dtx_xmark::generator::XmarkConfig;
+use dtx_xmark::stream::stream_fragments;
 use dtx_xmark::workload::WorkloadConfig;
+use dtx_xmark::BuiltFragment;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+struct Ingest {
+    wall_ms: f64,
+    mb_per_s: f64,
+    peak_alloc_bytes: usize,
+}
+
+/// Streams the base into 4 fragments once, measuring ingest wall / MB/s /
+/// peak allocation; the measured fragments are returned and handed to the
+/// cluster boot, so the base is generated exactly once per sweep point.
+fn measure_ingest(bytes: usize) -> (Ingest, Vec<BuiltFragment>) {
+    let base = ALLOC.reset_peak();
+    let t0 = Instant::now();
+    let (frags, _) = stream_fragments(XmarkConfig::sized(bytes, SEED), 4).expect("well-formed");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let peak = ALLOC.peak().saturating_sub(base);
+    let total: usize = frags.iter().map(|f| f.bytes).sum();
+    let ingest = Ingest {
+        wall_ms,
+        mb_per_s: (total as f64 / (1024.0 * 1024.0)) / (wall_ms / 1e3),
+        peak_alloc_bytes: peak,
+    };
+    (ingest, frags)
+}
+
+struct Point {
+    base_bytes: usize,
+    protocol: &'static str,
+    clients: usize,
+    mean_resp_ms: f64,
+    deadlocks: usize,
+    committed: usize,
+    submitted: usize,
+    ingest: Ingest,
+}
+
+fn write_json(points: &[Point]) -> std::io::Result<()> {
+    let mut out = String::from("{\n  \"experiment\": \"fig11a_basesize\",\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"base_bytes\": {}, \"protocol\": \"{}\", \"clients\": {}, \
+             \"mean_resp_ms\": {:.2}, \"deadlocks\": {}, \"committed\": {}, \"submitted\": {}, \
+             \"ingest\": {{\"wall_ms\": {:.2}, \"mb_per_s\": {:.2}, \"peak_alloc_bytes\": {}}}}}",
+            p.base_bytes,
+            p.protocol,
+            p.clients,
+            p.mean_resp_ms,
+            p.deadlocks,
+            p.committed,
+            p.submitted,
+            p.ingest.wall_ms,
+            p.ingest.mb_per_s,
+            p.ingest.peak_alloc_bytes,
+        );
+        out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_basesize.json", out)
+}
 
 fn main() {
     // 1:100 of the paper's 50/100/150/200 MB sweep.
     let sizes = [500_000usize, 1_000_000, 1_500_000, 2_000_000];
     let clients = 50;
+    let mut points = Vec::new();
     println!("# E4 / Fig. 11(a) — response time (ms) and deadlocks vs base size");
     println!("# 4 sites, partial replication, {clients} clients, 20% update txns");
     header(&[
@@ -27,12 +105,15 @@ fn main() {
         "mean_resp_ms",
         "deadlocks",
         "committed",
+        "ingest_mb_s",
+        "ingest_peak_b",
     ]);
     for protocol in [ProtocolKind::Xdgl, ProtocolKind::Node2Pl] {
         for &size in &sizes {
+            let (ingest, built) = measure_ingest(size);
             let mut env = ExpEnv::standard(protocol);
             env.base_bytes = size;
-            let (cluster, frags) = setup(env);
+            let (cluster, frags, _) = boot_streamed(env, built);
             let report = run(
                 &cluster,
                 &frags,
@@ -44,8 +125,69 @@ fn main() {
                 format!("{:.2}", ms(report.mean_response())),
                 report.deadlocks().to_string(),
                 report.committed().to_string(),
+                format!("{:.1}", ingest.mb_per_s),
+                ingest.peak_alloc_bytes.to_string(),
             ]);
+            points.push(Point {
+                base_bytes: size,
+                protocol: protocol.name(),
+                clients,
+                mean_resp_ms: ms(report.mean_response()),
+                deadlocks: report.deadlocks(),
+                committed: report.committed(),
+                submitted: report.outcomes.len(),
+                ingest,
+            });
             cluster.shutdown();
         }
+    }
+
+    // Paper-scale point (§3.2.3's lower bound): streamed ingest makes it
+    // runnable; XDGL only (see module docs), fewer clients to keep the
+    // run in minutes.
+    let paper_bytes: usize = std::env::var("FIG11A_PAPER_BYTES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50_000_000);
+    if paper_bytes > 0 {
+        let paper_clients = 10;
+        println!(
+            "\n# paper-scale point ({} MB base, xdgl, {paper_clients} clients)",
+            paper_bytes / 1_000_000
+        );
+        let (ingest, built) = measure_ingest(paper_bytes);
+        let mut env = ExpEnv::standard(ProtocolKind::Xdgl);
+        env.base_bytes = paper_bytes;
+        let (cluster, frags, _) = boot_streamed(env, built);
+        let report = run(
+            &cluster,
+            &frags,
+            WorkloadConfig::with_updates(paper_clients, 20, SEED),
+        );
+        row(&[
+            (paper_bytes / 1024).to_string(),
+            "xdgl".to_owned(),
+            format!("{:.2}", ms(report.mean_response())),
+            report.deadlocks().to_string(),
+            report.committed().to_string(),
+            format!("{:.1}", ingest.mb_per_s),
+            ingest.peak_alloc_bytes.to_string(),
+        ]);
+        points.push(Point {
+            base_bytes: paper_bytes,
+            protocol: "xdgl",
+            clients: paper_clients,
+            mean_resp_ms: ms(report.mean_response()),
+            deadlocks: report.deadlocks(),
+            committed: report.committed(),
+            submitted: report.outcomes.len(),
+            ingest,
+        });
+        cluster.shutdown();
+    }
+
+    match write_json(&points) {
+        Ok(()) => println!("\n# results written to BENCH_basesize.json"),
+        Err(e) => eprintln!("could not write BENCH_basesize.json: {e}"),
     }
 }

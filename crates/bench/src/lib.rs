@@ -11,9 +11,16 @@
 //! protocols and replication modes are the reproduction target, not the
 //! absolute times.
 
-use dtx_core::{Cluster, ClusterConfig, PolicyKind, ProtocolKind};
-use dtx_xmark::fragment::{allocate, fragment_doc, load_allocation, Fragmented, ReplicationMode};
+pub mod mem;
+
+pub use mem::CountingAlloc;
+
+use dtx_core::{Cluster, ClusterConfig, PolicyKind, ProtocolKind, SiteId};
+use dtx_xmark::fragment::{
+    allocate, fragment_doc, load_allocation, Fragmented, ReplicationMode, LOGICAL_DOC,
+};
 use dtx_xmark::generator::{generate, XmarkConfig};
+use dtx_xmark::stream::{manifests_of, stream_fragments};
 use dtx_xmark::tester::{run_workload, TestReport};
 use dtx_xmark::workload::{generate as gen_workload, Workload, WorkloadConfig};
 use std::time::Duration;
@@ -79,6 +86,53 @@ pub fn setup(env: ExpEnv) -> (Cluster, Fragmented) {
     let alloc = allocate(&doc, &frags, env.sites, env.mode);
     load_allocation(&cluster, &alloc).expect("load allocation");
     (cluster, frags)
+}
+
+/// Boots a cluster over the **streaming ingestion path**: the base is
+/// generated as events and split into per-site documents + DataGuides in
+/// one pass — no base string, no re-parse, no guide rebuild. Partial
+/// replication only (each site holds one fragment of [`LOGICAL_DOC`]).
+/// Returns the cluster, the id manifests (what the workload generator
+/// consumes) and the total fragment bytes.
+pub fn setup_streamed(env: ExpEnv) -> (Cluster, Fragmented, usize) {
+    let built = stream_fragments(
+        XmarkConfig::sized(env.base_bytes, env.seed),
+        env.sites as usize,
+    )
+    .expect("generator events are well-formed")
+    .0;
+    boot_streamed(env, built)
+}
+
+/// Boots a cluster from **already-built** fragments (so callers that
+/// measured the [`stream_fragments`] pass themselves don't pay for a
+/// second generation). One fragment per site, partial replication.
+pub fn boot_streamed(
+    env: ExpEnv,
+    built: Vec<dtx_xmark::BuiltFragment>,
+) -> (Cluster, Fragmented, usize) {
+    assert_eq!(
+        env.mode,
+        ReplicationMode::Partial,
+        "streamed setup loads one fragment per site"
+    );
+    let manifests = manifests_of(&built);
+    let total_bytes: usize = built.iter().map(|f| f.bytes).sum();
+    let mut config = ClusterConfig::new(env.sites, env.protocol).with_policy(env.policy);
+    config.seed = env.seed;
+    if env.realistic {
+        config = config.with_lan_profile();
+    }
+    let cluster = Cluster::start(config);
+    let parts: Vec<_> = built
+        .into_iter()
+        .enumerate()
+        .map(|(i, f)| (SiteId((i as u16) % env.sites), f.doc, f.guide))
+        .collect();
+    cluster
+        .load_built_fragments(LOGICAL_DOC, parts)
+        .expect("load streamed fragments");
+    (cluster, manifests, total_bytes)
 }
 
 /// Runs one workload and returns its report.

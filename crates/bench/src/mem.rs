@@ -1,0 +1,88 @@
+//! A counting global allocator for ingest-memory measurements.
+//!
+//! The streaming-ingestion acceptance criterion is about **peak resident
+//! bytes during ingest** (the tree-parse path holds the serialized base,
+//! the parsed tree and the DataGuide simultaneously; the streaming path
+//! holds only what the sinks keep). The experiment binaries install
+//! [`CountingAlloc`] as the `#[global_allocator]` and bracket each ingest
+//! with [`CountingAlloc::reset_peak`] / [`CountingAlloc::peak`].
+//!
+//! Byte counts are exact for allocation sizes (not OS RSS): every
+//! `alloc`/`realloc`/`dealloc` adjusts a current-bytes counter whose
+//! high-water mark is kept. That makes the measurement deterministic and
+//! platform-independent — the right property for a committed baseline
+//! like `BENCH_ingest.json`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counting wrapper over the system allocator.
+pub struct CountingAlloc {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl CountingAlloc {
+    /// A fresh counter (use as `#[global_allocator] static A: ... = CountingAlloc::new();`).
+    pub const fn new() -> Self {
+        CountingAlloc {
+            current: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
+    }
+
+    /// Currently allocated bytes.
+    pub fn current(&self) -> usize {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark since the last [`CountingAlloc::reset_peak`].
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Resets the high-water mark to the current allocation level and
+    /// returns that level (the baseline to subtract from the next peak).
+    pub fn reset_peak(&self) -> usize {
+        let now = self.current();
+        self.peak.store(now, Ordering::Relaxed);
+        now
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let now = self.current.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            self.peak.fetch_max(now, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        self.current.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                let grow = new_size - layout.size();
+                let now = self.current.fetch_add(grow, Ordering::Relaxed) + grow;
+                self.peak.fetch_max(now, Ordering::Relaxed);
+            } else {
+                self.current
+                    .fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}

@@ -9,12 +9,19 @@
 //! entry point, [`Catalog::route`], which turns an operation into an
 //! explicit [`RoutingPlan`] under the installed [`PlacementPolicy`].
 //!
-//! The catalog carries an **epoch** that every mutation bumps. Remote
-//! dispatches stamp the coordinator's epoch; a participant that observes a
-//! different epoch refuses the operation as stale and the coordinator
-//! re-routes under the fresh catalog — which is what makes **online
-//! re-replication** ([`Catalog::add_replica`] / [`Catalog::drop_replica`]
-//! under traffic) safe to express.
+//! The catalog is versioned at **two granularities**. Every mutation
+//! bumps a catalog-global **epoch** (used by [`Catalog::render_allocation`]
+//! to stamp placement snapshots), and stamps the *mutated entry* with that
+//! epoch value as its **per-document version**. Remote dispatches carry
+//! the target document's version; a participant that observes a different
+//! version for that document refuses the operation as stale and the
+//! coordinator re-routes under the fresh catalog — which is what makes
+//! **online re-replication** ([`Catalog::add_replica`] /
+//! [`Catalog::drop_replica`] under traffic) safe to express. Versioning
+//! per document means a placement mutation on one document no longer
+//! stale-refuses in-flight dispatches of every *other* document (the
+//! catalog-global epoch used to, safely but wastefully, under placement
+//! churn).
 
 use crate::op::OpSpec;
 use crate::routing::{PlacementPolicy, PolicyKind, ReadChoice, RoutingCtx, RoutingPlan};
@@ -22,6 +29,19 @@ use dtx_net::SiteId;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One catalog entry: a document's replica set, shape and placement
+/// version.
+#[derive(Debug)]
+struct Entry {
+    sites: Vec<SiteId>,
+    fragmented: bool,
+    /// The global epoch value at this entry's last mutation — the
+    /// document's placement version, stamped onto remote dispatches so
+    /// participants can detect routing decisions made under an older
+    /// placement *of this document*.
+    version: u64,
+}
 
 /// Thread-safe, versioned document → replica-sites mapping with a
 /// pluggable placement policy.
@@ -33,10 +53,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// the per-site results).
 #[derive(Debug)]
 pub struct Catalog {
-    map: RwLock<BTreeMap<String, (Vec<SiteId>, bool)>>,
-    /// Bumped by every mutation; stamped onto remote dispatches so
-    /// participants can detect routing decisions made under an older
-    /// placement.
+    map: RwLock<BTreeMap<String, Entry>>,
+    /// Bumped by every mutation (any document); versions placement
+    /// snapshots like [`Catalog::render_allocation`].
     epoch: AtomicU64,
     policy: RwLock<Box<dyn PlacementPolicy>>,
 }
@@ -81,24 +100,47 @@ impl Catalog {
     }
 
     /// Registers (or replaces) the replica set of `doc` (full copies).
-    /// Site lists are kept sorted and deduplicated. Bumps the epoch.
+    /// Site lists are kept sorted and deduplicated. Bumps the epoch and
+    /// the document's version.
     pub fn register(&self, doc: &str, sites: &[SiteId]) {
         let mut sites = sites.to_vec();
         sites.sort();
         sites.dedup();
-        self.map.write().insert(doc.to_owned(), (sites, false));
-        self.bump_epoch();
+        let version = self.bump_epoch();
+        self.map.write().insert(
+            doc.to_owned(),
+            Entry {
+                sites,
+                fragmented: false,
+                version,
+            },
+        );
     }
 
     /// Registers `doc` as horizontally fragmented over `sites` (each site
     /// holds a disjoint fragment under the same logical name). Bumps the
-    /// epoch.
+    /// epoch and the document's version.
     pub fn register_fragmented(&self, doc: &str, sites: &[SiteId]) {
         let mut sites = sites.to_vec();
         sites.sort();
         sites.dedup();
-        self.map.write().insert(doc.to_owned(), (sites, true));
-        self.bump_epoch();
+        let version = self.bump_epoch();
+        self.map.write().insert(
+            doc.to_owned(),
+            Entry {
+                sites,
+                fragmented: true,
+                version,
+            },
+        );
+    }
+
+    /// The placement version of `doc`: the epoch value of its last
+    /// mutation (0 when unknown to the catalog). Two [`Catalog::route`]
+    /// calls that observed the same version saw the same placement of
+    /// `doc` — mutations of *other* documents leave it untouched.
+    pub fn version_of(&self, doc: &str) -> u64 {
+        self.map.read().get(doc).map(|e| e.version).unwrap_or(0)
     }
 
     /// Adds `site` to the replica set of the replicated document `doc`,
@@ -107,21 +149,19 @@ impl Catalog {
     /// immediately after). Idempotent: adding an existing replica is a
     /// no-op that leaves the epoch alone.
     pub fn add_replica(&self, doc: &str, site: SiteId) -> Result<(), String> {
-        {
-            let mut map = self.map.write();
-            let Some((sites, fragmented)) = map.get_mut(doc) else {
-                return Err(format!("document {doc:?} unknown to catalog"));
-            };
-            if *fragmented {
-                return Err(format!("document {doc:?} is fragmented, not replicated"));
-            }
-            if sites.contains(&site) {
-                return Ok(());
-            }
-            sites.push(site);
-            sites.sort();
+        let mut map = self.map.write();
+        let Some(entry) = map.get_mut(doc) else {
+            return Err(format!("document {doc:?} unknown to catalog"));
+        };
+        if entry.fragmented {
+            return Err(format!("document {doc:?} is fragmented, not replicated"));
         }
-        self.bump_epoch();
+        if entry.sites.contains(&site) {
+            return Ok(());
+        }
+        entry.sites.push(site);
+        entry.sites.sort();
+        entry.version = self.bump_epoch();
         Ok(())
     }
 
@@ -130,23 +170,21 @@ impl Catalog {
     /// Idempotent: dropping a non-replica is a no-op that leaves the epoch
     /// alone.
     pub fn drop_replica(&self, doc: &str, site: SiteId) -> Result<(), String> {
-        {
-            let mut map = self.map.write();
-            let Some((sites, fragmented)) = map.get_mut(doc) else {
-                return Err(format!("document {doc:?} unknown to catalog"));
-            };
-            if *fragmented {
-                return Err(format!("document {doc:?} is fragmented, not replicated"));
-            }
-            if !sites.contains(&site) {
-                return Ok(());
-            }
-            if sites.len() == 1 {
-                return Err(format!("cannot drop the last replica of {doc:?}"));
-            }
-            sites.retain(|&s| s != site);
+        let mut map = self.map.write();
+        let Some(entry) = map.get_mut(doc) else {
+            return Err(format!("document {doc:?} unknown to catalog"));
+        };
+        if entry.fragmented {
+            return Err(format!("document {doc:?} is fragmented, not replicated"));
         }
-        self.bump_epoch();
+        if !entry.sites.contains(&site) {
+            return Ok(());
+        }
+        if entry.sites.len() == 1 {
+            return Err(format!("cannot drop the last replica of {doc:?}"));
+        }
+        entry.sites.retain(|&s| s != site);
+        entry.version = self.bump_epoch();
         Ok(())
     }
 
@@ -162,8 +200,8 @@ impl Catalog {
     pub fn route(&self, op: &OpSpec, ctx: &RoutingCtx<'_>) -> Option<RoutingPlan> {
         let (sites, fragmented) = {
             let map = self.map.read();
-            let (sites, fragmented) = map.get(&op.doc)?;
-            (sites.clone(), *fragmented)
+            let entry = map.get(&op.doc)?;
+            (entry.sites.clone(), entry.fragmented)
         };
         if sites.is_empty() {
             // A registration with no sites is as unroutable as an unknown
@@ -198,7 +236,11 @@ impl Catalog {
 
     /// True when `doc` is registered as fragmented.
     pub fn is_fragmented(&self, doc: &str) -> bool {
-        self.map.read().get(doc).map(|(_, f)| *f).unwrap_or(false)
+        self.map
+            .read()
+            .get(doc)
+            .map(|e| e.fragmented)
+            .unwrap_or(false)
     }
 
     /// The replica sites of `doc` (empty when unknown).
@@ -206,7 +248,7 @@ impl Catalog {
         self.map
             .read()
             .get(doc)
-            .map(|(s, _)| s.clone())
+            .map(|e| e.sites.clone())
             .unwrap_or_default()
     }
 
@@ -215,7 +257,7 @@ impl Catalog {
         self.map
             .read()
             .get(doc)
-            .map(|(s, _)| s.contains(&site))
+            .map(|e| e.sites.contains(&site))
             .unwrap_or(false)
     }
 
@@ -229,7 +271,7 @@ impl Catalog {
         self.map
             .read()
             .iter()
-            .filter(|(_, (sites, _))| sites.contains(&site))
+            .filter(|(_, e)| e.sites.contains(&site))
             .map(|(d, _)| d.clone())
             .collect()
     }
@@ -248,13 +290,13 @@ impl Catalog {
         for &s in all_sites {
             by_site.entry(s).or_default();
         }
-        for (doc, (sites, fragmented)) in map.iter() {
-            let label = if *fragmented {
+        for (doc, entry) in map.iter() {
+            let label = if entry.fragmented {
                 format!("{doc}[frag]")
             } else {
                 doc.clone()
             };
-            for &s in sites {
+            for &s in &entry.sites {
                 by_site.entry(s).or_default().push(label.clone());
             }
         }
@@ -347,6 +389,34 @@ mod tests {
         assert!(c.epoch() > e2);
         c.register_fragmented("f", &[SiteId(0), SiteId(1)]);
         assert!(c.epoch() > e2 + 1);
+    }
+
+    #[test]
+    fn per_document_versions_are_independent() {
+        let c = Catalog::new();
+        assert_eq!(c.version_of("ghost"), 0);
+        c.register("d1", &[SiteId(0)]);
+        c.register("d2", &[SiteId(1)]);
+        let (v1, v2) = (c.version_of("d1"), c.version_of("d2"));
+        assert!(v1 > 0 && v2 > v1, "versions are epoch values, monotone");
+        // Mutating d2 leaves d1's version untouched (the whole point:
+        // placement churn on one document must not stale-refuse in-flight
+        // dispatches of another).
+        c.add_replica("d2", SiteId(2)).unwrap();
+        assert_eq!(c.version_of("d1"), v1);
+        assert!(c.version_of("d2") > v2);
+        // ... while the global epoch (snapshot stamp) still advances.
+        let epoch_before = c.epoch();
+        c.drop_replica("d2", SiteId(1)).unwrap();
+        assert!(c.epoch() > epoch_before);
+        assert_eq!(c.version_of("d1"), v1);
+        // Re-registering a document refreshes its version.
+        c.register("d1", &[SiteId(0), SiteId(1)]);
+        assert!(c.version_of("d1") > v1);
+        // Idempotent mutations leave the version alone.
+        let v2 = c.version_of("d2");
+        c.add_replica("d2", SiteId(2)).unwrap();
+        assert_eq!(c.version_of("d2"), v2);
     }
 
     #[test]

@@ -14,8 +14,9 @@ use crate::metrics::Metrics;
 use crate::msg::Message;
 use crate::op::{TxnOutcome, TxnSpec};
 use crate::routing::PolicyKind;
-use crate::scheduler::{Control, Scheduler, SchedulerConfig};
+use crate::scheduler::{Control, DocShipment, Scheduler, SchedulerConfig};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use dtx_dataguide::DataGuide;
 use dtx_locks::txn::TxnIdGen;
 use dtx_locks::ProtocolKind;
 use dtx_net::{LatencyModel, Network, SiteId};
@@ -110,11 +111,44 @@ impl DtxInstance {
 
     /// Loads a document (name + raw XML) into this instance's store.
     pub fn load_document(&self, name: &str, xml: &str) -> Result<(), String> {
+        self.load_document_with_guide(name, xml, None)
+    }
+
+    /// Loads a document with an optional pre-built DataGuide (shipped by
+    /// a source replica): the instance adopts the guide instead of
+    /// rebuilding one from the parsed data.
+    pub fn load_document_with_guide(
+        &self,
+        name: &str,
+        xml: &str,
+        guide: Option<DataGuide>,
+    ) -> Result<(), String> {
         let (ack, rx) = bounded(1);
         self.control
             .send(Control::LoadDoc {
                 name: name.to_owned(),
                 xml: xml.to_owned(),
+                guide: guide.map(Box::new),
+                ack,
+            })
+            .map_err(|_| "scheduler is down".to_owned())?;
+        rx.recv().map_err(|_| "scheduler is down".to_owned())?
+    }
+
+    /// Installs an already-built document (streaming ingestion: tree and
+    /// guide come straight from event sinks; nothing is parsed).
+    pub fn load_built(
+        &self,
+        name: &str,
+        doc: dtx_xml::Document,
+        guide: Option<DataGuide>,
+    ) -> Result<(), String> {
+        let (ack, rx) = bounded(1);
+        self.control
+            .send(Control::LoadBuilt {
+                name: name.to_owned(),
+                doc: Box::new(doc),
+                guide: guide.map(Box::new),
                 ack,
             })
             .map_err(|_| "scheduler is down".to_owned())?;
@@ -122,8 +156,8 @@ impl DtxInstance {
     }
 
     /// Serializes the last committed state of a document hosted at this
-    /// instance (the copy shipped to a new replica).
-    pub fn dump_document(&self, name: &str) -> Result<String, String> {
+    /// instance plus its DataGuide (the shipment sent to a new replica).
+    pub fn dump_document(&self, name: &str) -> Result<DocShipment, String> {
         let (reply, rx) = bounded(1);
         self.control
             .send(Control::DumpDoc {
@@ -255,14 +289,45 @@ impl Cluster {
         Ok(())
     }
 
+    /// Registers `doc` as horizontally fragmented from **already-built**
+    /// per-site documents and guides (the streaming ingestion path: no
+    /// XML strings exist, nothing is parsed, no guide is rebuilt).
+    pub fn load_built_fragments(
+        &self,
+        name: &str,
+        parts: Vec<(SiteId, dtx_xml::Document, DataGuide)>,
+    ) -> Result<(), String> {
+        if parts.is_empty() {
+            return Err("fragment set must not be empty".into());
+        }
+        let mut sites = Vec::with_capacity(parts.len());
+        for (s, doc, guide) in parts {
+            let inst = self
+                .instances
+                .iter()
+                .find(|i| i.site == s)
+                .ok_or_else(|| format!("unknown site {s}"))?;
+            inst.load_built(name, doc, Some(guide))?;
+            sites.push(s);
+        }
+        self.catalog.register_fragmented(name, &sites);
+        Ok(())
+    }
+
     /// Online re-replication: copies the replicated document `doc` to
-    /// `to` and publishes the new replica in the catalog (epoch bump).
+    /// `to` — **shipping the source site's DataGuide alongside the
+    /// data**, so the new replica serves structure-matched reads
+    /// immediately instead of rebuilding the guide from the document —
+    /// and publishes the new replica in the catalog (epoch + document
+    /// version bump).
     ///
     /// Works under traffic: the data is loaded at `to` *before* the
     /// catalog mutation, so any read routed to the new replica finds it;
-    /// in-flight dispatches routed under the old epoch are refused as
-    /// stale by participants and transparently re-routed by their
-    /// coordinators.
+    /// in-flight dispatches routed under the old placement version are
+    /// refused as stale by participants and transparently re-routed by
+    /// their coordinators. Placement mutations of *other* documents do
+    /// not disturb in-flight dispatches of `doc` (per-document
+    /// versioning).
     ///
     /// **Consistency caveat (no copy fence yet):** the copy is the
     /// source's last *committed* state. An update whose write-all
@@ -283,8 +348,11 @@ impl Cluster {
         let src = *sites
             .first()
             .ok_or_else(|| format!("document {doc:?} unknown to catalog"))?;
-        let xml = self.instance(src).dump_document(doc)?;
-        self.instance(to).load_document(doc, &xml)?;
+        let shipment = self.instance(src).dump_document(doc)?;
+        let guide = DataGuide::from_wire(&shipment.guide_wire)
+            .map_err(|e| format!("shipped guide corrupt: {e}"))?;
+        self.instance(to)
+            .load_document_with_guide(doc, &shipment.xml, Some(guide))?;
         self.catalog.add_replica(doc, to)
     }
 

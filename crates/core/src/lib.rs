@@ -47,4 +47,4 @@ pub use metrics::{Metrics, PhaseTimes, Summary, TxnRecord};
 pub use msg::Message;
 pub use op::{AbortReason, OpKind, OpResult, OpSpec, TxnOutcome, TxnSpec, TxnStatus};
 pub use routing::{PlacementPolicy, PolicyKind, ReadChoice, RoutingCtx, RoutingPlan};
-pub use scheduler::{Control, Scheduler, SchedulerConfig};
+pub use scheduler::{Control, DocShipment, Scheduler, SchedulerConfig};

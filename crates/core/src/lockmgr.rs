@@ -14,9 +14,9 @@
 //! apply/undo the recorded effects and release everything (strict 2PL).
 
 use crate::op::{OpKind, OpResult, OpSpec};
-use dtx_dataguide::DataGuide;
+use dtx_dataguide::{incremental, DataGuide};
 use dtx_locks::{LockOutcome, LockProtocol, LockTable, TxnId, TxnMode, WaitForGraph};
-use dtx_storage::{DataManager, StorageResult};
+use dtx_storage::{DataManager, StorageError, StorageResult};
 use dtx_xml::Document;
 use dtx_xpath::{apply_update, eval, undo_update, UndoRecord};
 use std::collections::HashMap;
@@ -163,7 +163,29 @@ impl LockManager {
     /// converting it into a proper representation structure").
     pub fn load_document(&mut self, name: &str) -> StorageResult<()> {
         let doc = self.store.load(name)?;
-        let guide = DataGuide::build(&doc);
+        self.adopt(name, doc, None);
+        Ok(())
+    }
+
+    /// Installs `doc` under `name`: persist to the store and keep in
+    /// memory. With `guide` (shipped by a source replica or built during
+    /// streaming ingest) the DataGuide is **not** rebuilt from the data.
+    /// Returns whether a guide had to be built.
+    pub fn install_document(
+        &mut self,
+        name: &str,
+        doc: dtx_xml::Document,
+        guide: Option<DataGuide>,
+    ) -> StorageResult<bool> {
+        self.store.persist(name, &doc)?;
+        Ok(self.adopt(name, doc, guide))
+    }
+
+    /// Keeps `doc` (and its guide, building one only when not provided)
+    /// as the hosted state of `name`. Returns whether a guide was built.
+    fn adopt(&mut self, name: &str, doc: dtx_xml::Document, guide: Option<DataGuide>) -> bool {
+        let built = guide.is_none();
+        let guide = guide.unwrap_or_else(|| DataGuide::build(&doc));
         // Keep an existing tag on reload; assign the next free one on
         // first load. Tags keep per-document guide ids disjoint in the
         // shared lock table.
@@ -181,13 +203,26 @@ impl LockManager {
                 tag,
             },
         );
-        Ok(())
+        built
     }
 
     /// Stores raw XML and loads it (bulk load path).
     pub fn put_and_load(&mut self, name: &str, xml: &str) -> StorageResult<()> {
+        self.put_and_load_with_guide(name, xml, None).map(|_| ())
+    }
+
+    /// Stores raw XML and loads it; with `guide` the shipped DataGuide is
+    /// adopted instead of rebuilding one from the parsed data (replica
+    /// bootstrap). Returns whether a guide had to be built.
+    pub fn put_and_load_with_guide(
+        &mut self,
+        name: &str,
+        xml: &str,
+        guide: Option<DataGuide>,
+    ) -> StorageResult<bool> {
         self.store.put_raw(name, xml)?;
-        self.load_document(name)
+        let doc = self.store.load(name)?;
+        Ok(self.adopt(name, doc, guide))
     }
 
     /// True when this site hosts `name` in memory.
@@ -327,6 +362,10 @@ impl LockManager {
                 Ok(record) => {
                     let affected = undo_size(&record);
                     state.dirty = true;
+                    // Incremental guide maintenance: extents (and any new
+                    // label paths) follow the applied update at O(changed
+                    // subtree) cost — the guide is never rebuilt.
+                    incremental::note_applied(&mut state.guide, &state.doc, &record);
                     self.undo_log.entry(txn).or_default().push(UndoEntry {
                         doc: op.doc.clone(),
                         op_seq,
@@ -372,6 +411,7 @@ impl LockManager {
             *entries = kept;
             for e in undone {
                 if let Some(state) = self.docs.get_mut(&e.doc) {
+                    incremental::note_undone(&mut state.guide, &state.doc, &e.record);
                     let _ = undo_update(&mut state.doc, &e.record);
                 }
             }
@@ -424,6 +464,7 @@ impl LockManager {
         if let Some(mut entries) = self.undo_log.remove(&txn) {
             while let Some(e) = entries.pop() {
                 if let Some(state) = self.docs.get_mut(&e.doc) {
+                    incremental::note_undone(&mut state.guide, &state.doc, &e.record);
                     let _ = undo_update(&mut state.doc, &e.record);
                 }
             }
@@ -445,6 +486,20 @@ impl LockManager {
         Ok(self.store.load(name)?.to_xml())
     }
 
+    /// [`LockManager::dump_committed`] plus this site's DataGuide for the
+    /// document — the full replica-bootstrap shipment. The live guide is
+    /// a conservative superset of the committed data's paths (guides
+    /// never shrink), so adopting it at the receiver is always safe.
+    pub fn dump_with_guide(&mut self, name: &str) -> StorageResult<(String, DataGuide)> {
+        let xml = self.dump_committed(name)?;
+        let guide = self
+            .docs
+            .get(name)
+            .map(|d| d.guide.clone())
+            .ok_or_else(|| crate::lockmgr::not_hosted(name))?;
+        Ok((xml, guide))
+    }
+
     /// Storage statistics of the underlying store.
     pub fn store_stats(&self) -> dtx_storage::StoreStats {
         self.store.stats()
@@ -462,6 +517,10 @@ impl LockManager {
     pub fn clear_waits(&mut self, txn: TxnId) {
         self.wfg.clear_waits_of(txn);
     }
+}
+
+fn not_hosted(name: &str) -> StorageError {
+    StorageError::NotFound(name.to_owned())
 }
 
 /// Guide ids are document-local; offset them into disjoint ranges per

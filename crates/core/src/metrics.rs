@@ -92,9 +92,13 @@ pub struct Metrics {
     /// lock-free thereafter (this sits on every scheduler's dispatch hot
     /// path, and the hotness policy reads it per routed operation).
     site_ops: RwLock<Vec<AtomicU64>>,
-    /// Dispatches refused as stale (catalog epoch mismatch) and re-routed
-    /// by their coordinator under the fresh placement.
+    /// Dispatches refused as stale (document placement-version mismatch)
+    /// and re-routed by their coordinator under the fresh placement.
     stale_reroutes: AtomicU64,
+    /// DataGuides built from scratch across the cluster (document loads
+    /// without a shipped/streamed guide). Replica bootstrap ships the
+    /// source's guide, so `add_replica` must not move this counter.
+    guides_built: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -114,6 +118,7 @@ impl Metrics {
             remote_msgs: AtomicU64::new(0),
             site_ops: RwLock::new(Vec::new()),
             stale_reroutes: AtomicU64::new(0),
+            guides_built: AtomicU64::new(0),
         }
     }
 
@@ -171,14 +176,26 @@ impl Metrics {
             .collect()
     }
 
-    /// Counts one stale-epoch refusal that was re-routed.
+    /// Counts one stale-version refusal that was re-routed.
     pub fn note_stale_reroute(&self) {
         self.stale_reroutes.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Dispatches refused for a stale catalog epoch and re-routed.
+    /// Dispatches refused for a stale document placement version and
+    /// re-routed.
     pub fn stale_reroutes(&self) -> u64 {
         self.stale_reroutes.load(Ordering::Relaxed)
+    }
+
+    /// Counts one from-scratch DataGuide build (a load without a shipped
+    /// or streamed guide).
+    pub fn note_guide_build(&self) {
+        self.guides_built.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// From-scratch DataGuide builds across the cluster so far.
+    pub fn guides_built(&self) -> u64 {
+        self.guides_built.load(Ordering::Relaxed)
     }
 
     /// Reports that a coordinator currently has `n` transactions in

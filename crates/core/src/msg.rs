@@ -34,11 +34,14 @@ pub enum Message {
         /// Whether the transaction contains updates (coarse protocols
         /// lock conservatively for updating transactions).
         update_txn: bool,
-        /// Catalog epoch the coordinator routed this dispatch under. A
-        /// participant observing a different epoch answers stale instead
-        /// of executing; the coordinator re-routes under the fresh
+        /// Placement version of the *target document* the coordinator
+        /// routed this dispatch under (the catalog's per-document
+        /// version, not the global epoch — mutations of other documents
+        /// do not invalidate this dispatch). A participant observing a
+        /// different version for the document answers stale instead of
+        /// executing; the coordinator re-routes under the fresh
         /// placement.
-        epoch: u64,
+        doc_version: u64,
         /// Whether the target document is a fragment of a logical
         /// document at this site (an update matching nothing is then a
         /// no-op, not an error). Routed placement knowledge travels with
@@ -65,9 +68,10 @@ pub enum Message {
         /// Whether acquiring created a local wait-for cycle.
         deadlock: bool,
         /// The participant refused the dispatch because it carried a
-        /// catalog epoch different from the participant's view
-        /// (`StaleCatalog`): nothing executed, no locks were taken; the
-        /// coordinator must refresh its routing and re-dispatch.
+        /// placement version of the target document different from the
+        /// participant's view (`StaleCatalog`): nothing executed, no
+        /// locks were taken; the coordinator must refresh its routing
+        /// and re-dispatch.
         stale: bool,
         /// Query values when executed.
         result: Option<OpResult>,
@@ -189,7 +193,7 @@ mod tests {
             op,
             corr: 1,
             update_txn: false,
-            epoch: 1,
+            doc_version: 1,
             fragment: false,
         };
         assert!(exec.wire_size() > small.wire_size());

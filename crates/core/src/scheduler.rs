@@ -40,6 +40,7 @@ use crate::msg::Message;
 use crate::op::{AbortReason, OpResult, OpSpec, TxnOutcome, TxnSpec, TxnStatus};
 use crate::routing::RoutingCtx;
 use crossbeam::channel::{Receiver, Sender};
+use dtx_dataguide::DataGuide;
 use dtx_locks::txn::TxnIdGen;
 use dtx_locks::{TxnId, TxnMode, WaitForGraph};
 use dtx_net::{Endpoint, Envelope, Network, SiteId};
@@ -108,19 +109,50 @@ pub enum Control {
         name: String,
         /// Raw XML.
         xml: String,
+        /// A pre-built DataGuide shipped alongside the data (replica
+        /// bootstrap); `None` builds one from the document.
+        guide: Option<Box<DataGuide>>,
         /// Ack channel (parse/storage errors reported).
         ack: Sender<Result<(), String>>,
     },
-    /// Serialize the last committed state of a hosted document (the copy
-    /// shipped to a new replica during online re-replication).
+    /// Install an already-built document (the streaming ingestion path:
+    /// the tree and guide were produced by event sinks — no XML string
+    /// exists and none is parsed).
+    LoadBuilt {
+        /// Document name.
+        name: String,
+        /// The document tree.
+        doc: Box<dtx_xml::Document>,
+        /// Its DataGuide, when built during ingest; `None` builds one.
+        guide: Option<Box<DataGuide>>,
+        /// Ack channel (storage errors reported).
+        ack: Sender<Result<(), String>>,
+    },
+    /// Serialize the last committed state of a hosted document plus its
+    /// DataGuide (the shipment sent to a new replica during online
+    /// re-replication, so the receiver serves structure-matched reads
+    /// without rebuilding the guide).
     DumpDoc {
         /// Document name.
         name: String,
-        /// Reply channel (serialized XML or an error).
-        reply: Sender<Result<String, String>>,
+        /// Reply channel (shipment or an error).
+        reply: Sender<Result<DocShipment, String>>,
     },
     /// Stop the scheduler; in-flight transactions are aborted.
     Shutdown,
+}
+
+/// What a source site ships for one document during replica bootstrap:
+/// the committed data plus the serialized DataGuide, so the new replica
+/// answers structure-dependent queries immediately instead of rebuilding
+/// the summary from the data.
+#[derive(Debug, Clone)]
+pub struct DocShipment {
+    /// The document's last committed state, serialized.
+    pub xml: String,
+    /// The source's DataGuide in wire form
+    /// ([`dtx_dataguide::DataGuide::to_wire`]).
+    pub guide_wire: String,
 }
 
 /// Execution state of one coordinated transaction — the explicit form of
@@ -182,12 +214,13 @@ enum Phase {
 /// stranded there while the operation re-routes elsewhere — stranded
 /// edges would fabricate phantom distributed deadlocks. A fresh route is
 /// taken when the operation succeeds (next op), or when a participant
-/// refuses the pinned epoch as stale.
+/// refuses the pinned document version as stale.
 #[derive(Debug, Clone)]
 struct PinnedPlan {
     sites: Vec<SiteId>,
     fragmented: bool,
-    epoch: u64,
+    /// The target document's placement version the plan was routed under.
+    version: u64,
 }
 
 /// Coordinator-side execution state (Alg. 1's view of one transaction).
@@ -353,17 +386,48 @@ impl Scheduler {
                             reply,
                         });
                     }
-                    Ok(Control::LoadDoc { name, xml, ack }) => {
+                    Ok(Control::LoadDoc {
+                        name,
+                        xml,
+                        guide,
+                        ack,
+                    }) => {
                         let r = self
                             .lockmgr
-                            .put_and_load(&name, &xml)
+                            .put_and_load_with_guide(&name, &xml, guide.map(|g| *g))
+                            .map(|built| {
+                                if built {
+                                    self.metrics.note_guide_build();
+                                }
+                            })
+                            .map_err(|e| e.to_string());
+                        let _ = ack.send(r);
+                    }
+                    Ok(Control::LoadBuilt {
+                        name,
+                        doc,
+                        guide,
+                        ack,
+                    }) => {
+                        let r = self
+                            .lockmgr
+                            .install_document(&name, *doc, guide.map(|g| *g))
+                            .map(|built| {
+                                if built {
+                                    self.metrics.note_guide_build();
+                                }
+                            })
                             .map_err(|e| e.to_string());
                         let _ = ack.send(r);
                     }
                     Ok(Control::DumpDoc { name, reply }) => {
                         let r = self
                             .lockmgr
-                            .dump_committed(&name)
+                            .dump_with_guide(&name)
+                            .map(|(xml, guide)| DocShipment {
+                                xml,
+                                guide_wire: guide.to_wire(),
+                            })
                             .map_err(|e| e.to_string());
                         let _ = reply.send(r);
                     }
@@ -530,14 +594,15 @@ impl Scheduler {
         }
         let op = self.txns[idx].spec.ops[op_seq].clone();
         // A wait-mode retry re-dispatches under the operation's pinned
-        // plan (see [`PinnedPlan`]) — but only while the pin's epoch is
-        // still current. A catalog mutation invalidates the pin: local
-        // execution has no participant to refuse the stale epoch for it
-        // (a dropped local replica must not keep serving reads), so the
-        // check happens here, and the abandoned plan's wait edges are
-        // cleared at its sites before routing anew.
+        // plan (see [`PinnedPlan`]) — but only while the pin's document
+        // version is still current. A placement mutation *of this
+        // document* invalidates the pin (mutations of other documents do
+        // not): local execution has no participant to refuse the stale
+        // version for it (a dropped local replica must not keep serving
+        // reads), so the check happens here, and the abandoned plan's
+        // wait edges are cleared at its sites before routing anew.
         let dead_pin_sites = match &self.txns[idx].pinned {
-            Some(pin) if pin.epoch != self.catalog.epoch() => Some(pin.sites.clone()),
+            Some(pin) if pin.version != self.catalog.version_of(&op.doc) => Some(pin.sites.clone()),
             _ => None,
         };
         if let Some(sites) = dead_pin_sites {
@@ -553,11 +618,11 @@ impl Scheduler {
             Some(pin) => pin,
             None => {
                 // Placement is entirely the catalog's call (Alg. 1 l. 12,
-                // generalized): the epoch is read *before* routing so a
-                // mutation racing this dispatch can only make the stamp
-                // conservatively stale — participants then refuse and the
-                // operation re-routes.
-                let epoch = self.catalog.epoch();
+                // generalized): the document's version is read *before*
+                // routing so a mutation racing this dispatch can only make
+                // the stamp conservatively stale — participants then
+                // refuse and the operation re-routes.
+                let version = self.catalog.version_of(&op.doc);
                 let ctx = RoutingCtx {
                     coordinator: self.site,
                     metrics: Some(&self.metrics),
@@ -575,7 +640,7 @@ impl Scheduler {
                 let pin = PinnedPlan {
                     sites: plan.sites(self.site),
                     fragmented: plan.is_fragment_fan_out(),
-                    epoch,
+                    version,
                 };
                 self.txns[idx].pinned = Some(pin.clone());
                 pin
@@ -587,7 +652,7 @@ impl Scheduler {
         if pin.sites.len() == 1 && pin.sites[0] == self.site {
             self.execute_local_op(id, op_seq, &op);
         } else {
-            self.dispatch_distributed_op(id, op_seq, &op, &pin.sites, pin.fragmented, pin.epoch);
+            self.dispatch_distributed_op(id, op_seq, &op, &pin.sites, pin.fragmented, pin.version);
         }
     }
 
@@ -629,7 +694,7 @@ impl Scheduler {
         op: &OpSpec,
         sites: &[SiteId],
         fragmented: bool,
-        epoch: u64,
+        doc_version: u64,
     ) {
         self.next_corr += 1;
         let corr = self.next_corr;
@@ -650,7 +715,7 @@ impl Scheduler {
                         op: op.clone(),
                         corr,
                         update_txn: mode == TxnMode::Updating,
-                        epoch,
+                        doc_version,
                         fragment: fragmented,
                     },
                 );
@@ -730,8 +795,9 @@ impl Scheduler {
             return;
         }
         if statuses.values().any(|d| d.stale) {
-            // A participant refused the dispatch: its catalog epoch differs
-            // from the one this plan was routed under. Undo whatever
+            // A participant refused the dispatch: its view of the target
+            // document's placement version differs from the one this plan
+            // was routed under. Undo whatever
             // executed at the sites that accepted and re-route the same
             // operation under the fresh placement — the transaction is NOT
             // aborted (the whole point of versioning the catalog). Refusing
@@ -761,7 +827,7 @@ impl Scheduler {
             if self.txns[idx].stale_retries > MAX_STALE_REROUTES {
                 self.begin_abort(id, AbortReason::StaleCatalog);
             } else {
-                // Route anew next time: the pinned plan's epoch is dead.
+                // Route anew next time: the pinned plan's version is dead.
                 // Conflict edges this dispatch left at engaged sites are
                 // dropped with it — the fresh plan may never revisit them.
                 self.txns[idx].pinned = None;
@@ -1326,17 +1392,19 @@ impl Scheduler {
                 op,
                 corr,
                 update_txn,
-                epoch,
+                doc_version,
                 fragment,
             } => {
-                // Catalog-version check: a dispatch routed under a
-                // different epoch may be aimed at a placement that no
-                // longer holds (this site gained/lost the replica, the
-                // read-one choice is obsolete, ...). Refuse without
+                // Placement-version check: a dispatch routed under a
+                // different version *of this document* may be aimed at a
+                // placement that no longer holds (this site gained/lost
+                // the replica, the read-one choice is obsolete, ...).
+                // Mutations of other documents leave the version — and
+                // therefore this dispatch — untouched. Refuse without
                 // executing — and without recording the coordinator: this
                 // site did nothing for the transaction, so it must not be
                 // treated as a participant needing cleanup.
-                let done = if epoch != self.catalog.epoch() {
+                let done = if doc_version != self.catalog.version_of(&op.doc) {
                     DoneInfo {
                         acquired: false,
                         executed: false,

@@ -1,0 +1,483 @@
+//! Incremental DataGuide maintenance under the five update operations.
+//!
+//! The paper's motivating idea is keeping the structural summary
+//! **consistent under updates** instead of rebuilding it: "Because it
+//! uses an optimized structure to represent locks, XDGL is more efficient
+//! in managing the locks" — which only holds while the guide tracks the
+//! document without per-update rebuild cost. The lock manager calls
+//! [`note_applied`] after applying an update and [`note_undone`] before
+//! rolling one back, so guide **extents** follow the document exactly
+//! (and new label paths are ensured), at O(changed subtree) cost instead
+//! of O(document).
+//!
+//! Guide nodes are never removed — a DataGuide is a conservative summary
+//! and keeping a path whose extent dropped to zero is always safe for
+//! locking. The workspace property tests assert that after arbitrary
+//! committed update sequences the maintained guide agrees with a fresh
+//! [`DataGuide::build`] on every live path (and carries only
+//! zero-extent extras).
+
+use crate::{DataGuide, GuideId};
+use dtx_xml::document::Fragment;
+use dtx_xml::{Document, NodeId};
+use dtx_xpath::UndoRecord;
+
+/// Adjusts `guide` for an update that was just applied to `doc`.
+///
+/// Call with the document in its **post-apply** state and the
+/// [`UndoRecord`] the application returned. Unknown paths (a node whose
+/// ancestry the guide has never seen) are skipped — the guide stays a
+/// conservative summary either way.
+pub fn note_applied(guide: &mut DataGuide, doc: &Document, record: &UndoRecord) {
+    match record {
+        UndoRecord::Insert(ids) => {
+            for &id in ids {
+                absorb_subtree(guide, doc, id);
+            }
+        }
+        UndoRecord::Remove(records) => {
+            for rec in records {
+                if let Some(pgid) = classify_live(guide, doc, rec.parent) {
+                    retract_fragment(guide, pgid, &rec.fragment);
+                }
+            }
+        }
+        UndoRecord::Rename(olds) => {
+            for (id, old_label) in olds {
+                move_labelled(guide, doc, *id, Some(old_label), None);
+            }
+        }
+        UndoRecord::Change(_) => {
+            // Value-only change: no structural effect.
+        }
+        UndoRecord::Transpose(a, b) => {
+            note_transpose(guide, doc, *a, *b);
+        }
+    }
+}
+
+/// Adjusts `guide` for an update that is **about to be undone** on `doc`.
+///
+/// Call with the document still in its applied state (i.e. *before*
+/// `undo_update` runs), mirroring [`note_applied`].
+pub fn note_undone(guide: &mut DataGuide, doc: &Document, record: &UndoRecord) {
+    match record {
+        UndoRecord::Insert(ids) => {
+            for &id in ids {
+                // The insert may already have been undone (abort after a
+                // partial distributed operation); skip dead ids.
+                if doc.is_live(id) {
+                    retract_subtree(guide, doc, id);
+                }
+            }
+        }
+        UndoRecord::Remove(records) => {
+            for rec in records {
+                if let Some(pgid) = classify_live(guide, doc, rec.parent) {
+                    absorb_fragment(guide, pgid, &rec.fragment);
+                }
+            }
+        }
+        UndoRecord::Rename(olds) => {
+            for (id, old_label) in olds {
+                // The node currently carries the new label; it is about to
+                // get `old_label` back.
+                move_labelled(guide, doc, *id, None, Some(old_label));
+            }
+        }
+        UndoRecord::Change(_) => {}
+        UndoRecord::Transpose(a, b) => {
+            // The document is still in its post-swap state, but the undo
+            // will swap *back*: extents move in the reverse direction of
+            // [`note_applied`]'s bookkeeping.
+            note_untranspose(guide, doc, *a, *b);
+        }
+    }
+}
+
+fn classify_live(guide: &DataGuide, doc: &Document, node: NodeId) -> Option<GuideId> {
+    if doc.is_live(node) {
+        guide.classify(doc, node)
+    } else {
+        None
+    }
+}
+
+/// Ensures + increments the guide along the live subtree rooted at
+/// `node` (classified via its parent's path).
+fn absorb_subtree(guide: &mut DataGuide, doc: &Document, node: NodeId) {
+    let Ok(Some(parent)) = doc.parent(node) else {
+        return;
+    };
+    let Some(pgid) = classify_live(guide, doc, parent) else {
+        return;
+    };
+    absorb_under(guide, doc, node, pgid, None);
+}
+
+fn absorb_under(
+    guide: &mut DataGuide,
+    doc: &Document,
+    node: NodeId,
+    parent_gid: GuideId,
+    label_as: Option<&str>,
+) {
+    let Ok(n) = doc.node(node) else { return };
+    let Some(sym) = n.kind.label() else {
+        // Text nodes are summarized by the parent element's guide node.
+        return;
+    };
+    let label = label_as.unwrap_or_else(|| doc.interner().resolve(sym));
+    let gid = guide.ensure_child(parent_gid, label, n.is_attribute());
+    guide.add_extent(gid, 1);
+    if let Ok(children) = doc.children(node) {
+        for &c in children {
+            absorb_under(guide, doc, c, gid, None);
+        }
+    }
+}
+
+/// Decrements the guide along the live subtree rooted at `node` — the
+/// exact mirror of [`absorb_subtree`]: classify the parent, then resolve
+/// the node's own guide child by label *and kind* (`classify` on the
+/// node itself would prefer a same-label element over an attribute, and
+/// would resolve text nodes to their parent).
+fn retract_subtree(guide: &mut DataGuide, doc: &Document, node: NodeId) {
+    let Ok(n) = doc.node(node) else { return };
+    let Some(sym) = n.kind.label() else {
+        // Text nodes are summarized by the parent element's guide node.
+        return;
+    };
+    let Ok(Some(parent)) = doc.parent(node) else {
+        return;
+    };
+    let Some(pgid) = classify_live(guide, doc, parent) else {
+        return;
+    };
+    let label = doc.interner().resolve(sym).to_owned();
+    if let Some(gid) = guide.child(pgid, &label, n.is_attribute()) {
+        retract_at(guide, doc, node, gid);
+    }
+}
+
+fn retract_at(guide: &mut DataGuide, doc: &Document, node: NodeId, gid: GuideId) {
+    guide.add_extent(gid, -1);
+    let Ok(children) = doc.children(node) else {
+        return;
+    };
+    for &c in children {
+        let Ok(n) = doc.node(c) else { continue };
+        let Some(sym) = n.kind.label() else { continue };
+        let label = doc.interner().resolve(sym).to_owned();
+        if let Some(cg) = guide.child(gid, &label, n.is_attribute()) {
+            retract_at(guide, doc, c, cg);
+        }
+    }
+}
+
+/// Ensures + increments the guide for a detached fragment re-attached
+/// under `parent_gid` (undo of a removal).
+fn absorb_fragment(guide: &mut DataGuide, parent_gid: GuideId, fragment: &Fragment) {
+    match fragment {
+        Fragment::Element { label, children } => {
+            let gid = guide.ensure_child(parent_gid, label, false);
+            guide.add_extent(gid, 1);
+            for c in children {
+                absorb_fragment(guide, gid, c);
+            }
+        }
+        Fragment::Attribute { label, .. } => {
+            let gid = guide.ensure_child(parent_gid, label, true);
+            guide.add_extent(gid, 1);
+        }
+        Fragment::Text { .. } => {}
+    }
+}
+
+/// Decrements the guide for a fragment that was removed from under
+/// `parent_gid`.
+fn retract_fragment(guide: &mut DataGuide, parent_gid: GuideId, fragment: &Fragment) {
+    match fragment {
+        Fragment::Element { label, children } => {
+            if let Some(gid) = guide.child(parent_gid, label, false) {
+                guide.add_extent(gid, -1);
+                for c in children {
+                    retract_fragment(guide, gid, c);
+                }
+            }
+        }
+        Fragment::Attribute { label, .. } => {
+            if let Some(gid) = guide.child(parent_gid, label, true) {
+                guide.add_extent(gid, -1);
+            }
+        }
+        Fragment::Text { .. } => {}
+    }
+}
+
+/// Moves the extents of `node`'s subtree between two labels under the
+/// same parent: the node currently carries one label in the document,
+/// and its extents must move from the path under `from_label` (defaults
+/// to the current label) to the path under `to_label` (defaults to the
+/// current label). Exactly one of the two overrides is given.
+fn move_labelled(
+    guide: &mut DataGuide,
+    doc: &Document,
+    node: NodeId,
+    from_label: Option<&str>,
+    to_label: Option<&str>,
+) {
+    let Ok(Some(parent)) = doc.parent(node) else {
+        return;
+    };
+    let Some(pgid) = classify_live(guide, doc, parent) else {
+        return;
+    };
+    let Ok(n) = doc.node(node) else { return };
+    let Some(sym) = n.kind.label() else { return };
+    let current = doc.interner().resolve(sym).to_owned();
+    let from = from_label.unwrap_or(&current).to_owned();
+    if let Some(old_gid) = guide.child(pgid, &from, n.is_attribute()) {
+        retract_at(guide, doc, node, old_gid);
+    }
+    absorb_under(guide, doc, node, pgid, to_label.or(Some(&current)));
+}
+
+/// Transpose bookkeeping: `a` and `b` have just swapped positions. With
+/// the same parent the label paths are unchanged; across parents each
+/// subtree's extents move from its old path (under the *other* node's
+/// current parent) to its new one.
+fn note_transpose(guide: &mut DataGuide, doc: &Document, a: NodeId, b: NodeId) {
+    let (Ok(pa), Ok(pb)) = (doc.parent(a), doc.parent(b)) else {
+        return;
+    };
+    let (Some(pa), Some(pb)) = (pa, pb) else {
+        return;
+    };
+    if pa == pb {
+        return;
+    }
+    // `a` now sits under `pa`; its pre-swap parent is `pb` (where `b` now
+    // sits), and vice versa.
+    move_between(guide, doc, a, pb, pa);
+    move_between(guide, doc, b, pa, pb);
+}
+
+/// Reverse of [`note_transpose`]: the document is still post-swap, and
+/// the imminent undo returns each node to the *other* node's current
+/// parent.
+fn note_untranspose(guide: &mut DataGuide, doc: &Document, a: NodeId, b: NodeId) {
+    let (Ok(pa), Ok(pb)) = (doc.parent(a), doc.parent(b)) else {
+        return;
+    };
+    let (Some(pa), Some(pb)) = (pa, pb) else {
+        return;
+    };
+    if pa == pb {
+        return;
+    }
+    move_between(guide, doc, a, pa, pb);
+    move_between(guide, doc, b, pb, pa);
+}
+
+fn move_between(
+    guide: &mut DataGuide,
+    doc: &Document,
+    node: NodeId,
+    old_parent: NodeId,
+    new_parent: NodeId,
+) {
+    let Ok(n) = doc.node(node) else { return };
+    let Some(sym) = n.kind.label() else { return };
+    let label = doc.interner().resolve(sym).to_owned();
+    if let Some(old_pgid) = classify_live(guide, doc, old_parent) {
+        if let Some(old_gid) = guide.child(old_pgid, &label, n.is_attribute()) {
+            retract_at(guide, doc, node, old_gid);
+        }
+    }
+    if let Some(new_pgid) = classify_live(guide, doc, new_parent) {
+        absorb_under(guide, doc, node, new_pgid, None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtx_xml::document::InsertPos;
+    use dtx_xml::parse;
+    use dtx_xpath::{apply_update, undo_update, Query, UpdateOp};
+
+    fn q(s: &str) -> Query {
+        Query::parse(s).unwrap()
+    }
+
+    /// The maintained guide must agree with a fresh rebuild on every
+    /// rebuilt path, and its extra (stale) paths must carry extent 0.
+    fn assert_consistent(maintained: &DataGuide, doc: &Document) {
+        let rebuilt = DataGuide::build(doc);
+        for id in 0..rebuilt.len() {
+            let gid = GuideId(id as u32);
+            let n = rebuilt.node(gid);
+            let path = rebuilt.label_path(gid);
+            // Find the same path in the maintained guide.
+            let mut cur = maintained.root();
+            for (depth, label) in path.iter().enumerate().skip(1) {
+                let is_attr = depth + 1 == path.len() && n.is_attr;
+                cur = maintained
+                    .child(cur, label, is_attr)
+                    .unwrap_or_else(|| panic!("path {path:?} missing from maintained guide"));
+            }
+            assert_eq!(
+                maintained.node(cur).extent,
+                n.extent,
+                "extent mismatch at {path:?}\nmaintained:\n{}\nrebuilt:\n{}",
+                maintained.render(),
+                rebuilt.render()
+            );
+        }
+        // Total live extent matches; everything beyond is zero-extent.
+        let total_m: u64 = (0..maintained.len())
+            .map(|i| maintained.node(GuideId(i as u32)).extent)
+            .sum();
+        let total_r: u64 = (0..rebuilt.len())
+            .map(|i| rebuilt.node(GuideId(i as u32)).extent)
+            .sum();
+        assert_eq!(total_m, total_r, "stale maintained paths must be extent 0");
+    }
+
+    fn doc() -> Document {
+        parse(
+            "<products>\
+               <product><id>4</id><name>Monitor</name><price>120.00</price></product>\
+               <product><id>14</id><name>Printer</name><price>55.50</price></product>\
+             </products>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_bumps_extents_and_grows_paths() {
+        let mut d = doc();
+        let mut g = DataGuide::build(&d);
+        let op = UpdateOp::Insert {
+            target: q("/products/product[id=4]"),
+            fragment: Fragment::elem(
+                "stock",
+                vec![
+                    Fragment::elem_text("warehouse", "A"),
+                    Fragment::attr("unit", "pcs"),
+                ],
+            ),
+            pos: InsertPos::Into,
+        };
+        let rec = apply_update(&mut d, &op).unwrap();
+        note_applied(&mut g, &d, &rec);
+        assert_consistent(&g, &d);
+        // Undo restores the old extents (stock path stays, extent 0).
+        note_undone(&mut g, &d, &rec);
+        undo_update(&mut d, &rec).unwrap();
+        assert_consistent(&g, &d);
+    }
+
+    #[test]
+    fn remove_decrements_without_dropping_paths() {
+        let mut d = doc();
+        let mut g = DataGuide::build(&d);
+        let before_len = g.len();
+        let op = UpdateOp::Remove {
+            target: q("/products/product[id=14]"),
+        };
+        let rec = apply_update(&mut d, &op).unwrap();
+        note_applied(&mut g, &d, &rec);
+        assert_consistent(&g, &d);
+        assert_eq!(g.len(), before_len, "guide nodes are never removed");
+        note_undone(&mut g, &d, &rec);
+        undo_update(&mut d, &rec).unwrap();
+        assert_consistent(&g, &d);
+    }
+
+    #[test]
+    fn remove_all_instances_reaches_zero_extent() {
+        let mut d = doc();
+        let mut g = DataGuide::build(&d);
+        let op = UpdateOp::Remove {
+            target: q("/products/product"),
+        };
+        let rec = apply_update(&mut d, &op).unwrap();
+        note_applied(&mut g, &d, &rec);
+        let product = g.child(g.root(), "product", false).unwrap();
+        assert_eq!(g.node(product).extent, 0);
+        assert_consistent(&g, &d);
+    }
+
+    #[test]
+    fn rename_moves_subtree_extents() {
+        let mut d = doc();
+        let mut g = DataGuide::build(&d);
+        let op = UpdateOp::Rename {
+            target: q("/products/product/name"),
+            new_label: "title".into(),
+        };
+        let rec = apply_update(&mut d, &op).unwrap();
+        note_applied(&mut g, &d, &rec);
+        assert_consistent(&g, &d);
+        note_undone(&mut g, &d, &rec);
+        undo_update(&mut d, &rec).unwrap();
+        assert_consistent(&g, &d);
+    }
+
+    #[test]
+    fn rename_whole_entities_moves_children_too() {
+        let mut d = doc();
+        let mut g = DataGuide::build(&d);
+        let op = UpdateOp::Rename {
+            target: q("/products/product[id=4]"),
+            new_label: "item".into(),
+        };
+        let rec = apply_update(&mut d, &op).unwrap();
+        note_applied(&mut g, &d, &rec);
+        assert_consistent(&g, &d);
+    }
+
+    #[test]
+    fn change_is_structurally_inert() {
+        let mut d = doc();
+        let mut g = DataGuide::build(&d);
+        let op = UpdateOp::Change {
+            target: q("/products/product/price"),
+            new_value: "0".into(),
+        };
+        let rec = apply_update(&mut d, &op).unwrap();
+        note_applied(&mut g, &d, &rec);
+        assert_consistent(&g, &d);
+    }
+
+    #[test]
+    fn same_parent_transpose_is_inert() {
+        let mut d = doc();
+        let mut g = DataGuide::build(&d);
+        let op = UpdateOp::Transpose {
+            a: q("/products/product[id=4]"),
+            b: q("/products/product[id=14]"),
+        };
+        let rec = apply_update(&mut d, &op).unwrap();
+        note_applied(&mut g, &d, &rec);
+        assert_consistent(&g, &d);
+    }
+
+    #[test]
+    fn cross_parent_transpose_moves_extents() {
+        let mut d = parse("<r><a><x><k>1</k></x></a><b><y/></b></r>").unwrap();
+        let mut g = DataGuide::build(&d);
+        let op = UpdateOp::Transpose {
+            a: q("/r/a/x"),
+            b: q("/r/b/y"),
+        };
+        let rec = apply_update(&mut d, &op).unwrap();
+        note_applied(&mut g, &d, &rec);
+        assert_consistent(&g, &d);
+        note_undone(&mut g, &d, &rec);
+        undo_update(&mut d, &rec).unwrap();
+        assert_consistent(&g, &d);
+    }
+}

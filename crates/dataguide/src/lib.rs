@@ -24,6 +24,11 @@
 //! Guide nodes are identified by dense [`GuideId`]s; node 0 is always the
 //! root. The paper's example numbers DataGuide nodes the same way (Fig. 5).
 
+pub mod incremental;
+pub mod stream;
+
+pub use stream::GuideBuilder;
+
 use dtx_xml::document::Fragment;
 use dtx_xml::{Document, NodeId, Symbol};
 use dtx_xpath::{Axis, NodeTest, Query};

@@ -65,8 +65,9 @@ impl DataManager for MemStore {
 
     fn put_raw(&mut self, name: &str, xml: &str) -> StorageResult<()> {
         // Validate eagerly so corrupt documents are rejected at load time,
-        // not at first transaction.
-        Document::parse(xml).map_err(|cause| StorageError::Corrupt {
+        // not at first transaction — via the streaming tokenizer, in
+        // O(element depth) memory, instead of building a throwaway tree.
+        dtx_xml::stream::validate(xml).map_err(|cause| StorageError::Corrupt {
             name: name.to_owned(),
             cause,
         })?;

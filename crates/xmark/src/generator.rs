@@ -1,4 +1,4 @@
-//! XMark-like auction-site document generator.
+//! XMark-like auction-site document generator — streaming.
 //!
 //! Generates the schema of the paper's Fig. 7 / the XMark benchmark:
 //! a `site` with `regions` (six continents of `item`s), `categories`,
@@ -6,13 +6,24 @@
 //! `closed_auctions`. Entity counts follow XMark's ratios and are scaled
 //! to an approximate **target byte size**, so experiments can sweep the
 //! base size exactly like §3.2.3 ("The size of the base varied between
-//! 50 MB and 200 MB" — we sweep a scaled-down range, see EXPERIMENTS.md).
+//! 50 MB and 200 MB" — see EXPERIMENTS.md for the scale-factor mapping).
+//!
+//! The generator is **event-based**: [`emit`] streams
+//! [`XmlEvent`]s entity by entity into any [`EventSink`] — a serializer,
+//! a tree builder, a DataGuide builder, a fragment splitter — without
+//! ever holding the whole base in memory. Its transient state is one
+//! entity's worth of strings, so paper-scale bases (40–200 MB) generate
+//! in O(1) memory beyond whatever the sink keeps. [`generate`] is the
+//! backward-compatible convenience that streams into an
+//! [`dtx_xml::XmlWriter`] and returns the serialized document.
 //!
 //! Every entity carries a numeric `<id>` child (the paper's §2.4 example
 //! uses the same convention) so workload predicates like
-//! `person[id=42]` are expressible in the DTX XPath subset.
+//! `person[id=42]` are expressible in the DTX XPath subset. Same seed ⇒
+//! identical event stream.
 
-use dtx_xml::Document;
+use dtx_xml::stream::{EventSink, XmlEvent, XmlWriter};
+use dtx_xml::{Document, XmlResult};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -32,8 +43,26 @@ impl XmarkConfig {
     }
 }
 
-/// A generated document plus its entity-id manifest (used by the workload
-/// generator to build predicates that actually select something).
+/// The entity-id manifest of a generated base: which ids exist, per
+/// entity kind. The workload generator draws predicates from this so
+/// queries select entities that actually exist. Size is O(entities) ids,
+/// not O(bytes) — the manifest is the only thing [`emit`] accumulates.
+#[derive(Debug, Clone, Default)]
+pub struct XmarkManifest {
+    /// Ids of generated persons.
+    pub person_ids: Vec<u64>,
+    /// Ids of generated items (across all regions).
+    pub item_ids: Vec<u64>,
+    /// Ids of generated open auctions.
+    pub open_auction_ids: Vec<u64>,
+    /// Ids of generated closed auctions.
+    pub closed_auction_ids: Vec<u64>,
+    /// Ids of generated categories.
+    pub category_ids: Vec<u64>,
+}
+
+/// A generated document plus its entity-id manifest (the materialized
+/// form; the streaming paths use [`emit`] directly).
 #[derive(Debug, Clone)]
 pub struct XmarkDoc {
     /// The serialized XML.
@@ -50,7 +79,8 @@ pub struct XmarkDoc {
     pub category_ids: Vec<u64>,
 }
 
-const REGIONS: [&str; 6] = [
+/// The six region elements, in document order.
+pub const REGIONS: [&str; 6] = [
     "africa",
     "asia",
     "australia",
@@ -99,9 +129,27 @@ const WORDS: [&str; 16] = [
 /// templates below; used to convert a byte target into entity counts.
 const BYTES_PER_UNIT: f64 = 330.0;
 
-/// Generates an XMark-like document of approximately
-/// [`XmarkConfig::target_bytes`] bytes.
-pub fn generate(config: XmarkConfig) -> XmarkDoc {
+// Small event-emission helpers (each call is O(its arguments)).
+
+fn start(sink: &mut impl EventSink, name: &str) -> XmlResult<()> {
+    sink.event(&XmlEvent::start(name.to_owned()))
+}
+
+fn end(sink: &mut impl EventSink, name: &str) -> XmlResult<()> {
+    sink.event(&XmlEvent::end(name.to_owned()))
+}
+
+fn leaf(sink: &mut impl EventSink, name: &str, value: impl ToString) -> XmlResult<()> {
+    start(sink, name)?;
+    sink.event(&XmlEvent::text(value.to_string()))?;
+    end(sink, name)
+}
+
+/// Streams an XMark-like base of approximately
+/// [`XmarkConfig::target_bytes`] serialized bytes into `sink`, entity by
+/// entity, and returns the id manifest. Never materializes the document:
+/// peak transient memory is one entity.
+pub fn emit<S: EventSink>(config: XmarkConfig, sink: &mut S) -> XmlResult<XmarkManifest> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     // XMark f=1 ratios: items 21750 : persons 25500 : open 12000 :
     // closed 9750 : categories 1000. Normalized per "unit".
@@ -118,82 +166,106 @@ pub fn generate(config: XmarkConfig) -> XmarkDoc {
         next_id += n as u64;
         ids
     };
-    let category_ids = take_id(n_categories);
-    let item_ids = take_id(n_items);
-    let person_ids = take_id(n_persons);
-    let open_auction_ids = take_id(n_open);
-    let closed_auction_ids = take_id(n_closed);
+    let manifest = XmarkManifest {
+        category_ids: take_id(n_categories),
+        item_ids: take_id(n_items),
+        person_ids: take_id(n_persons),
+        open_auction_ids: take_id(n_open),
+        closed_auction_ids: take_id(n_closed),
+    };
 
-    let mut xml = String::with_capacity(config.target_bytes + 4096);
-    xml.push_str("<site>");
+    start(sink, "site")?;
 
     // regions
-    xml.push_str("<regions>");
+    start(sink, "regions")?;
     for (r, region) in REGIONS.iter().enumerate() {
-        xml.push_str(&format!("<{region}>"));
-        for (i, &id) in item_ids.iter().enumerate() {
+        start(sink, region)?;
+        for (i, &id) in manifest.item_ids.iter().enumerate() {
             if i % REGIONS.len() == r {
-                push_item(&mut xml, id, &category_ids, &mut rng);
+                emit_item(sink, id, &manifest.category_ids, &mut rng)?;
             }
         }
-        xml.push_str(&format!("</{region}>"));
+        end(sink, region)?;
     }
-    xml.push_str("</regions>");
+    end(sink, "regions")?;
 
     // categories
-    xml.push_str("<categories>");
-    for &id in &category_ids {
-        xml.push_str(&format!(
-            "<category><id>{id}</id><name>{} {}</name><description>{}</description></category>",
-            pick(&WORDS, &mut rng),
-            pick(&WORDS, &mut rng),
-            sentence(&mut rng, 6),
-        ));
+    start(sink, "categories")?;
+    for &id in &manifest.category_ids {
+        start(sink, "category")?;
+        leaf(sink, "id", id)?;
+        leaf(
+            sink,
+            "name",
+            format!("{} {}", pick(&WORDS, &mut rng), pick(&WORDS, &mut rng)),
+        )?;
+        leaf(sink, "description", sentence(&mut rng, 6))?;
+        end(sink, "category")?;
     }
-    xml.push_str("</categories>");
+    end(sink, "categories")?;
 
     // people
-    xml.push_str("<people>");
-    for &id in &person_ids {
-        push_person(&mut xml, id, &mut rng);
+    start(sink, "people")?;
+    for &id in &manifest.person_ids {
+        emit_person(sink, id, &mut rng)?;
     }
-    xml.push_str("</people>");
+    end(sink, "people")?;
 
     // open_auctions
-    xml.push_str("<open_auctions>");
-    for &id in &open_auction_ids {
-        push_open_auction(&mut xml, id, &item_ids, &person_ids, &mut rng);
+    start(sink, "open_auctions")?;
+    for &id in &manifest.open_auction_ids {
+        emit_open_auction(sink, id, &manifest.item_ids, &manifest.person_ids, &mut rng)?;
     }
-    xml.push_str("</open_auctions>");
+    end(sink, "open_auctions")?;
 
     // closed_auctions
-    xml.push_str("<closed_auctions>");
-    for &id in &closed_auction_ids {
-        let seller = pick(&person_ids, &mut rng);
-        let buyer = pick(&person_ids, &mut rng);
-        let item = pick(&item_ids, &mut rng);
-        xml.push_str(&format!(
-            "<closed_auction><id>{id}</id><seller>{seller}</seller><buyer>{buyer}</buyer>\
-             <itemref>{item}</itemref><price>{}.{:02}</price><date>2009-{:02}-{:02}</date>\
-             <quantity>{}</quantity><annotation>{}</annotation></closed_auction>",
-            rng.gen_range(5..500),
-            rng.gen_range(0..100),
-            rng.gen_range(1..13),
-            rng.gen_range(1..29),
-            rng.gen_range(1..5),
-            sentence(&mut rng, 8),
-        ));
+    start(sink, "closed_auctions")?;
+    for &id in &manifest.closed_auction_ids {
+        let seller = *pick(&manifest.person_ids, &mut rng);
+        let buyer = *pick(&manifest.person_ids, &mut rng);
+        let item = *pick(&manifest.item_ids, &mut rng);
+        start(sink, "closed_auction")?;
+        leaf(sink, "id", id)?;
+        leaf(sink, "seller", seller)?;
+        leaf(sink, "buyer", buyer)?;
+        leaf(sink, "itemref", item)?;
+        leaf(
+            sink,
+            "price",
+            format!("{}.{:02}", rng.gen_range(5..500), rng.gen_range(0..100)),
+        )?;
+        leaf(
+            sink,
+            "date",
+            format!(
+                "2009-{:02}-{:02}",
+                rng.gen_range(1..13),
+                rng.gen_range(1..29)
+            ),
+        )?;
+        leaf(sink, "quantity", rng.gen_range(1..5))?;
+        leaf(sink, "annotation", sentence(&mut rng, 8))?;
+        end(sink, "closed_auction")?;
     }
-    xml.push_str("</closed_auctions>");
+    end(sink, "closed_auctions")?;
 
-    xml.push_str("</site>");
+    end(sink, "site")?;
+    Ok(manifest)
+}
+
+/// Generates an XMark-like document of approximately
+/// [`XmarkConfig::target_bytes`] bytes by streaming [`emit`] into an
+/// [`XmlWriter`].
+pub fn generate(config: XmarkConfig) -> XmarkDoc {
+    let mut writer = XmlWriter::with_capacity(config.target_bytes + 4096);
+    let manifest = emit(config, &mut writer).expect("generator emits well-formed events");
     XmarkDoc {
-        xml,
-        person_ids,
-        item_ids,
-        open_auction_ids,
-        closed_auction_ids,
-        category_ids,
+        xml: writer.finish(),
+        person_ids: manifest.person_ids,
+        item_ids: manifest.item_ids,
+        open_auction_ids: manifest.open_auction_ids,
+        closed_auction_ids: manifest.closed_auction_ids,
+        category_ids: manifest.category_ids,
     }
 }
 
@@ -212,65 +284,102 @@ fn sentence(rng: &mut StdRng, n: usize) -> String {
     s
 }
 
-fn push_item(xml: &mut String, id: u64, categories: &[u64], rng: &mut StdRng) {
-    let cat = pick(categories, rng);
-    xml.push_str(&format!(
-        "<item><id>{id}</id><name>{} {}</name><location>{}</location><quantity>{}</quantity>\
-         <payment>Creditcard</payment><description>{}</description><shipping>Will ship \
-         internationally</shipping><incategory>{cat}</incategory></item>",
-        pick(&WORDS, rng),
-        pick(&WORDS, rng),
-        pick(&CITIES, rng),
-        rng.gen_range(1..10),
-        sentence(rng, 10),
-    ));
+fn emit_item(
+    sink: &mut impl EventSink,
+    id: u64,
+    categories: &[u64],
+    rng: &mut StdRng,
+) -> XmlResult<()> {
+    let cat = *pick(categories, rng);
+    start(sink, "item")?;
+    leaf(sink, "id", id)?;
+    leaf(
+        sink,
+        "name",
+        format!("{} {}", pick(&WORDS, rng), pick(&WORDS, rng)),
+    )?;
+    leaf(sink, "location", pick(&CITIES, rng))?;
+    leaf(sink, "quantity", rng.gen_range(1..10))?;
+    leaf(sink, "payment", "Creditcard")?;
+    leaf(sink, "description", sentence(rng, 10))?;
+    leaf(sink, "shipping", "Will ship internationally")?;
+    leaf(sink, "incategory", cat)?;
+    end(sink, "item")
 }
 
-fn push_person(xml: &mut String, id: u64, rng: &mut StdRng) {
+fn emit_person(sink: &mut impl EventSink, id: u64, rng: &mut StdRng) -> XmlResult<()> {
     let name = format!("{} {}", pick(&FIRST_NAMES, rng), pick(&LAST_NAMES, rng));
     let email = format!("p{id}@example.org");
     let age = rng.gen_range(18..80);
-    xml.push_str(&format!(
-        "<person><id>{id}</id><name>{name}</name><emailaddress>{email}</emailaddress>\
-         <phone>+55 85 9{:07}</phone><address><street>{} St</street><city>{}</city>\
-         <country>Brazil</country><zipcode>{}</zipcode></address>\
-         <profile><interest>{}</interest><education>Graduate</education><age>{age}</age>\
-         <income>{}</income></profile></person>",
-        rng.gen_range(0..9_999_999),
-        pick(&WORDS, rng),
-        pick(&CITIES, rng),
-        rng.gen_range(10_000..99_999),
-        pick(&WORDS, rng),
-        rng.gen_range(20_000..120_000),
-    ));
+    start(sink, "person")?;
+    leaf(sink, "id", id)?;
+    leaf(sink, "name", name)?;
+    leaf(sink, "emailaddress", email)?;
+    leaf(
+        sink,
+        "phone",
+        format!("+55 85 9{:07}", rng.gen_range(0..9_999_999)),
+    )?;
+    start(sink, "address")?;
+    leaf(sink, "street", format!("{} St", pick(&WORDS, rng)))?;
+    leaf(sink, "city", pick(&CITIES, rng))?;
+    leaf(sink, "country", "Brazil")?;
+    leaf(sink, "zipcode", rng.gen_range(10_000..99_999))?;
+    end(sink, "address")?;
+    start(sink, "profile")?;
+    leaf(sink, "interest", pick(&WORDS, rng))?;
+    leaf(sink, "education", "Graduate")?;
+    leaf(sink, "age", age)?;
+    leaf(sink, "income", rng.gen_range(20_000..120_000))?;
+    end(sink, "profile")?;
+    end(sink, "person")
 }
 
-fn push_open_auction(xml: &mut String, id: u64, items: &[u64], persons: &[u64], rng: &mut StdRng) {
-    let item = pick(items, rng);
-    let seller = pick(persons, rng);
+fn emit_open_auction(
+    sink: &mut impl EventSink,
+    id: u64,
+    items: &[u64],
+    persons: &[u64],
+    rng: &mut StdRng,
+) -> XmlResult<()> {
+    let item = *pick(items, rng);
+    let seller = *pick(persons, rng);
     let n_bidders = rng.gen_range(1..4);
     let initial = rng.gen_range(1..100);
-    xml.push_str(&format!(
-        "<open_auction><id>{id}</id><initial>{initial}.00</initial><reserve>{}.00</reserve>",
-        initial + rng.gen_range(1..50),
-    ));
+    start(sink, "open_auction")?;
+    leaf(sink, "id", id)?;
+    leaf(sink, "initial", format!("{initial}.00"))?;
+    leaf(
+        sink,
+        "reserve",
+        format!("{}.00", initial + rng.gen_range(1..50)),
+    )?;
     let mut current = initial as f64;
     for _ in 0..n_bidders {
-        let bidder = pick(persons, rng);
+        let bidder = *pick(persons, rng);
         let increase = rng.gen_range(1..20) as f64;
         current += increase;
-        xml.push_str(&format!(
-            "<bidder><date>2009-{:02}-{:02}</date><personref>{bidder}</personref>\
-             <increase>{increase:.2}</increase></bidder>",
-            rng.gen_range(1..13),
-            rng.gen_range(1..29),
-        ));
+        start(sink, "bidder")?;
+        leaf(
+            sink,
+            "date",
+            format!(
+                "2009-{:02}-{:02}",
+                rng.gen_range(1..13),
+                rng.gen_range(1..29)
+            ),
+        )?;
+        leaf(sink, "personref", bidder)?;
+        leaf(sink, "increase", format!("{increase:.2}"))?;
+        end(sink, "bidder")?;
     }
-    xml.push_str(&format!(
-        "<current>{current:.2}</current><itemref>{item}</itemref><seller>{seller}</seller>\
-         <quantity>1</quantity><type>Regular</type><annotation>{}</annotation></open_auction>",
-        sentence(rng, 6),
-    ));
+    leaf(sink, "current", format!("{current:.2}"))?;
+    leaf(sink, "itemref", item)?;
+    leaf(sink, "seller", seller)?;
+    leaf(sink, "quantity", 1)?;
+    leaf(sink, "type", "Regular")?;
+    leaf(sink, "annotation", sentence(rng, 6))?;
+    end(sink, "open_auction")
 }
 
 impl XmarkDoc {
@@ -288,6 +397,7 @@ impl XmarkDoc {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dtx_xml::stream::TreeBuilder;
     use dtx_xpath::{eval, Query};
 
     #[test]
@@ -367,5 +477,39 @@ mod tests {
         let large = generate(XmarkConfig::sized(200_000, 9)).byte_size();
         let ratio = large as f64 / small as f64;
         assert!(ratio > 2.5 && ratio < 6.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn emitted_events_equal_serialized_and_reparsed_tree() {
+        // The streaming-equivalence core: building the tree directly from
+        // the generator's events gives the same document as serializing
+        // the events and parsing the text.
+        let config = XmarkConfig::sized(30_000, 13);
+        let mut builder = TreeBuilder::new();
+        let direct_manifest = emit(config, &mut builder).unwrap();
+        let direct = builder.finish().unwrap();
+        let via_text = generate(config);
+        assert_eq!(direct.to_xml(), via_text.xml);
+        assert_eq!(direct_manifest.person_ids, via_text.person_ids);
+        direct.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn emit_streams_guide_and_tree_in_one_pass() {
+        use dtx_dataguide::{DataGuide, GuideBuilder};
+        use dtx_xml::stream::Tee;
+        let config = XmarkConfig::sized(20_000, 4);
+        let mut tree = TreeBuilder::new();
+        let mut guide = GuideBuilder::new();
+        emit(config, &mut Tee::new(&mut tree, &mut guide)).unwrap();
+        let doc = tree.finish().unwrap();
+        let streamed_guide = guide.finish().unwrap();
+        let rebuilt = DataGuide::build(&doc);
+        assert_eq!(streamed_guide.len(), rebuilt.len());
+        for i in 0..rebuilt.len() {
+            let gid = dtx_dataguide::GuideId(i as u32);
+            assert_eq!(streamed_guide.node(gid).extent, rebuilt.node(gid).extent);
+            assert_eq!(streamed_guide.node(gid).label, rebuilt.node(gid).label);
+        }
     }
 }

@@ -26,12 +26,14 @@
 
 pub mod fragment;
 pub mod generator;
+pub mod stream;
 pub mod tester;
 pub mod workload;
 
 pub use fragment::{
     allocate, load_allocation, Allocation, Fragmented, ReplicationMode, LOGICAL_DOC,
 };
-pub use generator::{XmarkConfig, XmarkDoc};
+pub use generator::{emit, XmarkConfig, XmarkDoc, XmarkManifest};
+pub use stream::{manifests_of, stream_fragments, BuiltFragment, FragmentSplitter};
 pub use tester::{run_workload, TestReport};
 pub use workload::{Workload, WorkloadConfig};

@@ -1,0 +1,406 @@
+//! Streaming fragmentation: base events → per-site documents + guides,
+//! without ever materializing the whole base.
+//!
+//! The tree fragmenter ([`crate::fragment::fragment_doc`]) parses the
+//! full serialized base, then re-serializes subtrees into per-fragment
+//! strings — three full-size materializations before a single site holds
+//! its data. At the paper's 50–200 MB base sizes (§3.2.3) that transient
+//! footprint is what capped the reproduction at 1:100 scale.
+//!
+//! [`FragmentSplitter`] is an [`EventSink`] instead: it consumes the
+//! generator's event stream once and routes each *entity* subtree
+//! (item / person / auction / category) to the currently smallest
+//! fragment (the same greedy size balancing as the tree fragmenter,
+//! "each generated fragment has a similar size"), while the structural
+//! skeleton (`site`, section elements, the six regions) goes to every
+//! fragment so all query paths stay valid everywhere. Each fragment
+//! builds its [`Document`] **and** its [`DataGuide`] in the same pass,
+//! so a site's replica is query- and lock-ready the moment the stream
+//! ends — no parse, no `DataGuide::build`, no serialized intermediary.
+//!
+//! Peak transient memory is the fragments themselves (which are about to
+//! be loaded anyway) plus O(depth) splitter state.
+
+use crate::fragment::{Fragment, Fragmented};
+use crate::generator::{emit, XmarkConfig, XmarkManifest};
+use dtx_dataguide::{DataGuide, GuideBuilder};
+use dtx_xml::stream::{EventSink, TreeBuilder, XmlEvent};
+use dtx_xml::{Document, XmlResult};
+
+/// One streamed fragment: the in-memory document, its DataGuide (built in
+/// the same pass) and the entity ids it received.
+#[derive(Debug)]
+pub struct BuiltFragment {
+    /// Fragment name ("part0", "part1", ...).
+    pub name: String,
+    /// The fragment's document tree.
+    pub doc: Document,
+    /// The fragment's DataGuide, built during the same event pass.
+    pub guide: DataGuide,
+    /// Approximate serialized size in bytes (balance bookkeeping).
+    pub bytes: usize,
+    /// Person ids routed to this fragment.
+    pub person_ids: Vec<u64>,
+    /// Open-auction ids routed to this fragment.
+    pub open_auction_ids: Vec<u64>,
+    /// Item ids routed to this fragment.
+    pub item_ids: Vec<u64>,
+    /// Category ids routed to this fragment.
+    pub category_ids: Vec<u64>,
+}
+
+impl BuiltFragment {
+    /// The id-manifest view the workload generator consumes (no XML text
+    /// — the streaming path never produces one).
+    pub fn manifest_fragment(&self) -> Fragment {
+        Fragment {
+            name: self.name.clone(),
+            xml: String::new(),
+            person_ids: self.person_ids.clone(),
+            open_auction_ids: self.open_auction_ids.clone(),
+            item_ids: self.item_ids.clone(),
+            category_ids: self.category_ids.clone(),
+        }
+    }
+}
+
+/// Adapts streamed fragments into the [`Fragmented`] manifest shape the
+/// workload generator takes (`xml` left empty; workload generation reads
+/// only the id vectors).
+pub fn manifests_of(fragments: &[BuiltFragment]) -> Fragmented {
+    Fragmented {
+        fragments: fragments
+            .iter()
+            .map(BuiltFragment::manifest_fragment)
+            .collect(),
+    }
+}
+
+/// Which id vector an entity belongs to, by section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Regions,
+    Categories,
+    People,
+    OpenAuctions,
+    ClosedAuctions,
+    Other,
+}
+
+impl Section {
+    fn of(label: &str) -> Section {
+        match label {
+            "regions" => Section::Regions,
+            "categories" => Section::Categories,
+            "people" => Section::People,
+            "open_auctions" => Section::OpenAuctions,
+            "closed_auctions" => Section::ClosedAuctions,
+            _ => Section::Other,
+        }
+    }
+}
+
+struct FragBuild {
+    tree: TreeBuilder,
+    guide: GuideBuilder,
+    bytes: usize,
+    person_ids: Vec<u64>,
+    open_auction_ids: Vec<u64>,
+    item_ids: Vec<u64>,
+    category_ids: Vec<u64>,
+}
+
+impl FragBuild {
+    fn new() -> Self {
+        FragBuild {
+            tree: TreeBuilder::new(),
+            guide: GuideBuilder::new(),
+            bytes: 0,
+            person_ids: Vec::new(),
+            open_auction_ids: Vec::new(),
+            item_ids: Vec::new(),
+            category_ids: Vec::new(),
+        }
+    }
+
+    fn event(&mut self, ev: &XmlEvent<'_>) -> XmlResult<()> {
+        self.tree.event(ev)?;
+        self.guide.event(ev)
+    }
+}
+
+/// Routes a base event stream into `n` size-balanced fragments; see the
+/// module docs.
+pub struct FragmentSplitter {
+    frags: Vec<FragBuild>,
+    /// Element depth of the *next* StartElement (= open elements so far).
+    depth: usize,
+    /// Current top-level section.
+    section: Section,
+    /// Target fragment of the entity currently being routed, with the
+    /// depth at which the entity opened.
+    target: Option<(usize, usize)>,
+    /// Capturing the text of the entity's `<id>` child.
+    id_text: Option<String>,
+}
+
+impl FragmentSplitter {
+    /// A splitter over `n` fragments (`n ≥ 1`).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one fragment");
+        FragmentSplitter {
+            frags: (0..n).map(|_| FragBuild::new()).collect(),
+            depth: 0,
+            section: Section::Other,
+            target: None,
+            id_text: None,
+        }
+    }
+
+    fn smallest(&self) -> usize {
+        self.frags
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, f)| f.bytes)
+            .map(|(i, _)| i)
+            .expect("at least one fragment")
+    }
+
+    fn broadcast(&mut self, ev: &XmlEvent<'_>) -> XmlResult<()> {
+        for f in &mut self.frags {
+            f.event(ev)?;
+        }
+        Ok(())
+    }
+
+    fn record_entity_id(&mut self, target: usize, id: u64) {
+        let f = &mut self.frags[target];
+        match self.section {
+            Section::Regions => f.item_ids.push(id),
+            Section::Categories => f.category_ids.push(id),
+            Section::People => f.person_ids.push(id),
+            Section::OpenAuctions => f.open_auction_ids.push(id),
+            Section::ClosedAuctions | Section::Other => {}
+        }
+    }
+
+    /// Finishes every fragment: documents and guides become final.
+    pub fn finish(self) -> XmlResult<Vec<BuiltFragment>> {
+        self.frags
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| {
+                Ok(BuiltFragment {
+                    name: format!("part{i}"),
+                    doc: f.tree.finish()?,
+                    guide: f.guide.finish()?,
+                    bytes: f.bytes,
+                    person_ids: f.person_ids,
+                    open_auction_ids: f.open_auction_ids,
+                    item_ids: f.item_ids,
+                    category_ids: f.category_ids,
+                })
+            })
+            .collect()
+    }
+}
+
+impl EventSink for FragmentSplitter {
+    fn event(&mut self, ev: &XmlEvent<'_>) -> XmlResult<()> {
+        match ev {
+            XmlEvent::StartElement { name } => {
+                if let Some((target, entity_depth)) = self.target {
+                    // Inside an entity: route to its fragment.
+                    self.frags[target].bytes += ev.byte_size();
+                    self.frags[target].event(ev)?;
+                    // The entity's direct `<id>` child feeds the manifest.
+                    if self.depth == entity_depth + 1 && name == "id" && self.id_text.is_none() {
+                        self.id_text = Some(String::new());
+                    }
+                } else {
+                    let is_entity = match self.section {
+                        // Under regions the entities sit one level deeper
+                        // (site/regions/<region>/item).
+                        Section::Regions => self.depth == 3,
+                        Section::Other => false,
+                        _ => self.depth == 2,
+                    };
+                    if self.depth == 1 {
+                        self.section = Section::of(name);
+                    }
+                    if is_entity {
+                        let t = self.smallest();
+                        self.target = Some((t, self.depth));
+                        self.frags[t].bytes += ev.byte_size();
+                        self.frags[t].event(ev)?;
+                    } else {
+                        // Structural skeleton: every fragment keeps it.
+                        self.broadcast(ev)?;
+                    }
+                }
+                self.depth += 1;
+            }
+            XmlEvent::Attribute { .. } => match self.target {
+                Some((target, _)) => {
+                    self.frags[target].bytes += ev.byte_size();
+                    self.frags[target].event(ev)?;
+                }
+                None => self.broadcast(ev)?,
+            },
+            XmlEvent::Text { value } => match self.target {
+                Some((target, _)) => {
+                    if let Some(buf) = &mut self.id_text {
+                        buf.push_str(value);
+                    }
+                    self.frags[target].bytes += ev.byte_size();
+                    self.frags[target].event(ev)?;
+                }
+                None => self.broadcast(ev)?,
+            },
+            XmlEvent::EndElement { name } => {
+                self.depth -= 1;
+                match self.target {
+                    Some((target, entity_depth)) => {
+                        self.frags[target].bytes += ev.byte_size();
+                        self.frags[target].event(ev)?;
+                        if self.depth == entity_depth + 1 && name == "id" {
+                            if let Some(buf) = self.id_text.take() {
+                                if let Ok(id) = buf.trim().parse::<u64>() {
+                                    self.record_entity_id(target, id);
+                                }
+                            }
+                        }
+                        if self.depth == entity_depth {
+                            // Entity closed; next entity re-picks a target.
+                            self.target = None;
+                        }
+                    }
+                    None => {
+                        if self.depth == 1 {
+                            self.section = Section::Other;
+                        }
+                        self.broadcast(ev)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Generates an XMark base of `config` size and splits it into `n`
+/// size-balanced fragments **in one streaming pass**: no base string, no
+/// re-parse; each fragment's document and DataGuide are ready on return.
+/// Returns the fragments and the full-base id manifest.
+pub fn stream_fragments(
+    config: XmarkConfig,
+    n: usize,
+) -> XmlResult<(Vec<BuiltFragment>, XmarkManifest)> {
+    let mut splitter = FragmentSplitter::new(n);
+    let manifest = emit(config, &mut splitter)?;
+    Ok((splitter.finish()?, manifest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::fragment_doc;
+    use crate::generator::generate;
+    use dtx_xpath::{eval, Query};
+
+    fn q(s: &str) -> Query {
+        Query::parse(s).unwrap()
+    }
+
+    #[test]
+    fn streamed_fragments_match_tree_fragmenter() {
+        // Same config, same seed: the streaming splitter and the tree
+        // fragmenter partition the same entities the same way (identical
+        // greedy balancing), producing equal documents.
+        let config = XmarkConfig::sized(120_000, 11);
+        let (streamed, _) = stream_fragments(config, 4).unwrap();
+        let tree = fragment_doc(&generate(config), 4);
+        assert_eq!(streamed.len(), tree.fragments.len());
+        for (s, t) in streamed.iter().zip(&tree.fragments) {
+            let t_doc = Document::parse(&t.xml).unwrap();
+            assert_eq!(s.doc.to_xml(), t_doc.to_xml(), "{}", s.name);
+            assert_eq!(s.person_ids, t.person_ids, "{}", s.name);
+            assert_eq!(s.item_ids, t.item_ids, "{}", s.name);
+            assert_eq!(s.open_auction_ids, t.open_auction_ids, "{}", s.name);
+            assert_eq!(s.category_ids, t.category_ids, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn streamed_guides_match_rebuilds() {
+        let (frags, _) = stream_fragments(XmarkConfig::sized(60_000, 5), 3).unwrap();
+        for f in &frags {
+            let rebuilt = DataGuide::build(&f.doc);
+            assert_eq!(f.guide.len(), rebuilt.len(), "{}", f.name);
+            for i in 0..rebuilt.len() {
+                let gid = dtx_dataguide::GuideId(i as u32);
+                assert_eq!(
+                    f.guide.node(gid).extent,
+                    rebuilt.node(gid).extent,
+                    "{} node {}",
+                    f.name,
+                    i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fragments_are_balanced_and_schema_complete() {
+        let (frags, manifest) = stream_fragments(XmarkConfig::sized(120_000, 11), 4).unwrap();
+        let max = frags.iter().map(|f| f.bytes).max().unwrap();
+        let min = frags.iter().map(|f| f.bytes).min().unwrap().max(1);
+        assert!(
+            (max as f64 / min as f64) < 1.35,
+            "balance ratio {}",
+            max as f64 / min as f64
+        );
+        // Full skeleton present even if a section landed empty.
+        for f in &frags {
+            for path in [
+                "/site/regions/africa",
+                "/site/people",
+                "/site/open_auctions",
+            ] {
+                assert_eq!(
+                    eval(&f.doc, &q(path)).len(),
+                    1,
+                    "{path} missing in {}",
+                    f.name
+                );
+            }
+            f.doc.check_integrity().unwrap();
+        }
+        // No entity lost or duplicated.
+        let mut person_ids: Vec<u64> = frags.iter().flat_map(|f| f.person_ids.clone()).collect();
+        person_ids.sort();
+        let mut expected = manifest.person_ids.clone();
+        expected.sort();
+        assert_eq!(person_ids, expected);
+    }
+
+    #[test]
+    fn manifest_view_feeds_workload_generation() {
+        let (frags, _) = stream_fragments(XmarkConfig::sized(60_000, 21), 4).unwrap();
+        let manifests = manifests_of(&frags);
+        let w =
+            crate::workload::generate(crate::WorkloadConfig::with_updates(5, 40, 3), &manifests);
+        assert_eq!(w.total_txns(), 25);
+        assert!(w.update_txns() > 0);
+    }
+
+    #[test]
+    fn single_fragment_keeps_everything() {
+        let config = XmarkConfig::sized(40_000, 9);
+        let (frags, manifest) = stream_fragments(config, 1).unwrap();
+        assert_eq!(
+            eval(&frags[0].doc, &q("/site/people/person")).len(),
+            manifest.person_ids.len()
+        );
+    }
+}

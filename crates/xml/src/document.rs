@@ -343,6 +343,42 @@ impl Document {
         id
     }
 
+    fn append_node(&mut self, parent: NodeId, node: Node) -> XmlResult<NodeId> {
+        if !self.node(parent)?.is_element() {
+            return Err(XmlError::KindMismatch {
+                expected: "element",
+                found: self.node(parent)?.kind.kind_name(),
+            });
+        }
+        let id = self.alloc(node);
+        self.node_mut(id)?.parent = Some(parent);
+        self.node_mut(parent)?.children.push(id);
+        Ok(id)
+    }
+
+    /// Appends a child element as the last child of `parent` (the
+    /// streaming-ingest fast path: no [`Fragment`] intermediary).
+    pub fn append_element(&mut self, parent: NodeId, label: &str) -> XmlResult<NodeId> {
+        let sym = self.interner.intern(label);
+        self.append_node(parent, Node::element(sym))
+    }
+
+    /// Appends an attribute node to `parent` (streaming-ingest fast path).
+    pub fn append_attribute(
+        &mut self,
+        parent: NodeId,
+        label: &str,
+        value: String,
+    ) -> XmlResult<NodeId> {
+        let sym = self.interner.intern(label);
+        self.append_node(parent, Node::attribute(sym, value))
+    }
+
+    /// Appends a text node to `parent` (streaming-ingest fast path).
+    pub fn append_text(&mut self, parent: NodeId, value: String) -> XmlResult<NodeId> {
+        self.append_node(parent, Node::text(value))
+    }
+
     // ----------------------------------------------------------------
     // The five XDGL update operations
     // ----------------------------------------------------------------

@@ -28,6 +28,7 @@ pub mod intern;
 pub mod node;
 pub mod parser;
 pub mod serializer;
+pub mod stream;
 
 pub use document::{Document, Fragment, InsertPos, Removed};
 pub use error::{XmlError, XmlResult};
@@ -35,3 +36,4 @@ pub use intern::{Interner, Symbol};
 pub use node::{Node, NodeId, NodeKind};
 pub use parser::parse;
 pub use serializer::Serializer;
+pub use stream::{EventSink, TreeBuilder, XmlEvent, XmlTokenizer, XmlWriter};

@@ -1,358 +1,37 @@
-//! A small, dependency-free XML parser.
+//! XML parsing: the tree-building consumer of the streaming tokenizer.
 //!
 //! Covers the subset that XMark-style documents and the paper's examples
 //! use: elements, attributes, character data, CDATA sections, comments,
 //! processing instructions, an XML declaration, and the five predefined
 //! entities (`&lt; &gt; &amp; &apos; &quot;`) plus numeric character
-//! references. Namespaces are treated lexically (prefixes stay part of the
-//! label), DTDs are skipped, and mixed content is preserved.
+//! references (restricted to valid XML characters). Namespaces are
+//! treated lexically (prefixes stay part of the label), DTDs are skipped,
+//! and mixed content is preserved.
 //!
-//! The parser is a single-pass recursive-descent scanner over the input
-//! bytes; it allocates only for labels (interned once) and text values.
+//! Since the streaming ingestion subsystem landed, this module is one
+//! line of composition: [`parse`] pumps [`crate::stream::XmlTokenizer`]
+//! into [`crate::stream::TreeBuilder`]. The historical recursive-descent
+//! parser is gone; every consumer of parsed trees rides the same event
+//! pipeline the streaming paths use, so tokenizer fixes (CDATA, comment,
+//! character-reference edge cases) apply everywhere at once.
 
 use crate::document::Document;
-use crate::error::{XmlError, XmlResult};
-use crate::node::{Node, NodeId};
+use crate::error::XmlResult;
+use crate::stream::{pump, TreeBuilder, XmlTokenizer};
 
-/// Parses an XML string into a [`Document`].
+/// Parses an XML string into a [`Document`] by running the streaming
+/// tokenizer into a tree-building event sink.
 pub fn parse(input: &str) -> XmlResult<Document> {
-    Parser::new(input).document()
-}
-
-struct Parser<'a> {
-    input: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(input: &'a str) -> Self {
-        Parser {
-            input: input.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn err(&self, message: impl Into<String>) -> XmlError {
-        XmlError::Parse {
-            offset: self.pos,
-            message: message.into(),
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.input.get(self.pos).copied()
-    }
-
-    fn bump(&mut self) -> Option<u8> {
-        let b = self.peek()?;
-        self.pos += 1;
-        Some(b)
-    }
-
-    fn starts_with(&self, s: &str) -> bool {
-        self.input[self.pos..].starts_with(s.as_bytes())
-    }
-
-    fn eat(&mut self, s: &str) -> bool {
-        if self.starts_with(s) {
-            self.pos += s.len();
-            true
-        } else {
-            false
-        }
-    }
-
-    fn expect(&mut self, s: &str) -> XmlResult<()> {
-        if self.eat(s) {
-            Ok(())
-        } else {
-            Err(self.err(format!("expected {s:?}")))
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
-            self.pos += 1;
-        }
-    }
-
-    /// Skips misc items allowed outside the root: whitespace, comments,
-    /// PIs, the XML declaration, and a DOCTYPE.
-    fn skip_misc(&mut self) -> XmlResult<()> {
-        loop {
-            self.skip_ws();
-            if self.starts_with("<?") {
-                self.skip_until("?>")?;
-            } else if self.starts_with("<!--") {
-                self.skip_until("-->")?;
-            } else if self.starts_with("<!DOCTYPE") {
-                self.skip_doctype()?;
-            } else {
-                return Ok(());
-            }
-        }
-    }
-
-    fn skip_until(&mut self, end: &str) -> XmlResult<()> {
-        while self.pos < self.input.len() {
-            if self.eat(end) {
-                return Ok(());
-            }
-            self.pos += 1;
-        }
-        Err(self.err(format!("unterminated construct, expected {end:?}")))
-    }
-
-    fn skip_doctype(&mut self) -> XmlResult<()> {
-        // Skip to the matching '>' accounting for an optional [...] block.
-        let mut depth = 0usize;
-        while let Some(b) = self.bump() {
-            match b {
-                b'[' => depth += 1,
-                b']' => depth = depth.saturating_sub(1),
-                b'>' if depth == 0 => return Ok(()),
-                _ => {}
-            }
-        }
-        Err(self.err("unterminated DOCTYPE"))
-    }
-
-    fn document(&mut self) -> XmlResult<Document> {
-        self.skip_misc()?;
-        if self.peek() != Some(b'<') {
-            return Err(self.err("expected root element"));
-        }
-        let doc = self.root_element()?;
-        self.skip_misc()?;
-        if self.pos != self.input.len() {
-            return Err(self.err("trailing content after root element"));
-        }
-        Ok(doc)
-    }
-
-    fn name(&mut self) -> XmlResult<&'a str> {
-        let start = self.pos;
-        while let Some(b) = self.peek() {
-            let ok = b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':');
-            if !ok {
-                break;
-            }
-            self.pos += 1;
-        }
-        if self.pos == start {
-            return Err(self.err("expected a name"));
-        }
-        // Safety: we only advanced over ASCII name bytes.
-        Ok(std::str::from_utf8(&self.input[start..self.pos]).expect("ascii name"))
-    }
-
-    fn attr_value(&mut self) -> XmlResult<String> {
-        let quote = self
-            .bump()
-            .filter(|&q| q == b'"' || q == b'\'')
-            .ok_or_else(|| self.err("expected quoted attribute value"))?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.err("unterminated attribute value")),
-                Some(q) if q == quote => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'&') => out.push(self.entity()?),
-                Some(_) => {
-                    let start = self.pos;
-                    while let Some(b) = self.peek() {
-                        if b == quote || b == b'&' {
-                            break;
-                        }
-                        self.pos += 1;
-                    }
-                    out.push_str(
-                        std::str::from_utf8(&self.input[start..self.pos])
-                            .map_err(|_| self.err("invalid UTF-8 in attribute value"))?,
-                    );
-                }
-            }
-        }
-    }
-
-    fn entity(&mut self) -> XmlResult<char> {
-        debug_assert_eq!(self.peek(), Some(b'&'));
-        self.pos += 1;
-        let start = self.pos;
-        while let Some(b) = self.peek() {
-            if b == b';' {
-                let name = std::str::from_utf8(&self.input[start..self.pos])
-                    .map_err(|_| self.err("invalid entity name"))?;
-                self.pos += 1;
-                return match name {
-                    "lt" => Ok('<'),
-                    "gt" => Ok('>'),
-                    "amp" => Ok('&'),
-                    "apos" => Ok('\''),
-                    "quot" => Ok('"'),
-                    _ if name.starts_with("#x") || name.starts_with("#X") => {
-                        u32::from_str_radix(&name[2..], 16)
-                            .ok()
-                            .and_then(char::from_u32)
-                            .ok_or_else(|| self.err(format!("bad char reference &{name};")))
-                    }
-                    _ if name.starts_with('#') => name[1..]
-                        .parse::<u32>()
-                        .ok()
-                        .and_then(char::from_u32)
-                        .ok_or_else(|| self.err(format!("bad char reference &{name};"))),
-                    _ => Err(self.err(format!("unknown entity &{name};"))),
-                };
-            }
-            self.pos += 1;
-        }
-        Err(self.err("unterminated entity reference"))
-    }
-
-    fn root_element(&mut self) -> XmlResult<Document> {
-        self.expect("<")?;
-        let label = self.name()?.to_owned();
-        let mut doc = Document::new(&label);
-        let root = doc.root();
-        self.element_rest(&mut doc, root)?;
-        Ok(doc)
-    }
-
-    /// Parses attributes + content + end tag of the element whose start tag
-    /// name has just been consumed, attaching everything under `elem`.
-    fn element_rest(&mut self, doc: &mut Document, elem: NodeId) -> XmlResult<()> {
-        // Attributes.
-        loop {
-            self.skip_ws();
-            match self.peek() {
-                Some(b'/') => {
-                    self.expect("/>")?;
-                    return Ok(());
-                }
-                Some(b'>') => {
-                    self.pos += 1;
-                    break;
-                }
-                Some(_) => {
-                    let name = self.name()?.to_owned();
-                    self.skip_ws();
-                    self.expect("=")?;
-                    self.skip_ws();
-                    let value = self.attr_value()?;
-                    let sym = doc.intern(&name);
-                    attach(doc, elem, Node::attribute(sym, value))?;
-                }
-                None => return Err(self.err("unterminated start tag")),
-            }
-        }
-        // Content.
-        self.content(doc, elem)?;
-        // End tag: `content` stops right before `</`.
-        self.expect("</")?;
-        let end_name = self.name()?;
-        let expected = doc.label_str(elem)?.to_owned();
-        if end_name != expected {
-            return Err(self.err(format!(
-                "mismatched end tag: expected </{expected}>, found </{end_name}>"
-            )));
-        }
-        self.skip_ws();
-        self.expect(">")?;
-        Ok(())
-    }
-
-    fn content(&mut self, doc: &mut Document, parent: NodeId) -> XmlResult<()> {
-        let mut text = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.err("unexpected end of input inside element")),
-                Some(b'<') => {
-                    if self.starts_with("</") {
-                        flush_text(doc, parent, &mut text)?;
-                        return Ok(());
-                    } else if self.starts_with("<!--") {
-                        self.skip_until("-->")?;
-                    } else if self.starts_with("<![CDATA[") {
-                        self.pos += "<![CDATA[".len();
-                        let start = self.pos;
-                        while self.pos < self.input.len() && !self.starts_with("]]>") {
-                            self.pos += 1;
-                        }
-                        if self.pos >= self.input.len() {
-                            return Err(self.err("unterminated CDATA section"));
-                        }
-                        text.push_str(
-                            std::str::from_utf8(&self.input[start..self.pos])
-                                .map_err(|_| self.err("invalid UTF-8 in CDATA"))?,
-                        );
-                        self.pos += "]]>".len();
-                    } else if self.starts_with("<?") {
-                        self.skip_until("?>")?;
-                    } else {
-                        flush_text(doc, parent, &mut text)?;
-                        self.pos += 1; // '<'
-                        let label = self.name()?.to_owned();
-                        let sym = doc.intern(&label);
-                        let child = attach(doc, parent, Node::element(sym))?;
-                        self.element_rest(doc, child)?;
-                    }
-                }
-                Some(b'&') => text.push(self.entity()?),
-                Some(_) => {
-                    let start = self.pos;
-                    while let Some(b) = self.peek() {
-                        if b == b'<' || b == b'&' {
-                            break;
-                        }
-                        self.pos += 1;
-                    }
-                    text.push_str(
-                        std::str::from_utf8(&self.input[start..self.pos])
-                            .map_err(|_| self.err("invalid UTF-8 in text"))?,
-                    );
-                }
-            }
-        }
-    }
-}
-
-/// Attaches a freshly built node under `parent` via the public fragment
-/// API-adjacent internals. We go through `insert_fragment` equivalents to
-/// keep arena bookkeeping in one place.
-fn attach(doc: &mut Document, parent: NodeId, node: Node) -> XmlResult<NodeId> {
-    use crate::document::{Fragment, InsertPos};
-    let frag = match &node.kind {
-        crate::node::NodeKind::Element { label } => Fragment::Element {
-            label: doc.interner().resolve(*label).to_owned(),
-            children: vec![],
-        },
-        crate::node::NodeKind::Attribute { label, value } => Fragment::Attribute {
-            label: doc.interner().resolve(*label).to_owned(),
-            value: value.clone(),
-        },
-        crate::node::NodeKind::Text { value } => Fragment::Text {
-            value: value.clone(),
-        },
-    };
-    doc.insert_fragment(parent, &frag, InsertPos::Into)
-}
-
-fn flush_text(doc: &mut Document, parent: NodeId, text: &mut String) -> XmlResult<()> {
-    // Whitespace-only runs between elements are formatting noise; keep
-    // text that contains any non-whitespace character.
-    if !text.trim().is_empty() {
-        attach(doc, parent, Node::text(std::mem::take(text)))?;
-    } else {
-        text.clear();
-    }
-    Ok(())
+    let mut tokenizer = XmlTokenizer::new(input);
+    let mut builder = TreeBuilder::new();
+    pump(&mut tokenizer, &mut builder)?;
+    builder.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::XmlError;
 
     #[test]
     fn parses_minimal_document() {

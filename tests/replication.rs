@@ -1,6 +1,7 @@
 //! Integration tests of the placement layer: read-one routing message
-//! savings, policy end-to-end behavior, and online re-replication under
-//! traffic across catalog epoch bumps.
+//! savings, policy end-to-end behavior, online re-replication under
+//! traffic across placement-version bumps, DataGuide shipment on replica
+//! bootstrap, and per-document version isolation.
 
 use dtx::core::{
     AbortReason, Cluster, ClusterConfig, OpResult, OpSpec, PolicyKind, ProtocolKind, SiteId,
@@ -309,5 +310,94 @@ fn update_transactions_commit_across_an_epoch_bump() {
     assert_eq!(seen[0], seen[1]);
     let out = cluster.submit(SiteId(2), read_txn());
     assert!(out.committed(), "{:?}", out.status);
+    cluster.shutdown();
+}
+
+#[test]
+fn add_replica_ships_the_dataguide() {
+    // Replica bootstrap must ship the source site's DataGuide alongside
+    // the data: the new replica serves a structure-dependent query
+    // without ever calling DataGuide::build. The metric counts every
+    // from-scratch guide build in the cluster — initial loads build one
+    // per site; add_replica must not add another.
+    let cluster =
+        Cluster::start(ClusterConfig::new(2, ProtocolKind::Xdgl).with_policy(PolicyKind::Locality));
+    cluster.load_document("d", DOC, &[SiteId(0)]).unwrap();
+    let builds_after_load = cluster.metrics().guides_built();
+    assert_eq!(builds_after_load, 1, "initial load builds site 0's guide");
+
+    cluster.add_replica("d", SiteId(1)).unwrap();
+    assert_eq!(
+        cluster.metrics().guides_built(),
+        builds_after_load,
+        "the new replica must adopt the shipped guide, not rebuild"
+    );
+
+    // Structure-dependent read served by the new replica itself (the
+    // locality policy keeps it local — zero remote messages), against
+    // the shipped guide's lock placement.
+    let before_msgs = cluster.metrics().remote_msgs();
+    let out = cluster.submit(
+        SiteId(1),
+        TxnSpec::new(vec![OpSpec::query("d", q("/products/product[id=14]/name"))]),
+    );
+    assert!(out.committed(), "{:?}", out.status);
+    match &out.results[0] {
+        OpResult::Query { values } => assert_eq!(values, &vec!["Printer".to_owned()]),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(
+        cluster.metrics().remote_msgs(),
+        before_msgs,
+        "locality read on the new replica stays local"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn unrelated_document_mutation_does_not_stale_refuse() {
+    // Per-document placement versions: with 150 ms of fixed latency, a
+    // placement mutation of document "other" lands while dispatches of
+    // document "d" are provably in flight. Under the old catalog-global
+    // epoch every one of them would be refused stale and re-routed; with
+    // per-document versions none may be.
+    let mut config = ClusterConfig::new(3, ProtocolKind::Xdgl).with_policy(PolicyKind::RoundRobin);
+    config.latency = LatencyModel {
+        fixed: Duration::from_millis(150),
+        per_kib: Duration::ZERO,
+        jitter: Duration::ZERO,
+        seed: 1,
+    };
+    let cluster = Cluster::start(config);
+    cluster
+        .load_document("d", DOC, &[SiteId(0), SiteId(1), SiteId(2)])
+        .unwrap();
+    cluster.load_document("other", DOC, &[SiteId(0)]).unwrap();
+    let receivers: Vec<_> = (0..12)
+        .map(|_| cluster.submit_async(SiteId(0), read_txn()))
+        .collect();
+    // Wait until the remote dispatches of "d" are on the wire, then
+    // mutate "other"'s placement while they are still in flight.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while cluster.metrics().remote_msgs() < 8 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "schedulers never dispatched the reads"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    cluster.add_replica("other", SiteId(2)).unwrap();
+    cluster.drop_replica("other", SiteId(0)).unwrap();
+    for rx in receivers {
+        let out = rx
+            .recv_timeout(Duration::from_secs(120))
+            .expect("transaction terminates");
+        assert!(out.committed(), "{:?}", out.status);
+    }
+    assert_eq!(
+        cluster.metrics().stale_reroutes(),
+        0,
+        "mutating another document's placement must not refuse in-flight dispatches of this one"
+    );
     cluster.shutdown();
 }
