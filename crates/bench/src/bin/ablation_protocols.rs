@@ -3,7 +3,7 @@
 //! DESIGN.md's design-choice #1: the paper's headline claim is that
 //! DataGuide-granularity locking buys lower response time at the price of
 //! more deadlocks. This ablation adds the third point the paper only
-//! mentions in passing ("a traditional technique which makes use [of] a
+//! mentions in passing ("a traditional technique which makes use \[of\] a
 //! complete lock on the document"): whole-document locking, the coarsest
 //! end of the spectrum.
 

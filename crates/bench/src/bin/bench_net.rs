@@ -1,0 +1,176 @@
+//! `bench_net` — per-link (switched) vs shared-hub delivery throughput.
+//!
+//! The paper's testbed is a switched full-duplex LAN (§3.1): every pair
+//! of sites has an independent path. The original `dtx-net` funneled all
+//! delayed delivery through one hub thread — a single sleeper in front of
+//! otherwise-parallel schedulers. This microbench drives an all-to-all
+//! message storm over both [`Topology`] variants and records the wall
+//! time until **every** message is delivered, plus the implied message
+//! rate, into `BENCH_net.json`.
+//!
+//! Regression witnesses (see EXPERIMENTS.md):
+//! * `links_active` = sites × (sites − 1) under `switched`, 0 under `hub`
+//!   (the hub runs one global thread instead);
+//! * per-link FIFO: every receiver checks that each sender's payload
+//!   sequence arrives strictly in send order — the clamp survives the
+//!   storm in both topologies;
+//! * at full storm scale, `switched` sustains a multiple of the `hub`
+//!   message rate on multi-core hosts (the committed baseline records
+//!   the measured ratio; at `--smoke` scale the two are within noise).
+
+use dtx_net::{LatencyModel, Network, SiteId, Topology, Wire};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// One benchmark frame: (sender site, per-link sequence number).
+#[derive(Debug)]
+struct Frame {
+    from: u16,
+    seq: u32,
+}
+
+impl Wire for Frame {
+    fn wire_size(&self) -> usize {
+        128
+    }
+}
+
+/// Result of one topology's storm run.
+struct TopoResult {
+    name: &'static str,
+    sites: u16,
+    msgs_per_link: u32,
+    total_msgs: u64,
+    wall: Duration,
+    msgs_per_s: f64,
+    links_active: u64,
+}
+
+/// Drives `sites` senders all-to-all: every ordered pair carries
+/// `msgs_per_link` frames. Returns once every receiver drained its full
+/// expected count, asserting per-link FIFO along the way.
+fn storm(topology: Topology, sites: u16, msgs_per_link: u32, seed: u64) -> TopoResult {
+    let name = match topology {
+        Topology::Switched => "switched",
+        Topology::SharedHub => "hub",
+    };
+    let net: Network<Frame> = Network::with_topology(LatencyModel::lan(seed), topology);
+    let endpoints: Vec<_> = (0..sites).map(|s| net.register(SiteId(s))).collect();
+    let expected_per_site = (sites as u64 - 1) * msgs_per_link as u64;
+    let total_msgs = expected_per_site * sites as u64;
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        // Receivers: drain until the full expected count, checking that
+        // every sender's sequence arrives in order (per-link FIFO). Each
+        // thread owns its endpoint (the receiver half is Send, not Sync).
+        for ep in endpoints {
+            scope.spawn(move || {
+                let mut next_seq = vec![0u32; sites as usize];
+                let mut received = 0u64;
+                while received < expected_per_site {
+                    let env = ep
+                        .recv_timeout(Duration::from_secs(30))
+                        .expect("network alive")
+                        .expect("storm finishes within the timeout");
+                    let f = env.payload;
+                    assert_eq!(
+                        f.seq, next_seq[f.from as usize],
+                        "per-link FIFO violated on {} -> {} ({name})",
+                        f.from, ep.site
+                    );
+                    next_seq[f.from as usize] += 1;
+                    received += 1;
+                }
+            });
+        }
+        // Senders: one thread per site, round-robin over destinations so
+        // every link's queue grows evenly.
+        for from in 0..sites {
+            let net = net.clone();
+            scope.spawn(move || {
+                for seq in 0..msgs_per_link {
+                    for to in 0..sites {
+                        if to != from {
+                            net.send(SiteId(from), SiteId(to), Frame { from, seq })
+                                .expect("send during storm");
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed();
+    let links_active = net.stats().links_active();
+    net.shutdown();
+    TopoResult {
+        name,
+        sites,
+        msgs_per_link,
+        total_msgs,
+        wall,
+        msgs_per_s: total_msgs as f64 / wall.as_secs_f64().max(1e-9),
+        links_active,
+    }
+}
+
+fn write_json(results: &[TopoResult], speedup: f64) -> std::io::Result<()> {
+    let mut out = String::from("{\n  \"experiment\": \"bench_net\",\n  \"topologies\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"sites\": {}, \"msgs_per_link\": {}, \
+             \"total_msgs\": {}, \"wall_ms\": {:.2}, \"msgs_per_s\": {:.0}, \
+             \"links_active\": {}}}",
+            r.name,
+            r.sites,
+            r.msgs_per_link,
+            r.total_msgs,
+            r.wall.as_secs_f64() * 1e3,
+            r.msgs_per_s,
+            r.links_active,
+        );
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(
+        out,
+        "  ],\n  \"switched_over_hub_speedup\": {speedup:.2}\n}}\n"
+    );
+    std::fs::write("BENCH_net.json", out)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sites, msgs_per_link) = if smoke { (4, 100) } else { (8, 1500) };
+    println!("# bench_net — sharded (per-link) vs hub delivery");
+    println!("# {sites} sites all-to-all, {msgs_per_link} msgs per ordered link, LAN model");
+    let mut results = Vec::new();
+    for topology in [Topology::SharedHub, Topology::Switched] {
+        let r = storm(topology, sites, msgs_per_link, 2009);
+        println!(
+            "{:<9} wall {:>9.2} ms  {:>10.0} msgs/s  links_active {}",
+            r.name,
+            r.wall.as_secs_f64() * 1e3,
+            r.msgs_per_s,
+            r.links_active,
+        );
+        results.push(r);
+    }
+    let hub = &results[0];
+    let switched = &results[1];
+    assert_eq!(
+        switched.links_active,
+        (sites as u64) * (sites as u64 - 1),
+        "every ordered pair gets its own link worker"
+    );
+    assert_eq!(hub.links_active, 0, "the hub runs one global thread");
+    let speedup = switched.msgs_per_s / hub.msgs_per_s.max(1e-9);
+    println!("# switched/hub message-rate ratio: {speedup:.2}x");
+    if smoke {
+        println!("# smoke run: BENCH_net.json left untouched");
+    } else {
+        match write_json(&results, speedup) {
+            Ok(()) => println!("# baseline written to BENCH_net.json"),
+            Err(e) => eprintln!("could not write BENCH_net.json: {e}"),
+        }
+    }
+}

@@ -28,6 +28,15 @@ struct ProtocolResult {
     max_inflight_remote: usize,
     /// Coordinator → participant operation dispatches (placement cost).
     remote_msgs: u64,
+    /// Termination-protocol messages actually sent (group commit:
+    /// `TerminateBatch` + acks).
+    termination_msgs: u64,
+    /// What the per-transaction termination protocol would have sent —
+    /// must sit strictly above `termination_msgs` (the batching win).
+    termination_msgs_unbatched: u64,
+    /// Delivery links spawned by the sharded network (ordered site pairs
+    /// carrying traffic; 4 sites all-to-all = 12).
+    net_links_active: u64,
     /// (t_ms, cumulative commits) series.
     series: Vec<(f64, usize)>,
 }
@@ -47,6 +56,8 @@ fn write_json(results: &[ProtocolResult]) -> std::io::Result<()> {
             out,
             "    {{\"name\": \"{}\", \"committed\": {}, \"submitted\": {}, \"aborted\": {}, \
              \"wall_ms\": {:.2}, \"max_inflight_remote\": {}, \"remote_msgs\": {}, \
+             \"termination_msgs\": {}, \"termination_msgs_unbatched\": {}, \
+             \"net_links_active\": {}, \
              \"throughput_txn_per_s\": {:.2}, \"series_ms_commits\": [{}]}}",
             r.name,
             r.committed,
@@ -55,6 +66,9 @@ fn write_json(results: &[ProtocolResult]) -> std::io::Result<()> {
             r.wall_ms,
             r.max_inflight_remote,
             r.remote_msgs,
+            r.termination_msgs,
+            r.termination_msgs_unbatched,
+            r.net_links_active,
             r.committed as f64 / (r.wall_ms / 1e3).max(1e-9),
             series.join(", ")
         );
@@ -85,6 +99,12 @@ fn main() {
             ms(report.wall),
             report.aborted(),
         );
+        println!(
+            "termination msgs {} (unbatched protocol would send {}), net links {}",
+            metrics.termination_msgs(),
+            metrics.termination_msgs_unbatched(),
+            cluster.net_links_active(),
+        );
         // Bucket the run into ~20 intervals like the figure.
         let bucket = (report.wall / 20).max(Duration::from_millis(1));
         header(&["t_ms", "cumulative_commits", "concurrency_degree"]);
@@ -106,6 +126,9 @@ fn main() {
             wall_ms: ms(report.wall),
             max_inflight_remote: metrics.max_inflight_remote(),
             remote_msgs: metrics.remote_msgs(),
+            termination_msgs: metrics.termination_msgs(),
+            termination_msgs_unbatched: metrics.termination_msgs_unbatched(),
+            net_links_active: cluster.net_links_active(),
             series: tp.iter().map(|(t, c)| (ms(*t), *c)).collect(),
         });
         cluster.shutdown();

@@ -410,9 +410,20 @@ impl Cluster {
         self.net.stats().bytes()
     }
 
+    /// Delivery links the network has spawned (distinct ordered site
+    /// pairs that carried delayed traffic — zero under the zero-latency
+    /// model).
+    pub fn net_links_active(&self) -> u64 {
+        self.net.stats().links_active()
+    }
+
     /// Stops all schedulers and tears the network down. In-flight
     /// transactions are aborted with [`crate::op::AbortReason::Shutdown`].
+    /// The final link count is recorded into the
+    /// [`Metrics::net_links_active`] gauge — the [`Metrics`] handle
+    /// outlives the cluster, so post-run reports read it from there.
     pub fn shutdown(mut self) {
+        self.metrics.note_net_links(self.net.stats().links_active());
         for inst in &mut self.instances {
             inst.shutdown();
         }

@@ -99,6 +99,22 @@ pub struct Metrics {
     /// without a shipped/streamed guide). Replica bootstrap ships the
     /// source's guide, so `add_replica` must not move this counter.
     guides_built: AtomicU64,
+    /// Termination-protocol messages actually sent (`TerminateBatch` and
+    /// its acks, both directions). Group commit coalesces per (site,
+    /// tick), so under heavy traffic this sits strictly below
+    /// [`Metrics::termination_msgs_unbatched`].
+    termination_msgs: AtomicU64,
+    /// What the per-transaction termination protocol *would* have sent:
+    /// one `Commit`/`Abort` per (transaction, site) plus one ack each —
+    /// the batching win's regression witness.
+    termination_msgs_unbatched: AtomicU64,
+    /// High-water mark of concurrently active network delivery links
+    /// (ordered site pairs with their own worker under the switched
+    /// topology). Witnesses that delivery is sharded, not funneled
+    /// through one hub thread. Recorded by `Cluster::shutdown` (the
+    /// metrics handle outlives the cluster); live values are read off
+    /// `Cluster::net_links_active` directly.
+    net_links_active: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -119,7 +135,43 @@ impl Metrics {
             site_ops: RwLock::new(Vec::new()),
             stale_reroutes: AtomicU64::new(0),
             guides_built: AtomicU64::new(0),
+            termination_msgs: AtomicU64::new(0),
+            termination_msgs_unbatched: AtomicU64::new(0),
+            net_links_active: AtomicU64::new(0),
         }
+    }
+
+    /// Counts one termination-protocol message (a `TerminateBatch` or its
+    /// ack) that batched `entries` per-transaction decisions; the
+    /// unbatched counter advances by what the per-transaction protocol
+    /// would have sent for the same work.
+    pub fn note_termination_msg(&self, entries: u64) {
+        self.termination_msgs.fetch_add(1, Ordering::Relaxed);
+        self.termination_msgs_unbatched
+            .fetch_add(entries, Ordering::Relaxed);
+    }
+
+    /// Termination-protocol messages actually sent (batched protocol).
+    pub fn termination_msgs(&self) -> u64 {
+        self.termination_msgs.load(Ordering::Relaxed)
+    }
+
+    /// Termination-protocol messages the unbatched per-transaction
+    /// protocol would have sent — the baseline the batching win is
+    /// measured against.
+    pub fn termination_msgs_unbatched(&self) -> u64 {
+        self.termination_msgs_unbatched.load(Ordering::Relaxed)
+    }
+
+    /// Reports the number of active network delivery links; the
+    /// high-water mark is kept.
+    pub fn note_net_links(&self, n: u64) {
+        self.net_links_active.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// High-water mark of concurrently active network delivery links.
+    pub fn net_links_active(&self) -> u64 {
+        self.net_links_active.load(Ordering::Relaxed)
     }
 
     /// Counts `n` coordinator → participant operation dispatches.
@@ -478,6 +530,28 @@ mod tests {
         assert_eq!(m.site_ops_snapshot(), vec![(SiteId(0), 1), (SiteId(1), 2)]);
         m.note_stale_reroute();
         assert_eq!(m.stale_reroutes(), 1);
+    }
+
+    #[test]
+    fn termination_counters_track_batching_win() {
+        let m = Metrics::new();
+        assert_eq!(m.termination_msgs(), 0);
+        assert_eq!(m.termination_msgs_unbatched(), 0);
+        // One batch carrying 5 per-transaction decisions + its ack.
+        m.note_termination_msg(5);
+        m.note_termination_msg(5);
+        assert_eq!(m.termination_msgs(), 2);
+        assert_eq!(m.termination_msgs_unbatched(), 10);
+        assert!(m.termination_msgs() < m.termination_msgs_unbatched());
+    }
+
+    #[test]
+    fn net_links_gauge_keeps_high_water_mark() {
+        let m = Metrics::new();
+        m.note_net_links(3);
+        m.note_net_links(12);
+        m.note_net_links(7);
+        assert_eq!(m.net_links_active(), 12);
     }
 
     #[test]

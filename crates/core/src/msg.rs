@@ -84,33 +84,30 @@ pub enum Message {
         /// Operation index to undo.
         op_seq: usize,
     },
-    /// Coordinator → participant: consolidate `txn` (Algorithm 5 l. 4).
-    Commit {
-        /// The transaction.
-        txn: TxnId,
+    /// Coordinator → participant: **group termination** — every
+    /// transaction this coordinator decided to consolidate (Algorithm 5
+    /// l. 4) or cancel (Algorithm 6 l. 4) at this site since the last
+    /// scheduler tick, coalesced into one message. Under heavy traffic
+    /// this cuts the termination message count from O(txns × sites) to
+    /// O(sites) per tick; a batch of one is the degenerate per-transaction
+    /// protocol. Per-pair FIFO delivery still guarantees a batched abort
+    /// cannot overtake the `ExecRemote` it cancels.
+    TerminateBatch {
+        /// Transactions to consolidate, in decision order.
+        commits: Vec<TxnId>,
+        /// Transactions to cancel, in decision order.
+        aborts: Vec<TxnId>,
     },
-    /// Participant → coordinator: commit acknowledgement.
-    CommitAck {
-        /// The transaction.
-        txn: TxnId,
+    /// Participant → coordinator: one acknowledgement per
+    /// [`Message::TerminateBatch`], carrying the per-transaction outcomes
+    /// (the batched form of Alg. 5/6's per-transaction acks).
+    TerminateBatchAck {
         /// Reporting site.
         site: SiteId,
-        /// Whether the consolidation succeeded.
-        ok: bool,
-    },
-    /// Coordinator → participant: cancel `txn` (Algorithm 6 l. 4).
-    Abort {
-        /// The transaction.
-        txn: TxnId,
-    },
-    /// Participant → coordinator: abort acknowledgement.
-    AbortAck {
-        /// The transaction.
-        txn: TxnId,
-        /// Reporting site.
-        site: SiteId,
-        /// Whether the cancellation succeeded.
-        ok: bool,
+        /// `(txn, consolidation succeeded)` per batched commit.
+        commits: Vec<(TxnId, bool)>,
+        /// `(txn, cancellation succeeded)` per batched abort.
+        aborts: Vec<(TxnId, bool)>,
     },
     /// Coordinator → all: the transaction failed (Algorithm 6 l. 7);
     /// best-effort cleanup, no acknowledgement.
@@ -172,6 +169,10 @@ impl Wire for Message {
                 }
             }
             Message::WfgReply { graph, .. } => 32 + graph.edge_count() * 16,
+            Message::TerminateBatch { commits, aborts } => 16 + (commits.len() + aborts.len()) * 8,
+            Message::TerminateBatchAck {
+                commits, aborts, ..
+            } => 16 + (commits.len() + aborts.len()) * 9,
             _ => 48,
         }
     }
@@ -184,7 +185,10 @@ mod tests {
 
     #[test]
     fn wire_sizes_reflect_payloads() {
-        let small = Message::Commit { txn: TxnId(1) };
+        let small = Message::TerminateBatch {
+            commits: vec![TxnId(1)],
+            aborts: vec![],
+        };
         let op = OpSpec::query("d", Query::parse("/a/b/c").unwrap());
         let exec = Message::ExecRemote {
             txn: TxnId(1),

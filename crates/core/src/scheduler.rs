@@ -11,27 +11,43 @@
 //! ## Concurrency model
 //!
 //! The scheduler is a single-threaded, **event-driven state machine**.
-//! Every coordinated transaction carries an explicit [`Phase`]; the event
+//! Every coordinated transaction carries an explicit `Phase`; the event
 //! loop drains client submissions and scheduler-to-scheduler messages,
 //! advances whichever transactions became runnable, and sweeps state
 //! deadlines — it never blocks on a remote round-trip.
 //!
 //! Where Algorithm 1 says the coordinator "waits for the operation to be
 //! executed on all the sites" (l. 14), the transaction enters
-//! [`Phase::AwaitingRemoteOps`] and the loop moves on: the dispatched
+//! `Phase::AwaitingRemoteOps` and the loop moves on: the dispatched
 //! operation lives in a continuation table keyed by a correlation id, and
 //! the arrival of the last `RemoteDone` (or the deadline) resumes it.
 //! Commit and abort acknowledgement waits (Alg. 5/6) work the same way
-//! through [`Phase::AwaitingCommitAcks`] / [`Phase::AwaitingAbortAcks`].
+//! through `Phase::AwaitingCommitAcks` / `Phase::AwaitingAbortAcks`.
 //! One scheduler thread therefore pipelines many in-flight distributed
 //! transactions instead of head-of-line blocking on each round-trip — the
 //! earlier design's nested message pump served participant duties while
 //! blocked but could drive only **one** coordinated round-trip at a time.
 //!
 //! Transactions denied a lock enter **wait mode** (Alg. 1 l. 9/17,
-//! [`Phase::Waiting`]) and are retried after a short jittered interval;
+//! `Phase::Waiting`) and are retried after a short jittered interval;
 //! their wait-for edges live in the lock-holding site's graph until the
 //! retry succeeds or a deadlock detector aborts a victim.
+//!
+//! ## Group commit
+//!
+//! Termination is **batched per (site, tick)**: instead of one
+//! `Commit`/`Abort` (and one ack) per transaction per site, commit and
+//! abort decisions accumulate in a per-site outbox and every event-loop
+//! iteration flushes each site's accumulated decisions as a single
+//! [`Message::TerminateBatch`]; the participant answers every batch with
+//! a single [`Message::TerminateBatchAck`] carrying the per-transaction
+//! outcomes. Transactions still park individually in
+//! `Phase::AwaitingCommitAcks` / `Phase::AwaitingAbortAcks` and are
+//! resumed individually as their entries in batched acks arrive — only
+//! the wire traffic is coalesced, cutting termination messages from
+//! O(txns × sites) to O(sites) per tick under heavy load
+//! (`termination_msgs` vs `termination_msgs_unbatched` in
+//! [`Metrics`] witness the ratio).
 
 use crate::catalog::Catalog;
 use crate::lockmgr::{LockManager, ProcessResult};
@@ -268,6 +284,17 @@ impl CoordTxn {
     }
 }
 
+/// Per-site accumulator of termination decisions (group commit): filled
+/// by [`Scheduler::begin_commit`] / [`Scheduler::begin_abort`], drained
+/// once per event-loop tick into a single [`Message::TerminateBatch`].
+#[derive(Debug, Default)]
+struct TermBatch {
+    /// Transactions to consolidate at the site, in decision order.
+    commits: Vec<TxnId>,
+    /// Transactions to cancel at the site, in decision order.
+    aborts: Vec<TxnId>,
+}
+
 /// A participant's report about one remote operation.
 #[derive(Debug, Clone)]
 struct DoneInfo {
@@ -300,6 +327,9 @@ pub struct Scheduler {
     pending_commit: HashMap<TxnId, HashMap<SiteId, bool>>,
     /// Abort acknowledgements per transaction.
     pending_abort: HashMap<TxnId, HashMap<SiteId, bool>>,
+    /// Group-commit outbox: termination decisions accumulated this tick,
+    /// flushed as one [`Message::TerminateBatch`] per site.
+    term_outbox: HashMap<SiteId, TermBatch>,
     /// Current deadlock-detection round and its collected graphs.
     wfg_round: u64,
     wfg_replies: HashMap<SiteId, WaitForGraph>,
@@ -347,6 +377,7 @@ impl Scheduler {
             pending_done: HashMap::new(),
             pending_commit: HashMap::new(),
             pending_abort: HashMap::new(),
+            term_outbox: HashMap::new(),
             wfg_round: 0,
             wfg_replies: HashMap::new(),
             wfg_expected: 0,
@@ -459,6 +490,10 @@ impl Scheduler {
             self.maybe_finish_deadlock_round();
             // 4. State deadlines (remote/ack timeouts).
             self.sweep_deadlines();
+            // 4½. Group commit: flush this tick's accumulated termination
+            //     decisions — one TerminateBatch per site, regardless of
+            //     how many transactions terminated since the last flush.
+            self.flush_terminations();
             // 5. Dispatch the next operation of an available transaction
             //    (Alg. 1 l. 3: "next_transaction_available"). Dispatch
             //    never blocks, so consecutive iterations interleave many
@@ -481,6 +516,9 @@ impl Scheduler {
     }
 
     fn shutdown(&mut self) {
+        // Batched decisions already made must still reach their
+        // participants (they release locks there).
+        self.flush_terminations();
         // Abort whatever is still in flight so clients unblock.
         while let Some(txn) = self.txns.pop() {
             let _ = self.lockmgr.abort_local(txn.id);
@@ -537,7 +575,7 @@ impl Scheduler {
     }
 
     /// Round-robin pick of a runnable coordinated transaction: in
-    /// [`Phase::Ready`], or in wait mode with an expired retry time.
+    /// `Phase::Ready`, or in wait mode with an expired retry time.
     fn pick_available(&mut self) -> Option<TxnId> {
         if self.txns.is_empty() {
             return None;
@@ -684,7 +722,7 @@ impl Scheduler {
 
     /// Alg. 1 l. 11-13: the operation involves other sites. Send it to the
     /// participants the routing plan selected and park the transaction in
-    /// [`Phase::AwaitingRemoteOps`]; [`Self::finish_remote_op`] runs when
+    /// `Phase::AwaitingRemoteOps`; [`Self::finish_remote_op`] runs when
     /// the last response (or the deadline) arrives. The event loop keeps
     /// dispatching other transactions meanwhile.
     fn dispatch_distributed_op(
@@ -745,7 +783,7 @@ impl Scheduler {
         self.try_finish_remote_op(id);
     }
 
-    /// Advances a transaction out of [`Phase::AwaitingRemoteOps`] if every
+    /// Advances a transaction out of `Phase::AwaitingRemoteOps` if every
     /// dispatched site has reported.
     fn try_finish_remote_op(&mut self, id: TxnId) {
         let Some(idx) = self.txn_index(id) else {
@@ -1006,7 +1044,9 @@ impl Scheduler {
 
     /// Asks every involved site to consolidate (Alg. 5 l. 3-4). With no
     /// remote participants the transaction consolidates immediately;
-    /// otherwise it parks in [`Phase::AwaitingCommitAcks`].
+    /// otherwise the decision joins the per-site group-commit outbox
+    /// (flushed as one [`Message::TerminateBatch`] per site per tick) and
+    /// the transaction parks in `Phase::AwaitingCommitAcks`.
     fn begin_commit(&mut self, id: TxnId) {
         let Some(idx) = self.txn_index(id) else {
             return;
@@ -1018,7 +1058,7 @@ impl Scheduler {
         }
         self.pending_commit.insert(id, HashMap::new());
         for &s in &remotes {
-            let _ = self.net.send(self.site, s, Message::Commit { txn: id });
+            self.term_outbox.entry(s).or_default().commits.push(id);
         }
         self.set_phase(
             id,
@@ -1029,7 +1069,31 @@ impl Scheduler {
         );
     }
 
-    /// Advances a transaction out of [`Phase::AwaitingCommitAcks`] if
+    /// Group commit: sends each site's accumulated termination decisions
+    /// as one [`Message::TerminateBatch`], emptying the outbox. Called
+    /// once per event-loop tick — the coalescing window. Sites are
+    /// flushed in id order so runs are reproducible.
+    fn flush_terminations(&mut self) {
+        if self.term_outbox.is_empty() {
+            return;
+        }
+        let mut batches: Vec<(SiteId, TermBatch)> = self.term_outbox.drain().collect();
+        batches.sort_by_key(|(s, _)| *s);
+        for (site, batch) in batches {
+            let entries = (batch.commits.len() + batch.aborts.len()) as u64;
+            self.metrics.note_termination_msg(entries);
+            let _ = self.net.send(
+                self.site,
+                site,
+                Message::TerminateBatch {
+                    commits: batch.commits,
+                    aborts: batch.aborts,
+                },
+            );
+        }
+    }
+
+    /// Advances a transaction out of `Phase::AwaitingCommitAcks` if
     /// every ack arrived.
     fn try_finish_commit(&mut self, id: TxnId) {
         let Some(idx) = self.txn_index(id) else {
@@ -1086,8 +1150,10 @@ impl Scheduler {
     /// Cancels `id` everywhere (Alg. 6). Rolls back locally at once; if an
     /// operation was in flight its partial effects are undone and its
     /// participant set is folded into the abort targets. With no remote
-    /// participants the transaction terminates immediately; otherwise it
-    /// parks in [`Phase::AwaitingAbortAcks`].
+    /// participants the transaction terminates immediately; otherwise the
+    /// decision joins the group-commit outbox (batched with this tick's
+    /// other terminations) and the transaction parks in
+    /// `Phase::AwaitingAbortAcks`.
     fn begin_abort(&mut self, id: TxnId, reason: AbortReason) {
         let Some(idx) = self.txn_index(id) else {
             return;
@@ -1123,7 +1189,7 @@ impl Scheduler {
         }
         self.pending_abort.insert(id, HashMap::new());
         for &s in &remotes {
-            let _ = self.net.send(self.site, s, Message::Abort { txn: id });
+            self.term_outbox.entry(s).or_default().aborts.push(id);
         }
         self.set_phase(
             id,
@@ -1135,7 +1201,7 @@ impl Scheduler {
         );
     }
 
-    /// Advances a transaction out of [`Phase::AwaitingAbortAcks`] if every
+    /// Advances a transaction out of `Phase::AwaitingAbortAcks` if every
     /// ack arrived.
     fn try_finish_abort(&mut self, id: TxnId) {
         let Some(idx) = self.txn_index(id) else {
@@ -1472,47 +1538,56 @@ impl Scheduler {
                 let waiters = self.lockmgr.undo_op(txn, op_seq);
                 self.wake_waiters(waiters);
             }
-            Message::Commit { txn } => {
-                let released = self.lockmgr.commit_local(txn);
-                let ok = released.is_ok();
-                self.txn_coord.remove(&txn);
-                let _ = self.net.send(
-                    self.site,
-                    env.from,
-                    Message::CommitAck {
-                        txn,
-                        site: self.site,
-                        ok,
-                    },
-                );
-                if let Ok(waiters) = released {
+            Message::TerminateBatch { commits, aborts } => {
+                // Participant side of group commit: apply every decision
+                // in the batch, then answer the whole batch with ONE ack.
+                let mut commit_acks = Vec::with_capacity(commits.len());
+                for txn in commits {
+                    let released = self.lockmgr.commit_local(txn);
+                    let ok = released.is_ok();
+                    self.txn_coord.remove(&txn);
+                    commit_acks.push((txn, ok));
+                    if let Ok(waiters) = released {
+                        self.wake_waiters(waiters);
+                    }
+                }
+                let mut abort_acks = Vec::with_capacity(aborts.len());
+                for txn in aborts {
+                    let waiters = self.lockmgr.abort_local(txn);
+                    self.txn_coord.remove(&txn);
+                    abort_acks.push((txn, true));
                     self.wake_waiters(waiters);
                 }
-            }
-            Message::CommitAck { txn, site, ok } => {
-                if let Some(map) = self.pending_commit.get_mut(&txn) {
-                    map.insert(site, ok);
-                    self.try_finish_commit(txn);
-                }
-            }
-            Message::Abort { txn } => {
-                let waiters = self.lockmgr.abort_local(txn);
-                self.txn_coord.remove(&txn);
+                let entries = (commit_acks.len() + abort_acks.len()) as u64;
+                self.metrics.note_termination_msg(entries);
                 let _ = self.net.send(
                     self.site,
                     env.from,
-                    Message::AbortAck {
-                        txn,
+                    Message::TerminateBatchAck {
                         site: self.site,
-                        ok: true,
+                        commits: commit_acks,
+                        aborts: abort_acks,
                     },
                 );
-                self.wake_waiters(waiters);
             }
-            Message::AbortAck { txn, site, ok } => {
-                if let Some(map) = self.pending_abort.get_mut(&txn) {
-                    map.insert(site, ok);
-                    self.try_finish_abort(txn);
+            Message::TerminateBatchAck {
+                site,
+                commits,
+                aborts,
+            } => {
+                // Unpack the batched ack into the per-transaction pending
+                // tables; each transaction resumes individually.
+                for (txn, ok) in commits {
+                    if let Some(map) = self.pending_commit.get_mut(&txn) {
+                        map.insert(site, ok);
+                        self.try_finish_commit(txn);
+                    }
+                }
+                for (txn, ok) in aborts {
+                    if let Some(map) = self.pending_abort.get_mut(&txn) {
+                        map.insert(site, ok);
+                        self.try_finish_abort(txn);
+                    }
                 }
             }
             Message::Fail { txn } => {

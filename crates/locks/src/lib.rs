@@ -15,12 +15,14 @@
 //!   [`protocol::Node2Pl`] — the coarse tree-locking baseline the
 //!   evaluation compares against ("DTX with locks in trees");
 //!   [`protocol::DocLock`] — the "traditional technique which makes use
-//!   [of] a complete lock on the document" mentioned in §3.2.
+//!   \[of\] a complete lock on the document" mentioned in §3.2.
 //!
 //! The paper stresses DTX's flexibility — "other concurrency control
 //! protocols can be employed" — which is exactly the [`LockProtocol`]
 //! trait boundary here: the scheduler and lock manager in `dtx-core` are
 //! protocol-agnostic.
+
+#![deny(missing_docs)]
 
 pub mod modes;
 pub mod protocol;

@@ -25,7 +25,7 @@
 //!   section under the root), the behaviour of the tree-locking protocols
 //!   the paper compares against. The coarseness depth is tunable for
 //!   ablation.
-//! * [`DocLock`] — the "traditional technique which makes use [of] a
+//! * [`DocLock`] — the "traditional technique which makes use \[of\] a
 //!   complete lock on the document": a single ST/XT on the DataGuide root.
 
 use crate::modes::LockMode;

@@ -1,6 +1,6 @@
 //! # dtx-net — simulated site-to-site transport
 //!
-//! The paper's testbed was "a cluster of eight PCs connected through an
+//! The paper's testbed is "a cluster of eight PCs connected through an
 //! Ethernet hub ... 100 Mbit/s full-duplex" (§3.1). This crate replaces
 //! the physical network with an in-process simulation that preserves what
 //! the concurrency-control experiments depend on: **message ordering,
@@ -8,25 +8,52 @@
 //!
 //! * [`Network`] — a cloneable handle to a simulated broadcast domain.
 //!   Every site [`Network::register`]s an [`Endpoint`]; messages are
-//!   routed through a hub thread that delays each message according to
-//!   the [`LatencyModel`] before delivering it to the destination's
-//!   channel (FIFO per sender-receiver pair, like TCP).
+//!   delayed according to the [`LatencyModel`] before being delivered to
+//!   the destination's channel (FIFO per sender-receiver pair, like TCP).
+//! * [`Topology`] — how delayed delivery is driven. The default,
+//!   [`Topology::Switched`], models a switched full-duplex fabric: every
+//!   ordered `(from, to)` pair is an independent **link** with its own
+//!   FIFO queue and delivery worker, so independent links deliver
+//!   concurrently and a burst on one link never head-of-line blocks
+//!   another. [`Topology::SharedHub`] keeps the legacy single-threaded
+//!   hub (one global timer heap) — all traffic funnels through one
+//!   sleeper, which is exactly the scaling bottleneck `bench_net`
+//!   measures against.
 //! * [`LatencyModel`] — fixed + per-KiB + seeded jitter; the default is
 //!   calibrated to a 100 Mbit/s switched LAN. Tests use
 //!   [`LatencyModel::zero`], which delivers synchronously.
-//! * [`NetStats`] — message/byte counters for the experiment reports
+//! * [`NetStats`] — message/byte/link counters for the experiment reports
 //!   (the paper attributes part of total-replication's cost to
 //!   "communication and synchronization overhead in all the sites").
 //!
+//! ## Ordering and determinism guarantees
+//!
+//! Both topologies guarantee, per ordered `(from, to)` pair:
+//!
+//! 1. **FIFO** — delivery order equals send order, even when
+//!    size-dependent latency or jitter computes a shorter delay for a
+//!    later message (the clamp happens at send time: a message's delivery
+//!    instant is never earlier than its link predecessor's).
+//! 2. **Seed-deterministic jitter** — the random delay of the k-th
+//!    message of a pair is a pure function of `(seed, from, to, k)`, so
+//!    every link's delay stream is reproducible from the seed no matter
+//!    how concurrent senders interleave globally.
+//! 3. **Drain on shutdown** — [`Network::shutdown`] delivers every
+//!    in-flight delayed message (per-link FIFO order preserved) before
+//!    endpoints disconnect; nothing vanishes.
+//!
 //! The transport is generic over the payload type `M`; `dtx-core` provides
 //! its `Message` enum and implements [`Wire`] to give payloads a size.
+
+#![deny(missing_docs)]
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Identifier of a site (system node) in the cluster.
@@ -47,6 +74,22 @@ pub trait Wire: Send + 'static {
     fn wire_size(&self) -> usize {
         128
     }
+}
+
+/// How delayed delivery is driven (irrelevant under [`LatencyModel::zero`],
+/// where delivery is synchronous and no threads exist).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// Switched full-duplex fabric (default): each ordered `(from, to)`
+    /// pair is an independent link with its own FIFO queue and delivery
+    /// worker. Independent links deliver concurrently, like port-to-port
+    /// paths through a switch.
+    #[default]
+    Switched,
+    /// Legacy shared hub: one global delivery thread with a single timer
+    /// heap. All traffic serializes behind one sleeper — kept as the
+    /// baseline the `bench_net` microbench quantifies sharding against.
+    SharedHub,
 }
 
 /// Latency model: `fixed + per_kib * size + U(0, jitter)`.
@@ -73,8 +116,8 @@ impl LatencyModel {
         }
     }
 
-    /// 100 Mbit/s LAN through a hub: ~150 µs fixed, ~80 µs/KiB
-    /// (12.5 MB/s), 50 µs jitter.
+    /// 100 Mbit/s LAN: ~150 µs fixed, ~80 µs/KiB (12.5 MB/s), 50 µs
+    /// jitter.
     pub fn lan(seed: u64) -> Self {
         LatencyModel {
             fixed: Duration::from_micros(150),
@@ -84,7 +127,7 @@ impl LatencyModel {
         }
     }
 
-    /// True when every component is zero (fast path: no hub thread delay).
+    /// True when every component is zero (fast path: no delivery threads).
     pub fn is_zero(&self) -> bool {
         self.fixed.is_zero() && self.per_kib.is_zero() && self.jitter.is_zero()
     }
@@ -104,6 +147,22 @@ impl LatencyModel {
         }
         d
     }
+}
+
+/// The delay of the `k`-th message on the ordered link `from → to` under
+/// `model`, for a payload of `bytes`: a **pure function** of its inputs.
+/// This is the function [`Network::send`] applies (before the per-link
+/// FIFO clamp), exposed so tests can pin the seed-determinism contract
+/// directly.
+pub fn link_delay(
+    model: &LatencyModel,
+    from: SiteId,
+    to: SiteId,
+    k: u64,
+    bytes: usize,
+) -> Duration {
+    let mut rng = mix64(model.seed ^ ((from.0 as u64) << 48) ^ ((to.0 as u64) << 32) ^ k);
+    model.delay(bytes, &mut rng)
 }
 
 /// A routed message.
@@ -137,11 +196,12 @@ impl fmt::Display for NetError {
 
 impl std::error::Error for NetError {}
 
-/// Message/byte counters.
+/// Message/byte/link counters.
 #[derive(Debug, Default)]
 pub struct NetStats {
     messages: AtomicU64,
     bytes: AtomicU64,
+    links: AtomicU64,
 }
 
 impl NetStats {
@@ -153,6 +213,15 @@ impl NetStats {
     /// Payload bytes sent so far (per [`Wire::wire_size`]).
     pub fn bytes(&self) -> u64 {
         self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Delivery links spawned so far: the number of distinct ordered
+    /// `(from, to)` pairs that carried delayed traffic under
+    /// [`Topology::Switched`] (each owns a worker). Zero under
+    /// [`Topology::SharedHub`] (one global thread instead) and under
+    /// [`LatencyModel::zero`] (no threads at all).
+    pub fn links_active(&self) -> u64 {
+        self.links.load(Ordering::Relaxed)
     }
 }
 
@@ -184,17 +253,40 @@ impl<M> Ord for Delayed<M> {
     }
 }
 
+/// Per-ordered-pair link bookkeeping, updated at send time under the
+/// links lock: the jitter stream position, the FIFO clamp, and (switched
+/// topology) the link worker's queue.
+struct LinkBook<M> {
+    /// Messages sent on this link so far (the `k` of the jitter stream).
+    sent: u64,
+    /// Delivery instant of the link's latest message — the FIFO clamp: a
+    /// later message is never scheduled before an earlier one, even when
+    /// size-dependent latency or jitter would say otherwise. The link
+    /// behaves like one TCP stream; the schedulers' termination protocol
+    /// relies on this (an `Abort` must not overtake the `ExecRemote` it
+    /// cancels).
+    last: Instant,
+    /// The link worker's queue ([`Topology::Switched`] only).
+    tx: Option<Sender<Delayed<M>>>,
+}
+
 struct Inner<M> {
     endpoints: RwLock<HashMap<SiteId, Sender<Envelope<M>>>>,
     latency: LatencyModel,
+    topology: Topology,
     stats: NetStats,
+    /// Per ordered `(from, to)` pair: jitter position, FIFO clamp, and
+    /// (switched) the link worker's queue.
+    links: Mutex<HashMap<(SiteId, SiteId), LinkBook<M>>>,
+    /// Legacy hub queue ([`Topology::SharedHub`] only).
     hub_tx: Mutex<Option<Sender<Delayed<M>>>>,
     seq: AtomicU64,
-    /// Per (sender, receiver) message counter. Jitter for the k-th message
-    /// of a pair is derived from (seed, from, to, k) alone, so the random
-    /// delay stream of every link is reproducible from the seed no matter
-    /// how concurrent senders interleave globally.
-    pair_seq: Mutex<HashMap<(SiteId, SiteId), u64>>,
+    /// Set by [`Network::shutdown`]: delivery workers stop sleeping and
+    /// flush their remaining queue immediately.
+    flushing: AtomicBool,
+    /// Delivery worker handles, joined at shutdown so the drain is
+    /// complete before endpoints disconnect.
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// A handle to the simulated network (cloneable; all clones share state).
@@ -248,27 +340,42 @@ impl<M> Endpoint<M> {
 }
 
 impl<M: Wire> Network<M> {
-    /// Creates a network with the given latency model. A hub thread is
-    /// spawned only when the model actually delays messages.
+    /// Creates a network with the given latency model and the default
+    /// [`Topology::Switched`] delivery. Delivery threads are spawned
+    /// lazily, and only when the model actually delays messages.
     pub fn new(latency: LatencyModel) -> Self {
+        Self::with_topology(latency, Topology::default())
+    }
+
+    /// Creates a network with an explicit delivery [`Topology`].
+    pub fn with_topology(latency: LatencyModel, topology: Topology) -> Self {
         let inner = Arc::new(Inner {
             endpoints: RwLock::new(HashMap::new()),
             latency,
+            topology,
             stats: NetStats::default(),
+            links: Mutex::new(HashMap::new()),
             hub_tx: Mutex::new(None),
             seq: AtomicU64::new(0),
-            pair_seq: Mutex::new(HashMap::new()),
+            flushing: AtomicBool::new(false),
+            workers: Mutex::new(Vec::new()),
         });
-        if !latency.is_zero() {
+        if !latency.is_zero() && topology == Topology::SharedHub {
             let (tx, rx) = unbounded::<Delayed<M>>();
             *inner.hub_tx.lock() = Some(tx);
             let hub_inner = Arc::downgrade(&inner);
-            std::thread::Builder::new()
+            let handle = std::thread::Builder::new()
                 .name("dtx-net-hub".into())
                 .spawn(move || hub_loop(rx, hub_inner))
                 .expect("spawn hub thread");
+            inner.workers.lock().push(handle);
         }
         Network { inner }
+    }
+
+    /// The delivery topology this network was created with.
+    pub fn topology(&self) -> Topology {
+        self.inner.topology
     }
 
     /// Registers `site`, returning its endpoint. Re-registering replaces
@@ -288,36 +395,64 @@ impl<M: Wire> Network<M> {
             .bytes
             .fetch_add(bytes as u64, Ordering::Relaxed);
         let envelope = Envelope { from, to, payload };
-        let hub = self.inner.hub_tx.lock();
-        match hub.as_ref() {
-            Some(hub_tx) => {
-                // Jitter is a pure function of (seed, from, to, k-th message
-                // of this pair): every link's delay stream is reproducible
-                // from the seed regardless of global thread interleaving.
-                let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
-                let k = {
-                    let mut pairs = self.inner.pair_seq.lock();
-                    let c = pairs.entry((from, to)).or_insert(0);
-                    let k = *c;
-                    *c += 1;
-                    k
-                };
-                let mut rng = mix64(
-                    self.inner.latency.seed ^ ((from.0 as u64) << 48) ^ ((to.0 as u64) << 32) ^ k,
-                );
-                let delay = self.inner.latency.delay(bytes, &mut rng);
-                hub_tx
-                    .send(Delayed {
-                        deliver_at: Instant::now() + delay,
-                        seq,
-                        envelope,
-                    })
-                    .map_err(|_| NetError::Closed)
+        if self.inner.latency.is_zero() {
+            let endpoints = self.inner.endpoints.read();
+            let dest = endpoints.get(&to).ok_or(NetError::UnknownSite(to))?;
+            return dest.send(envelope).map_err(|_| NetError::UnknownSite(to));
+        }
+        // Delayed path. Under the links lock: advance the link's jitter
+        // stream (delay = pure function of (seed, from, to, k) — see
+        // [`link_delay`]), apply the FIFO clamp, and hand the message to
+        // the link's worker (switched) or the hub (legacy).
+        let now = Instant::now();
+        let mut links = self.inner.links.lock();
+        // The global tie-break seq is drawn under the same lock that
+        // assigns the link position k: the hub heap breaks equal
+        // deliver_at (the clamp's doing) by seq, so seq order and k order
+        // must agree per link or concurrent same-pair senders could have
+        // a clamped later message pop first.
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let book = links.entry((from, to)).or_insert_with(|| LinkBook {
+            sent: 0,
+            last: now,
+            tx: None,
+        });
+        let k = book.sent;
+        book.sent += 1;
+        let delay = link_delay(&self.inner.latency, from, to, k, bytes);
+        // FIFO clamp: never earlier than the link's previous message.
+        let deliver_at = (now + delay).max(book.last);
+        book.last = deliver_at;
+        let delayed = Delayed {
+            deliver_at,
+            seq,
+            envelope,
+        };
+        match self.inner.topology {
+            Topology::Switched => {
+                if book.tx.is_none() {
+                    if self.inner.flushing.load(Ordering::Relaxed) {
+                        return Err(NetError::Closed);
+                    }
+                    let (tx, rx) = unbounded::<Delayed<M>>();
+                    let weak = Arc::downgrade(&self.inner);
+                    let handle = std::thread::Builder::new()
+                        .name(format!("dtx-net-link-{from}-{to}"))
+                        .spawn(move || link_loop(rx, weak))
+                        .expect("spawn link worker");
+                    self.inner.workers.lock().push(handle);
+                    self.inner.stats.links.fetch_add(1, Ordering::Relaxed);
+                    book.tx = Some(tx);
+                }
+                let tx = book.tx.as_ref().expect("just ensured");
+                tx.send(delayed).map_err(|_| NetError::Closed)
             }
-            None => {
-                let endpoints = self.inner.endpoints.read();
-                let dest = endpoints.get(&to).ok_or(NetError::UnknownSite(to))?;
-                dest.send(envelope).map_err(|_| NetError::UnknownSite(to))
+            Topology::SharedHub => {
+                let hub = self.inner.hub_tx.lock();
+                match hub.as_ref() {
+                    Some(hub_tx) => hub_tx.send(delayed).map_err(|_| NetError::Closed),
+                    None => Err(NetError::Closed),
+                }
             }
         }
     }
@@ -334,9 +469,27 @@ impl<M: Wire> Network<M> {
         &self.inner.stats
     }
 
-    /// Shuts the network down: endpoints disconnect, the hub thread exits.
+    /// Shuts the network down **after draining**: every delayed message
+    /// already accepted by [`Network::send`] is delivered (per-link FIFO
+    /// order preserved; remaining sleeps are skipped, so the flush is
+    /// prompt) before endpoints disconnect. Sends racing the shutdown
+    /// either make it into a queue — and are then delivered — or get
+    /// [`NetError::Closed`]; nothing vanishes silently.
     pub fn shutdown(&self) {
+        // 1. Flag workers to stop sleeping; queued messages flush.
+        self.inner.flushing.store(true, Ordering::SeqCst);
+        // 2. Disconnect the queues: each worker drains what is buffered
+        //    and exits on the hangup.
+        for book in self.inner.links.lock().values_mut() {
+            book.tx = None;
+        }
         *self.inner.hub_tx.lock() = None;
+        // 3. Join the workers — the drain is complete when this returns.
+        let workers = std::mem::take(&mut *self.inner.workers.lock());
+        for h in workers {
+            let _ = h.join();
+        }
+        // 4. Only now do endpoints disconnect.
         self.inner.endpoints.write().clear();
     }
 }
@@ -350,24 +503,60 @@ fn mix64(mut z: u64) -> u64 {
     (z ^ (z >> 31)) | 1
 }
 
+/// Delivers `d` to its destination endpoint (drops it when the endpoint
+/// is gone — exactly what a real network does to a dead host's traffic).
+fn deliver<M: Send + 'static>(inner: &Inner<M>, d: Delayed<M>) {
+    let endpoints = inner.endpoints.read();
+    if let Some(dest) = endpoints.get(&d.envelope.to) {
+        let _ = dest.send(d.envelope);
+    }
+}
+
+/// One link's delivery worker ([`Topology::Switched`]): messages arrive
+/// already FIFO-clamped (monotone `deliver_at`), so the worker sleeps
+/// until each message's instant and hands it to the endpoint — queue
+/// order **is** delivery order. When the network flushes (shutdown) the
+/// sleep is skipped and the backlog drains immediately; the worker exits
+/// when its queue disconnects.
+fn link_loop<M: Send + 'static>(rx: Receiver<Delayed<M>>, inner: std::sync::Weak<Inner<M>>) {
+    while let Ok(d) = rx.recv() {
+        let Some(inner) = inner.upgrade() else {
+            return; // network dropped without shutdown: nobody listens
+        };
+        sleep_until_or_flush(&inner, d.deliver_at);
+        deliver(&inner, d);
+    }
+}
+
+/// Sleeps until `deadline`, waking early when the network starts
+/// flushing. Sliced so a shutdown never waits out a long in-progress
+/// delay; experiment delays (µs–ms) fit in one slice.
+fn sleep_until_or_flush<M>(inner: &Inner<M>, deadline: Instant) {
+    const SLICE: Duration = Duration::from_millis(5);
+    while !inner.flushing.load(Ordering::Relaxed) {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        std::thread::sleep((deadline - now).min(SLICE));
+    }
+}
+
+/// The legacy shared hub ([`Topology::SharedHub`]): one global timer heap
+/// ordered by `(deliver_at, seq)` — per-link FIFO holds because send-time
+/// clamping makes `deliver_at` monotone per link and `seq` breaks ties in
+/// send order. Every delivery funnels through this single thread, which
+/// is the head-of-line bottleneck the switched topology removes. On
+/// disconnect (shutdown) the heap flushes in order without sleeping.
 fn hub_loop<M: Send + 'static>(rx: Receiver<Delayed<M>>, inner: std::sync::Weak<Inner<M>>) {
     let mut queue: BinaryHeap<Delayed<M>> = BinaryHeap::new();
-    // Per-pair FIFO clamp: a later message of the same (from, to) pair is
-    // never scheduled before an earlier one, even when size-dependent
-    // latency or jitter would say otherwise — the link behaves like one
-    // TCP stream. The schedulers' termination protocol relies on this
-    // (e.g. an `Abort` must not overtake the `ExecRemote` it cancels).
-    let mut pair_last: HashMap<(SiteId, SiteId), Instant> = HashMap::new();
     loop {
         // Deliver everything due.
         let now = Instant::now();
         while queue.peek().map(|d| d.deliver_at <= now).unwrap_or(false) {
             let d = queue.pop().expect("peeked");
             if let Some(inner) = inner.upgrade() {
-                let endpoints = inner.endpoints.read();
-                if let Some(dest) = endpoints.get(&d.envelope.to) {
-                    let _ = dest.send(d.envelope);
-                }
+                deliver(&inner, d);
             } else {
                 return; // network dropped
             }
@@ -378,33 +567,17 @@ fn hub_loop<M: Send + 'static>(rx: Receiver<Delayed<M>>, inner: std::sync::Weak<
             .map(|d| d.deliver_at.saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_millis(50));
         match rx.recv_timeout(wait.max(Duration::from_micros(10))) {
-            Ok(mut d) => {
-                let pair = (d.envelope.from, d.envelope.to);
-                if let Some(&last) = pair_last.get(&pair) {
-                    d.deliver_at = d.deliver_at.max(last);
-                }
-                pair_last.insert(pair, d.deliver_at);
-                queue.push(d);
-            }
+            Ok(d) => queue.push(d),
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                 if inner.upgrade().is_none() {
                     return;
                 }
             }
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                // Drain remaining queue then exit.
-                let now_final = Instant::now() + Duration::from_secs(1);
+                // Shutdown: flush the backlog in heap order, no sleeps.
                 while let Some(d) = queue.pop() {
-                    std::thread::sleep(d.deliver_at.saturating_duration_since(Instant::now()));
-                    if Instant::now() > now_final {
-                        return;
-                    }
-                    if let Some(inner) = inner.upgrade() {
-                        let endpoints = inner.endpoints.read();
-                        if let Some(dest) = endpoints.get(&d.envelope.to) {
-                            let _ = dest.send(d.envelope);
-                        }
-                    }
+                    let Some(inner) = inner.upgrade() else { return };
+                    deliver(&inner, d);
                 }
                 return;
             }
@@ -435,6 +608,7 @@ mod tests {
         assert_eq!(e.from, SiteId(1));
         assert_eq!(net.stats().messages(), 1);
         assert_eq!(net.stats().bytes(), 64);
+        assert_eq!(net.stats().links_active(), 0, "no threads at zero latency");
     }
 
     #[test]
@@ -485,6 +659,7 @@ mod tests {
             "elapsed {:?}",
             t0.elapsed()
         );
+        assert_eq!(net.stats().links_active(), 1);
         net.shutdown();
     }
 
@@ -531,20 +706,100 @@ mod tests {
             jitter: Duration::from_micros(500),
             seed: 3,
         };
+        for topology in [Topology::Switched, Topology::SharedHub] {
+            let net: Network<SizedMsg> = Network::with_topology(model, topology);
+            let a = net.register(SiteId(0));
+            let _b = net.register(SiteId(1));
+            net.send(SiteId(1), SiteId(0), SizedMsg(0, 64 * 1024))
+                .unwrap();
+            net.send(SiteId(1), SiteId(0), SizedMsg(1, 16)).unwrap();
+            for i in 0..2 {
+                let e = a
+                    .recv_timeout(Duration::from_secs(5))
+                    .unwrap()
+                    .expect("delivered");
+                assert_eq!(
+                    e.payload.0, i,
+                    "messages must arrive in send order ({topology:?})"
+                );
+            }
+            net.shutdown();
+        }
+    }
+
+    #[test]
+    fn independent_links_deliver_concurrently() {
+        // A backlog on link 1→0 must not delay link 2→0: the fast
+        // message overtakes the other link's queue (cross-link ordering
+        // is not promised; per-link FIFO is).
+        let model = LatencyModel {
+            fixed: Duration::from_millis(30),
+            per_kib: Duration::ZERO,
+            jitter: Duration::ZERO,
+            seed: 7,
+        };
         let net: Network<SizedMsg> = Network::new(model);
         let a = net.register(SiteId(0));
         let _b = net.register(SiteId(1));
-        net.send(SiteId(1), SiteId(0), SizedMsg(0, 64 * 1024))
-            .unwrap();
-        net.send(SiteId(1), SiteId(0), SizedMsg(1, 16)).unwrap();
-        for i in 0..2 {
-            let e = a
-                .recv_timeout(Duration::from_secs(5))
-                .unwrap()
-                .expect("delivered");
-            assert_eq!(e.payload.0, i, "messages must arrive in send order");
+        let _c = net.register(SiteId(2));
+        for i in 0..5 {
+            net.send(SiteId(1), SiteId(0), SizedMsg(i, 64)).unwrap();
         }
+        net.send(SiteId(2), SiteId(0), SizedMsg(100, 64)).unwrap();
+        let mut got = Vec::new();
+        for _ in 0..6 {
+            got.push(
+                a.recv_timeout(Duration::from_secs(5))
+                    .unwrap()
+                    .expect("delivered")
+                    .payload
+                    .0,
+            );
+        }
+        assert_eq!(net.stats().links_active(), 2);
+        // Per-link FIFO: 0..5 appear in order regardless of interleaving.
+        let link1: Vec<u32> = got.iter().copied().filter(|&v| v < 100).collect();
+        assert_eq!(link1, vec![0, 1, 2, 3, 4]);
+        assert!(got.contains(&100));
         net.shutdown();
+    }
+
+    #[test]
+    fn shutdown_flushes_in_flight_messages() {
+        // The fix pinned here: in-flight delayed messages must NOT vanish
+        // on shutdown — every accepted message is delivered, in link FIFO
+        // order, before endpoints disconnect.
+        let model = LatencyModel {
+            fixed: Duration::from_millis(200),
+            per_kib: Duration::ZERO,
+            jitter: Duration::ZERO,
+            seed: 5,
+        };
+        for topology in [Topology::Switched, Topology::SharedHub] {
+            let net: Network<Msg> = Network::with_topology(model, topology);
+            let a = net.register(SiteId(0));
+            let _b = net.register(SiteId(1));
+            let _c = net.register(SiteId(2));
+            for i in 0..10 {
+                net.send(SiteId(1), SiteId(0), Msg(i)).unwrap();
+                net.send(SiteId(2), SiteId(0), Msg(100 + i)).unwrap();
+            }
+            let t0 = Instant::now();
+            net.shutdown();
+            assert!(
+                t0.elapsed() < Duration::from_millis(150),
+                "flush skips remaining sleeps ({topology:?}: {:?})",
+                t0.elapsed()
+            );
+            let got: Vec<u32> = a.drain(100).iter().map(|e| e.payload.0).collect();
+            assert_eq!(got.len(), 20, "nothing vanished ({topology:?})");
+            let link1: Vec<u32> = got.iter().copied().filter(|&v| v < 100).collect();
+            let link2: Vec<u32> = got.iter().copied().filter(|&v| v >= 100).collect();
+            assert_eq!(link1, (0..10).collect::<Vec<_>>(), "{topology:?}");
+            assert_eq!(link2, (100..110).collect::<Vec<_>>(), "{topology:?}");
+            // After the drain, the endpoint reports closure.
+            assert!(matches!(a.recv(), Err(NetError::Closed)));
+        }
     }
 
     #[test]
@@ -586,5 +841,20 @@ mod tests {
         net.shutdown();
         assert!(matches!(a.recv(), Err(NetError::Closed)));
         assert!(net.send(SiteId(0), SiteId(0), Msg(1)).is_err());
+    }
+
+    #[test]
+    fn link_delay_is_a_pure_function_of_seed_link_and_k() {
+        let model = LatencyModel::lan(42);
+        for k in 0..50 {
+            let d1 = link_delay(&model, SiteId(1), SiteId(2), k, 128);
+            let d2 = link_delay(&model, SiteId(1), SiteId(2), k, 128);
+            assert_eq!(d1, d2, "same inputs, same delay (k={k})");
+        }
+        // Different links and different seeds draw different streams.
+        let other_link = link_delay(&model, SiteId(2), SiteId(1), 0, 128);
+        let other_seed = link_delay(&LatencyModel::lan(43), SiteId(1), SiteId(2), 0, 128);
+        let base = link_delay(&model, SiteId(1), SiteId(2), 0, 128);
+        assert!(base != other_link || base != other_seed);
     }
 }

@@ -13,7 +13,7 @@
 //!   open and closed auctions) with a byte-size target and deterministic
 //!   seeding;
 //! * [`fragment`] — size-balanced fragmentation in the style of Kurita et
-//!   al. (the paper's [22]): "the data is fragmented considering the
+//!   al. (the paper’s \[22\]): "the data is fragmented considering the
 //!   structure and size of the document, so that each generated fragment
 //!   has a similar size", plus the Fig. 8 allocation schemes (partial /
 //!   total replication);

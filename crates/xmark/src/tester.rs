@@ -1,4 +1,4 @@
-//! DTXTester: the multi-client simulator (paper §3, based on [19]).
+//! DTXTester: the multi-client simulator (paper §3, based on \[19\]).
 //!
 //! "Transaction concurrency is simulated when multiple clients are used.
 //! The simulator generates the transactions according to certain

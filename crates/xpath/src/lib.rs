@@ -11,7 +11,7 @@
 //!   relative path against a literal (`[id=4]`, `[name="Patricia"]`,
 //!   `[price>10]`), combinable with `and` / `or` / `not(...)`;
 //! * [`Query::parse`] — a recursive-descent parser for that subset;
-//! * [`eval`] — evaluation of a query against a [`dtx_xml::Document`],
+//! * [`eval`](mod@eval) — evaluation of a query against a [`dtx_xml::Document`],
 //!   returning matching node ids in document order;
 //! * [`UpdateOp`] / [`apply_update`] — the update language, with invertible
 //!   application: every update returns an [`UndoRecord`] that

@@ -48,6 +48,12 @@
 //! cluster.shutdown();
 //! ```
 
+#[doc = include_str!("../ARCHITECTURE.md")]
+/// (rendered from `ARCHITECTURE.md`; its item links are verified by
+/// `cargo doc -D warnings` in CI, so the walkthrough cannot drift from
+/// the code it narrates)
+pub mod architecture {}
+
 pub use dtx_core as core;
 pub use dtx_dataguide as dataguide;
 pub use dtx_locks as locks;
