@@ -1,0 +1,276 @@
+//! `check_bench` — the CI perf-regression gate.
+//!
+//! Validates the committed `BENCH_*.json` witnesses against their
+//! recorded invariants (a doctored or regressed witness fails the gate
+//! outright), then — unless `--offline` — re-runs seconds-scale smoke
+//! versions of the gated workloads and checks the fresh numbers against
+//! wider tolerance bands (see `dtx_bench::gate` for every band and its
+//! rationale):
+//!
+//! * **fig12** — XDGL over the standard 4-site mixed workload: commits
+//!   ≥ 228 / 250, batched termination messages strictly below the
+//!   unbatched-equivalent count;
+//! * **net** — 8-site all-to-all storm over hub / thread-per-link /
+//!   reactor: the reactor rate holds its wins (per-link FIFO and the
+//!   bounded-thread invariant are asserted inside the storm itself);
+//! * **ingest** — tree vs streaming ingestion of the default 400 KB
+//!   base: the streaming rate holds its win.
+//!
+//! Prints a delta table (committed vs fresh per metric), writes the
+//! fresh numbers to `target/BENCH_check.json` (uploaded as a CI
+//! artifact for trajectory inspection), and exits non-zero on any
+//! failed check.
+
+use dtx_bench::gate::{
+    self, check_ingest_witness, check_net_witness, check_throughput_witness, Check,
+};
+use dtx_bench::json::Json;
+use dtx_bench::netbench::storm;
+use dtx_bench::{run, setup, ExpEnv, BASE_BYTES, SEED};
+use dtx_core::ProtocolKind;
+use dtx_dataguide::{DataGuide, GuideBuilder};
+use dtx_net::Topology;
+use dtx_xmark::generator::{emit, generate, XmarkConfig};
+use dtx_xmark::workload::WorkloadConfig;
+use dtx_xml::stream::{Tee, TreeBuilder};
+use dtx_xml::Document;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One committed-vs-fresh delta row for the report table.
+struct Delta {
+    metric: &'static str,
+    committed: Option<f64>,
+    fresh: f64,
+}
+
+fn load_witness(path: &str) -> Result<Json, String> {
+    let src =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read witness {path}: {e}"))?;
+    Json::parse(&src).map_err(|e| format!("witness {path} is not valid JSON: {e}"))
+}
+
+fn print_checks(title: &str, checks: &[Check]) -> bool {
+    let mut ok = true;
+    println!("\n## {title}");
+    for c in checks {
+        let mark = if c.ok { "PASS" } else { "FAIL" };
+        println!("  [{mark}] {:<48} {}", c.name, c.detail);
+        ok &= c.ok;
+    }
+    ok
+}
+
+/// Fresh fig12-style run: XDGL only (Node2PL takes ~10× longer and is
+/// not gated), standard 4-site environment, 250 transactions.
+fn fresh_throughput() -> (f64, f64, f64) {
+    let (cluster, frags) = setup(ExpEnv::standard(ProtocolKind::Xdgl));
+    let report = run(&cluster, &frags, WorkloadConfig::with_updates(50, 20, SEED));
+    let metrics = cluster.metrics();
+    let out = (
+        report.committed() as f64,
+        metrics.termination_msgs() as f64,
+        metrics.termination_msgs_unbatched() as f64,
+    );
+    cluster.shutdown();
+    out
+}
+
+/// Fresh ingest rates (MB/s) for the default base: tree path (string →
+/// parse → guide rebuild) vs streaming path (events → tree ⊕ guide).
+fn fresh_ingest() -> (f64, f64) {
+    let config = XmarkConfig::sized(BASE_BYTES, SEED);
+    let t0 = Instant::now();
+    let doc = generate(config);
+    let parsed = Document::parse(&doc.xml).expect("well-formed");
+    let guide = DataGuide::build(&parsed);
+    let tree_s = t0.elapsed().as_secs_f64();
+    let bytes = doc.xml.len();
+    assert!(guide.len() > 10);
+    drop((doc, parsed, guide));
+
+    let t0 = Instant::now();
+    let mut tree = TreeBuilder::new();
+    let mut guide = GuideBuilder::new();
+    emit(config, &mut Tee::new(&mut tree, &mut guide)).expect("well-formed events");
+    let sdoc = tree.finish().expect("balanced");
+    let sguide = guide.finish().expect("rooted");
+    let stream_s = t0.elapsed().as_secs_f64();
+    drop((sdoc, sguide));
+
+    let mb = bytes as f64 / (1024.0 * 1024.0);
+    (mb / stream_s.max(1e-9), mb / tree_s.max(1e-9))
+}
+
+fn print_delta_table(deltas: &[Delta]) {
+    println!("\n## delta table (committed witness vs fresh smoke run)");
+    println!(
+        "  {:<40} {:>14} {:>14} {:>9}",
+        "metric", "committed", "fresh", "ratio"
+    );
+    for d in deltas {
+        let (committed, ratio) = match d.committed {
+            Some(c) => (format!("{c:.0}"), format!("{:.2}x", d.fresh / c.max(1e-9))),
+            None => ("(absent)".into(), "-".into()),
+        };
+        println!(
+            "  {:<40} {:>14} {:>14.0} {:>9}",
+            d.metric, committed, d.fresh, ratio
+        );
+    }
+}
+
+fn write_fresh_json(deltas: &[Delta]) {
+    let mut out = String::from("{\n  \"experiment\": \"check_bench_fresh\",\n  \"metrics\": [\n");
+    for (i, d) in deltas.iter().enumerate() {
+        let committed = d
+            .committed
+            .map(|c| format!("{c:.2}"))
+            .unwrap_or_else(|| "null".into());
+        let _ = write!(
+            out,
+            "    {{\"metric\": \"{}\", \"committed\": {committed}, \"fresh\": {:.2}}}",
+            d.metric, d.fresh
+        );
+        out.push_str(if i + 1 < deltas.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    let _ = std::fs::create_dir_all("target");
+    match std::fs::write("target/BENCH_check.json", out) {
+        Ok(()) => println!("\n# fresh numbers written to target/BENCH_check.json"),
+        Err(e) => eprintln!("could not write target/BENCH_check.json: {e}"),
+    }
+}
+
+fn main() {
+    let offline = std::env::args().any(|a| a == "--offline");
+    println!("# check_bench — perf-regression gate over the committed BENCH_*.json witnesses");
+    let mut all_ok = true;
+
+    // ---- 1. Committed-witness validation (always) -------------------
+    let throughput = load_witness("BENCH_throughput.json");
+    let net = load_witness("BENCH_net.json");
+    let ingest = load_witness("BENCH_ingest.json");
+    for (name, loaded) in [
+        ("BENCH_throughput.json", &throughput),
+        ("BENCH_net.json", &net),
+        ("BENCH_ingest.json", &ingest),
+    ] {
+        if let Err(e) = loaded {
+            println!("  [FAIL] {name}: {e}");
+            all_ok = false;
+        }
+    }
+    if let Ok(doc) = &throughput {
+        all_ok &= print_checks(
+            "committed witness: throughput",
+            &check_throughput_witness(doc),
+        );
+    }
+    if let Ok(doc) = &net {
+        all_ok &= print_checks("committed witness: net", &check_net_witness(doc));
+    }
+    if let Ok(doc) = &ingest {
+        all_ok &= print_checks("committed witness: ingest", &check_ingest_witness(doc));
+    }
+
+    if offline {
+        if all_ok {
+            println!("\n# gate PASSED (offline: witnesses only)");
+            return;
+        }
+        eprintln!("\n# gate FAILED (offline: witnesses only)");
+        std::process::exit(1);
+    }
+
+    // ---- 2. Fresh smoke runs ----------------------------------------
+    let mut deltas: Vec<Delta> = Vec::new();
+    let committed_of = |doc: &Result<Json, String>, path: &[&str]| -> Option<f64> {
+        let mut cur = doc.as_ref().ok()?;
+        for (i, step) in path.iter().enumerate() {
+            if i == path.len() - 1 {
+                return cur.num_field(step);
+            }
+            cur = match step.split_once('=') {
+                Some((field, value)) => cur.find_by(field, value)?,
+                None => cur.get(step)?,
+            };
+        }
+        None
+    };
+
+    println!("\n# fresh run: fig12 XDGL (250 txns, standard 4-site environment)");
+    let (committed, batched, unbatched) = fresh_throughput();
+    all_ok &= print_checks(
+        "fresh: throughput",
+        &gate::check_throughput_fresh(committed, batched, unbatched),
+    );
+    deltas.push(Delta {
+        metric: "fig12 XDGL committed",
+        committed: committed_of(&throughput, &["protocols", "name=XDGL", "committed"]),
+        fresh: committed,
+    });
+    deltas.push(Delta {
+        metric: "fig12 XDGL termination_msgs",
+        committed: committed_of(&throughput, &["protocols", "name=XDGL", "termination_msgs"]),
+        fresh: batched,
+    });
+
+    println!("\n# fresh run: net storm (8 sites x 300 msgs/link, all three topologies)");
+    let hub = storm(Topology::SharedHub, 8, 300, SEED);
+    let tpl = storm(Topology::ThreadPerLink, 8, 300, SEED);
+    let reactor = storm(Topology::Reactor, 8, 300, SEED);
+    all_ok &= print_checks(
+        "fresh: net",
+        &gate::check_net_fresh(reactor.msgs_per_s, hub.msgs_per_s, tpl.msgs_per_s),
+    );
+    for (metric, committed_name, r) in [
+        ("net hub msgs/s", "hub", &hub),
+        ("net thread_per_link msgs/s", "thread_per_link", &tpl),
+        ("net reactor msgs/s", "reactor", &reactor),
+    ] {
+        deltas.push(Delta {
+            metric,
+            committed: committed_of(
+                &net,
+                &[
+                    "topologies",
+                    &format!("name={committed_name}"),
+                    "msgs_per_s",
+                ],
+            ),
+            fresh: r.msgs_per_s,
+        });
+    }
+    deltas.push(Delta {
+        metric: "net reactor delivery_threads",
+        committed: committed_of(&net, &["topologies", "name=reactor", "delivery_threads"]),
+        fresh: reactor.delivery_threads as f64,
+    });
+
+    println!("\n# fresh run: ingest (tree vs streaming, {BASE_BYTES} B base)");
+    let (stream_rate, tree_rate) = fresh_ingest();
+    all_ok &= print_checks(
+        "fresh: ingest",
+        &gate::check_ingest_fresh(stream_rate, tree_rate),
+    );
+    deltas.push(Delta {
+        metric: "ingest stream MB/s",
+        committed: ingest
+            .as_ref()
+            .ok()
+            .and_then(|doc| doc.get("points")?.arr()?.first())
+            .and_then(|p| p.get("stream")?.num_field("mb_per_s")),
+        fresh: stream_rate,
+    });
+
+    print_delta_table(&deltas);
+    write_fresh_json(&deltas);
+
+    if all_ok {
+        println!("\n# gate PASSED");
+    } else {
+        eprintln!("\n# gate FAILED — a committed witness or fresh smoke run violated its band");
+        std::process::exit(1);
+    }
+}

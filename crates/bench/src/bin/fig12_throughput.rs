@@ -34,9 +34,9 @@ struct ProtocolResult {
     /// What the per-transaction termination protocol would have sent —
     /// must sit strictly above `termination_msgs` (the batching win).
     termination_msgs_unbatched: u64,
-    /// Delivery links spawned by the sharded network (ordered site pairs
-    /// carrying traffic; 4 sites all-to-all = 12).
-    net_links_active: u64,
+    /// Network delivery worker threads spawned (reactor pool; bounded
+    /// by `NetConfig::workers` no matter how many links carry traffic).
+    net_worker_threads: u64,
     /// (t_ms, cumulative commits) series.
     series: Vec<(f64, usize)>,
 }
@@ -57,7 +57,7 @@ fn write_json(results: &[ProtocolResult]) -> std::io::Result<()> {
             "    {{\"name\": \"{}\", \"committed\": {}, \"submitted\": {}, \"aborted\": {}, \
              \"wall_ms\": {:.2}, \"max_inflight_remote\": {}, \"remote_msgs\": {}, \
              \"termination_msgs\": {}, \"termination_msgs_unbatched\": {}, \
-             \"net_links_active\": {}, \
+             \"net_worker_threads\": {}, \
              \"throughput_txn_per_s\": {:.2}, \"series_ms_commits\": [{}]}}",
             r.name,
             r.committed,
@@ -68,7 +68,7 @@ fn write_json(results: &[ProtocolResult]) -> std::io::Result<()> {
             r.remote_msgs,
             r.termination_msgs,
             r.termination_msgs_unbatched,
-            r.net_links_active,
+            r.net_worker_threads,
             r.committed as f64 / (r.wall_ms / 1e3).max(1e-9),
             series.join(", ")
         );
@@ -100,10 +100,11 @@ fn main() {
             report.aborted(),
         );
         println!(
-            "termination msgs {} (unbatched protocol would send {}), net links {}",
+            "termination msgs {} (unbatched protocol would send {}), net links {}, delivery threads {}",
             metrics.termination_msgs(),
             metrics.termination_msgs_unbatched(),
             cluster.net_links_active(),
+            cluster.net_worker_threads(),
         );
         // Bucket the run into ~20 intervals like the figure.
         let bucket = (report.wall / 20).max(Duration::from_millis(1));
@@ -128,7 +129,7 @@ fn main() {
             remote_msgs: metrics.remote_msgs(),
             termination_msgs: metrics.termination_msgs(),
             termination_msgs_unbatched: metrics.termination_msgs_unbatched(),
-            net_links_active: cluster.net_links_active(),
+            net_worker_threads: cluster.net_worker_threads(),
             series: tp.iter().map(|(t, c)| (ms(*t), *c)).collect(),
         });
         cluster.shutdown();

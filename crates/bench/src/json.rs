@@ -1,0 +1,296 @@
+//! A minimal JSON reader for the committed `BENCH_*.json` witnesses.
+//!
+//! The workspace's `serde` is an offline no-op shim (see the root
+//! manifest), so the perf-regression gate parses its witness files with
+//! this ~150-line recursive-descent reader instead. It covers exactly
+//! what the bench writers emit — objects, arrays, strings (no escapes
+//! beyond `\"`, `\\`, `\/`, `\n`, `\t`, `\r`), numbers, booleans, null —
+//! and rejects anything else with a position-annotated error.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (always read as `f64`; the witnesses' counters fit).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses `src` into a single JSON value (trailing garbage is an
+    /// error).
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let bytes = src.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array.
+    pub fn arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value.
+    pub fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value.
+    pub fn str_val(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric field of an object (`get` + `num`).
+    pub fn num_field(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(Json::num)
+    }
+
+    /// First element of an array-of-objects whose `key` field equals
+    /// `value` — how the gate selects a named series entry.
+    pub fn find_by<'a>(&'a self, key: &str, value: &str) -> Option<&'a Json> {
+        self.arr()?
+            .iter()
+            .find(|e| e.get(key).and_then(Json::str_val) == Some(value))
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_num(b, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {}", *c as char, *pos)),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    other => return Err(format!("unsupported escape {other:?} at {}", *pos)),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Multi-byte UTF-8 sequences pass through byte by byte —
+                // the source is a &str, so the bytes recombine validly.
+                let ch_len = utf8_len(c);
+                let chunk = std::str::from_utf8(&b[*pos..*pos + ch_len])
+                    .map_err(|_| format!("invalid utf8 at {}", *pos))?;
+                out.push_str(chunk);
+                *pos += ch_len;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {}", *pos));
+        }
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {}", *pos));
+        }
+        *pos += 1;
+        let v = parse_value(b, pos)?;
+        fields.push((key, v));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_witness_shapes() {
+        let src = r#"{
+            "experiment": "bench_net",
+            "topologies": [
+                {"name": "hub", "msgs_per_s": 1093189, "links_active": 0},
+                {"name": "reactor", "msgs_per_s": 2948760.5, "ok": true}
+            ],
+            "speedup": 2.70,
+            "nothing": null
+        }"#;
+        let v = Json::parse(src).unwrap();
+        assert_eq!(v.num_field("speedup"), Some(2.70));
+        assert_eq!(v.get("nothing"), Some(&Json::Null));
+        let topos = v.get("topologies").unwrap();
+        let reactor = topos.find_by("name", "reactor").unwrap();
+        assert_eq!(reactor.num_field("msgs_per_s"), Some(2948760.5));
+        assert_eq!(reactor.get("ok"), Some(&Json::Bool(true)));
+        assert!(topos.find_by("name", "ghost").is_none());
+    }
+
+    #[test]
+    fn parses_nested_series_arrays() {
+        let src = r#"{"series_ms_commits": [[32.3, 0], [64.7, 20]]}"#;
+        let v = Json::parse(src).unwrap();
+        let series = v.get("series_ms_commits").unwrap().arr().unwrap();
+        assert_eq!(series[1].arr().unwrap()[1].num(), Some(20.0));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "{",
+            "[1, 2",
+            "{\"a\" 1}",
+            "{\"a\": 1,}",
+            "tru",
+            "\"open",
+            "{} trailing",
+            "",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn parses_negative_and_exponent_numbers() {
+        let v = Json::parse("[-1.5, 2e3, 0.25]").unwrap();
+        let a = v.arr().unwrap();
+        assert_eq!(a[0].num(), Some(-1.5));
+        assert_eq!(a[1].num(), Some(2000.0));
+        assert_eq!(a[2].num(), Some(0.25));
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v = Json::parse(r#""a\"b\\c\nd — µs""#).unwrap();
+        assert_eq!(v.str_val(), Some("a\"b\\c\nd — µs"));
+    }
+}

@@ -11,7 +11,10 @@
 //! protocols and replication modes are the reproduction target, not the
 //! absolute times.
 
+pub mod gate;
+pub mod json;
 pub mod mem;
+pub mod netbench;
 
 pub use mem::CountingAlloc;
 

@@ -19,7 +19,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use dtx_dataguide::DataGuide;
 use dtx_locks::txn::TxnIdGen;
 use dtx_locks::ProtocolKind;
-use dtx_net::{LatencyModel, Network, SiteId};
+use dtx_net::{LatencyModel, NetConfig, Network, SiteId, Topology};
 use dtx_storage::{CostModel, MemStore};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -43,6 +43,10 @@ pub struct ClusterConfig {
     pub op_cost: OpCostModel,
     /// Scheduler tuning.
     pub scheduler: SchedulerConfig,
+    /// Network delivery tuning: the reactor's worker-pool bound and
+    /// timer-wheel geometry (default: `min(8, cores)` workers — the
+    /// delivery thread count is O(workers), not O(sites²)).
+    pub net: NetConfig,
     /// Placement policy installed in the catalog (how reads are spread
     /// over replicas; default: [`PolicyKind::Primary`], the paper's
     /// everywhere-read behavior).
@@ -61,6 +65,7 @@ impl ClusterConfig {
             storage_cost: CostModel::zero(),
             op_cost: OpCostModel::zero(),
             scheduler: SchedulerConfig::default(),
+            net: NetConfig::default(),
             policy: PolicyKind::default(),
             seed: 0xD7C5,
         }
@@ -84,6 +89,22 @@ impl ClusterConfig {
     /// Selects the placement policy installed in the catalog.
     pub fn with_policy(mut self, policy: PolicyKind) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Bounds the network reactor's delivery-worker pool.
+    pub fn with_net_workers(mut self, workers: usize) -> Self {
+        self.net = self.net.with_workers(workers);
+        self
+    }
+
+    /// Sets the group-commit flush window: termination decisions may be
+    /// held in the outbox for up to this latency budget (while fewer
+    /// than the configured pending threshold have accumulated) to form
+    /// larger [`crate::msg::Message::TerminateBatch`]es. Zero (the
+    /// default) flushes every event-loop tick.
+    pub fn with_flush_window(mut self, window: Duration) -> Self {
+        self.scheduler.flush_window = window;
         self
     }
 }
@@ -191,7 +212,7 @@ impl Cluster {
     pub fn start(config: ClusterConfig) -> Self {
         let mut latency = config.latency;
         latency.seed = config.seed;
-        let net: Network<Message> = Network::new(latency);
+        let net: Network<Message> = Network::with_config(latency, Topology::default(), config.net);
         let catalog = Arc::new(Catalog::new());
         catalog.set_policy(config.policy.instantiate());
         let idgen = Arc::new(TxnIdGen::new());
@@ -410,20 +431,29 @@ impl Cluster {
         self.net.stats().bytes()
     }
 
-    /// Delivery links the network has spawned (distinct ordered site
+    /// Delivery links the network has tracked (distinct ordered site
     /// pairs that carried delayed traffic — zero under the zero-latency
-    /// model).
+    /// model). Links are queue bookkeeping, not threads: see
+    /// [`Cluster::net_worker_threads`].
     pub fn net_links_active(&self) -> u64 {
         self.net.stats().links_active()
     }
 
+    /// Network delivery worker threads spawned. Under the default
+    /// reactor topology this is bounded by [`NetConfig::workers`]
+    /// regardless of how many links exist.
+    pub fn net_worker_threads(&self) -> u64 {
+        self.net.stats().delivery_threads()
+    }
+
     /// Stops all schedulers and tears the network down. In-flight
     /// transactions are aborted with [`crate::op::AbortReason::Shutdown`].
-    /// The final link count is recorded into the
-    /// [`Metrics::net_links_active`] gauge — the [`Metrics`] handle
+    /// The final delivery-thread count is recorded into the
+    /// [`Metrics::net_worker_threads`] gauge — the [`Metrics`] handle
     /// outlives the cluster, so post-run reports read it from there.
     pub fn shutdown(mut self) {
-        self.metrics.note_net_links(self.net.stats().links_active());
+        self.metrics
+            .note_net_workers(self.net.stats().delivery_threads());
         for inst in &mut self.instances {
             inst.shutdown();
         }

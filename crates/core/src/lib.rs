@@ -41,7 +41,7 @@ pub mod scheduler;
 pub use catalog::Catalog;
 pub use cluster::{Cluster, ClusterConfig, DtxInstance};
 pub use dtx_locks::{ProtocolKind, TxnId};
-pub use dtx_net::SiteId;
+pub use dtx_net::{NetConfig, SiteId};
 pub use lockmgr::{LockManager, OpCostModel, ProcessResult};
 pub use metrics::{Metrics, PhaseTimes, Summary, TxnRecord};
 pub use msg::Message;

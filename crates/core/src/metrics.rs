@@ -108,13 +108,14 @@ pub struct Metrics {
     /// one `Commit`/`Abort` per (transaction, site) plus one ack each —
     /// the batching win's regression witness.
     termination_msgs_unbatched: AtomicU64,
-    /// High-water mark of concurrently active network delivery links
-    /// (ordered site pairs with their own worker under the switched
-    /// topology). Witnesses that delivery is sharded, not funneled
-    /// through one hub thread. Recorded by `Cluster::shutdown` (the
-    /// metrics handle outlives the cluster); live values are read off
-    /// `Cluster::net_links_active` directly.
-    net_links_active: AtomicU64,
+    /// High-water mark of network delivery worker threads. Under the
+    /// default reactor topology this is bounded by the configured pool
+    /// size (`NetConfig::workers`) no matter how many site pairs carry
+    /// traffic — the gauge that replaced the unbounded per-link count
+    /// (one thread per ordered pair). Recorded by `Cluster::shutdown`
+    /// (the metrics handle outlives the cluster); live values are read
+    /// off `Cluster::net_worker_threads` directly.
+    net_worker_threads: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -137,7 +138,7 @@ impl Metrics {
             guides_built: AtomicU64::new(0),
             termination_msgs: AtomicU64::new(0),
             termination_msgs_unbatched: AtomicU64::new(0),
-            net_links_active: AtomicU64::new(0),
+            net_worker_threads: AtomicU64::new(0),
         }
     }
 
@@ -163,15 +164,15 @@ impl Metrics {
         self.termination_msgs_unbatched.load(Ordering::Relaxed)
     }
 
-    /// Reports the number of active network delivery links; the
+    /// Reports the number of network delivery worker threads; the
     /// high-water mark is kept.
-    pub fn note_net_links(&self, n: u64) {
-        self.net_links_active.fetch_max(n, Ordering::Relaxed);
+    pub fn note_net_workers(&self, n: u64) {
+        self.net_worker_threads.fetch_max(n, Ordering::Relaxed);
     }
 
-    /// High-water mark of concurrently active network delivery links.
-    pub fn net_links_active(&self) -> u64 {
-        self.net_links_active.load(Ordering::Relaxed)
+    /// High-water mark of network delivery worker threads.
+    pub fn net_worker_threads(&self) -> u64 {
+        self.net_worker_threads.load(Ordering::Relaxed)
     }
 
     /// Counts `n` coordinator → participant operation dispatches.
@@ -546,12 +547,12 @@ mod tests {
     }
 
     #[test]
-    fn net_links_gauge_keeps_high_water_mark() {
+    fn net_worker_gauge_keeps_high_water_mark() {
         let m = Metrics::new();
-        m.note_net_links(3);
-        m.note_net_links(12);
-        m.note_net_links(7);
-        assert_eq!(m.net_links_active(), 12);
+        m.note_net_workers(3);
+        m.note_net_workers(8);
+        m.note_net_workers(7);
+        assert_eq!(m.net_worker_threads(), 8);
     }
 
     #[test]

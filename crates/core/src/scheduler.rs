@@ -93,6 +93,19 @@ pub struct SchedulerConfig {
     pub wait_timeout: Duration,
     /// Event-loop poll interval when idle.
     pub idle_wait: Duration,
+    /// Group-commit latency budget: termination decisions may sit in the
+    /// outbox for up to this long (while fewer than
+    /// [`SchedulerConfig::flush_min_pending`] have accumulated) before
+    /// they are flushed, trading a bounded commit-latency cost for
+    /// larger [`Message::TerminateBatch`]es under light load. Zero (the
+    /// default) keeps the per-tick flush: the outbox never outlives one
+    /// event-loop iteration.
+    pub flush_window: Duration,
+    /// Pending-decision threshold that overrides the flush window: once
+    /// this many per-transaction decisions have accumulated, the outbox
+    /// flushes immediately — the window only holds back *light* traffic,
+    /// a loaded tick already batches well.
+    pub flush_min_pending: usize,
     /// Seed for retry jitter.
     pub seed: u64,
 }
@@ -105,6 +118,8 @@ impl Default for SchedulerConfig {
             remote_timeout: Duration::from_secs(60),
             wait_timeout: Duration::from_secs(180),
             idle_wait: Duration::from_micros(500),
+            flush_window: Duration::ZERO,
+            flush_min_pending: 8,
             seed: 0x5EED,
         }
     }
@@ -327,9 +342,15 @@ pub struct Scheduler {
     pending_commit: HashMap<TxnId, HashMap<SiteId, bool>>,
     /// Abort acknowledgements per transaction.
     pending_abort: HashMap<TxnId, HashMap<SiteId, bool>>,
-    /// Group-commit outbox: termination decisions accumulated this tick,
-    /// flushed as one [`Message::TerminateBatch`] per site.
+    /// Group-commit outbox: accumulated termination decisions, flushed
+    /// as one [`Message::TerminateBatch`] per site — every tick by
+    /// default, or held up to the configured flush window.
     term_outbox: HashMap<SiteId, TermBatch>,
+    /// When the oldest decision entered the (currently non-empty)
+    /// outbox — the flush window counts from here.
+    outbox_since: Option<Instant>,
+    /// Per-transaction decisions currently in the outbox (across sites).
+    outbox_entries: usize,
     /// Current deadlock-detection round and its collected graphs.
     wfg_round: u64,
     wfg_replies: HashMap<SiteId, WaitForGraph>,
@@ -378,6 +399,8 @@ impl Scheduler {
             pending_commit: HashMap::new(),
             pending_abort: HashMap::new(),
             term_outbox: HashMap::new(),
+            outbox_since: None,
+            outbox_entries: 0,
             wfg_round: 0,
             wfg_replies: HashMap::new(),
             wfg_expected: 0,
@@ -490,10 +513,12 @@ impl Scheduler {
             self.maybe_finish_deadlock_round();
             // 4. State deadlines (remote/ack timeouts).
             self.sweep_deadlines();
-            // 4½. Group commit: flush this tick's accumulated termination
+            // 4½. Group commit: flush the accumulated termination
             //     decisions — one TerminateBatch per site, regardless of
-            //     how many transactions terminated since the last flush.
-            self.flush_terminations();
+            //     how many transactions terminated since the last flush
+            //     (a nonzero flush window may hold a light outbox a
+            //     little longer; see flush_terminations).
+            self.flush_terminations(false);
             // 5. Dispatch the next operation of an available transaction
             //    (Alg. 1 l. 3: "next_transaction_available"). Dispatch
             //    never blocks, so consecutive iterations interleave many
@@ -517,8 +542,9 @@ impl Scheduler {
 
     fn shutdown(&mut self) {
         // Batched decisions already made must still reach their
-        // participants (they release locks there).
-        self.flush_terminations();
+        // participants (they release locks there) — the flush window
+        // never holds a shutdown.
+        self.flush_terminations(true);
         // Abort whatever is still in flight so clients unblock.
         while let Some(txn) = self.txns.pop() {
             let _ = self.lockmgr.abort_local(txn.id);
@@ -561,6 +587,11 @@ impl Scheduler {
         };
         if let Some(d) = self.wfg_deadline {
             consider(d);
+        }
+        if let Some(since) = self.outbox_since {
+            // A held outbox must flush when its window elapses even if
+            // no other event fires first.
+            consider(since + self.cfg.flush_window);
         }
         for t in &self.txns {
             match t.phase {
@@ -1058,7 +1089,7 @@ impl Scheduler {
         }
         self.pending_commit.insert(id, HashMap::new());
         for &s in &remotes {
-            self.term_outbox.entry(s).or_default().commits.push(id);
+            self.enqueue_termination(s, id, true);
         }
         self.set_phase(
             id,
@@ -1069,14 +1100,46 @@ impl Scheduler {
         );
     }
 
+    /// Adds one termination decision to `site`'s outbox batch, arming
+    /// the flush-window clock on the first entry.
+    fn enqueue_termination(&mut self, site: SiteId, id: TxnId, commit: bool) {
+        let batch = self.term_outbox.entry(site).or_default();
+        if commit {
+            batch.commits.push(id);
+        } else {
+            batch.aborts.push(id);
+        }
+        self.outbox_entries += 1;
+        if self.outbox_since.is_none() {
+            self.outbox_since = Some(Instant::now());
+        }
+    }
+
     /// Group commit: sends each site's accumulated termination decisions
     /// as one [`Message::TerminateBatch`], emptying the outbox. Called
-    /// once per event-loop tick — the coalescing window. Sites are
-    /// flushed in id order so runs are reproducible.
-    fn flush_terminations(&mut self) {
+    /// once per event-loop tick — with the default zero flush window the
+    /// tick *is* the coalescing window; a nonzero window additionally
+    /// holds a light outbox (fewer than
+    /// [`SchedulerConfig::flush_min_pending`] decisions) until the
+    /// window elapses, so slow decision trickles still form real
+    /// batches. `force` (shutdown) overrides the hold — decisions
+    /// already made must reach their participants. Sites are flushed in
+    /// id order so runs are reproducible.
+    fn flush_terminations(&mut self, force: bool) {
         if self.term_outbox.is_empty() {
             return;
         }
+        if !force && !self.cfg.flush_window.is_zero() {
+            let young = self
+                .outbox_since
+                .map(|t| t.elapsed() < self.cfg.flush_window)
+                .unwrap_or(false);
+            if young && self.outbox_entries < self.cfg.flush_min_pending {
+                return;
+            }
+        }
+        self.outbox_since = None;
+        self.outbox_entries = 0;
         let mut batches: Vec<(SiteId, TermBatch)> = self.term_outbox.drain().collect();
         batches.sort_by_key(|(s, _)| *s);
         for (site, batch) in batches {
@@ -1189,7 +1252,7 @@ impl Scheduler {
         }
         self.pending_abort.insert(id, HashMap::new());
         for &s in &remotes {
-            self.term_outbox.entry(s).or_default().aborts.push(id);
+            self.enqueue_termination(s, id, false);
         }
         self.set_phase(
             id,

@@ -11,24 +11,26 @@
 //!   delayed according to the [`LatencyModel`] before being delivered to
 //!   the destination's channel (FIFO per sender-receiver pair, like TCP).
 //! * [`Topology`] — how delayed delivery is driven. The default,
-//!   [`Topology::Switched`], models a switched full-duplex fabric: every
-//!   ordered `(from, to)` pair is an independent **link** with its own
-//!   FIFO queue and delivery worker, so independent links deliver
-//!   concurrently and a burst on one link never head-of-line blocks
-//!   another. [`Topology::SharedHub`] keeps the legacy single-threaded
-//!   hub (one global timer heap) — all traffic funnels through one
-//!   sleeper, which is exactly the scaling bottleneck `bench_net`
-//!   measures against.
+//!   [`Topology::Reactor`], is a **sharded timer wheel**: every in-flight
+//!   delayed message lives in a wheel slot, and a small fixed pool of
+//!   delivery workers (default `min(8, cores)`, see [`NetConfig`]) drains
+//!   the wheels — thread count is O(workers) no matter how many site
+//!   pairs carry traffic, which is what lets hundred-site clusters run.
+//!   [`Topology::ThreadPerLink`] keeps the previous design (one OS thread
+//!   per ordered `(from, to)` pair — 56 threads at 8 sites, ~16k at 128)
+//!   and [`Topology::SharedHub`] the one before that (a single global
+//!   timer heap); both survive purely as the baselines `bench_net`
+//!   measures the reactor against.
 //! * [`LatencyModel`] — fixed + per-KiB + seeded jitter; the default is
 //!   calibrated to a 100 Mbit/s switched LAN. Tests use
 //!   [`LatencyModel::zero`], which delivers synchronously.
-//! * [`NetStats`] — message/byte/link counters for the experiment reports
-//!   (the paper attributes part of total-replication's cost to
+//! * [`NetStats`] — message/byte/link/thread counters for the experiment
+//!   reports (the paper attributes part of total-replication's cost to
 //!   "communication and synchronization overhead in all the sites").
 //!
 //! ## Ordering and determinism guarantees
 //!
-//! Both topologies guarantee, per ordered `(from, to)` pair:
+//! All topologies guarantee, per ordered `(from, to)` pair:
 //!
 //! 1. **FIFO** — delivery order equals send order, even when
 //!    size-dependent latency or jitter computes a shorter delay for a
@@ -42,12 +44,18 @@
 //!    in-flight delayed message (per-link FIFO order preserved) before
 //!    endpoints disconnect; nothing vanishes.
 //!
+//! Under the reactor both properties fall out of two facts: the clamp and
+//! the jitter-stream position are computed at **send time** under the
+//! links lock (exactly as before), and a link is pinned to one wheel
+//! shard by hash, so one worker owns all of a link's messages and drains
+//! them in `(deliver_at, seq)` order.
+//!
 //! The transport is generic over the payload type `M`; `dtx-core` provides
 //! its `Message` enum and implements [`Wire`] to give payloads a size.
 
 #![deny(missing_docs)]
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
@@ -76,19 +84,77 @@ pub trait Wire: Send + 'static {
     }
 }
 
+/// Tuning knobs of the delivery machinery (only the reactor reads them;
+/// the baseline topologies derive their thread count from traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Size of the reactor's delivery-worker pool — the **upper bound**
+    /// on delivery threads regardless of cluster size. Workers are
+    /// spawned lazily: a shard with no traffic never starts its thread.
+    /// Default: `min(8, available cores)`, at least 1.
+    pub workers: usize,
+    /// Slots per timer wheel. With the default tick this gives each
+    /// wheel a ~51 ms horizon (1024 × 50 µs); messages further out stay
+    /// in their hash slot across revolutions (checked once per
+    /// revolution).
+    pub wheel_slots: usize,
+    /// Width of one wheel slot — the scheduling granularity. Delivery
+    /// happens when a slot's window has fully passed, so a message is
+    /// never delivered *early*, at most one tick + scheduling noise late.
+    pub wheel_tick: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        NetConfig {
+            workers: cores.clamp(1, 8),
+            wheel_slots: 1024,
+            wheel_tick: Duration::from_micros(50),
+        }
+    }
+}
+
+impl NetConfig {
+    /// Sets the delivery-worker pool size (clamped to ≥ 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The config with every field forced into its valid range.
+    fn sanitized(mut self) -> Self {
+        self.workers = self.workers.max(1);
+        self.wheel_slots = self.wheel_slots.max(2);
+        self.wheel_tick = self.wheel_tick.max(Duration::from_micros(10));
+        self
+    }
+}
+
 /// How delayed delivery is driven (irrelevant under [`LatencyModel::zero`],
 /// where delivery is synchronous and no threads exist).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Topology {
-    /// Switched full-duplex fabric (default): each ordered `(from, to)`
-    /// pair is an independent link with its own FIFO queue and delivery
-    /// worker. Independent links deliver concurrently, like port-to-port
-    /// paths through a switch.
+    /// Sharded timer-wheel reactor (default): every ordered `(from, to)`
+    /// pair is hashed onto one of [`NetConfig::workers`] wheel shards;
+    /// each shard's worker holds its in-flight messages in a hashed
+    /// timer wheel and delivers them as their instants pass. Thread
+    /// count is O(workers) — independent of the number of site pairs —
+    /// while per-link FIFO and send-time jitter determinism are
+    /// preserved exactly (a link lives entirely inside one shard).
     #[default]
-    Switched,
+    Reactor,
+    /// One dedicated delivery thread per ordered `(from, to)` pair —
+    /// the previous default ("switched" fabric). Thread count grows as
+    /// sites × (sites − 1), which is why it cannot reasonably run at
+    /// hundred-site scale; kept as the baseline the reactor's win is
+    /// measured against, not assumed from.
+    ThreadPerLink,
     /// Legacy shared hub: one global delivery thread with a single timer
-    /// heap. All traffic serializes behind one sleeper — kept as the
-    /// baseline the `bench_net` microbench quantifies sharding against.
+    /// heap. All traffic serializes behind one sleeper — the original
+    /// scaling bottleneck, kept as `bench_net`'s second baseline.
     SharedHub,
 }
 
@@ -196,12 +262,13 @@ impl fmt::Display for NetError {
 
 impl std::error::Error for NetError {}
 
-/// Message/byte/link counters.
+/// Message/byte/link/thread counters.
 #[derive(Debug, Default)]
 pub struct NetStats {
     messages: AtomicU64,
     bytes: AtomicU64,
     links: AtomicU64,
+    delivery_threads: AtomicU64,
 }
 
 impl NetStats {
@@ -215,13 +282,22 @@ impl NetStats {
         self.bytes.load(Ordering::Relaxed)
     }
 
-    /// Delivery links spawned so far: the number of distinct ordered
-    /// `(from, to)` pairs that carried delayed traffic under
-    /// [`Topology::Switched`] (each owns a worker). Zero under
-    /// [`Topology::SharedHub`] (one global thread instead) and under
-    /// [`LatencyModel::zero`] (no threads at all).
+    /// Distinct ordered `(from, to)` pairs that carried delayed traffic
+    /// so far, under any topology. Zero under [`LatencyModel::zero`]
+    /// (delivery is synchronous, no link bookkeeping exists). This
+    /// counts *links*, not threads: under [`Topology::ThreadPerLink`]
+    /// the two happen to coincide, under [`Topology::Reactor`] many
+    /// links share one of [`NetStats::delivery_threads`] workers.
     pub fn links_active(&self) -> u64 {
         self.links.load(Ordering::Relaxed)
+    }
+
+    /// Delivery threads spawned so far: wheel-shard workers under
+    /// [`Topology::Reactor`] (bounded by [`NetConfig::workers`]), one
+    /// per active link under [`Topology::ThreadPerLink`], exactly 1
+    /// under [`Topology::SharedHub`], 0 under [`LatencyModel::zero`].
+    pub fn delivery_threads(&self) -> u64 {
+        self.delivery_threads.load(Ordering::Relaxed)
     }
 }
 
@@ -253,9 +329,17 @@ impl<M> Ord for Delayed<M> {
     }
 }
 
+/// Ascending `(deliver_at, seq)` — the delivery order every drain uses.
+/// Per-link FIFO follows because the send-time clamp makes `deliver_at`
+/// monotone per link and `seq` (drawn under the same lock) breaks ties
+/// in send order.
+fn delivery_order<M>(a: &Delayed<M>, b: &Delayed<M>) -> std::cmp::Ordering {
+    a.deliver_at.cmp(&b.deliver_at).then(a.seq.cmp(&b.seq))
+}
+
 /// Per-ordered-pair link bookkeeping, updated at send time under the
-/// links lock: the jitter stream position, the FIFO clamp, and (switched
-/// topology) the link worker's queue.
+/// links lock: the jitter stream position, the FIFO clamp, and the queue
+/// delayed messages are handed to.
 struct LinkBook<M> {
     /// Messages sent on this link so far (the `k` of the jitter stream).
     sent: u64,
@@ -266,7 +350,11 @@ struct LinkBook<M> {
     /// relies on this (an `Abort` must not overtake the `ExecRemote` it
     /// cancels).
     last: Instant,
-    /// The link worker's queue ([`Topology::Switched`] only).
+    /// Where this link's delayed messages go: the link's dedicated
+    /// worker queue ([`Topology::ThreadPerLink`]) or a clone of the
+    /// link's wheel-shard queue ([`Topology::Reactor`]; the shard is
+    /// fixed by hash, so one worker owns the whole link). `None` under
+    /// [`Topology::SharedHub`] (the hub queue is global).
     tx: Option<Sender<Delayed<M>>>,
 }
 
@@ -274,10 +362,15 @@ struct Inner<M> {
     endpoints: RwLock<HashMap<SiteId, Sender<Envelope<M>>>>,
     latency: LatencyModel,
     topology: Topology,
+    cfg: NetConfig,
     stats: NetStats,
     /// Per ordered `(from, to)` pair: jitter position, FIFO clamp, and
-    /// (switched) the link worker's queue.
+    /// the link's delivery queue.
     links: Mutex<HashMap<(SiteId, SiteId), LinkBook<M>>>,
+    /// Wheel-shard queues ([`Topology::Reactor`] only), spawned lazily
+    /// on the first link hashed to the shard. Always locked *after*
+    /// `links` (send path) — never the other way around.
+    shard_txs: Mutex<Vec<Option<Sender<Delayed<M>>>>>,
     /// Legacy hub queue ([`Topology::SharedHub`] only).
     hub_tx: Mutex<Option<Sender<Delayed<M>>>>,
     seq: AtomicU64,
@@ -340,21 +433,31 @@ impl<M> Endpoint<M> {
 }
 
 impl<M: Wire> Network<M> {
-    /// Creates a network with the given latency model and the default
-    /// [`Topology::Switched`] delivery. Delivery threads are spawned
-    /// lazily, and only when the model actually delays messages.
+    /// Creates a network with the given latency model, the default
+    /// [`Topology::Reactor`] delivery and the default [`NetConfig`].
+    /// Delivery threads are spawned lazily, and only when the model
+    /// actually delays messages.
     pub fn new(latency: LatencyModel) -> Self {
-        Self::with_topology(latency, Topology::default())
+        Self::with_config(latency, Topology::default(), NetConfig::default())
     }
 
-    /// Creates a network with an explicit delivery [`Topology`].
+    /// Creates a network with an explicit delivery [`Topology`] and the
+    /// default [`NetConfig`].
     pub fn with_topology(latency: LatencyModel, topology: Topology) -> Self {
+        Self::with_config(latency, topology, NetConfig::default())
+    }
+
+    /// Creates a network with an explicit [`Topology`] and [`NetConfig`].
+    pub fn with_config(latency: LatencyModel, topology: Topology, cfg: NetConfig) -> Self {
+        let cfg = cfg.sanitized();
         let inner = Arc::new(Inner {
             endpoints: RwLock::new(HashMap::new()),
             latency,
             topology,
+            cfg,
             stats: NetStats::default(),
             links: Mutex::new(HashMap::new()),
+            shard_txs: Mutex::new(vec![None; cfg.workers]),
             hub_tx: Mutex::new(None),
             seq: AtomicU64::new(0),
             flushing: AtomicBool::new(false),
@@ -369,6 +472,7 @@ impl<M: Wire> Network<M> {
                 .spawn(move || hub_loop(rx, hub_inner))
                 .expect("spawn hub thread");
             inner.workers.lock().push(handle);
+            inner.stats.delivery_threads.fetch_add(1, Ordering::Relaxed);
         }
         Network { inner }
     }
@@ -376,6 +480,12 @@ impl<M: Wire> Network<M> {
     /// The delivery topology this network was created with.
     pub fn topology(&self) -> Topology {
         self.inner.topology
+    }
+
+    /// The delivery configuration this network was created with
+    /// (sanitized: `workers ≥ 1`, valid wheel geometry).
+    pub fn net_config(&self) -> NetConfig {
+        self.inner.cfg
     }
 
     /// Registers `site`, returning its endpoint. Re-registering replaces
@@ -403,19 +513,22 @@ impl<M: Wire> Network<M> {
         // Delayed path. Under the links lock: advance the link's jitter
         // stream (delay = pure function of (seed, from, to, k) — see
         // [`link_delay`]), apply the FIFO clamp, and hand the message to
-        // the link's worker (switched) or the hub (legacy).
+        // the link's queue (reactor shard / dedicated worker / hub).
         let now = Instant::now();
         let mut links = self.inner.links.lock();
         // The global tie-break seq is drawn under the same lock that
-        // assigns the link position k: the hub heap breaks equal
+        // assigns the link position k: every drain breaks equal
         // deliver_at (the clamp's doing) by seq, so seq order and k order
         // must agree per link or concurrent same-pair senders could have
         // a clamped later message pop first.
         let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
-        let book = links.entry((from, to)).or_insert_with(|| LinkBook {
-            sent: 0,
-            last: now,
-            tx: None,
+        let book = links.entry((from, to)).or_insert_with(|| {
+            self.inner.stats.links.fetch_add(1, Ordering::Relaxed);
+            LinkBook {
+                sent: 0,
+                last: now,
+                tx: None,
+            }
         });
         let k = book.sent;
         book.sent += 1;
@@ -429,7 +542,38 @@ impl<M: Wire> Network<M> {
             envelope,
         };
         match self.inner.topology {
-            Topology::Switched => {
+            Topology::Reactor => {
+                if book.tx.is_none() {
+                    if self.inner.flushing.load(Ordering::Relaxed) {
+                        return Err(NetError::Closed);
+                    }
+                    // Pin the link to its wheel shard (pure hash of the
+                    // pair) and make sure the shard's worker runs; the
+                    // link's whole lifetime stays on this one worker.
+                    let shard = (mix64(((from.0 as u64) << 16) ^ (to.0 as u64)) as usize)
+                        % self.inner.cfg.workers;
+                    let mut shards = self.inner.shard_txs.lock();
+                    if shards[shard].is_none() {
+                        let (tx, rx) = unbounded::<Delayed<M>>();
+                        let weak = Arc::downgrade(&self.inner);
+                        let cfg = self.inner.cfg;
+                        let handle = std::thread::Builder::new()
+                            .name(format!("dtx-net-wheel-{shard}"))
+                            .spawn(move || wheel_loop(rx, weak, cfg))
+                            .expect("spawn wheel worker");
+                        self.inner.workers.lock().push(handle);
+                        self.inner
+                            .stats
+                            .delivery_threads
+                            .fetch_add(1, Ordering::Relaxed);
+                        shards[shard] = Some(tx);
+                    }
+                    book.tx = shards[shard].clone();
+                }
+                let tx = book.tx.as_ref().expect("just ensured");
+                tx.send(delayed).map_err(|_| NetError::Closed)
+            }
+            Topology::ThreadPerLink => {
                 if book.tx.is_none() {
                     if self.inner.flushing.load(Ordering::Relaxed) {
                         return Err(NetError::Closed);
@@ -441,7 +585,10 @@ impl<M: Wire> Network<M> {
                         .spawn(move || link_loop(rx, weak))
                         .expect("spawn link worker");
                     self.inner.workers.lock().push(handle);
-                    self.inner.stats.links.fetch_add(1, Ordering::Relaxed);
+                    self.inner
+                        .stats
+                        .delivery_threads
+                        .fetch_add(1, Ordering::Relaxed);
                     book.tx = Some(tx);
                 }
                 let tx = book.tx.as_ref().expect("just ensured");
@@ -483,6 +630,9 @@ impl<M: Wire> Network<M> {
         for book in self.inner.links.lock().values_mut() {
             book.tx = None;
         }
+        for shard in self.inner.shard_txs.lock().iter_mut() {
+            *shard = None;
+        }
         *self.inner.hub_tx.lock() = None;
         // 3. Join the workers — the drain is complete when this returns.
         let workers = std::mem::take(&mut *self.inner.workers.lock());
@@ -512,12 +662,251 @@ fn deliver<M: Send + 'static>(inner: &Inner<M>, d: Delayed<M>) {
     }
 }
 
-/// One link's delivery worker ([`Topology::Switched`]): messages arrive
-/// already FIFO-clamped (monotone `deliver_at`), so the worker sleeps
-/// until each message's instant and hands it to the endpoint — queue
-/// order **is** delivery order. When the network flushes (shutdown) the
-/// sleep is skipped and the backlog drains immediately; the worker exits
-/// when its queue disconnects.
+/// Hands a due batch out **in its existing order** under a single
+/// endpoints read-lock acquisition. The hot path builds `due` already
+/// link-ordered — overdue arrivals in channel order, then fired slots in
+/// window order with stable per-slot drains — so no sort is needed (the
+/// reactor's per-message costs are what bound one worker's drain rate).
+fn deliver_batch<M: Send + 'static>(inner: &Inner<M>, due: &mut Vec<Delayed<M>>) {
+    if due.is_empty() {
+        return;
+    }
+    let endpoints = inner.endpoints.read();
+    for d in due.drain(..) {
+        if let Some(dest) = endpoints.get(&d.envelope.to) {
+            let _ = dest.send(d.envelope);
+        }
+    }
+}
+
+/// Shutdown-flush variant of [`deliver_batch`]: the batch comes from
+/// [`Wheel::drain_all`] (slot ring order, possibly several revolutions
+/// deep), so it is first sorted into `(deliver_at, seq)` delivery order
+/// — which preserves per-link FIFO exactly (monotone clamp + seq ties).
+fn deliver_batch_sorted<M: Send + 'static>(inner: &Inner<M>, due: &mut Vec<Delayed<M>>) {
+    due.sort_unstable_by(delivery_order);
+    deliver_batch(inner, due);
+}
+
+/// One wheel shard's state ([`Topology::Reactor`]): a hashed timer wheel
+/// whose slot index is the message's delivery tick modulo the slot
+/// count. Entries further than one revolution out simply stay in their
+/// slot across passes (the due check is against the slot window's end,
+/// so they fire on the revolution that reaches their instant).
+struct Wheel<M> {
+    slots: Vec<Vec<Delayed<M>>>,
+    tick: Duration,
+    /// `tick` in nanoseconds (u64 arithmetic on the hot path; u64 nanos
+    /// cover ~585 years of wheel lifetime).
+    tick_ns: u64,
+    origin: Instant,
+    /// Index of the slot whose window fires next.
+    cursor: usize,
+    /// Start of the cursor slot's window. Invariant: every message with
+    /// `deliver_at < cursor_time` has left the wheel — which is what
+    /// makes the overdue fast path in [`Wheel::insert`] order-safe.
+    cursor_time: Instant,
+    /// Messages currently in the wheel.
+    pending: usize,
+}
+
+impl<M> Wheel<M> {
+    fn new(cfg: NetConfig) -> Self {
+        let origin = Instant::now();
+        Wheel {
+            slots: (0..cfg.wheel_slots).map(|_| Vec::new()).collect(),
+            tick: cfg.wheel_tick,
+            tick_ns: cfg.wheel_tick.as_nanos() as u64,
+            origin,
+            cursor: 0,
+            cursor_time: origin,
+            pending: 0,
+        }
+    }
+
+    fn slot_of(&self, at: Instant) -> usize {
+        ((at.duration_since(self.origin).as_nanos() as u64 / self.tick_ns) as usize)
+            % self.slots.len()
+    }
+
+    /// Files a message into its slot — or straight into `due` when its
+    /// instant already lies behind the cursor (the wheel invariant
+    /// guarantees every earlier message of the same link is already out,
+    /// so delivering it in this batch cannot reorder the link).
+    fn insert(&mut self, d: Delayed<M>, due: &mut Vec<Delayed<M>>) {
+        if d.deliver_at < self.cursor_time {
+            due.push(d);
+        } else {
+            let idx = self.slot_of(d.deliver_at);
+            self.slots[idx].push(d);
+            self.pending += 1;
+        }
+    }
+
+    /// Fires every slot whose window has fully passed, moving due
+    /// entries (instant inside the fired window) into `due` — stably, so
+    /// a slot's per-link insertion order (= send order) carries straight
+    /// through to delivery order. Entries for later revolutions stay, in
+    /// order. With an empty wheel the cursor snaps forward instead of
+    /// stepping through idle slots one by one.
+    fn advance(&mut self, now: Instant, due: &mut Vec<Delayed<M>>) {
+        if self.pending == 0 {
+            // Nothing can fire; realign the cursor with the clock so a
+            // long idle gap costs O(1) instead of one step per tick.
+            let ticks = now.duration_since(self.origin).as_nanos() as u64 / self.tick_ns;
+            self.cursor = (ticks as usize) % self.slots.len();
+            // u64 nanos throughout — a u32 tick product would wrap after
+            // ~2.5 days of shard uptime and desync cursor_time from
+            // cursor, stalling the shard in a days-long catch-up loop.
+            self.cursor_time = self.origin + Duration::from_nanos(ticks * self.tick_ns);
+            return;
+        }
+        while self.cursor_time + self.tick <= now {
+            let end = self.cursor_time + self.tick;
+            let slot = &mut self.slots[self.cursor];
+            if slot.iter().all(|d| d.deliver_at < end) {
+                // Common case — no entry waits for a later revolution
+                // (experiment delays sit far inside one wheel horizon):
+                // the whole slot moves, order intact, no per-entry shuffle.
+                self.pending -= slot.len();
+                due.append(slot);
+            } else {
+                let mut keep = Vec::new();
+                for d in slot.drain(..) {
+                    if d.deliver_at < end {
+                        self.pending -= 1;
+                        due.push(d);
+                    } else {
+                        keep.push(d);
+                    }
+                }
+                *slot = keep;
+            }
+            self.cursor = (self.cursor + 1) % self.slots.len();
+            self.cursor_time = end;
+        }
+    }
+
+    /// Empties the whole wheel into `due` (shutdown flush).
+    fn drain_all(&mut self, due: &mut Vec<Delayed<M>>) {
+        for slot in &mut self.slots {
+            due.append(slot);
+        }
+        self.pending = 0;
+    }
+
+    /// How long until the next slot holding any entry could fire; `None`
+    /// when the wheel is empty. Entries bound for a later revolution make
+    /// this a spurious-wake *underestimate*, never an oversleep.
+    fn next_fire(&self, now: Instant) -> Option<Duration> {
+        if self.pending == 0 {
+            return None;
+        }
+        for off in 0..self.slots.len() {
+            let idx = (self.cursor + off) % self.slots.len();
+            if !self.slots[idx].is_empty() {
+                let fire_at = self.cursor_time + self.tick * (off as u32 + 1);
+                return Some(fire_at.saturating_duration_since(now));
+            }
+        }
+        None
+    }
+}
+
+/// One reactor delivery worker ([`Topology::Reactor`]): owns the timer
+/// wheel of its shard. Messages arrive already FIFO-clamped (monotone
+/// `deliver_at` per link) and a link is pinned to exactly one shard, so
+/// stable slot drains preserve per-link FIFO without any sorting — and a
+/// pool of size 1 additionally delivers across links in `deliver_at`
+/// order at wheel-tick granularity (later windows never fire before
+/// earlier ones). On flush (shutdown) the wheel and queue drain
+/// completely, sorted into `(deliver_at, seq)` order, without sleeping.
+fn wheel_loop<M: Send + 'static>(
+    rx: Receiver<Delayed<M>>,
+    inner: std::sync::Weak<Inner<M>>,
+    cfg: NetConfig,
+) {
+    // A busy worker (≥ this many messages moved in one pass) switches to
+    // poll mode: it naps without blocking on its queue, so senders pay
+    // no receiver-wake on every push and the next pass drains a batch.
+    const BUSY: usize = 32;
+    let mut wheel: Wheel<M> = Wheel::new(cfg);
+    let mut due: Vec<Delayed<M>> = Vec::new();
+    let poll_nap = cfg.wheel_tick.min(Duration::from_micros(100));
+    loop {
+        // Intake everything queued right now.
+        let mut disconnected = false;
+        let mut moved = 0usize;
+        loop {
+            match rx.try_recv() {
+                Ok(d) => {
+                    wheel.insert(d, &mut due);
+                    moved += 1;
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        let Some(strong) = inner.upgrade() else {
+            return; // network dropped without shutdown: nobody listens
+        };
+        if disconnected || strong.flushing.load(Ordering::Relaxed) {
+            // Shutdown flush: everything goes out now, in delivery order,
+            // with no sleeps. The queue is (or is about to be)
+            // disconnected, so loop until the hangup delivers the rest.
+            wheel.drain_all(&mut due);
+            deliver_batch_sorted(&strong, &mut due);
+            if disconnected {
+                return;
+            }
+            drop(strong);
+            match rx.recv() {
+                Ok(d) => {
+                    due.push(d);
+                    continue;
+                }
+                Err(_) => return,
+            }
+        }
+        // Fire every slot whose window has passed and deliver the batch.
+        let now = Instant::now();
+        wheel.advance(now, &mut due);
+        moved += due.len();
+        deliver_batch(&strong, &mut due);
+        drop(strong);
+        if moved >= BUSY {
+            // Poll mode: traffic is flowing. Nap briefly *without*
+            // parking on the queue — pushes stay wake-free and the next
+            // pass drains whatever accumulated as one batch.
+            std::thread::sleep(poll_nap);
+            continue;
+        }
+        // Idle(ish): block until the next candidate slot, a new message,
+        // or the periodic liveness check (the weak upgrade above notices
+        // a dropped network).
+        let wait = wheel
+            .next_fire(now)
+            .unwrap_or(Duration::from_millis(50))
+            .clamp(Duration::from_micros(10), Duration::from_millis(50));
+        match rx.recv_timeout(wait) {
+            Ok(d) => wheel.insert(d, &mut due),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                // Next iteration's intake sees the hangup and flushes.
+            }
+        }
+    }
+}
+
+/// One link's delivery worker ([`Topology::ThreadPerLink`]): messages
+/// arrive already FIFO-clamped (monotone `deliver_at`), so the worker
+/// sleeps until each message's instant and hands it to the endpoint —
+/// queue order **is** delivery order. When the network flushes (shutdown)
+/// the sleep is skipped and the backlog drains immediately; the worker
+/// exits when its queue disconnects.
 fn link_loop<M: Send + 'static>(rx: Receiver<Delayed<M>>, inner: std::sync::Weak<Inner<M>>) {
     while let Ok(d) = rx.recv() {
         let Some(inner) = inner.upgrade() else {
@@ -546,7 +935,7 @@ fn sleep_until_or_flush<M>(inner: &Inner<M>, deadline: Instant) {
 /// ordered by `(deliver_at, seq)` — per-link FIFO holds because send-time
 /// clamping makes `deliver_at` monotone per link and `seq` breaks ties in
 /// send order. Every delivery funnels through this single thread, which
-/// is the head-of-line bottleneck the switched topology removes. On
+/// is the head-of-line bottleneck the sharded topologies remove. On
 /// disconnect (shutdown) the heap flushes in order without sleeping.
 fn hub_loop<M: Send + 'static>(rx: Receiver<Delayed<M>>, inner: std::sync::Weak<Inner<M>>) {
     let mut queue: BinaryHeap<Delayed<M>> = BinaryHeap::new();
@@ -589,6 +978,12 @@ fn hub_loop<M: Send + 'static>(rx: Receiver<Delayed<M>>, inner: std::sync::Weak<
 mod tests {
     use super::*;
 
+    const ALL_TOPOLOGIES: [Topology; 3] = [
+        Topology::Reactor,
+        Topology::ThreadPerLink,
+        Topology::SharedHub,
+    ];
+
     #[derive(Debug, PartialEq)]
     struct Msg(u32);
     impl Wire for Msg {
@@ -608,7 +1003,8 @@ mod tests {
         assert_eq!(e.from, SiteId(1));
         assert_eq!(net.stats().messages(), 1);
         assert_eq!(net.stats().bytes(), 64);
-        assert_eq!(net.stats().links_active(), 0, "no threads at zero latency");
+        assert_eq!(net.stats().links_active(), 0, "no links at zero latency");
+        assert_eq!(net.stats().delivery_threads(), 0, "no threads either");
     }
 
     #[test]
@@ -660,6 +1056,7 @@ mod tests {
             t0.elapsed()
         );
         assert_eq!(net.stats().links_active(), 1);
+        assert_eq!(net.stats().delivery_threads(), 1, "one wheel shard woke");
         net.shutdown();
     }
 
@@ -706,7 +1103,7 @@ mod tests {
             jitter: Duration::from_micros(500),
             seed: 3,
         };
-        for topology in [Topology::Switched, Topology::SharedHub] {
+        for topology in ALL_TOPOLOGIES {
             let net: Network<SizedMsg> = Network::with_topology(model, topology);
             let a = net.register(SiteId(0));
             let _b = net.register(SiteId(1));
@@ -765,6 +1162,49 @@ mod tests {
     }
 
     #[test]
+    fn reactor_bounds_delivery_threads() {
+        // Many more links than workers: every pair of a 6-site all-to-all
+        // mesh carries traffic, yet the thread count stays at the pool
+        // bound while per-link FIFO holds.
+        let model = LatencyModel {
+            fixed: Duration::from_millis(2),
+            per_kib: Duration::ZERO,
+            jitter: Duration::from_micros(200),
+            seed: 11,
+        };
+        let cfg = NetConfig::default().with_workers(3);
+        let net: Network<Msg> = Network::with_config(model, Topology::Reactor, cfg);
+        let endpoints: Vec<_> = (0..6).map(|s| net.register(SiteId(s))).collect();
+        for round in 0..10u32 {
+            for from in 0..6u16 {
+                for to in 0..6u16 {
+                    if from != to {
+                        net.send(SiteId(from), SiteId(to), Msg(round)).unwrap();
+                    }
+                }
+            }
+        }
+        for ep in &endpoints {
+            let mut next = [0u32; 6];
+            for _ in 0..50 {
+                let e = ep
+                    .recv_timeout(Duration::from_secs(10))
+                    .unwrap()
+                    .expect("delivered");
+                assert_eq!(e.payload.0, next[e.from.0 as usize], "per-link FIFO");
+                next[e.from.0 as usize] += 1;
+            }
+        }
+        assert_eq!(net.stats().links_active(), 30, "every ordered pair counted");
+        assert!(
+            net.stats().delivery_threads() <= 3,
+            "pool bound holds: {} threads",
+            net.stats().delivery_threads()
+        );
+        net.shutdown();
+    }
+
+    #[test]
     fn shutdown_flushes_in_flight_messages() {
         // The fix pinned here: in-flight delayed messages must NOT vanish
         // on shutdown — every accepted message is delivered, in link FIFO
@@ -775,7 +1215,7 @@ mod tests {
             jitter: Duration::ZERO,
             seed: 5,
         };
-        for topology in [Topology::Switched, Topology::SharedHub] {
+        for topology in ALL_TOPOLOGIES {
             let net: Network<Msg> = Network::with_topology(model, topology);
             let a = net.register(SiteId(0));
             let _b = net.register(SiteId(1));
@@ -841,6 +1281,20 @@ mod tests {
         net.shutdown();
         assert!(matches!(a.recv(), Err(NetError::Closed)));
         assert!(net.send(SiteId(0), SiteId(0), Msg(1)).is_err());
+    }
+
+    #[test]
+    fn net_config_sanitizes_degenerate_values() {
+        let cfg = NetConfig {
+            workers: 0,
+            wheel_slots: 0,
+            wheel_tick: Duration::ZERO,
+        };
+        let net: Network<Msg> = Network::with_config(LatencyModel::zero(), Topology::Reactor, cfg);
+        let sane = net.net_config();
+        assert_eq!(sane.workers, 1);
+        assert!(sane.wheel_slots >= 2);
+        assert!(sane.wheel_tick >= Duration::from_micros(10));
     }
 
     #[test]

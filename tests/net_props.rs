@@ -1,8 +1,9 @@
-//! Transport-level properties of the sharded (per-link) network.
+//! Transport-level properties of the delayed-delivery network.
 //!
 //! The scheduler's correctness leans on exactly three transport
 //! guarantees (see `dtx-net`'s crate docs); these tests pin them under
-//! the per-link delivery workers introduced with the switched topology:
+//! the default timer-wheel reactor and the two baseline topologies
+//! (thread-per-link, shared hub):
 //!
 //! 1. **Per-pair FIFO** under concurrent jittered senders with
 //!    size-dependent latency — delivery order equals send order on every
@@ -16,10 +17,10 @@
 //!    computed delay is far shorter.
 
 use dtx::core::{Message, OpSpec, SiteId, TxnId};
-use dtx::net::{link_delay, Envelope, LatencyModel, Network, Wire};
+use dtx::net::{link_delay, Envelope, LatencyModel, NetConfig, Network, Topology, Wire};
 use dtx::xml::document::{Fragment, InsertPos};
 use dtx::xpath::{Query, UpdateOp};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 #[derive(Debug)]
 struct Frame {
@@ -94,6 +95,212 @@ fn per_link_fifo_survives_concurrent_jittered_storm() {
         }
     });
     net.shutdown();
+}
+
+/// The same all-to-all jittered storm, against every delivery topology
+/// explicitly — the FIFO contract is topology-independent (the default
+/// reactor is additionally covered by the test above, through
+/// `Network::new`).
+#[test]
+fn per_link_fifo_holds_under_every_topology() {
+    const SITES: u16 = 3;
+    const PER_LINK: u32 = 60;
+    let model = LatencyModel {
+        fixed: Duration::from_micros(200),
+        per_kib: Duration::from_micros(400),
+        jitter: Duration::from_micros(300),
+        seed: 0xAB5E,
+    };
+    for topology in [
+        Topology::Reactor,
+        Topology::ThreadPerLink,
+        Topology::SharedHub,
+    ] {
+        let net: Network<Frame> = Network::with_topology(model, topology);
+        let endpoints: Vec<_> = (0..SITES).map(|s| net.register(SiteId(s))).collect();
+        std::thread::scope(|scope| {
+            for ep in endpoints {
+                scope.spawn(move || {
+                    let mut next = vec![0u32; SITES as usize];
+                    for _ in 0..(SITES as u64 - 1) * PER_LINK as u64 {
+                        let env: Envelope<Frame> = ep
+                            .recv_timeout(Duration::from_secs(30))
+                            .expect("network alive")
+                            .expect("storm delivers within the timeout");
+                        assert_eq!(
+                            env.payload.seq, next[env.payload.from as usize],
+                            "link {} -> {} out of send order ({topology:?})",
+                            env.payload.from, ep.site
+                        );
+                        next[env.payload.from as usize] += 1;
+                    }
+                });
+            }
+            for from in 0..SITES {
+                let net = net.clone();
+                scope.spawn(move || {
+                    let mut size = size_stream(0xFEED ^ from as u64);
+                    for seq in 0..PER_LINK {
+                        for to in 0..SITES {
+                            if to != from {
+                                let bytes = size();
+                                net.send(SiteId(from), SiteId(to), Frame { from, seq, bytes })
+                                    .expect("send");
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        net.shutdown();
+    }
+}
+
+/// Reactor shutdown drain: in-flight delayed messages must not vanish —
+/// every accepted message is delivered, in per-link FIFO order, before
+/// endpoints disconnect, and the flush skips the remaining sleeps. Same
+/// contract the in-crate test pins for the baseline topologies; this one
+/// pins it for the reactor across several pool sizes (including a pool
+/// larger than the link count).
+#[test]
+fn reactor_shutdown_flushes_in_flight_messages() {
+    let model = LatencyModel {
+        fixed: Duration::from_millis(250),
+        per_kib: Duration::ZERO,
+        jitter: Duration::from_micros(100),
+        seed: 9,
+    };
+    for workers in [1usize, 2, 8] {
+        let cfg = NetConfig::default().with_workers(workers);
+        let net: Network<Frame> = Network::with_config(model, Topology::Reactor, cfg);
+        let a = net.register(SiteId(0));
+        let _b = net.register(SiteId(1));
+        let _c = net.register(SiteId(2));
+        for seq in 0..25u32 {
+            for from in [1u16, 2] {
+                net.send(
+                    SiteId(from),
+                    SiteId(0),
+                    Frame {
+                        from,
+                        seq,
+                        bytes: 64,
+                    },
+                )
+                .expect("send");
+            }
+        }
+        let t0 = Instant::now();
+        net.shutdown();
+        assert!(
+            t0.elapsed() < Duration::from_millis(200),
+            "flush must skip the 250ms sleeps (workers={workers}: {:?})",
+            t0.elapsed()
+        );
+        let got = a.drain(100);
+        assert_eq!(got.len(), 50, "nothing vanished (workers={workers})");
+        for from in [1u16, 2] {
+            let link: Vec<u32> = got
+                .iter()
+                .filter(|e| e.payload.from == from)
+                .map(|e| e.payload.seq)
+                .collect();
+            assert_eq!(
+                link,
+                (0..25).collect::<Vec<_>>(),
+                "link {from} FIFO through the flush (workers={workers})"
+            );
+        }
+        assert!(matches!(a.recv(), Err(dtx::net::NetError::Closed)));
+    }
+}
+
+/// A worker pool of size 1 serializes every link through one wheel: on
+/// top of per-link FIFO, delivery across links follows `deliver_at`
+/// (messages in different wheel windows never invert). Delays are spaced
+/// several ms apart — far beyond the wheel tick — so each message owns
+/// its window and the expected global order is exact. The test then
+/// shuts down with messages still in flight: completing at all is the
+/// no-deadlock assertion (a worker must never wait on another shard).
+#[test]
+fn single_worker_pool_orders_cross_link_by_deliver_at_and_shuts_down() {
+    // Delay = fixed + per_kib * KiB: distinct sizes give distinct,
+    // well-separated delays. No jitter — the order must be exact.
+    let model = LatencyModel {
+        fixed: Duration::from_millis(10),
+        per_kib: Duration::from_millis(8),
+        jitter: Duration::ZERO,
+        seed: 0,
+    };
+    let cfg = NetConfig::default().with_workers(1);
+    let net: Network<Frame> = Network::with_config(model, Topology::Reactor, cfg);
+    let a = net.register(SiteId(0));
+    for s in 1..=3u16 {
+        net.register(SiteId(s));
+    }
+    assert_eq!(net.net_config().workers, 1);
+    // Send in an order unrelated to the delay order: sender 1 slowest
+    // (3 KiB → 34ms), sender 3 fastest (1 KiB → 18ms). All sends happen
+    // within well under one delay gap (8ms), so deliver_at order is the
+    // size order: 3, 2, 1.
+    for from in [1u16, 2, 3] {
+        let bytes = 1024 * (4 - from as usize);
+        net.send(
+            SiteId(from),
+            SiteId(0),
+            Frame {
+                from,
+                seq: 0,
+                bytes,
+            },
+        )
+        .expect("send");
+    }
+    let mut got = Vec::new();
+    for _ in 0..3 {
+        got.push(
+            a.recv_timeout(Duration::from_secs(10))
+                .expect("network alive")
+                .expect("delivered")
+                .payload
+                .from,
+        );
+    }
+    assert_eq!(
+        got,
+        vec![3, 2, 1],
+        "one worker delivers across links in deliver_at order"
+    );
+    assert_eq!(net.stats().delivery_threads(), 1);
+    // In-flight shutdown: queue a fresh burst on every link and shut
+    // down immediately. The single worker must drain everything (in
+    // order) and join — if it ever blocked on its own queue or another
+    // shard, this would hang, not pass.
+    for seq in 0..10u32 {
+        for from in [1u16, 2, 3] {
+            net.send(
+                SiteId(from),
+                SiteId(0),
+                Frame {
+                    from,
+                    seq,
+                    bytes: 64,
+                },
+            )
+            .expect("send");
+        }
+    }
+    net.shutdown();
+    let got = a.drain(100);
+    assert_eq!(got.len(), 30, "shutdown drained the in-flight burst");
+    for from in [1u16, 2, 3] {
+        let link: Vec<u32> = got
+            .iter()
+            .filter(|e| e.payload.from == from)
+            .map(|e| e.payload.seq)
+            .collect();
+        assert_eq!(link, (0..10).collect::<Vec<_>>(), "link {from} FIFO");
+    }
 }
 
 #[test]
