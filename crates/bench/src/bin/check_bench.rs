@@ -14,7 +14,12 @@
 //!   reactor: the reactor rate holds its wins (per-link FIFO and the
 //!   bounded-thread invariant are asserted inside the storm itself);
 //! * **ingest** — tree vs streaming ingestion of the default 400 KB
-//!   base: the streaming rate holds its win.
+//!   base: the streaming rate holds its win;
+//! * **reads** — low- vs high-contention read mix over the standard
+//!   environment: the read-only p99 stays within the fresh flatness
+//!   band, no reader is ever a deadlock victim, and every committed
+//!   read op was served from a pinned snapshot rather than the lock
+//!   table.
 //!
 //! Prints a delta table (committed vs fresh per metric), writes the
 //! fresh numbers to `target/BENCH_check.json` (uploaded as a CI
@@ -22,7 +27,8 @@
 //! failed check.
 
 use dtx_bench::gate::{
-    self, check_ingest_witness, check_net_witness, check_throughput_witness, Check,
+    self, check_ingest_witness, check_net_witness, check_reads_witness, check_throughput_witness,
+    Check,
 };
 use dtx_bench::json::Json;
 use dtx_bench::netbench::storm;
@@ -31,7 +37,8 @@ use dtx_core::ProtocolKind;
 use dtx_dataguide::{DataGuide, GuideBuilder};
 use dtx_net::Topology;
 use dtx_xmark::generator::{emit, generate, XmarkConfig};
-use dtx_xmark::workload::WorkloadConfig;
+use dtx_xmark::tester::run_workload;
+use dtx_xmark::workload::{generate as gen_workload, WorkloadConfig};
 use dtx_xml::stream::{Tee, TreeBuilder};
 use dtx_xml::Document;
 use std::fmt::Write as _;
@@ -74,6 +81,47 @@ fn fresh_throughput() -> (f64, f64, f64) {
     );
     cluster.shutdown();
     out
+}
+
+/// Fresh read-mix smoke: one low- and one high-contention cell (10
+/// mixed clients at 10 % / 40 % update transactions). Returns the two
+/// read-only p99s (ms), reader deadlock-victim count, snapshot reads
+/// served and committed read ops — the inputs of
+/// [`gate::check_reads_fresh`].
+fn fresh_reads() -> (f64, f64, f64, f64, f64) {
+    let mut p99s = Vec::new();
+    let (mut reader_deadlocks, mut snapshot_reads, mut read_ops) = (0u64, 0u64, 0u64);
+    for pct in [10u32, 40] {
+        let (cluster, frags) = setup(ExpEnv::standard(ProtocolKind::Xdgl));
+        let wl = gen_workload(
+            WorkloadConfig::with_updates(10, pct, SEED + pct as u64),
+            &frags,
+        );
+        let report = run_workload(&cluster, &wl);
+        let specs: Vec<_> = wl.clients.iter().flatten().collect();
+        let mut read_resp: Vec<f64> = Vec::new();
+        for (spec, out) in specs.iter().zip(&report.outcomes) {
+            if spec.is_read_only() {
+                reader_deadlocks += u64::from(out.deadlocked());
+                if out.committed() {
+                    read_resp.push(out.response_time.as_secs_f64() * 1e3);
+                    read_ops += spec.ops.len() as u64;
+                }
+            }
+        }
+        read_resp.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let idx = ((read_resp.len() as f64 * 0.99).ceil() as usize).max(1) - 1;
+        p99s.push(read_resp.get(idx).copied().unwrap_or(0.0));
+        snapshot_reads += cluster.metrics().snapshot_reads();
+        cluster.shutdown();
+    }
+    (
+        p99s[0],
+        p99s[1],
+        reader_deadlocks as f64,
+        snapshot_reads as f64,
+        read_ops as f64,
+    )
 }
 
 /// Fresh ingest rates (MB/s) for the default base: tree path (string →
@@ -151,10 +199,12 @@ fn main() {
     let throughput = load_witness("BENCH_throughput.json");
     let net = load_witness("BENCH_net.json");
     let ingest = load_witness("BENCH_ingest.json");
+    let reads = load_witness("BENCH_reads.json");
     for (name, loaded) in [
         ("BENCH_throughput.json", &throughput),
         ("BENCH_net.json", &net),
         ("BENCH_ingest.json", &ingest),
+        ("BENCH_reads.json", &reads),
     ] {
         if let Err(e) = loaded {
             println!("  [FAIL] {name}: {e}");
@@ -172,6 +222,9 @@ fn main() {
     }
     if let Ok(doc) = &ingest {
         all_ok &= print_checks("committed witness: ingest", &check_ingest_witness(doc));
+    }
+    if let Ok(doc) = &reads {
+        all_ok &= print_checks("committed witness: reads", &check_reads_witness(doc));
     }
 
     if offline {
@@ -246,6 +299,27 @@ fn main() {
         metric: "net reactor delivery_threads",
         committed: committed_of(&net, &["topologies", "name=reactor", "delivery_threads"]),
         fresh: reactor.delivery_threads as f64,
+    });
+
+    println!("\n# fresh run: read mix (10 clients, 10% vs 40% update transactions)");
+    let (p99_low, p99_high, reader_dl, snap_reads, read_ops) = fresh_reads();
+    all_ok &= print_checks(
+        "fresh: reads",
+        &gate::check_reads_fresh(p99_low, p99_high, reader_dl, snap_reads, read_ops),
+    );
+    deltas.push(Delta {
+        metric: "reads low-contention read p99 ms",
+        committed: reads
+            .as_ref()
+            .ok()
+            .and_then(|doc| doc.get("contention_sweep")?.arr()?.first())
+            .and_then(|c| c.num_field("read_p99_ms")),
+        fresh: p99_low,
+    });
+    deltas.push(Delta {
+        metric: "reads snapshot_reads (both cells)",
+        committed: None,
+        fresh: snap_reads,
     });
 
     println!("\n# fresh run: ingest (tree vs streaming, {BASE_BYTES} B base)");

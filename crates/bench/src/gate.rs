@@ -53,6 +53,29 @@ pub const FRESH_COMMIT_FLOOR: f64 = COMMIT_FLOOR - 6.0;
 /// O(sites²)).
 pub const MAX_DELIVERY_THREADS: f64 = 32.0;
 
+/// Witness band for the snapshot-read flatness claim: across the
+/// contention sweep the recorded read-only p99 may vary by at most this
+/// max/min ratio while the write p99 degrades with contention (recorded
+/// spread is ~1.7×; locked readers would track the write p99's 5×).
+pub const READS_P99_FLAT_RATIO: f64 = 2.5;
+
+/// Fresh-run band for the same ratio: CI hosts add scheduling noise to
+/// a seconds-scale sweep, so only a structural regression — readers
+/// queueing behind writer locks again — should trip it.
+pub const FRESH_READS_P99_FLAT_RATIO: f64 = 4.0;
+
+/// Reader-sweep deadlock independence: with the writer workload held
+/// identical across cells, the max deadlock count may not exceed this
+/// multiple of the min (readers contribute no WFG edges, so quadrupling
+/// them must not move the count; recorded cells sit at 12–15).
+pub const READS_DEADLOCK_SPREAD: f64 = 2.0;
+
+/// Retention ceiling after a drained run: one live snapshot per
+/// document replica (4 on the standard 4-site partial layout; 8 leaves
+/// headroom for layout changes while still catching a pin leak, which
+/// accumulates one version per commit and lands in the hundreds).
+pub const READS_MAX_LIVE_END: f64 = 8.0;
+
 /// One named invariant's verdict.
 #[derive(Debug)]
 pub struct Check {
@@ -230,6 +253,142 @@ pub fn check_ingest_witness(doc: &Json) -> Vec<Check> {
     checks
 }
 
+/// Per-cell invariants shared by both `BENCH_reads.json` sweeps: no
+/// read-only transaction aborted (let alone as a deadlock victim — a
+/// zero-lock, zero-WFG-edge transaction cannot be chosen), every
+/// committed read op was served from a snapshot, and GC drained the
+/// version chain back down once the run's pins released.
+fn check_reads_cells(checks: &mut Vec<Check>, sweep: &str, cells: &[Json]) {
+    for c in cells {
+        let knob = c
+            .num_field("update_txn_pct")
+            .or_else(|| c.num_field("readers"))
+            .unwrap_or(0.0);
+        let at = format!("{sweep}@{knob}");
+        require(
+            checks,
+            &format!("reads {at} reader deadlocks = 0"),
+            c.num_field("reader_deadlocks"),
+            1.0,
+            false,
+        );
+        let committed = c.num_field("read_committed");
+        let txns = c.num_field("read_txns");
+        let ok = matches!((committed, txns), (Some(a), Some(b)) if a >= b && b > 0.0);
+        checks.push(Check::new(
+            format!("reads {at} all read txns commit"),
+            format!("{committed:?} of {txns:?}"),
+            ok,
+        ));
+        let snap = c.num_field("snapshot_reads");
+        let ops = c.num_field("read_ops");
+        let ok = matches!((snap, ops), (Some(s), Some(o)) if s >= o && o > 0.0);
+        checks.push(Check::new(
+            format!("reads {at} snapshot_reads ≥ read ops"),
+            format!("{snap:?} ≥ {ops:?}"),
+            ok,
+        ));
+        require(
+            checks,
+            &format!("reads {at} snapshots GC'd after drain"),
+            c.num_field("snapshots_live_end"),
+            READS_MAX_LIVE_END + 1.0,
+            false,
+        );
+    }
+}
+
+/// Validates `BENCH_reads.json`: the read-only p99 stays flat across
+/// the contention sweep, the deadlock count is independent of the
+/// reader count, and every cell holds the zero-lock + retention
+/// invariants (see `check_reads_cells`).
+pub fn check_reads_witness(doc: &Json) -> Vec<Check> {
+    let mut checks = Vec::new();
+    let contention = doc.get("contention_sweep").and_then(Json::arr);
+    let readers = doc.get("reader_sweep").and_then(Json::arr);
+    let (Some(contention), Some(readers)) = (contention, readers) else {
+        return vec![Check::new(
+            "reads: sweeps",
+            "contention_sweep / reader_sweep missing from witness".into(),
+            false,
+        )];
+    };
+    let p99s: Vec<f64> = contention
+        .iter()
+        .filter_map(|c| c.num_field("read_p99_ms"))
+        .collect();
+    let (min_p99, max_p99) = (
+        p99s.iter().cloned().fold(f64::INFINITY, f64::min),
+        p99s.iter().cloned().fold(0.0, f64::max),
+    );
+    let ok = p99s.len() == contention.len()
+        && !contention.is_empty()
+        && max_p99 <= min_p99 * READS_P99_FLAT_RATIO;
+    checks.push(Check::new(
+        "reads p99 flat across contention (witness)",
+        format!("{max_p99:.1} ≤ {:.1} ms", min_p99 * READS_P99_FLAT_RATIO),
+        ok,
+    ));
+    let dls: Vec<f64> = readers
+        .iter()
+        .filter_map(|c| c.num_field("deadlocks"))
+        .collect();
+    let (min_dl, max_dl) = (
+        dls.iter().cloned().fold(f64::INFINITY, f64::min),
+        dls.iter().cloned().fold(0.0, f64::max),
+    );
+    let ok = dls.len() == readers.len()
+        && !readers.is_empty()
+        && max_dl <= min_dl.max(1.0) * READS_DEADLOCK_SPREAD;
+    checks.push(Check::new(
+        "reads deadlocks independent of reader count",
+        format!(
+            "{max_dl:.0} ≤ {:.0}",
+            min_dl.max(1.0) * READS_DEADLOCK_SPREAD
+        ),
+        ok,
+    ));
+    check_reads_cells(&mut checks, "contention", contention);
+    check_reads_cells(&mut checks, "readers", readers);
+    checks
+}
+
+/// Checks a fresh smoke read-mix sweep: the low- and high-contention
+/// read p99s must stay within the (wide) fresh flatness band, no reader
+/// may deadlock, and every read op must have hit the snapshot path.
+pub fn check_reads_fresh(
+    read_p99_low: f64,
+    read_p99_high: f64,
+    reader_deadlocks: f64,
+    snapshot_reads: f64,
+    read_ops: f64,
+) -> Vec<Check> {
+    let (min_p99, max_p99) = (
+        read_p99_low.min(read_p99_high),
+        read_p99_low.max(read_p99_high),
+    );
+    vec![
+        Check::new(
+            "reads p99 flat across contention (fresh)",
+            format!(
+                "{max_p99:.1} ≤ {:.1} ms",
+                min_p99 * FRESH_READS_P99_FLAT_RATIO
+            ),
+            max_p99 <= min_p99 * FRESH_READS_P99_FLAT_RATIO,
+        ),
+        Check::new(
+            "reads reader deadlocks = 0 (fresh)",
+            format!("{reader_deadlocks:.0} = 0"),
+            reader_deadlocks == 0.0,
+        ),
+        Check::new(
+            "reads snapshot_reads ≥ read ops (fresh)",
+            format!("{snapshot_reads:.0} ≥ {read_ops:.0}"),
+            snapshot_reads >= read_ops && read_ops > 0.0,
+        ),
+    ]
+}
+
 /// Checks a fresh net smoke run against the fresh-band invariants.
 pub fn check_net_fresh(reactor: f64, hub: f64, tpl: f64) -> Vec<Check> {
     vec![
@@ -306,6 +465,22 @@ mod tests {
         {"sites": 128, "msgs_per_s": 340000, "links_active": 16256, "delivery_threads": 1}
     ]}"#;
 
+    const GOOD_READS: &str = r#"{"contention_sweep": [
+        {"update_txn_pct": 10, "read_txns": 181, "read_committed": 181, "reader_deadlocks": 0,
+         "read_p99_ms": 167.5, "deadlocks": 1, "snapshot_reads": 3620, "read_ops": 905,
+         "snapshots_live_end": 4},
+        {"update_txn_pct": 40, "read_txns": 121, "read_committed": 121, "reader_deadlocks": 0,
+         "read_p99_ms": 110.2, "deadlocks": 37, "snapshot_reads": 2420, "read_ops": 605,
+         "snapshots_live_end": 4}
+    ], "reader_sweep": [
+        {"readers": 8, "read_txns": 40, "read_committed": 40, "reader_deadlocks": 0,
+         "read_p99_ms": 44.8, "deadlocks": 12, "snapshot_reads": 800, "read_ops": 200,
+         "snapshots_live_end": 4},
+        {"readers": 32, "read_txns": 160, "read_committed": 160, "reader_deadlocks": 0,
+         "read_p99_ms": 134.2, "deadlocks": 12, "snapshot_reads": 3200, "read_ops": 800,
+         "snapshots_live_end": 4}
+    ]}"#;
+
     const GOOD_INGEST: &str = r#"{"points": [
         {"scale": 1, "tree": {"mb_per_s": 48.3, "peak_alloc_bytes": 3376613},
          "stream": {"mb_per_s": 78.8, "peak_alloc_bytes": 2568546}}
@@ -320,6 +495,89 @@ mod tests {
         assert!(all_ok(&check_ingest_witness(
             &Json::parse(GOOD_INGEST).unwrap()
         )));
+        assert!(all_ok(&check_reads_witness(
+            &Json::parse(GOOD_READS).unwrap()
+        )));
+    }
+
+    #[test]
+    fn doctored_read_p99_flatness_fails() {
+        // The high-contention read p99 blown past the flat band: readers
+        // queueing behind writer locks again.
+        let doctored = GOOD_READS.replace("\"read_p99_ms\": 110.2", "\"read_p99_ms\": 900.0");
+        let checks = check_reads_witness(&Json::parse(&doctored).unwrap());
+        assert_eq!(
+            failed(&checks),
+            vec!["reads p99 flat across contention (witness)"]
+        );
+    }
+
+    #[test]
+    fn doctored_reader_deadlock_growth_fails() {
+        // Deadlocks quadrupling with the reader count: readers back in
+        // the WFG.
+        let doctored = GOOD_READS.replace(
+            "\"read_p99_ms\": 134.2, \"deadlocks\": 12",
+            "\"read_p99_ms\": 134.2, \"deadlocks\": 48",
+        );
+        let checks = check_reads_witness(&Json::parse(&doctored).unwrap());
+        assert_eq!(
+            failed(&checks),
+            vec!["reads deadlocks independent of reader count"]
+        );
+    }
+
+    #[test]
+    fn doctored_reader_deadlock_victim_fails() {
+        let doctored = GOOD_READS.replacen("\"reader_deadlocks\": 0", "\"reader_deadlocks\": 2", 1);
+        let checks = check_reads_witness(&Json::parse(&doctored).unwrap());
+        assert_eq!(
+            failed(&checks),
+            vec!["reads contention@10 reader deadlocks = 0"]
+        );
+    }
+
+    #[test]
+    fn doctored_snapshot_coverage_and_retention_fail() {
+        // Fewer snapshot reads than read ops: some reads took locks.
+        let locked = GOOD_READS.replace("\"snapshot_reads\": 3620", "\"snapshot_reads\": 100");
+        let checks = check_reads_witness(&Json::parse(&locked).unwrap());
+        assert_eq!(
+            failed(&checks),
+            vec!["reads contention@10 snapshot_reads ≥ read ops"]
+        );
+        // Hundreds of live versions after the drain: a pin leak.
+        let leaked = GOOD_READS.replacen(
+            "\"snapshots_live_end\": 4",
+            "\"snapshots_live_end\": 400",
+            1,
+        );
+        let checks = check_reads_witness(&Json::parse(&leaked).unwrap());
+        assert_eq!(
+            failed(&checks),
+            vec!["reads contention@10 snapshots GC'd after drain"]
+        );
+    }
+
+    #[test]
+    fn doctored_read_abort_fails() {
+        let doctored = GOOD_READS.replacen("\"read_committed\": 181", "\"read_committed\": 170", 1);
+        let checks = check_reads_witness(&Json::parse(&doctored).unwrap());
+        assert_eq!(
+            failed(&checks),
+            vec!["reads contention@10 all read txns commit"]
+        );
+    }
+
+    #[test]
+    fn fresh_reads_checks_flag_regressions() {
+        assert!(all_ok(&check_reads_fresh(28.0, 35.0, 0.0, 940.0, 235.0)));
+        // p99 blown far outside even the wide fresh band.
+        assert!(!all_ok(&check_reads_fresh(28.0, 300.0, 0.0, 940.0, 235.0)));
+        // A reader chosen as a deadlock victim.
+        assert!(!all_ok(&check_reads_fresh(28.0, 35.0, 1.0, 940.0, 235.0)));
+        // Reads bypassing the snapshot path.
+        assert!(!all_ok(&check_reads_fresh(28.0, 35.0, 0.0, 100.0, 235.0)));
     }
 
     #[test]
@@ -398,6 +656,8 @@ mod tests {
         assert!(!all_ok(&checks), "absent topologies must not pass");
         let checks = check_ingest_witness(&Json::parse("{}").unwrap());
         assert!(!all_ok(&checks), "absent points must not pass");
+        let checks = check_reads_witness(&Json::parse("{}").unwrap());
+        assert!(!all_ok(&checks), "absent sweeps must not pass");
     }
 
     #[test]

@@ -41,6 +41,13 @@ struct Entry {
     /// participants can detect routing decisions made under an older
     /// placement *of this document*.
     version: u64,
+    /// Replica-copy fence: raised by `Cluster::add_replica` while the
+    /// source copy is being drained and dumped. Schedulers pause **new**
+    /// update executions on a fenced document (transactions that already
+    /// applied updates to it ride through so the drain can complete);
+    /// reads are unaffected. Not versioned — a fence is a transient
+    /// execution gate, not a placement change.
+    fenced: bool,
 }
 
 /// Thread-safe, versioned document → replica-sites mapping with a
@@ -113,6 +120,7 @@ impl Catalog {
                 sites,
                 fragmented: false,
                 version,
+                fenced: false,
             },
         );
     }
@@ -131,6 +139,7 @@ impl Catalog {
                 sites,
                 fragmented: true,
                 version,
+                fenced: false,
             },
         );
     }
@@ -232,6 +241,70 @@ impl Catalog {
                 RoutingPlan::ReadOne { site }
             }
         })
+    }
+
+    /// Routes a query of a **read-only** transaction: snapshot reads take
+    /// no locks, so a single replica's answer always suffices and the
+    /// plan is never `WriteAll`.
+    ///
+    /// * fragmented documents still fan out (each site holds a disjoint
+    ///   piece of the logical document);
+    /// * when the coordinator itself holds a replica the read stays
+    ///   [`RoutingPlan::Local`] — zero messages — regardless of policy;
+    /// * otherwise the installed policy picks one replica
+    ///   ([`ReadChoice::All`] degrades to the first replica: with no
+    ///   locks there is nothing for a fan-out read to agree on).
+    ///
+    /// Returns `None` when the document is unknown or has no sites, like
+    /// [`Catalog::route`].
+    pub fn route_snapshot_read(&self, op: &OpSpec, ctx: &RoutingCtx<'_>) -> Option<RoutingPlan> {
+        debug_assert!(!op.is_update(), "snapshot routing is for queries only");
+        let (sites, fragmented) = {
+            let map = self.map.read();
+            let entry = map.get(&op.doc)?;
+            (entry.sites.clone(), entry.fragmented)
+        };
+        if sites.is_empty() {
+            return None;
+        }
+        let solo_coordinator = sites.len() == 1 && sites[0] == ctx.coordinator;
+        if fragmented {
+            return Some(if solo_coordinator {
+                RoutingPlan::Local
+            } else {
+                RoutingPlan::FragmentFanOut { sites }
+            });
+        }
+        if sites.contains(&ctx.coordinator) {
+            return Some(RoutingPlan::Local);
+        }
+        Some(match self.policy.read().read_site(&op.doc, &sites, ctx) {
+            ReadChoice::One(site) if sites.contains(&site) => RoutingPlan::ReadOne { site },
+            // `All` (or a stray non-replica choice) degrades to one
+            // replica: a lock-free read has no reason to visit them all.
+            _ => RoutingPlan::ReadOne { site: sites[0] },
+        })
+    }
+
+    /// Raises the replica-copy fence on `doc`: schedulers pause new
+    /// update executions on it until [`Catalog::unfence`]. Unknown
+    /// documents are ignored (the fence is advisory, not placement).
+    pub fn fence(&self, doc: &str) {
+        if let Some(e) = self.map.write().get_mut(doc) {
+            e.fenced = true;
+        }
+    }
+
+    /// Lowers the replica-copy fence on `doc`.
+    pub fn unfence(&self, doc: &str) {
+        if let Some(e) = self.map.write().get_mut(doc) {
+            e.fenced = false;
+        }
+    }
+
+    /// True while `doc` is under a replica-copy fence.
+    pub fn is_fenced(&self, doc: &str) -> bool {
+        self.map.read().get(doc).map(|e| e.fenced).unwrap_or(false)
     }
 
     /// True when `doc` is registered as fragmented.
@@ -519,6 +592,70 @@ mod tests {
             Some(RoutingPlan::ReadOne { site: SiteId(0) })
         );
         assert_eq!(c.policy_name(), "locality");
+    }
+
+    #[test]
+    fn snapshot_read_routing_never_writes_all() {
+        let c = Catalog::new();
+        c.register("d", &[SiteId(0), SiteId(1), SiteId(2)]);
+        // Default (primary) policy answers All for locked reads — the
+        // snapshot route degrades that to one replica.
+        assert_eq!(
+            c.route_snapshot_read(&read("d"), &RoutingCtx::new(SiteId(9))),
+            Some(RoutingPlan::ReadOne { site: SiteId(0) })
+        );
+        // A replica-holding coordinator reads locally: zero messages.
+        assert_eq!(
+            c.route_snapshot_read(&read("d"), &RoutingCtx::new(SiteId(1))),
+            Some(RoutingPlan::Local)
+        );
+        // A One-policy still picks its replica.
+        c.set_policy(PolicyKind::Locality.instantiate());
+        assert_eq!(
+            c.route_snapshot_read(&read("d"), &RoutingCtx::new(SiteId(9))),
+            Some(RoutingPlan::ReadOne { site: SiteId(0) })
+        );
+        // Fragmented documents still fan out (disjoint pieces).
+        c.register_fragmented("f", &[SiteId(0), SiteId(1)]);
+        assert_eq!(
+            c.route_snapshot_read(&read("f"), &RoutingCtx::new(SiteId(2))),
+            Some(RoutingPlan::FragmentFanOut {
+                sites: vec![SiteId(0), SiteId(1)]
+            })
+        );
+        c.register_fragmented("f1", &[SiteId(0)]);
+        assert_eq!(
+            c.route_snapshot_read(&read("f1"), &RoutingCtx::new(SiteId(0))),
+            Some(RoutingPlan::Local)
+        );
+        // Unknown / empty entries stay unroutable.
+        assert_eq!(
+            c.route_snapshot_read(&read("ghost"), &RoutingCtx::new(SiteId(0))),
+            None
+        );
+        c.register("empty", &[]);
+        assert_eq!(
+            c.route_snapshot_read(&read("empty"), &RoutingCtx::new(SiteId(0))),
+            None
+        );
+    }
+
+    #[test]
+    fn fence_raises_and_lowers_without_touching_versions() {
+        let c = Catalog::new();
+        c.register("d", &[SiteId(0)]);
+        let v = c.version_of("d");
+        let e = c.epoch();
+        assert!(!c.is_fenced("d"));
+        c.fence("d");
+        assert!(c.is_fenced("d"));
+        c.unfence("d");
+        assert!(!c.is_fenced("d"));
+        assert_eq!(c.version_of("d"), v, "fencing is not a placement change");
+        assert_eq!(c.epoch(), e);
+        // Unknown documents: advisory no-op.
+        c.fence("ghost");
+        assert!(!c.is_fenced("ghost"));
     }
 
     #[test]

@@ -189,6 +189,20 @@ impl DtxInstance {
         rx.recv().map_err(|_| "scheduler is down".to_owned())?
     }
 
+    /// Asks this instance's scheduler whether `name` currently has no
+    /// applied, not-yet-terminated updates (the replica copy fence's
+    /// drain poll; see [`Cluster::add_replica`]).
+    pub fn doc_quiescent(&self, name: &str) -> Result<bool, String> {
+        let (reply, rx) = bounded(1);
+        self.control
+            .send(Control::DocQuiesced {
+                name: name.to_owned(),
+                reply,
+            })
+            .map_err(|_| "scheduler is down".to_owned())?;
+        rx.recv().map_err(|_| "scheduler is down".to_owned())
+    }
+
     fn shutdown(&mut self) {
         let _ = self.control.send(Control::Shutdown);
         if let Some(h) = self.handle.take() {
@@ -350,14 +364,18 @@ impl Cluster {
     /// not disturb in-flight dispatches of `doc` (per-document
     /// versioning).
     ///
-    /// **Consistency caveat (no copy fence yet):** the copy is the
-    /// source's last *committed* state. An update whose write-all
-    /// dispatch completed under the old epoch but which commits after the
-    /// publish never reaches `to`, and later write-alls apply their own
-    /// deltas without resyncing the missed one — the divergence is
-    /// permanent, not self-healing. Quiesce updates to `doc` around the
-    /// call (as a read-mostly re-replication naturally does); a copy
-    /// fence is a recorded ROADMAP follow-up.
+    /// **Copy fence:** before dumping, the document is fenced in the
+    /// catalog — updates that have not yet touched `doc` park instead of
+    /// starting (transactions with applied updates ride through so the
+    /// drain cannot livelock) — and the source site is polled until no
+    /// in-flight update holds undo state on `doc`. Only then is the
+    /// committed state dumped, loaded at `to` and the replica published;
+    /// the fence is lifted afterwards and parked updates resume against
+    /// the *new* replica set. An update whose write-all had partially
+    /// applied when the fence rose is refused at the source, undone at
+    /// the sites it reached and retried after the publish — no write can
+    /// land on the old replica set after the copy, so replicas cannot
+    /// diverge.
     pub fn add_replica(&self, doc: &str, to: SiteId) -> Result<(), String> {
         if self.catalog.is_fragmented(doc) {
             return Err(format!("document {doc:?} is fragmented, not replicated"));
@@ -369,6 +387,24 @@ impl Cluster {
         let src = *sites
             .first()
             .ok_or_else(|| format!("document {doc:?} unknown to catalog"))?;
+        self.catalog.fence(doc);
+        let result = self.copy_replica(doc, src, to);
+        self.catalog.unfence(doc);
+        result
+    }
+
+    /// The fenced section of [`Cluster::add_replica`]: drain, dump, load,
+    /// publish. Factored out so the fence is lifted on every exit path.
+    fn copy_replica(&self, doc: &str, src: SiteId, to: SiteId) -> Result<(), String> {
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while !self.instance(src).doc_quiescent(doc)? {
+            if std::time::Instant::now() >= deadline {
+                return Err(format!(
+                    "copy fence timed out draining in-flight updates on {doc:?}"
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
         let shipment = self.instance(src).dump_document(doc)?;
         let guide = DataGuide::from_wire(&shipment.guide_wire)
             .map_err(|e| format!("shipped guide corrupt: {e}"))?;
@@ -528,21 +564,133 @@ mod tests {
     }
 
     #[test]
-    fn distributed_query_touches_all_replicas() {
-        let cluster = Cluster::start(ClusterConfig::new(2, ProtocolKind::Xdgl));
+    fn replicated_read_serves_from_local_snapshot_without_messages() {
+        // Historically a read on a replicated document locked every
+        // replica over the network (the paper's t1op1). Read-only
+        // transactions now pin a local snapshot instead: zero lock
+        // acquisitions, zero WFG edges, zero network messages.
+        let cfg = ClusterConfig::new(2, ProtocolKind::Xdgl)
+            .with_deadlock_period(Duration::from_secs(600));
+        let cluster = Cluster::start(cfg);
         cluster
             .load_document("d1", D1, &[SiteId(0), SiteId(1)])
             .unwrap();
-        // Coordinator 0 must lock at both sites (the paper's t1op1).
         let out = cluster.submit(
             SiteId(0),
-            TxnSpec::new(vec![OpSpec::query("d1", q("/people/person[id=4]"))]),
+            TxnSpec::new(vec![OpSpec::query("d1", q("/people/person/name"))]),
         );
         assert!(out.committed(), "{:?}", out.status);
-        assert!(
-            cluster.net_messages() > 0,
-            "remote execution goes over the network"
+        assert_eq!(
+            out.results,
+            vec![crate::op::OpResult::Query {
+                values: vec!["John".to_owned()]
+            }]
         );
+        assert!(cluster.metrics().snapshot_reads() >= 1);
+        assert_eq!(
+            cluster.net_messages(),
+            0,
+            "snapshot read must stay off the network"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn add_replica_under_update_traffic_keeps_replicas_consistent() {
+        // Satellite: the copy fence. Hammer a document with updates while
+        // a new replica is being published; the fence drains in-flight
+        // updates before the dump, so the copy plus all later write-alls
+        // leave both replicas identical.
+        let cluster = Cluster::start(ClusterConfig::new(2, ProtocolKind::Xdgl));
+        cluster.load_document("d2", D2, &[SiteId(0)]).unwrap();
+        let mut rxs = Vec::new();
+        for i in 0..12 {
+            rxs.push(cluster.submit_async(
+                SiteId(0),
+                TxnSpec::new(vec![OpSpec::update(
+                    "d2",
+                    UpdateOp::Change {
+                        target: q("/products/product[id=14]/price"),
+                        new_value: format!("{i}.00"),
+                    },
+                )]),
+            ));
+        }
+        cluster.add_replica("d2", SiteId(1)).unwrap();
+        assert!(
+            !cluster.catalog().is_fenced("d2"),
+            "fence lifted after copy"
+        );
+        for rx in rxs {
+            let out = rx.recv().unwrap();
+            assert!(out.committed(), "{:?}", out.status);
+        }
+        // A post-copy update must reach both replicas...
+        let out = cluster.submit(
+            SiteId(0),
+            TxnSpec::new(vec![OpSpec::update(
+                "d2",
+                UpdateOp::Change {
+                    target: q("/products/product[id=14]/price"),
+                    new_value: "99.99".into(),
+                },
+            )]),
+        );
+        assert!(out.committed(), "{:?}", out.status);
+        // ...and each site's (locally served) snapshot read agrees.
+        for s in [SiteId(0), SiteId(1)] {
+            let out = cluster.submit(
+                s,
+                TxnSpec::new(vec![OpSpec::query("d2", q("/products/product/price"))]),
+            );
+            match &out.results[0] {
+                crate::op::OpResult::Query { values } => {
+                    assert_eq!(values, &vec!["99.99".to_owned()], "site {s}")
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn snapshot_gc_returns_to_single_live_version_after_read_burst() {
+        // Satellite: retention bound. Interleave version-publishing
+        // updates with read bursts that pin whatever is latest; once the
+        // burst drains, GC must be back down to exactly the one current
+        // version (nothing pinned, history reclaimed).
+        let cluster = Cluster::start(ClusterConfig::new(1, ProtocolKind::Xdgl));
+        cluster.load_document("d2", D2, &[SiteId(0)]).unwrap();
+        for i in 0..4 {
+            let mut rxs = Vec::new();
+            for _ in 0..4 {
+                rxs.push(cluster.submit_async(
+                    SiteId(0),
+                    TxnSpec::new(vec![OpSpec::query("d2", q("/products/product/price"))]),
+                ));
+            }
+            let up = cluster.submit(
+                SiteId(0),
+                TxnSpec::new(vec![OpSpec::update(
+                    "d2",
+                    UpdateOp::Change {
+                        target: q("/products/product[id=14]/price"),
+                        new_value: format!("{i}.50"),
+                    },
+                )]),
+            );
+            assert!(up.committed(), "{:?}", up.status);
+            for rx in rxs {
+                assert!(rx.recv().unwrap().committed());
+            }
+        }
+        assert!(cluster.metrics().snapshot_reads() >= 16);
+        assert_eq!(
+            cluster.metrics().snapshots_live(),
+            1,
+            "all read pins released → only the latest version survives GC"
+        );
+        assert!(cluster.metrics().snapshot_bytes() > 0);
         cluster.shutdown();
     }
 

@@ -14,12 +14,13 @@
 //! apply/undo the recorded effects and release everything (strict 2PL).
 
 use crate::op::{OpKind, OpResult, OpSpec};
-use dtx_dataguide::{incremental, DataGuide};
+use dtx_dataguide::{incremental, DataGuide, Snapshot, SnapshotStore};
 use dtx_locks::{LockOutcome, LockProtocol, LockTable, TxnId, TxnMode, WaitForGraph};
 use dtx_storage::{DataManager, StorageError, StorageResult};
 use dtx_xml::Document;
 use dtx_xpath::{apply_update, eval, undo_update, UndoRecord};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Result of processing one operation at one site.
 #[derive(Debug)]
@@ -46,6 +47,12 @@ struct DocState {
     guide: DataGuide,
     /// Dirty since last persist (commit persists only touched docs).
     dirty: bool,
+    /// Guide changed structurally since the last snapshot publication.
+    /// Value-only updates leave this false, so the next publication shares
+    /// `snap_guide` unchanged (the COW fast path).
+    guide_dirty: bool,
+    /// The guide `Arc` shipped with the last published snapshot.
+    snap_guide: Arc<DataGuide>,
     /// Site-local tag making this document's guide ids disjoint from other
     /// documents' in the shared lock table.
     tag: u32,
@@ -130,6 +137,14 @@ pub struct LockManager {
     /// eagerly prune edges pointing at transactions that no longer hold
     /// anything (stale edges would fabricate deadlocks out of retries).
     wfg: WaitForGraph,
+    /// Versioned snapshots of every hosted document, republished at each
+    /// local commit/abort that changed the document. Read-only
+    /// transactions answer from here ([`LockManager::snapshot_read`])
+    /// without ever touching `table` or `wfg`.
+    snapshots: SnapshotStore,
+    /// Snapshot versions pinned per read transaction: `(doc, seq)` pairs,
+    /// released at local commit/abort.
+    snap_pins: HashMap<TxnId, Vec<(String, u64)>>,
 }
 
 impl LockManager {
@@ -155,6 +170,8 @@ impl LockManager {
             op_locks: HashMap::new(),
             touched: HashMap::new(),
             wfg: WaitForGraph::new(),
+            snapshots: SnapshotStore::new(),
+            snap_pins: HashMap::new(),
         }
     }
 
@@ -194,16 +211,37 @@ impl LockManager {
             .get(name)
             .map(|d| d.tag)
             .unwrap_or_else(|| (self.docs.len() as u32) << 24);
+        let snap_guide = Arc::new(guide.clone());
         self.docs.insert(
             name.to_owned(),
             DocState {
                 doc,
                 guide,
                 dirty: false,
+                guide_dirty: false,
+                snap_guide,
                 tag,
             },
         );
+        // Publish the initial snapshot so read-only transactions can pin
+        // the document from the moment it is hosted.
+        self.publish_snapshot(name);
         built
+    }
+
+    /// Publishes a new immutable snapshot of `name` from the current
+    /// in-memory state, sharing the previous guide `Arc` when no applied
+    /// or undone update moved extents since the last publication. Returns
+    /// the new per-document commit sequence (`None`: not hosted).
+    fn publish_snapshot(&mut self, name: &str) -> Option<u64> {
+        let state = self.docs.get_mut(name)?;
+        if state.guide_dirty {
+            state.snap_guide = Arc::new(state.guide.clone());
+            state.guide_dirty = false;
+        }
+        let doc = Arc::new(state.doc.clone());
+        let guide = Arc::clone(&state.snap_guide);
+        Some(self.snapshots.publish(name, doc, guide))
     }
 
     /// Stores raw XML and loads it (bulk load path).
@@ -362,6 +400,7 @@ impl LockManager {
                 Ok(record) => {
                     let affected = undo_size(&record);
                     state.dirty = true;
+                    state.guide_dirty |= incremental::mutates_extents(&record);
                     // Incremental guide maintenance: extents (and any new
                     // label paths) follow the applied update at O(changed
                     // subtree) cost — the guide is never rebuilt.
@@ -411,6 +450,7 @@ impl LockManager {
             *entries = kept;
             for e in undone {
                 if let Some(state) = self.docs.get_mut(&e.doc) {
+                    state.guide_dirty |= incremental::mutates_extents(&e.record);
                     incremental::note_undone(&mut state.guide, &state.doc, &e.record);
                     let _ = undo_update(&mut state.doc, &e.record);
                 }
@@ -437,15 +477,23 @@ impl LockManager {
     /// On success returns the transactions that were waiting on `txn` here
     /// (speculative-wake feed: they may now acquire their locks).
     pub fn commit_local(&mut self, txn: TxnId) -> StorageResult<Vec<TxnId>> {
+        self.release_snapshots(txn);
         self.undo_log.remove(&txn);
         self.op_locks.retain(|(t, _), _| *t != txn);
         if let Some(docs) = self.touched.remove(&txn) {
             for name in docs {
+                let mut publish = false;
                 if let Some(state) = self.docs.get_mut(&name) {
                     if state.dirty {
                         self.store.persist(&name, &state.doc)?;
                         state.dirty = false;
+                        publish = true;
                     }
+                }
+                if publish {
+                    // New commit point: readers starting after this line
+                    // pin the post-commit state.
+                    self.publish_snapshot(&name);
                 }
             }
         }
@@ -461,13 +509,25 @@ impl LockManager {
     /// Returns the transactions that were waiting on `txn` here
     /// (speculative-wake feed: they may now acquire their locks).
     pub fn abort_local(&mut self, txn: TxnId) -> Vec<TxnId> {
+        self.release_snapshots(txn);
+        let mut undone_docs: Vec<String> = Vec::new();
         if let Some(mut entries) = self.undo_log.remove(&txn) {
             while let Some(e) = entries.pop() {
                 if let Some(state) = self.docs.get_mut(&e.doc) {
+                    state.guide_dirty |= incremental::mutates_extents(&e.record);
                     incremental::note_undone(&mut state.guide, &state.doc, &e.record);
                     let _ = undo_update(&mut state.doc, &e.record);
+                    if !undone_docs.contains(&e.doc) {
+                        undone_docs.push(e.doc.clone());
+                    }
                 }
             }
+        }
+        // Republish the post-undo state: an intervening commit on the same
+        // document may have published a snapshot that still contained this
+        // transaction's now-rolled-back changes.
+        for name in undone_docs {
+            self.publish_snapshot(&name);
         }
         self.op_locks.retain(|(t, _), _| *t != txn);
         self.touched.remove(&txn);
@@ -477,11 +537,122 @@ impl LockManager {
         waiters
     }
 
+    /// Executes a read-only transaction's query against its pinned
+    /// snapshot of `op.doc` — **zero lock acquisitions, zero WFG edges**.
+    ///
+    /// The first touch of a document pins the latest published snapshot
+    /// for `txn`; later operations on the same document reuse that pinned
+    /// version, so the transaction sees one consistent commit point per
+    /// document regardless of concurrent writers. This method never
+    /// touches the lock table or the waits-for graph (the only paths that
+    /// do are in [`LockManager::process_operation`]), so snapshot readers
+    /// can neither block, be blocked, nor participate in a deadlock.
+    ///
+    /// Update operations are rejected: the scheduler only routes here for
+    /// transactions classified [`TxnMode::ReadOnly`] up front.
+    pub fn snapshot_read(&mut self, txn: TxnId, op: &OpSpec) -> ProcessResult {
+        let OpKind::Query(q) = &op.kind else {
+            return ProcessResult::Failed("snapshot read given an update operation".to_owned());
+        };
+        let pinned = self
+            .snap_pins
+            .get(&txn)
+            .and_then(|pins| pins.iter().find(|(n, _)| n == &op.doc).map(|&(_, s)| s));
+        let snap = match pinned {
+            Some(seq) => self.snapshots.at(&op.doc, seq),
+            None => {
+                let snap = self.snapshots.pin_latest(&op.doc);
+                if let Some(s) = &snap {
+                    self.snap_pins
+                        .entry(txn)
+                        .or_default()
+                        .push((op.doc.clone(), s.seq));
+                }
+                snap
+            }
+        };
+        let Some(snap) = snap else {
+            return ProcessResult::Failed(format!("document {:?} not hosted here", op.doc));
+        };
+        let nodes = eval(&snap.doc, q);
+        let values: Vec<String> = nodes
+            .iter()
+            .map(|&n| dtx_xpath::eval::string_value(&snap.doc, n))
+            .collect();
+        // Zero lock units charged: only data-processing cost remains.
+        self.cost.charge(0, nodes.len() as u64);
+        ProcessResult::Executed(OpResult::Query { values })
+    }
+
+    /// Releases every snapshot pin `txn` holds, letting superseded
+    /// versions be garbage-collected. Runs at the head of both
+    /// [`LockManager::commit_local`] and [`LockManager::abort_local`], so
+    /// read-only transactions terminate through the unchanged 2PC path.
+    fn release_snapshots(&mut self, txn: TxnId) {
+        if let Some(pins) = self.snap_pins.remove(&txn) {
+            for (name, seq) in pins {
+                self.snapshots.unpin(&name, seq);
+            }
+        }
+    }
+
+    /// The snapshot commit sequence `txn` has pinned for `doc`, if any
+    /// (the equivalence property compares a snapshot read against a
+    /// locked read at this commit point).
+    pub fn pinned_seq(&self, txn: TxnId, doc: &str) -> Option<u64> {
+        self.snap_pins
+            .get(&txn)?
+            .iter()
+            .find(|(n, _)| n == doc)
+            .map(|&(_, s)| s)
+    }
+
+    /// Read access to the published snapshot of `name` at exactly `seq`
+    /// (test/audit hook; live readers pin via [`Self::snapshot_read`]).
+    pub fn snapshot_at(&self, name: &str, seq: u64) -> Option<Snapshot> {
+        self.snapshots.at(name, seq)
+    }
+
+    /// Latest published snapshot sequence of `name`, if hosted.
+    pub fn latest_snapshot_seq(&self, name: &str) -> Option<u64> {
+        self.snapshots.latest_seq(name)
+    }
+
+    /// Live snapshot versions of `name` at this site.
+    pub fn snapshots_live_of(&self, name: &str) -> usize {
+        self.snapshots.live(name)
+    }
+
+    /// `(total live snapshot versions, approximate resident bytes)` at
+    /// this site — the scheduler republishes these as metrics gauges.
+    pub fn snapshot_stats(&self) -> (usize, u64) {
+        (self.snapshots.total_live(), self.snapshots.approx_bytes())
+    }
+
+    /// True when `txn` has applied, not-yet-terminated updates on `name`
+    /// here. The replica copy fence lets such transactions ride through
+    /// (they must be able to finish for the document to drain).
+    pub fn has_applied_updates(&self, txn: TxnId, name: &str) -> bool {
+        self.undo_log
+            .get(&txn)
+            .is_some_and(|es| es.iter().any(|e| e.doc == name))
+    }
+
+    /// True when **no** transaction has applied, not-yet-terminated
+    /// updates on `name` at this site — the drain condition the replica
+    /// copy fence polls before dumping the source copy.
+    pub fn doc_quiescent(&self, name: &str) -> bool {
+        !self
+            .undo_log
+            .values()
+            .any(|es| es.iter().any(|e| e.doc == name))
+    }
+
     /// Serializes the last **committed** (persisted) state of `name` from
     /// the store — the copy shipped to a new replica during online
-    /// re-replication. Uncommitted in-memory changes are excluded; see
-    /// the copy-fence caveat on `Cluster::add_replica` for the update
-    /// race this leaves open.
+    /// re-replication. Uncommitted in-memory changes are excluded; the
+    /// replica copy fence in `Cluster::add_replica` pauses new updates
+    /// and drains applied ones before this dump is taken.
     pub fn dump_committed(&mut self, name: &str) -> StorageResult<String> {
         Ok(self.store.load(name)?.to_xml())
     }
@@ -875,5 +1046,185 @@ mod tests {
         assert!(!lm.hosts("d1"));
         assert_eq!(lm.hosted(), vec!["d2".to_owned()]);
         assert!(lm.guide("d2").is_some());
+    }
+
+    #[test]
+    fn snapshot_read_takes_no_locks_and_adds_no_wfg_edges() {
+        let mut lm = manager();
+        let op = OpSpec::query("d2", q("/products/product/name"));
+        match lm.snapshot_read(TxnId(1), &op) {
+            ProcessResult::Executed(OpResult::Query { values }) => {
+                assert_eq!(values, vec!["Monitor".to_owned(), "Printer".to_owned()]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(lm.lock_entries(), 0, "snapshot reads hold no locks");
+        assert!(lm.wfg().is_empty(), "snapshot reads add no wait edges");
+        assert_eq!(lm.pinned_seq(TxnId(1), "d2"), Some(0));
+        lm.commit_local(TxnId(1)).unwrap();
+        assert!(lm.pinned_seq(TxnId(1), "d2").is_none());
+    }
+
+    #[test]
+    fn snapshot_reader_is_stable_across_writer_commits() {
+        let mut lm = manager();
+        let read = OpSpec::query("d2", q("/products/product[id=4]/price"));
+        // Reader pins the initial snapshot.
+        match lm.snapshot_read(TxnId(1), &read) {
+            ProcessResult::Executed(OpResult::Query { values }) => {
+                assert_eq!(values, vec!["120.00".to_owned()]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // A writer changes the price and commits (publishing a version).
+        let upd = OpSpec::update(
+            "d2",
+            UpdateOp::Change {
+                target: q("/products/product[id=4]/price"),
+                new_value: "99".into(),
+            },
+        );
+        assert!(matches!(
+            lm.process_operation(TxnId(2), 0, &upd, TxnMode::Updating, false),
+            ProcessResult::Executed(_)
+        ));
+        lm.commit_local(TxnId(2)).unwrap();
+        // The pinned reader still sees its commit point…
+        match lm.snapshot_read(TxnId(1), &read) {
+            ProcessResult::Executed(OpResult::Query { values }) => {
+                assert_eq!(values, vec!["120.00".to_owned()]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // …while a fresh reader pins the post-commit state.
+        match lm.snapshot_read(TxnId(3), &read) {
+            ProcessResult::Executed(OpResult::Query { values }) => {
+                assert_eq!(values, vec!["99".to_owned()]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(lm.snapshots_live_of("d2"), 2);
+        // Draining both readers collects the superseded version.
+        lm.commit_local(TxnId(1)).unwrap();
+        lm.commit_local(TxnId(3)).unwrap();
+        assert_eq!(lm.snapshots_live_of("d2"), 1);
+    }
+
+    #[test]
+    fn abort_republishes_rolled_back_state() {
+        let mut lm = manager();
+        let upd = OpSpec::update(
+            "d2",
+            UpdateOp::Change {
+                target: q("/products/product[id=4]/price"),
+                new_value: "1".into(),
+            },
+        );
+        assert!(matches!(
+            lm.process_operation(TxnId(1), 0, &upd, TxnMode::Updating, false),
+            ProcessResult::Executed(_)
+        ));
+        let seq_before = lm.latest_snapshot_seq("d2").unwrap();
+        lm.abort_local(TxnId(1));
+        // The abort republished the post-undo state.
+        assert!(lm.latest_snapshot_seq("d2").unwrap() > seq_before);
+        let read = OpSpec::query("d2", q("/products/product[id=4]/price"));
+        match lm.snapshot_read(TxnId(2), &read) {
+            ProcessResult::Executed(OpResult::Query { values }) => {
+                assert_eq!(values, vec!["120.00".to_owned()]);
+            }
+            other => panic!("{other:?}"),
+        }
+        lm.commit_local(TxnId(2)).unwrap();
+    }
+
+    #[test]
+    fn snapshot_read_rejects_updates_and_unknown_docs() {
+        let mut lm = manager();
+        let upd = OpSpec::update(
+            "d2",
+            UpdateOp::Change {
+                target: q("/products/product/price"),
+                new_value: "0".into(),
+            },
+        );
+        assert!(matches!(
+            lm.snapshot_read(TxnId(1), &upd),
+            ProcessResult::Failed(_)
+        ));
+        let ghost = OpSpec::query("ghost", q("/a"));
+        assert!(matches!(
+            lm.snapshot_read(TxnId(1), &ghost),
+            ProcessResult::Failed(_)
+        ));
+    }
+
+    #[test]
+    fn value_only_commits_share_the_guide_arc() {
+        let mut lm = manager();
+        let s0 = lm
+            .snapshot_at("d2", lm.latest_snapshot_seq("d2").unwrap())
+            .unwrap();
+        let pin = lm.snapshot_read(TxnId(9), &OpSpec::query("d2", q("/products")));
+        assert!(matches!(pin, ProcessResult::Executed(_)));
+        // Change commits are structurally inert → same guide Arc.
+        let change = OpSpec::update(
+            "d2",
+            UpdateOp::Change {
+                target: q("/products/product/price"),
+                new_value: "7".into(),
+            },
+        );
+        assert!(matches!(
+            lm.process_operation(TxnId(1), 0, &change, TxnMode::Updating, false),
+            ProcessResult::Executed(_)
+        ));
+        lm.commit_local(TxnId(1)).unwrap();
+        let s1 = lm
+            .snapshot_at("d2", lm.latest_snapshot_seq("d2").unwrap())
+            .unwrap();
+        assert!(Arc::ptr_eq(&s0.guide, &s1.guide), "COW: guide shared");
+        // An insert commit moves extents → fresh guide Arc.
+        let ins = OpSpec::update(
+            "d2",
+            UpdateOp::Insert {
+                target: q("/products"),
+                fragment: Fragment::elem("product", vec![]),
+                pos: InsertPos::Into,
+            },
+        );
+        assert!(matches!(
+            lm.process_operation(TxnId(2), 0, &ins, TxnMode::Updating, false),
+            ProcessResult::Executed(_)
+        ));
+        lm.commit_local(TxnId(2)).unwrap();
+        let s2 = lm
+            .snapshot_at("d2", lm.latest_snapshot_seq("d2").unwrap())
+            .unwrap();
+        assert!(!Arc::ptr_eq(&s1.guide, &s2.guide));
+        lm.commit_local(TxnId(9)).unwrap();
+    }
+
+    #[test]
+    fn quiescence_tracks_applied_updates() {
+        let mut lm = manager();
+        assert!(lm.doc_quiescent("d2"));
+        assert!(!lm.has_applied_updates(TxnId(1), "d2"));
+        let upd = OpSpec::update(
+            "d2",
+            UpdateOp::Change {
+                target: q("/products/product[id=4]/price"),
+                new_value: "1".into(),
+            },
+        );
+        assert!(matches!(
+            lm.process_operation(TxnId(1), 0, &upd, TxnMode::Updating, false),
+            ProcessResult::Executed(_)
+        ));
+        assert!(!lm.doc_quiescent("d2"));
+        assert!(lm.has_applied_updates(TxnId(1), "d2"));
+        assert!(!lm.has_applied_updates(TxnId(2), "d2"));
+        lm.commit_local(TxnId(1)).unwrap();
+        assert!(lm.doc_quiescent("d2"));
     }
 }

@@ -108,6 +108,17 @@ pub struct Metrics {
     /// one `Commit`/`Abort` per (transaction, site) plus one ack each —
     /// the batching win's regression witness.
     termination_msgs_unbatched: AtomicU64,
+    /// Query operations answered from a pinned snapshot (the lock-free
+    /// read path): no lock table, no WFG. Together with the per-site
+    /// gauges below this is the witness that read-only transactions
+    /// really bypassed XDGL.
+    snapshot_reads: AtomicU64,
+    /// Live snapshot versions per site (gauge: last reported value, not a
+    /// running sum). Summed across sites by [`Metrics::snapshots_live`].
+    snapshots_live: RwLock<Vec<AtomicU64>>,
+    /// Approximate resident snapshot bytes per site (gauge, shared-`Arc`
+    /// structures counted once per site store).
+    snapshot_bytes: RwLock<Vec<AtomicU64>>,
     /// High-water mark of network delivery worker threads. Under the
     /// default reactor topology this is bounded by the configured pool
     /// size (`NetConfig::workers`) no matter how many site pairs carry
@@ -138,8 +149,40 @@ impl Metrics {
             guides_built: AtomicU64::new(0),
             termination_msgs: AtomicU64::new(0),
             termination_msgs_unbatched: AtomicU64::new(0),
+            snapshot_reads: AtomicU64::new(0),
+            snapshots_live: RwLock::new(Vec::new()),
+            snapshot_bytes: RwLock::new(Vec::new()),
             net_worker_threads: AtomicU64::new(0),
         }
+    }
+
+    /// Counts one query operation answered from a pinned snapshot.
+    pub fn note_snapshot_read(&self) {
+        self.snapshot_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Query operations answered from pinned snapshots so far.
+    pub fn snapshot_reads(&self) -> u64 {
+        self.snapshot_reads.load(Ordering::Relaxed)
+    }
+
+    /// Reports site-local snapshot-store state: `live` versions and
+    /// `bytes` of approximate resident size. Gauges, not counters — each
+    /// report *replaces* the site's previous value.
+    pub fn set_snapshot_gauges(&self, site: SiteId, live: u64, bytes: u64) {
+        store_gauge(&self.snapshots_live, site, live);
+        store_gauge(&self.snapshot_bytes, site, bytes);
+    }
+
+    /// Live snapshot versions, summed over all sites (last reported).
+    pub fn snapshots_live(&self) -> u64 {
+        sum_gauges(&self.snapshots_live)
+    }
+
+    /// Approximate resident snapshot bytes, summed over all sites (last
+    /// reported).
+    pub fn snapshot_bytes(&self) -> u64 {
+        sum_gauges(&self.snapshot_bytes)
     }
 
     /// Counts one termination-protocol message (a `TerminateBatch` or its
@@ -385,6 +428,28 @@ impl Metrics {
     }
 }
 
+/// Stores `value` into the per-site gauge slot, growing the vector on
+/// first touch of a site (same discipline as `Metrics::note_site_op`).
+fn store_gauge(slots: &RwLock<Vec<AtomicU64>>, site: SiteId, value: u64) {
+    let idx = site.0 as usize;
+    {
+        let v = slots.read();
+        if let Some(c) = v.get(idx) {
+            c.store(value, Ordering::Relaxed);
+            return;
+        }
+    }
+    let mut v = slots.write();
+    while v.len() <= idx {
+        v.push(AtomicU64::new(0));
+    }
+    v[idx].store(value, Ordering::Relaxed);
+}
+
+fn sum_gauges(slots: &RwLock<Vec<AtomicU64>>) -> u64 {
+    slots.read().iter().map(|c| c.load(Ordering::Relaxed)).sum()
+}
+
 /// Aggregate counters; see [`Metrics::summary`].
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Summary {
@@ -544,6 +609,30 @@ mod tests {
         assert_eq!(m.termination_msgs(), 2);
         assert_eq!(m.termination_msgs_unbatched(), 10);
         assert!(m.termination_msgs() < m.termination_msgs_unbatched());
+    }
+
+    #[test]
+    fn snapshot_read_counter_accumulates() {
+        let m = Metrics::new();
+        assert_eq!(m.snapshot_reads(), 0);
+        m.note_snapshot_read();
+        m.note_snapshot_read();
+        assert_eq!(m.snapshot_reads(), 2);
+    }
+
+    #[test]
+    fn snapshot_gauges_replace_and_sum_per_site() {
+        let m = Metrics::new();
+        assert_eq!(m.snapshots_live(), 0);
+        assert_eq!(m.snapshot_bytes(), 0);
+        m.set_snapshot_gauges(SiteId(0), 3, 1000);
+        m.set_snapshot_gauges(SiteId(2), 2, 500);
+        assert_eq!(m.snapshots_live(), 5);
+        assert_eq!(m.snapshot_bytes(), 1500);
+        // Gauges replace, not accumulate.
+        m.set_snapshot_gauges(SiteId(0), 1, 400);
+        assert_eq!(m.snapshots_live(), 3);
+        assert_eq!(m.snapshot_bytes(), 900);
     }
 
     #[test]

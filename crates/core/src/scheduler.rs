@@ -169,6 +169,16 @@ pub enum Control {
         /// Reply channel (shipment or an error).
         reply: Sender<Result<DocShipment, String>>,
     },
+    /// Answers whether no transaction currently holds applied,
+    /// not-yet-terminated updates on `name` at this site — the drain poll
+    /// of the replica copy fence (`Cluster::add_replica` raises the fence,
+    /// then polls this until the source copy is quiescent).
+    DocQuiesced {
+        /// Document name.
+        name: String,
+        /// Reply channel.
+        reply: Sender<bool>,
+    },
     /// Stop the scheduler; in-flight transactions are aborted.
     Shutdown,
 }
@@ -455,6 +465,7 @@ impl Scheduler {
                                 }
                             })
                             .map_err(|e| e.to_string());
+                        self.publish_snapshot_gauges();
                         let _ = ack.send(r);
                     }
                     Ok(Control::LoadBuilt {
@@ -472,6 +483,7 @@ impl Scheduler {
                                 }
                             })
                             .map_err(|e| e.to_string());
+                        self.publish_snapshot_gauges();
                         let _ = ack.send(r);
                     }
                     Ok(Control::DumpDoc { name, reply }) => {
@@ -484,6 +496,9 @@ impl Scheduler {
                             })
                             .map_err(|e| e.to_string());
                         let _ = reply.send(r);
+                    }
+                    Ok(Control::DocQuiesced { name, reply }) => {
+                        let _ = reply.send(self.lockmgr.doc_quiescent(&name));
                     }
                     Ok(Control::Shutdown) => {
                         self.shutdown();
@@ -696,7 +711,16 @@ impl Scheduler {
                     coordinator: self.site,
                     metrics: Some(&self.metrics),
                 };
-                let Some(plan) = self.catalog.route(&op, &ctx) else {
+                // Read-only transactions run against pinned snapshots and
+                // never take locks, so their reads need only one replica
+                // (or the local one when present) — never the write fan-out.
+                let mode = self.coord_txn_mode(id);
+                let plan = if mode == TxnMode::ReadOnly {
+                    self.catalog.route_snapshot_read(&op, &ctx)
+                } else {
+                    self.catalog.route(&op, &ctx)
+                };
+                let Some(plan) = plan else {
                     self.begin_abort(
                         id,
                         AbortReason::OperationFailed(format!(
@@ -725,6 +749,14 @@ impl Scheduler {
         }
     }
 
+    /// True when the replica copy fence on `doc` must pause this update:
+    /// the document is fenced and `id` has not yet applied updates to it.
+    /// Transactions that already touched the document ride through so the
+    /// drain can complete (blocking them would livelock the fence).
+    fn fence_blocks(&self, id: TxnId, doc: &str) -> bool {
+        self.catalog.is_fenced(doc) && !self.lockmgr.has_applied_updates(id, doc)
+    }
+
     fn coord_txn_mode(&self, id: TxnId) -> TxnMode {
         match self.txn_index(id) {
             Some(idx) if self.txns[idx].spec.is_read_only() => TxnMode::ReadOnly,
@@ -735,6 +767,28 @@ impl Scheduler {
     /// Alg. 1 l. 5-10: the operation only involves the coordinator site.
     fn execute_local_op(&mut self, id: TxnId, op_seq: usize, op: &OpSpec) {
         let mode = self.coord_txn_mode(id);
+        if mode == TxnMode::ReadOnly && !op.is_update() {
+            // Snapshot path: pin (or reuse) this txn's snapshot of the
+            // document and answer from it — no lock table, no WFG edges.
+            match self.lockmgr.snapshot_read(id, op) {
+                ProcessResult::Executed(result) => {
+                    self.metrics.note_snapshot_read();
+                    self.op_succeeded(id, result);
+                }
+                ProcessResult::Conflict { .. } => {
+                    // snapshot_read never conflicts; treat defensively.
+                    self.enter_wait(id);
+                }
+                ProcessResult::Failed(e) => {
+                    self.begin_abort(id, AbortReason::OperationFailed(e));
+                }
+            }
+            return;
+        }
+        if op.is_update() && self.fence_blocks(id, &op.doc) {
+            self.enter_wait(id);
+            return;
+        }
         match self.lockmgr.process_operation(id, op_seq, op, mode, false) {
             ProcessResult::Executed(result) => self.op_succeeded(id, result),
             ProcessResult::Conflict { deadlock, .. } => {
@@ -1193,7 +1247,11 @@ impl Scheduler {
         let Some(idx) = self.txn_index(id) else {
             return;
         };
-        match self.lockmgr.commit_local(id) {
+        let released = self.lockmgr.commit_local(id);
+        // Gauges go out before the client reply so a caller that observed
+        // the outcome also observes the post-commit snapshot-store state.
+        self.publish_snapshot_gauges();
+        match released {
             Ok(waiters) => {
                 let txn = self.txns.remove(idx);
                 self.finish(txn, TxnStatus::Committed);
@@ -1204,6 +1262,15 @@ impl Scheduler {
                 self.finish(txn, TxnStatus::Failed(format!("local persist failed: {e}")));
             }
         }
+    }
+
+    /// Republishes this site's snapshot-store gauges (live versions and
+    /// approximate retained bytes) after any commit/abort that could have
+    /// published or garbage-collected a snapshot version.
+    fn publish_snapshot_gauges(&self) {
+        let (live, bytes) = self.lockmgr.snapshot_stats();
+        self.metrics
+            .set_snapshot_gauges(self.site, live as u64, bytes);
     }
 
     // -----------------------------------------------------------------
@@ -1241,6 +1308,7 @@ impl Scheduler {
         // Local rollback (Alg. 6 l. 13-14).
         let waiters = self.lockmgr.abort_local(id);
         self.wake_waiters(waiters);
+        self.publish_snapshot_gauges();
         let Some(idx) = self.txn_index(id) else {
             return;
         };
@@ -1390,6 +1458,44 @@ impl Scheduler {
         mode: TxnMode,
         tolerate_empty: bool,
     ) -> DoneInfo {
+        if mode == TxnMode::ReadOnly && !op.is_update() {
+            // Snapshot path mirrors the coordinator's: answer from this
+            // participant's pinned snapshot, touching neither the lock
+            // table nor the wait-for graph.
+            return match self.lockmgr.snapshot_read(txn, op) {
+                ProcessResult::Executed(result) => {
+                    self.metrics.note_snapshot_read();
+                    DoneInfo {
+                        acquired: true,
+                        executed: true,
+                        failed: false,
+                        deadlock: false,
+                        stale: false,
+                        result: Some(result),
+                    }
+                }
+                _ => DoneInfo {
+                    acquired: true,
+                    executed: false,
+                    failed: true,
+                    deadlock: false,
+                    stale: false,
+                    result: None,
+                },
+            };
+        }
+        if op.is_update() && self.fence_blocks(txn, &op.doc) {
+            // Replica copy fence: report a (non-deadlock) conflict so the
+            // coordinator parks the transaction and retries after the copy.
+            return DoneInfo {
+                acquired: false,
+                executed: false,
+                failed: false,
+                deadlock: false,
+                stale: false,
+                result: None,
+            };
+        }
         match self
             .lockmgr
             .process_operation(txn, op_seq, op, mode, tolerate_empty)
@@ -1623,6 +1729,7 @@ impl Scheduler {
                 }
                 let entries = (commit_acks.len() + abort_acks.len()) as u64;
                 self.metrics.note_termination_msg(entries);
+                self.publish_snapshot_gauges();
                 let _ = self.net.send(
                     self.site,
                     env.from,
@@ -1657,6 +1764,7 @@ impl Scheduler {
                 let waiters = self.lockmgr.abort_local(txn);
                 self.txn_coord.remove(&txn);
                 self.wake_waiters(waiters);
+                self.publish_snapshot_gauges();
             }
             Message::WfgRequest { from, round } => {
                 let _ = self.net.send(

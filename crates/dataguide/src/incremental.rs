@@ -95,6 +95,17 @@ pub fn note_undone(guide: &mut DataGuide, doc: &Document, record: &UndoRecord) {
     }
 }
 
+/// Whether applying (or undoing) `record` moves DataGuide extents at all.
+///
+/// Value-only [`UndoRecord::Change`] records are structurally inert —
+/// [`note_applied`] and [`note_undone`] are no-ops for them — so a commit
+/// consisting only of such records can republish its snapshot sharing the
+/// previous version's guide `Arc` unchanged (the COW fast path of
+/// [`crate::snapshot::SnapshotStore`]).
+pub fn mutates_extents(record: &UndoRecord) -> bool {
+    !matches!(record, UndoRecord::Change(_))
+}
+
 fn classify_live(guide: &DataGuide, doc: &Document, node: NodeId) -> Option<GuideId> {
     if doc.is_live(node) {
         guide.classify(doc, node)
@@ -437,6 +448,38 @@ mod tests {
         let rec = apply_update(&mut d, &op).unwrap();
         note_applied(&mut g, &d, &rec);
         assert_consistent(&g, &d);
+    }
+
+    #[test]
+    fn mutates_extents_flags_all_but_change() {
+        let mut d = doc();
+        let change = apply_update(
+            &mut d,
+            &UpdateOp::Change {
+                target: q("/products/product/price"),
+                new_value: "1".into(),
+            },
+        )
+        .unwrap();
+        assert!(!mutates_extents(&change));
+        let remove = apply_update(
+            &mut d,
+            &UpdateOp::Remove {
+                target: q("/products/product[id=14]"),
+            },
+        )
+        .unwrap();
+        assert!(mutates_extents(&remove));
+        let insert = apply_update(
+            &mut d,
+            &UpdateOp::Insert {
+                target: q("/products"),
+                fragment: Fragment::elem_text("note", "hi"),
+                pos: InsertPos::Into,
+            },
+        )
+        .unwrap();
+        assert!(mutates_extents(&insert));
     }
 
     #[test]

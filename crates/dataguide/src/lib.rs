@@ -25,8 +25,10 @@
 //! root. The paper's example numbers DataGuide nodes the same way (Fig. 5).
 
 pub mod incremental;
+pub mod snapshot;
 pub mod stream;
 
+pub use snapshot::{Snapshot, SnapshotStore};
 pub use stream::GuideBuilder;
 
 use dtx_xml::document::Fragment;

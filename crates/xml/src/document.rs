@@ -122,6 +122,13 @@ pub struct Removed {
     pub parent: NodeId,
     /// Index within the parent's child list it occupied.
     pub index: usize,
+    /// The tombstoned arena slots, root first: ids are never reused, so
+    /// [`Document::unremove`] reinstates exactly these slots and the
+    /// subtree keeps its original node ids. Id stability is what makes
+    /// LIFO multi-operation undo compose — an aborted transaction that
+    /// removed a node it had inserted earlier must see the insert's undo
+    /// find that node again under its recorded id.
+    slots: Vec<(NodeId, Node)>,
 }
 
 /// An in-memory XML document: a rooted ordered tree in an arena, plus a
@@ -487,10 +494,13 @@ impl Document {
             .ok_or_else(|| XmlError::InvalidTreeOp("cannot remove the document root".into()))?;
         let index = self.child_index(parent, id)?;
         let fragment = self.to_fragment(id)?;
+        let slots: Vec<(NodeId, Node)> = self
+            .descendants(id)
+            .map(|n| (n, self.nodes[n.index()].clone().expect("live subtree")))
+            .collect();
         self.node_mut(parent)?.children.retain(|&c| c != id);
         // Tombstone the whole subtree.
-        let subtree: Vec<NodeId> = self.descendants(id).collect();
-        for n in subtree {
+        for &(n, _) in &slots {
             self.nodes[n.index()] = None;
             self.live -= 1;
         }
@@ -498,13 +508,34 @@ impl Document {
             fragment,
             parent,
             index,
+            slots,
         })
     }
 
-    /// Undoes a removal by splicing the recorded fragment back at its
-    /// original position. Returns the id of the restored subtree root
-    /// (a fresh id — ids are never reused).
+    /// Undoes a removal by splicing the recorded subtree back at its
+    /// original position, **under its original node ids**: ids are never
+    /// reused, so the tombstoned slots are guaranteed still free and are
+    /// reinstated verbatim. Returns the id of the restored subtree root.
     pub fn unremove(&mut self, removed: &Removed) -> XmlResult<NodeId> {
+        let restorable = !removed.slots.is_empty()
+            && removed
+                .slots
+                .iter()
+                .all(|(id, _)| matches!(self.nodes.get(id.index()), Some(None)));
+        if restorable {
+            for (id, node) in &removed.slots {
+                self.nodes[id.index()] = Some(node.clone());
+                self.live += 1;
+            }
+            let root = removed.slots[0].0;
+            self.node_mut(root)?.parent = Some(removed.parent);
+            let parent = self.node_mut(removed.parent)?;
+            let idx = removed.index.min(parent.children.len());
+            parent.children.insert(idx, root);
+            return Ok(root);
+        }
+        // Fallback (slot collision — e.g. a record replayed against a
+        // different document): rebuild the subtree under fresh ids.
         let new_id = self.build_fragment(&removed.fragment)?;
         self.node_mut(new_id)?.parent = Some(removed.parent);
         let parent = self.node_mut(removed.parent)?;
@@ -535,6 +566,19 @@ impl Document {
     /// single text child (creating one if absent) — the common "change the
     /// price" usage in the paper's scenario.
     pub fn change_value(&mut self, id: NodeId, new_value: &str) -> XmlResult<String> {
+        Ok(self.change_value_tracked(id, new_value)?.0)
+    }
+
+    /// Like [`Self::change_value`], additionally reporting the text child it
+    /// *created* when the target was an element with no text child (`None`
+    /// when an existing node's value was replaced). The exact inverse of the
+    /// creating case is removing that node again, not writing the empty
+    /// string into it — undo machinery needs the id to do so.
+    pub fn change_value_tracked(
+        &mut self,
+        id: NodeId,
+        new_value: &str,
+    ) -> XmlResult<(String, Option<NodeId>)> {
         let is_element = self.node(id)?.is_element();
         if is_element {
             // Find (or create) the text child.
@@ -544,19 +588,19 @@ impl Document {
                 .copied()
                 .find(|&c| self.node(c).map(|n| n.is_text()).unwrap_or(false));
             return match text_child {
-                Some(t) => self.change_value(t, new_value),
+                Some(t) => self.change_value_tracked(t, new_value),
                 None => {
                     let tid = self.alloc(Node::text(new_value));
                     self.node_mut(tid)?.parent = Some(id);
                     self.node_mut(id)?.children.push(tid);
-                    Ok(String::new())
+                    Ok((String::new(), Some(tid)))
                 }
             };
         }
         let node = self.node_mut(id)?;
         match &mut node.kind {
             NodeKind::Attribute { value, .. } | NodeKind::Text { value } => {
-                Ok(std::mem::replace(value, new_value.to_owned()))
+                Ok((std::mem::replace(value, new_value.to_owned()), None))
             }
             NodeKind::Element { .. } => unreachable!("handled above"),
         }
@@ -777,6 +821,24 @@ mod tests {
         doc.unremove(&removed).unwrap();
         assert_eq!(doc.node_count(), n_before);
         assert_eq!(doc.to_xml(), before);
+        doc.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn unremove_restores_original_node_ids() {
+        // Id stability across remove/unremove: an aborted transaction
+        // that removed a subtree it had inserted earlier must see the
+        // insert's undo find the node again under its recorded id.
+        let mut doc = store_doc();
+        let root = doc.root();
+        let victim = doc.children(root).unwrap()[0];
+        let subtree: Vec<NodeId> = doc.descendants(victim).collect();
+        let removed = doc.remove(victim).unwrap();
+        let restored = doc.unremove(&removed).unwrap();
+        assert_eq!(restored, victim, "root id must be reinstated");
+        for n in subtree {
+            assert!(doc.is_live(n), "subtree id {n} must be reinstated");
+        }
         doc.check_integrity().unwrap();
     }
 

@@ -152,9 +152,12 @@ pub enum UndoRecord {
     Remove(Vec<Removed>),
     /// `(node, old_label)` pairs to restore.
     Rename(Vec<(NodeId, String)>),
-    /// `(node, old_value)` pairs to restore. The node recorded is the node
-    /// whose value actually changed (the text child, for element targets).
-    Change(Vec<(NodeId, String)>),
+    /// `(node, old_value)` pairs to restore. `Some(old)` restores `old`
+    /// onto the recorded target; `None` marks a text child the change
+    /// *created* under a previously text-less element — the exact inverse
+    /// removes that node again (restoring `""` would leave an empty text
+    /// residue behind an aborted transaction).
+    Change(Vec<(NodeId, Option<String>)>),
     /// The two nodes to swap back.
     Transpose(NodeId, NodeId),
 }
@@ -210,8 +213,13 @@ pub fn apply_update(doc: &mut Document, op: &UpdateOp) -> Result<UndoRecord, Upd
             let targets = non_empty(doc, target)?;
             let mut olds = Vec::with_capacity(targets.len());
             for t in targets {
-                let old = doc.change_value(t, new_value)?;
-                olds.push((t, old));
+                let (old, created) = doc.change_value_tracked(t, new_value)?;
+                match created {
+                    // The element had no text child; the change created one,
+                    // so the inverse is to remove that node again.
+                    Some(tid) => olds.push((tid, None)),
+                    None => olds.push((t, Some(old))),
+                }
             }
             Ok(UndoRecord::Change(olds))
         }
@@ -253,10 +261,19 @@ pub fn undo_update(doc: &mut Document, undo: &UndoRecord) -> Result<(), UpdateEr
         }
         UndoRecord::Change(olds) => {
             for (id, old) in olds.iter().rev() {
-                // change_value on the element re-finds the text child; use
-                // the recorded node when still live.
-                if doc.is_live(*id) {
-                    doc.change_value(*id, old)?;
+                // The node may already be gone (abort after partial
+                // application); tolerate stale ids.
+                if !doc.is_live(*id) {
+                    continue;
+                }
+                match old {
+                    Some(old) => {
+                        doc.change_value(*id, old)?;
+                    }
+                    // The change created this text child; remove it again.
+                    None => {
+                        doc.remove(*id)?;
+                    }
                 }
             }
         }

@@ -9,7 +9,7 @@
 
 use dtx::core::{Cluster, ClusterConfig, OpSpec, ProtocolKind, SiteId, TxnSpec};
 use dtx::net::LatencyModel;
-use dtx::xpath::Query;
+use dtx::xpath::{Query, UpdateOp};
 use std::time::Duration;
 
 fn slow_lan(seed: u64) -> LatencyModel {
@@ -30,8 +30,10 @@ fn coordinator_pipelines_distributed_transactions() {
     config.latency = slow_lan(7);
     let cluster = Cluster::start(config);
     // Four disjoint documents, all replicated on both sites: every
-    // operation submitted at site 0 is distributed, and none of them
-    // contend for locks.
+    // update submitted at site 0 write-alls to both replicas, so each is
+    // distributed, and none of them contend for locks. (Reads no longer
+    // qualify here — read-only transactions are served from the local
+    // snapshot without any round-trip.)
     let sites = [SiteId(0), SiteId(1)];
     let n = 4;
     for i in 0..n {
@@ -43,9 +45,12 @@ fn coordinator_pipelines_distributed_transactions() {
         .map(|i| {
             cluster.submit_async(
                 SiteId(0),
-                TxnSpec::new(vec![OpSpec::query(
+                TxnSpec::new(vec![OpSpec::update(
                     format!("r{i}"),
-                    Query::parse("/r/x").unwrap(),
+                    UpdateOp::Change {
+                        target: Query::parse("/r/x").unwrap(),
+                        new_value: format!("{}", i + 100),
+                    },
                 )]),
             )
         })
@@ -55,12 +60,6 @@ fn coordinator_pipelines_distributed_transactions() {
             .recv_timeout(Duration::from_secs(60))
             .expect("terminates");
         assert!(out.committed(), "txn {i}: {:?}", out.status);
-        assert_eq!(
-            out.results,
-            vec![dtx::core::OpResult::Query {
-                values: vec![i.to_string()]
-            }]
-        );
     }
     let inflight = cluster.metrics().max_inflight_remote();
     assert!(
@@ -82,11 +81,17 @@ fn pipelined_transactions_record_remote_phase_time() {
         .unwrap();
     let out = cluster.submit(
         SiteId(0),
-        TxnSpec::new(vec![OpSpec::query("d", Query::parse("/r/x").unwrap())]),
+        TxnSpec::new(vec![OpSpec::update(
+            "d",
+            UpdateOp::Change {
+                target: Query::parse("/r/x").unwrap(),
+                new_value: "2".into(),
+            },
+        )]),
     );
     assert!(out.committed(), "{:?}", out.status);
     let summary = cluster.metrics().summary();
-    // One distributed query: at least one network round-trip must have
+    // One distributed update: at least one network round-trip must have
     // been accounted to the AwaitingRemoteOps state.
     assert!(
         summary.phase_times.remote >= Duration::from_millis(3),

@@ -24,6 +24,26 @@ fn read_txn() -> TxnSpec {
     TxnSpec::new(vec![OpSpec::query("d", q("/products/product/name"))])
 }
 
+/// A transaction whose read of "d" takes the *locked*, policy-routed
+/// path: the leading update (on a scratch document hosted only at site
+/// 0) makes the transaction updating, so its query goes through the
+/// placement policy instead of the read-only snapshot path (which would
+/// serve it from the coordinator's replica with zero messages).
+fn locked_read_txn(scratch: &str) -> TxnSpec {
+    TxnSpec::new(vec![
+        OpSpec::update(
+            scratch,
+            UpdateOp::Change {
+                target: q("/w/x"),
+                new_value: "1".into(),
+            },
+        ),
+        OpSpec::query("d", q("/products/product/name")),
+    ])
+}
+
+const SCRATCH: &str = "<w><x>0</x></w>";
+
 fn cluster_with_policy(sites: u16, policy: PolicyKind) -> Cluster {
     let config = ClusterConfig::new(sites, ProtocolKind::Xdgl).with_policy(policy);
     let cluster = Cluster::start(config);
@@ -32,14 +52,17 @@ fn cluster_with_policy(sites: u16, policy: PolicyKind) -> Cluster {
     cluster
 }
 
-/// Runs `n` read transactions from site 0 and returns the `remote_msgs`
-/// metric (coordinator → participant `ExecRemote` dispatches).
+/// Runs `n` locked-read transactions from site 0 and returns the
+/// `remote_msgs` metric (coordinator → participant `ExecRemote`
+/// dispatches). The scratch update executes locally at site 0, so every
+/// remote dispatch counted comes from the policy-routed read of "d".
 fn remote_msgs_for(policy: PolicyKind, n: usize) -> u64 {
     let cluster = cluster_with_policy(3, policy);
+    cluster.load_document("w", SCRATCH, &[SiteId(0)]).unwrap();
     for _ in 0..n {
-        let out = cluster.submit(SiteId(0), read_txn());
+        let out = cluster.submit(SiteId(0), locked_read_txn("w"));
         assert!(out.committed(), "{policy:?}: {:?}", out.status);
-        match &out.results[0] {
+        match &out.results[1] {
             OpResult::Query { values } => {
                 assert_eq!(values, &vec!["Monitor".to_owned(), "Printer".to_owned()])
             }
@@ -217,10 +240,17 @@ fn in_flight_dispatches_are_refused_stale_and_re_routed() {
     cluster
         .load_document("d", DOC, &[SiteId(0), SiteId(1), SiteId(2)])
         .unwrap();
-    // Round-robin from site 0 spreads these reads over all three
+    // Per-transaction scratch docs keep the updating transactions
+    // disjoint (no lock contention) so all 12 dispatch concurrently.
+    for i in 0..12 {
+        cluster
+            .load_document(&format!("w{i}"), SCRATCH, &[SiteId(0)])
+            .unwrap();
+    }
+    // Round-robin from site 0 spreads the locked reads over all three
     // replicas: of 12 reads, 4 are local and 8 dispatch remotely.
     let receivers: Vec<_> = (0..12)
-        .map(|_| cluster.submit_async(SiteId(0), read_txn()))
+        .map(|i| cluster.submit_async(SiteId(0), locked_read_txn(&format!("w{i}"))))
         .collect();
     // Wait until every remote dispatch has been *sent* (metric-driven, no
     // blind sleep), then bump the epoch while the messages — 150 ms from
@@ -373,8 +403,13 @@ fn unrelated_document_mutation_does_not_stale_refuse() {
         .load_document("d", DOC, &[SiteId(0), SiteId(1), SiteId(2)])
         .unwrap();
     cluster.load_document("other", DOC, &[SiteId(0)]).unwrap();
+    for i in 0..12 {
+        cluster
+            .load_document(&format!("w{i}"), SCRATCH, &[SiteId(0)])
+            .unwrap();
+    }
     let receivers: Vec<_> = (0..12)
-        .map(|_| cluster.submit_async(SiteId(0), read_txn()))
+        .map(|i| cluster.submit_async(SiteId(0), locked_read_txn(&format!("w{i}"))))
         .collect();
     // Wait until the remote dispatches of "d" are on the wire, then
     // mutate "other"'s placement while they are still in flight.
