@@ -6,7 +6,7 @@
 //! at the cost of more detector rounds (more wait-for-graph messages); a
 //! long period lets cycles linger.
 
-use dtx_bench::{header, ms, row, run, ExpEnv, SEED};
+use dtx_bench::{header, ms, row, run, seed_from_args, ExpEnv};
 use dtx_core::{Cluster, ClusterConfig, ProtocolKind};
 use dtx_xmark::fragment::{allocate, fragment_doc, load_allocation, ReplicationMode};
 use dtx_xmark::generator::{generate, XmarkConfig};
@@ -14,6 +14,7 @@ use dtx_xmark::workload::WorkloadConfig;
 use std::time::Duration;
 
 fn main() {
+    let seed = seed_from_args();
     let clients = 30;
     let periods_ms = [10u64, 25, 50, 100, 250];
     println!("# A2 — deadlock-detector period sweep (XDGL)");
@@ -26,7 +27,7 @@ fn main() {
         "committed",
     ]);
     for &period in &periods_ms {
-        let env = ExpEnv::standard(ProtocolKind::Xdgl);
+        let env = ExpEnv::standard(ProtocolKind::Xdgl).with_seed(seed);
         let doc = generate(XmarkConfig::sized(env.base_bytes, env.seed));
         let frags = fragment_doc(&doc, env.sites as usize);
         let config = ClusterConfig::new(env.sites, env.protocol)
@@ -38,7 +39,7 @@ fn main() {
         let report = run(
             &cluster,
             &frags,
-            WorkloadConfig::with_updates(clients, 40, SEED),
+            WorkloadConfig::with_updates(clients, 40, seed),
         );
         row(&[
             period.to_string(),

@@ -11,12 +11,13 @@
 //! `site_ops` shows where the load lands: `locality` keeps it at the
 //! submission sites, `round-robin` and `hotness-aware` spread it evenly.
 
-use dtx_bench::{header, ms, row, run, setup, ExpEnv, SEED};
+use dtx_bench::{header, ms, row, run, seed_from_args, setup, ExpEnv};
 use dtx_core::{PolicyKind, ProtocolKind};
 use dtx_xmark::fragment::ReplicationMode;
 use dtx_xmark::workload::WorkloadConfig;
 
 fn main() {
+    let seed = seed_from_args();
     let clients = 16;
     let update_pct = 10;
     println!("# Ablation — placement policies (read-one vs write-all reads)");
@@ -32,14 +33,14 @@ fn main() {
         "site_ops",
     ]);
     for policy in PolicyKind::ALL {
-        let mut env = ExpEnv::standard(ProtocolKind::Xdgl);
+        let mut env = ExpEnv::standard(ProtocolKind::Xdgl).with_seed(seed);
         env.mode = ReplicationMode::Total;
         env.base_bytes /= 4; // keep the ablation CI-friendly
         let (cluster, frags) = setup(env.with_policy(policy));
         let report = run(
             &cluster,
             &frags,
-            WorkloadConfig::with_updates(clients, update_pct, SEED),
+            WorkloadConfig::with_updates(clients, update_pct, seed),
         );
         let metrics = cluster.metrics();
         let site_ops: Vec<String> = metrics

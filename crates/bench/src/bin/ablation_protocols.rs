@@ -7,11 +7,12 @@
 //! complete lock on the document"): whole-document locking, the coarsest
 //! end of the spectrum.
 
-use dtx_bench::{header, ms, row, run, setup, ExpEnv, SEED};
+use dtx_bench::{header, ms, row, run, seed_from_args, setup, ExpEnv};
 use dtx_core::ProtocolKind;
 use dtx_xmark::workload::WorkloadConfig;
 
 fn main() {
+    let seed = seed_from_args();
     let clients = 30;
     println!("# A1 — protocol granularity ablation");
     println!("# 4 sites, partial replication, {clients} clients, 40% update txns");
@@ -28,11 +29,11 @@ fn main() {
         ProtocolKind::Node2Pl,
         ProtocolKind::DocLock,
     ] {
-        let (cluster, frags) = setup(ExpEnv::standard(protocol));
+        let (cluster, frags) = setup(ExpEnv::standard(protocol).with_seed(seed));
         let report = run(
             &cluster,
             &frags,
-            WorkloadConfig::with_updates(clients, 40, SEED),
+            WorkloadConfig::with_updates(clients, 40, seed),
         );
         let p95 = {
             let mut rts: Vec<_> = report

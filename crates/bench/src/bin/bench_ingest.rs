@@ -19,7 +19,7 @@
 //!
 //! `--smoke` runs a seconds-scale subset (CI).
 
-use dtx_bench::{ms, setup_streamed, CountingAlloc, ExpEnv, BASE_BYTES, SEED};
+use dtx_bench::{ms, seed_from_args, setup_streamed, CountingAlloc, ExpEnv, BASE_BYTES};
 use dtx_core::ProtocolKind;
 use dtx_dataguide::{DataGuide, GuideBuilder};
 use dtx_xmark::generator::{emit, generate, XmarkConfig};
@@ -47,9 +47,9 @@ struct IngestPoint {
     stream_overhead: usize,
 }
 
-fn measure(scale: f64) -> IngestPoint {
+fn measure(scale: f64, seed: u64) -> IngestPoint {
     let target = (BASE_BYTES as f64 * scale) as usize;
-    let config = XmarkConfig::sized(target, SEED);
+    let config = XmarkConfig::sized(target, seed);
 
     // Tree path: serialized base → parse → guide rebuild.
     let base = ALLOC.reset_peak();
@@ -103,12 +103,12 @@ struct E2e {
 /// The acceptance demonstration: a base ≥10× today's default generates,
 /// ingests and serves the fig12 mixed workload end-to-end via the
 /// streaming path (partial replication, 4 sites, 20 % update txns).
-fn end_to_end(scale: f64, clients: usize) -> E2e {
-    let mut env = ExpEnv::standard(ProtocolKind::Xdgl);
+fn end_to_end(scale: f64, clients: usize, seed: u64) -> E2e {
+    let mut env = ExpEnv::standard(ProtocolKind::Xdgl).with_seed(seed);
     env.base_bytes = (BASE_BYTES as f64 * scale) as usize;
     let (cluster, manifests, total_bytes) = setup_streamed(env);
     let workload =
-        dtx_xmark::workload::generate(WorkloadConfig::with_updates(clients, 20, SEED), &manifests);
+        dtx_xmark::workload::generate(WorkloadConfig::with_updates(clients, 20, seed), &manifests);
     let report = dtx_xmark::tester::run_workload(&cluster, &workload);
     let out = E2e {
         base_bytes: total_bytes,
@@ -159,6 +159,7 @@ fn write_json(points: &[IngestPoint], e2e: &E2e) -> std::io::Result<()> {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let seed = seed_from_args();
     // Scale factors relative to the default experiment base (400 KB):
     // 1×, 4×, 10× normally; a sub-second subset under --smoke.
     let scales: &[f64] = if smoke {
@@ -172,7 +173,7 @@ fn main() {
     );
     let mut points = Vec::new();
     for &scale in scales {
-        let p = measure(scale);
+        let p = measure(scale, seed);
         println!(
             "{}\t{}\t{:.1}\t{}\t{:.1}\t{:.1}\t{}\t{:.1}\t{}",
             p.scale,
@@ -195,7 +196,7 @@ fn main() {
     // End-to-end at ≥10× the default base (2× under --smoke to stay CI-fast).
     let (e2e_scale, clients) = if smoke { (2.0, 8) } else { (10.0, 50) };
     println!("\n# e2e: streamed ingest at {e2e_scale}× default base serving the fig12 workload");
-    let e = end_to_end(e2e_scale, clients);
+    let e = end_to_end(e2e_scale, clients, seed);
     println!(
         "base {} B: committed {}/{} in {:.1} ms (mean resp {:.2} ms)",
         e.base_bytes, e.committed, e.submitted, e.wall_ms, e.mean_resp_ms

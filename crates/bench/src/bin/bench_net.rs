@@ -92,6 +92,7 @@ fn write_json(
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let seed = dtx_bench::seed_from_args();
     let smoke = args.iter().any(|a| a == "--smoke");
     let sites_arg: Option<u16> = args
         .iter()
@@ -105,7 +106,7 @@ fn main() {
         // the bounded-thread claim exercised on every push.
         let msgs = sweep_msgs_per_link(sites, smoke);
         println!("# reactor storm: {sites} sites all-to-all, {msgs} msgs per ordered link");
-        let r = storm(Topology::Reactor, sites, msgs, 2009);
+        let r = storm(Topology::Reactor, sites, msgs, seed);
         print_result(&r);
         println!(
             "# {} links drained by {} delivery threads (bound: {})",
@@ -133,7 +134,7 @@ fn main() {
     ] {
         let mut best: Option<StormResult> = None;
         for round in 0..rounds {
-            let r = storm(topology, cmp_sites, cmp_msgs, 2009 + round);
+            let r = storm(topology, cmp_sites, cmp_msgs, seed + round);
             if best.as_ref().map(|b| r.wall < b.wall).unwrap_or(true) {
                 best = Some(r);
             }
@@ -156,7 +157,7 @@ fn main() {
     let mut sweep = Vec::new();
     for &sites in sweep_sites {
         let msgs = sweep_msgs_per_link(sites, smoke);
-        let r = storm(Topology::Reactor, sites, msgs, 2009);
+        let r = storm(Topology::Reactor, sites, msgs, seed);
         print_result(&r);
         sweep.push(r);
     }

@@ -25,7 +25,7 @@
 //! leaves `BENCH_reads.json` untouched. The full run (no flags)
 //! refreshes `BENCH_reads.json`, which `check_bench` gates on.
 
-use dtx_bench::{header, ms, row, setup, ExpEnv, SEED};
+use dtx_bench::{header, ms, row, seed_from_args, setup, ExpEnv};
 use dtx_core::ProtocolKind;
 use dtx_xmark::tester::run_workload;
 use dtx_xmark::workload::{generate as gen_workload, WorkloadConfig};
@@ -80,8 +80,9 @@ fn run_cell(
     update_txn_pct: u32,
     mixed_seed: u64,
     extra_readers: usize,
+    seed: u64,
 ) -> Cell {
-    let (cluster, frags) = setup(ExpEnv::standard(ProtocolKind::Xdgl));
+    let (cluster, frags) = setup(ExpEnv::standard(ProtocolKind::Xdgl).with_seed(seed));
     let mut wl = gen_workload(
         WorkloadConfig::with_updates(clients, update_txn_pct, mixed_seed),
         &frags,
@@ -94,7 +95,7 @@ fn run_cell(
         .map_or(5, |t| t.ops.len());
     if extra_readers > 0 {
         let readers = gen_workload(
-            WorkloadConfig::read_only(extra_readers, SEED + 1000 + knob as u64),
+            WorkloadConfig::read_only(extra_readers, seed + 1000 + knob as u64),
             &frags,
         );
         wl.clients.extend(readers.clients);
@@ -238,6 +239,7 @@ fn write_json(contention: &[Cell], readers: &[Cell]) -> std::io::Result<()> {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let seed = seed_from_args();
     println!("# bench_reads — snapshot-read latency vs write contention");
 
     // 1. Contention sweep: a 90/10 read/write mix degraded towards
@@ -252,7 +254,7 @@ fn main() {
     let contention: Vec<Cell> = pcts
         .iter()
         .map(|&pct| {
-            let c = run_cell(pct, clients, pct, SEED + pct as u64, 0);
+            let c = run_cell(pct, clients, pct, seed + pct as u64, 0, seed);
             print_cell("update_pct", &c);
             c
         })
@@ -270,7 +272,7 @@ fn main() {
     let readers: Vec<Cell> = reader_counts
         .iter()
         .map(|&r| {
-            let c = run_cell(r, writers, 100, SEED, r as usize);
+            let c = run_cell(r, writers, 100, seed, r as usize, seed);
             print_cell("readers", &c);
             c
         })

@@ -1,0 +1,158 @@
+//! `bench_recovery` — durability and crash-recovery driver.
+//!
+//! Three measurements over the WAL + presumed-abort recovery subsystem:
+//!
+//! 1. **Replay sweep** (committed-txn count swept): a participant is
+//!    killed and restarted against a growing log; recovery time must
+//!    stay on a bounded per-record line, every committed transaction
+//!    must survive, and the replayed state must be byte-identical to
+//!    the never-crashed replica's (repeating history, not re-executing
+//!    the workload).
+//! 2. **Crash matrix**: the coordinator is killed at each of the four
+//!    crash points mid-2PC; survivors plus the restarted site must
+//!    converge to the mandated outcome — presumed abort before the
+//!    forced decision, commit after, zero committed-transaction loss.
+//! 3. **Chaos cell**: a write workload under seed-deterministic message
+//!    loss, then healed; every transaction must terminate and the
+//!    replicas must converge byte-identically.
+//!
+//! Flags: `--smoke` shrinks the sweep to a seconds-scale CI subset and
+//! leaves `BENCH_recovery.json` untouched; `--seed N` replays the whole
+//! run (including the chaos cell's exact fault plan) under another
+//! seed. The full run (no `--smoke`) refreshes `BENCH_recovery.json`,
+//! which `check_bench` gates on.
+
+use dtx_bench::recovery::{chaos_case, crash_case, replay_point, ChaosOutcome, PHASES};
+use dtx_bench::{header, row, seed_from_args};
+use std::fmt::Write as _;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seed = seed_from_args();
+    println!("# bench_recovery — WAL replay, crash matrix, seeded chaos (seed {seed})");
+
+    // 1. Replay sweep.
+    let sweep: &[usize] = if smoke { &[10, 25] } else { &[25, 50, 100] };
+    println!("# replay sweep: participant killed + restarted against a growing log");
+    header(&[
+        "txns",
+        "records",
+        "bytes",
+        "elapsed_ms",
+        "redo",
+        "committed",
+        "identical",
+    ]);
+    let replay: Vec<_> = sweep
+        .iter()
+        .map(|&txns| {
+            let p = replay_point(txns, seed);
+            row(&[
+                p.txns.to_string(),
+                p.records.to_string(),
+                p.bytes.to_string(),
+                format!("{:.2}", p.elapsed_ms),
+                p.redo_applied.to_string(),
+                p.committed.to_string(),
+                p.identical.to_string(),
+            ]);
+            assert!(p.committed >= p.txns, "committed transactions lost");
+            assert!(p.identical, "replay diverged from the survivor");
+            p
+        })
+        .collect();
+
+    // 2. Crash matrix.
+    println!("# crash matrix: coordinator killed at each 2PC phase");
+    header(&["phase", "expected", "outcome", "converged", "identical"]);
+    let matrix: Vec<_> = PHASES
+        .iter()
+        .map(|&(point, phase, expected)| {
+            let cell = crash_case(point, phase, expected);
+            row(&[
+                cell.phase.to_string(),
+                cell.expected.to_string(),
+                cell.outcome.to_string(),
+                cell.converged.to_string(),
+                cell.identical.to_string(),
+            ]);
+            assert_eq!(cell.outcome, cell.expected, "{phase}: wrong outcome");
+            assert!(
+                cell.converged && cell.preserved && cell.identical,
+                "{phase}"
+            );
+            cell
+        })
+        .collect();
+
+    // 3. Chaos cell: 30 % message loss, seed-deterministic.
+    let chaos_txns = if smoke { 4 } else { 8 };
+    let chaos = chaos_case(seed, 300, chaos_txns);
+    println!(
+        "# chaos: {} txns under 300‰ loss — {} terminated, {} committed, {} drops, identical={}",
+        chaos.txns, chaos.terminated, chaos.committed, chaos.dropped, chaos.identical
+    );
+    assert_eq!(chaos.terminated, chaos.txns, "a transaction hung");
+    assert!(chaos.identical, "replicas diverged under message loss");
+
+    if smoke {
+        println!("# smoke run: BENCH_recovery.json left untouched");
+        return;
+    }
+    match write_json(seed, &replay, &matrix, &chaos) {
+        Ok(()) => println!("# baseline written to BENCH_recovery.json"),
+        Err(e) => eprintln!("could not write BENCH_recovery.json: {e}"),
+    }
+}
+
+fn write_json(
+    seed: u64,
+    replay: &[dtx_bench::recovery::ReplayPoint],
+    matrix: &[dtx_bench::recovery::MatrixOutcome],
+    chaos: &ChaosOutcome,
+) -> std::io::Result<()> {
+    let mut out = String::from("{\n  \"experiment\": \"bench_recovery\",\n");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    out.push_str("  \"replay\": [\n");
+    for (i, p) in replay.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"txns\": {}, \"records\": {}, \"bytes\": {}, \"elapsed_ms\": {:.3}, \
+             \"redo_applied\": {}, \"committed\": {}, \"state_identical\": {}}}",
+            p.txns,
+            p.records,
+            p.bytes,
+            p.elapsed_ms,
+            p.redo_applied,
+            p.committed,
+            u8::from(p.identical),
+        );
+        out.push_str(if i + 1 < replay.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"crash_matrix\": [\n");
+    for (i, c) in matrix.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"phase\": \"{}\", \"expected\": \"{}\", \"outcome\": \"{}\", \
+             \"converged\": {}, \"preserved\": {}, \"state_identical\": {}}}",
+            c.phase,
+            c.expected,
+            c.outcome,
+            u8::from(c.converged),
+            u8::from(c.preserved),
+            u8::from(c.identical),
+        );
+        out.push_str(if i + 1 < matrix.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(
+        out,
+        "  ],\n  \"chaos\": {{\"seed\": {seed}, \"per_mille\": 300, \"txns\": {}, \
+         \"terminated\": {}, \"committed\": {}, \"dropped\": {}, \"state_identical\": {}}}\n}}\n",
+        chaos.txns,
+        chaos.terminated,
+        chaos.committed,
+        chaos.dropped,
+        u8::from(chaos.identical),
+    );
+    std::fs::write("BENCH_recovery.json", out)
+}

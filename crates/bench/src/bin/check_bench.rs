@@ -19,7 +19,10 @@
 //!   environment: the read-only p99 stays within the fresh flatness
 //!   band, no reader is ever a deadlock victim, and every committed
 //!   read op was served from a pinned snapshot rather than the lock
-//!   table.
+//!   table;
+//! * **recovery** — a participant killed and restarted against a 10-txn
+//!   WAL: zero committed-transaction loss, byte-identical replay, and
+//!   replay time on the fresh bounded-per-record line.
 //!
 //! Prints a delta table (committed vs fresh per metric), writes the
 //! fresh numbers to `target/BENCH_check.json` (uploaded as a CI
@@ -27,11 +30,12 @@
 //! failed check.
 
 use dtx_bench::gate::{
-    self, check_ingest_witness, check_net_witness, check_reads_witness, check_throughput_witness,
-    Check,
+    self, check_ingest_witness, check_net_witness, check_reads_witness, check_recovery_witness,
+    check_throughput_witness, Check,
 };
 use dtx_bench::json::Json;
 use dtx_bench::netbench::storm;
+use dtx_bench::recovery::replay_point;
 use dtx_bench::{run, setup, ExpEnv, BASE_BYTES, SEED};
 use dtx_core::ProtocolKind;
 use dtx_dataguide::{DataGuide, GuideBuilder};
@@ -200,11 +204,13 @@ fn main() {
     let net = load_witness("BENCH_net.json");
     let ingest = load_witness("BENCH_ingest.json");
     let reads = load_witness("BENCH_reads.json");
+    let recovery = load_witness("BENCH_recovery.json");
     for (name, loaded) in [
         ("BENCH_throughput.json", &throughput),
         ("BENCH_net.json", &net),
         ("BENCH_ingest.json", &ingest),
         ("BENCH_reads.json", &reads),
+        ("BENCH_recovery.json", &recovery),
     ] {
         if let Err(e) = loaded {
             println!("  [FAIL] {name}: {e}");
@@ -225,6 +231,9 @@ fn main() {
     }
     if let Ok(doc) = &reads {
         all_ok &= print_checks("committed witness: reads", &check_reads_witness(doc));
+    }
+    if let Ok(doc) = &recovery {
+        all_ok &= print_checks("committed witness: recovery", &check_recovery_witness(doc));
     }
 
     if offline {
@@ -320,6 +329,30 @@ fn main() {
         metric: "reads snapshot_reads (both cells)",
         committed: None,
         fresh: snap_reads,
+    });
+
+    println!("\n# fresh run: recovery (participant kill + WAL replay, 10-txn log)");
+    let rp = replay_point(10, SEED);
+    all_ok &= print_checks(
+        "fresh: recovery",
+        &gate::check_recovery_fresh(
+            rp.txns as f64,
+            rp.committed as f64,
+            rp.records as f64,
+            rp.elapsed_ms,
+            rp.identical,
+        ),
+    );
+    deltas.push(Delta {
+        metric: "recovery replay ms (per 100 records)",
+        committed: recovery
+            .as_ref()
+            .ok()
+            .and_then(|doc| doc.get("replay")?.arr()?.first())
+            .and_then(|p| {
+                Some(p.num_field("elapsed_ms")? * 100.0 / p.num_field("records")?.max(1.0))
+            }),
+        fresh: rp.elapsed_ms * 100.0 / (rp.records as f64).max(1.0),
     });
 
     println!("\n# fresh run: ingest (tree vs streaming, {BASE_BYTES} B base)");

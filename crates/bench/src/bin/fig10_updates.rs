@@ -9,11 +9,12 @@
 //! than Node2PL's and grows with the update share (the cost of fine
 //! granularity / higher concurrency).
 
-use dtx_bench::{header, ms, row, run, setup, ExpEnv, SEED};
+use dtx_bench::{header, ms, row, run, seed_from_args, setup, ExpEnv};
 use dtx_core::ProtocolKind;
 use dtx_xmark::workload::WorkloadConfig;
 
 fn main() {
+    let seed = seed_from_args();
     let pct_sweep = [20u32, 30, 40, 50, 60];
     let clients = 50;
     println!("# E3 / Fig. 10 — response time (ms) and deadlocks vs update txn %");
@@ -29,11 +30,11 @@ fn main() {
     for protocol in [ProtocolKind::Xdgl, ProtocolKind::Node2Pl] {
         for &pct in &pct_sweep {
             // Fresh cluster per cell: update workloads mutate the base.
-            let (cluster, frags) = setup(ExpEnv::standard(protocol));
+            let (cluster, frags) = setup(ExpEnv::standard(protocol).with_seed(seed));
             let report = run(
                 &cluster,
                 &frags,
-                WorkloadConfig::with_updates(clients, pct, SEED + pct as u64),
+                WorkloadConfig::with_updates(clients, pct, seed + pct as u64),
             );
             row(&[
                 pct.to_string(),

@@ -20,7 +20,7 @@
 //! metrics (wall, MB/s, peak allocated bytes, exact via the counting
 //! global allocator). Everything lands in `BENCH_basesize.json`.
 
-use dtx_bench::{boot_streamed, header, ms, row, run, CountingAlloc, ExpEnv, SEED};
+use dtx_bench::{boot_streamed, header, ms, row, run, seed_from_args, CountingAlloc, ExpEnv};
 use dtx_core::ProtocolKind;
 use dtx_xmark::generator::XmarkConfig;
 use dtx_xmark::stream::stream_fragments;
@@ -41,10 +41,10 @@ struct Ingest {
 /// Streams the base into 4 fragments once, measuring ingest wall / MB/s /
 /// peak allocation; the measured fragments are returned and handed to the
 /// cluster boot, so the base is generated exactly once per sweep point.
-fn measure_ingest(bytes: usize) -> (Ingest, Vec<BuiltFragment>) {
+fn measure_ingest(bytes: usize, seed: u64) -> (Ingest, Vec<BuiltFragment>) {
     let base = ALLOC.reset_peak();
     let t0 = Instant::now();
-    let (frags, _) = stream_fragments(XmarkConfig::sized(bytes, SEED), 4).expect("well-formed");
+    let (frags, _) = stream_fragments(XmarkConfig::sized(bytes, seed), 4).expect("well-formed");
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let peak = ALLOC.peak().saturating_sub(base);
     let total: usize = frags.iter().map(|f| f.bytes).sum();
@@ -93,6 +93,7 @@ fn write_json(points: &[Point]) -> std::io::Result<()> {
 }
 
 fn main() {
+    let seed = seed_from_args();
     // 1:100 of the paper's 50/100/150/200 MB sweep.
     let sizes = [500_000usize, 1_000_000, 1_500_000, 2_000_000];
     let clients = 50;
@@ -110,14 +111,14 @@ fn main() {
     ]);
     for protocol in [ProtocolKind::Xdgl, ProtocolKind::Node2Pl] {
         for &size in &sizes {
-            let (ingest, built) = measure_ingest(size);
-            let mut env = ExpEnv::standard(protocol);
+            let (ingest, built) = measure_ingest(size, seed);
+            let mut env = ExpEnv::standard(protocol).with_seed(seed);
             env.base_bytes = size;
             let (cluster, frags, _) = boot_streamed(env, built);
             let report = run(
                 &cluster,
                 &frags,
-                WorkloadConfig::with_updates(clients, 20, SEED + size as u64),
+                WorkloadConfig::with_updates(clients, 20, seed + size as u64),
             );
             row(&[
                 (size / 1024).to_string(),
@@ -155,14 +156,14 @@ fn main() {
             "\n# paper-scale point ({} MB base, xdgl, {paper_clients} clients)",
             paper_bytes / 1_000_000
         );
-        let (ingest, built) = measure_ingest(paper_bytes);
-        let mut env = ExpEnv::standard(ProtocolKind::Xdgl);
+        let (ingest, built) = measure_ingest(paper_bytes, seed);
+        let mut env = ExpEnv::standard(ProtocolKind::Xdgl).with_seed(seed);
         env.base_bytes = paper_bytes;
         let (cluster, frags, _) = boot_streamed(env, built);
         let report = run(
             &cluster,
             &frags,
-            WorkloadConfig::with_updates(paper_clients, 20, SEED),
+            WorkloadConfig::with_updates(paper_clients, 20, seed),
         );
         row(&[
             (paper_bytes / 1024).to_string(),

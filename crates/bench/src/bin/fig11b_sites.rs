@@ -9,11 +9,12 @@
 //! a worse result as synchronization messages and lock-management
 //! overhead grow.
 
-use dtx_bench::{header, ms, row, run, setup, ExpEnv, SEED};
+use dtx_bench::{header, ms, row, run, seed_from_args, setup, ExpEnv};
 use dtx_core::ProtocolKind;
 use dtx_xmark::workload::WorkloadConfig;
 
 fn main() {
+    let seed = seed_from_args();
     let site_sweep = [2u16, 4, 6, 8];
     let clients = 50;
     println!("# E5 / Fig. 11(b) — response time (ms) vs number of sites");
@@ -27,13 +28,13 @@ fn main() {
     ]);
     for protocol in [ProtocolKind::Xdgl, ProtocolKind::Node2Pl] {
         for &sites in &site_sweep {
-            let mut env = ExpEnv::standard(protocol);
+            let mut env = ExpEnv::standard(protocol).with_seed(seed);
             env.sites = sites;
             let (cluster, frags) = setup(env);
             let report = run(
                 &cluster,
                 &frags,
-                WorkloadConfig::with_updates(clients, 20, SEED + sites as u64),
+                WorkloadConfig::with_updates(clients, 20, seed + sites as u64),
             );
             row(&[
                 sites.to_string(),

@@ -12,7 +12,7 @@
 //! finishes an order of magnitude sooner; XDGL shows a higher concurrency
 //! degree and more non-executed (aborted) transactions.
 
-use dtx_bench::{header, ms, row, run, setup, ExpEnv, SEED};
+use dtx_bench::{header, ms, row, run, seed_from_args, setup, ExpEnv};
 use dtx_core::ProtocolKind;
 use dtx_xmark::workload::WorkloadConfig;
 use std::fmt::Write as _;
@@ -79,16 +79,17 @@ fn write_json(results: &[ProtocolResult]) -> std::io::Result<()> {
 }
 
 fn main() {
+    let seed = seed_from_args();
     let clients = 50;
     let mut results = Vec::new();
     println!("# E6 / Fig. 12 — throughput and concurrency degree");
     println!("# 4 sites, partial replication, {clients} clients x 5 txns = 250 submitted");
     for protocol in [ProtocolKind::Xdgl, ProtocolKind::Node2Pl] {
-        let (cluster, frags) = setup(ExpEnv::standard(protocol));
+        let (cluster, frags) = setup(ExpEnv::standard(protocol).with_seed(seed));
         let report = run(
             &cluster,
             &frags,
-            WorkloadConfig::with_updates(clients, 20, SEED),
+            WorkloadConfig::with_updates(clients, 20, seed),
         );
         let metrics = cluster.metrics();
         println!("\n== {} ==", protocol.name());

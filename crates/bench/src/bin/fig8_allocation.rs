@@ -9,7 +9,7 @@
 //! (including empty ones), fragments marked `[frag]`, stamped with the
 //! catalog epoch the placement is valid under.
 
-use dtx_bench::{BASE_BYTES, SEED};
+use dtx_bench::{seed_from_args, BASE_BYTES};
 use dtx_core::{Catalog, SiteId};
 use dtx_xmark::fragment::{allocate, fragment_doc, Allocation, ReplicationMode, LOGICAL_DOC};
 use dtx_xmark::generator::{generate, XmarkConfig};
@@ -30,7 +30,7 @@ fn main() {
         "# base target: {} KiB (1:100 of the paper's 40 MB)",
         BASE_BYTES / 1024
     );
-    let doc = generate(XmarkConfig::sized(BASE_BYTES, SEED));
+    let doc = generate(XmarkConfig::sized(BASE_BYTES, seed_from_args()));
     println!("# generated base: {} KiB\n", doc.byte_size() / 1024);
 
     // One catalog across all scenarios: the epoch advances with each

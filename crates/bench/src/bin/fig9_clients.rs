@@ -8,12 +8,13 @@
 //! Expected shape (paper): XDGL below Node2PL everywhere; partial
 //! replication below total replication; both rise with client count.
 
-use dtx_bench::{header, ms, row, run, setup, ExpEnv, SEED};
+use dtx_bench::{header, ms, row, run, seed_from_args, setup, ExpEnv};
 use dtx_core::ProtocolKind;
 use dtx_xmark::fragment::ReplicationMode;
 use dtx_xmark::workload::WorkloadConfig;
 
 fn main() {
+    let seed = seed_from_args();
     let clients_sweep = [10usize, 20, 30, 40, 50];
     println!("# E2 / Fig. 9 — response time (ms) vs number of clients");
     println!("# 4 sites, 5 read-only txns x 5 ops per client");
@@ -27,14 +28,14 @@ fn main() {
     ]);
     for mode in [ReplicationMode::Total, ReplicationMode::Partial] {
         for protocol in [ProtocolKind::Xdgl, ProtocolKind::Node2Pl] {
-            let mut env = ExpEnv::standard(protocol);
+            let mut env = ExpEnv::standard(protocol).with_seed(seed);
             env.mode = mode;
             let (cluster, frags) = setup(env);
             for &clients in &clients_sweep {
                 let report = run(
                     &cluster,
                     &frags,
-                    WorkloadConfig::read_only(clients, SEED + clients as u64),
+                    WorkloadConfig::read_only(clients, seed + clients as u64),
                 );
                 let summary_p95 = {
                     let mut rts: Vec<_> = report

@@ -76,6 +76,33 @@ pub const READS_DEADLOCK_SPREAD: f64 = 2.0;
 /// accumulates one version per commit and lands in the hundreds).
 pub const READS_MAX_LIVE_END: f64 = 8.0;
 
+/// Witness bound on WAL replay: recovery time may grow with the log,
+/// but no worse than this per-record slope over a fixed base (the
+/// recorded sweep replays hundreds of records in single-digit
+/// milliseconds; a replay that re-executes the workload instead of
+/// repeating history lands orders of magnitude above this line).
+pub const REPLAY_MS_PER_RECORD: f64 = 0.5;
+
+/// Constant part of the witness replay bound (setup noise floor).
+pub const REPLAY_MS_BASE: f64 = 50.0;
+
+/// Fresh-run replay slope: CI hosts are slower and noisier, so only a
+/// structural regression (non-linear replay, workload re-execution)
+/// should trip it.
+pub const FRESH_REPLAY_MS_PER_RECORD: f64 = 2.0;
+
+/// Constant part of the fresh replay bound.
+pub const FRESH_REPLAY_MS_BASE: f64 = 250.0;
+
+/// The crash-matrix phases a recovery witness must cover — one cell per
+/// point a coordinator can die at mid-2PC.
+pub const RECOVERY_PHASES: [&str; 4] = [
+    "in_remote_ops",
+    "after_prepare",
+    "after_decide",
+    "mid_commit_delivery",
+];
+
 /// One named invariant's verdict.
 #[derive(Debug)]
 pub struct Check {
@@ -353,6 +380,168 @@ pub fn check_reads_witness(doc: &Json) -> Vec<Check> {
     checks
 }
 
+/// Validates `BENCH_recovery.json`: every replay point recovers all of
+/// its committed transactions to a byte-identical state within the
+/// bounded-time line, the log provably grows across the sweep, the
+/// crash matrix covers all four phases with the mandated outcome
+/// (presumed abort before the forced decision, commit after, zero
+/// committed-transaction loss), and the chaos cell terminated and
+/// converged with its fault plan actually firing.
+pub fn check_recovery_witness(doc: &Json) -> Vec<Check> {
+    let mut checks = Vec::new();
+    let replay = doc.get("replay").and_then(Json::arr).unwrap_or(&[]);
+    if replay.is_empty() {
+        checks.push(Check::new(
+            "recovery: replay sweep",
+            "missing from witness".into(),
+            false,
+        ));
+    }
+    for p in replay {
+        let txns = p.num_field("txns").unwrap_or(0.0);
+        let at = format!("@{txns}txns");
+        let committed = p.num_field("committed");
+        let ok = matches!(committed, Some(c) if c >= txns && txns > 0.0);
+        checks.push(Check::new(
+            format!("recovery {at} zero committed-txn loss"),
+            format!("{committed:?} ≥ {txns:.0}"),
+            ok,
+        ));
+        require(
+            &mut checks,
+            &format!("recovery {at} byte-identical replay"),
+            p.num_field("state_identical"),
+            1.0,
+            true,
+        );
+        let records = p.num_field("records").unwrap_or(0.0);
+        let bound = REPLAY_MS_BASE + records * REPLAY_MS_PER_RECORD;
+        require(
+            &mut checks,
+            &format!("recovery {at} replay time bounded vs log"),
+            p.num_field("elapsed_ms"),
+            bound + 1.0,
+            false,
+        );
+    }
+    let records: Vec<f64> = replay
+        .iter()
+        .filter_map(|p| p.num_field("records"))
+        .collect();
+    let grew = records.len() >= 2 && records.last() > records.first();
+    checks.push(Check::new(
+        "recovery log grows across the sweep",
+        format!("{:?} strictly increasing ends", records),
+        grew,
+    ));
+
+    let matrix = doc.get("crash_matrix").and_then(Json::arr).unwrap_or(&[]);
+    for phase in RECOVERY_PHASES {
+        let Some(cell) = matrix
+            .iter()
+            .find(|c| c.get("phase").and_then(Json::str_val) == Some(phase))
+        else {
+            checks.push(Check::new(
+                format!("recovery matrix covers {phase}"),
+                "cell missing from witness".into(),
+                false,
+            ));
+            continue;
+        };
+        let expected = cell.get("expected").and_then(Json::str_val);
+        let outcome = cell.get("outcome").and_then(Json::str_val);
+        let ok = expected.is_some() && outcome == expected;
+        checks.push(Check::new(
+            format!("recovery {phase} converges to mandated outcome"),
+            format!("{outcome:?} = {expected:?}"),
+            ok,
+        ));
+        require(
+            &mut checks,
+            &format!("recovery {phase} survivors converged"),
+            cell.num_field("converged"),
+            1.0,
+            true,
+        );
+        require(
+            &mut checks,
+            &format!("recovery {phase} forced decisions preserved"),
+            cell.num_field("preserved"),
+            1.0,
+            true,
+        );
+        require(
+            &mut checks,
+            &format!("recovery {phase} replicas byte-identical"),
+            cell.num_field("state_identical"),
+            1.0,
+            true,
+        );
+    }
+
+    match doc.get("chaos") {
+        Some(chaos) => {
+            let txns = chaos.num_field("txns").unwrap_or(0.0);
+            let terminated = chaos.num_field("terminated");
+            let ok = matches!(terminated, Some(t) if t >= txns && txns > 0.0);
+            checks.push(Check::new(
+                "recovery chaos: every txn terminated",
+                format!("{terminated:?} ≥ {txns:.0}"),
+                ok,
+            ));
+            let dropped = chaos.num_field("dropped");
+            checks.push(Check::new(
+                "recovery chaos: fault plan fired",
+                format!("{dropped:?} > 0 drops"),
+                matches!(dropped, Some(d) if d > 0.0),
+            ));
+            require(
+                &mut checks,
+                "recovery chaos: replicas converged after heal",
+                chaos.num_field("state_identical"),
+                1.0,
+                true,
+            );
+        }
+        None => checks.push(Check::new(
+            "recovery: chaos cell",
+            "missing from witness".into(),
+            false,
+        )),
+    }
+    checks
+}
+
+/// Checks a fresh smoke replay cell against the wide fresh bands: all
+/// committed transactions recovered, byte-identical state, replay time
+/// on the fresh bounded line.
+pub fn check_recovery_fresh(
+    txns: f64,
+    committed: f64,
+    records: f64,
+    elapsed_ms: f64,
+    identical: bool,
+) -> Vec<Check> {
+    let bound = FRESH_REPLAY_MS_BASE + records * FRESH_REPLAY_MS_PER_RECORD;
+    vec![
+        Check::new(
+            "recovery zero committed-txn loss (fresh)",
+            format!("{committed:.0} ≥ {txns:.0}"),
+            committed >= txns && txns > 0.0,
+        ),
+        Check::new(
+            "recovery byte-identical replay (fresh)",
+            format!("identical = {identical}"),
+            identical,
+        ),
+        Check::new(
+            "recovery replay time bounded vs log (fresh)",
+            format!("{elapsed_ms:.1} ≤ {bound:.1} ms"),
+            elapsed_ms <= bound,
+        ),
+    ]
+}
+
 /// Checks a fresh smoke read-mix sweep: the low- and high-contention
 /// read p99s must stay within the (wide) fresh flatness band, no reader
 /// may deadlock, and every read op must have hit the snapshot path.
@@ -480,6 +669,23 @@ mod tests {
          "read_p99_ms": 134.2, "deadlocks": 12, "snapshot_reads": 3200, "read_ops": 800,
          "snapshots_live_end": 4}
     ]}"#;
+
+    const GOOD_RECOVERY: &str = r#"{"replay": [
+        {"txns": 25, "records": 120, "bytes": 48000, "elapsed_ms": 3.2,
+         "redo_applied": 25, "committed": 25, "state_identical": 1},
+        {"txns": 100, "records": 430, "bytes": 170000, "elapsed_ms": 9.8,
+         "redo_applied": 100, "committed": 100, "state_identical": 1}
+    ], "crash_matrix": [
+        {"phase": "in_remote_ops", "expected": "abort", "outcome": "abort",
+         "converged": 1, "preserved": 1, "state_identical": 1},
+        {"phase": "after_prepare", "expected": "abort", "outcome": "abort",
+         "converged": 1, "preserved": 1, "state_identical": 1},
+        {"phase": "after_decide", "expected": "commit", "outcome": "commit",
+         "converged": 1, "preserved": 1, "state_identical": 1},
+        {"phase": "mid_commit_delivery", "expected": "commit", "outcome": "commit",
+         "converged": 1, "preserved": 1, "state_identical": 1}
+    ], "chaos": {"seed": 2009, "per_mille": 300, "txns": 8, "terminated": 8,
+        "committed": 5, "dropped": 37, "state_identical": 1}}"#;
 
     const GOOD_INGEST: &str = r#"{"points": [
         {"scale": 1, "tree": {"mb_per_s": 48.3, "peak_alloc_bytes": 3376613},
@@ -635,6 +841,138 @@ mod tests {
         let doctored = GOOD_NET.replace("\"sites\": 128", "\"sites\": 64");
         let checks = check_net_witness(&Json::parse(&doctored).unwrap());
         assert_eq!(failed(&checks), vec!["net 128-site storm present in sweep"]);
+    }
+
+    #[test]
+    fn good_recovery_witness_passes() {
+        assert!(all_ok(&check_recovery_witness(
+            &Json::parse(GOOD_RECOVERY).unwrap()
+        )));
+    }
+
+    #[test]
+    fn doctored_recovery_commit_loss_fails() {
+        // A replay that lost a committed transaction: durability is gone.
+        let doctored = GOOD_RECOVERY.replace("\"committed\": 100", "\"committed\": 97");
+        let checks = check_recovery_witness(&Json::parse(&doctored).unwrap());
+        assert_eq!(
+            failed(&checks),
+            vec!["recovery @100txns zero committed-txn loss"]
+        );
+    }
+
+    #[test]
+    fn doctored_recovery_divergent_replay_fails() {
+        // Replay landing on different bytes than the survivor.
+        let doctored =
+            GOOD_RECOVERY.replacen("\"state_identical\": 1", "\"state_identical\": 0", 1);
+        let checks = check_recovery_witness(&Json::parse(&doctored).unwrap());
+        assert_eq!(
+            failed(&checks),
+            vec!["recovery @25txns byte-identical replay"]
+        );
+    }
+
+    #[test]
+    fn doctored_recovery_replay_time_fails() {
+        // Replay time blown far past the per-record line: history is
+        // being re-executed, not repeated.
+        let doctored = GOOD_RECOVERY.replace("\"elapsed_ms\": 9.8", "\"elapsed_ms\": 4000.0");
+        let checks = check_recovery_witness(&Json::parse(&doctored).unwrap());
+        assert_eq!(
+            failed(&checks),
+            vec!["recovery @100txns replay time bounded vs log"]
+        );
+    }
+
+    #[test]
+    fn doctored_recovery_shrunk_sweep_fails() {
+        // A sweep whose log never grows proves nothing about scaling.
+        let doctored = GOOD_RECOVERY.replace("\"records\": 430", "\"records\": 120");
+        let checks = check_recovery_witness(&Json::parse(&doctored).unwrap());
+        assert_eq!(failed(&checks), vec!["recovery log grows across the sweep"]);
+    }
+
+    #[test]
+    fn doctored_recovery_flipped_outcome_fails() {
+        // A forced decision recorded as aborting: 2PC safety violated.
+        let doctored = GOOD_RECOVERY.replace(
+            "{\"phase\": \"after_decide\", \"expected\": \"commit\", \"outcome\": \"commit\",\n         \"converged\": 1, \"preserved\": 1",
+            "{\"phase\": \"after_decide\", \"expected\": \"commit\", \"outcome\": \"abort\",\n         \"converged\": 1, \"preserved\": 0",
+        );
+        let checks = check_recovery_witness(&Json::parse(&doctored).unwrap());
+        assert_eq!(
+            failed(&checks),
+            vec![
+                "recovery after_decide converges to mandated outcome",
+                "recovery after_decide forced decisions preserved"
+            ]
+        );
+    }
+
+    #[test]
+    fn doctored_recovery_missing_phase_fails() {
+        // A matrix that silently skips a crash point is not a matrix.
+        let doctored =
+            GOOD_RECOVERY.replace("\"phase\": \"after_prepare\"", "\"phase\": \"other\"");
+        let checks = check_recovery_witness(&Json::parse(&doctored).unwrap());
+        assert_eq!(
+            failed(&checks),
+            vec!["recovery matrix covers after_prepare"]
+        );
+    }
+
+    #[test]
+    fn doctored_recovery_unconverged_survivors_fail() {
+        let doctored = GOOD_RECOVERY.replacen(
+            "\"outcome\": \"abort\",\n         \"converged\": 1",
+            "\"outcome\": \"abort\",\n         \"converged\": 0",
+            1,
+        );
+        let checks = check_recovery_witness(&Json::parse(&doctored).unwrap());
+        assert_eq!(
+            failed(&checks),
+            vec!["recovery in_remote_ops survivors converged"]
+        );
+    }
+
+    #[test]
+    fn doctored_recovery_chaos_cell_fails() {
+        // A chaos run whose fault plan never fired gates nothing.
+        let unfired = GOOD_RECOVERY.replace("\"dropped\": 37", "\"dropped\": 0");
+        let checks = check_recovery_witness(&Json::parse(&unfired).unwrap());
+        assert_eq!(failed(&checks), vec!["recovery chaos: fault plan fired"]);
+        // A hung transaction under loss.
+        let hung = GOOD_RECOVERY.replace("\"terminated\": 8", "\"terminated\": 7");
+        let checks = check_recovery_witness(&Json::parse(&hung).unwrap());
+        assert_eq!(
+            failed(&checks),
+            vec!["recovery chaos: every txn terminated"]
+        );
+    }
+
+    #[test]
+    fn recovery_missing_sections_fail_closed() {
+        let checks = check_recovery_witness(&Json::parse("{}").unwrap());
+        let names = failed(&checks);
+        assert!(names.contains(&"recovery: replay sweep"));
+        assert!(names.contains(&"recovery matrix covers in_remote_ops"));
+        assert!(names.contains(&"recovery: chaos cell"));
+    }
+
+    #[test]
+    fn fresh_recovery_checks_flag_regressions() {
+        assert!(all_ok(&check_recovery_fresh(10.0, 10.0, 60.0, 12.0, true)));
+        // A lost commit.
+        assert!(!all_ok(&check_recovery_fresh(10.0, 9.0, 60.0, 12.0, true)));
+        // Divergent replay.
+        assert!(!all_ok(&check_recovery_fresh(
+            10.0, 10.0, 60.0, 12.0, false
+        )));
+        // Replay far off the bounded line.
+        assert!(!all_ok(&check_recovery_fresh(
+            10.0, 10.0, 60.0, 5000.0, true
+        )));
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub mod gate;
 pub mod json;
 pub mod mem;
 pub mod netbench;
+pub mod recovery;
 
 pub use mem::CountingAlloc;
 
@@ -33,6 +34,21 @@ pub const BASE_BYTES: usize = 400_000;
 
 /// Default experiment seed.
 pub const SEED: u64 = 2009;
+
+/// Parses `--seed N` from the process arguments, falling back to
+/// [`SEED`]. Every driver binary takes this flag, so any recorded run —
+/// including a chaos run's exact fault plan — can be replayed by naming
+/// its seed (the replay recipe is in EXPERIMENTS.md).
+pub fn seed_from_args() -> u64 {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--seed" {
+            let v = args.next().expect("--seed takes a value");
+            return v.parse().expect("--seed takes a u64");
+        }
+    }
+    SEED
+}
 
 /// One experiment's environment description.
 #[derive(Debug, Clone, Copy)]
@@ -71,6 +87,13 @@ impl ExpEnv {
     /// Selects the placement policy.
     pub fn with_policy(mut self, policy: PolicyKind) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Overrides the seed (base generation, workload, jitter) — every
+    /// driver binary threads its `--seed` flag through here.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 }

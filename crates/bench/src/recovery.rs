@@ -1,0 +1,262 @@
+//! Shared harness for the durability experiments: WAL replay timing,
+//! the kill-the-coordinator-mid-2PC matrix, and seeded message-loss
+//! chaos. `bench_recovery` sweeps these and records
+//! `BENCH_recovery.json`; `check_bench` re-runs smoke cells against the
+//! same helpers so the fresh gate measures exactly what the witness
+//! recorded.
+
+use dtx_core::{
+    Cluster, ClusterConfig, CrashPoint, OpResult, OpSpec, ProtocolKind, SiteId, TxnSpec,
+};
+use dtx_xml::{Fragment, InsertPos};
+use dtx_xpath::{Query, UpdateOp};
+use std::time::Duration;
+
+const DOC: &str = "<products>\
+    <product><id>4</id><name>Monitor</name><price>120.00</price></product>\
+    <product><id>14</id><name>Printer</name><price>55.50</price></product>\
+    </products>";
+
+/// The four coordinator crash points with their phase label and the
+/// outcome presumed-abort 2PC mandates for each.
+pub const PHASES: [(CrashPoint, &str, &str); 4] = [
+    (CrashPoint::InRemoteOps, "in_remote_ops", "abort"),
+    (CrashPoint::AfterPrepare, "after_prepare", "abort"),
+    (CrashPoint::AfterDecide, "after_decide", "commit"),
+    (
+        CrashPoint::AfterDecideSendOne,
+        "mid_commit_delivery",
+        "commit",
+    ),
+];
+
+/// One WAL-replay measurement: a participant restarted against a log of
+/// `txns` committed transactions.
+#[derive(Debug, Clone)]
+pub struct ReplayPoint {
+    /// Committed transactions on the log.
+    pub txns: usize,
+    /// Log records replayed.
+    pub records: usize,
+    /// Log bytes replayed.
+    pub bytes: u64,
+    /// Wall-clock replay time in milliseconds.
+    pub elapsed_ms: f64,
+    /// Redo records re-applied.
+    pub redo_applied: usize,
+    /// Transactions replayed to commit.
+    pub committed: usize,
+    /// Whether the restarted replica's dump is byte-identical to the
+    /// never-crashed replica's.
+    pub identical: bool,
+}
+
+/// One crash-matrix cell: where the coordinator died, what the protocol
+/// mandates, and what the cluster actually converged to.
+#[derive(Debug, Clone)]
+pub struct MatrixOutcome {
+    /// Phase label (see [`PHASES`]).
+    pub phase: &'static str,
+    /// Mandated outcome: "commit" iff the decision was forced.
+    pub expected: &'static str,
+    /// The outcome every surviving site actually converged to.
+    pub outcome: &'static str,
+    /// Whether a conflicting follow-up writer committed (all in-doubt
+    /// work resolved everywhere).
+    pub converged: bool,
+    /// Whether a forced commit decision survived the crash (always true
+    /// for abort phases — nothing was promised).
+    pub preserved: bool,
+    /// Replica dumps byte-identical after convergence.
+    pub identical: bool,
+}
+
+/// One seeded-chaos cell: a write workload under deterministic message
+/// loss, then healed and converged.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// Transactions submitted.
+    pub txns: usize,
+    /// Transactions that reached a terminal state.
+    pub terminated: usize,
+    /// Transactions that committed despite the loss.
+    pub committed: usize,
+    /// Messages the fault plan dropped.
+    pub dropped: u64,
+    /// Replica dumps byte-identical after healing.
+    pub identical: bool,
+}
+
+fn q(s: &str) -> Query {
+    Query::parse(s).unwrap()
+}
+
+fn insert_txn(id: usize) -> TxnSpec {
+    TxnSpec::new(vec![OpSpec::update(
+        "d",
+        UpdateOp::Insert {
+            target: q("/products"),
+            fragment: Fragment::elem(
+                "product",
+                vec![
+                    Fragment::elem_text("id", id.to_string()),
+                    Fragment::elem_text("price", "9.99"),
+                ],
+            ),
+            pos: InsertPos::Into,
+        },
+    )])
+}
+
+fn change_txn(v: &str) -> TxnSpec {
+    TxnSpec::new(vec![OpSpec::update(
+        "d",
+        UpdateOp::Change {
+            target: q("/products/product[id=14]/price"),
+            new_value: v.into(),
+        },
+    )])
+}
+
+fn count_products(cluster: &Cluster, site: SiteId) -> usize {
+    let out = cluster.submit(
+        site,
+        TxnSpec::new(vec![OpSpec::query("d", q("/products/product/id"))]),
+    );
+    assert!(out.committed(), "read@{site}: {:?}", out.status);
+    match &out.results[0] {
+        OpResult::Query { values } => values.len(),
+        other => panic!("{other:?}"),
+    }
+}
+
+fn replicas_identical(cluster: &Cluster, a: SiteId, b: SiteId) -> bool {
+    let da = cluster.instance(a).dump_document("d").unwrap();
+    let db = cluster.instance(b).dump_document("d").unwrap();
+    da.xml == db.xml && da.guide_wire == db.guide_wire
+}
+
+/// Recovery-tuned cluster: tight in-doubt / orphan timers so resolution
+/// plays out at benchmark speed. Zero network latency — replay time and
+/// protocol convergence are the measurands, not wire time.
+fn recovery_cluster(seed: u64) -> Cluster {
+    let mut cfg = ClusterConfig::new(3, ProtocolKind::Xdgl);
+    cfg.seed = seed;
+    cfg.scheduler.remote_timeout = Duration::from_millis(300);
+    cfg.scheduler.indoubt_period = Duration::from_millis(25);
+    cfg.scheduler.orphan_timeout = Duration::from_millis(200);
+    let cluster = Cluster::start(cfg);
+    cluster
+        .load_document("d", DOC, &[SiteId(1), SiteId(2)])
+        .unwrap();
+    cluster
+}
+
+/// Commits `txns` distributed updates (coordinator holds no replica, so
+/// every one runs the full prepare/decide rounds), kills participant
+/// site 1 and restarts it from its WAL. Returns the replay measurement.
+pub fn replay_point(txns: usize, seed: u64) -> ReplayPoint {
+    let mut cluster = recovery_cluster(seed);
+    for i in 0..txns {
+        let out = cluster.submit(SiteId(0), insert_txn(100 + i));
+        assert!(out.committed(), "{:?}", out.status);
+    }
+    cluster.kill_site(SiteId(1));
+    let report = cluster.restart_site(SiteId(1));
+    let identical = replicas_identical(&cluster, SiteId(1), SiteId(2));
+    let point = ReplayPoint {
+        txns,
+        records: report.records,
+        bytes: report.bytes,
+        elapsed_ms: report.elapsed.as_secs_f64() * 1e3,
+        redo_applied: report.redo_applied,
+        committed: report.committed,
+        identical,
+    };
+    cluster.shutdown();
+    point
+}
+
+/// Runs one crash-matrix cell: the coordinator (site 0, no replica)
+/// dies at `point` mid-transaction and is restarted from its WAL; the
+/// cell records what the survivors and the restarted site converged to.
+pub fn crash_case(point: CrashPoint, phase: &'static str, expected: &'static str) -> MatrixOutcome {
+    let mut cluster = recovery_cluster(0);
+    cluster.arm_crash(SiteId(0), point);
+    let rx = cluster.submit_async(SiteId(0), insert_txn(13));
+    cluster.wait_site_down(SiteId(0));
+    drop(rx);
+
+    // Mid-delivery, cooperative termination must converge the survivors
+    // before the coordinator comes back; every other phase resolves
+    // against the restarted coordinator's log.
+    let restart_first = !matches!(point, CrashPoint::AfterDecideSendOne);
+    if restart_first {
+        cluster.restart_site(SiteId(0));
+    }
+    let converged = cluster
+        .submit_async(SiteId(1), change_txn("88.80"))
+        .recv_timeout(Duration::from_secs(30))
+        .map(|out| out.committed())
+        .unwrap_or(false);
+    if !restart_first {
+        cluster.restart_site(SiteId(0));
+    }
+
+    let counts: Vec<usize> = [SiteId(0), SiteId(1), SiteId(2)]
+        .into_iter()
+        .map(|s| count_products(&cluster, s))
+        .collect();
+    let agreed = counts.iter().all(|&c| c == counts[0]);
+    let outcome = match (agreed, counts[0]) {
+        (true, 3) => "commit",
+        (true, 2) => "abort",
+        _ => "diverged",
+    };
+    let preserved = expected != "commit" || outcome == "commit";
+    let identical = replicas_identical(&cluster, SiteId(1), SiteId(2));
+    cluster.shutdown();
+    MatrixOutcome {
+        phase,
+        expected,
+        outcome,
+        converged,
+        preserved,
+        identical,
+    }
+}
+
+/// Runs `txns` updates under seed-deterministic message loss
+/// (`per_mille` ‰ of messages silently dropped), then heals the network
+/// and converges. Replaying with the same seed replays the same fault
+/// plan.
+pub fn chaos_case(seed: u64, per_mille: u32, txns: usize) -> ChaosOutcome {
+    let cluster = recovery_cluster(seed);
+    cluster.set_message_drops(seed, per_mille);
+    let (mut terminated, mut committed) = (0, 0);
+    for i in 0..txns {
+        if let Ok(out) = cluster
+            .submit_async(SiteId(0), change_txn(&format!("{i}.50")))
+            .recv_timeout(Duration::from_secs(30))
+        {
+            terminated += 1;
+            committed += usize::from(out.committed());
+        }
+    }
+    let dropped = cluster.net_dropped();
+    cluster.set_message_drops(seed, 0);
+    let healed = cluster
+        .submit_async(SiteId(1), change_txn("100.00"))
+        .recv_timeout(Duration::from_secs(30))
+        .map(|out| out.committed())
+        .unwrap_or(false);
+    let identical = healed && replicas_identical(&cluster, SiteId(1), SiteId(2));
+    cluster.shutdown();
+    ChaosOutcome {
+        txns,
+        terminated,
+        committed,
+        dropped,
+        identical,
+    }
+}

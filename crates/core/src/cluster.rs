@@ -14,16 +14,20 @@ use crate::metrics::Metrics;
 use crate::msg::Message;
 use crate::op::{TxnOutcome, TxnSpec};
 use crate::routing::PolicyKind;
-use crate::scheduler::{Control, DocShipment, Scheduler, SchedulerConfig};
+use crate::scheduler::{
+    Control, CrashPoint, DocShipment, FaultHooks, RecoveredState, Scheduler, SchedulerConfig,
+};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use dtx_dataguide::DataGuide;
 use dtx_locks::txn::TxnIdGen;
-use dtx_locks::ProtocolKind;
+use dtx_locks::{ProtocolKind, TxnId};
 use dtx_net::{LatencyModel, NetConfig, Network, SiteId, Topology};
-use dtx_storage::{CostModel, MemStore};
+use dtx_storage::{CostModel, MemStore, Wal, WalRecord};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Cluster-wide configuration.
 #[derive(Debug, Clone, Copy)]
@@ -218,6 +222,157 @@ pub struct Cluster {
     catalog: Arc<Catalog>,
     metrics: Arc<Metrics>,
     config: ClusterConfig,
+    idgen: Arc<TxnIdGen>,
+    /// Per-site durable registry: each site's WAL, owned HERE so a killed
+    /// scheduler thread loses its memory but never its log — the
+    /// simulation's stable storage.
+    durables: Vec<Arc<Wal>>,
+    /// Per-site kill switches and armed crash points.
+    faults: Vec<FaultHooks>,
+}
+
+/// What one site restart replayed — reporting surface of
+/// [`Cluster::restart_site`] and the recovery benchmark's measurement.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Log records replayed.
+    pub records: usize,
+    /// Log bytes replayed.
+    pub bytes: u64,
+    /// Document images rebuilt.
+    pub docs: usize,
+    /// Redo records re-applied.
+    pub redo_applied: usize,
+    /// Transactions whose local commit was replayed to completion.
+    pub committed: usize,
+    /// Transactions rolled back by replay (logged aborts plus
+    /// presumed-abort leftovers).
+    pub aborted: usize,
+    /// Transactions left in doubt (prepared, no outcome on the log);
+    /// the restarted scheduler resolves them against the coordinator.
+    pub in_doubt: usize,
+    /// Commit decisions found without an `End`: re-delivered to their
+    /// participants by the restarted coordinator.
+    pub undelivered: usize,
+    /// Wall-clock replay time.
+    pub elapsed: Duration,
+}
+
+/// Replays a WAL snapshot into a fresh lock manager (the WAL must NOT be
+/// attached to it yet — replay repeats history, it must not re-log it).
+/// Returns the 2PC state that survives into the restarted scheduler plus
+/// the replay counters (caller fills in sizes and timing).
+fn replay_wal(
+    records: &[WalRecord],
+    lockmgr: &mut LockManager,
+) -> (RecoveredState, RecoveryReport) {
+    let mut report = RecoveryReport::default();
+    // Document images under assembly: name → (guide wire, XML so far).
+    let mut images: HashMap<String, (String, String)> = HashMap::new();
+    // Transactions with replayed, un-terminated effects.
+    let mut live: HashSet<TxnId> = HashSet::new();
+    // Prepared records without an outcome yet: txn → (coordinator, peers).
+    let mut prepared: HashMap<TxnId, (SiteId, Vec<SiteId>)> = HashMap::new();
+    // Commit decisions without an `End` yet: txn → owed participants.
+    let mut decided: HashMap<TxnId, Vec<SiteId>> = HashMap::new();
+    for rec in records {
+        match rec {
+            WalRecord::DocBegin { doc, guide_wire } => {
+                images.insert(doc.clone(), (guide_wire.clone(), String::new()));
+            }
+            WalRecord::DocChunk { doc, xml } => {
+                if let Some((_, acc)) = images.get_mut(doc) {
+                    acc.push_str(xml);
+                }
+            }
+            WalRecord::DocEnd { doc } => {
+                if let Some((guide_wire, xml)) = images.remove(doc) {
+                    let guide = DataGuide::from_wire(&guide_wire).ok();
+                    if let Ok(parsed) = dtx_xml::parse(&xml) {
+                        if lockmgr.install_document(doc, parsed, guide).is_ok() {
+                            report.docs += 1;
+                        }
+                    }
+                }
+            }
+            WalRecord::Applied {
+                txn,
+                doc,
+                op_seq,
+                op,
+            } => {
+                if lockmgr.replay_apply(*txn, doc, *op_seq, op) {
+                    report.redo_applied += 1;
+                    live.insert(*txn);
+                }
+            }
+            WalRecord::Undone { txn, op_seq } => {
+                let _ = lockmgr.undo_op(*txn, *op_seq);
+            }
+            WalRecord::Prepared {
+                txn,
+                coordinator,
+                participants,
+            } => {
+                prepared.insert(*txn, (*coordinator, participants.clone()));
+            }
+            WalRecord::Decision { txn, participants } => {
+                decided.insert(*txn, participants.clone());
+            }
+            WalRecord::Committed { txn } => {
+                prepared.remove(txn);
+                if live.remove(txn) {
+                    let _ = lockmgr.commit_local(*txn);
+                    report.committed += 1;
+                }
+            }
+            WalRecord::Aborted { txn } => {
+                prepared.remove(txn);
+                if live.remove(txn) {
+                    let _ = lockmgr.abort_local(*txn);
+                    report.aborted += 1;
+                }
+            }
+            WalRecord::End { txn } => {
+                decided.remove(txn);
+            }
+        }
+    }
+    // End of log. A decision without `End` commits locally (the decision
+    // was forced, so it holds) and is re-delivered to the participants
+    // still owed it — re-commits there are idempotent no-ops.
+    let mut undelivered: Vec<(TxnId, Vec<SiteId>)> = Vec::new();
+    for (txn, participants) in decided {
+        prepared.remove(&txn);
+        if live.remove(&txn) {
+            let _ = lockmgr.commit_local(txn);
+            report.committed += 1;
+        }
+        undelivered.push((txn, participants));
+    }
+    // Prepared without an outcome: genuinely in doubt. The effects stay
+    // applied (the restarted scheduler fences their documents) until the
+    // termination protocol resolves them.
+    let mut in_doubt: Vec<(TxnId, SiteId, Vec<SiteId>)> = Vec::new();
+    for (txn, (coordinator, peers)) in prepared {
+        live.remove(&txn);
+        in_doubt.push((txn, coordinator, peers));
+    }
+    // Everything else that was live at the crash never prepared and never
+    // decided: presumed abort, roll it back.
+    for txn in live {
+        let _ = lockmgr.abort_local(txn);
+        report.aborted += 1;
+    }
+    in_doubt.sort_by_key(|(t, _, _)| *t);
+    undelivered.sort_by_key(|(t, _)| *t);
+    (
+        RecoveredState {
+            in_doubt,
+            undelivered,
+        },
+        report,
+    )
 }
 
 impl Cluster {
@@ -232,16 +387,21 @@ impl Cluster {
         let idgen = Arc::new(TxnIdGen::new());
         let metrics = Arc::new(Metrics::new());
         let mut instances = Vec::with_capacity(config.sites as usize);
+        let mut durables = Vec::with_capacity(config.sites as usize);
+        let mut faults = Vec::with_capacity(config.sites as usize);
         for i in 0..config.sites {
             let site = SiteId(i);
             let endpoint = net.register(site);
             let (control_tx, control_rx): (Sender<Control>, Receiver<Control>) = unbounded();
             let store = MemStore::new(config.storage_cost);
-            let lockmgr = LockManager::with_cost(
+            let mut lockmgr = LockManager::with_cost(
                 config.protocol.instantiate(),
                 Box::new(store),
                 config.op_cost,
             );
+            let wal = Arc::new(Wal::new());
+            lockmgr.set_wal(Arc::clone(&wal));
+            let hooks = FaultHooks::default();
             let mut sched_cfg = config.scheduler;
             sched_cfg.seed = config.seed.wrapping_add(i as u64);
             let scheduler = Scheduler::new(
@@ -254,6 +414,9 @@ impl Cluster {
                 idgen.clone(),
                 metrics.clone(),
                 sched_cfg,
+                Arc::clone(&wal),
+                hooks.clone(),
+                RecoveredState::default(),
             );
             let handle = std::thread::Builder::new()
                 .name(format!("dtx-scheduler-{site}"))
@@ -264,6 +427,8 @@ impl Cluster {
                 control: control_tx,
                 handle: Some(handle),
             });
+            durables.push(wal);
+            faults.push(hooks);
         }
         Cluster {
             instances,
@@ -271,6 +436,9 @@ impl Cluster {
             catalog,
             metrics,
             config,
+            idgen,
+            durables,
+            faults,
         }
     }
 
@@ -414,10 +582,179 @@ impl Cluster {
     }
 
     /// Online re-replication: unpublishes the replica of `doc` at `from`
-    /// (epoch bump). The site's data is left in place — it simply stops
-    /// being routed to; dropping the last replica is refused.
+    /// (epoch bump), then **evicts the site's copy** — the in-memory
+    /// document, the store copy, and every retained snapshot version, so
+    /// `snapshots_live` / `snapshot_bytes` fall back down after the drop.
+    /// Dropping the last replica is refused. Eviction waits for in-flight
+    /// updates on the old placement to drain; readers mid-transaction are
+    /// safe regardless, because a pinned [`dtx_dataguide::Snapshot`] owns
+    /// `Arc`s to its data — eviction only drops the store's references.
     pub fn drop_replica(&self, doc: &str, from: SiteId) -> Result<(), String> {
-        self.catalog.drop_replica(doc, from)
+        self.catalog.drop_replica(doc, from)?;
+        // Unpublished: new routes no longer reach `from`. Drain whatever
+        // was already in flight there before releasing the copy.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !self.instance(from).doc_quiescent(doc)? {
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "drop_replica timed out draining in-flight updates on {doc:?}"
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let (ack, rx) = bounded(1);
+        self.instance(from)
+            .control
+            .send(Control::EvictDoc {
+                name: doc.to_owned(),
+                ack,
+            })
+            .map_err(|_| "scheduler is down".to_owned())?;
+        rx.recv().map_err(|_| "scheduler is down".to_owned())?;
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Fault injection & recovery
+    // -----------------------------------------------------------------
+
+    /// Kills `site`'s scheduler mid-flight: the kill switch flips, the
+    /// thread exits at its next loop iteration **without** flushing,
+    /// aborting, or replying to anything, and this call joins it. All
+    /// in-memory state (lock table, documents, snapshots, in-flight 2PC
+    /// tables) dies with the thread; only the cluster-owned WAL survives.
+    pub fn kill_site(&mut self, site: SiteId) {
+        let idx = self.index_of(site);
+        self.faults[idx].kill.store(true, Ordering::Relaxed);
+        if let Some(h) = self.instances[idx].handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Arms a one-shot crash point at `site`: the scheduler dies the
+    /// moment its coordinator path reaches `point` (see [`CrashPoint`]).
+    /// Use [`Cluster::wait_site_down`] to join the death.
+    pub fn arm_crash(&self, site: SiteId, point: CrashPoint) {
+        let idx = self.index_of(site);
+        *self.faults[idx].crash.lock() = Some(point);
+    }
+
+    /// Joins `site`'s scheduler thread after an armed crash fired (or a
+    /// kill), without restarting it. Blocks until the thread exits — the
+    /// caller must have arranged for the crash to actually trigger.
+    pub fn wait_site_down(&mut self, site: SiteId) {
+        let idx = self.index_of(site);
+        if let Some(h) = self.instances[idx].handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Severs the ordered network link `from → to` (chaos harness): every
+    /// send on it is silently dropped until [`Cluster::heal_link`]. One
+    /// direction alone models the silent-drop failure — requests arrive,
+    /// answers vanish.
+    pub fn block_link(&self, from: SiteId, to: SiteId) {
+        self.net.block_link(from, to);
+    }
+
+    /// Restores the ordered link `from → to`.
+    pub fn heal_link(&self, from: SiteId, to: SiteId) {
+        self.net.heal_link(from, to);
+    }
+
+    /// Arms seed-deterministic random message loss on every link (chaos
+    /// harness): each send drops with probability `per_mille`/1000,
+    /// decided purely by `(seed, from, to, attempt#)` so a chaos schedule
+    /// replays exactly from its seed. Zero disarms.
+    pub fn set_message_drops(&self, seed: u64, per_mille: u32) {
+        self.net.set_message_drops(seed, per_mille);
+    }
+
+    /// Messages the network swallowed through fault injection (blocked
+    /// links, seeded drops, traffic to dead sites).
+    pub fn net_dropped(&self) -> u64 {
+        self.net.stats().dropped()
+    }
+
+    /// The durable WAL of `site` — survives kills and crashes; inspect it
+    /// in tests, measure it in the recovery benchmark.
+    pub fn wal(&self, site: SiteId) -> Arc<Wal> {
+        Arc::clone(&self.durables[self.index_of(site)])
+    }
+
+    /// Restarts a killed or crashed site from its WAL. Replay repeats
+    /// history: the logged document images are reinstalled (adopting
+    /// their shipped DataGuides), redo records re-apply through the same
+    /// code paths as live execution (node-id assignment is deterministic,
+    /// so the rebuilt state is byte-identical to a replica that never
+    /// crashed), logged outcomes resolve, and what remains is presumed
+    /// aborted — except prepared-but-undecided transactions, which stay
+    /// applied with their documents fenced until the restarted
+    /// scheduler's termination protocol resolves them, and decisions
+    /// without an `End`, which the restarted coordinator re-delivers.
+    /// The network endpoint is registered *before* replay so messages
+    /// arriving during recovery queue instead of dropping.
+    pub fn restart_site(&mut self, site: SiteId) -> RecoveryReport {
+        let idx = self.index_of(site);
+        if let Some(h) = self.instances[idx].handle.take() {
+            let _ = h.join();
+        }
+        self.faults[idx].kill.store(false, Ordering::Relaxed);
+        *self.faults[idx].crash.lock() = None;
+        let endpoint = self.net.register(site);
+        let store = MemStore::new(self.config.storage_cost);
+        let mut lockmgr = LockManager::with_cost(
+            self.config.protocol.instantiate(),
+            Box::new(store),
+            self.config.op_cost,
+        );
+        let started = Instant::now();
+        let wal = Arc::clone(&self.durables[idx]);
+        let records = wal.snapshot();
+        let (recovered, mut report) = replay_wal(&records, &mut lockmgr);
+        // Attach the log only AFTER replay: repeating history must not
+        // re-log it.
+        lockmgr.set_wal(Arc::clone(&wal));
+        for (txn, _, _) in &recovered.in_doubt {
+            lockmgr.block_indoubt(*txn);
+        }
+        report.records = records.len();
+        report.bytes = wal.bytes();
+        report.in_doubt = recovered.in_doubt.len();
+        report.undelivered = recovered.undelivered.len();
+        report.elapsed = started.elapsed();
+        let (control_tx, control_rx) = unbounded();
+        let mut sched_cfg = self.config.scheduler;
+        sched_cfg.seed = self.config.seed.wrapping_add(site.0 as u64);
+        let scheduler = Scheduler::new(
+            site,
+            self.net.clone(),
+            endpoint,
+            control_rx,
+            self.catalog.clone(),
+            lockmgr,
+            self.idgen.clone(),
+            self.metrics.clone(),
+            sched_cfg,
+            wal,
+            self.faults[idx].clone(),
+            recovered,
+        );
+        let handle = std::thread::Builder::new()
+            .name(format!("dtx-scheduler-{site}"))
+            .spawn(move || scheduler.run())
+            .expect("spawn scheduler");
+        self.instances[idx].control = control_tx;
+        self.instances[idx].handle = Some(handle);
+        self.metrics.note_recovery();
+        report
+    }
+
+    fn index_of(&self, site: SiteId) -> usize {
+        self.instances
+            .iter()
+            .position(|i| i.site == site)
+            .expect("site exists")
     }
 
     /// Renders the catalog's current placement over this cluster's sites

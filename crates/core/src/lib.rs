@@ -39,7 +39,7 @@ pub mod routing;
 pub mod scheduler;
 
 pub use catalog::Catalog;
-pub use cluster::{Cluster, ClusterConfig, DtxInstance};
+pub use cluster::{Cluster, ClusterConfig, DtxInstance, RecoveryReport};
 pub use dtx_locks::{ProtocolKind, TxnId};
 pub use dtx_net::{NetConfig, SiteId};
 pub use lockmgr::{LockManager, OpCostModel, ProcessResult};
@@ -47,4 +47,6 @@ pub use metrics::{Metrics, PhaseTimes, Summary, TxnRecord};
 pub use msg::Message;
 pub use op::{AbortReason, OpKind, OpResult, OpSpec, TxnOutcome, TxnSpec, TxnStatus};
 pub use routing::{PlacementPolicy, PolicyKind, ReadChoice, RoutingCtx, RoutingPlan};
-pub use scheduler::{Control, DocShipment, Scheduler, SchedulerConfig};
+pub use scheduler::{
+    Control, CrashPoint, DocShipment, FaultHooks, RecoveredState, Scheduler, SchedulerConfig,
+};

@@ -16,10 +16,10 @@
 use crate::op::{OpKind, OpResult, OpSpec};
 use dtx_dataguide::{incremental, DataGuide, Snapshot, SnapshotStore};
 use dtx_locks::{LockOutcome, LockProtocol, LockTable, TxnId, TxnMode, WaitForGraph};
-use dtx_storage::{DataManager, StorageError, StorageResult};
+use dtx_storage::{DataManager, StorageError, StorageResult, Wal, WalRecord};
 use dtx_xml::Document;
-use dtx_xpath::{apply_update, eval, undo_update, UndoRecord};
-use std::collections::HashMap;
+use dtx_xpath::{apply_update, eval, undo_update, UndoRecord, UpdateOp};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Result of processing one operation at one site.
@@ -145,6 +145,17 @@ pub struct LockManager {
     /// Snapshot versions pinned per read transaction: `(doc, seq)` pairs,
     /// released at local commit/abort.
     snap_pins: HashMap<TxnId, Vec<(String, u64)>>,
+    /// This site's write-ahead log, when durability is wired (the cluster
+    /// owns the `Arc` so the log survives a scheduler kill). `None` during
+    /// recovery replay — replayed records must not be re-logged — and in
+    /// bare unit tests.
+    wal: Option<Arc<Wal>>,
+    /// Documents held hostage by **in-doubt** transactions after a
+    /// restart: the replayed locks are gone (the lock table died with the
+    /// process), so a coarse per-document block stands in until the 2PC
+    /// outcome arrives. Writers conflict against the blocking transaction;
+    /// snapshot readers are unaffected.
+    indoubt_blocks: HashMap<String, HashSet<TxnId>>,
 }
 
 impl LockManager {
@@ -172,7 +183,19 @@ impl LockManager {
             wfg: WaitForGraph::new(),
             snapshots: SnapshotStore::new(),
             snap_pins: HashMap::new(),
+            wal: None,
+            indoubt_blocks: HashMap::new(),
         }
+    }
+
+    /// Wires the site's write-ahead log: from now on applied updates,
+    /// undos and local 2PC outcomes are logged (see the hooks in
+    /// [`LockManager::process_operation`], [`LockManager::undo_op`],
+    /// [`LockManager::commit_local`] and [`LockManager::abort_local`]).
+    /// Recovery replays with the log *detached* and attaches it last, so
+    /// replay never re-logs history.
+    pub fn set_wal(&mut self, wal: Arc<Wal>) {
+        self.wal = Some(wal);
     }
 
     /// Loads `name` from the store into memory and builds its DataGuide
@@ -311,6 +334,21 @@ impl LockManager {
         mode: TxnMode,
         tolerate_empty: bool,
     ) -> ProcessResult {
+        // In-doubt fence: a restarted site holds whole documents for its
+        // prepared-but-undecided transactions (their fine-grained locks
+        // died with the lock table). Writers wait exactly as they would on
+        // a lock conflict; the blockers resolve via the termination
+        // protocol, never by waiting on anyone, so no deadlock edge is
+        // possible through this fence.
+        if let Some(blockers) = self.indoubt_blocks.get(&op.doc) {
+            let holders: Vec<TxnId> = blockers.iter().copied().filter(|&t| t != txn).collect();
+            if !holders.is_empty() {
+                return ProcessResult::Conflict {
+                    holders,
+                    deadlock: false,
+                };
+            }
+        }
         let Some(state) = self.docs.get_mut(&op.doc) else {
             return ProcessResult::Failed(format!("document {:?} not hosted here", op.doc));
         };
@@ -410,6 +448,17 @@ impl LockManager {
                         op_seq,
                         record,
                     });
+                    // Redo record (unforced — the commit record is the
+                    // durable point; losing tail Applied records of an
+                    // undecided transaction only shortens replay).
+                    if let Some(w) = &self.wal {
+                        w.append(WalRecord::Applied {
+                            txn,
+                            doc: op.doc.clone(),
+                            op_seq,
+                            op: u.clone(),
+                        });
+                    }
                     self.cost.charge(lock_units, affected as u64);
                     ProcessResult::Executed(OpResult::Update { affected })
                 }
@@ -448,6 +497,11 @@ impl LockManager {
             }
             kept.reverse();
             *entries = kept;
+            if !undone.is_empty() {
+                if let Some(w) = &self.wal {
+                    w.append(WalRecord::Undone { txn, op_seq });
+                }
+            }
             for e in undone {
                 if let Some(state) = self.docs.get_mut(&e.doc) {
                     state.guide_dirty |= incremental::mutates_extents(&e.record);
@@ -478,7 +532,17 @@ impl LockManager {
     /// (speculative-wake feed: they may now acquire their locks).
     pub fn commit_local(&mut self, txn: TxnId) -> StorageResult<Vec<TxnId>> {
         self.release_snapshots(txn);
+        // Forced commit record *before* the effects become visible: a
+        // restart after this line replays the transaction as committed, a
+        // restart before it presumes abort. Read-only terminations (no
+        // undo entries) log nothing.
+        if self.undo_log.get(&txn).is_some_and(|e| !e.is_empty()) {
+            if let Some(w) = &self.wal {
+                w.force(WalRecord::Committed { txn });
+            }
+        }
         self.undo_log.remove(&txn);
+        self.clear_indoubt(txn);
         self.op_locks.retain(|(t, _), _| *t != txn);
         if let Some(docs) = self.touched.remove(&txn) {
             for name in docs {
@@ -510,8 +574,16 @@ impl LockManager {
     /// (speculative-wake feed: they may now acquire their locks).
     pub fn abort_local(&mut self, txn: TxnId) -> Vec<TxnId> {
         self.release_snapshots(txn);
+        self.clear_indoubt(txn);
         let mut undone_docs: Vec<String> = Vec::new();
         if let Some(mut entries) = self.undo_log.remove(&txn) {
+            if !entries.is_empty() {
+                // Unforced abort hint: losing it only costs replay a
+                // redundant presumed-abort resolution.
+                if let Some(w) = &self.wal {
+                    w.append(WalRecord::Aborted { txn });
+                }
+            }
             while let Some(e) = entries.pop() {
                 if let Some(state) = self.docs.get_mut(&e.doc) {
                     state.guide_dirty |= incremental::mutates_extents(&e.record);
@@ -687,6 +759,102 @@ impl LockManager {
     /// to a different placement).
     pub fn clear_waits(&mut self, txn: TxnId) {
         self.wfg.clear_waits_of(txn);
+    }
+
+    /// Recovery redo: re-applies one logged update through the same code
+    /// path as live execution ([`dtx_xpath::apply_update`] + incremental
+    /// guide maintenance + undo-log entry), but with **no locks and no
+    /// logging** — the replayed site is single-threaded and the log
+    /// already holds this record. Node-id assignment is deterministic, so
+    /// repeating history reproduces the pre-crash state byte-for-byte.
+    /// Returns whether the update applied.
+    pub fn replay_apply(&mut self, txn: TxnId, doc: &str, op_seq: usize, op: &UpdateOp) -> bool {
+        let Some(state) = self.docs.get_mut(doc) else {
+            return false;
+        };
+        match apply_update(&mut state.doc, op) {
+            Ok(record) => {
+                state.dirty = true;
+                state.guide_dirty |= incremental::mutates_extents(&record);
+                incremental::note_applied(&mut state.guide, &state.doc, &record);
+                self.undo_log.entry(txn).or_default().push(UndoEntry {
+                    doc: doc.to_owned(),
+                    op_seq,
+                    record,
+                });
+                let touched = self.touched.entry(txn).or_default();
+                if !touched.iter().any(|d| d == doc) {
+                    touched.push(doc.to_owned());
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Transactions with applied, not-yet-terminated updates here
+    /// (sorted). At the end of recovery replay these are the live losers:
+    /// everything not committed and not in doubt is presumed aborted.
+    pub fn active_txns(&self) -> Vec<TxnId> {
+        let mut v: Vec<TxnId> = self
+            .undo_log
+            .iter()
+            .filter(|(_, es)| !es.is_empty())
+            .map(|(t, _)| *t)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Drops `name` entirely from this site: the in-memory state, **every**
+    /// snapshot version (pinned or not — the caller quiesced the document
+    /// first), and the store copy. Returns whether the document was
+    /// hosted. This is the memory-release half of `drop_replica`; the
+    /// catalog half routes new work away before this runs.
+    pub fn evict_document(&mut self, name: &str) -> bool {
+        let was_hosted = self.docs.remove(name).is_some();
+        self.snapshots.evict(name);
+        let _ = self.store.remove(name);
+        was_hosted
+    }
+
+    /// Marks every document `txn` has replayed updates on as blocked by an
+    /// in-doubt transaction (coarse doc-level stand-in for the lock table
+    /// lost in the crash). Returns the blocked document names. Cleared by
+    /// [`LockManager::commit_local`] / [`LockManager::abort_local`] when
+    /// the 2PC outcome arrives.
+    pub fn block_indoubt(&mut self, txn: TxnId) -> Vec<String> {
+        let mut docs: Vec<String> = Vec::new();
+        if let Some(es) = self.undo_log.get(&txn) {
+            for e in es {
+                if !docs.contains(&e.doc) {
+                    docs.push(e.doc.clone());
+                }
+            }
+        }
+        for d in &docs {
+            self.indoubt_blocks
+                .entry(d.clone())
+                .or_default()
+                .insert(txn);
+        }
+        docs
+    }
+
+    /// True while any in-doubt transaction blocks writers on `doc`.
+    pub fn indoubt_blocked(&self, doc: &str) -> bool {
+        self.indoubt_blocks.get(doc).is_some_and(|s| !s.is_empty())
+    }
+
+    /// Removes `txn` from every in-doubt document block.
+    fn clear_indoubt(&mut self, txn: TxnId) {
+        if self.indoubt_blocks.is_empty() {
+            return;
+        }
+        self.indoubt_blocks.retain(|_, s| {
+            s.remove(&txn);
+            !s.is_empty()
+        });
     }
 }
 
@@ -1203,6 +1371,164 @@ mod tests {
             .unwrap();
         assert!(!Arc::ptr_eq(&s1.guide, &s2.guide));
         lm.commit_local(TxnId(9)).unwrap();
+    }
+
+    #[test]
+    fn wal_hooks_log_apply_commit_and_abort() {
+        let mut lm = manager();
+        let wal = Arc::new(dtx_storage::Wal::new());
+        lm.set_wal(Arc::clone(&wal));
+        let upd = OpSpec::update(
+            "d2",
+            UpdateOp::Change {
+                target: q("/products/product[id=4]/price"),
+                new_value: "1".into(),
+            },
+        );
+        assert!(matches!(
+            lm.process_operation(TxnId(1), 0, &upd, TxnMode::Updating, false),
+            ProcessResult::Executed(_)
+        ));
+        assert_eq!(lm.active_txns(), vec![TxnId(1)]);
+        lm.commit_local(TxnId(1)).unwrap();
+        assert_eq!(wal.forces(), 1, "commit record is forced");
+        // Aborted writer leaves an unforced hint.
+        assert!(matches!(
+            lm.process_operation(TxnId(2), 0, &upd, TxnMode::Updating, false),
+            ProcessResult::Executed(_)
+        ));
+        lm.abort_local(TxnId(2));
+        assert_eq!(wal.forces(), 1);
+        let kinds: Vec<&'static str> = wal
+            .snapshot()
+            .iter()
+            .map(|r| match r {
+                WalRecord::Applied { .. } => "applied",
+                WalRecord::Committed { .. } => "committed",
+                WalRecord::Aborted { .. } => "aborted",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["applied", "committed", "applied", "aborted"]);
+        // A read-only termination logs nothing.
+        let len = wal.len();
+        lm.commit_local(TxnId(9)).unwrap();
+        assert_eq!(wal.len(), len);
+    }
+
+    #[test]
+    fn replay_apply_reproduces_live_execution_byte_for_byte() {
+        let mut live = manager();
+        let mut replayed = manager();
+        let op = UpdateOp::Insert {
+            target: q("/products"),
+            fragment: Fragment::elem(
+                "product",
+                vec![
+                    Fragment::elem_text("id", "30"),
+                    Fragment::elem_text("name", "Desk"),
+                ],
+            ),
+            pos: InsertPos::Into,
+        };
+        assert!(matches!(
+            live.process_operation(
+                TxnId(1),
+                0,
+                &OpSpec::update("d2", op.clone()),
+                TxnMode::Updating,
+                false
+            ),
+            ProcessResult::Executed(_)
+        ));
+        assert!(replayed.replay_apply(TxnId(1), "d2", 0, &op));
+        assert_eq!(
+            live.document("d2").unwrap().to_xml(),
+            replayed.document("d2").unwrap().to_xml()
+        );
+        // Replayed undo state is live too: abort rolls it back.
+        replayed.abort_local(TxnId(1));
+        live.abort_local(TxnId(1));
+        assert_eq!(
+            live.document("d2").unwrap().to_xml(),
+            replayed.document("d2").unwrap().to_xml()
+        );
+        assert!(!replayed.replay_apply(TxnId(2), "ghost", 0, &op));
+    }
+
+    #[test]
+    fn indoubt_block_stalls_writers_but_not_snapshot_readers() {
+        let mut lm = manager();
+        let upd = OpSpec::update(
+            "d2",
+            UpdateOp::Change {
+                target: q("/products/product[id=4]/price"),
+                new_value: "1".into(),
+            },
+        );
+        // Simulate a recovered in-doubt transaction: replayed update, then
+        // the doc-level block.
+        let OpKind::Update(u) = upd.kind.clone() else {
+            unreachable!()
+        };
+        assert!(lm.replay_apply(TxnId(7), "d2", 0, &u));
+        assert_eq!(lm.block_indoubt(TxnId(7)), vec!["d2".to_owned()]);
+        assert!(lm.indoubt_blocked("d2"));
+        // A writer conflicts against the in-doubt holder…
+        match lm.process_operation(TxnId(8), 0, &upd, TxnMode::Updating, false) {
+            ProcessResult::Conflict { holders, deadlock } => {
+                assert_eq!(holders, vec![TxnId(7)]);
+                assert!(!deadlock);
+            }
+            other => panic!("{other:?}"),
+        }
+        // …the holder itself is not self-blocked…
+        assert!(matches!(
+            lm.process_operation(TxnId(7), 1, &upd, TxnMode::Updating, false),
+            ProcessResult::Executed(_)
+        ));
+        // …and snapshot readers sail through.
+        assert!(matches!(
+            lm.snapshot_read(TxnId(9), &OpSpec::query("d2", q("/products/product/name"))),
+            ProcessResult::Executed(_)
+        ));
+        lm.commit_local(TxnId(9)).unwrap();
+        // Outcome arrival clears the fence.
+        lm.commit_local(TxnId(7)).unwrap();
+        assert!(!lm.indoubt_blocked("d2"));
+        assert!(matches!(
+            lm.process_operation(TxnId(8), 0, &upd, TxnMode::Updating, false),
+            ProcessResult::Executed(_)
+        ));
+        lm.abort_local(TxnId(8));
+    }
+
+    #[test]
+    fn evict_document_releases_everything() {
+        let mut lm = manager();
+        // Pin a snapshot so eviction has retained state to free.
+        assert!(matches!(
+            lm.snapshot_read(TxnId(1), &OpSpec::query("d2", q("/products"))),
+            ProcessResult::Executed(_)
+        ));
+        assert!(lm.hosts("d2"));
+        assert!(lm.snapshots_live_of("d2") > 0);
+        assert!(lm.evict_document("d2"));
+        assert!(!lm.hosts("d2"));
+        assert_eq!(lm.snapshots_live_of("d2"), 0);
+        assert_eq!(lm.snapshot_stats().0, 0);
+        assert!(!lm.evict_document("d2"), "second evict is a no-op");
+        // Operations on the evicted document now fail cleanly.
+        assert!(matches!(
+            lm.process_operation(
+                TxnId(2),
+                0,
+                &OpSpec::query("d2", q("/products")),
+                TxnMode::Updating,
+                false
+            ),
+            ProcessResult::Failed(_)
+        ));
     }
 
     #[test]

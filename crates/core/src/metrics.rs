@@ -127,6 +127,24 @@ pub struct Metrics {
     /// (the metrics handle outlives the cluster); live values are read
     /// off `Cluster::net_worker_threads` directly.
     net_worker_threads: AtomicU64,
+    /// Site restarts that replayed a write-ahead log (WAL recovery runs).
+    recoveries: AtomicU64,
+    /// Presumed-abort prepare rounds started by coordinators (one per
+    /// distributed update transaction that reached its commit point).
+    prepare_rounds: AtomicU64,
+    /// In-doubt transactions resolved to **commit** at a participant by
+    /// the termination protocol (decision re-delivery, a coordinator
+    /// answer to `DecisionRequest`, or a peer answer to `InDoubtQuery`)
+    /// rather than by the normal commit path.
+    indoubt_commits: AtomicU64,
+    /// In-doubt transactions resolved to **abort** at a participant
+    /// (presumed abort after coordinator restart, or a vouched abort
+    /// answer).
+    indoubt_aborts: AtomicU64,
+    /// Orphaned remote work aborted by a participant sweep: the
+    /// coordinator died before prepare, so nothing was ever decided and
+    /// the participant reclaims the locks unilaterally.
+    orphan_aborts: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -153,7 +171,66 @@ impl Metrics {
             snapshots_live: RwLock::new(Vec::new()),
             snapshot_bytes: RwLock::new(Vec::new()),
             net_worker_threads: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+            prepare_rounds: AtomicU64::new(0),
+            indoubt_commits: AtomicU64::new(0),
+            indoubt_aborts: AtomicU64::new(0),
+            orphan_aborts: AtomicU64::new(0),
         }
+    }
+
+    /// Counts one site restart that replayed its write-ahead log.
+    pub fn note_recovery(&self) {
+        self.recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// WAL recovery runs so far.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries.load(Ordering::Relaxed)
+    }
+
+    /// Counts one coordinator prepare round (presumed-abort 2PC vote
+    /// phase for a distributed update transaction).
+    pub fn note_prepare_round(&self) {
+        self.prepare_rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Prepare rounds started so far.
+    pub fn prepare_rounds(&self) -> u64 {
+        self.prepare_rounds.load(Ordering::Relaxed)
+    }
+
+    /// Counts one in-doubt transaction resolved to commit at a
+    /// participant by the termination protocol.
+    pub fn note_indoubt_commit(&self) {
+        self.indoubt_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// In-doubt → commit resolutions so far.
+    pub fn indoubt_commits(&self) -> u64 {
+        self.indoubt_commits.load(Ordering::Relaxed)
+    }
+
+    /// Counts one in-doubt transaction resolved to abort at a
+    /// participant (presumed abort or a vouched abort answer).
+    pub fn note_indoubt_abort(&self) {
+        self.indoubt_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// In-doubt → abort resolutions so far.
+    pub fn indoubt_aborts(&self) -> u64 {
+        self.indoubt_aborts.load(Ordering::Relaxed)
+    }
+
+    /// Counts one orphaned transaction aborted by a participant sweep
+    /// (its coordinator died before ever starting the vote phase).
+    pub fn note_orphan_abort(&self) {
+        self.orphan_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Orphan aborts so far.
+    pub fn orphan_aborts(&self) -> u64 {
+        self.orphan_aborts.load(Ordering::Relaxed)
     }
 
     /// Counts one query operation answered from a pinned snapshot.
@@ -642,6 +719,23 @@ mod tests {
         m.note_net_workers(8);
         m.note_net_workers(7);
         assert_eq!(m.net_worker_threads(), 8);
+    }
+
+    #[test]
+    fn recovery_counters_accumulate() {
+        let m = Metrics::new();
+        m.note_recovery();
+        m.note_prepare_round();
+        m.note_prepare_round();
+        m.note_indoubt_commit();
+        m.note_indoubt_abort();
+        m.note_indoubt_abort();
+        m.note_orphan_abort();
+        assert_eq!(m.recoveries(), 1);
+        assert_eq!(m.prepare_rounds(), 2);
+        assert_eq!(m.indoubt_commits(), 1);
+        assert_eq!(m.indoubt_aborts(), 2);
+        assert_eq!(m.orphan_aborts(), 1);
     }
 
     #[test]

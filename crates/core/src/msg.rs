@@ -154,6 +154,75 @@ pub enum Message {
         /// The re-routed transaction.
         txn: TxnId,
     },
+    /// Coordinator → participant: presumed-abort 2PC vote request. A
+    /// participant that executed operations of `txn` force-logs
+    /// `Prepared` and answers yes; one that knows nothing of `txn` (or
+    /// poisoned it after an orphan abort / cooperative-termination
+    /// answer) answers no, which aborts the transaction.
+    Prepare {
+        /// The transaction.
+        txn: TxnId,
+        /// Correlation id of this vote round (stale acks are dropped).
+        corr: u64,
+        /// Every remote participant of `txn` — each receiver logs the
+        /// others as its cooperative-termination peers.
+        participants: Vec<SiteId>,
+    },
+    /// Participant → coordinator: the vote. `ok` implies the participant
+    /// has force-logged `Prepared` and holds its locks until a decision
+    /// (or presumed-abort resolution) arrives.
+    PrepareAck {
+        /// The transaction.
+        txn: TxnId,
+        /// Vote round this ack answers.
+        corr: u64,
+        /// Voting site.
+        site: SiteId,
+        /// The vote.
+        ok: bool,
+    },
+    /// In-doubt participant → coordinator: what was decided for `txn`?
+    /// Sent after a restart (prepared record without an outcome) or when
+    /// the decision is overdue.
+    DecisionRequest {
+        /// The in-doubt transaction.
+        txn: TxnId,
+        /// Asking site (the reply's destination).
+        from: SiteId,
+    },
+    /// Answer to [`Message::DecisionRequest`] / [`Message::InDoubtQuery`]:
+    /// the presumed-abort verdict — commit iff a decision record exists,
+    /// abort when the responder can vouch nothing was decided, uncertain
+    /// when the responder is in doubt itself.
+    DecisionReply {
+        /// The transaction.
+        txn: TxnId,
+        /// The verdict.
+        decision: Decision,
+    },
+    /// In-doubt participant → peer participant (cooperative termination):
+    /// asked when the coordinator stays silent. A peer that saw the
+    /// outcome answers it; a peer that never prepared answers abort *and
+    /// poisons the transaction* so any late vote request is refused —
+    /// which is what makes the abort answer safe to act on.
+    InDoubtQuery {
+        /// The in-doubt transaction.
+        txn: TxnId,
+        /// Asking site (the reply's destination).
+        from: SiteId,
+    },
+}
+
+/// The verdict carried by [`Message::DecisionReply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// A commit decision is on record.
+    Commit,
+    /// Nothing was decided and the responder vouches nothing will be
+    /// (presumed abort).
+    Abort,
+    /// The responder is in doubt itself; ask again or ask elsewhere.
+    Uncertain,
 }
 
 impl Wire for Message {

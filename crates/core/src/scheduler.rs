@@ -52,7 +52,7 @@
 use crate::catalog::Catalog;
 use crate::lockmgr::{LockManager, ProcessResult};
 use crate::metrics::{Metrics, PhaseTimes, TxnRecord};
-use crate::msg::Message;
+use crate::msg::{Decision, Message};
 use crate::op::{AbortReason, OpResult, OpSpec, TxnOutcome, TxnSpec, TxnStatus};
 use crate::routing::RoutingCtx;
 use crossbeam::channel::{Receiver, Sender};
@@ -60,7 +60,10 @@ use dtx_dataguide::DataGuide;
 use dtx_locks::txn::TxnIdGen;
 use dtx_locks::{TxnId, TxnMode, WaitForGraph};
 use dtx_net::{Endpoint, Envelope, Network, SiteId};
-use std::collections::HashMap;
+use dtx_storage::{LoggedOutcome, Wal, WalRecord};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -74,6 +77,11 @@ const DRAIN_BATCH: usize = 256;
 /// catalog mutation; ordinary re-replication bumps the epoch a handful of
 /// times, so hitting this cap means placement is churning pathologically.
 const MAX_STALE_REROUTES: u32 = 16;
+
+/// Chunk size for document images streamed into the WAL: the same
+/// event-boundary chunking the replica copy path uses, so logging and
+/// replaying an image both run in O(chunk + depth) transient memory.
+const WAL_DOC_CHUNK: usize = 4096;
 
 /// Tuning knobs of a scheduler.
 #[derive(Debug, Clone, Copy)]
@@ -106,6 +114,18 @@ pub struct SchedulerConfig {
     /// flushes immediately — the window only holds back *light* traffic,
     /// a loaded tick already batches well.
     pub flush_min_pending: usize,
+    /// Period of the in-doubt resolution sweep: a prepared participant
+    /// whose decision is overdue by this much re-asks its coordinator
+    /// ([`Message::DecisionRequest`]); after several unanswered rounds it
+    /// also asks its peer participants ([`Message::InDoubtQuery`],
+    /// cooperative termination).
+    pub indoubt_period: Duration,
+    /// How long a participant keeps orphaned remote work (executed
+    /// operations whose coordinator never started a vote or termination
+    /// round) before unilaterally aborting it — presumed abort makes that
+    /// safe, and the transaction is *poisoned* so a late vote request is
+    /// refused.
+    pub orphan_timeout: Duration,
     /// Seed for retry jitter.
     pub seed: u64,
 }
@@ -120,9 +140,76 @@ impl Default for SchedulerConfig {
             idle_wait: Duration::from_micros(500),
             flush_window: Duration::ZERO,
             flush_min_pending: 8,
+            indoubt_period: Duration::from_millis(50),
+            orphan_timeout: Duration::from_secs(300),
             seed: 0x5EED,
         }
     }
+}
+
+/// Where an armed crash fires inside a coordinator's transaction path —
+/// each is one "the coordinator dies here" case of the 2PC matrix. The
+/// scheduler checks (and consumes) the armed point at the matching spot,
+/// sets its crashed flag, and falls out of the event loop **without**
+/// flushing, aborting, or replying — exactly what a process kill loses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// After the `ExecRemote` dispatches of a distributed operation went
+    /// out: participants hold work for a coordinator that never decides
+    /// anything (the orphan-abort case).
+    InRemoteOps,
+    /// After the vote requests went out: participants force-log
+    /// `Prepared` and are in doubt for a decision that was never made
+    /// (the presumed-abort case).
+    AfterPrepare,
+    /// After the commit decision was force-logged but before any commit
+    /// message was sent: only the restarted coordinator's log knows the
+    /// outcome (the decision-replay case).
+    AfterDecide,
+    /// After the decision was logged and the commit reached exactly one
+    /// participant — the lowest site id: surviving participants must
+    /// converge through peers (the cooperative-termination case).
+    AfterDecideSendOne,
+}
+
+/// Kill/crash controls shared between the cluster (which arms them) and
+/// the scheduler thread (which honors them). Cloned handles refer to the
+/// same flags.
+#[derive(Clone, Default)]
+pub struct FaultHooks {
+    /// Asynchronous kill switch: checked at the top of every event-loop
+    /// iteration.
+    pub kill: Arc<AtomicBool>,
+    /// One-shot crash point: consumed when the scheduler reaches it.
+    pub crash: Arc<Mutex<Option<CrashPoint>>>,
+}
+
+impl FaultHooks {
+    /// Consumes the armed crash point iff it matches `p`.
+    fn take_if(&self, p: CrashPoint) -> bool {
+        let mut armed = self.crash.lock();
+        if *armed == Some(p) {
+            *armed = None;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// What WAL replay hands a restarted scheduler: the 2PC state that must
+/// survive the crash (everything else is rebuilt or presumed aborted).
+#[derive(Debug, Default)]
+pub struct RecoveredState {
+    /// Prepared-but-undecided transactions: `(txn, coordinator, peer
+    /// participants)`. The scheduler keeps their replayed effects, blocks
+    /// their documents, and runs the termination protocol until each
+    /// resolves.
+    pub in_doubt: Vec<(TxnId, SiteId, Vec<SiteId>)>,
+    /// Commit decisions on the log without a matching `End`: the restarted
+    /// coordinator re-sends the commit to every listed participant
+    /// (participants that already committed treat it as a no-op).
+    pub undelivered: Vec<(TxnId, Vec<SiteId>)>,
 }
 
 /// Client-side commands delivered through the Listener.
@@ -179,6 +266,16 @@ pub enum Control {
         /// Reply channel.
         reply: Sender<bool>,
     },
+    /// Evict a dropped replica: release the in-memory copy, **every**
+    /// snapshot version (the `drop_replica` quiesce already drained
+    /// readers), and the store copy of `name` at this site. Replies
+    /// whether the document was hosted.
+    EvictDoc {
+        /// Document name.
+        name: String,
+        /// Reply channel.
+        ack: Sender<bool>,
+    },
     /// Stop the scheduler; in-flight transactions are aborted.
     Shutdown,
 }
@@ -228,6 +325,16 @@ enum Phase {
         /// replicas).
         fragmented: bool,
         /// Response deadline (remote timeout).
+        deadline: Instant,
+    },
+    /// Presumed-abort vote requests sent ([`Message::Prepare`]); awaiting
+    /// `expected` votes. Only distributed **update** transactions pass
+    /// through here — read-only ones have nothing to make durable and
+    /// keep the one-phase batched termination.
+    AwaitingPrepareAcks {
+        /// Number of votes required.
+        expected: usize,
+        /// Vote deadline (a missing vote aborts — presumed abort).
         deadline: Instant,
     },
     /// Commit requests sent (Alg. 5 l. 4); awaiting `expected` acks.
@@ -285,6 +392,9 @@ struct CoordTxn {
     /// Remote sites that executed at least one operation (commit/abort
     /// must reach all of them).
     remote_sites: Vec<SiteId>,
+    /// The commit decision was force-logged: consolidation must append an
+    /// `End` record so the log can forget the transaction.
+    decided: bool,
     results: Vec<OpResult>,
     submitted: Instant,
     reply: Sender<TxnOutcome>,
@@ -300,9 +410,9 @@ impl CoordTxn {
             Phase::Ready => self.times.ready += dt,
             Phase::Waiting { .. } => self.times.waiting += dt,
             Phase::AwaitingRemoteOps { .. } => self.times.remote += dt,
-            Phase::AwaitingCommitAcks { .. } | Phase::AwaitingAbortAcks { .. } => {
-                self.times.terminating += dt
-            }
+            Phase::AwaitingPrepareAcks { .. }
+            | Phase::AwaitingCommitAcks { .. }
+            | Phase::AwaitingAbortAcks { .. } => self.times.terminating += dt,
         }
         self.phase = next;
         self.phase_entered = now;
@@ -318,6 +428,24 @@ struct TermBatch {
     commits: Vec<TxnId>,
     /// Transactions to cancel at the site, in decision order.
     aborts: Vec<TxnId>,
+}
+
+/// Participant-side state of one prepared (in-doubt) transaction: who to
+/// ask for the decision and how long the asking has gone unanswered.
+#[derive(Debug)]
+struct PreparedTxn {
+    /// The transaction's coordinator (first to ask).
+    coordinator: SiteId,
+    /// The other participants (cooperative-termination peers).
+    peers: Vec<SiteId>,
+    /// When this entry last made progress (created or re-asked).
+    since: Instant,
+    /// Unanswered decision requests so far; past a small threshold the
+    /// sweep also queries the peers.
+    asked: u32,
+    /// Seeded by WAL replay (vs a live prepare): its resolution counts as
+    /// an in-doubt recovery outcome in the metrics.
+    recovered: bool,
 }
 
 /// A participant's report about one remote operation.
@@ -377,11 +505,42 @@ pub struct Scheduler {
     next_detection: Instant,
     rr_cursor: usize,
     rng: u64,
+    /// This site's write-ahead log (owned by the cluster so it survives a
+    /// scheduler kill — the "stable storage" of the durability fiction).
+    wal: Arc<Wal>,
+    /// Kill switch + armed crash point, shared with the cluster.
+    faults: FaultHooks,
+    /// An armed crash point fired: fall out of the event loop without
+    /// flushing, aborting or replying (a crash loses all of that).
+    crashed: bool,
+    /// Prepare votes per transaction: `(vote round corr, votes by site)`.
+    pending_prepare: HashMap<TxnId, (u64, HashMap<SiteId, bool>)>,
+    /// Participant-side in-doubt table: prepared transactions awaiting
+    /// their decision.
+    prepared: HashMap<TxnId, PreparedTxn>,
+    /// Poisoned transactions: this site orphan-aborted them or vouched
+    /// abort to a peer's in-doubt query, so any late [`Message::Prepare`]
+    /// must be refused — that refusal is what makes those abort paths
+    /// safe against an in-flight vote round.
+    refused: HashSet<TxnId>,
+    /// Last time each participant-side transaction showed coordinator
+    /// activity (feeds the orphan sweep).
+    participant_seen: HashMap<TxnId, Instant>,
+    /// Commit decisions recovered from the log without an `End`:
+    /// participants still owed the decision, per transaction. `End` is
+    /// appended when the set drains.
+    reco_commits: HashMap<TxnId, HashSet<SiteId>>,
+    /// Next in-doubt/orphan sweep.
+    next_indoubt_sweep: Instant,
 }
 
 impl Scheduler {
     /// Assembles a scheduler. `endpoint` must already be registered on
-    /// `net` for `site`.
+    /// `net` for `site`. `recovered` carries the 2PC state WAL replay
+    /// salvaged after a restart ([`RecoveredState::default`] on a fresh
+    /// boot): in-doubt transactions enter the prepared table (their first
+    /// decision request goes out on the first sweep) and undelivered
+    /// commit decisions are re-queued for their participants.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         site: SiteId,
@@ -393,10 +552,14 @@ impl Scheduler {
         idgen: Arc<TxnIdGen>,
         metrics: Arc<Metrics>,
         cfg: SchedulerConfig,
+        wal: Arc<Wal>,
+        faults: FaultHooks,
+        recovered: RecoveredState,
     ) -> Self {
         // Stagger detector rounds per site so sites do not all fire at once.
         let stagger = cfg.deadlock_period / 8 * (site.0 as u32 % 8);
-        Scheduler {
+        let now = Instant::now();
+        let mut s = Scheduler {
             site,
             net,
             endpoint,
@@ -419,15 +582,56 @@ impl Scheduler {
             metrics,
             cfg,
             next_corr: 0,
-            next_detection: Instant::now() + cfg.deadlock_period + stagger,
+            next_detection: now + cfg.deadlock_period + stagger,
             rr_cursor: 0,
             rng: cfg.seed ^ ((site.0 as u64) << 32) | 1,
+            wal,
+            faults,
+            crashed: false,
+            pending_prepare: HashMap::new(),
+            prepared: HashMap::new(),
+            refused: HashSet::new(),
+            participant_seen: HashMap::new(),
+            reco_commits: HashMap::new(),
+            next_indoubt_sweep: now + cfg.indoubt_period,
+        };
+        for (txn, coordinator, peers) in recovered.in_doubt {
+            s.txn_coord.insert(txn, coordinator);
+            // Backdate `since` so the first sweep asks immediately.
+            let since = now.checked_sub(s.cfg.indoubt_period).unwrap_or(now);
+            s.prepared.insert(
+                txn,
+                PreparedTxn {
+                    coordinator,
+                    peers,
+                    since,
+                    asked: 0,
+                    recovered: true,
+                },
+            );
         }
+        for (txn, participants) in recovered.undelivered {
+            s.reco_commits
+                .insert(txn, participants.iter().copied().collect());
+            for &p in &participants {
+                s.enqueue_termination(p, txn, true);
+            }
+        }
+        s
     }
 
-    /// Runs the event loop until a [`Control::Shutdown`] arrives.
+    /// Runs the event loop until a [`Control::Shutdown`] arrives — or the
+    /// site is killed / hits an armed crash point, in which case the loop
+    /// exits **abruptly**: no flush, no aborts, no client replies. Every
+    /// in-memory structure dies with the thread; only the cluster-owned
+    /// WAL survives, exactly as a crash loses RAM but not stable storage.
     pub fn run(mut self) {
         loop {
+            // 0. Fault hooks: a killed or crashed site just stops.
+            if self.crashed || self.faults.kill.load(Ordering::Relaxed) {
+                self.net.deregister(self.site);
+                return;
+            }
             // 1. Client commands.
             loop {
                 match self.control.try_recv() {
@@ -445,6 +649,7 @@ impl Scheduler {
                             stale_retries: 0,
                             pinned: None,
                             remote_sites: Vec::new(),
+                            decided: false,
                             results: Vec::new(),
                             submitted: now,
                             reply,
@@ -465,6 +670,9 @@ impl Scheduler {
                                 }
                             })
                             .map_err(|e| e.to_string());
+                        if r.is_ok() {
+                            self.log_doc_image(&name);
+                        }
                         self.publish_snapshot_gauges();
                         let _ = ack.send(r);
                     }
@@ -483,6 +691,9 @@ impl Scheduler {
                                 }
                             })
                             .map_err(|e| e.to_string());
+                        if r.is_ok() {
+                            self.log_doc_image(&name);
+                        }
                         self.publish_snapshot_gauges();
                         let _ = ack.send(r);
                     }
@@ -500,6 +711,11 @@ impl Scheduler {
                     Ok(Control::DocQuiesced { name, reply }) => {
                         let _ = reply.send(self.lockmgr.doc_quiescent(&name));
                     }
+                    Ok(Control::EvictDoc { name, ack }) => {
+                        let was = self.lockmgr.evict_document(&name);
+                        self.publish_snapshot_gauges();
+                        let _ = ack.send(was);
+                    }
                     Ok(Control::Shutdown) => {
                         self.shutdown();
                         return;
@@ -511,6 +727,14 @@ impl Scheduler {
             //    transaction whose completion condition is now met).
             for env in self.endpoint.drain(DRAIN_BATCH) {
                 self.handle_message(env);
+                if self.crashed {
+                    break;
+                }
+            }
+            if self.crashed {
+                // An armed crash fired inside a handler: nothing below —
+                // no flush, no sweep, no dispatch — may run.
+                continue;
             }
             // 3. Periodic distributed deadlock detection (Algorithm 4).
             if Instant::now() >= self.next_detection {
@@ -528,6 +752,8 @@ impl Scheduler {
             self.maybe_finish_deadlock_round();
             // 4. State deadlines (remote/ack timeouts).
             self.sweep_deadlines();
+            // 4¼. In-doubt resolution + orphan sweep (presumed abort).
+            self.sweep_recovery();
             // 4½. Group commit: flush the accumulated termination
             //     decisions — one TerminateBatch per site, regardless of
             //     how many transactions terminated since the last flush
@@ -552,6 +778,17 @@ impl Scheduler {
             if let Ok(Some(env)) = self.endpoint.recv_timeout(wait) {
                 self.handle_message(env);
             }
+        }
+    }
+
+    /// Logs the just-installed committed image of `name` (data + guide,
+    /// chunk-streamed) so WAL replay can rebuild the document before
+    /// re-applying its redo records.
+    fn log_doc_image(&mut self, name: &str) {
+        if let Ok((xml, guide)) = self.lockmgr.dump_with_guide(name) {
+            let _ = self
+                .wal
+                .append_doc_image(name, &xml, &guide.to_wire(), WAL_DOC_CHUNK);
         }
     }
 
@@ -608,10 +845,14 @@ impl Scheduler {
             // no other event fires first.
             consider(since + self.cfg.flush_window);
         }
+        if !self.prepared.is_empty() || !self.participant_seen.is_empty() {
+            consider(self.next_indoubt_sweep);
+        }
         for t in &self.txns {
             match t.phase {
                 Phase::Waiting { retry_at } => consider(retry_at),
                 Phase::AwaitingRemoteOps { deadline, .. }
+                | Phase::AwaitingPrepareAcks { deadline, .. }
                 | Phase::AwaitingCommitAcks { deadline, .. }
                 | Phase::AwaitingAbortAcks { deadline, .. } => consider(deadline),
                 Phase::Ready => consider(Instant::now()),
@@ -845,6 +1086,13 @@ impl Scheduler {
             }
         }
         self.metrics.note_remote_msgs(sent);
+        if sent > 0 && self.faults.take_if(CrashPoint::InRemoteOps) {
+            // Die with remote work outstanding: participants now hold
+            // executed operations for a coordinator that will never vote
+            // or terminate them — the orphan sweep must clean up.
+            self.crashed = true;
+            return;
+        }
         // Execute locally when the coordinator also holds the data
         // ("including the coordinator if it contains data involved").
         if sites.contains(&self.site) {
@@ -1128,10 +1376,13 @@ impl Scheduler {
     // -----------------------------------------------------------------
 
     /// Asks every involved site to consolidate (Alg. 5 l. 3-4). With no
-    /// remote participants the transaction consolidates immediately;
-    /// otherwise the decision joins the per-site group-commit outbox
-    /// (flushed as one [`Message::TerminateBatch`] per site per tick) and
-    /// the transaction parks in `Phase::AwaitingCommitAcks`.
+    /// remote participants the transaction consolidates immediately.
+    /// Distributed **update** transactions first run a presumed-abort
+    /// vote round ([`Message::Prepare`]): each participant force-logs
+    /// `Prepared` and answers; only a unanimous yes lets the coordinator
+    /// force-log the commit decision and send the commit batch. Read-only
+    /// transactions have nothing to make durable — they keep the
+    /// one-phase batched termination (and its message economy).
     fn begin_commit(&mut self, id: TxnId) {
         let Some(idx) = self.txn_index(id) else {
             return;
@@ -1139,6 +1390,101 @@ impl Scheduler {
         let remotes = self.txns[idx].remote_sites.clone();
         if remotes.is_empty() {
             self.consolidate_local(id);
+            return;
+        }
+        if self.txns[idx].spec.is_read_only() {
+            self.pending_commit.insert(id, HashMap::new());
+            for &s in &remotes {
+                self.enqueue_termination(s, id, true);
+            }
+            self.set_phase(
+                id,
+                Phase::AwaitingCommitAcks {
+                    expected: remotes.len(),
+                    deadline: Instant::now() + self.cfg.remote_timeout,
+                },
+            );
+            return;
+        }
+        // Phase 1: vote requests to every remote participant.
+        self.metrics.note_prepare_round();
+        self.next_corr += 1;
+        let corr = self.next_corr;
+        self.pending_prepare.insert(id, (corr, HashMap::new()));
+        for &s in &remotes {
+            let _ = self.net.send(
+                self.site,
+                s,
+                Message::Prepare {
+                    txn: id,
+                    corr,
+                    participants: remotes.clone(),
+                },
+            );
+        }
+        self.set_phase(
+            id,
+            Phase::AwaitingPrepareAcks {
+                expected: remotes.len(),
+                deadline: Instant::now() + self.cfg.remote_timeout,
+            },
+        );
+        if self.faults.take_if(CrashPoint::AfterPrepare) {
+            // Die between the vote requests and the decision: the
+            // participants that vote yes are left in doubt for a decision
+            // that will never be logged — presumed abort resolves them.
+            self.crashed = true;
+        }
+    }
+
+    /// Advances a transaction out of `Phase::AwaitingPrepareAcks` if
+    /// every vote arrived.
+    fn try_finish_prepare(&mut self, id: TxnId) {
+        let Some(idx) = self.txn_index(id) else {
+            return;
+        };
+        let Phase::AwaitingPrepareAcks { expected, .. } = self.txns[idx].phase else {
+            return;
+        };
+        let complete = self
+            .pending_prepare
+            .get(&id)
+            .map(|(_, votes)| votes.len() >= expected)
+            .unwrap_or(false);
+        if complete {
+            self.finish_prepare(id, true);
+        }
+    }
+
+    /// Phase 2 entry: all votes arrived (`complete`) or the vote deadline
+    /// passed. A unanimous yes force-logs the commit decision (the only
+    /// forced coordinator write of presumed abort) and sends the commit
+    /// round; anything else aborts — a missing vote IS a no under
+    /// presumed abort.
+    fn finish_prepare(&mut self, id: TxnId, complete: bool) {
+        let Some(idx) = self.txn_index(id) else {
+            return;
+        };
+        if !matches!(self.txns[idx].phase, Phase::AwaitingPrepareAcks { .. }) {
+            return;
+        }
+        let votes = self.pending_prepare.remove(&id);
+        let all_yes =
+            complete && votes.is_some_and(|(_, v)| !v.is_empty() && v.values().all(|&ok| ok));
+        if !all_yes {
+            self.begin_abort(id, AbortReason::CommitFailed);
+            return;
+        }
+        let remotes = self.txns[idx].remote_sites.clone();
+        self.wal.force(WalRecord::Decision {
+            txn: id,
+            participants: remotes.clone(),
+        });
+        self.txns[idx].decided = true;
+        if self.faults.take_if(CrashPoint::AfterDecide) {
+            // Die with the decision on stable storage but no commit sent:
+            // only WAL replay can (and must) deliver it after restart.
+            self.crashed = true;
             return;
         }
         self.pending_commit.insert(id, HashMap::new());
@@ -1152,6 +1498,33 @@ impl Scheduler {
                 deadline: Instant::now() + self.cfg.remote_timeout,
             },
         );
+        if self.faults.take_if(CrashPoint::AfterDecideSendOne) {
+            // Die after the commit reached exactly one participant (the
+            // lowest site id): the others must learn the outcome from
+            // that peer through cooperative termination.
+            self.flush_lowest_only();
+            self.crashed = true;
+        }
+    }
+
+    /// Crash-shaping helper for [`CrashPoint::AfterDecideSendOne`]: sends
+    /// only the lowest-site batch of the outbox and drops the rest on the
+    /// floor, exactly as a crash mid-flush would.
+    fn flush_lowest_only(&mut self) {
+        self.outbox_since = None;
+        self.outbox_entries = 0;
+        let mut batches: Vec<(SiteId, TermBatch)> = self.term_outbox.drain().collect();
+        batches.sort_by_key(|(s, _)| *s);
+        if let Some((site, batch)) = batches.into_iter().next() {
+            let _ = self.net.send(
+                self.site,
+                site,
+                Message::TerminateBatch {
+                    commits: batch.commits,
+                    aborts: batch.aborts,
+                },
+            );
+        }
     }
 
     /// Adds one termination decision to `site`'s outbox batch, arming
@@ -1231,10 +1604,41 @@ impl Scheduler {
 
     /// Alg. 5 l. 5-11, resumed event-style.
     fn finish_commit(&mut self, id: TxnId, complete: bool) {
-        let acks = self.pending_commit.remove(&id).unwrap_or_default();
+        let Some(idx) = self.txn_index(id) else {
+            return;
+        };
+        let mut acks = self.pending_commit.remove(&id).unwrap_or_default();
         let all_ok = complete && acks.values().all(|&ok| ok);
         if !all_ok {
-            // Alg. 5 l. 5-7: a site did not consolidate → abort.
+            if self.txns[idx].decided {
+                // The commit decision is forced onto stable storage — it
+                // can never be walked back (a prepared participant may
+                // already have committed it). A missing ack means the
+                // batch or its ack was lost: re-deliver to the
+                // participants still owed the commit and keep waiting;
+                // re-commits there are idempotent no-ops.
+                let remotes = self.txns[idx].remote_sites.clone();
+                acks.retain(|_, ok| *ok);
+                let missing: Vec<SiteId> = remotes
+                    .iter()
+                    .copied()
+                    .filter(|s| !acks.contains_key(s))
+                    .collect();
+                self.pending_commit.insert(id, acks);
+                for &s in &missing {
+                    self.enqueue_termination(s, id, true);
+                }
+                self.set_phase(
+                    id,
+                    Phase::AwaitingCommitAcks {
+                        expected: remotes.len(),
+                        deadline: Instant::now() + self.cfg.remote_timeout,
+                    },
+                );
+                return;
+            }
+            // Alg. 5 l. 5-7 (one-phase read-only path): a site did not
+            // consolidate → abort.
             self.begin_abort(id, AbortReason::CommitFailed);
             return;
         }
@@ -1247,7 +1651,13 @@ impl Scheduler {
         let Some(idx) = self.txn_index(id) else {
             return;
         };
+        let decided = self.txns[idx].decided;
         let released = self.lockmgr.commit_local(id);
+        if decided {
+            // Every participant acked the commit: the unforced End lets
+            // replay forget the decision instead of re-delivering it.
+            self.wal.append(WalRecord::End { txn: id });
+        }
         // Gauges go out before the client reply so a caller that observed
         // the outcome also observes the post-commit snapshot-store state.
         self.publish_snapshot_gauges();
@@ -1415,12 +1825,16 @@ impl Scheduler {
         let now = Instant::now();
         // Collect first: the handlers mutate `self.txns`.
         let mut remote_expired = Vec::new();
+        let mut prepare_expired = Vec::new();
         let mut commit_expired = Vec::new();
         let mut abort_expired = Vec::new();
         for t in &self.txns {
             match t.phase {
                 Phase::AwaitingRemoteOps { deadline, .. } if now >= deadline => {
                     remote_expired.push(t.id)
+                }
+                Phase::AwaitingPrepareAcks { deadline, .. } if now >= deadline => {
+                    prepare_expired.push(t.id)
                 }
                 Phase::AwaitingCommitAcks { deadline, .. } if now >= deadline => {
                     commit_expired.push(t.id)
@@ -1433,6 +1847,10 @@ impl Scheduler {
         }
         for id in remote_expired {
             self.finish_remote_op(id, false);
+        }
+        for id in prepare_expired {
+            // A missing vote is a no vote — presumed abort.
+            self.finish_prepare(id, false);
         }
         for id in commit_expired {
             self.finish_commit(id, false);
@@ -1650,6 +2068,7 @@ impl Scheduler {
                     }
                 } else {
                     self.txn_coord.insert(txn, coordinator);
+                    self.participant_seen.insert(txn, Instant::now());
                     let mode = if update_txn {
                         TxnMode::Updating
                     } else {
@@ -1712,9 +2131,15 @@ impl Scheduler {
                 // in the batch, then answer the whole batch with ONE ack.
                 let mut commit_acks = Vec::with_capacity(commits.len());
                 for txn in commits {
+                    if let Some(p) = self.prepared.remove(&txn) {
+                        if p.recovered {
+                            self.metrics.note_indoubt_commit();
+                        }
+                    }
                     let released = self.lockmgr.commit_local(txn);
                     let ok = released.is_ok();
                     self.txn_coord.remove(&txn);
+                    self.participant_seen.remove(&txn);
                     commit_acks.push((txn, ok));
                     if let Ok(waiters) = released {
                         self.wake_waiters(waiters);
@@ -1722,8 +2147,14 @@ impl Scheduler {
                 }
                 let mut abort_acks = Vec::with_capacity(aborts.len());
                 for txn in aborts {
+                    if let Some(p) = self.prepared.remove(&txn) {
+                        if p.recovered {
+                            self.metrics.note_indoubt_abort();
+                        }
+                    }
                     let waiters = self.lockmgr.abort_local(txn);
                     self.txn_coord.remove(&txn);
+                    self.participant_seen.remove(&txn);
                     abort_acks.push((txn, true));
                     self.wake_waiters(waiters);
                 }
@@ -1751,6 +2182,15 @@ impl Scheduler {
                     if let Some(map) = self.pending_commit.get_mut(&txn) {
                         map.insert(site, ok);
                         self.try_finish_commit(txn);
+                    } else if let Some(waiting) = self.reco_commits.get_mut(&txn) {
+                        // Ack for a commit decision re-delivered after
+                        // restart: once every owed participant answered,
+                        // the log can forget the decision.
+                        waiting.remove(&site);
+                        if waiting.is_empty() {
+                            self.reco_commits.remove(&txn);
+                            self.wal.append(WalRecord::End { txn });
+                        }
                     }
                 }
                 for (txn, ok) in aborts {
@@ -1761,6 +2201,8 @@ impl Scheduler {
                 }
             }
             Message::Fail { txn } => {
+                self.prepared.remove(&txn);
+                self.participant_seen.remove(&txn);
                 let waiters = self.lockmgr.abort_local(txn);
                 self.txn_coord.remove(&txn);
                 self.wake_waiters(waiters);
@@ -1803,6 +2245,224 @@ impl Scheduler {
             Message::ClearWaits { txn } => {
                 self.lockmgr.clear_waits(txn);
             }
+            Message::Prepare {
+                txn,
+                corr,
+                participants,
+            } => {
+                // Vote yes iff this site executed operations of `txn` (it
+                // recorded the coordinator) and never poisoned it. A yes
+                // force-logs `Prepared` first — from here the site holds
+                // its effects until a decision (or presumed-abort
+                // resolution) arrives, surviving even its own crash.
+                let ok = !self.refused.contains(&txn) && self.txn_coord.contains_key(&txn);
+                if ok {
+                    let peers: Vec<SiteId> = participants
+                        .iter()
+                        .copied()
+                        .filter(|&s| s != self.site)
+                        .collect();
+                    self.wal.force(WalRecord::Prepared {
+                        txn,
+                        coordinator: env.from,
+                        participants: peers.clone(),
+                    });
+                    self.prepared.insert(
+                        txn,
+                        PreparedTxn {
+                            coordinator: env.from,
+                            peers,
+                            since: Instant::now(),
+                            asked: 0,
+                            recovered: false,
+                        },
+                    );
+                }
+                let _ = self.net.send(
+                    self.site,
+                    env.from,
+                    Message::PrepareAck {
+                        txn,
+                        corr,
+                        site: self.site,
+                        ok,
+                    },
+                );
+            }
+            Message::PrepareAck {
+                txn,
+                corr,
+                site,
+                ok,
+            } => {
+                // Stale vote rounds (re-routed, aborted) mismatch on corr
+                // and drop.
+                let mut recorded = false;
+                if let Some((c, votes)) = self.pending_prepare.get_mut(&txn) {
+                    if *c == corr {
+                        votes.insert(site, ok);
+                        recorded = true;
+                    }
+                }
+                if recorded {
+                    self.try_finish_prepare(txn);
+                }
+            }
+            Message::DecisionRequest { txn, from } => {
+                let decision = self.decision_answer(txn);
+                let _ = self
+                    .net
+                    .send(self.site, from, Message::DecisionReply { txn, decision });
+            }
+            Message::DecisionReply { txn, decision } => {
+                // Only meaningful while this site is in doubt about `txn`;
+                // late and duplicate replies drop here.
+                let Some(p) = self.prepared.get(&txn) else {
+                    return;
+                };
+                let recovered = p.recovered;
+                match decision {
+                    Decision::Commit => {
+                        self.prepared.remove(&txn);
+                        let released = self.lockmgr.commit_local(txn);
+                        self.txn_coord.remove(&txn);
+                        self.participant_seen.remove(&txn);
+                        if let Ok(waiters) = released {
+                            self.wake_waiters(waiters);
+                        }
+                        self.publish_snapshot_gauges();
+                        if recovered {
+                            self.metrics.note_indoubt_commit();
+                        }
+                    }
+                    Decision::Abort => {
+                        self.prepared.remove(&txn);
+                        let waiters = self.lockmgr.abort_local(txn);
+                        self.txn_coord.remove(&txn);
+                        self.participant_seen.remove(&txn);
+                        self.wake_waiters(waiters);
+                        self.publish_snapshot_gauges();
+                        if recovered {
+                            self.metrics.note_indoubt_abort();
+                        }
+                    }
+                    Decision::Uncertain => {} // keep asking
+                }
+            }
+            Message::InDoubtQuery { txn, from } => {
+                let decision = if self.prepared.contains_key(&txn) {
+                    Decision::Uncertain
+                } else {
+                    match self.wal.participant_outcome(txn) {
+                        LoggedOutcome::Committed => Decision::Commit,
+                        LoggedOutcome::InDoubt => Decision::Uncertain,
+                        LoggedOutcome::Aborted => {
+                            // Vouching abort to a peer binds this site:
+                            // poison the transaction so a late vote
+                            // request is refused instead of resurrecting
+                            // what the peer is about to abort.
+                            self.refused.insert(txn);
+                            Decision::Abort
+                        }
+                    }
+                };
+                let _ = self
+                    .net
+                    .send(self.site, from, Message::DecisionReply { txn, decision });
+            }
         }
+    }
+
+    /// The coordinator-side verdict for a participant's
+    /// [`Message::DecisionRequest`]: a logged decision means commit; a
+    /// transaction still live here (undecided, mid-vote, or re-delivering
+    /// a recovered decision) gets no verdict yet; anything else is abort —
+    /// the presumed-abort default a restarted coordinator gives for every
+    /// transaction it has forgotten.
+    fn decision_answer(&self, txn: TxnId) -> Decision {
+        if self.wal.decision_of(txn) == LoggedOutcome::Committed {
+            return Decision::Commit;
+        }
+        if self.txn_index(txn).is_some() || self.pending_prepare.contains_key(&txn) {
+            Decision::Uncertain
+        } else {
+            Decision::Abort
+        }
+    }
+
+    /// Periodic in-doubt resolution and orphan cleanup (participant
+    /// side). Prepared transactions whose decision is overdue re-ask the
+    /// coordinator; after several unanswered rounds they also query their
+    /// peers (cooperative termination). Orphaned remote work — executed
+    /// operations whose coordinator has gone silent without ever voting —
+    /// is unilaterally aborted and poisoned once the orphan timeout
+    /// passes: presumed abort makes the unilateral abort safe, the poison
+    /// makes it safe even against a late vote request.
+    fn sweep_recovery(&mut self) {
+        let now = Instant::now();
+        if now < self.next_indoubt_sweep {
+            return;
+        }
+        self.next_indoubt_sweep = now + self.cfg.indoubt_period;
+        let mut asks: Vec<(SiteId, TxnId)> = Vec::new();
+        let mut peer_asks: Vec<(SiteId, TxnId)> = Vec::new();
+        for (&txn, p) in self.prepared.iter_mut() {
+            if now.duration_since(p.since) < self.cfg.indoubt_period {
+                continue;
+            }
+            p.since = now;
+            p.asked += 1;
+            asks.push((p.coordinator, txn));
+            if p.asked > 3 {
+                for &peer in &p.peers {
+                    peer_asks.push((peer, txn));
+                }
+            }
+        }
+        asks.sort();
+        peer_asks.sort();
+        for (to, txn) in asks {
+            let _ = self.net.send(
+                self.site,
+                to,
+                Message::DecisionRequest {
+                    txn,
+                    from: self.site,
+                },
+            );
+        }
+        for (to, txn) in peer_asks {
+            let _ = self.net.send(
+                self.site,
+                to,
+                Message::InDoubtQuery {
+                    txn,
+                    from: self.site,
+                },
+            );
+        }
+        let orphans: Vec<TxnId> = self
+            .participant_seen
+            .iter()
+            .filter(|&(txn, &seen)| {
+                now.duration_since(seen) >= self.cfg.orphan_timeout
+                    && self.txn_index(*txn).is_none()
+                    && !self.prepared.contains_key(txn)
+                    && self.txn_coord.contains_key(txn)
+            })
+            .map(|(&txn, _)| txn)
+            .collect();
+        for txn in orphans {
+            self.refused.insert(txn);
+            self.txn_coord.remove(&txn);
+            self.participant_seen.remove(&txn);
+            let waiters = self.lockmgr.abort_local(txn);
+            self.wake_waiters(waiters);
+            self.publish_snapshot_gauges();
+            self.metrics.note_orphan_abort();
+        }
+        // GC tracking entries for transactions already terminated.
+        let coords = &self.txn_coord;
+        self.participant_seen.retain(|t, _| coords.contains_key(t));
     }
 }

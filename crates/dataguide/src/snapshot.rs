@@ -147,6 +147,15 @@ impl SnapshotStore {
         }
     }
 
+    /// Drops **every** version of `name`, pinned or not, and returns how
+    /// many were live. Used when a replica is dropped from a site: the
+    /// caller has already quiesced the document (no reader can still hold
+    /// a pin), so unconditional removal is safe and frees the retained
+    /// versions immediately.
+    pub fn evict(&mut self, name: &str) -> usize {
+        self.docs.remove(name).map_or(0, |e| e.versions.len())
+    }
+
     /// Number of live versions of `name` (0 when never published).
     pub fn live(&self, name: &str) -> usize {
         self.docs.get(name).map_or(0, |e| e.versions.len())
@@ -271,6 +280,20 @@ mod tests {
         assert_eq!(both, guide_part + docs_part, "shared guide counted once");
         s.unpin("a", pin.seq);
         assert!(s.approx_bytes() < both);
+    }
+
+    #[test]
+    fn evict_drops_all_versions_even_pinned() {
+        let mut s = SnapshotStore::new();
+        let (d, g) = snap_parts("<r/>");
+        s.publish("a", Arc::clone(&d), Arc::clone(&g));
+        s.pin_latest("a").unwrap();
+        s.publish("a", d, g);
+        assert_eq!(s.live("a"), 2);
+        assert_eq!(s.evict("a"), 2);
+        assert_eq!(s.live("a"), 0);
+        assert_eq!(s.approx_bytes(), 0);
+        assert_eq!(s.evict("a"), 0, "second evict is a no-op");
     }
 
     #[test]

@@ -57,7 +57,7 @@
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::{Mutex, RwLock};
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -215,6 +215,21 @@ impl LatencyModel {
     }
 }
 
+/// Whether the `k`-th send attempt on the ordered link `from → to` is
+/// dropped under fault seed `seed` with drop probability
+/// `per_mille`/1000: a **pure function** of its inputs, exactly like
+/// [`link_delay`]. This is the function [`Network::send`] applies when
+/// message drops are armed, exposed so tests (and the chaos harness's
+/// replay recipe) can pin the determinism contract directly: re-running
+/// a chaos schedule with the same fault seed drops the same attempts.
+pub fn link_drops(seed: u64, from: SiteId, to: SiteId, k: u64, per_mille: u32) -> bool {
+    if per_mille == 0 {
+        return false;
+    }
+    let r = mix64(seed ^ 0xFA17 ^ ((from.0 as u64) << 48) ^ ((to.0 as u64) << 32) ^ k);
+    (r % 1000) < per_mille as u64
+}
+
 /// The delay of the `k`-th message on the ordered link `from → to` under
 /// `model`, for a payload of `bytes`: a **pure function** of its inputs.
 /// This is the function [`Network::send`] applies (before the per-link
@@ -269,6 +284,7 @@ pub struct NetStats {
     bytes: AtomicU64,
     links: AtomicU64,
     delivery_threads: AtomicU64,
+    dropped: AtomicU64,
 }
 
 impl NetStats {
@@ -299,6 +315,34 @@ impl NetStats {
     pub fn delivery_threads(&self) -> u64 {
         self.delivery_threads.load(Ordering::Relaxed)
     }
+
+    /// Messages dropped by fault injection (seeded drops and partitions).
+    /// These still count in [`NetStats::messages`] — they were sent; the
+    /// simulated network lost them.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// Armed fault state (chaos harness): seeded random message loss plus an
+/// explicit set of blocked ordered links. Both are consulted at send
+/// time, before delivery scheduling, so a dropped message never perturbs
+/// the surviving traffic's jitter stream positions.
+#[derive(Debug, Default)]
+struct FaultState {
+    /// Fault seed for [`link_drops`] (independent of the latency seed so
+    /// chaos runs can vary loss without re-rolling delays).
+    seed: u64,
+    /// Drop probability per message in 1/1000.
+    drop_per_mille: u32,
+    /// Per ordered link: send attempts so far — the `k` of the drop
+    /// stream. Tracked separately from [`LinkBook::sent`] (which only
+    /// counts messages that reached delayed delivery) so the drop
+    /// schedule is a pure function of attempt order under any latency
+    /// model, including [`LatencyModel::zero`].
+    attempts: HashMap<(SiteId, SiteId), u64>,
+    /// Ordered links currently severed (partitions).
+    blocked: HashSet<(SiteId, SiteId)>,
 }
 
 struct Delayed<M> {
@@ -360,6 +404,11 @@ struct LinkBook<M> {
 
 struct Inner<M> {
     endpoints: RwLock<HashMap<SiteId, Sender<Envelope<M>>>>,
+    /// Sites that were [`Network::deregister`]ed (killed) and not yet
+    /// re-registered. Traffic to them is silently dropped; traffic to a
+    /// site that was *never* registered stays an error (a wiring bug,
+    /// not a simulated failure).
+    dead: RwLock<HashSet<SiteId>>,
     latency: LatencyModel,
     topology: Topology,
     cfg: NetConfig,
@@ -374,6 +423,12 @@ struct Inner<M> {
     /// Legacy hub queue ([`Topology::SharedHub`] only).
     hub_tx: Mutex<Option<Sender<Delayed<M>>>>,
     seq: AtomicU64,
+    /// Chaos-harness fault injection; disarmed (no drops, no partitions)
+    /// by default. Guarded by its own lock, taken before `links`.
+    faults: Mutex<FaultState>,
+    /// Fast-path flag: true when any fault (drop rate or partition) is
+    /// armed, so the default path never takes the faults lock.
+    faults_armed: AtomicBool,
     /// Set by [`Network::shutdown`]: delivery workers stop sleeping and
     /// flush their remaining queue immediately.
     flushing: AtomicBool,
@@ -452,6 +507,7 @@ impl<M: Wire> Network<M> {
         let cfg = cfg.sanitized();
         let inner = Arc::new(Inner {
             endpoints: RwLock::new(HashMap::new()),
+            dead: RwLock::new(HashSet::new()),
             latency,
             topology,
             cfg,
@@ -460,6 +516,8 @@ impl<M: Wire> Network<M> {
             shard_txs: Mutex::new(vec![None; cfg.workers]),
             hub_tx: Mutex::new(None),
             seq: AtomicU64::new(0),
+            faults: Mutex::new(FaultState::default()),
+            faults_armed: AtomicBool::new(false),
             flushing: AtomicBool::new(false),
             workers: Mutex::new(Vec::new()),
         });
@@ -493,7 +551,63 @@ impl<M: Wire> Network<M> {
     pub fn register(&self, site: SiteId) -> Endpoint<M> {
         let (tx, rx) = unbounded();
         self.inner.endpoints.write().insert(site, tx);
+        self.inner.dead.write().remove(&site);
         Endpoint { site, rx }
+    }
+
+    /// Removes `site`'s endpoint: the site is dead to the network. Later
+    /// (and already in-flight) traffic to it is silently discarded —
+    /// exactly what a real network does to a dead host — until a
+    /// [`Network::register`] brings the site back. The kill half of the
+    /// chaos harness's site kill/restart.
+    pub fn deregister(&self, site: SiteId) {
+        self.inner.endpoints.write().remove(&site);
+        self.inner.dead.write().insert(site);
+    }
+
+    /// Arms seed-deterministic message loss: every send attempt is
+    /// dropped with probability `per_mille`/1000, decided by the pure
+    /// function [`link_drops`] over `(seed, from, to, attempt#)` — so a
+    /// chaos schedule replays exactly from its seed. `per_mille == 0`
+    /// disarms random loss (partitions are separate). Arming resets the
+    /// per-link attempt counters so a replay starts the stream over.
+    pub fn set_message_drops(&self, seed: u64, per_mille: u32) {
+        let mut f = self.inner.faults.lock();
+        f.seed = seed;
+        f.drop_per_mille = per_mille.min(1000);
+        f.attempts.clear();
+        let armed = f.drop_per_mille > 0 || !f.blocked.is_empty();
+        self.inner.faults_armed.store(armed, Ordering::SeqCst);
+    }
+
+    /// Severs the ordered link `from → to`: every send on it is dropped
+    /// until [`Network::heal_link`]. Block both directions for a full
+    /// partition; one direction alone models the asymmetric silent-drop
+    /// failure (requests arrive, answers vanish).
+    pub fn block_link(&self, from: SiteId, to: SiteId) {
+        let mut f = self.inner.faults.lock();
+        f.blocked.insert((from, to));
+        self.inner.faults_armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Restores the ordered link `from → to`.
+    pub fn heal_link(&self, from: SiteId, to: SiteId) {
+        let mut f = self.inner.faults.lock();
+        f.blocked.remove(&(from, to));
+        let armed = f.drop_per_mille > 0 || !f.blocked.is_empty();
+        self.inner.faults_armed.store(armed, Ordering::SeqCst);
+    }
+
+    /// Fully partitions `a` from `b` (both directions blocked).
+    pub fn partition(&self, a: SiteId, b: SiteId) {
+        self.block_link(a, b);
+        self.block_link(b, a);
+    }
+
+    /// Heals a full partition of `a` and `b`.
+    pub fn heal(&self, a: SiteId, b: SiteId) {
+        self.heal_link(a, b);
+        self.heal_link(b, a);
     }
 
     /// Sends `payload` from `from` to `to`, applying the latency model.
@@ -504,10 +618,38 @@ impl<M: Wire> Network<M> {
             .stats
             .bytes
             .fetch_add(bytes as u64, Ordering::Relaxed);
+        // Fault injection (chaos harness): partitions and seeded drops
+        // swallow the message *after* the stats counted it — it was
+        // sent; the simulated network lost it. Ok(()) to the sender,
+        // like any datagram loss.
+        if self.inner.faults_armed.load(Ordering::Relaxed) {
+            let mut f = self.inner.faults.lock();
+            if f.blocked.contains(&(from, to)) {
+                self.inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            if f.drop_per_mille > 0 {
+                let k = f.attempts.entry((from, to)).or_insert(0);
+                let attempt = *k;
+                *k += 1;
+                if link_drops(f.seed, from, to, attempt, f.drop_per_mille) {
+                    self.inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+            }
+        }
         let envelope = Envelope { from, to, payload };
         if self.inner.latency.is_zero() {
             let endpoints = self.inner.endpoints.read();
-            let dest = endpoints.get(&to).ok_or(NetError::UnknownSite(to))?;
+            let Some(dest) = endpoints.get(&to) else {
+                // A killed site eats traffic silently; a site that never
+                // existed is a wiring error.
+                if self.inner.dead.read().contains(&to) {
+                    self.inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                return Err(NetError::UnknownSite(to));
+            };
             return dest.send(envelope).map_err(|_| NetError::UnknownSite(to));
         }
         // Delayed path. Under the links lock: advance the link's jitter
@@ -1295,6 +1437,68 @@ mod tests {
         assert_eq!(sane.workers, 1);
         assert!(sane.wheel_slots >= 2);
         assert!(sane.wheel_tick >= Duration::from_micros(10));
+    }
+
+    #[test]
+    fn seeded_drops_replay_exactly_and_count() {
+        // The chaos contract: the k-th attempt's fate is a pure function
+        // of (seed, link, k) — two runs with the same seed lose exactly
+        // the same messages.
+        let fate: Vec<bool> = (0..200)
+            .map(|k| link_drops(99, SiteId(0), SiteId(1), k, 250))
+            .collect();
+        let replay: Vec<bool> = (0..200)
+            .map(|k| link_drops(99, SiteId(0), SiteId(1), k, 250))
+            .collect();
+        assert_eq!(fate, replay);
+        let losses = fate.iter().filter(|&&d| d).count();
+        assert!(losses > 10 && losses < 100, "~25% loss, got {losses}/200");
+        // And the network applies exactly that schedule.
+        let net: Network<Msg> = Network::new(LatencyModel::zero());
+        let a = net.register(SiteId(1));
+        let _b = net.register(SiteId(0));
+        net.set_message_drops(99, 250);
+        for i in 0..200 {
+            net.send(SiteId(0), SiteId(1), Msg(i)).unwrap();
+        }
+        assert_eq!(net.stats().dropped() as usize, losses);
+        let got: Vec<u32> = a.drain(500).iter().map(|e| e.payload.0).collect();
+        let kept: Vec<u32> = (0..200u32).filter(|&i| !fate[i as usize]).collect();
+        assert_eq!(got, kept, "survivors arrive, in order");
+    }
+
+    #[test]
+    fn partition_blocks_one_direction_at_a_time() {
+        let net: Network<Msg> = Network::new(LatencyModel::zero());
+        let a = net.register(SiteId(0));
+        let b = net.register(SiteId(1));
+        net.block_link(SiteId(0), SiteId(1));
+        net.send(SiteId(0), SiteId(1), Msg(1)).unwrap();
+        net.send(SiteId(1), SiteId(0), Msg(2)).unwrap();
+        assert!(b.try_recv().is_none(), "blocked direction drops");
+        assert_eq!(a.try_recv().unwrap().payload, Msg(2), "reverse flows");
+        assert_eq!(net.stats().dropped(), 1);
+        net.heal_link(SiteId(0), SiteId(1));
+        net.send(SiteId(0), SiteId(1), Msg(3)).unwrap();
+        assert_eq!(b.try_recv().unwrap().payload, Msg(3), "healed");
+    }
+
+    #[test]
+    fn killed_site_eats_traffic_until_reregistered() {
+        let net: Network<Msg> = Network::new(LatencyModel::zero());
+        let _a = net.register(SiteId(0));
+        let b = net.register(SiteId(1));
+        net.deregister(SiteId(1));
+        drop(b);
+        // Dead host: sends succeed, messages vanish.
+        net.send(SiteId(0), SiteId(1), Msg(1)).unwrap();
+        assert_eq!(net.stats().dropped(), 1);
+        // Never-registered host: still a wiring error.
+        assert!(net.send(SiteId(0), SiteId(9), Msg(1)).is_err());
+        // Restart: a fresh endpoint receives again.
+        let b2 = net.register(SiteId(1));
+        net.send(SiteId(0), SiteId(1), Msg(2)).unwrap();
+        assert_eq!(b2.try_recv().unwrap().payload, Msg(2));
     }
 
     #[test]

@@ -24,10 +24,12 @@
 pub mod cost;
 pub mod filestore;
 pub mod memstore;
+pub mod wal;
 
 pub use cost::CostModel;
 pub use filestore::FileStore;
 pub use memstore::MemStore;
+pub use wal::{LoggedOutcome, Wal, WalRecord};
 
 use dtx_xml::Document;
 use std::fmt;

@@ -36,4 +36,6 @@ pub use intern::{Interner, Symbol};
 pub use node::{Node, NodeId, NodeKind};
 pub use parser::parse;
 pub use serializer::Serializer;
-pub use stream::{EventSink, TreeBuilder, XmlEvent, XmlTokenizer, XmlWriter};
+pub use stream::{
+    ChunkAssembler, ChunkedWriter, EventSink, TreeBuilder, XmlEvent, XmlTokenizer, XmlWriter,
+};

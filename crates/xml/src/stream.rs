@@ -181,6 +181,15 @@ pub struct XmlTokenizer<'a> {
     /// Set when the current tag is self-closing: after the attributes the
     /// synthetic `EndElement` is emitted from here.
     self_closing: bool,
+    /// Resume mode ([`XmlTokenizer::resume`]): the input is one chunk of
+    /// a larger document, so a clean end-of-input inside element content
+    /// is a valid chunk boundary, not an error.
+    partial: bool,
+    /// Elements opened by *earlier* chunks that this chunk may close.
+    /// Their names live with the chunk producer (see `ChunkAssembler`),
+    /// not in this input, so end tags for them are emitted unvalidated —
+    /// the assembler checks them against its own cross-chunk stack.
+    inherited: usize,
 }
 
 impl<'a> XmlTokenizer<'a> {
@@ -192,6 +201,31 @@ impl<'a> XmlTokenizer<'a> {
             state: State::Prolog,
             stack: Vec::new(),
             self_closing: false,
+            partial: false,
+            inherited: 0,
+        }
+    }
+
+    /// Tokenizer over one **chunk** of a document whose earlier chunks
+    /// left `inherited` elements open (0 for the first chunk). The chunk
+    /// must start and end at event boundaries — which is exactly what
+    /// [`ChunkedWriter`] produces: tokenization starts in element content
+    /// when `inherited > 0`, end tags may close inherited elements
+    /// (name-checked by the caller, who owns the cross-chunk stack), and
+    /// running out of input between events is a clean chunk end.
+    pub fn resume(input: &'a str, inherited: usize) -> Self {
+        XmlTokenizer {
+            input: input.as_bytes(),
+            pos: 0,
+            state: if inherited > 0 {
+                State::Content
+            } else {
+                State::Prolog
+            },
+            stack: Vec::new(),
+            self_closing: false,
+            partial: true,
+            inherited,
         }
     }
 
@@ -200,9 +234,10 @@ impl<'a> XmlTokenizer<'a> {
         self.pos
     }
 
-    /// Current element depth.
+    /// Current element depth (including elements inherited from earlier
+    /// chunks in resume mode).
     pub fn depth(&self) -> usize {
-        self.stack.len()
+        self.stack.len() + self.inherited
     }
 
     fn err(&self, message: impl Into<String>) -> XmlError {
@@ -416,7 +451,7 @@ impl<'a> XmlTokenizer<'a> {
                         // emit the synthetic end.
                         self.self_closing = false;
                         let name = self.stack.pop().expect("tag open");
-                        self.state = if self.stack.is_empty() {
+                        self.state = if self.stack.is_empty() && self.inherited == 0 {
                             State::Epilog
                         } else {
                             State::Content
@@ -449,22 +484,45 @@ impl<'a> XmlTokenizer<'a> {
                     }
                 }
                 State::Content => match self.peek() {
-                    None => return Err(self.err("unexpected end of input inside element")),
+                    None => {
+                        if self.partial {
+                            // Resume mode: between events is a valid
+                            // chunk boundary.
+                            return Ok(None);
+                        }
+                        return Err(self.err("unexpected end of input inside element"));
+                    }
                     Some(b'<') => {
                         if self.starts_with("</") {
                             self.pos += 2;
                             let end_name = self.name()?;
-                            let expected = *self.stack.last().expect("in content");
-                            if end_name != expected {
-                                return Err(self.err(format!(
-                                    "mismatched end tag: expected </{expected}>, \
+                            match self.stack.last() {
+                                Some(expected) if end_name != *expected => {
+                                    return Err(self.err(format!(
+                                        "mismatched end tag: expected </{expected}>, \
                                          found </{end_name}>"
-                                )));
+                                    )));
+                                }
+                                Some(_) => {}
+                                None => {
+                                    // Closes an element opened by an
+                                    // earlier chunk; the caller's
+                                    // cross-chunk stack validates the
+                                    // name.
+                                    debug_assert!(self.partial);
+                                    if self.inherited == 0 {
+                                        return Err(
+                                            self.err(format!("unbalanced end tag </{end_name}>"))
+                                        );
+                                    }
+                                }
                             }
                             self.skip_ws();
                             self.expect(">")?;
-                            self.stack.pop();
-                            if self.stack.is_empty() {
+                            if self.stack.pop().is_none() {
+                                self.inherited -= 1;
+                            }
+                            if self.stack.is_empty() && self.inherited == 0 {
                                 self.state = State::Epilog;
                             }
                             return Ok(Some(XmlEvent::end(end_name)));
@@ -794,6 +852,156 @@ fn escape_into(s: &str, in_attr: bool, out: &mut String) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Chunked streaming: ChunkedWriter / ChunkAssembler
+// ---------------------------------------------------------------------
+
+/// Serializes an event stream into **bounded chunks** of XML text,
+/// handing each chunk to a callback as soon as it exceeds the target
+/// size. Memory held at any moment is O(chunk size + element depth) — a
+/// document of any length streams through without ever materializing as
+/// one string.
+///
+/// Chunks split only at *event boundaries* (never inside a tag, an
+/// attribute, or an escaped character), so each chunk re-tokenizes
+/// independently with [`XmlTokenizer::resume`]; [`ChunkAssembler`] is the
+/// receiving half. WAL document images and replica-copy shipments both
+/// travel this path.
+pub struct ChunkedWriter<F: FnMut(&str) -> XmlResult<()>> {
+    inner: XmlWriter,
+    /// A chunk is handed off once the buffer reaches this many bytes
+    /// (and the writer is at a splittable point).
+    chunk_size: usize,
+    emit: F,
+}
+
+impl<F: FnMut(&str) -> XmlResult<()>> ChunkedWriter<F> {
+    /// A writer that emits chunks of at least `chunk_size` bytes (the
+    /// last chunk may be smaller) through `emit`.
+    pub fn new(chunk_size: usize, emit: F) -> Self {
+        ChunkedWriter {
+            inner: XmlWriter::with_capacity(chunk_size.clamp(1, 1 << 20)),
+            chunk_size: chunk_size.max(1),
+            emit,
+        }
+    }
+
+    /// Flushes the final partial chunk; errors if the event stream left
+    /// elements open.
+    pub fn finish(mut self) -> XmlResult<()> {
+        if !self.inner.stack.is_empty() || self.inner.tag_open {
+            return Err(XmlError::InvalidTreeOp(
+                "chunked stream ended with open elements".into(),
+            ));
+        }
+        if !self.inner.out.is_empty() {
+            (self.emit)(&self.inner.out)?;
+        }
+        Ok(())
+    }
+}
+
+impl<F: FnMut(&str) -> XmlResult<()>> EventSink for ChunkedWriter<F> {
+    fn event(&mut self, ev: &XmlEvent<'_>) -> XmlResult<()> {
+        self.inner.event(ev)?;
+        // Split only when no start tag is dangling: `tag_open` means a
+        // later event may still turn `<x ...` into `<x/>` or append
+        // attributes, so the bytes are not yet final.
+        if self.inner.out.len() >= self.chunk_size && !self.inner.tag_open {
+            (self.emit)(&self.inner.out)?;
+            self.inner.out.clear();
+        }
+        Ok(())
+    }
+}
+
+/// Rebuilds a [`Document`] from the chunks a [`ChunkedWriter`] produced,
+/// re-tokenizing each chunk in O(chunk size + depth) memory. The
+/// assembler owns the cross-chunk open-element stack, so end tags that
+/// close an element opened in an earlier chunk are validated here (the
+/// per-chunk tokenizer cannot see those names).
+pub struct ChunkAssembler {
+    builder: TreeBuilder,
+    /// Elements currently open across chunk boundaries.
+    open: Vec<String>,
+    /// Set once the root element has closed.
+    complete: bool,
+    started: bool,
+}
+
+impl Default for ChunkAssembler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChunkAssembler {
+    /// An assembler awaiting the first chunk.
+    pub fn new() -> Self {
+        ChunkAssembler {
+            builder: TreeBuilder::new(),
+            open: Vec::new(),
+            complete: false,
+            started: false,
+        }
+    }
+
+    /// Feeds the next chunk in order.
+    pub fn chunk(&mut self, xml: &str) -> XmlResult<()> {
+        if self.complete {
+            return Err(XmlError::InvalidTreeOp(
+                "chunk after the document completed".into(),
+            ));
+        }
+        let mut tok = XmlTokenizer::resume(xml, self.open.len());
+        while let Some(ev) = tok.next()? {
+            match &ev {
+                XmlEvent::StartElement { name } => {
+                    self.open.push(name.clone().into_owned());
+                    self.started = true;
+                }
+                XmlEvent::EndElement { name } => {
+                    let expected = self.open.pop().ok_or_else(|| {
+                        XmlError::InvalidTreeOp(format!("unbalanced end tag </{name}>"))
+                    })?;
+                    if *name != expected {
+                        return Err(XmlError::InvalidTreeOp(format!(
+                            "mismatched cross-chunk end tag: expected </{expected}>, \
+                             found </{name}>"
+                        )));
+                    }
+                    if self.open.is_empty() {
+                        self.complete = true;
+                    }
+                }
+                _ => {}
+            }
+            self.builder.event(&ev)?;
+        }
+        Ok(())
+    }
+
+    /// Elements still open (0 once the root closed).
+    pub fn depth(&self) -> usize {
+        self.open.len()
+    }
+
+    /// True when the root element has closed (no more chunks expected).
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Finishes the build; errors if chunks stopped mid-document.
+    pub fn finish(self) -> XmlResult<Document> {
+        if !self.complete || !self.started {
+            return Err(XmlError::InvalidTreeOp(
+                "chunk stream ended before the document completed".into(),
+            ));
+        }
+        self.builder.finish()
+    }
+}
+
 /// Streams the events of an existing document subtree into `sink`
 /// (pre-order; the inverse of [`TreeBuilder`]). Used to ship documents as
 /// event streams without serializing to text first.
@@ -1029,6 +1237,90 @@ mod tests {
         document_events(&doc, doc.root(), &mut tb).unwrap();
         let rebuilt = tb.finish().unwrap();
         assert_eq!(rebuilt.to_xml(), doc.to_xml());
+    }
+
+    #[test]
+    fn chunked_round_trip_preserves_document() {
+        // A deep-ish document streamed through tiny chunks must rebuild
+        // byte-identically, and every chunk must stay near the target
+        // size (bounded memory).
+        let mut xml = String::from("<site>");
+        for i in 0..50 {
+            xml.push_str(&format!(
+                "<item id=\"{i}\"><name>n{i}</name><desc>d &amp; {i}</desc></item>"
+            ));
+        }
+        xml.push_str("</site>");
+        let doc = crate::parser::parse(&xml).unwrap();
+        let mut chunks: Vec<String> = Vec::new();
+        {
+            let mut w = ChunkedWriter::new(64, |c: &str| {
+                chunks.push(c.to_owned());
+                Ok(())
+            });
+            document_events(&doc, doc.root(), &mut w).unwrap();
+            w.finish().unwrap();
+        }
+        assert!(chunks.len() > 10, "small chunks: {}", chunks.len());
+        for c in &chunks[..chunks.len() - 1] {
+            assert!(c.len() >= 64 && c.len() < 64 + 128, "chunk len {}", c.len());
+        }
+        let mut asm = ChunkAssembler::new();
+        for c in &chunks {
+            asm.chunk(c).unwrap();
+        }
+        assert!(asm.is_complete());
+        let rebuilt = asm.finish().unwrap();
+        assert_eq!(rebuilt.to_xml(), doc.to_xml());
+    }
+
+    #[test]
+    fn chunk_boundaries_fall_between_events() {
+        // Attributes never straddle a boundary: a chunk ending right
+        // after a StartElement would leave `<x` dangling, which the
+        // writer refuses to split on.
+        let src = r#"<r><a k="vvvvvvvvvvvvvvvvvvvvvvvv" j="w">t</a><b/></r>"#;
+        let mut chunks: Vec<String> = Vec::new();
+        let mut w = ChunkedWriter::new(4, |c: &str| {
+            chunks.push(c.to_owned());
+            Ok(())
+        });
+        pump(&mut XmlTokenizer::new(src), &mut w).unwrap();
+        w.finish().unwrap();
+        for c in &chunks {
+            // Every chunk re-tokenizes on its own (resume mode).
+            let mut tok = XmlTokenizer::resume(c, 8);
+            while tok.next().unwrap().is_some() {}
+        }
+        let mut asm = ChunkAssembler::new();
+        for c in &chunks {
+            asm.chunk(c).unwrap();
+        }
+        assert_eq!(
+            asm.finish().unwrap().to_xml(),
+            crate::parser::parse(src).unwrap().to_xml()
+        );
+    }
+
+    #[test]
+    fn assembler_rejects_cross_chunk_mismatch_and_truncation() {
+        let mut asm = ChunkAssembler::new();
+        asm.chunk("<a><b>").unwrap();
+        assert_eq!(asm.depth(), 2);
+        // Wrong cross-chunk close: tokenizer can't know, assembler must.
+        assert!(asm.chunk("</c>").is_err());
+
+        let mut trunc = ChunkAssembler::new();
+        trunc.chunk("<a><b>x</b>").unwrap();
+        assert!(!trunc.is_complete());
+        assert!(trunc.finish().is_err(), "root never closed");
+    }
+
+    #[test]
+    fn resume_mode_rejects_overclosing() {
+        let mut tok = XmlTokenizer::resume("</x></y>", 1);
+        assert_eq!(tok.next().unwrap(), Some(XmlEvent::end("x")));
+        assert!(tok.next().is_err(), "closed more than was ever open");
     }
 
     #[test]
