@@ -42,7 +42,9 @@ struct Cell {
     /// Deadlock-victim aborts among read-only transactions (must be 0:
     /// a transaction with no locks and no WFG edges cannot be chosen).
     reader_deadlocks: usize,
+    read_p50_ms: f64,
     read_p99_ms: f64,
+    read_p999_ms: f64,
     read_mean_ms: f64,
     write_p99_ms: f64,
     /// Deadlock-victim aborts across the whole run (writers only).
@@ -57,13 +59,17 @@ struct Cell {
     snapshot_bytes_peak: u64,
 }
 
-fn p99(mut v: Vec<f64>) -> f64 {
+fn percentile(mut v: Vec<f64>, p: f64) -> f64 {
     if v.is_empty() {
         return 0.0;
     }
     v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let idx = ((v.len() as f64 * 0.99).ceil() as usize).max(1) - 1;
-    v[idx]
+    let idx = ((v.len() as f64 * p).ceil() as usize).max(1) - 1;
+    v[idx.min(v.len() - 1)]
+}
+
+fn p99(v: Vec<f64>) -> f64 {
+    percentile(v, 0.99)
 }
 
 /// Runs one mixed workload cell: `clients` mixed clients at
@@ -148,7 +154,9 @@ fn run_cell(
         read_txns,
         read_committed,
         reader_deadlocks,
+        read_p50_ms: percentile(read_resp.clone(), 0.50),
         read_p99_ms: p99(read_resp.clone()),
+        read_p999_ms: percentile(read_resp.clone(), 0.999),
         read_mean_ms: read_resp.iter().sum::<f64>() / (read_resp.len().max(1) as f64),
         write_p99_ms: p99(write_resp),
         deadlocks: report.deadlocks(),
@@ -195,7 +203,8 @@ fn json_cell(out: &mut String, knob_name: &str, c: &Cell) {
     let _ = write!(
         out,
         "{{\"{knob_name}\": {}, \"read_txns\": {}, \"read_committed\": {}, \
-         \"reader_deadlocks\": {}, \"read_p99_ms\": {:.3}, \"read_mean_ms\": {:.3}, \
+         \"reader_deadlocks\": {}, \"read_p50_ms\": {:.3}, \"read_p99_ms\": {:.3}, \
+         \"read_p999_ms\": {:.3}, \"read_mean_ms\": {:.3}, \
          \"write_p99_ms\": {:.3}, \"deadlocks\": {}, \"snapshot_reads\": {}, \
          \"read_ops\": {}, \"snapshots_live_end\": {}, \"snapshots_live_peak\": {}, \
          \"snapshot_bytes_peak\": {}}}",
@@ -203,7 +212,9 @@ fn json_cell(out: &mut String, knob_name: &str, c: &Cell) {
         c.read_txns,
         c.read_committed,
         c.reader_deadlocks,
+        c.read_p50_ms,
         c.read_p99_ms,
+        c.read_p999_ms,
         c.read_mean_ms,
         c.write_p99_ms,
         c.deadlocks,

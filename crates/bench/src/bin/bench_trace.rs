@@ -1,0 +1,112 @@
+//! `bench_trace` — tracing-overhead driver and trace certification.
+//!
+//! The observability tentpole's cost claim: with the tracer disarmed
+//! every sink is a no-op (the event closure is never even constructed),
+//! and with it armed the per-event cost is one ring push — so a full
+//! fig12-style run with tracing on must land within a few percent of
+//! the same run with tracing off, while still committing at least the
+//! speculative-retry floor.
+//!
+//! The driver runs the fig12 XDGL mix on identical seeds — sinks
+//! disabled, then armed, best-of-3 wall time per cell to shed scheduler
+//! jitter — prints both cells plus the overhead, collects each armed
+//! run's merged timeline and certifies it with the protocol-invariant
+//! checker (`dtx_trace::check`). A trace with drops, or one violating a
+//! protocol law in *any* iteration, fails the run outright.
+//!
+//! Flags: `--smoke` shrinks the workload to a seconds-scale CI subset
+//! and leaves `BENCH_trace.json` untouched. The full run (no flags)
+//! refreshes `BENCH_trace.json`, which `check_bench` gates on.
+
+use dtx_bench::tracebench::{best_of, overhead_pct, TraceCell};
+use dtx_bench::{header, row, seed_from_args};
+use std::fmt::Write as _;
+
+fn print_cell(c: &TraceCell) {
+    row(&[
+        if c.traced { "on" } else { "off" }.to_string(),
+        format!("{}/{}", c.committed, c.submitted),
+        format!("{:.1}", c.wall_ms),
+        format!("{:.1}", c.p50_ms),
+        format!("{:.1}", c.p99_ms),
+        format!("{:.1}", c.p999_ms),
+        c.events.to_string(),
+        c.violations.to_string(),
+    ]);
+}
+
+fn write_json(disabled: &TraceCell, traced: &TraceCell, clients: usize) -> std::io::Result<()> {
+    let mut out = String::from("{\n  \"experiment\": \"bench_trace\",\n");
+    let _ = writeln!(out, "  \"clients\": {clients},");
+    let cell = |out: &mut String, name: &str, c: &TraceCell| {
+        let _ = write!(
+            out,
+            "  \"{name}\": {{\"committed\": {}, \"submitted\": {}, \"wall_ms\": {:.2}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, \"events\": {}, \
+             \"dropped\": {}, \"checker_violations\": {}, \"checker_complete\": {}, \
+             \"votes\": {}, \"commits\": {}, \"links\": {}}}",
+            c.committed,
+            c.submitted,
+            c.wall_ms,
+            c.p50_ms,
+            c.p99_ms,
+            c.p999_ms,
+            c.events,
+            c.dropped,
+            c.violations,
+            u8::from(c.complete),
+            c.votes,
+            c.commits,
+            c.links,
+        );
+    };
+    cell(&mut out, "disabled", disabled);
+    out.push_str(",\n");
+    cell(&mut out, "traced", traced);
+    let _ = write!(
+        out,
+        ",\n  \"overhead_pct\": {:.2}\n}}\n",
+        overhead_pct(disabled.wall_ms, traced.wall_ms)
+    );
+    std::fs::write("BENCH_trace.json", out)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seed = seed_from_args();
+    let clients = if smoke { 16 } else { 50 };
+    println!("# bench_trace — tracing overhead (fig12 XDGL mix, sinks off vs armed)");
+    println!("# {clients} clients x 5 txns, standard 4-site partial layout, seed {seed}");
+    header(&[
+        "trace", "commit", "wall_ms", "p50_ms", "p99_ms", "p999_ms", "events", "viol",
+    ]);
+    // Best-of-3 wall times: scheduler jitter on a sub-second workload
+    // swamps the per-event cost, so a single pair proves nothing.
+    let disabled = best_of(3, clients, seed, false);
+    print_cell(&disabled);
+    let traced = best_of(3, clients, seed, true);
+    print_cell(&traced);
+    let overhead = overhead_pct(disabled.wall_ms, traced.wall_ms);
+    println!("# tracing overhead: {overhead:.2}% wall time");
+    println!(
+        "# trace: {} events, {} dropped, checker: {} violations (complete: {})",
+        traced.events, traced.dropped, traced.violations, traced.complete
+    );
+
+    assert!(traced.events > 0, "armed run must capture events");
+    assert_eq!(traced.dropped, 0, "ring capacity must cover the run");
+    assert!(
+        traced.complete && traced.violations == 0,
+        "the captured trace must certify against every protocol law"
+    );
+    assert_eq!(disabled.events, 0, "disarmed run must record nothing");
+
+    if smoke {
+        println!("# smoke run: BENCH_trace.json left untouched");
+    } else {
+        match write_json(&disabled, &traced, clients) {
+            Ok(()) => println!("# baseline written to BENCH_trace.json"),
+            Err(e) => eprintln!("could not write BENCH_trace.json: {e}"),
+        }
+    }
+}

@@ -22,7 +22,10 @@
 //!   table;
 //! * **recovery** — a participant killed and restarted against a 10-txn
 //!   WAL: zero committed-transaction loss, byte-identical replay, and
-//!   replay time on the fresh bounded-per-record line.
+//!   replay time on the fresh bounded-per-record line;
+//! * **trace** — the fig12 smoke mix run twice (sinks disabled, then
+//!   armed): tracing overhead inside the fresh band, the captured
+//!   timeline complete and certified by the protocol-invariant checker.
 //!
 //! Prints a delta table (committed vs fresh per metric), writes the
 //! fresh numbers to `target/BENCH_check.json` (uploaded as a CI
@@ -31,11 +34,12 @@
 
 use dtx_bench::gate::{
     self, check_ingest_witness, check_net_witness, check_reads_witness, check_recovery_witness,
-    check_throughput_witness, Check,
+    check_throughput_witness, check_trace_witness, Check,
 };
 use dtx_bench::json::Json;
 use dtx_bench::netbench::storm;
 use dtx_bench::recovery::replay_point;
+use dtx_bench::tracebench::{best_of, overhead_pct};
 use dtx_bench::{run, setup, ExpEnv, BASE_BYTES, SEED};
 use dtx_core::ProtocolKind;
 use dtx_dataguide::{DataGuide, GuideBuilder};
@@ -162,7 +166,8 @@ fn print_delta_table(deltas: &[Delta]) {
     );
     for d in deltas {
         let (committed, ratio) = match d.committed {
-            Some(c) => (format!("{c:.0}"), format!("{:.2}x", d.fresh / c.max(1e-9))),
+            Some(c) if c.abs() > 1e-9 => (format!("{c:.0}"), format!("{:.2}x", d.fresh / c)),
+            Some(c) => (format!("{c:.0}"), "-".into()),
             None => ("(absent)".into(), "-".into()),
         };
         println!(
@@ -205,12 +210,14 @@ fn main() {
     let ingest = load_witness("BENCH_ingest.json");
     let reads = load_witness("BENCH_reads.json");
     let recovery = load_witness("BENCH_recovery.json");
+    let trace = load_witness("BENCH_trace.json");
     for (name, loaded) in [
         ("BENCH_throughput.json", &throughput),
         ("BENCH_net.json", &net),
         ("BENCH_ingest.json", &ingest),
         ("BENCH_reads.json", &reads),
         ("BENCH_recovery.json", &recovery),
+        ("BENCH_trace.json", &trace),
     ] {
         if let Err(e) = loaded {
             println!("  [FAIL] {name}: {e}");
@@ -234,6 +241,9 @@ fn main() {
     }
     if let Ok(doc) = &recovery {
         all_ok &= print_checks("committed witness: recovery", &check_recovery_witness(doc));
+    }
+    if let Ok(doc) = &trace {
+        all_ok &= print_checks("committed witness: trace", &check_trace_witness(doc));
     }
 
     if offline {
@@ -353,6 +363,31 @@ fn main() {
                 Some(p.num_field("elapsed_ms")? * 100.0 / p.num_field("records")?.max(1.0))
             }),
         fresh: rp.elapsed_ms * 100.0 / (rp.records as f64).max(1.0),
+    });
+
+    println!("\n# fresh run: trace overhead (16-client fig12 mix, sinks off vs armed, best of 3)");
+    let untraced = best_of(3, 16, SEED, false);
+    let traced = best_of(3, 16, SEED, true);
+    let overhead = overhead_pct(untraced.wall_ms, traced.wall_ms);
+    all_ok &= print_checks(
+        "fresh: trace",
+        &gate::check_trace_fresh(
+            traced.committed as f64,
+            overhead,
+            traced.violations as f64,
+            traced.complete && traced.dropped == 0,
+            traced.events as f64,
+        ),
+    );
+    deltas.push(Delta {
+        metric: "trace overhead pct",
+        committed: committed_of(&trace, &["overhead_pct"]),
+        fresh: overhead,
+    });
+    deltas.push(Delta {
+        metric: "trace checker violations",
+        committed: committed_of(&trace, &["traced", "checker_violations"]),
+        fresh: traced.violations as f64,
     });
 
     println!("\n# fresh run: ingest (tree vs streaming, {BASE_BYTES} B base)");

@@ -37,6 +37,19 @@ struct ProtocolResult {
     /// Network delivery worker threads spawned (reactor pool; bounded
     /// by `NetConfig::workers` no matter how many links carry traffic).
     net_worker_threads: u64,
+    /// Committed-transaction response-time percentiles (ms): exact
+    /// median plus the log-bucketed histogram's p99/p999 tail.
+    p50_ms: f64,
+    /// 99th percentile response time (ms).
+    p99_ms: f64,
+    /// 99.9th percentile response time (ms).
+    p999_ms: f64,
+    /// Per-phase 99th percentiles (ms): where the tail lives.
+    phase_p99_ms: [(&'static str, f64); 4],
+    /// WAL records appended across the cluster.
+    wal_appends: u64,
+    /// WAL forced writes (would-be fsyncs) across the cluster.
+    wal_forces: u64,
     /// (t_ms, cumulative commits) series.
     series: Vec<(f64, usize)>,
 }
@@ -52,12 +65,19 @@ fn write_json(results: &[ProtocolResult]) -> std::io::Result<()> {
             .iter()
             .map(|(t, c)| format!("[{t:.1}, {c}]"))
             .collect();
+        let phase_p99: Vec<String> = r
+            .phase_p99_ms
+            .iter()
+            .map(|(name, v)| format!("\"{name}\": {v:.3}"))
+            .collect();
         let _ = write!(
             out,
             "    {{\"name\": \"{}\", \"committed\": {}, \"submitted\": {}, \"aborted\": {}, \
              \"wall_ms\": {:.2}, \"max_inflight_remote\": {}, \"remote_msgs\": {}, \
              \"termination_msgs\": {}, \"termination_msgs_unbatched\": {}, \
              \"net_worker_threads\": {}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, \
+             \"phase_p99_ms\": {{{}}}, \"wal_appends\": {}, \"wal_forces\": {}, \
              \"throughput_txn_per_s\": {:.2}, \"series_ms_commits\": [{}]}}",
             r.name,
             r.committed,
@@ -69,6 +89,12 @@ fn write_json(results: &[ProtocolResult]) -> std::io::Result<()> {
             r.termination_msgs,
             r.termination_msgs_unbatched,
             r.net_worker_threads,
+            r.p50_ms,
+            r.p99_ms,
+            r.p999_ms,
+            phase_p99.join(", "),
+            r.wal_appends,
+            r.wal_forces,
             r.committed as f64 / (r.wall_ms / 1e3).max(1e-9),
             series.join(", ")
         );
@@ -120,6 +146,16 @@ fn main() {
                 format!("{degree:.2}"),
             ]);
         }
+        cluster.refresh_wal_gauges();
+        let summary = metrics.summary();
+        println!(
+            "response p50 {:.1} ms, p99 {:.1} ms, p999 {:.1} ms; wal {} appends / {} forces",
+            ms(summary.p50_response),
+            ms(summary.p99_response),
+            ms(summary.p999_response),
+            summary.wal_appends,
+            summary.wal_forces,
+        );
         results.push(ProtocolResult {
             name: protocol.name(),
             committed: report.committed(),
@@ -131,6 +167,17 @@ fn main() {
             termination_msgs: metrics.termination_msgs(),
             termination_msgs_unbatched: metrics.termination_msgs_unbatched(),
             net_worker_threads: cluster.net_worker_threads(),
+            p50_ms: ms(summary.p50_response),
+            p99_ms: ms(summary.p99_response),
+            p999_ms: ms(summary.p999_response),
+            phase_p99_ms: [
+                ("ready", ms(summary.phase_p99.ready)),
+                ("waiting", ms(summary.phase_p99.waiting)),
+                ("remote", ms(summary.phase_p99.remote)),
+                ("terminating", ms(summary.phase_p99.terminating)),
+            ],
+            wal_appends: summary.wal_appends,
+            wal_forces: summary.wal_forces,
             series: tp.iter().map(|(t, c)| (ms(*t), *c)).collect(),
         });
         cluster.shutdown();

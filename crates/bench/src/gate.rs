@@ -103,6 +103,17 @@ pub const RECOVERY_PHASES: [&str; 4] = [
     "mid_commit_delivery",
 ];
 
+/// Witness band on tracing overhead: the recorded fig12-style run with
+/// the tracer armed may cost at most this percent of wall time over the
+/// sinks-disabled run (the acceptance bound; recorded runs sit well
+/// below it — the armed cost is one ring push per event).
+pub const TRACE_OVERHEAD_WITNESS_PCT: f64 = 10.0;
+
+/// Fresh-run overhead band: CI hosts add scheduling noise to two
+/// back-to-back seconds-scale runs, so only a structural regression
+/// (allocation or locking on the record path) should trip it.
+pub const FRESH_TRACE_OVERHEAD_PCT: f64 = 30.0;
+
 /// One named invariant's verdict.
 #[derive(Debug)]
 pub struct Check {
@@ -169,7 +180,25 @@ pub fn check_throughput_witness(doc: &Json) -> Vec<Check> {
         MAX_DELIVERY_THREADS + 1.0,
         false,
     );
+    check_percentiles(&mut checks, "fig12 XDGL", xdgl);
     checks
+}
+
+/// Validates the response-time percentile fields of one witness entry:
+/// all three present, positive, and ordered p50 ≤ p99 ≤ p999 (the
+/// histogram caps percentiles at the observed max, so equality is
+/// legitimate; inversion means a doctored or mis-merged witness).
+fn check_percentiles(checks: &mut Vec<Check>, at: &str, entry: &Json) {
+    let p50 = entry.num_field("p50_ms");
+    let p99 = entry.num_field("p99_ms");
+    let p999 = entry.num_field("p999_ms");
+    let ok = matches!((p50, p99, p999),
+        (Some(a), Some(b), Some(c)) if 0.0 < a && a <= b && b <= c);
+    checks.push(Check::new(
+        format!("{at} percentiles present and ordered"),
+        format!("p50 {p50:?} ≤ p99 {p99:?} ≤ p999 {p999:?} ms"),
+        ok,
+    ));
 }
 
 /// Validates `BENCH_net.json`: the recorded reactor rate holds its wins
@@ -322,6 +351,16 @@ fn check_reads_cells(checks: &mut Vec<Check>, sweep: &str, cells: &[Json]) {
             READS_MAX_LIVE_END + 1.0,
             false,
         );
+        let p50 = c.num_field("read_p50_ms");
+        let p99 = c.num_field("read_p99_ms");
+        let p999 = c.num_field("read_p999_ms");
+        let ok = matches!((p50, p99, p999),
+            (Some(a), Some(b), Some(cc)) if 0.0 < a && a <= b && b <= cc);
+        checks.push(Check::new(
+            format!("reads {at} percentiles present and ordered"),
+            format!("p50 {p50:?} ≤ p99 {p99:?} ≤ p999 {p999:?} ms"),
+            ok,
+        ));
     }
 }
 
@@ -512,6 +551,89 @@ pub fn check_recovery_witness(doc: &Json) -> Vec<Check> {
     checks
 }
 
+/// Validates `BENCH_trace.json`: the armed run still commits at the
+/// fig12 floor, its wall-time overhead over the sinks-disabled run sits
+/// inside the witness band, the captured trace is complete (zero ring
+/// drops) and certified (zero invariant violations), and the trace
+/// actually observed the protocol (events, votes and commit batches all
+/// non-zero — an empty trace certifying nothing proves nothing).
+pub fn check_trace_witness(doc: &Json) -> Vec<Check> {
+    let mut checks = Vec::new();
+    let Some(traced) = doc.get("traced") else {
+        return vec![Check::new(
+            "trace: traced cell",
+            "missing from witness".into(),
+            false,
+        )];
+    };
+    require(
+        &mut checks,
+        "trace armed run commits ≥ floor",
+        traced.num_field("committed"),
+        COMMIT_FLOOR,
+        true,
+    );
+    require(
+        &mut checks,
+        "trace overhead inside witness band",
+        doc.num_field("overhead_pct"),
+        TRACE_OVERHEAD_WITNESS_PCT,
+        false,
+    );
+    require(
+        &mut checks,
+        "trace checker found no violations",
+        traced.num_field("checker_violations"),
+        1.0,
+        false,
+    );
+    let complete = traced.num_field("checker_complete");
+    let dropped = traced.num_field("dropped");
+    let ok = matches!((complete, dropped), (Some(c), Some(d)) if c >= 1.0 && d == 0.0);
+    checks.push(Check::new(
+        "trace complete (no ring drops)",
+        format!("complete {complete:?}, dropped {dropped:?}"),
+        ok,
+    ));
+    for field in ["events", "votes", "commits"] {
+        require(
+            &mut checks,
+            &format!("trace observed protocol: {field} > 0"),
+            traced.num_field(field),
+            1.0,
+            true,
+        );
+    }
+    checks
+}
+
+/// Checks a fresh traced smoke cell against the wide fresh bands.
+pub fn check_trace_fresh(
+    committed: f64,
+    overhead_pct: f64,
+    violations: f64,
+    complete: bool,
+    events: f64,
+) -> Vec<Check> {
+    vec![
+        Check::new(
+            "trace overhead inside fresh band",
+            format!("{overhead_pct:.1} < {FRESH_TRACE_OVERHEAD_PCT:.0} %"),
+            overhead_pct < FRESH_TRACE_OVERHEAD_PCT,
+        ),
+        Check::new(
+            "trace certified on fresh smoke run",
+            format!("{violations:.0} violations, complete = {complete}"),
+            violations == 0.0 && complete,
+        ),
+        Check::new(
+            "trace fresh run committed and observed events",
+            format!("{committed:.0} committed, {events:.0} events"),
+            committed > 0.0 && events > 0.0,
+        ),
+    ]
+}
+
 /// Checks a fresh smoke replay cell against the wide fresh bands: all
 /// committed transactions recovered, byte-identical state, replay time
 /// on the fresh bounded line.
@@ -640,9 +762,11 @@ mod tests {
 
     const GOOD_THROUGHPUT: &str = r#"{"protocols": [
         {"name": "XDGL", "committed": 233, "termination_msgs": 1392,
-         "termination_msgs_unbatched": 1500, "net_worker_threads": 1},
+         "termination_msgs_unbatched": 1500, "net_worker_threads": 1,
+         "p50_ms": 120.5, "p99_ms": 890.0, "p999_ms": 1400.0},
         {"name": "Node2PL", "committed": 183, "termination_msgs": 1470,
-         "termination_msgs_unbatched": 1500, "net_worker_threads": 1}
+         "termination_msgs_unbatched": 1500, "net_worker_threads": 1,
+         "p50_ms": 900.1, "p99_ms": 5200.0, "p999_ms": 8100.0}
     ]}"#;
 
     const GOOD_NET: &str = r#"{"topologies": [
@@ -656,17 +780,21 @@ mod tests {
 
     const GOOD_READS: &str = r#"{"contention_sweep": [
         {"update_txn_pct": 10, "read_txns": 181, "read_committed": 181, "reader_deadlocks": 0,
-         "read_p99_ms": 167.5, "deadlocks": 1, "snapshot_reads": 3620, "read_ops": 905,
+         "read_p50_ms": 40.1, "read_p99_ms": 167.5, "read_p999_ms": 190.0,
+         "deadlocks": 1, "snapshot_reads": 3620, "read_ops": 905,
          "snapshots_live_end": 4},
         {"update_txn_pct": 40, "read_txns": 121, "read_committed": 121, "reader_deadlocks": 0,
-         "read_p99_ms": 110.2, "deadlocks": 37, "snapshot_reads": 2420, "read_ops": 605,
+         "read_p50_ms": 35.9, "read_p99_ms": 110.2, "read_p999_ms": 140.7,
+         "deadlocks": 37, "snapshot_reads": 2420, "read_ops": 605,
          "snapshots_live_end": 4}
     ], "reader_sweep": [
         {"readers": 8, "read_txns": 40, "read_committed": 40, "reader_deadlocks": 0,
-         "read_p99_ms": 44.8, "deadlocks": 12, "snapshot_reads": 800, "read_ops": 200,
+         "read_p50_ms": 20.3, "read_p99_ms": 44.8, "read_p999_ms": 50.2,
+         "deadlocks": 12, "snapshot_reads": 800, "read_ops": 200,
          "snapshots_live_end": 4},
         {"readers": 32, "read_txns": 160, "read_committed": 160, "reader_deadlocks": 0,
-         "read_p99_ms": 134.2, "deadlocks": 12, "snapshot_reads": 3200, "read_ops": 800,
+         "read_p50_ms": 41.0, "read_p99_ms": 134.2, "read_p999_ms": 150.9,
+         "deadlocks": 12, "snapshot_reads": 3200, "read_ops": 800,
          "snapshots_live_end": 4}
     ]}"#;
 
@@ -692,6 +820,17 @@ mod tests {
          "stream": {"mb_per_s": 78.8, "peak_alloc_bytes": 2568546}}
     ]}"#;
 
+    const GOOD_TRACE: &str = r#"{"experiment": "bench_trace", "clients": 50,
+        "disabled": {"committed": 233, "submitted": 250, "wall_ms": 5100.0,
+         "p50_ms": 120.0, "p99_ms": 880.0, "p999_ms": 1350.0, "events": 0,
+         "dropped": 0, "checker_violations": 0, "checker_complete": 1,
+         "votes": 0, "commits": 0, "links": 0},
+        "traced": {"committed": 233, "submitted": 250, "wall_ms": 5240.0,
+         "p50_ms": 122.0, "p99_ms": 905.0, "p999_ms": 1380.0, "events": 48210,
+         "dropped": 0, "checker_violations": 0, "checker_complete": 1,
+         "votes": 410, "commits": 233, "links": 12},
+        "overhead_pct": 2.75}"#;
+
     #[test]
     fn good_witnesses_pass() {
         assert!(all_ok(&check_throughput_witness(
@@ -704,13 +843,19 @@ mod tests {
         assert!(all_ok(&check_reads_witness(
             &Json::parse(GOOD_READS).unwrap()
         )));
+        assert!(all_ok(&check_trace_witness(
+            &Json::parse(GOOD_TRACE).unwrap()
+        )));
     }
 
     #[test]
     fn doctored_read_p99_flatness_fails() {
         // The high-contention read p99 blown past the flat band: readers
         // queueing behind writer locks again.
-        let doctored = GOOD_READS.replace("\"read_p99_ms\": 110.2", "\"read_p99_ms\": 900.0");
+        let doctored = GOOD_READS.replace(
+            "\"read_p99_ms\": 110.2, \"read_p999_ms\": 140.7",
+            "\"read_p99_ms\": 900.0, \"read_p999_ms\": 950.0",
+        );
         let checks = check_reads_witness(&Json::parse(&doctored).unwrap());
         assert_eq!(
             failed(&checks),
@@ -723,8 +868,8 @@ mod tests {
         // Deadlocks quadrupling with the reader count: readers back in
         // the WFG.
         let doctored = GOOD_READS.replace(
-            "\"read_p99_ms\": 134.2, \"deadlocks\": 12",
-            "\"read_p99_ms\": 134.2, \"deadlocks\": 48",
+            "\"deadlocks\": 12, \"snapshot_reads\": 3200",
+            "\"deadlocks\": 48, \"snapshot_reads\": 3200",
         );
         let checks = check_reads_witness(&Json::parse(&doctored).unwrap());
         assert_eq!(
@@ -801,6 +946,35 @@ mod tests {
         assert_eq!(
             failed(&checks),
             vec!["fig12 termination batched < unbatched"]
+        );
+    }
+
+    #[test]
+    fn doctored_throughput_percentiles_fail() {
+        // Inverted tail: a p99 recorded below the median is a doctored
+        // or mis-merged histogram.
+        let inverted = GOOD_THROUGHPUT.replace("\"p99_ms\": 890.0", "\"p99_ms\": 50.0");
+        let checks = check_throughput_witness(&Json::parse(&inverted).unwrap());
+        assert_eq!(
+            failed(&checks),
+            vec!["fig12 XDGL percentiles present and ordered"]
+        );
+        // A witness predating the histogram fields must not pass.
+        let missing = GOOD_THROUGHPUT.replace("\"p999_ms\": 1400.0", "\"old_field\": 1.0");
+        let checks = check_throughput_witness(&Json::parse(&missing).unwrap());
+        assert_eq!(
+            failed(&checks),
+            vec!["fig12 XDGL percentiles present and ordered"]
+        );
+    }
+
+    #[test]
+    fn doctored_reads_percentiles_fail() {
+        let inverted = GOOD_READS.replacen("\"read_p999_ms\": 190.0", "\"read_p999_ms\": 10.0", 1);
+        let checks = check_reads_witness(&Json::parse(&inverted).unwrap());
+        assert_eq!(
+            failed(&checks),
+            vec!["reads contention@10 percentiles present and ordered"]
         );
     }
 
@@ -987,6 +1161,78 @@ mod tests {
     }
 
     #[test]
+    fn doctored_trace_overhead_fails() {
+        // Overhead blown past the witness band: tracing is no longer
+        // close to free.
+        let doctored = GOOD_TRACE.replace("\"overhead_pct\": 2.75", "\"overhead_pct\": 23.4");
+        let checks = check_trace_witness(&Json::parse(&doctored).unwrap());
+        assert_eq!(failed(&checks), vec!["trace overhead inside witness band"]);
+    }
+
+    #[test]
+    fn doctored_trace_violations_fail() {
+        // A single invariant violation means the protocol (or the
+        // checker) is broken — never certifiable.
+        let doctored = GOOD_TRACE.replace(
+            "\"checker_violations\": 0, \"checker_complete\": 1,\n         \"votes\": 410",
+            "\"checker_violations\": 3, \"checker_complete\": 1,\n         \"votes\": 410",
+        );
+        let checks = check_trace_witness(&Json::parse(&doctored).unwrap());
+        assert_eq!(failed(&checks), vec!["trace checker found no violations"]);
+    }
+
+    #[test]
+    fn doctored_trace_drops_fail() {
+        // Ring drops make the timeline incomplete: the checker refuses
+        // to certify, and so must the gate.
+        let dropped = GOOD_TRACE.replace(
+            "\"events\": 48210,\n         \"dropped\": 0, \"checker_violations\": 0, \"checker_complete\": 1",
+            "\"events\": 48210,\n         \"dropped\": 512, \"checker_violations\": 0, \"checker_complete\": 0",
+        );
+        let checks = check_trace_witness(&Json::parse(&dropped).unwrap());
+        assert_eq!(failed(&checks), vec!["trace complete (no ring drops)"]);
+    }
+
+    #[test]
+    fn doctored_trace_empty_or_silent_fails() {
+        // An armed run that recorded nothing proves nothing.
+        let empty = GOOD_TRACE.replace("\"events\": 48210", "\"events\": 0");
+        let checks = check_trace_witness(&Json::parse(&empty).unwrap());
+        assert_eq!(failed(&checks), vec!["trace observed protocol: events > 0"]);
+        // A trace with no commit batches never watched the termination
+        // protocol run.
+        let silent = GOOD_TRACE.replace("\"commits\": 233", "\"commits\": 0");
+        let checks = check_trace_witness(&Json::parse(&silent).unwrap());
+        assert_eq!(
+            failed(&checks),
+            vec!["trace observed protocol: commits > 0"]
+        );
+    }
+
+    #[test]
+    fn doctored_trace_commit_floor_fails() {
+        let doctored = GOOD_TRACE.replace(
+            "\"traced\": {\"committed\": 233",
+            "\"traced\": {\"committed\": 190",
+        );
+        let checks = check_trace_witness(&Json::parse(&doctored).unwrap());
+        assert_eq!(failed(&checks), vec!["trace armed run commits ≥ floor"]);
+    }
+
+    #[test]
+    fn fresh_trace_checks_flag_regressions() {
+        assert!(all_ok(&check_trace_fresh(80.0, 4.2, 0.0, true, 15000.0)));
+        // Overhead outside even the wide fresh band.
+        assert!(!all_ok(&check_trace_fresh(80.0, 45.0, 0.0, true, 15000.0)));
+        // An invariant violation on the smoke trace.
+        assert!(!all_ok(&check_trace_fresh(80.0, 4.2, 1.0, true, 15000.0)));
+        // An incomplete (dropping) trace.
+        assert!(!all_ok(&check_trace_fresh(80.0, 4.2, 0.0, false, 15000.0)));
+        // An armed run that captured nothing.
+        assert!(!all_ok(&check_trace_fresh(80.0, 4.2, 0.0, true, 0.0)));
+    }
+
+    #[test]
     fn missing_fields_fail_closed() {
         let checks = check_throughput_witness(&Json::parse("{}").unwrap());
         assert!(!all_ok(&checks), "absent protocols must not pass");
@@ -996,6 +1242,8 @@ mod tests {
         assert!(!all_ok(&checks), "absent points must not pass");
         let checks = check_reads_witness(&Json::parse("{}").unwrap());
         assert!(!all_ok(&checks), "absent sweeps must not pass");
+        let checks = check_trace_witness(&Json::parse("{}").unwrap());
+        assert!(!all_ok(&checks), "absent traced cell must not pass");
     }
 
     #[test]

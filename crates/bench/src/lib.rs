@@ -16,6 +16,7 @@ pub mod json;
 pub mod mem;
 pub mod netbench;
 pub mod recovery;
+pub mod tracebench;
 
 pub use mem::CountingAlloc;
 
@@ -67,7 +68,15 @@ pub struct ExpEnv {
     pub realistic: bool,
     /// Placement policy installed in the cluster's catalog.
     pub policy: PolicyKind,
+    /// Whether the cluster records a causal event trace (ring capacity
+    /// is sized for a full figure run; see [`TRACE_RING_CAPACITY`]).
+    pub trace: bool,
 }
+
+/// Per-site trace ring capacity used by traced experiment runs — sized
+/// so a full fig12-style workload never drops an event (a partial trace
+/// cannot be certified by the invariant checker).
+pub const TRACE_RING_CAPACITY: usize = 1 << 18;
 
 impl ExpEnv {
     /// Standard environment: 4 sites, partial replication, realistic
@@ -81,7 +90,14 @@ impl ExpEnv {
             seed: SEED,
             realistic: true,
             policy: PolicyKind::default(),
+            trace: false,
         }
+    }
+
+    /// Arms causal event tracing on the cluster under test.
+    pub fn with_tracing(mut self) -> Self {
+        self.trace = true;
+        self
     }
 
     /// Selects the placement policy.
@@ -107,6 +123,10 @@ pub fn setup(env: ExpEnv) -> (Cluster, Fragmented) {
     config.seed = env.seed;
     if env.realistic {
         config = config.with_lan_profile();
+    }
+    if env.trace {
+        config = config.with_tracing();
+        config.trace_capacity = TRACE_RING_CAPACITY;
     }
     let cluster = Cluster::start(config);
     let alloc = allocate(&doc, &frags, env.sites, env.mode);
@@ -148,6 +168,10 @@ pub fn boot_streamed(
     config.seed = env.seed;
     if env.realistic {
         config = config.with_lan_profile();
+    }
+    if env.trace {
+        config = config.with_tracing();
+        config.trace_capacity = TRACE_RING_CAPACITY;
     }
     let cluster = Cluster::start(config);
     let parts: Vec<_> = built
@@ -196,6 +220,7 @@ mod tests {
             seed: 1,
             realistic: false,
             policy: PolicyKind::Primary,
+            trace: false,
         };
         let (cluster, frags) = setup(env);
         let report = run(&cluster, &frags, WorkloadConfig::read_only(2, 1));

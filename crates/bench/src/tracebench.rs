@@ -1,0 +1,135 @@
+//! Tracing-overhead measurement cells, shared by `bench_trace` (which
+//! records `BENCH_trace.json`) and `check_bench` (which re-runs a smoke
+//! cell fresh).
+//!
+//! One cell is a fig12-style XDGL run over the standard 4-site partial
+//! layout, either with the event tracer armed or with every sink
+//! disabled. The traced cell also collects the merged timeline and runs
+//! the protocol-invariant checker over it, so the overhead number and
+//! the certification come from the *same* run — the gate never certifies
+//! a trace it did not pay for.
+
+use crate::{ms, run, setup, ExpEnv};
+use dtx_core::ProtocolKind;
+use dtx_trace::check::check;
+use dtx_xmark::workload::WorkloadConfig;
+
+/// One measured cell: a workload run with tracing on or off.
+#[derive(Debug, Clone)]
+pub struct TraceCell {
+    /// Whether the tracer was armed.
+    pub traced: bool,
+    /// Committed transactions.
+    pub committed: usize,
+    /// Submitted transactions.
+    pub submitted: usize,
+    /// Workload wall time (ms).
+    pub wall_ms: f64,
+    /// Committed-transaction response-time percentiles (ms), from the
+    /// metrics histograms.
+    pub p50_ms: f64,
+    /// 99th percentile (ms).
+    pub p99_ms: f64,
+    /// 99.9th percentile (ms).
+    pub p999_ms: f64,
+    /// Events captured (0 when untraced).
+    pub events: usize,
+    /// Events lost to full rings — must be 0 for certification.
+    pub dropped: u64,
+    /// Invariant violations found by the checker (traced cells only).
+    pub violations: usize,
+    /// Whether the checker saw a complete trace (no drops).
+    pub complete: bool,
+    /// Yes-votes observed in the trace.
+    pub votes: u64,
+    /// Commit batches observed in the trace.
+    pub commits: u64,
+    /// Distinct delivery links observed in the trace.
+    pub links: u64,
+}
+
+/// Runs one cell: `clients` mixed clients (20 % update transactions,
+/// the fig12 mix) on a fresh standard cluster, traced or not. The
+/// traced variant collects and certifies the timeline after shutdown.
+pub fn run_cell(clients: usize, seed: u64, traced: bool) -> TraceCell {
+    let mut env = ExpEnv::standard(ProtocolKind::Xdgl).with_seed(seed);
+    if traced {
+        env = env.with_tracing();
+    }
+    let (cluster, frags) = setup(env);
+    let report = run(
+        &cluster,
+        &frags,
+        WorkloadConfig::with_updates(clients, 20, seed),
+    );
+    let summary = cluster.metrics().summary();
+    let tracer = cluster.tracer();
+    cluster.shutdown();
+    let mut cell = TraceCell {
+        traced,
+        committed: report.committed(),
+        submitted: report.outcomes.len(),
+        wall_ms: ms(report.wall),
+        p50_ms: ms(summary.p50_response),
+        p99_ms: ms(summary.p99_response),
+        p999_ms: ms(summary.p999_response),
+        events: 0,
+        dropped: 0,
+        violations: 0,
+        complete: true,
+        votes: 0,
+        commits: 0,
+        links: 0,
+    };
+    if let Some(tracer) = tracer {
+        let trace = tracer.collect();
+        let rpt = check(&trace);
+        cell.events = trace.events.len();
+        cell.dropped = trace.dropped;
+        cell.violations = rpt.violations.len();
+        cell.complete = rpt.complete;
+        cell.votes = rpt.stats.votes as u64;
+        cell.commits = rpt.stats.commits as u64;
+        cell.links = rpt.stats.links as u64;
+    }
+    cell
+}
+
+/// Runs `iters` identical cells and returns the fastest, because the
+/// wall-time minimum is the least-noise estimator on a shared host —
+/// scheduler jitter on a sub-second workload can swamp the per-event
+/// ring-push cost in either direction. Certification stays conjunctive
+/// across every iteration: a violation, drop, or incomplete trace in
+/// *any* run fails, whichever run was fastest.
+pub fn best_of(iters: usize, clients: usize, seed: u64, traced: bool) -> TraceCell {
+    let cells: Vec<TraceCell> = (0..iters)
+        .map(|_| run_cell(clients, seed, traced))
+        .collect();
+    let mut best = cells
+        .iter()
+        .min_by(|a, b| a.wall_ms.partial_cmp(&b.wall_ms).expect("finite"))
+        .expect("iters > 0")
+        .clone();
+    best.violations = cells.iter().map(|c| c.violations).sum();
+    best.dropped = cells.iter().map(|c| c.dropped).sum();
+    best.complete = cells.iter().all(|c| c.complete);
+    best
+}
+
+/// Tracing overhead in percent: how much slower the traced run's wall
+/// time is than the untraced run's. Negative values (host noise making
+/// the traced run *faster*) clamp to zero — the band is one-sided.
+pub fn overhead_pct(untraced_wall_ms: f64, traced_wall_ms: f64) -> f64 {
+    ((traced_wall_ms - untraced_wall_ms) / untraced_wall_ms.max(1e-9) * 100.0).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_one_sided() {
+        assert!((overhead_pct(100.0, 105.0) - 5.0).abs() < 1e-9);
+        assert_eq!(overhead_pct(100.0, 90.0), 0.0);
+    }
+}

@@ -23,6 +23,7 @@ use dtx_locks::txn::TxnIdGen;
 use dtx_locks::{ProtocolKind, TxnId};
 use dtx_net::{LatencyModel, NetConfig, Network, SiteId, Topology};
 use dtx_storage::{CostModel, MemStore, Wal, WalRecord};
+use dtx_trace::{EventKind, Tracer};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -57,6 +58,13 @@ pub struct ClusterConfig {
     pub policy: PolicyKind,
     /// Master seed (drives retry jitter and network jitter).
     pub seed: u64,
+    /// Whether the cluster records a causal event trace: one bounded
+    /// per-site ring fed by the network, the WAL, the lock table and the
+    /// scheduler (default: off — every sink is a no-op and the hot paths
+    /// skip even the event construction).
+    pub trace: bool,
+    /// Per-site trace ring capacity (events), used when `trace` is on.
+    pub trace_capacity: usize,
 }
 
 impl ClusterConfig {
@@ -72,6 +80,8 @@ impl ClusterConfig {
             net: NetConfig::default(),
             policy: PolicyKind::default(),
             seed: 0xD7C5,
+            trace: false,
+            trace_capacity: dtx_trace::DEFAULT_CAPACITY,
         }
     }
 
@@ -109,6 +119,12 @@ impl ClusterConfig {
     /// default) flushes every event-loop tick.
     pub fn with_flush_window(mut self, window: Duration) -> Self {
         self.scheduler.flush_window = window;
+        self
+    }
+
+    /// Arms causal event tracing (see [`Cluster::tracer`]).
+    pub fn with_tracing(mut self) -> Self {
+        self.trace = true;
         self
     }
 }
@@ -229,6 +245,10 @@ pub struct Cluster {
     durables: Vec<Arc<Wal>>,
     /// Per-site kill switches and armed crash points.
     faults: Vec<FaultHooks>,
+    /// The causal event tracer, when [`ClusterConfig::trace`] armed one.
+    /// Shared with the network; each site's scheduler, lock manager and
+    /// WAL hold sinks into its per-site rings.
+    tracer: Option<Arc<Tracer>>,
 }
 
 /// What one site restart replayed — reporting surface of
@@ -386,6 +406,10 @@ impl Cluster {
         catalog.set_policy(config.policy.instantiate());
         let idgen = Arc::new(TxnIdGen::new());
         let metrics = Arc::new(Metrics::new());
+        let tracer = config
+            .trace
+            .then(|| Arc::new(Tracer::new(config.sites as usize, config.trace_capacity)));
+        net.set_tracer(tracer.clone());
         let mut instances = Vec::with_capacity(config.sites as usize);
         let mut durables = Vec::with_capacity(config.sites as usize);
         let mut faults = Vec::with_capacity(config.sites as usize);
@@ -401,10 +425,14 @@ impl Cluster {
             );
             let wal = Arc::new(Wal::new());
             lockmgr.set_wal(Arc::clone(&wal));
+            if let Some(t) = &tracer {
+                wal.set_trace(t.sink(i));
+                lockmgr.set_trace(t.sink(i));
+            }
             let hooks = FaultHooks::default();
             let mut sched_cfg = config.scheduler;
             sched_cfg.seed = config.seed.wrapping_add(i as u64);
-            let scheduler = Scheduler::new(
+            let mut scheduler = Scheduler::new(
                 site,
                 net.clone(),
                 endpoint,
@@ -418,6 +446,9 @@ impl Cluster {
                 hooks.clone(),
                 RecoveredState::default(),
             );
+            if let Some(t) = &tracer {
+                scheduler.set_trace(t.sink(i));
+            }
             let handle = std::thread::Builder::new()
                 .name(format!("dtx-scheduler-{site}"))
                 .spawn(move || scheduler.run())
@@ -439,7 +470,16 @@ impl Cluster {
             idgen,
             durables,
             faults,
+            tracer,
         }
+    }
+
+    /// The causal event tracer, when [`ClusterConfig::trace`] armed one.
+    /// Call [`dtx_trace::Tracer::collect`] after quiescing (or after
+    /// [`Cluster::shutdown`] via a pre-shutdown clone) to get the merged
+    /// timeline.
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.tracer.clone()
     }
 
     /// The cluster's configuration.
@@ -628,6 +668,16 @@ impl Cluster {
         self.faults[idx].kill.store(true, Ordering::Relaxed);
         if let Some(h) = self.instances[idx].handle.take() {
             let _ = h.join();
+            self.record_crash(site);
+        }
+    }
+
+    /// Records a [`dtx_trace::EventKind::Crash`] for `site` — called
+    /// after the dead scheduler thread is joined, so the event lands
+    /// strictly after everything the doomed incarnation recorded.
+    fn record_crash(&self, site: SiteId) {
+        if let Some(t) = &self.tracer {
+            t.record(site.0, EventKind::Crash);
         }
     }
 
@@ -646,6 +696,7 @@ impl Cluster {
         let idx = self.index_of(site);
         if let Some(h) = self.instances[idx].handle.take() {
             let _ = h.join();
+            self.record_crash(site);
         }
     }
 
@@ -698,6 +749,7 @@ impl Cluster {
         let idx = self.index_of(site);
         if let Some(h) = self.instances[idx].handle.take() {
             let _ = h.join();
+            self.record_crash(site);
         }
         self.faults[idx].kill.store(false, Ordering::Relaxed);
         *self.faults[idx].crash.lock() = None;
@@ -715,6 +767,16 @@ impl Cluster {
         // Attach the log only AFTER replay: repeating history must not
         // re-log it.
         lockmgr.set_wal(Arc::clone(&wal));
+        if let Some(t) = &self.tracer {
+            lockmgr.set_trace(t.sink(site.0));
+            t.record(
+                site.0,
+                EventKind::Restart {
+                    in_doubt: recovered.in_doubt.len() as u32,
+                    undelivered: recovered.undelivered.len() as u32,
+                },
+            );
+        }
         for (txn, _, _) in &recovered.in_doubt {
             lockmgr.block_indoubt(*txn);
         }
@@ -726,7 +788,7 @@ impl Cluster {
         let (control_tx, control_rx) = unbounded();
         let mut sched_cfg = self.config.scheduler;
         sched_cfg.seed = self.config.seed.wrapping_add(site.0 as u64);
-        let scheduler = Scheduler::new(
+        let mut scheduler = Scheduler::new(
             site,
             self.net.clone(),
             endpoint,
@@ -740,6 +802,9 @@ impl Cluster {
             self.faults[idx].clone(),
             recovered,
         );
+        if let Some(t) = &self.tracer {
+            scheduler.set_trace(t.sink(site.0));
+        }
         let handle = std::thread::Builder::new()
             .name(format!("dtx-scheduler-{site}"))
             .spawn(move || scheduler.run())
@@ -830,7 +895,18 @@ impl Cluster {
         for inst in &mut self.instances {
             inst.shutdown();
         }
+        self.refresh_wal_gauges();
         self.net.shutdown();
+    }
+
+    /// Republishes the [`Metrics::wal_appends`] / [`Metrics::wal_forces`]
+    /// gauges from the durable registry (the cluster owns every site's
+    /// WAL, so the totals survive kills). [`Cluster::shutdown`] does this
+    /// automatically; benches call it mid-run before reading a summary.
+    pub fn refresh_wal_gauges(&self) {
+        let appends: u64 = self.durables.iter().map(|w| w.len() as u64).sum();
+        let forces: u64 = self.durables.iter().map(|w| w.forces()).sum();
+        self.metrics.set_wal_totals(appends, forces);
     }
 }
 
@@ -1185,6 +1261,90 @@ mod tests {
             assert!(out.committed(), "{:?}", out.status);
         }
         cluster.shutdown();
+    }
+
+    #[test]
+    fn two_phase_commit_forces_exactly_twice_per_site() {
+        // Satellite: the presumed-abort force budget. One replicated
+        // update transaction costs each participant exactly two forced
+        // writes (Prepared + Committed) and the coordinator exactly two
+        // (Decision + Committed). Document loading also forces (the
+        // logged images are made durable up front), so the assertion is
+        // on the per-submit *delta*.
+        let cluster = Cluster::start(ClusterConfig::new(2, ProtocolKind::Xdgl));
+        cluster
+            .load_document("d2", D2, &[SiteId(0), SiteId(1)])
+            .unwrap();
+        let before: Vec<u64> = [SiteId(0), SiteId(1)]
+            .iter()
+            .map(|&s| cluster.wal(s).forces())
+            .collect();
+        let out = cluster.submit(
+            SiteId(0),
+            TxnSpec::new(vec![OpSpec::update(
+                "d2",
+                UpdateOp::Change {
+                    target: q("/products/product[id=14]/price"),
+                    new_value: "2.00".into(),
+                },
+            )]),
+        );
+        assert!(out.committed(), "{:?}", out.status);
+        for (i, &s) in [SiteId(0), SiteId(1)].iter().enumerate() {
+            assert_eq!(
+                cluster.wal(s).forces() - before[i],
+                2,
+                "site {s}: 2PC must force exactly twice (coordinator: \
+                 Decision + Committed; participant: Prepared + Committed)"
+            );
+        }
+        cluster.refresh_wal_gauges();
+        let s = cluster.metrics().summary();
+        assert!(s.wal_appends >= s.wal_forces);
+        assert!(s.wal_forces >= 4, "doc loads + 2PC forces");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn traced_distributed_update_yields_certified_timeline() {
+        // Tentpole end-to-end: run a distributed update with tracing on,
+        // collect the merged timeline and certify it against every
+        // protocol law. The "life of txn" view must tell the story too.
+        let cfg = ClusterConfig::new(2, ProtocolKind::Xdgl).with_tracing();
+        let cluster = Cluster::start(cfg);
+        cluster
+            .load_document("d2", D2, &[SiteId(0), SiteId(1)])
+            .unwrap();
+        let out = cluster.submit(
+            SiteId(0),
+            TxnSpec::new(vec![OpSpec::update(
+                "d2",
+                UpdateOp::Change {
+                    target: q("/products/product[id=14]/price"),
+                    new_value: "3.00".into(),
+                },
+            )]),
+        );
+        assert!(out.committed(), "{:?}", out.status);
+        let read = cluster.submit(
+            SiteId(1),
+            TxnSpec::new(vec![OpSpec::query("d2", q("/products/product/price"))]),
+        );
+        assert!(read.committed());
+        let tracer = cluster.tracer().expect("tracing armed");
+        cluster.shutdown();
+        let trace = tracer.collect();
+        assert!(!trace.events.is_empty());
+        let report = dtx_trace::check::check(&trace);
+        assert!(report.ok(), "{}", report.summary());
+        assert!(report.stats.votes >= 1, "participant voted yes");
+        assert!(report.stats.commits >= 1, "commit batch sent");
+        assert!(report.stats.pins >= 1, "snapshot read pinned");
+        let life = trace.life_of(out.txn.0);
+        assert!(
+            life.contains("phase") && life.contains("wal"),
+            "life-of view covers phases and durability:\n{life}"
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::op::{OpKind, OpResult, OpSpec};
 use dtx_dataguide::{incremental, DataGuide, Snapshot, SnapshotStore};
 use dtx_locks::{LockOutcome, LockProtocol, LockTable, TxnId, TxnMode, WaitForGraph};
 use dtx_storage::{DataManager, StorageError, StorageResult, Wal, WalRecord};
+use dtx_trace::{doc_hash, EventKind, TraceSink};
 use dtx_xml::Document;
 use dtx_xpath::{apply_update, eval, undo_update, UndoRecord, UpdateOp};
 use std::collections::{HashMap, HashSet};
@@ -156,6 +157,10 @@ pub struct LockManager {
     /// outcome arrives. Writers conflict against the blocking transaction;
     /// snapshot readers are unaffected.
     indoubt_blocks: HashMap<String, HashSet<TxnId>>,
+    /// Event sink for snapshot pin/unpin/GC tracing. Disabled by default;
+    /// the cluster arms it (and the lock table's copy) via
+    /// [`LockManager::set_trace`] before the scheduler thread starts.
+    trace: TraceSink,
 }
 
 impl LockManager {
@@ -185,7 +190,15 @@ impl LockManager {
             snap_pins: HashMap::new(),
             wal: None,
             indoubt_blocks: HashMap::new(),
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Arms event tracing: snapshot pin/unpin/GC events flow to `sink`,
+    /// and the lock table gets a clone for its wait/grant/release events.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.table.set_trace(sink.clone());
+        self.trace = sink;
     }
 
     /// Wires the site's write-ahead log: from now on applied updates,
@@ -639,6 +652,12 @@ impl LockManager {
                         .entry(txn)
                         .or_default()
                         .push((op.doc.clone(), s.seq));
+                    let version = s.seq;
+                    self.trace.emit(|| EventKind::SnapPin {
+                        txn: txn.0,
+                        doc: doc_hash(&op.doc),
+                        version,
+                    });
                 }
                 snap
             }
@@ -663,7 +682,22 @@ impl LockManager {
     fn release_snapshots(&mut self, txn: TxnId) {
         if let Some(pins) = self.snap_pins.remove(&txn) {
             for (name, seq) in pins {
+                let live_before = self.snapshots.live(&name);
                 self.snapshots.unpin(&name, seq);
+                self.trace.emit(|| EventKind::SnapUnpin {
+                    txn: txn.0,
+                    doc: doc_hash(&name),
+                    version: seq,
+                });
+                if self.trace.is_enabled() {
+                    let retired = live_before.saturating_sub(self.snapshots.live(&name));
+                    if retired > 0 {
+                        self.trace.emit(|| EventKind::SnapGc {
+                            doc: doc_hash(&name),
+                            retired: retired as u32,
+                        });
+                    }
+                }
             }
         }
     }

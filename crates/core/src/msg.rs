@@ -226,6 +226,27 @@ pub enum Decision {
 }
 
 impl Wire for Message {
+    fn wire_label(&self) -> &'static str {
+        match self {
+            Message::ExecRemote { .. } => "ExecRemote",
+            Message::RemoteDone { .. } => "RemoteDone",
+            Message::UndoOp { .. } => "UndoOp",
+            Message::TerminateBatch { .. } => "TerminateBatch",
+            Message::TerminateBatchAck { .. } => "TerminateBatchAck",
+            Message::Fail { .. } => "Fail",
+            Message::WfgRequest { .. } => "WfgRequest",
+            Message::WfgReply { .. } => "WfgReply",
+            Message::AbortVictim { .. } => "AbortVictim",
+            Message::Wake { .. } => "Wake",
+            Message::ClearWaits { .. } => "ClearWaits",
+            Message::Prepare { .. } => "Prepare",
+            Message::PrepareAck { .. } => "PrepareAck",
+            Message::DecisionRequest { .. } => "DecisionRequest",
+            Message::DecisionReply { .. } => "DecisionReply",
+            Message::InDoubtQuery { .. } => "InDoubtQuery",
+        }
+    }
+
     fn wire_size(&self) -> usize {
         match self {
             Message::ExecRemote { op, .. } => 48 + op.wire_size(),

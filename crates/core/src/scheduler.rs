@@ -61,6 +61,7 @@ use dtx_locks::txn::TxnIdGen;
 use dtx_locks::{TxnId, TxnMode, WaitForGraph};
 use dtx_net::{Endpoint, Envelope, Network, SiteId};
 use dtx_storage::{LoggedOutcome, Wal, WalRecord};
+use dtx_trace::{EventKind, TraceSink};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -355,6 +356,21 @@ enum Phase {
     },
 }
 
+impl Phase {
+    /// The phase's static name — what [`dtx_trace::EventKind::PhaseEnter`]
+    /// events are stamped with.
+    fn name(&self) -> &'static str {
+        match self {
+            Phase::Ready => "Ready",
+            Phase::Waiting { .. } => "Waiting",
+            Phase::AwaitingRemoteOps { .. } => "AwaitingRemoteOps",
+            Phase::AwaitingPrepareAcks { .. } => "AwaitingPrepareAcks",
+            Phase::AwaitingCommitAcks { .. } => "AwaitingCommitAcks",
+            Phase::AwaitingAbortAcks { .. } => "AwaitingAbortAcks",
+        }
+    }
+}
+
 /// The placement a dispatched operation was routed under, pinned for the
 /// operation's lifetime: wait-mode retries re-dispatch to the **same**
 /// sites, so the wait-for edges a conflict left at a participant are
@@ -532,6 +548,11 @@ pub struct Scheduler {
     reco_commits: HashMap<TxnId, HashSet<SiteId>>,
     /// Next in-doubt/orphan sweep.
     next_indoubt_sweep: Instant,
+    /// This site's trace sink (disabled by default; the cluster arms it
+    /// before the scheduler thread starts). Phase transitions, yes-votes,
+    /// batched commit/abort decisions and in-doubt resolutions are
+    /// recorded here; the WAL and lock table carry their own sinks.
+    trace: TraceSink,
 }
 
 impl Scheduler {
@@ -594,6 +615,7 @@ impl Scheduler {
             participant_seen: HashMap::new(),
             reco_commits: HashMap::new(),
             next_indoubt_sweep: now + cfg.indoubt_period,
+            trace: TraceSink::disabled(),
         };
         for (txn, coordinator, peers) in recovered.in_doubt {
             s.txn_coord.insert(txn, coordinator);
@@ -618,6 +640,11 @@ impl Scheduler {
             }
         }
         s
+    }
+
+    /// Arms this scheduler's trace sink (call before [`Scheduler::run`]).
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// Runs the event loop until a [`Control::Shutdown`] arrives — or the
@@ -826,7 +853,12 @@ impl Scheduler {
 
     fn set_phase(&mut self, id: TxnId, phase: Phase) {
         if let Some(idx) = self.txn_index(id) {
+            let name = phase.name();
             self.txns[idx].set_phase(phase);
+            self.trace.emit(|| EventKind::PhaseEnter {
+                txn: id.0,
+                phase: name,
+            });
         }
     }
 
@@ -1516,6 +1548,7 @@ impl Scheduler {
         let mut batches: Vec<(SiteId, TermBatch)> = self.term_outbox.drain().collect();
         batches.sort_by_key(|(s, _)| *s);
         if let Some((site, batch)) = batches.into_iter().next() {
+            self.trace_batch(site, &batch);
             let _ = self.net.send(
                 self.site,
                 site,
@@ -1524,6 +1557,37 @@ impl Scheduler {
                     aborts: batch.aborts,
                 },
             );
+        }
+    }
+
+    /// Traces a termination batch bound for `site`: one
+    /// [`EventKind::CommitSent`] per commit whose decision was forced (a
+    /// 2PC update or a recovered re-delivery — the checker holds those to
+    /// the decision-before-commit law; one-phase read-only commits have
+    /// no forced `Decision` and are not recorded), one
+    /// [`EventKind::AbortSent`] per abort (never forced — presumed
+    /// abort).
+    fn trace_batch(&self, site: SiteId, batch: &TermBatch) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        for &txn in &batch.commits {
+            let forced = self
+                .txn_index(txn)
+                .map(|i| self.txns[i].decided)
+                .unwrap_or_else(|| self.reco_commits.contains_key(&txn));
+            if forced {
+                self.trace.emit(|| EventKind::CommitSent {
+                    txn: txn.0,
+                    to: site.0,
+                });
+            }
+        }
+        for &txn in &batch.aborts {
+            self.trace.emit(|| EventKind::AbortSent {
+                txn: txn.0,
+                to: site.0,
+            });
         }
     }
 
@@ -1572,6 +1636,7 @@ impl Scheduler {
         for (site, batch) in batches {
             let entries = (batch.commits.len() + batch.aborts.len()) as u64;
             self.metrics.note_termination_msg(entries);
+            self.trace_batch(site, &batch);
             let _ = self.net.send(
                 self.site,
                 site,
@@ -2134,6 +2199,10 @@ impl Scheduler {
                     if let Some(p) = self.prepared.remove(&txn) {
                         if p.recovered {
                             self.metrics.note_indoubt_commit();
+                            self.trace.emit(|| EventKind::InDoubt {
+                                txn: txn.0,
+                                commit: true,
+                            });
                         }
                     }
                     let released = self.lockmgr.commit_local(txn);
@@ -2150,6 +2219,10 @@ impl Scheduler {
                     if let Some(p) = self.prepared.remove(&txn) {
                         if p.recovered {
                             self.metrics.note_indoubt_abort();
+                            self.trace.emit(|| EventKind::InDoubt {
+                                txn: txn.0,
+                                commit: false,
+                            });
                         }
                     }
                     let waiters = self.lockmgr.abort_local(txn);
@@ -2267,6 +2340,10 @@ impl Scheduler {
                         coordinator: env.from,
                         participants: peers.clone(),
                     });
+                    // The yes-vote is only sent below; recording it after
+                    // the force keeps ring order matching the
+                    // prepared-before-vote law by construction.
+                    self.trace.emit(|| EventKind::VoteYes { txn: txn.0 });
                     self.prepared.insert(
                         txn,
                         PreparedTxn {
@@ -2334,6 +2411,10 @@ impl Scheduler {
                         if recovered {
                             self.metrics.note_indoubt_commit();
                         }
+                        self.trace.emit(|| EventKind::InDoubt {
+                            txn: txn.0,
+                            commit: true,
+                        });
                     }
                     Decision::Abort => {
                         self.prepared.remove(&txn);
@@ -2345,6 +2426,10 @@ impl Scheduler {
                         if recovered {
                             self.metrics.note_indoubt_abort();
                         }
+                        self.trace.emit(|| EventKind::InDoubt {
+                            txn: txn.0,
+                            commit: false,
+                        });
                     }
                     Decision::Uncertain => {} // keep asking
                 }

@@ -139,9 +139,11 @@ static COMPAT: [[bool; 8]; 8] = [
     /* XT */ [F, F, F, F, F, F, F, F],
 ];
 
-impl fmt::Display for LockMode {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+impl LockMode {
+    /// The mode's short name (`"IS"`, `"XT"`, …) as a static string —
+    /// what lock trace events are stamped with.
+    pub fn name(self) -> &'static str {
+        match self {
             LockMode::IS => "IS",
             LockMode::IX => "IX",
             LockMode::SI => "SI",
@@ -150,7 +152,13 @@ impl fmt::Display for LockMode {
             LockMode::ST => "ST",
             LockMode::X => "X",
             LockMode::XT => "XT",
-        })
+        }
+    }
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 

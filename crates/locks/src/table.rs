@@ -20,6 +20,7 @@
 use crate::modes::LockMode;
 use crate::txn::TxnId;
 use dtx_dataguide::GuideId;
+use dtx_trace::{EventKind, TraceSink};
 use std::collections::HashMap;
 
 /// Outcome of a lock request.
@@ -52,12 +53,25 @@ pub struct LockTable {
     grants: HashMap<GuideId, Vec<Grant>>,
     /// Reverse index: guide nodes each transaction holds locks on.
     by_txn: HashMap<TxnId, Vec<(GuideId, LockMode)>>,
+    /// Trace recording (disabled by default; [`LockTable::set_trace`]).
+    trace: TraceSink,
 }
 
 impl LockTable {
     /// Creates an empty table.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Arms trace recording: grants, denials and releases stamp
+    /// [`EventKind::LockGrant`] / [`EventKind::LockWait`] /
+    /// [`EventKind::LockRelease`] events into `sink`'s ring. A grant
+    /// event is emitted only when a new entry is recorded (covered
+    /// re-requests change nothing and trace nothing), so per
+    /// transaction, grant events minus release-entry counts balance to
+    /// zero — the checker's strict-2PL law.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// Attempts to acquire `mode` on `node` for `txn`.
@@ -79,11 +93,22 @@ impl LockTable {
             }
         }
         if !conflicts.is_empty() {
+            let first_holder = conflicts[0];
+            self.trace.emit(|| EventKind::LockWait {
+                txn: txn.0,
+                node: node.0,
+                holder: first_holder.0,
+            });
             return LockOutcome::Conflict(conflicts);
         }
         if !covered {
             grants.push(Grant { txn, mode });
             self.by_txn.entry(txn).or_default().push((node, mode));
+            self.trace.emit(|| EventKind::LockGrant {
+                txn: txn.0,
+                node: node.0,
+                mode: mode.name(),
+            });
         }
         LockOutcome::Granted
     }
@@ -94,6 +119,11 @@ impl LockTable {
         let Some(held) = self.by_txn.remove(&txn) else {
             return Vec::new();
         };
+        let entries = held.len() as u32;
+        self.trace.emit(|| EventKind::LockRelease {
+            txn: txn.0,
+            entries,
+        });
         let mut nodes: Vec<GuideId> = Vec::with_capacity(held.len());
         for (node, _) in held {
             if let Some(grants) = self.grants.get_mut(&node) {
@@ -113,12 +143,14 @@ impl LockTable {
     /// operation (scoped rollback, Alg. 3 l. 12). Pairs not actually held
     /// are ignored.
     pub fn release_scoped(&mut self, txn: TxnId, acquired: &[(GuideId, LockMode)]) {
+        let mut removed = 0u32;
         for &(node, mode) in acquired {
             if let Some(grants) = self.grants.get_mut(&node) {
                 // Remove ONE matching grant (a txn may hold the same mode
                 // from a different operation that must survive).
                 if let Some(pos) = grants.iter().position(|g| g.txn == txn && g.mode == mode) {
                     grants.remove(pos);
+                    removed += 1;
                 }
                 if grants.is_empty() {
                     self.grants.remove(&node);
@@ -132,6 +164,12 @@ impl LockTable {
                     self.by_txn.remove(&txn);
                 }
             }
+        }
+        if removed > 0 {
+            self.trace.emit(|| EventKind::LockRelease {
+                txn: txn.0,
+                entries: removed,
+            });
         }
     }
 

@@ -56,6 +56,7 @@
 #![deny(missing_docs)]
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use dtx_trace::{EventKind, Tracer};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::fmt;
@@ -81,6 +82,13 @@ pub trait Wire: Send + 'static {
     /// Approximate serialized size in bytes (default: one small frame).
     fn wire_size(&self) -> usize {
         128
+    }
+
+    /// Short static label naming the payload kind, stamped on trace
+    /// events so a captured timeline can tell a `Prepare` from a
+    /// `TerminateBatch` (default: `"msg"`).
+    fn wire_label(&self) -> &'static str {
+        "msg"
     }
 }
 
@@ -348,6 +356,12 @@ struct FaultState {
 struct Delayed<M> {
     deliver_at: Instant,
     seq: u64,
+    /// Trace identity: the message id ([`NetStats::messages`] at send
+    /// time) and the payload's [`Wire::wire_label`], carried so the
+    /// delivery side can stamp [`EventKind::MsgDeliver`] without
+    /// re-inspecting the payload.
+    msg_id: u64,
+    label: &'static str,
     envelope: Envelope<M>,
 }
 
@@ -432,9 +446,26 @@ struct Inner<M> {
     /// Set by [`Network::shutdown`]: delivery workers stop sleeping and
     /// flush their remaining queue immediately.
     flushing: AtomicBool,
+    /// Causal tracing ([`Network::set_tracer`]): when armed, every send,
+    /// delivery and drop stamps an event into the tracer's per-site
+    /// rings. `trace_armed` is the fast-path flag — the untraced hot
+    /// path pays one relaxed load, never the lock.
+    tracer: RwLock<Option<Arc<Tracer>>>,
+    trace_armed: AtomicBool,
     /// Delivery worker handles, joined at shutdown so the drain is
     /// complete before endpoints disconnect.
     workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<M> Inner<M> {
+    /// The armed tracer, if any — one relaxed load when tracing is off.
+    fn trace(&self) -> Option<Arc<Tracer>> {
+        if self.trace_armed.load(Ordering::Relaxed) {
+            self.tracer.read().clone()
+        } else {
+            None
+        }
+    }
 }
 
 /// A handle to the simulated network (cloneable; all clones share state).
@@ -519,6 +550,8 @@ impl<M: Wire> Network<M> {
             faults: Mutex::new(FaultState::default()),
             faults_armed: AtomicBool::new(false),
             flushing: AtomicBool::new(false),
+            tracer: RwLock::new(None),
+            trace_armed: AtomicBool::new(false),
             workers: Mutex::new(Vec::new()),
         });
         if !latency.is_zero() && topology == Topology::SharedHub {
@@ -613,11 +646,20 @@ impl<M: Wire> Network<M> {
     /// Sends `payload` from `from` to `to`, applying the latency model.
     pub fn send(&self, from: SiteId, to: SiteId, payload: M) -> Result<(), NetError> {
         let bytes = payload.wire_size();
-        self.inner.stats.messages.fetch_add(1, Ordering::Relaxed);
+        // The pre-increment messages counter doubles as the message's
+        // trace identity: unique, allocation-free, and identical between
+        // a traced and an untraced run of the same seed.
+        let msg_id = self.inner.stats.messages.fetch_add(1, Ordering::Relaxed);
         self.inner
             .stats
             .bytes
             .fetch_add(bytes as u64, Ordering::Relaxed);
+        let tracer = self.inner.trace();
+        let label = if tracer.is_some() {
+            payload.wire_label()
+        } else {
+            "msg"
+        };
         // Fault injection (chaos harness): partitions and seeded drops
         // swallow the message *after* the stats counted it — it was
         // sent; the simulated network lost it. Ok(()) to the sender,
@@ -626,6 +668,17 @@ impl<M: Wire> Network<M> {
             let mut f = self.inner.faults.lock();
             if f.blocked.contains(&(from, to)) {
                 self.inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                if let Some(tr) = &tracer {
+                    trace_send(tr, msg_id, from, to, label, 0, bytes);
+                    tr.record(
+                        from.0,
+                        EventKind::MsgDrop {
+                            msg: msg_id,
+                            from: from.0,
+                            to: to.0,
+                        },
+                    );
+                }
                 return Ok(());
             }
             if f.drop_per_mille > 0 {
@@ -634,6 +687,17 @@ impl<M: Wire> Network<M> {
                 *k += 1;
                 if link_drops(f.seed, from, to, attempt, f.drop_per_mille) {
                     self.inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    if let Some(tr) = &tracer {
+                        trace_send(tr, msg_id, from, to, label, 0, bytes);
+                        tr.record(
+                            from.0,
+                            EventKind::MsgDrop {
+                                msg: msg_id,
+                                from: from.0,
+                                to: to.0,
+                            },
+                        );
+                    }
                     return Ok(());
                 }
             }
@@ -646,10 +710,33 @@ impl<M: Wire> Network<M> {
                 // existed is a wiring error.
                 if self.inner.dead.read().contains(&to) {
                     self.inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    if let Some(tr) = &tracer {
+                        trace_send(tr, msg_id, from, to, label, tr.now_ns(), bytes);
+                        tr.record(
+                            from.0,
+                            EventKind::MsgDrop {
+                                msg: msg_id,
+                                from: from.0,
+                                to: to.0,
+                            },
+                        );
+                    }
                     return Ok(());
                 }
                 return Err(NetError::UnknownSite(to));
             };
+            if let Some(tr) = &tracer {
+                trace_send(tr, msg_id, from, to, label, tr.now_ns(), bytes);
+                tr.record(
+                    to.0,
+                    EventKind::MsgDeliver {
+                        msg: msg_id,
+                        from: from.0,
+                        to: to.0,
+                        label,
+                    },
+                );
+            }
             return dest.send(envelope).map_err(|_| NetError::UnknownSite(to));
         }
         // Delayed path. Under the links lock: advance the link's jitter
@@ -678,9 +765,18 @@ impl<M: Wire> Network<M> {
         // FIFO clamp: never earlier than the link's previous message.
         let deliver_at = (now + delay).max(book.last);
         book.last = deliver_at;
+        if let Some(tr) = &tracer {
+            // Recorded under the links lock, so the sender ring's order
+            // agrees with the link position k — which is what the
+            // checker's FIFO law compares deliveries against.
+            let deliver_at_ns = tr.now_ns() + deliver_at.duration_since(now).as_nanos() as u64;
+            trace_send(tr, msg_id, from, to, label, deliver_at_ns, bytes);
+        }
         let delayed = Delayed {
             deliver_at,
             seq,
+            msg_id,
+            label,
             envelope,
         };
         match self.inner.topology {
@@ -758,6 +854,18 @@ impl<M: Wire> Network<M> {
         &self.inner.stats
     }
 
+    /// Arms causal tracing: every subsequent send, delivery and drop is
+    /// stamped into `tracer`'s per-site rings ([`EventKind::MsgSend`]
+    /// with the scheduled delivery instant, [`EventKind::MsgDeliver`],
+    /// [`EventKind::MsgDrop`]). Tracing only observes — it never touches
+    /// the jitter or drop streams, so a traced run and an untraced run
+    /// of the same seed deliver identically.
+    pub fn set_tracer(&self, tracer: Option<Arc<Tracer>>) {
+        let armed = tracer.is_some();
+        *self.inner.tracer.write() = tracer;
+        self.inner.trace_armed.store(armed, Ordering::SeqCst);
+    }
+
     /// Shuts the network down **after draining**: every delayed message
     /// already accepted by [`Network::send`] is delivered (per-link FIFO
     /// order preserved; remaining sleeps are skipped, so the flush is
@@ -795,11 +903,61 @@ fn mix64(mut z: u64) -> u64 {
     (z ^ (z >> 31)) | 1
 }
 
+/// Stamps a [`EventKind::MsgSend`] into the sender's ring.
+fn trace_send(
+    tr: &Tracer,
+    msg: u64,
+    from: SiteId,
+    to: SiteId,
+    label: &'static str,
+    deliver_at_ns: u64,
+    bytes: usize,
+) {
+    tr.record(
+        from.0,
+        EventKind::MsgSend {
+            msg,
+            from: from.0,
+            to: to.0,
+            label,
+            deliver_at_ns,
+            bytes: bytes.min(u32::MAX as usize) as u32,
+        },
+    );
+}
+
+/// Stamps the fate of a delayed message at its delivery point: a
+/// [`EventKind::MsgDeliver`] in the receiver's ring when the endpoint
+/// took it, a [`EventKind::MsgDrop`] when the destination was dead.
+fn trace_delivery<M>(tr: &Tracer, d: &Delayed<M>, delivered: bool) {
+    let (from, to) = (d.envelope.from.0, d.envelope.to.0);
+    let kind = if delivered {
+        EventKind::MsgDeliver {
+            msg: d.msg_id,
+            from,
+            to,
+            label: d.label,
+        }
+    } else {
+        EventKind::MsgDrop {
+            msg: d.msg_id,
+            from,
+            to,
+        }
+    };
+    tr.record(to, kind);
+}
+
 /// Delivers `d` to its destination endpoint (drops it when the endpoint
 /// is gone — exactly what a real network does to a dead host's traffic).
 fn deliver<M: Send + 'static>(inner: &Inner<M>, d: Delayed<M>) {
     let endpoints = inner.endpoints.read();
-    if let Some(dest) = endpoints.get(&d.envelope.to) {
+    let delivered = endpoints.get(&d.envelope.to).cloned();
+    drop(endpoints);
+    if let Some(tr) = inner.trace() {
+        trace_delivery(&tr, &d, delivered.is_some());
+    }
+    if let Some(dest) = delivered {
         let _ = dest.send(d.envelope);
     }
 }
@@ -813,9 +971,14 @@ fn deliver_batch<M: Send + 'static>(inner: &Inner<M>, due: &mut Vec<Delayed<M>>)
     if due.is_empty() {
         return;
     }
+    let tracer = inner.trace();
     let endpoints = inner.endpoints.read();
     for d in due.drain(..) {
-        if let Some(dest) = endpoints.get(&d.envelope.to) {
+        let dest = endpoints.get(&d.envelope.to);
+        if let Some(tr) = &tracer {
+            trace_delivery(tr, &d, dest.is_some());
+        }
+        if let Some(dest) = dest {
             let _ = dest.send(d.envelope);
         }
     }
@@ -1499,6 +1662,68 @@ mod tests {
         let b2 = net.register(SiteId(1));
         net.send(SiteId(0), SiteId(1), Msg(2)).unwrap();
         assert_eq!(b2.try_recv().unwrap().payload, Msg(2));
+    }
+
+    #[test]
+    fn tracing_observes_sends_deliveries_and_drops() {
+        let tracer = Arc::new(Tracer::new(2, 1024));
+        let net: Network<Msg> = Network::new(LatencyModel::zero());
+        net.set_tracer(Some(tracer.clone()));
+        let a = net.register(SiteId(0));
+        let _b = net.register(SiteId(1));
+        net.send(SiteId(1), SiteId(0), Msg(7)).unwrap();
+        net.block_link(SiteId(1), SiteId(0));
+        net.send(SiteId(1), SiteId(0), Msg(8)).unwrap();
+        assert_eq!(a.drain(10).len(), 1);
+        let trace = tracer.collect();
+        let count =
+            |f: &dyn Fn(&EventKind) -> bool| trace.events.iter().filter(|e| f(&e.kind)).count();
+        assert_eq!(count(&|k| matches!(k, EventKind::MsgSend { .. })), 2);
+        assert_eq!(count(&|k| matches!(k, EventKind::MsgDeliver { .. })), 1);
+        assert_eq!(count(&|k| matches!(k, EventKind::MsgDrop { .. })), 1);
+        let report = dtx_trace::check::check(&trace);
+        assert!(report.ok(), "{}", report.summary());
+    }
+
+    #[test]
+    fn traced_delayed_run_delivers_identically_and_passes_fifo() {
+        // Tracing only observes: a traced run of a seeded lossy link
+        // delivers exactly what the untraced run delivers, and the
+        // captured trace satisfies the per-link FIFO law.
+        let model = LatencyModel {
+            fixed: Duration::from_micros(300),
+            per_kib: Duration::ZERO,
+            jitter: Duration::from_micros(200),
+            seed: 21,
+        };
+        let run = |tracer: Option<Arc<Tracer>>| -> (Vec<u32>, Option<dtx_trace::Trace>) {
+            let net: Network<Msg> = Network::new(model);
+            net.set_tracer(tracer.clone());
+            let a = net.register(SiteId(0));
+            let _b = net.register(SiteId(1));
+            net.set_message_drops(5, 200);
+            for i in 0..50 {
+                net.send(SiteId(1), SiteId(0), Msg(i)).unwrap();
+            }
+            net.shutdown();
+            let got = a.drain(100).iter().map(|e| e.payload.0).collect();
+            (got, tracer.map(|t| t.collect()))
+        };
+        let (untraced, _) = run(None);
+        let tracer = Arc::new(Tracer::new(2, 1024));
+        let (traced, trace) = run(Some(tracer));
+        assert_eq!(untraced, traced, "tracing perturbed delivery");
+        let trace = trace.unwrap();
+        let report = dtx_trace::check::check(&trace);
+        assert!(report.ok(), "{}", report.summary());
+        assert!(report.stats.links >= 1);
+        // Every survivor has its deliver event; every loss its drop.
+        let delivers = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::MsgDeliver { .. }))
+            .count();
+        assert_eq!(delivers, traced.len());
     }
 
     #[test]

@@ -38,8 +38,9 @@
 use crate::StorageResult;
 use dtx_locks::txn::TxnId;
 use dtx_net::SiteId;
+use dtx_trace::{EventKind, TraceSink};
 use dtx_xpath::UpdateOp;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One append-only log entry. See the module docs for the record roles.
@@ -145,6 +146,24 @@ impl WalRecord {
         }
     }
 
+    /// The record's variant name (`"Prepared"`, `"Decision"`, …) — the
+    /// `rec` field of [`EventKind::WalAppend`] / [`EventKind::WalForce`]
+    /// trace events, and what the checker's forced-point laws match on.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            WalRecord::DocBegin { .. } => "DocBegin",
+            WalRecord::DocChunk { .. } => "DocChunk",
+            WalRecord::DocEnd { .. } => "DocEnd",
+            WalRecord::Applied { .. } => "Applied",
+            WalRecord::Undone { .. } => "Undone",
+            WalRecord::Prepared { .. } => "Prepared",
+            WalRecord::Decision { .. } => "Decision",
+            WalRecord::Committed { .. } => "Committed",
+            WalRecord::Aborted { .. } => "Aborted",
+            WalRecord::End { .. } => "End",
+        }
+    }
+
     /// The transaction this record belongs to, if any.
     pub fn txn(&self) -> Option<TxnId> {
         match self {
@@ -180,6 +199,10 @@ pub struct Wal {
     records: Mutex<Vec<WalRecord>>,
     bytes: AtomicU64,
     forces: AtomicU64,
+    /// Trace recording handle (disabled by default; [`Wal::set_trace`]).
+    /// Written once at cluster wiring, read on every append — the
+    /// RwLock read path is uncontended.
+    trace: RwLock<TraceSink>,
 }
 
 impl Wal {
@@ -188,10 +211,22 @@ impl Wal {
         Self::default()
     }
 
+    /// Arms trace recording: every append/force stamps a
+    /// [`EventKind::WalAppend`] / [`EventKind::WalForce`] event into
+    /// `sink`'s ring. The sink survives scheduler kills along with the
+    /// log, so replay appends after a restart are traced too.
+    pub fn set_trace(&self, sink: TraceSink) {
+        *self.trace.write() = sink;
+    }
+
     /// Appends a record (unforced — a buffered write).
     pub fn append(&self, rec: WalRecord) {
         self.bytes
             .fetch_add(rec.byte_size() as u64, Ordering::Relaxed);
+        self.trace.read().emit(|| EventKind::WalAppend {
+            txn: rec.txn().map(|t| t.0).unwrap_or(0),
+            rec: rec.tag(),
+        });
         self.records.lock().push(rec);
     }
 
@@ -201,8 +236,12 @@ impl Wal {
     /// true of `append` too; `force` additionally counts the sync, so
     /// benchmarks see the protocol's forced-write cost.
     pub fn force(&self, rec: WalRecord) {
+        let (txn, tag) = (rec.txn().map(|t| t.0).unwrap_or(0), rec.tag());
         self.append(rec);
         self.forces.fetch_add(1, Ordering::Relaxed);
+        self.trace
+            .read()
+            .emit(|| EventKind::WalForce { txn, rec: tag });
     }
 
     /// Number of records logged.
@@ -322,6 +361,10 @@ impl Wal {
             doc: doc.to_owned(),
         });
         self.forces.fetch_add(1, Ordering::Relaxed);
+        self.trace.read().emit(|| EventKind::WalForce {
+            txn: 0,
+            rec: "DocEnd",
+        });
         Ok(())
     }
 }

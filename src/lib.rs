@@ -15,6 +15,8 @@
 //! * [`storage`] — the `DataManager` storage abstraction with a Sedna-like
 //!   in-memory store and a file store;
 //! * [`net`] — the simulated site-to-site transport;
+//! * [`trace`] — causal event tracing: per-site lock-free rings, a merging
+//!   collector, and the protocol-invariant checker [`trace::check`];
 //! * [`core`] — the DTX engine itself: schedulers, lock managers,
 //!   coordinator/participant transaction processing, distributed deadlock
 //!   detection, clusters and metrics;
@@ -59,6 +61,7 @@ pub use dtx_dataguide as dataguide;
 pub use dtx_locks as locks;
 pub use dtx_net as net;
 pub use dtx_storage as storage;
+pub use dtx_trace as trace;
 pub use dtx_xmark as xmark;
 pub use dtx_xml as xml;
 pub use dtx_xpath as xpath;

@@ -64,12 +64,26 @@ fn count_products(cluster: &Cluster, site: SiteId) -> usize {
 
 /// Tight recovery timings so in-doubt resolution, cooperative
 /// termination and orphan cleanup all play out within a test run.
+/// Tracing is armed: every crash test doubles as a trace-invariant
+/// certification run (see [`certify_trace`]).
 fn chaos_cfg() -> ClusterConfig {
-    let mut cfg = ClusterConfig::new(3, ProtocolKind::Xdgl);
+    let mut cfg = ClusterConfig::new(3, ProtocolKind::Xdgl).with_tracing();
     cfg.scheduler.remote_timeout = Duration::from_millis(300);
     cfg.scheduler.indoubt_period = Duration::from_millis(25);
     cfg.scheduler.orphan_timeout = Duration::from_millis(200);
     cfg
+}
+
+/// Collects the cluster's event trace (after `shutdown` quiesced every
+/// scheduler) and certifies it against the protocol laws: forced
+/// `Prepared` before any yes-vote, forced `Decision` before any commit
+/// batch, per-link FIFO, every lock released, every pin unpinned — even
+/// across kills, restarts and message loss.
+fn certify_trace(tracer: &dtx::trace::Tracer, context: &str) {
+    let trace = tracer.collect();
+    assert!(!trace.events.is_empty(), "{context}: empty trace");
+    let report = dtx::trace::check::check(&trace);
+    assert!(report.ok(), "{context}: {}", report.summary());
 }
 
 fn assert_replicas_identical(cluster: &Cluster, a: SiteId, b: SiteId) {
@@ -156,7 +170,9 @@ fn run_coordinator_crash(point: CrashPoint, expect_commit: bool) {
             "participants must unilaterally abort orphaned work"
         );
     }
+    let tracer = cluster.tracer().expect("chaos_cfg arms tracing");
     cluster.shutdown();
+    certify_trace(&tracer, &format!("coordinator crash at {point:?}"));
 }
 
 #[test]
@@ -292,7 +308,9 @@ fn seeded_message_loss_never_diverges_replicas() {
     assert!(out.committed(), "{:?}", out.status);
     assert!(committed <= 8);
     assert_replicas_identical(&cluster, SiteId(1), SiteId(2));
+    let tracer = cluster.tracer().expect("chaos_cfg arms tracing");
     cluster.shutdown();
+    certify_trace(&tracer, "seeded message loss");
 }
 
 #[test]
