@@ -1,0 +1,305 @@
+//! `bench_openloop` — open-loop, coordinated-omission-safe load driver.
+//!
+//! Closed-loop figure runs (fig9/fig12) let slow transactions throttle
+//! the offered load, which silently erases the queueing delay real
+//! clients would see. This driver does the opposite: a seed-determined
+//! arrival schedule is generated up front, a bounded worker pool
+//! dispatches every arrival at (or as soon as possible after) its
+//! scheduled instant, round-robin across **all** sites as coordinators,
+//! and response time is measured from the *scheduled arrival* — so a
+//! stall penalizes the percentiles of everything queued behind it.
+//!
+//! The full run sweeps the offered rate per protocol to locate the
+//! saturation knee (largest rate still achieving ≥90 % of offered),
+//! then sustains ≥10⁶ transactions below the XDGL knee, plus one bursty
+//! on/off cell, and writes `BENCH_openloop.json` for `check_bench`.
+//!
+//! Flags: `--smoke` runs the small fixed-rate CI cell and leaves
+//! `BENCH_openloop.json` untouched; `--seed N` replays any schedule.
+
+use dtx_bench::gate::OPENLOOP_ACHIEVED_FRACTION;
+use dtx_bench::openloop::{run_cell, smoke, Arrivals, OpenLoopCell, OpenLoopEnv};
+use dtx_bench::{header, row, seed_from_args};
+use dtx_core::ProtocolKind;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Offered rates (txn/s) the sweep probes, low to high.
+const SWEEP_RATES: [f64; 6] = [2_000.0, 4_000.0, 8_000.0, 12_000.0, 16_000.0, 20_000.0];
+/// Transactions in the sustained run — the ≥10⁶ headline cell.
+const SUSTAIN_TXNS: usize = 1_000_000;
+/// Sustained offered rate as a fraction of the measured knee: far
+/// enough below saturation that the p99 band is a property of the
+/// engine, not of standing queues.
+const SUSTAIN_KNEE_FRACTION: f64 = 0.7;
+
+fn print_cell(c: &OpenLoopCell) {
+    row(&[
+        c.protocol.to_string(),
+        c.arrivals.to_string(),
+        format!("{:.0}", c.offered_rate),
+        c.txns.to_string(),
+        format!("{:.0}", c.achieved_rate),
+        format!("{}/{}", c.committed, c.terminated),
+        format!("{:.2}", c.p50_ms),
+        format!("{:.2}", c.p99_ms),
+        format!("{:.2}", c.p999_ms),
+        format!("{:.2}", c.dispatch_p99_ms),
+        format!("{:.1}", c.max_lag_ms),
+    ]);
+}
+
+/// Transactions per sweep cell: ~2 s of traffic at the offered rate,
+/// clamped so low-rate cells still gather enough samples for a p999.
+fn sweep_txns(rate: f64) -> usize {
+    ((rate * 2.0) as usize).clamp(8_000, 40_000)
+}
+
+/// Saturation knee: the largest offered rate whose achieved throughput
+/// stayed within [`OPENLOOP_ACHIEVED_FRACTION`] of offered. Falls back
+/// to the lowest probed rate if every cell saturated.
+fn knee_of(cells: &[OpenLoopCell]) -> f64 {
+    cells
+        .iter()
+        .filter(|c| c.achieved_rate >= OPENLOOP_ACHIEVED_FRACTION * c.offered_rate)
+        .map(|c| c.offered_rate)
+        .fold(f64::NAN, f64::max)
+        .max(cells.first().map(|c| c.offered_rate).unwrap_or(2_000.0))
+}
+
+fn json_cell(out: &mut String, c: &OpenLoopCell) {
+    let _ = write!(
+        out,
+        "{{\"protocol\": \"{}\", \"arrivals\": \"{}\", \"offered_rate\": {:.0}, \
+         \"txns\": {}, \"terminated\": {}, \"committed\": {}, \"aborted\": {}, \
+         \"deadlocks\": {}, \"failed\": {}, \"achieved_rate\": {:.1}, \
+         \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, \
+         \"dispatch_p99_ms\": {:.3}, \"max_lag_ms\": {:.3}, \"wall_s\": {:.2}",
+        c.protocol,
+        c.arrivals,
+        c.offered_rate,
+        c.txns,
+        c.terminated,
+        c.committed,
+        c.aborted,
+        c.deadlocks,
+        c.failed,
+        c.achieved_rate,
+        c.p50_ms,
+        c.p99_ms,
+        c.p999_ms,
+        c.dispatch_p99_ms,
+        c.max_lag_ms,
+        c.wall_s,
+    );
+    out.push('}');
+}
+
+fn json_cell_with_coords(out: &mut String, c: &OpenLoopCell) {
+    let _ = write!(
+        out,
+        "{{\"protocol\": \"{}\", \"arrivals\": \"{}\", \"offered_rate\": {:.0}, \
+         \"txns\": {}, \"terminated\": {}, \"committed\": {}, \"aborted\": {}, \
+         \"deadlocks\": {}, \"failed\": {}, \"achieved_rate\": {:.1}, \
+         \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, \
+         \"dispatch_p99_ms\": {:.3}, \"max_lag_ms\": {:.3}, \"wall_s\": {:.2}, \
+         \"coordinators\": [",
+        c.protocol,
+        c.arrivals,
+        c.offered_rate,
+        c.txns,
+        c.terminated,
+        c.committed,
+        c.aborted,
+        c.deadlocks,
+        c.failed,
+        c.achieved_rate,
+        c.p50_ms,
+        c.p99_ms,
+        c.p999_ms,
+        c.dispatch_p99_ms,
+        c.max_lag_ms,
+        c.wall_s,
+    );
+    for (i, co) in c.coordinators.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"site\": {}, \"submitted\": {}, \"committed\": {}, \"inflight_peak\": {}}}",
+            co.site, co.submitted, co.committed, co.inflight_peak
+        );
+    }
+    let spread = commit_spread(c);
+    let _ = write!(out, "], \"commit_spread\": {spread:.3}}}");
+}
+
+/// Max/min per-coordinator commit ratio — 1.0 is perfectly fair.
+fn commit_spread(c: &OpenLoopCell) -> f64 {
+    let min = c
+        .coordinators
+        .iter()
+        .map(|co| co.committed)
+        .min()
+        .unwrap_or(0);
+    let max = c
+        .coordinators
+        .iter()
+        .map(|co| co.committed)
+        .max()
+        .unwrap_or(0);
+    if min == 0 {
+        f64::INFINITY
+    } else {
+        max as f64 / min as f64
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    seed: u64,
+    env: &OpenLoopEnv,
+    sweep: &[(ProtocolKind, Vec<OpenLoopCell>)],
+    knees: &[(ProtocolKind, f64)],
+    sustained: &OpenLoopCell,
+    bursty: &OpenLoopCell,
+) -> std::io::Result<()> {
+    let mut out = String::from("{\n  \"experiment\": \"bench_openloop\",\n");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(
+        out,
+        "  \"sites\": {}, \"workers\": {}, \"update_pct\": {},",
+        env.sites, env.workers, env.update_pct
+    );
+    out.push_str("  \"sweep\": [\n");
+    let mut first = true;
+    for (_, cells) in sweep {
+        for c in cells {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str("    ");
+            json_cell(&mut out, c);
+        }
+    }
+    out.push_str("\n  ],\n  \"knee\": {");
+    for (i, (p, k)) in knees.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\": {k:.0}", p.name());
+    }
+    out.push_str("},\n  \"sustained\": ");
+    json_cell_with_coords(&mut out, sustained);
+    out.push_str(",\n  \"bursty\": ");
+    json_cell(&mut out, bursty);
+    out.push_str("\n}\n");
+    std::fs::write("BENCH_openloop.json", out)
+}
+
+fn main() {
+    let smoke_mode = std::env::args().any(|a| a == "--smoke");
+    let seed = seed_from_args();
+    println!("# bench_openloop — open-loop CO-safe driver, every site a coordinator");
+    println!("# latency clock starts at the *scheduled* arrival, not dispatch");
+    header(&[
+        "proto", "arrivals", "rate", "txns", "achieved", "commit", "p50_ms", "p99_ms", "p999_ms",
+        "disp_p99", "lag_ms",
+    ]);
+
+    if smoke_mode {
+        let cell = smoke(seed);
+        print_cell(&cell);
+        assert_eq!(
+            cell.terminated as usize, cell.txns,
+            "every arrival terminates"
+        );
+        assert_eq!(cell.coordinators.len(), 4, "all four sites coordinated");
+        assert!(
+            cell.coordinators.iter().all(|c| c.committed > 0),
+            "every coordinator committed work"
+        );
+        assert!(
+            cell.p50_ms > 0.0 && cell.p50_ms <= cell.p99_ms && cell.p99_ms <= cell.p999_ms,
+            "percentiles must be positive and ordered"
+        );
+        println!("# smoke run: BENCH_openloop.json left untouched");
+        return;
+    }
+
+    // Rate sweep per protocol: locate each protocol's saturation knee.
+    let mut sweep = Vec::new();
+    let mut knees = Vec::new();
+    for protocol in [ProtocolKind::Xdgl, ProtocolKind::Node2Pl] {
+        let mut env = OpenLoopEnv::standard(protocol);
+        env.seed = seed;
+        let cells: Vec<OpenLoopCell> = SWEEP_RATES
+            .iter()
+            .map(|&rate| {
+                let c = run_cell(&env, rate, sweep_txns(rate), Arrivals::Poisson);
+                print_cell(&c);
+                c
+            })
+            .collect();
+        let knee = knee_of(&cells);
+        println!("# {} saturation knee: {knee:.0} txn/s", protocol.name());
+        sweep.push((protocol, cells));
+        knees.push((protocol, knee));
+    }
+
+    // Sustained headline cell: ≥10⁶ transactions at a rate comfortably
+    // below the XDGL knee, all four sites coordinating.
+    let xdgl_knee = knees[0].1;
+    let sustain_rate = (xdgl_knee * SUSTAIN_KNEE_FRACTION).max(2_000.0);
+    let mut env = OpenLoopEnv::standard(ProtocolKind::Xdgl);
+    env.seed = seed;
+    println!("# sustained run: {SUSTAIN_TXNS} txns at {sustain_rate:.0} txn/s ...");
+    let sustained = run_cell(&env, sustain_rate, SUSTAIN_TXNS, Arrivals::Poisson);
+    print_cell(&sustained);
+    for c in &sustained.coordinators {
+        println!(
+            "#   site {}: {} submitted, {} committed, inflight peak {}",
+            c.site, c.submitted, c.committed, c.inflight_peak
+        );
+    }
+    println!(
+        "# commit spread (max/min): {:.3}",
+        commit_spread(&sustained)
+    );
+
+    // Bursty cell: same long-run rate compressed into 20 % duty cycles —
+    // the queue drains visibly in p99 vs the Poisson cell.
+    let bursty = run_cell(
+        &env,
+        (xdgl_knee * 0.5).max(2_000.0),
+        50_000,
+        Arrivals::Bursty {
+            period: Duration::from_millis(100),
+            duty_pct: 20,
+        },
+    );
+    print_cell(&bursty);
+
+    assert!(
+        sustained.terminated >= SUSTAIN_TXNS as u64,
+        "sustained run must terminate all {SUSTAIN_TXNS} arrivals"
+    );
+    assert!(
+        sustained.achieved_rate >= OPENLOOP_ACHIEVED_FRACTION * sustained.offered_rate,
+        "sustained cell ran below the knee yet failed to keep up: \
+         achieved {:.0} of offered {:.0}",
+        sustained.achieved_rate,
+        sustained.offered_rate
+    );
+    assert!(
+        sustained.coordinators.iter().all(|c| c.committed > 0),
+        "every site must commit as coordinator"
+    );
+
+    match write_json(seed, &env, &sweep, &knees, &sustained, &bursty) {
+        Ok(()) => println!("# baseline written to BENCH_openloop.json"),
+        Err(e) => eprintln!("could not write BENCH_openloop.json: {e}"),
+    }
+}

@@ -25,7 +25,11 @@
 //!   replay time on the fresh bounded-per-record line;
 //! * **trace** — the fig12 smoke mix run twice (sinks disabled, then
 //!   armed): tracing overhead inside the fresh band, the captured
-//!   timeline complete and certified by the protocol-invariant checker.
+//!   timeline complete and certified by the protocol-invariant checker;
+//! * **openloop** — the fixed-rate open-loop smoke cell: every
+//!   scheduled arrival terminated, all four sites served as
+//!   coordinators, and the scheduled-arrival (coordinated-omission-
+//!   safe) p99 inside the fresh band.
 //!
 //! Prints a delta table (committed vs fresh per metric), writes the
 //! fresh numbers to `target/BENCH_check.json` (uploaded as a CI
@@ -33,11 +37,12 @@
 //! failed check.
 
 use dtx_bench::gate::{
-    self, check_ingest_witness, check_net_witness, check_reads_witness, check_recovery_witness,
-    check_throughput_witness, check_trace_witness, Check,
+    self, check_ingest_witness, check_net_witness, check_openloop_witness, check_reads_witness,
+    check_recovery_witness, check_throughput_witness, check_trace_witness, Check,
 };
 use dtx_bench::json::Json;
 use dtx_bench::netbench::storm;
+use dtx_bench::openloop;
 use dtx_bench::recovery::replay_point;
 use dtx_bench::tracebench::{best_of, overhead_pct};
 use dtx_bench::{run, setup, ExpEnv, BASE_BYTES, SEED};
@@ -211,6 +216,7 @@ fn main() {
     let reads = load_witness("BENCH_reads.json");
     let recovery = load_witness("BENCH_recovery.json");
     let trace = load_witness("BENCH_trace.json");
+    let openloop_doc = load_witness("BENCH_openloop.json");
     for (name, loaded) in [
         ("BENCH_throughput.json", &throughput),
         ("BENCH_net.json", &net),
@@ -218,6 +224,7 @@ fn main() {
         ("BENCH_reads.json", &reads),
         ("BENCH_recovery.json", &recovery),
         ("BENCH_trace.json", &trace),
+        ("BENCH_openloop.json", &openloop_doc),
     ] {
         if let Err(e) = loaded {
             println!("  [FAIL] {name}: {e}");
@@ -244,6 +251,9 @@ fn main() {
     }
     if let Ok(doc) = &trace {
         all_ok &= print_checks("committed witness: trace", &check_trace_witness(doc));
+    }
+    if let Ok(doc) = &openloop_doc {
+        all_ok &= print_checks("committed witness: openloop", &check_openloop_witness(doc));
     }
 
     if offline {
@@ -404,6 +414,31 @@ fn main() {
             .and_then(|doc| doc.get("points")?.arr()?.first())
             .and_then(|p| p.get("stream")?.num_field("mb_per_s")),
         fresh: stream_rate,
+    });
+
+    println!("\n# fresh run: open-loop smoke cell (4 sites, fixed Poisson rate)");
+    let ol = openloop::smoke(SEED);
+    all_ok &= print_checks(
+        "fresh: openloop",
+        &gate::check_openloop_fresh(
+            ol.txns as f64,
+            ol.terminated as f64,
+            ol.p99_ms,
+            ol.coordinators.len() as f64,
+            4.0,
+            ol.achieved_rate,
+            ol.offered_rate,
+        ),
+    );
+    deltas.push(Delta {
+        metric: "openloop sustained p99 ms (sched clock)",
+        committed: committed_of(&openloop_doc, &["sustained", "p99_ms"]),
+        fresh: ol.p99_ms,
+    });
+    deltas.push(Delta {
+        metric: "openloop achieved rate txn/s",
+        committed: committed_of(&openloop_doc, &["sustained", "achieved_rate"]),
+        fresh: ol.achieved_rate,
     });
 
     print_delta_table(&deltas);

@@ -15,6 +15,7 @@ pub mod gate;
 pub mod json;
 pub mod mem;
 pub mod netbench;
+pub mod openloop;
 pub mod recovery;
 pub mod tracebench;
 

@@ -1,0 +1,753 @@
+//! Open-loop (arrival-rate-driven) load harness.
+//!
+//! Every figure run so far is **closed-loop**: each client thread waits
+//! for its previous transaction before submitting the next, so under
+//! contention the clients politely slow down and the measured response
+//! times never see the queueing delay a real arrival stream would
+//! build — the classic *coordinated omission* flaw. This module drives
+//! the cluster the other way around:
+//!
+//! 1. [`schedule`] generates a seed-deterministic **arrival schedule**
+//!    (Poisson or bursty on/off interarrivals at a target txn/s) before
+//!    anything runs;
+//! 2. [`drive`] drains the schedule with a **bounded pool** of driver
+//!    workers (the PR 5 reactor lesson: few workers draining many
+//!    queues, never a thread per client) that dispatch each arrival at
+//!    its scheduled instant — or immediately when late, *without*
+//!    skipping — and attach transactions **round-robin to every site as
+//!    coordinator** via the multi-coordinator submission path;
+//! 3. response time is measured **from the scheduled arrival instant**,
+//!    not from dispatch: `lag(dispatch − scheduled) + response`. A
+//!    stalled server therefore inflates the recorded p99/p999 of every
+//!    arrival that queued behind the stall, exactly as real clients
+//!    would experience it. The dispatch-clocked measurement is kept as
+//!    a control — the gap between the two *is* the coordinated
+//!    omission a closed-loop harness would have hidden.
+//!
+//! Per-worker log-bucketed [`Histogram`]s are merged into one summary
+//! after the run ([`Histogram::merge_from`] is exact: same bucket
+//! layout), so the record path never shares a cache line across
+//! workers. `bench_openloop` sweeps the offered rate over this module
+//! to find each protocol's saturation knee and records
+//! `BENCH_openloop.json`; `check_bench` re-runs [`smoke`] fresh.
+
+use crate::{ms, SEED, TRACE_RING_CAPACITY};
+use crossbeam::channel::Receiver;
+use dtx_core::{
+    Cluster, ClusterConfig, Histogram, OpSpec, ProtocolKind, SiteId, TxnOutcome, TxnSpec, TxnStatus,
+};
+use dtx_trace::check::check;
+use dtx_xpath::{Query, UpdateOp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Interarrival process of an arrival schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrivals {
+    /// Poisson process: i.i.d. exponential gaps at the target rate —
+    /// the memoryless baseline of open-system benchmarks.
+    Poisson,
+    /// On/off burst process: Poisson arrivals at `rate / duty` during
+    /// the first `duty_pct` percent of every `period`, silence for the
+    /// rest. The long-run rate still equals the target; the bursts are
+    /// what stress queueing at the coordinators.
+    Bursty {
+        /// Length of one on+off cycle.
+        period: Duration,
+        /// Percent of the period that carries traffic (0 < duty ≤ 100).
+        duty_pct: u32,
+    },
+}
+
+/// Builds the arrival schedule: `txns` offsets in nanoseconds from the
+/// run start, non-decreasing, seed-deterministic (same `seed` ⇒
+/// byte-identical schedule — the replay contract every bench binary
+/// honors via `--seed`).
+pub fn schedule(rate_per_s: f64, txns: usize, arrivals: Arrivals, seed: u64) -> Vec<u64> {
+    assert!(rate_per_s > 0.0, "target rate must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Exponential gap via inverse CDF; 53 high bits → uniform in [0, 1).
+    let mut exp_gap = |rate: f64| {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        -(1.0 - unit).ln() / rate
+    };
+    let mut out = Vec::with_capacity(txns);
+    match arrivals {
+        Arrivals::Poisson => {
+            let mut t = 0.0f64;
+            for _ in 0..txns {
+                t += exp_gap(rate_per_s);
+                out.push((t * 1e9) as u64);
+            }
+        }
+        Arrivals::Bursty { period, duty_pct } => {
+            assert!((1..=100).contains(&duty_pct), "duty_pct must be in 1..=100");
+            let duty = duty_pct as f64 / 100.0;
+            let on_s = period.as_secs_f64() * duty;
+            let period_s = period.as_secs_f64();
+            // Arrivals are Poisson at rate/duty in *on-time*; mapping
+            // cumulative on-time onto the on-windows of consecutive
+            // cycles yields the wall-clock schedule (and keeps the
+            // long-run rate at the target).
+            let mut on_t = 0.0f64;
+            for _ in 0..txns {
+                on_t += exp_gap(rate_per_s / duty);
+                let cycle = (on_t / on_s).floor();
+                let within = on_t - cycle * on_s;
+                out.push(((cycle * period_s + within) * 1e9) as u64);
+            }
+        }
+    }
+    out
+}
+
+/// What the driver submits to — the real [`Cluster`] in benchmarks, a
+/// mock executor in the coordinated-omission tests.
+pub trait LoadTarget: Sync {
+    /// Number of coordinators the round-robin attach cycles over.
+    fn coordinators(&self) -> usize;
+    /// Submits arrival `seq` at coordinator `coord`, returning the
+    /// outcome channel immediately (the submission itself must not
+    /// block on the transaction's execution).
+    fn submit(&self, coord: usize, seq: usize) -> Receiver<TxnOutcome>;
+}
+
+/// One driver worker's tallies; merged into [`DriverReport`] at join.
+#[derive(Debug)]
+struct WorkerStats {
+    sched: Histogram,
+    dispatch: Histogram,
+    committed: u64,
+    aborted: u64,
+    deadlocks: u64,
+    failed: u64,
+    max_lag: Duration,
+}
+
+impl WorkerStats {
+    fn new() -> Self {
+        WorkerStats {
+            sched: Histogram::new(),
+            dispatch: Histogram::new(),
+            committed: 0,
+            aborted: 0,
+            deadlocks: 0,
+            failed: 0,
+            max_lag: Duration::ZERO,
+        }
+    }
+
+    fn settle(&mut self, lag: Duration, out: &TxnOutcome) {
+        // Scheduled-arrival clock: time queued at the driver (lag) plus
+        // time inside the system. Coordinated omission cannot flatter
+        // this number — a late dispatch *adds* to it.
+        self.sched.record(lag + out.response_time);
+        // Dispatch clock: what a closed-loop harness would have reported.
+        self.dispatch.record(out.response_time);
+        self.max_lag = self.max_lag.max(lag);
+        match &out.status {
+            TxnStatus::Committed => self.committed += 1,
+            TxnStatus::Aborted(_) if out.deadlocked() => {
+                self.aborted += 1;
+                self.deadlocks += 1;
+            }
+            TxnStatus::Aborted(_) => self.aborted += 1,
+            TxnStatus::Failed(_) => self.failed += 1,
+        }
+    }
+}
+
+/// Merged result of one open-loop drive.
+#[derive(Debug)]
+pub struct DriverReport {
+    /// Response times from the **scheduled arrival instant** (merged
+    /// per-worker histograms) — the honest percentiles.
+    pub sched: Histogram,
+    /// Response times from the dispatch instant — the coordinated-
+    /// omission-blind control measurement.
+    pub dispatch: Histogram,
+    /// Arrivals dispatched (every scheduled arrival is dispatched,
+    /// late or not — the driver never skips).
+    pub arrivals: usize,
+    /// Committed / aborted / deadlock-victim / failed outcomes.
+    pub committed: u64,
+    /// Aborted outcomes (deadlock victims included).
+    pub aborted: u64,
+    /// Aborts that were deadlock victimizations.
+    pub deadlocks: u64,
+    /// Failed outcomes.
+    pub failed: u64,
+    /// Worst dispatch lag behind the schedule any worker observed.
+    pub max_lag: Duration,
+    /// First scheduled arrival → last settled outcome.
+    pub wall: Duration,
+}
+
+/// Drains `sched` against `target` with `workers` driver threads.
+///
+/// Worker `w` owns arrivals `w, w+workers, ...` (striding keeps every
+/// worker's sub-schedule ordered, so one sleep per arrival suffices).
+/// Each arrival is dispatched at its scheduled instant — or immediately
+/// once the worker is behind — and its outcome channel is parked in a
+/// FIFO the worker reaps opportunistically between arrivals and drains
+/// after its last dispatch. Because the settled latency is
+/// `lag + outcome.response_time`, reaping late never distorts the
+/// recorded response times.
+pub fn drive(target: &(impl LoadTarget + ?Sized), sched: &[u64], workers: usize) -> DriverReport {
+    assert!(workers > 0, "at least one driver worker");
+    let ncoord = target.coordinators().max(1);
+    let start = Instant::now();
+    let t0 = Instant::now();
+    let stats: Vec<WorkerStats> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut st = WorkerStats::new();
+                    let mut pending: VecDeque<(Duration, Receiver<TxnOutcome>)> = VecDeque::new();
+                    for seq in (w..sched.len()).step_by(workers) {
+                        let due = start + Duration::from_nanos(sched[seq]);
+                        let now = Instant::now();
+                        if due > now {
+                            std::thread::sleep(due - now);
+                        }
+                        let lag = Instant::now().saturating_duration_since(due);
+                        st.max_lag = st.max_lag.max(lag);
+                        pending.push_back((lag, target.submit(seq % ncoord, seq)));
+                        // Opportunistic reap: keep the parked-channel
+                        // FIFO near the true in-flight count.
+                        while let Some((lag, rx)) = pending.front() {
+                            match rx.try_recv() {
+                                Ok(out) => {
+                                    st.settle(*lag, &out);
+                                    pending.pop_front();
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                    for (lag, rx) in pending {
+                        let out = rx.recv().expect("scheduler alive");
+                        st.settle(lag, &out);
+                    }
+                    st
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("driver worker panicked"))
+            .collect()
+    });
+    let wall = t0.elapsed();
+    let mut report = DriverReport {
+        sched: Histogram::new(),
+        dispatch: Histogram::new(),
+        arrivals: sched.len(),
+        committed: 0,
+        aborted: 0,
+        deadlocks: 0,
+        failed: 0,
+        max_lag: Duration::ZERO,
+        wall,
+    };
+    for st in stats {
+        report.sched.merge_from(&st.sched);
+        report.dispatch.merge_from(&st.dispatch);
+        report.committed += st.committed;
+        report.aborted += st.aborted;
+        report.deadlocks += st.deadlocks;
+        report.failed += st.failed;
+        report.max_lag = report.max_lag.max(st.max_lag);
+    }
+    report
+}
+
+/// Items per per-site document (`/items/item[id=K]` targets).
+const ITEMS: u32 = 16;
+/// Specs in each coordinator's cycled pool.
+const POOL: usize = 100;
+/// Percent of a pool that reads a *neighbor* site's document (remote,
+/// snapshot-routed `ReadOne`) instead of the coordinator-local one.
+const REMOTE_PCT: u32 = 10;
+
+/// The open-loop experiment environment.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopEnv {
+    /// Number of sites (every one serves as a coordinator).
+    pub sites: u16,
+    /// Concurrency-control protocol.
+    pub protocol: ProtocolKind,
+    /// Schedule + workload seed.
+    pub seed: u64,
+    /// Percent of transactions that are single-op local updates.
+    pub update_pct: u32,
+    /// Whether the cluster records a causal event trace.
+    pub trace: bool,
+    /// Driver worker pool size.
+    pub workers: usize,
+}
+
+impl OpenLoopEnv {
+    /// Standard open-loop environment: 4 sites, 4 % updates, two driver
+    /// workers, zero-latency network (the harness measures the engine,
+    /// not the simulated LAN).
+    pub fn standard(protocol: ProtocolKind) -> Self {
+        OpenLoopEnv {
+            sites: 4,
+            protocol,
+            seed: SEED,
+            update_pct: 4,
+            trace: false,
+            workers: 2,
+        }
+    }
+}
+
+/// [`LoadTarget`] over a live cluster: arrival `seq` goes to coordinator
+/// `seq % sites` through [`Cluster::submit_round_robin`]'s underlying
+/// path, executing a spec from that coordinator's pre-parsed pool (no
+/// XPath parsing on the dispatch path).
+pub struct ClusterTarget<'a> {
+    cluster: &'a Cluster,
+    sites: Vec<SiteId>,
+    pools: Vec<Vec<TxnSpec>>,
+}
+
+impl<'a> ClusterTarget<'a> {
+    /// Loads one small per-site document (`ol<i>`, placed only at site
+    /// `i`) and builds each coordinator's spec pool: `update_pct`
+    /// single-op local updates, 10 % neighbor reads, local
+    /// reads for the rest — evenly interleaved so the mix holds over
+    /// any window of the run.
+    pub fn new(cluster: &'a Cluster, update_pct: u32, seed: u64) -> ClusterTarget<'a> {
+        let sites = cluster.sites();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6f70656e6c6f6f70); // "openloop"
+        for (i, &site) in sites.iter().enumerate() {
+            let mut xml = String::from("<items>");
+            for k in 1..=ITEMS {
+                xml.push_str(&format!("<item><id>{k}</id><val>v{k}</val></item>"));
+            }
+            xml.push_str("</items>");
+            cluster
+                .load_document(&format!("ol{i}"), &xml, &[site])
+                .expect("open-loop base document loads");
+        }
+        let n = sites.len();
+        let pools = (0..n)
+            .map(|c| {
+                (0..POOL)
+                    .map(|j| {
+                        let k = rng.gen_range(1..ITEMS + 1);
+                        let j = j as u32;
+                        // Bresenham interleave: updates (then remote
+                        // reads) spread evenly through the pool cycle.
+                        let updates = |j: u32| (j * update_pct) / 100;
+                        let remotes = |j: u32| (j * REMOTE_PCT) / 100;
+                        if updates(j + 1) > updates(j) {
+                            TxnSpec::new(vec![OpSpec::update(
+                                format!("ol{c}"),
+                                UpdateOp::Change {
+                                    target: Query::parse(&format!("/items/item[id={k}]/val"))
+                                        .expect("parses"),
+                                    new_value: format!("w{k}"),
+                                },
+                            )])
+                        } else {
+                            let doc = if remotes(j + 1) > remotes(j) {
+                                format!("ol{}", (c + 1) % n)
+                            } else {
+                                format!("ol{c}")
+                            };
+                            TxnSpec::new(vec![OpSpec::query(
+                                doc,
+                                Query::parse(&format!("/items/item[id={k}]")).expect("parses"),
+                            )])
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        ClusterTarget {
+            cluster,
+            sites,
+            pools,
+        }
+    }
+}
+
+impl LoadTarget for ClusterTarget<'_> {
+    fn coordinators(&self) -> usize {
+        self.sites.len()
+    }
+
+    fn submit(&self, coord: usize, seq: usize) -> Receiver<TxnOutcome> {
+        let pool = &self.pools[coord];
+        let spec = pool[(seq / self.sites.len()) % pool.len()].clone();
+        self.cluster.submit_async(self.sites[coord], spec)
+    }
+}
+
+/// Per-coordinator accounting of one cell (from
+/// [`dtx_core::Metrics::coord_stats`]).
+#[derive(Debug, Clone)]
+pub struct CoordCell {
+    /// The coordinator site.
+    pub site: u16,
+    /// Transactions this site coordinated.
+    pub submitted: u64,
+    /// Of those, committed.
+    pub committed: u64,
+    /// High-water mark of simultaneously open transactions here.
+    pub inflight_peak: u64,
+}
+
+/// One measured open-loop cell.
+#[derive(Debug, Clone)]
+pub struct OpenLoopCell {
+    /// Protocol display name.
+    pub protocol: &'static str,
+    /// Arrival process label (`"poisson"` / `"bursty"`).
+    pub arrivals: &'static str,
+    /// Offered rate (txn/s) the schedule was generated at.
+    pub offered_rate: f64,
+    /// Scheduled (= dispatched = terminated) arrivals.
+    pub txns: usize,
+    /// Terminated / committed / aborted / deadlock / failed outcomes.
+    pub terminated: u64,
+    /// Committed outcomes.
+    pub committed: u64,
+    /// Aborted outcomes.
+    pub aborted: u64,
+    /// Deadlock victimizations.
+    pub deadlocks: u64,
+    /// Failed outcomes.
+    pub failed: u64,
+    /// Terminations per wall second actually sustained.
+    pub achieved_rate: f64,
+    /// p50 from the scheduled arrival instant (ms).
+    pub p50_ms: f64,
+    /// p99 from the scheduled arrival instant (ms).
+    pub p99_ms: f64,
+    /// p999 from the scheduled arrival instant (ms).
+    pub p999_ms: f64,
+    /// p99 from the dispatch instant (ms) — the coordinated-omission-
+    /// blind control; the gap to `p99_ms` is the hidden queueing.
+    pub dispatch_p99_ms: f64,
+    /// Worst dispatch lag behind the schedule (ms).
+    pub max_lag_ms: f64,
+    /// Wall time of the drive (s).
+    pub wall_s: f64,
+    /// Per-coordinator accounting, sorted by site.
+    pub coordinators: Vec<CoordCell>,
+    /// Events captured by the tracer (0 when untraced).
+    pub trace_events: usize,
+    /// Protocol-invariant violations the checker found (traced cells).
+    pub trace_violations: usize,
+    /// Whether the trace was complete (no ring drops) and certifiable.
+    pub trace_complete: bool,
+}
+
+/// Runs one open-loop cell: boots a fresh cluster for `env`, generates
+/// the schedule, drives it, and returns the merged measurements.
+///
+/// Hard invariants are asserted here, not just reported: every
+/// scheduled arrival terminates, and every site coordinated at least
+/// one transaction (the round-robin attach reaches all of them).
+pub fn run_cell(env: &OpenLoopEnv, rate: f64, txns: usize, arrivals: Arrivals) -> OpenLoopCell {
+    let sched = schedule(rate, txns, arrivals, env.seed);
+    let mut config = ClusterConfig::new(env.sites, env.protocol);
+    config.seed = env.seed;
+    if env.trace {
+        config = config.with_tracing();
+        config.trace_capacity = TRACE_RING_CAPACITY;
+    }
+    let cluster = Cluster::start(config);
+    // Counters+histograms only: a 10⁶-arrival run must not grow a
+    // record vector (or contend on its mutex) in the commit path.
+    cluster.metrics().set_retain_records(false);
+    let target = ClusterTarget::new(&cluster, env.update_pct, env.seed);
+    let report = drive(&target, &sched, env.workers);
+    let coord_stats = cluster.metrics().coord_stats();
+    let tracer = cluster.tracer();
+    cluster.shutdown();
+
+    assert_eq!(
+        report.committed + report.aborted + report.failed,
+        txns as u64,
+        "every scheduled arrival must terminate"
+    );
+    assert_eq!(
+        coord_stats.len(),
+        env.sites as usize,
+        "round-robin attach must reach every site as coordinator"
+    );
+
+    let (mut trace_events, mut trace_violations, mut trace_complete) = (0, 0, true);
+    if let Some(tracer) = tracer {
+        let trace = tracer.collect();
+        let rpt = check(&trace);
+        trace_events = trace.events.len();
+        trace_violations = rpt.violations.len();
+        trace_complete = rpt.complete && trace.dropped == 0;
+    }
+
+    OpenLoopCell {
+        protocol: env.protocol.name(),
+        arrivals: match arrivals {
+            Arrivals::Poisson => "poisson",
+            Arrivals::Bursty { .. } => "bursty",
+        },
+        offered_rate: rate,
+        txns,
+        terminated: report.committed + report.aborted + report.failed,
+        committed: report.committed,
+        aborted: report.aborted,
+        deadlocks: report.deadlocks,
+        failed: report.failed,
+        achieved_rate: txns as f64 / report.wall.as_secs_f64().max(1e-9),
+        p50_ms: ms(report.sched.percentile(0.50)),
+        p99_ms: ms(report.sched.percentile(0.99)),
+        p999_ms: ms(report.sched.percentile(0.999)),
+        dispatch_p99_ms: ms(report.dispatch.percentile(0.99)),
+        max_lag_ms: ms(report.max_lag),
+        wall_s: report.wall.as_secs_f64(),
+        coordinators: coord_stats
+            .iter()
+            .map(|c| CoordCell {
+                site: c.site.0,
+                submitted: c.submitted,
+                committed: c.committed,
+                inflight_peak: c.inflight_peak,
+            })
+            .collect(),
+        trace_events,
+        trace_violations,
+        trace_complete,
+    }
+}
+
+/// The CI smoke cell `check_bench` re-runs fresh: the standard 4-site
+/// XDGL environment at a deliberately modest rate any CI host sustains.
+pub fn smoke(seed: u64) -> OpenLoopCell {
+    let mut env = OpenLoopEnv::standard(ProtocolKind::Xdgl);
+    env.seed = seed;
+    run_cell(&env, 2_000.0, 4_000, Arrivals::Poisson)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+    use dtx_locks::TxnId;
+
+    // ---- arrival-schedule properties --------------------------------
+
+    #[test]
+    fn same_seed_gives_byte_identical_schedule() {
+        for arrivals in [
+            Arrivals::Poisson,
+            Arrivals::Bursty {
+                period: Duration::from_millis(100),
+                duty_pct: 20,
+            },
+        ] {
+            let a = schedule(5_000.0, 10_000, arrivals, 7);
+            let b = schedule(5_000.0, 10_000, arrivals, 7);
+            assert_eq!(a, b, "same seed must replay the same schedule");
+            let c = schedule(5_000.0, 10_000, arrivals, 8);
+            assert_ne!(a, c, "a different seed must produce a different schedule");
+        }
+    }
+
+    #[test]
+    fn poisson_mean_interarrival_tracks_target_rate() {
+        let rate = 1_000.0;
+        let n = 50_000;
+        let sched = schedule(rate, n, Arrivals::Poisson, 11);
+        let mean_gap_ns = sched.last().copied().unwrap() as f64 / n as f64;
+        let want = 1e9 / rate;
+        assert!(
+            (mean_gap_ns - want).abs() / want < 0.05,
+            "mean interarrival {mean_gap_ns:.0} ns vs 1/rate {want:.0} ns"
+        );
+    }
+
+    #[test]
+    fn bursty_honors_duty_cycle_and_long_run_rate() {
+        let rate = 2_000.0;
+        let period = Duration::from_millis(50);
+        let duty_pct = 20;
+        let n = 20_000;
+        let sched = schedule(rate, n, Arrivals::Bursty { period, duty_pct }, 3);
+        let period_ns = period.as_nanos() as u64;
+        let on_ns = period_ns * duty_pct as u64 / 100;
+        for &t in &sched {
+            assert!(
+                t % period_ns <= on_ns,
+                "arrival at {t} ns falls outside the on-window"
+            );
+        }
+        // The long-run rate still hits the target (bursts compress the
+        // arrivals, they don't add or drop any).
+        let mean_gap_ns = sched.last().copied().unwrap() as f64 / n as f64;
+        let want = 1e9 / rate;
+        assert!(
+            (mean_gap_ns - want).abs() / want < 0.10,
+            "bursty long-run gap {mean_gap_ns:.0} ns vs {want:.0} ns"
+        );
+    }
+
+    #[test]
+    fn schedules_never_reorder_timestamps() {
+        for arrivals in [
+            Arrivals::Poisson,
+            Arrivals::Bursty {
+                period: Duration::from_millis(10),
+                duty_pct: 50,
+            },
+        ] {
+            let sched = schedule(100_000.0, 30_000, arrivals, 5);
+            assert_eq!(sched.len(), 30_000);
+            assert!(
+                sched.windows(2).all(|w| w[0] <= w[1]),
+                "schedule must be non-decreasing"
+            );
+        }
+    }
+
+    // ---- coordinated-omission guard ---------------------------------
+
+    /// Mock executor whose submission path stalls once for 100 ms: the
+    /// arrivals scheduled during the stall are dispatched late, exactly
+    /// the window coordinated omission erases.
+    struct StallTarget {
+        stall_at: usize,
+        stall: Duration,
+        service: Duration,
+    }
+
+    impl LoadTarget for StallTarget {
+        fn coordinators(&self) -> usize {
+            1
+        }
+
+        fn submit(&self, _coord: usize, seq: usize) -> Receiver<TxnOutcome> {
+            if seq == self.stall_at {
+                std::thread::sleep(self.stall);
+            }
+            let (tx, rx) = bounded(1);
+            let _ = tx.send(TxnOutcome {
+                txn: TxnId(seq as u64),
+                status: TxnStatus::Committed,
+                response_time: self.service,
+                results: Vec::new(),
+            });
+            rx
+        }
+    }
+
+    #[test]
+    fn stall_shows_in_scheduled_clock_but_not_dispatch_clock() {
+        // 400 arrivals, 1 ms apart; the executor stalls 100 ms at
+        // arrival 50, so ~100 subsequent arrivals queue at the driver.
+        let sched: Vec<u64> = (0..400).map(|i| i * 1_000_000).collect();
+        let target = StallTarget {
+            stall_at: 50,
+            stall: Duration::from_millis(100),
+            service: Duration::from_micros(50),
+        };
+        let report = drive(&target, &sched, 1);
+        assert_eq!(report.arrivals, 400);
+        assert_eq!(report.committed, 400, "the driver never skips arrivals");
+        let sched_p99 = report.sched.percentile(0.99);
+        let dispatch_p99 = report.dispatch.percentile(0.99);
+        assert!(
+            sched_p99 >= Duration::from_millis(50),
+            "scheduled-clock p99 must surface the stall, got {sched_p99:?}"
+        );
+        assert!(
+            dispatch_p99 < Duration::from_millis(10),
+            "dispatch-clock control hides the stall, got {dispatch_p99:?}"
+        );
+        assert!(
+            report.max_lag >= Duration::from_millis(50),
+            "max lag must record the backlog, got {:?}",
+            report.max_lag
+        );
+    }
+
+    // ---- multi-coordinator submission -------------------------------
+
+    #[test]
+    fn round_robin_reaches_every_site_within_fairness_band() {
+        let env = OpenLoopEnv::standard(ProtocolKind::Xdgl);
+        let cell = run_cell(&env, 3_000.0, 1_200, Arrivals::Poisson);
+        assert_eq!(cell.terminated, 1_200);
+        assert_eq!(cell.coordinators.len(), 4, "all four sites coordinated");
+        let commits: Vec<u64> = cell.coordinators.iter().map(|c| c.committed).collect();
+        let (min, max) = (
+            *commits.iter().min().unwrap(),
+            *commits.iter().max().unwrap(),
+        );
+        assert!(
+            min > 0,
+            "every coordinator committed something: {commits:?}"
+        );
+        assert!(
+            max <= min * 2,
+            "per-coordinator commit spread outside the fairness band: {commits:?}"
+        );
+        // Round-robin attach splits submissions evenly by construction.
+        for c in &cell.coordinators {
+            assert_eq!(c.submitted, 300, "striped submissions per site");
+        }
+        assert!(cell.p50_ms > 0.0 && cell.p50_ms <= cell.p99_ms && cell.p99_ms <= cell.p999_ms);
+    }
+
+    #[test]
+    fn cluster_submit_round_robin_cycles_all_sites() {
+        let mut config = ClusterConfig::new(3, ProtocolKind::Xdgl);
+        config.seed = 1;
+        let cluster = Cluster::start(config);
+        cluster
+            .load_document("d", "<r><x>1</x></r>", &cluster.sites())
+            .unwrap();
+        let spec = TxnSpec::new(vec![OpSpec::query("d", Query::parse("/r/x").unwrap())]);
+        let mut seen = Vec::new();
+        let pending: Vec<_> = (0..6)
+            .map(|_| {
+                let (site, rx) = cluster.submit_round_robin(spec.clone());
+                seen.push(site);
+                rx
+            })
+            .collect();
+        for rx in pending {
+            assert!(rx.recv().unwrap().committed());
+        }
+        let sites = cluster.sites();
+        assert_eq!(&seen[..3], &sites[..], "first lap covers every site");
+        assert_eq!(&seen[3..], &sites[..], "second lap repeats the cycle");
+        for &site in &sites {
+            assert_eq!(cluster.metrics().coord_submitted(site), 2);
+            assert_eq!(cluster.metrics().coord_committed(site), 2);
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn traced_two_site_open_loop_run_still_certifies() {
+        let mut env = OpenLoopEnv::standard(ProtocolKind::Xdgl);
+        env.sites = 2;
+        env.trace = true;
+        let cell = run_cell(&env, 2_000.0, 600, Arrivals::Poisson);
+        assert_eq!(cell.coordinators.len(), 2);
+        assert!(cell.trace_events > 0, "armed run must capture events");
+        assert!(cell.trace_complete, "trace must be complete (no drops)");
+        assert_eq!(
+            cell.trace_violations, 0,
+            "open-loop traffic must still satisfy every protocol law"
+        );
+    }
+}

@@ -25,7 +25,7 @@ use dtx_net::{LatencyModel, NetConfig, Network, SiteId, Topology};
 use dtx_storage::{CostModel, MemStore, Wal, WalRecord};
 use dtx_trace::{EventKind, Tracer};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -249,6 +249,10 @@ pub struct Cluster {
     /// Shared with the network; each site's scheduler, lock manager and
     /// WAL hold sinks into its per-site rings.
     tracer: Option<Arc<Tracer>>,
+    /// Round-robin cursor of [`Cluster::submit_round_robin`]: the
+    /// multi-coordinator submission path spreads successive transactions
+    /// over every site.
+    next_coord: AtomicUsize,
 }
 
 /// What one site restart replayed — reporting surface of
@@ -471,6 +475,7 @@ impl Cluster {
             durables,
             faults,
             tracer,
+            next_coord: AtomicUsize::new(0),
         }
     }
 
@@ -836,6 +841,18 @@ impl Cluster {
     /// Submits a transaction at `site`, returning its outcome channel.
     pub fn submit_async(&self, site: SiteId, spec: TxnSpec) -> Receiver<TxnOutcome> {
         self.instance(site).submit_async(spec)
+    }
+
+    /// The multi-coordinator submission path: submits a transaction at
+    /// the next site in round-robin order, so a stream of calls attaches
+    /// clients to **all** sites as coordinators instead of one. Returns
+    /// the chosen coordinator and the outcome channel. Per-coordinator
+    /// submission/commit/inflight accounting rides in
+    /// [`Metrics::coord_stats`](crate::Metrics::coord_stats).
+    pub fn submit_round_robin(&self, spec: TxnSpec) -> (SiteId, Receiver<TxnOutcome>) {
+        let n = self.next_coord.fetch_add(1, Ordering::Relaxed);
+        let inst = &self.instances[n % self.instances.len()];
+        (inst.site, inst.submit_async(spec))
     }
 
     /// The instance at `site`.

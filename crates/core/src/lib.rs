@@ -43,7 +43,7 @@ pub use cluster::{Cluster, ClusterConfig, DtxInstance, RecoveryReport};
 pub use dtx_locks::{ProtocolKind, TxnId};
 pub use dtx_net::{NetConfig, SiteId};
 pub use lockmgr::{LockManager, OpCostModel, ProcessResult};
-pub use metrics::{Metrics, PhaseTimes, Summary, TxnRecord};
+pub use metrics::{CoordStats, Histogram, Metrics, PhaseTimes, Summary, TxnRecord};
 pub use msg::Message;
 pub use op::{AbortReason, OpKind, OpResult, OpSpec, TxnOutcome, TxnSpec, TxnStatus};
 pub use routing::{PlacementPolicy, PolicyKind, ReadChoice, RoutingCtx, RoutingPlan};

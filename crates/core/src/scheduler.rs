@@ -665,6 +665,7 @@ impl Scheduler {
                     Ok(Control::Submit { spec, reply }) => {
                         let id = self.idgen.next();
                         let now = Instant::now();
+                        self.metrics.note_coord_submit(self.site);
                         self.txns.push(CoordTxn {
                             id,
                             spec,
