@@ -1,0 +1,141 @@
+//! `bench_wire` — the multi-process fig12 and the wire-codec
+//! microbenchmark.
+//!
+//! Every other figure runs the cluster inside one process over the
+//! simulated LAN; this bench spawns each site as a **separate OS
+//! process** (`dtx-site`) and drives the fig12 workload (50 clients,
+//! 20 % updates, 250 transactions) over real sockets with the `WIRE.md`
+//! binary codec. It reports commits, response-time percentiles and the
+//! real bytes/frames that crossed the wire, plus per-message
+//! encode/decode cost from an in-process codec microbench, and writes
+//! `BENCH_wire.json` for `check_bench`.
+//!
+//! Flags: `--smoke` runs the small 2-process CI cell (50 txns) and
+//! leaves `BENCH_wire.json` untouched; `--seed N` replays any run.
+//!
+//! Requires the `dtx-site` binary next to this one:
+//! `cargo build --release -p dtx-bench --bin dtx-site`.
+
+use dtx_bench::wirebench::{codec_bench, run_process_cluster, CodecBench, WireEnv, WireRun};
+use dtx_bench::{header, row, seed_from_args};
+use std::fmt::Write as _;
+
+/// Codec microbench iterations over the 5-message mix (full run).
+const CODEC_ITERS: usize = 200_000;
+
+fn print_run(label: &str, r: &WireRun) {
+    row(&[
+        label.to_string(),
+        r.sites.to_string(),
+        r.txns.to_string(),
+        format!("{}/{}", r.committed, r.txns),
+        format!("{:.2}", r.p50_ms),
+        format!("{:.2}", r.p99_ms),
+        format!("{:.2}", r.p999_ms),
+        format!("{:.2}", r.wall_s),
+        r.bytes_out.to_string(),
+        r.frames_out.to_string(),
+        format!("{:.0}", r.bytes_per_frame()),
+    ]);
+}
+
+fn write_json(seed: u64, fig12: &WireRun, codec: &CodecBench) -> std::io::Result<()> {
+    let mut out = String::from("{\n  \"experiment\": \"bench_wire\",\n");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(
+        out,
+        "  \"fig12_process\": {{\"sites\": {}, \"processes\": {}, \"txns\": {}, \
+         \"committed\": {}, \"aborted\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+         \"p999_ms\": {:.3}, \"wall_s\": {:.2}, \"bytes_out\": {}, \"bytes_in\": {}, \
+         \"frames_out\": {}, \"frames_in\": {}, \"bytes_per_frame\": {:.1}, \
+         \"decode_errors\": 0}},",
+        fig12.sites,
+        fig12.sites,
+        fig12.txns,
+        fig12.committed,
+        fig12.aborted,
+        fig12.p50_ms,
+        fig12.p99_ms,
+        fig12.p999_ms,
+        fig12.wall_s,
+        fig12.bytes_out,
+        fig12.bytes_in,
+        fig12.frames_out,
+        fig12.frames_in,
+        fig12.bytes_per_frame(),
+    );
+    let _ = writeln!(
+        out,
+        "  \"codec\": {{\"encode_ns\": {:.1}, \"decode_ns\": {:.1}, \"mean_bytes\": {:.1}}}",
+        codec.encode_ns, codec.decode_ns, codec.mean_bytes
+    );
+    out.push_str("}\n");
+    std::fs::write("BENCH_wire.json", out)
+}
+
+fn main() {
+    let smoke_mode = std::env::args().any(|a| a == "--smoke");
+    let seed = seed_from_args();
+    println!("# bench_wire — sites as OS processes, WIRE.md codec over real TCP");
+    header(&[
+        "cell",
+        "sites",
+        "txns",
+        "commit",
+        "p50_ms",
+        "p99_ms",
+        "p999_ms",
+        "wall_s",
+        "bytes_out",
+        "frames",
+        "B/frame",
+    ]);
+
+    if smoke_mode {
+        let run = run_process_cluster(WireEnv::smoke(seed)).unwrap_or_else(|e| {
+            eprintln!("bench_wire --smoke: {e}");
+            std::process::exit(1);
+        });
+        print_run("smoke", &run);
+        assert_eq!(run.txns, 50, "smoke cell is 10 clients x 5 txns");
+        assert_eq!(
+            run.committed + run.aborted,
+            run.txns,
+            "every transaction terminates"
+        );
+        assert!(
+            run.bytes_out > 0 && run.frames_out > 0,
+            "cross-process work must put bytes on the wire"
+        );
+        let codec = codec_bench(2_000);
+        println!(
+            "# codec: encode {:.0} ns/msg, decode {:.0} ns/msg, {:.0} B/msg",
+            codec.encode_ns, codec.decode_ns, codec.mean_bytes
+        );
+        println!("# smoke run: BENCH_wire.json left untouched");
+        return;
+    }
+
+    let run = run_process_cluster(WireEnv::fig12(seed)).unwrap_or_else(|e| {
+        eprintln!("bench_wire: {e}");
+        std::process::exit(1);
+    });
+    print_run("fig12", &run);
+    assert_eq!(run.txns, 250, "fig12 is 50 clients x 5 txns");
+    assert_eq!(
+        run.committed + run.aborted,
+        run.txns,
+        "every transaction terminates"
+    );
+
+    let codec = codec_bench(CODEC_ITERS);
+    println!(
+        "# codec: encode {:.0} ns/msg, decode {:.0} ns/msg, {:.0} B/msg over the protocol mix",
+        codec.encode_ns, codec.decode_ns, codec.mean_bytes
+    );
+
+    match write_json(seed, &run, &codec) {
+        Ok(()) => println!("# baseline written to BENCH_wire.json"),
+        Err(e) => eprintln!("could not write BENCH_wire.json: {e}"),
+    }
+}

@@ -29,7 +29,12 @@
 //! * **openloop** — the fixed-rate open-loop smoke cell: every
 //!   scheduled arrival terminated, all four sites served as
 //!   coordinators, and the scheduled-arrival (coordinated-omission-
-//!   safe) p99 inside the fresh band.
+//!   safe) p99 inside the fresh band;
+//! * **wire** — a 2-process `dtx-site` cluster driven over real TCP
+//!   with the `WIRE.md` codec: most of the 50-txn smoke mix commits,
+//!   bytes actually cross the wire, and the codec microbench stays
+//!   inside the fresh band (needs the `dtx-site` binary built:
+//!   `cargo build --release -p dtx-bench --bin dtx-site`).
 //!
 //! Prints a delta table (committed vs fresh per metric), writes the
 //! fresh numbers to `target/BENCH_check.json` (uploaded as a CI
@@ -38,7 +43,8 @@
 
 use dtx_bench::gate::{
     self, check_ingest_witness, check_net_witness, check_openloop_witness, check_reads_witness,
-    check_recovery_witness, check_throughput_witness, check_trace_witness, Check,
+    check_recovery_witness, check_throughput_witness, check_trace_witness, check_wire_witness,
+    Check,
 };
 use dtx_bench::json::Json;
 use dtx_bench::netbench::storm;
@@ -217,6 +223,7 @@ fn main() {
     let recovery = load_witness("BENCH_recovery.json");
     let trace = load_witness("BENCH_trace.json");
     let openloop_doc = load_witness("BENCH_openloop.json");
+    let wire = load_witness("BENCH_wire.json");
     for (name, loaded) in [
         ("BENCH_throughput.json", &throughput),
         ("BENCH_net.json", &net),
@@ -225,6 +232,7 @@ fn main() {
         ("BENCH_recovery.json", &recovery),
         ("BENCH_trace.json", &trace),
         ("BENCH_openloop.json", &openloop_doc),
+        ("BENCH_wire.json", &wire),
     ] {
         if let Err(e) = loaded {
             println!("  [FAIL] {name}: {e}");
@@ -254,6 +262,9 @@ fn main() {
     }
     if let Ok(doc) = &openloop_doc {
         all_ok &= print_checks("committed witness: openloop", &check_openloop_witness(doc));
+    }
+    if let Ok(doc) = &wire {
+        all_ok &= print_checks("committed witness: wire", &check_wire_witness(doc));
     }
 
     if offline {
@@ -440,6 +451,38 @@ fn main() {
         committed: committed_of(&openloop_doc, &["sustained", "achieved_rate"]),
         fresh: ol.achieved_rate,
     });
+
+    println!("\n# fresh run: wire smoke (2 dtx-site OS processes, 50 txns over real TCP)");
+    match dtx_bench::wirebench::run_process_cluster(dtx_bench::wirebench::WireEnv::smoke(SEED)) {
+        Ok(wr) => {
+            let codec = dtx_bench::wirebench::codec_bench(2_000);
+            all_ok &= print_checks(
+                "fresh: wire",
+                &gate::check_wire_fresh(
+                    wr.committed as f64,
+                    wr.txns as f64,
+                    wr.bytes_out as f64,
+                    wr.frames_out as f64,
+                    codec.encode_ns,
+                    codec.decode_ns,
+                ),
+            );
+            deltas.push(Delta {
+                metric: "wire smoke committed (of 50)",
+                committed: None,
+                fresh: wr.committed as f64,
+            });
+            deltas.push(Delta {
+                metric: "wire codec encode ns/msg",
+                committed: committed_of(&wire, &["codec", "encode_ns"]),
+                fresh: codec.encode_ns,
+            });
+        }
+        Err(e) => {
+            all_ok = false;
+            println!("  [FAIL] wire smoke did not run: {e}");
+        }
+    }
 
     print_delta_table(&deltas);
     write_fresh_json(&deltas);

@@ -149,6 +149,34 @@ pub const FRESH_OPENLOOP_P99_CAP_MS: f64 = 500.0;
 /// so even a slow CI host must sustain half of it.
 pub const FRESH_OPENLOOP_ACHIEVED_FRACTION: f64 = 0.50;
 
+/// Processes (= sites) the multi-process fig12 witness must have run:
+/// the point of `bench_wire` is 4 sites as 4 separate OS processes.
+pub const WIRE_PROCESSES: f64 = 4.0;
+
+/// Transactions of the multi-process fig12 cell (50 clients × 5).
+pub const WIRE_TXNS: f64 = 250.0;
+
+/// Witness cap on mean framed bytes per wire frame: the hand-rolled
+/// codec keeps the fig12 protocol mix compact (measured ~140–170 B
+/// including the 12-byte header); a frame bloat regression — e.g. a
+/// field widened from varint to fixed or a debug-format fallback —
+/// pushes this far up.
+pub const WIRE_BYTES_PER_FRAME_CAP: f64 = 1024.0;
+
+/// Witness cap on mean per-message encode/decode cost over the codec
+/// microbench mix (measured ~150 ns/msg; the cap leaves room for slower
+/// recording hosts while still catching an accidental quadratic or an
+/// allocation storm).
+pub const WIRE_CODEC_NS_CAP: f64 = 5_000.0;
+
+/// Fresh smoke commit floor: the 2-process, 50-transaction CI cell must
+/// commit at least this many (the mechanism working at all, with head
+/// room for scheduling noise on a loaded CI host).
+pub const FRESH_WIRE_COMMIT_FLOOR: f64 = 40.0;
+
+/// Fresh codec cap: wide band for arbitrary CI hosts.
+pub const FRESH_WIRE_CODEC_NS_CAP: f64 = 50_000.0;
+
 /// One named invariant's verdict.
 #[derive(Debug)]
 pub struct Check {
@@ -897,6 +925,118 @@ pub fn check_ingest_fresh(stream_mb_s: f64, tree_mb_s: f64) -> Vec<Check> {
     )]
 }
 
+/// Validates `BENCH_wire.json`: the multi-process fig12 (4 sites as 4
+/// separate OS processes, `WIRE.md` codec over real TCP) committed at
+/// least the same floor as the in-process run, actually used the wire
+/// (positive byte/frame counters, zero decode errors, compact frames),
+/// and the codec microbench stayed inside its per-message budget.
+pub fn check_wire_witness(doc: &Json) -> Vec<Check> {
+    let mut checks = Vec::new();
+    let Some(run) = doc.get("fig12_process") else {
+        return vec![Check::new(
+            "wire: fig12_process cell",
+            "missing from witness".into(),
+            false,
+        )];
+    };
+    require(
+        &mut checks,
+        "wire fig12 commits ≥ floor",
+        run.num_field("committed"),
+        COMMIT_FLOOR,
+        true,
+    );
+    let sites = run.num_field("sites");
+    let procs = run.num_field("processes");
+    checks.push(Check::new(
+        "wire fig12 ran 4 sites as 4 OS processes",
+        format!("sites {sites:?}, processes {procs:?}"),
+        matches!((sites, procs), (Some(s), Some(p)) if s == WIRE_PROCESSES && p == WIRE_PROCESSES),
+    ));
+    let txns = run.num_field("txns");
+    checks.push(Check::new(
+        "wire fig12 submitted the full workload",
+        format!("txns {txns:?} = {WIRE_TXNS:.0}"),
+        matches!(txns, Some(t) if t == WIRE_TXNS),
+    ));
+    for field in ["bytes_out", "bytes_in", "frames_out", "frames_in"] {
+        require(
+            &mut checks,
+            &format!("wire fig12 {field} > 0"),
+            run.num_field(field),
+            1.0,
+            true,
+        );
+    }
+    require(
+        &mut checks,
+        "wire fig12 decode errors = 0",
+        run.num_field("decode_errors"),
+        1.0,
+        false,
+    );
+    require(
+        &mut checks,
+        "wire fig12 frames compact",
+        run.num_field("bytes_per_frame"),
+        WIRE_BYTES_PER_FRAME_CAP,
+        false,
+    );
+    check_percentiles(&mut checks, "wire fig12", run);
+    let Some(codec) = doc.get("codec") else {
+        checks.push(Check::new(
+            "wire: codec cell",
+            "missing from witness".into(),
+            false,
+        ));
+        return checks;
+    };
+    for field in ["encode_ns", "decode_ns"] {
+        let v = codec.num_field(field);
+        checks.push(Check::new(
+            format!("wire codec {field} inside witness band"),
+            format!("0 < {v:?} < {WIRE_CODEC_NS_CAP:.0} ns/msg"),
+            matches!(v, Some(n) if 0.0 < n && n < WIRE_CODEC_NS_CAP),
+        ));
+    }
+    checks
+}
+
+/// Checks a fresh 2-process wire smoke cell against the wide fresh
+/// bands: the cluster of OS processes commits most of the 50-txn mix
+/// over real sockets, and the codec stays inside the fresh budget.
+pub fn check_wire_fresh(
+    committed: f64,
+    txns: f64,
+    bytes_out: f64,
+    frames_out: f64,
+    encode_ns: f64,
+    decode_ns: f64,
+) -> Vec<Check> {
+    vec![
+        Check::new(
+            "wire fresh smoke commits ≥ fresh floor",
+            format!("{committed:.0} / {txns:.0} ≥ {FRESH_WIRE_COMMIT_FLOOR:.0}"),
+            committed >= FRESH_WIRE_COMMIT_FLOOR,
+        ),
+        Check::new(
+            "wire fresh smoke put bytes on the wire",
+            format!("{bytes_out:.0} B in {frames_out:.0} frames"),
+            bytes_out > 0.0 && frames_out > 0.0,
+        ),
+        Check::new(
+            "wire fresh codec inside fresh band",
+            format!(
+                "encode {encode_ns:.0}, decode {decode_ns:.0} < {FRESH_WIRE_CODEC_NS_CAP:.0} ns"
+            ),
+            0.0 < encode_ns
+                && encode_ns < FRESH_WIRE_CODEC_NS_CAP
+                && 0.0 < decode_ns
+                && decode_ns < FRESH_WIRE_CODEC_NS_CAP,
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1548,6 +1688,139 @@ mod tests {
         assert!(!all_ok(&checks), "absent traced cell must not pass");
         let checks = check_openloop_witness(&Json::parse("{}").unwrap());
         assert!(!all_ok(&checks), "absent sustained cell must not pass");
+    }
+
+    const GOOD_WIRE: &str = r#"{
+        "experiment": "bench_wire", "seed": 2009,
+        "fig12_process": {"sites": 4, "processes": 4, "txns": 250,
+         "committed": 233, "aborted": 17, "p50_ms": 84.3, "p99_ms": 878.5,
+         "p999_ms": 1086.9, "wall_s": 1.15, "bytes_out": 2989569,
+         "bytes_in": 2361567, "frames_out": 21156, "frames_in": 21160,
+         "bytes_per_frame": 141.3, "decode_errors": 0},
+        "codec": {"encode_ns": 164.2, "decode_ns": 147.9, "mean_bytes": 19.2}
+    }"#;
+
+    #[test]
+    fn good_wire_witness_passes() {
+        assert!(all_ok(&check_wire_witness(
+            &Json::parse(GOOD_WIRE).unwrap()
+        )));
+    }
+
+    #[test]
+    fn doctored_wire_commits_fail() {
+        let doctored = GOOD_WIRE.replace("\"committed\": 233", "\"committed\": 220");
+        let checks = check_wire_witness(&Json::parse(&doctored).unwrap());
+        assert_eq!(failed(&checks), vec!["wire fig12 commits ≥ floor"]);
+    }
+
+    #[test]
+    fn doctored_wire_process_count_fails() {
+        // A witness recorded from an in-process shortcut (1 process) is
+        // not the multi-process experiment.
+        let doctored = GOOD_WIRE.replace("\"processes\": 4", "\"processes\": 1");
+        let checks = check_wire_witness(&Json::parse(&doctored).unwrap());
+        assert_eq!(
+            failed(&checks),
+            vec!["wire fig12 ran 4 sites as 4 OS processes"]
+        );
+        let doctored = GOOD_WIRE.replace("\"sites\": 4", "\"sites\": 2");
+        assert!(!all_ok(&check_wire_witness(
+            &Json::parse(&doctored).unwrap()
+        )));
+    }
+
+    #[test]
+    fn doctored_wire_workload_fails() {
+        let doctored = GOOD_WIRE.replace("\"txns\": 250", "\"txns\": 50");
+        let checks = check_wire_witness(&Json::parse(&doctored).unwrap());
+        assert_eq!(
+            failed(&checks),
+            vec!["wire fig12 submitted the full workload"]
+        );
+    }
+
+    #[test]
+    fn doctored_wire_silent_wire_fails() {
+        // Zero bytes on the wire means the processes never actually
+        // talked over sockets.
+        let doctored = GOOD_WIRE.replace("\"bytes_out\": 2989569", "\"bytes_out\": 0");
+        let checks = check_wire_witness(&Json::parse(&doctored).unwrap());
+        assert_eq!(failed(&checks), vec!["wire fig12 bytes_out > 0"]);
+        let doctored = GOOD_WIRE.replace("\"frames_in\": 21160", "\"frames_in\": 0");
+        let checks = check_wire_witness(&Json::parse(&doctored).unwrap());
+        assert_eq!(failed(&checks), vec!["wire fig12 frames_in > 0"]);
+    }
+
+    #[test]
+    fn doctored_wire_decode_errors_fail() {
+        let doctored = GOOD_WIRE.replace("\"decode_errors\": 0", "\"decode_errors\": 3");
+        let checks = check_wire_witness(&Json::parse(&doctored).unwrap());
+        assert_eq!(failed(&checks), vec!["wire fig12 decode errors = 0"]);
+    }
+
+    #[test]
+    fn doctored_wire_frame_bloat_fails() {
+        let doctored =
+            GOOD_WIRE.replace("\"bytes_per_frame\": 141.3", "\"bytes_per_frame\": 4096.0");
+        let checks = check_wire_witness(&Json::parse(&doctored).unwrap());
+        assert_eq!(failed(&checks), vec!["wire fig12 frames compact"]);
+    }
+
+    #[test]
+    fn doctored_wire_percentiles_fail() {
+        // p50 > p99: a doctored or mis-merged witness.
+        let doctored = GOOD_WIRE.replace("\"p50_ms\": 84.3", "\"p50_ms\": 900.0");
+        let checks = check_wire_witness(&Json::parse(&doctored).unwrap());
+        assert_eq!(
+            failed(&checks),
+            vec!["wire fig12 percentiles present and ordered"]
+        );
+    }
+
+    #[test]
+    fn doctored_wire_codec_fails() {
+        let slow = GOOD_WIRE.replace("\"encode_ns\": 164.2", "\"encode_ns\": 80000.0");
+        let checks = check_wire_witness(&Json::parse(&slow).unwrap());
+        assert_eq!(
+            failed(&checks),
+            vec!["wire codec encode_ns inside witness band"]
+        );
+        // A zero cost means the microbench measured nothing.
+        let zero = GOOD_WIRE.replace("\"decode_ns\": 147.9", "\"decode_ns\": 0");
+        let checks = check_wire_witness(&Json::parse(&zero).unwrap());
+        assert_eq!(
+            failed(&checks),
+            vec!["wire codec decode_ns inside witness band"]
+        );
+    }
+
+    #[test]
+    fn wire_missing_sections_fail_closed() {
+        let checks = check_wire_witness(&Json::parse("{}").unwrap());
+        assert!(!all_ok(&checks), "absent fig12_process must not pass");
+        let no_codec = GOOD_WIRE.replace("\"codec\"", "\"codec_gone\"");
+        let checks = check_wire_witness(&Json::parse(&no_codec).unwrap());
+        assert!(failed(&checks).contains(&"wire: codec cell"));
+    }
+
+    #[test]
+    fn fresh_wire_checks_flag_regressions() {
+        assert!(all_ok(&check_wire_fresh(
+            47.0, 50.0, 88000.0, 795.0, 150.0, 150.0
+        )));
+        // Mass aborts on the smoke cell.
+        assert!(!all_ok(&check_wire_fresh(
+            30.0, 50.0, 88000.0, 795.0, 150.0, 150.0
+        )));
+        // A silent wire.
+        assert!(!all_ok(&check_wire_fresh(
+            47.0, 50.0, 0.0, 0.0, 150.0, 150.0
+        )));
+        // A codec meltdown.
+        assert!(!all_ok(&check_wire_fresh(
+            47.0, 50.0, 88000.0, 795.0, 90000.0, 150.0
+        )));
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod netbench;
 pub mod openloop;
 pub mod recovery;
 pub mod tracebench;
+pub mod wirebench;
 
 pub use mem::CountingAlloc;
 

@@ -1,0 +1,154 @@
+//! Epoch-tagged catalog gossip: placement deltas that converge by
+//! dominance.
+//!
+//! In a single process every site shares one [`crate::Catalog`] behind an
+//! `Arc`; across processes each node holds its own catalog instance and
+//! placement changes travel as [`CatalogDelta`]s — one per document,
+//! stamped with the document's **placement version** (the per-document
+//! version PR 3 introduced for stale-dispatch detection, now doing double
+//! duty as the gossip merge key).
+//!
+//! Convergence is by **dominance**: a receiver installs a delta iff its
+//! version is strictly greater than the local version of the same
+//! document ([`crate::Catalog::apply_delta`]); otherwise the delta is
+//! ignored. Versions are minted from the catalog epoch, which
+//! [`crate::Catalog::apply_delta`] ratchets to at least every installed
+//! version — so a later local mutation anywhere always outranks every
+//! delta it has seen, and replaying any subset of deltas in any order,
+//! any number of times, reaches the same fixed point (the merge is
+//! idempotent, commutative and associative over the per-doc max). The
+//! anti-entropy loop in [`crate::process::SiteHost`] ships each node's
+//! full delta set to its peers periodically and after local mutations;
+//! `tests/process.rs` pins convergence under random delivery orders.
+
+use crate::catalog::Catalog;
+use dtx_net::SiteId;
+
+/// One document's placement, as shipped between processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogDelta {
+    /// Document (or logical fragmented document) name.
+    pub doc: String,
+    /// The document's placement version — the merge key. Strictly
+    /// greater wins; equal or smaller is stale and ignored.
+    pub version: u64,
+    /// Replica (or fragment) sites, sorted.
+    pub sites: Vec<SiteId>,
+    /// Whether the sites hold disjoint fragments rather than full copies.
+    pub fragmented: bool,
+    /// Site that minted this version (observability / tie diagnostics —
+    /// dominance alone decides installation).
+    pub origin: SiteId,
+}
+
+/// Applies every delta to `catalog`, returning how many dominated (were
+/// actually installed). The building block of the anti-entropy exchange.
+pub fn merge_deltas(catalog: &Catalog, deltas: &[CatalogDelta]) -> usize {
+    deltas.iter().filter(|d| catalog.apply_delta(d)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta(doc: &str, version: u64, sites: &[u16]) -> CatalogDelta {
+        CatalogDelta {
+            doc: doc.into(),
+            version,
+            sites: sites.iter().map(|&s| SiteId(s)).collect(),
+            fragmented: false,
+            origin: SiteId(0),
+        }
+    }
+
+    #[test]
+    fn dominance_installs_only_strictly_newer_versions() {
+        let c = Catalog::new();
+        c.register("d", &[SiteId(0)]);
+        let v = c.version_of("d");
+        assert!(!c.apply_delta(&delta("d", v, &[0, 1])), "equal is stale");
+        assert!(
+            !c.apply_delta(&delta("d", v - 1, &[0, 1])),
+            "older is stale"
+        );
+        assert!(c.apply_delta(&delta("d", v + 5, &[0, 1])), "newer wins");
+        assert_eq!(c.version_of("d"), v + 5);
+        assert_eq!(c.sites_of("d"), vec![SiteId(0), SiteId(1)]);
+        // The epoch ratcheted: the next local mint outranks the delta.
+        c.register("e", &[SiteId(2)]);
+        assert!(c.version_of("e") > v + 5);
+    }
+
+    #[test]
+    fn unknown_documents_are_adopted() {
+        let c = Catalog::new();
+        assert!(c.apply_delta(&delta("new", 7, &[1, 2])));
+        assert_eq!(c.sites_of("new"), vec![SiteId(1), SiteId(2)]);
+        assert_eq!(c.version_of("new"), 7);
+    }
+
+    #[test]
+    fn convergence_is_order_independent() {
+        // Three catalogs, each the origin of some mutations; shipping
+        // every delta set to every catalog in different orders (with
+        // duplicates) must reach identical placements everywhere.
+        let a = Catalog::new();
+        let b = Catalog::new();
+        let c = Catalog::new();
+        a.register("x", &[SiteId(0)]);
+        a.register("y", &[SiteId(0), SiteId(1)]);
+        b.register("x", &[SiteId(2)]); // same doc, independently minted
+        b.register("z", &[SiteId(2)]);
+        c.register_fragmented("w", &[SiteId(0), SiteId(1), SiteId(2)]);
+        // Give the same doc a dominating version on b by mutating again.
+        b.register("x", &[SiteId(2), SiteId(1)]);
+        let (da, db, dc) = (
+            a.export_deltas(SiteId(0)),
+            b.export_deltas(SiteId(1)),
+            c.export_deltas(SiteId(2)),
+        );
+        // Deterministic pseudo-random orders per receiver.
+        let all: Vec<&CatalogDelta> = da.iter().chain(&db).chain(&dc).collect();
+        let orders: [Vec<usize>; 3] = {
+            let n = all.len();
+            let mut o = [Vec::new(), Vec::new(), Vec::new()];
+            let mut s = 2009u64;
+            for (k, ord) in o.iter_mut().enumerate() {
+                // Each receiver sees every delta twice, shuffled.
+                let mut idx: Vec<usize> = (0..n).chain(0..n).collect();
+                for i in (1..idx.len()).rev() {
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(k as u64 + 1);
+                    idx.swap(i, (s >> 33) as usize % (i + 1));
+                }
+                *ord = idx;
+            }
+            o
+        };
+        for (cat, order) in [(&a, &orders[0]), (&b, &orders[1]), (&c, &orders[2])] {
+            for &i in order.iter() {
+                cat.apply_delta(all[i]);
+            }
+        }
+        // Same fixed point everywhere: per-doc (version, sites, frag).
+        let view = |cat: &Catalog| {
+            let mut docs = cat.documents();
+            docs.sort();
+            docs.into_iter()
+                .map(|d| {
+                    (
+                        d.clone(),
+                        cat.version_of(&d),
+                        cat.sites_of(&d),
+                        cat.is_fragmented(&d),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(view(&a), view(&b));
+        assert_eq!(view(&b), view(&c));
+        // And the winner of the contended doc is the dominating version.
+        assert_eq!(a.sites_of("x"), vec![SiteId(1), SiteId(2)]);
+    }
+}

@@ -31,22 +31,28 @@
 
 pub mod catalog;
 pub mod cluster;
+pub mod gossip;
 pub mod lockmgr;
 pub mod metrics;
 pub mod msg;
 pub mod op;
+pub mod process;
 pub mod routing;
 pub mod scheduler;
+pub mod wire;
 
 pub use catalog::Catalog;
 pub use cluster::{Cluster, ClusterConfig, DtxInstance, RecoveryReport};
 pub use dtx_locks::{ProtocolKind, TxnId};
 pub use dtx_net::{NetConfig, SiteId};
+pub use gossip::CatalogDelta;
 pub use lockmgr::{LockManager, OpCostModel, ProcessResult};
 pub use metrics::{CoordStats, Histogram, Metrics, PhaseTimes, Summary, TxnRecord};
 pub use msg::Message;
 pub use op::{AbortReason, OpKind, OpResult, OpSpec, TxnOutcome, TxnSpec, TxnStatus};
+pub use process::{CtrlClient, SiteHost, SiteHostConfig};
 pub use routing::{PlacementPolicy, PolicyKind, ReadChoice, RoutingCtx, RoutingPlan};
 pub use scheduler::{
     Control, CrashPoint, DocShipment, FaultHooks, RecoveredState, Scheduler, SchedulerConfig,
 };
+pub use wire::{CtrlMsg, CTRL_TAGS, MESSAGE_TAGS};

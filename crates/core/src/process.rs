@@ -1,0 +1,592 @@
+//! Hosting DTX sites as standalone OS processes.
+//!
+//! A [`SiteHost`] is the process-mode counterpart of
+//! [`crate::Cluster`]: it boots one or more scheduler sites inside the
+//! current process and stitches them to the rest of the cluster over
+//! real TCP ([`dtx_net::socket::SocketTransport`]) instead of the
+//! simulated LAN. The schedulers are byte-for-byte the same — the only
+//! difference is the transport seam:
+//!
+//! * outbound messages to non-hosted sites leave through the network's
+//!   **uplink** ([`dtx_net::Network::set_uplink`]), which encodes them
+//!   with the `WIRE.md` codec and queues them on the destination
+//!   process's connection;
+//! * inbound frames decode on a socket poller and enter through
+//!   [`dtx_net::Network::deliver`], landing on the same endpoint channel
+//!   a local send would.
+//!
+//! The control plane ([`crate::wire::CtrlMsg`]) replaces direct method
+//! calls on [`crate::cluster::DtxInstance`]: a driver process registers
+//! placements, loads documents, submits transactions and collects
+//! outcomes over `Ctrl` frames; the `dtx-site` binary in `dtx-bench` is
+//! a thin `main` around this type.
+//!
+//! Cross-process agreement rests on two conventions:
+//!
+//! * **Transaction ids** are strided ([`TxnIdGen::strided`]): each
+//!   process draws from a disjoint residue class mod the cluster size,
+//!   so ids are globally unique with zero coordination (and deadlock
+//!   victim selection, which compares ids, stays total across
+//!   processes).
+//! * **Catalogs** converge by gossip ([`crate::gossip`]): every node
+//!   applies the driver's identical `Register` sequence (minting
+//!   identical placement versions), and an anti-entropy loop exchanges
+//!   [`crate::CatalogDelta`]s so later placement changes propagate
+//!   without a coordinator.
+
+use crate::catalog::Catalog;
+use crate::gossip::merge_deltas;
+use crate::lockmgr::{LockManager, OpCostModel};
+use crate::metrics::Metrics;
+use crate::msg::Message;
+use crate::routing::PolicyKind;
+use crate::scheduler::{Control, FaultHooks, RecoveredState, Scheduler, SchedulerConfig};
+use crate::wire::CtrlMsg;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use dtx_locks::txn::TxnIdGen;
+use dtx_locks::ProtocolKind;
+use dtx_net::socket::{SocketConfig, SocketTransport, DRIVER_SITE};
+use dtx_net::wire::{FrameHeader, WireCodec};
+use dtx_net::{LatencyModel, NetConfig, Network, SiteId, Topology};
+use dtx_storage::{CostModel, MemStore, Wal};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of one site-hosting process.
+#[derive(Debug, Clone)]
+pub struct SiteHostConfig {
+    /// Sites this process hosts (their schedulers run here).
+    pub hosted: Vec<SiteId>,
+    /// Total number of sites in the cluster — the stride of the txn-id
+    /// generator; must match on every process.
+    pub total_sites: u16,
+    /// Listen address (`127.0.0.1:0` for an OS-assigned port).
+    pub listen: String,
+    /// Concurrency-control protocol run by the hosted schedulers.
+    pub protocol: ProtocolKind,
+    /// Scheduler tuning (per-site seeds derive from [`Self::seed`]).
+    pub scheduler: SchedulerConfig,
+    /// Read-placement policy of the local catalog.
+    pub policy: PolicyKind,
+    /// Per-operation processing cost model.
+    pub op_cost: OpCostModel,
+    /// Storage I/O cost model.
+    pub storage_cost: CostModel,
+    /// Master seed (retry jitter; offset per hosted site).
+    pub seed: u64,
+    /// Anti-entropy period of the catalog gossip loop.
+    pub gossip_every: Duration,
+    /// Socket transport tuning.
+    pub socket: SocketConfig,
+}
+
+impl SiteHostConfig {
+    /// Defaults for hosting `hosted` out of a `total_sites`-site
+    /// cluster: XDGL, the calibrated op/storage cost models of the
+    /// in-process figure runs (only network *latency* is the real
+    /// wire's job now — processing cost is part of the workload model,
+    /// not the transport), 25 ms gossip.
+    pub fn new(hosted: &[SiteId], total_sites: u16) -> Self {
+        // Cross-process WFG snapshots travel over the real wire, so a
+        // fast detector keeps acting on stale wait edges and kills
+        // phantom victims; a longer period than the in-process default
+        // trades resolution latency of true cycles (still one round)
+        // for far fewer false kills. 250 ms measured best on fig12.
+        let scheduler = SchedulerConfig {
+            deadlock_period: Duration::from_millis(250),
+            ..SchedulerConfig::default()
+        };
+        SiteHostConfig {
+            hosted: hosted.to_vec(),
+            total_sites,
+            listen: "127.0.0.1:0".into(),
+            protocol: ProtocolKind::Xdgl,
+            scheduler,
+            policy: PolicyKind::default(),
+            op_cost: OpCostModel::realistic(),
+            storage_cost: CostModel::default(),
+            seed: 0xD7C5,
+            gossip_every: Duration::from_millis(25),
+            socket: SocketConfig::default(),
+        }
+    }
+}
+
+/// One hosted scheduler site: its Listener handle.
+struct Hosted {
+    control: Sender<Control>,
+    handle: Option<JoinHandle<()>>,
+}
+
+struct HostShared {
+    sock: SocketTransport<Message>,
+    net: Network<Message>,
+    catalog: Arc<Catalog>,
+    /// Lowest hosted site — this process's identity on the control plane.
+    me: SiteId,
+    /// Remote gossip targets: one representative (lowest) site per peer
+    /// process, learned from the driver's `Peers` message.
+    gossip_peers: RwLock<Vec<SiteId>>,
+    stopping: AtomicBool,
+}
+
+/// A running process-mode node: local schedulers for the hosted sites,
+/// a socket transport to everyone else, a control-plane thread and a
+/// catalog gossip loop.
+pub struct SiteHost {
+    shared: Arc<HostShared>,
+    hosted: HashMap<SiteId, Hosted>,
+    metrics: Arc<Metrics>,
+    ctrl_thread: Option<JoinHandle<()>>,
+    gossip_thread: Option<JoinHandle<()>>,
+    done_rx: Receiver<()>,
+    config: SiteHostConfig,
+}
+
+impl SiteHost {
+    /// Boots the hosted schedulers and binds the socket transport.
+    /// Returns once the process is accepting connections (peers and
+    /// placements arrive later over the control plane).
+    pub fn start(config: SiteHostConfig) -> Result<SiteHost, String> {
+        if config.hosted.is_empty() {
+            return Err("must host at least one site".into());
+        }
+        let me = *config.hosted.iter().min().expect("nonempty");
+        let sock: SocketTransport<Message> =
+            SocketTransport::bind(&config.hosted, &config.listen, config.socket)
+                .map_err(|e| format!("bind {}: {e}", config.listen))?;
+        // Local fabric between hosted sites: zero latency, no faults —
+        // realism now comes from the actual wire.
+        let net: Network<Message> = Network::with_config(
+            LatencyModel::zero(),
+            Topology::default(),
+            NetConfig::default(),
+        );
+        let catalog = Arc::new(Catalog::new());
+        catalog.set_policy(config.policy.instantiate());
+        let metrics = Arc::new(Metrics::new());
+        // Disjoint residue classes: process hosting site k starts at
+        // k+1 and strides by the cluster size.
+        let idgen = Arc::new(TxnIdGen::strided(
+            1 + me.0 as u64,
+            config.total_sites.max(1) as u64,
+        ));
+        // Everything not hosted here is remote: sends to it take the
+        // uplink, and the deadlock detector's broadcast set includes it.
+        for i in 0..config.total_sites {
+            let site = SiteId(i);
+            if !config.hosted.contains(&site) {
+                net.add_remote_site(site);
+            }
+        }
+        {
+            let sock = sock.clone();
+            net.set_uplink(Some(Arc::new(move |env: dtx_net::Envelope<Message>| {
+                let _ = sock.send_msg(env.from, env.to, &env.payload);
+            })));
+        }
+        {
+            let net = net.clone();
+            sock.set_msg_handler(Some(Arc::new(move |env| {
+                let _ = net.deliver(env);
+            })));
+        }
+        let mut hosted = HashMap::new();
+        for &site in &config.hosted {
+            let endpoint = net.register(site);
+            let (control_tx, control_rx): (Sender<Control>, Receiver<Control>) = unbounded();
+            let store = MemStore::new(config.storage_cost);
+            let mut lockmgr = LockManager::with_cost(
+                config.protocol.instantiate(),
+                Box::new(store),
+                config.op_cost,
+            );
+            let wal = Arc::new(Wal::new());
+            lockmgr.set_wal(Arc::clone(&wal));
+            let mut sched_cfg = config.scheduler;
+            sched_cfg.seed = config.seed.wrapping_add(site.0 as u64);
+            let scheduler = Scheduler::new(
+                site,
+                net.clone(),
+                endpoint,
+                control_rx,
+                catalog.clone(),
+                lockmgr,
+                idgen.clone(),
+                metrics.clone(),
+                sched_cfg,
+                wal,
+                FaultHooks::default(),
+                RecoveredState::default(),
+            );
+            let handle = std::thread::Builder::new()
+                .name(format!("dtx-scheduler-{site}"))
+                .spawn(move || scheduler.run())
+                .map_err(|e| format!("spawn scheduler: {e}"))?;
+            hosted.insert(
+                site,
+                Hosted {
+                    control: control_tx,
+                    handle: Some(handle),
+                },
+            );
+        }
+        let shared = Arc::new(HostShared {
+            sock: sock.clone(),
+            net,
+            catalog,
+            me,
+            gossip_peers: RwLock::new(Vec::new()),
+            stopping: AtomicBool::new(false),
+        });
+        // Control frames arrive on socket pollers, which must not block:
+        // they enqueue to a dedicated control thread.
+        let (ctrl_tx, ctrl_rx) = unbounded::<(FrameHeader, Vec<u8>)>();
+        sock.set_ctrl_handler(Some(Arc::new(move |header, body| {
+            let _ = ctrl_tx.send((header, body));
+        })));
+        let (done_tx, done_rx) = bounded(1);
+        let ctrl_thread = {
+            let shared = Arc::clone(&shared);
+            let controls: HashMap<SiteId, Sender<Control>> = hosted
+                .iter()
+                .map(|(&s, h)| (s, h.control.clone()))
+                .collect();
+            std::thread::Builder::new()
+                .name(format!("dtx-ctrl-{me}"))
+                .spawn(move || control_loop(shared, controls, ctrl_rx, done_tx))
+                .map_err(|e| format!("spawn control thread: {e}"))?
+        };
+        let gossip_thread = {
+            let shared = Arc::clone(&shared);
+            let every = config.gossip_every;
+            std::thread::Builder::new()
+                .name(format!("dtx-gossip-{me}"))
+                .spawn(move || gossip_loop(shared, every))
+                .map_err(|e| format!("spawn gossip thread: {e}"))?
+        };
+        Ok(SiteHost {
+            shared,
+            hosted,
+            metrics,
+            ctrl_thread: Some(ctrl_thread),
+            gossip_thread: Some(gossip_thread),
+            done_rx,
+            config,
+        })
+    }
+
+    /// The bound listen address (resolves a port-0 bind).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.shared.sock.local_addr()
+    }
+
+    /// This node's identity on the control plane (lowest hosted site).
+    pub fn node_id(&self) -> SiteId {
+        self.shared.me
+    }
+
+    /// The node's catalog (gossip-converged placements).
+    pub fn catalog(&self) -> Arc<Catalog> {
+        Arc::clone(&self.shared.catalog)
+    }
+
+    /// The node's metrics collector.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Real bytes-on-wire counters of the node's transport.
+    pub fn wire_stats(&self) -> (u64, u64, u64, u64) {
+        let s = self.shared.sock.stats();
+        (s.bytes_out(), s.bytes_in(), s.frames_out(), s.frames_in())
+    }
+
+    /// Dials a peer process directly (tests; deployments normally let
+    /// the driver's [`CtrlMsg::Peers`] drive connection setup).
+    pub fn connect(&self, addr: &str, expect: &[SiteId]) -> Result<(), String> {
+        self.shared
+            .sock
+            .connect(addr, expect)
+            .map_err(|e| format!("connect {addr}: {e}"))
+    }
+
+    /// Blocks until a [`CtrlMsg::Shutdown`] arrives over the control
+    /// plane (the `dtx-site` main parks here), with a timeout escape.
+    pub fn wait_shutdown(&self, timeout: Duration) -> bool {
+        self.done_rx.recv_timeout(timeout).is_ok()
+    }
+
+    /// Stops everything: schedulers (joined), gossip, control thread and
+    /// the socket transport.
+    pub fn shutdown(mut self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        for host in self.hosted.values_mut() {
+            let _ = host.control.send(Control::Shutdown);
+        }
+        for host in self.hosted.values_mut() {
+            if let Some(h) = host.handle.take() {
+                let _ = h.join();
+            }
+        }
+        if let Some(h) = self.gossip_thread.take() {
+            let _ = h.join();
+        }
+        // Closing the transport clears its handlers, which drops the
+        // control thread's sender — its loop then drains and exits; the
+        // uplink goes too, severing the Network→transport reference.
+        self.shared.net.set_uplink(None);
+        self.shared.sock.shutdown();
+        if let Some(h) = self.ctrl_thread.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// The node's configuration.
+    pub fn config(&self) -> &SiteHostConfig {
+        &self.config
+    }
+}
+
+/// The control-plane event loop: decodes [`CtrlMsg`] frames and drives
+/// the hosted schedulers through their Listener channels.
+fn control_loop(
+    shared: Arc<HostShared>,
+    controls: HashMap<SiteId, Sender<Control>>,
+    ctrl_rx: Receiver<(FrameHeader, Vec<u8>)>,
+    done_tx: Sender<()>,
+) {
+    while let Ok((header, body)) = ctrl_rx.recv() {
+        let msg = match CtrlMsg::decode(&body) {
+            Ok(m) => m,
+            Err(_) => continue,
+        };
+        match msg {
+            CtrlMsg::Peers { peers, .. } => {
+                // Group peer sites by hosting process (address) and dial
+                // every peer process whose lowest site outranks ours —
+                // a deterministic direction, so the mesh has exactly one
+                // connection per process pair.
+                let mut by_addr: HashMap<String, Vec<SiteId>> = HashMap::new();
+                for (site, addr) in &peers {
+                    by_addr.entry(addr.clone()).or_default().push(*site);
+                }
+                let mut gossip_peers = Vec::new();
+                for (addr, mut sites) in by_addr {
+                    sites.sort();
+                    let low = sites[0];
+                    if controls.contains_key(&low) {
+                        continue; // our own process
+                    }
+                    gossip_peers.push(low);
+                    if low > shared.me {
+                        let _ = shared.sock.connect(&addr, &sites);
+                    }
+                }
+                gossip_peers.sort();
+                *shared.gossip_peers.write() = gossip_peers;
+                reply(&shared, header.from, &CtrlMsg::Ready { node: shared.me });
+            }
+            CtrlMsg::Register {
+                corr,
+                doc,
+                sites,
+                fragmented,
+            } => {
+                if fragmented {
+                    shared.catalog.register_fragmented(&doc, &sites);
+                } else {
+                    shared.catalog.register(&doc, &sites);
+                }
+                reply(
+                    &shared,
+                    header.from,
+                    &CtrlMsg::Ack {
+                        corr,
+                        ok: true,
+                        detail: String::new(),
+                    },
+                );
+            }
+            CtrlMsg::LoadDoc { corr, doc, xml } => {
+                let result = match controls.get(&header.to) {
+                    Some(control) => {
+                        let (ack, rx) = bounded(1);
+                        let sent = control.send(Control::LoadDoc {
+                            name: doc,
+                            xml,
+                            guide: None,
+                            ack,
+                        });
+                        match sent {
+                            Ok(()) => rx
+                                .recv()
+                                .unwrap_or_else(|_| Err("scheduler is down".into())),
+                            Err(_) => Err("scheduler is down".into()),
+                        }
+                    }
+                    None => Err(format!("site {} not hosted here", header.to)),
+                };
+                let (ok, detail) = match result {
+                    Ok(()) => (true, String::new()),
+                    Err(e) => (false, e),
+                };
+                reply(&shared, header.from, &CtrlMsg::Ack { corr, ok, detail });
+            }
+            CtrlMsg::Submit { corr, spec } => {
+                // Block a throwaway thread on the outcome, not this loop:
+                // submissions overlap and the control plane must keep
+                // serving peers meanwhile.
+                if let Some(control) = controls.get(&header.to) {
+                    let (outcome_tx, outcome_rx) = bounded(1);
+                    if control
+                        .send(Control::Submit {
+                            spec,
+                            reply: outcome_tx,
+                        })
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    let shared = Arc::clone(&shared);
+                    let to = header.from;
+                    let _ = std::thread::Builder::new()
+                        .name("dtx-outcome".into())
+                        .spawn(move || {
+                            if let Ok(outcome) = outcome_rx.recv() {
+                                reply(
+                                    &shared,
+                                    to,
+                                    &CtrlMsg::Outcome {
+                                        corr,
+                                        txn: outcome.txn,
+                                        status: outcome.status,
+                                        response_us: outcome.response_time.as_micros() as u64,
+                                        results: outcome.results,
+                                    },
+                                );
+                            }
+                        });
+                }
+            }
+            CtrlMsg::Gossip { deltas } => {
+                merge_deltas(&shared.catalog, &deltas);
+            }
+            CtrlMsg::StatsRequest { corr } => {
+                let s = shared.sock.stats();
+                reply(
+                    &shared,
+                    header.from,
+                    &CtrlMsg::StatsReply {
+                        corr,
+                        bytes_out: s.bytes_out(),
+                        bytes_in: s.bytes_in(),
+                        frames_out: s.frames_out(),
+                        frames_in: s.frames_in(),
+                    },
+                );
+            }
+            CtrlMsg::Shutdown => {
+                let _ = done_tx.send(());
+            }
+            // Driver-bound messages; a node never receives them.
+            CtrlMsg::Ready { .. }
+            | CtrlMsg::Ack { .. }
+            | CtrlMsg::Outcome { .. }
+            | CtrlMsg::StatsReply { .. } => {}
+        }
+    }
+}
+
+/// Sends one control message back over the wire.
+fn reply(shared: &HostShared, to: SiteId, msg: &CtrlMsg) {
+    let _ = shared.sock.send_ctrl(shared.me, to, &msg.encode());
+}
+
+/// Anti-entropy: periodically ships this node's full delta set to every
+/// peer process (idempotent — receivers install only dominating
+/// versions, so re-sending converged state is a no-op).
+fn gossip_loop(shared: Arc<HostShared>, every: Duration) {
+    while !shared.stopping.load(Ordering::Relaxed) {
+        std::thread::sleep(every);
+        let deltas = shared.catalog.export_deltas(shared.me);
+        if deltas.is_empty() {
+            continue;
+        }
+        let peers = shared.gossip_peers.read().clone();
+        for peer in peers {
+            let msg = CtrlMsg::Gossip {
+                deltas: deltas.clone(),
+            };
+            let _ = shared.sock.send_ctrl(shared.me, peer, &msg.encode());
+        }
+    }
+}
+
+/// The driver side of the control plane: a thin client used by the
+/// multi-process bench driver and the integration tests. It owns a
+/// transport bound as [`DRIVER_SITE`] and correlates replies.
+pub struct CtrlClient {
+    sock: SocketTransport<Message>,
+    replies: Receiver<(FrameHeader, CtrlMsg)>,
+    next_corr: std::sync::atomic::AtomicU64,
+}
+
+impl CtrlClient {
+    /// Binds a driver-only transport (hosts no scheduler sites).
+    pub fn bind() -> Result<CtrlClient, String> {
+        let sock: SocketTransport<Message> =
+            SocketTransport::bind(&[DRIVER_SITE], "127.0.0.1:0", SocketConfig::default())
+                .map_err(|e| format!("bind driver: {e}"))?;
+        let (tx, rx) = unbounded();
+        sock.set_ctrl_handler(Some(Arc::new(move |header, body| {
+            if let Ok(msg) = CtrlMsg::decode(&body) {
+                let _ = tx.send((header, msg));
+            }
+        })));
+        Ok(CtrlClient {
+            sock,
+            replies: rx,
+            next_corr: std::sync::atomic::AtomicU64::new(1),
+        })
+    }
+
+    /// Dials a node process, installing routes for its hosted sites.
+    pub fn connect(&self, addr: &str, expect: &[SiteId]) -> Result<(), String> {
+        self.sock
+            .connect(addr, expect)
+            .map_err(|e| format!("connect {addr}: {e}"))
+    }
+
+    /// A fresh correlation id.
+    pub fn corr(&self) -> u64 {
+        self.next_corr.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Sends `msg` to `site` (routed to its hosting process).
+    pub fn send(&self, site: SiteId, msg: &CtrlMsg) -> Result<(), String> {
+        self.sock
+            .send_ctrl(DRIVER_SITE, site, &msg.encode())
+            .map_err(|e| format!("send to {site}: {e:?}"))
+    }
+
+    /// Receives the next control reply within `timeout`.
+    pub fn recv(&self, timeout: Duration) -> Option<(FrameHeader, CtrlMsg)> {
+        self.replies.recv_timeout(timeout).ok()
+    }
+
+    /// Real bytes-on-wire counters of the driver's transport.
+    pub fn stats(&self) -> (u64, u64) {
+        let s = self.sock.stats();
+        (s.bytes_out(), s.bytes_in())
+    }
+
+    /// Closes the driver transport.
+    pub fn shutdown(&self) {
+        self.sock.shutdown();
+    }
+}

@@ -1,0 +1,1411 @@
+//! Binary codecs for [`Message`] and the control plane — the
+//! `Message`-specific half of the wire format.
+//!
+//! The generic layer (varints, bounds-checked readers, the 12-byte frame
+//! header) lives in [`dtx_net::wire`]; this module assigns every
+//! [`Message`] variant its wire **tag** (see [`MESSAGE_TAGS`]) and
+//! serializes each variant's fields in declaration order, per the
+//! normative spec in `WIRE.md` §4–5. The serde shims in
+//! `crates/compat` are no-op markers and no serialization registry is
+//! reachable, so these codecs are written by hand — like
+//! `DataGuide::to_wire`, but length-prefixed binary instead of
+//! line-oriented text.
+//!
+//! Three invariants, pinned by tests here and in `tests/wire_props.rs`:
+//!
+//! * **Round trip**: `encode(decode(encode(m))) == encode(m)` for every
+//!   variant, including maximal payloads (64 KiB `ExecRemote` fragments).
+//!   (`Message` deliberately has no `PartialEq` — re-encoded bytes are
+//!   the equality witness.)
+//! * **Decode never panics**: any truncation or bit flip of a valid
+//!   encoding decodes to `Err`, never a panic (mirrors the PR 3
+//!   malformed-XML fuzz).
+//! * **Tag stability**: [`MESSAGE_TAGS`] matches both the codec and the
+//!   table in `WIRE.md` §4 (the doc is parsed by a test; it cannot
+//!   drift).
+
+use crate::gossip::CatalogDelta;
+use crate::msg::{Decision, Message};
+use crate::op::{AbortReason, OpKind, OpResult, OpSpec, TxnSpec, TxnStatus};
+use dtx_locks::{TxnId, WaitForGraph};
+use dtx_net::wire::{WireCodec, WireError, WireReader, WireWriter};
+use dtx_net::SiteId;
+use dtx_xml::document::{Fragment, InsertPos};
+use dtx_xpath::{Query, UpdateOp};
+
+/// Every [`Message`] variant's wire tag, in tag order — the first body
+/// byte of a `Msg` frame. Names equal [`dtx_net::Wire::wire_label`]
+/// strings; values are frozen by `WIRE.md` §4 (new variants append, old
+/// tags are never reused — see the compat policy in `WIRE.md` §6).
+pub const MESSAGE_TAGS: [(&str, u8); 16] = [
+    ("ExecRemote", 0),
+    ("RemoteDone", 1),
+    ("UndoOp", 2),
+    ("TerminateBatch", 3),
+    ("TerminateBatchAck", 4),
+    ("Fail", 5),
+    ("WfgRequest", 6),
+    ("WfgReply", 7),
+    ("AbortVictim", 8),
+    ("Wake", 9),
+    ("ClearWaits", 10),
+    ("Prepare", 11),
+    ("PrepareAck", 12),
+    ("DecisionRequest", 13),
+    ("DecisionReply", 14),
+    ("InDoubtQuery", 15),
+];
+
+/// Deepest [`Fragment`] nesting the decoder accepts. Legitimate
+/// fragments are shallow (XMark depth ≲ 12); a hostile length-crafted
+/// body must not be able to recurse the decoder off the stack.
+const MAX_FRAGMENT_DEPTH: usize = 256;
+
+// ---------------------------------------------------------------------
+// Field helpers (free functions, not trait impls: `WireCodec` is foreign
+// to the substrate crates' types, so coherence forbids implementing it
+// for them here).
+// ---------------------------------------------------------------------
+
+fn put_txn(w: &mut WireWriter, t: TxnId) {
+    w.put_varint(t.0);
+}
+
+fn read_txn(r: &mut WireReader<'_>) -> Result<TxnId, WireError> {
+    Ok(TxnId(r.varint()?))
+}
+
+fn put_site(w: &mut WireWriter, s: SiteId) {
+    w.put_varint(s.0 as u64);
+}
+
+fn read_site(r: &mut WireReader<'_>) -> Result<SiteId, WireError> {
+    match r.varint()? {
+        v if v <= u16::MAX as u64 => Ok(SiteId(v as u16)),
+        v => Err(WireError::BadTag {
+            what: "SiteId",
+            tag: v,
+        }),
+    }
+}
+
+fn put_usize(w: &mut WireWriter, v: usize) {
+    w.put_varint(v as u64);
+}
+
+fn read_usize(r: &mut WireReader<'_>) -> Result<usize, WireError> {
+    let v = r.varint()?;
+    usize::try_from(v).map_err(|_| WireError::BadLength(v))
+}
+
+/// Queries travel as their `Display` text and re-`parse` on decode: the
+/// grammar is the stable surface (it already round-trips — PR 1 pinned
+/// `parse(display(q)) == q`), and it stays human-readable in captures.
+fn put_query(w: &mut WireWriter, q: &Query) {
+    w.put_str(&q.to_string());
+}
+
+fn read_query(r: &mut WireReader<'_>) -> Result<Query, WireError> {
+    Query::parse(&r.str()?).map_err(|_| WireError::Malformed("unparsable query"))
+}
+
+fn put_insert_pos(w: &mut WireWriter, p: &InsertPos) {
+    w.put_u8(match p {
+        InsertPos::Into => 0,
+        InsertPos::FirstInto => 1,
+        InsertPos::Before => 2,
+        InsertPos::After => 3,
+    });
+}
+
+fn read_insert_pos(r: &mut WireReader<'_>) -> Result<InsertPos, WireError> {
+    match r.u8()? {
+        0 => Ok(InsertPos::Into),
+        1 => Ok(InsertPos::FirstInto),
+        2 => Ok(InsertPos::Before),
+        3 => Ok(InsertPos::After),
+        t => Err(WireError::BadTag {
+            what: "InsertPos",
+            tag: t as u64,
+        }),
+    }
+}
+
+fn put_fragment(w: &mut WireWriter, f: &Fragment) {
+    match f {
+        Fragment::Element { label, children } => {
+            w.put_u8(0);
+            w.put_str(label);
+            put_usize(w, children.len());
+            for c in children {
+                put_fragment(w, c);
+            }
+        }
+        Fragment::Attribute { label, value } => {
+            w.put_u8(1);
+            w.put_str(label);
+            w.put_str(value);
+        }
+        Fragment::Text { value } => {
+            w.put_u8(2);
+            w.put_str(value);
+        }
+    }
+}
+
+fn read_fragment(r: &mut WireReader<'_>, depth: usize) -> Result<Fragment, WireError> {
+    if depth > MAX_FRAGMENT_DEPTH {
+        return Err(WireError::Malformed("fragment nested too deep"));
+    }
+    match r.u8()? {
+        0 => {
+            let label = r.str()?;
+            let count = read_usize(r)?;
+            // A child costs ≥ 2 bytes (tag + empty string's length), so
+            // a count beyond half the remaining input is a lie — reject
+            // before reserving anything.
+            if count > r.remaining() / 2 {
+                return Err(WireError::BadLength(count as u64));
+            }
+            let mut children = Vec::with_capacity(count);
+            for _ in 0..count {
+                children.push(read_fragment(r, depth + 1)?);
+            }
+            Ok(Fragment::Element { label, children })
+        }
+        1 => Ok(Fragment::Attribute {
+            label: r.str()?,
+            value: r.str()?,
+        }),
+        2 => Ok(Fragment::Text { value: r.str()? }),
+        t => Err(WireError::BadTag {
+            what: "Fragment",
+            tag: t as u64,
+        }),
+    }
+}
+
+fn put_update_op(w: &mut WireWriter, u: &UpdateOp) {
+    match u {
+        UpdateOp::Insert {
+            target,
+            fragment,
+            pos,
+        } => {
+            w.put_u8(0);
+            put_query(w, target);
+            put_fragment(w, fragment);
+            put_insert_pos(w, pos);
+        }
+        UpdateOp::Remove { target } => {
+            w.put_u8(1);
+            put_query(w, target);
+        }
+        UpdateOp::Rename { target, new_label } => {
+            w.put_u8(2);
+            put_query(w, target);
+            w.put_str(new_label);
+        }
+        UpdateOp::Change { target, new_value } => {
+            w.put_u8(3);
+            put_query(w, target);
+            w.put_str(new_value);
+        }
+        UpdateOp::Transpose { a, b } => {
+            w.put_u8(4);
+            put_query(w, a);
+            put_query(w, b);
+        }
+    }
+}
+
+fn read_update_op(r: &mut WireReader<'_>) -> Result<UpdateOp, WireError> {
+    match r.u8()? {
+        0 => Ok(UpdateOp::Insert {
+            target: read_query(r)?,
+            fragment: read_fragment(r, 0)?,
+            pos: read_insert_pos(r)?,
+        }),
+        1 => Ok(UpdateOp::Remove {
+            target: read_query(r)?,
+        }),
+        2 => Ok(UpdateOp::Rename {
+            target: read_query(r)?,
+            new_label: r.str()?,
+        }),
+        3 => Ok(UpdateOp::Change {
+            target: read_query(r)?,
+            new_value: r.str()?,
+        }),
+        4 => Ok(UpdateOp::Transpose {
+            a: read_query(r)?,
+            b: read_query(r)?,
+        }),
+        t => Err(WireError::BadTag {
+            what: "UpdateOp",
+            tag: t as u64,
+        }),
+    }
+}
+
+fn put_op_spec(w: &mut WireWriter, op: &OpSpec) {
+    w.put_str(&op.doc);
+    match &op.kind {
+        OpKind::Query(q) => {
+            w.put_u8(0);
+            put_query(w, q);
+        }
+        OpKind::Update(u) => {
+            w.put_u8(1);
+            put_update_op(w, u);
+        }
+    }
+}
+
+fn read_op_spec(r: &mut WireReader<'_>) -> Result<OpSpec, WireError> {
+    let doc = r.str()?;
+    let kind = match r.u8()? {
+        0 => OpKind::Query(read_query(r)?),
+        1 => OpKind::Update(read_update_op(r)?),
+        t => {
+            return Err(WireError::BadTag {
+                what: "OpKind",
+                tag: t as u64,
+            })
+        }
+    };
+    Ok(OpSpec { doc, kind })
+}
+
+fn put_op_result(w: &mut WireWriter, res: &OpResult) {
+    match res {
+        OpResult::Query { values } => {
+            w.put_u8(0);
+            put_usize(w, values.len());
+            for v in values {
+                w.put_str(v);
+            }
+        }
+        OpResult::Update { affected } => {
+            w.put_u8(1);
+            put_usize(w, *affected);
+        }
+    }
+}
+
+fn read_op_result(r: &mut WireReader<'_>) -> Result<OpResult, WireError> {
+    match r.u8()? {
+        0 => {
+            let count = read_usize(r)?;
+            if count > r.remaining() {
+                return Err(WireError::BadLength(count as u64));
+            }
+            let mut values = Vec::with_capacity(count);
+            for _ in 0..count {
+                values.push(r.str()?);
+            }
+            Ok(OpResult::Query { values })
+        }
+        1 => Ok(OpResult::Update {
+            affected: read_usize(r)?,
+        }),
+        t => Err(WireError::BadTag {
+            what: "OpResult",
+            tag: t as u64,
+        }),
+    }
+}
+
+fn put_txn_vec(w: &mut WireWriter, v: &[TxnId]) {
+    put_usize(w, v.len());
+    for &t in v {
+        put_txn(w, t);
+    }
+}
+
+fn read_txn_vec(r: &mut WireReader<'_>) -> Result<Vec<TxnId>, WireError> {
+    let count = read_usize(r)?;
+    if count > r.remaining() {
+        return Err(WireError::BadLength(count as u64));
+    }
+    let mut v = Vec::with_capacity(count);
+    for _ in 0..count {
+        v.push(read_txn(r)?);
+    }
+    Ok(v)
+}
+
+fn put_ack_vec(w: &mut WireWriter, v: &[(TxnId, bool)]) {
+    put_usize(w, v.len());
+    for &(t, ok) in v {
+        put_txn(w, t);
+        w.put_bool(ok);
+    }
+}
+
+fn read_ack_vec(r: &mut WireReader<'_>) -> Result<Vec<(TxnId, bool)>, WireError> {
+    let count = read_usize(r)?;
+    if count > r.remaining() / 2 {
+        return Err(WireError::BadLength(count as u64));
+    }
+    let mut v = Vec::with_capacity(count);
+    for _ in 0..count {
+        v.push((read_txn(r)?, r.bool()?));
+    }
+    Ok(v)
+}
+
+fn put_site_vec(w: &mut WireWriter, v: &[SiteId]) {
+    put_usize(w, v.len());
+    for &s in v {
+        put_site(w, s);
+    }
+}
+
+fn read_site_vec(r: &mut WireReader<'_>) -> Result<Vec<SiteId>, WireError> {
+    let count = read_usize(r)?;
+    if count > r.remaining() {
+        return Err(WireError::BadLength(count as u64));
+    }
+    let mut v = Vec::with_capacity(count);
+    for _ in 0..count {
+        v.push(read_site(r)?);
+    }
+    Ok(v)
+}
+
+/// The graph travels as its sorted `(waiter, holder)` edge list
+/// ([`WaitForGraph::edges`]) and is rebuilt through `add_edge` — the
+/// canonical form, so decode∘encode is byte-stable.
+fn put_wfg(w: &mut WireWriter, g: &WaitForGraph) {
+    let edges = g.edges();
+    put_usize(w, edges.len());
+    for (waiter, holder) in edges {
+        put_txn(w, waiter);
+        put_txn(w, holder);
+    }
+}
+
+fn read_wfg(r: &mut WireReader<'_>) -> Result<WaitForGraph, WireError> {
+    let count = read_usize(r)?;
+    if count > r.remaining() / 2 {
+        return Err(WireError::BadLength(count as u64));
+    }
+    let mut g = WaitForGraph::new();
+    for _ in 0..count {
+        let waiter = read_txn(r)?;
+        let holder = read_txn(r)?;
+        g.add_edge(waiter, holder);
+    }
+    Ok(g)
+}
+
+fn put_decision(w: &mut WireWriter, d: Decision) {
+    w.put_u8(match d {
+        Decision::Commit => 0,
+        Decision::Abort => 1,
+        Decision::Uncertain => 2,
+    });
+}
+
+fn read_decision(r: &mut WireReader<'_>) -> Result<Decision, WireError> {
+    match r.u8()? {
+        0 => Ok(Decision::Commit),
+        1 => Ok(Decision::Abort),
+        2 => Ok(Decision::Uncertain),
+        t => Err(WireError::BadTag {
+            what: "Decision",
+            tag: t as u64,
+        }),
+    }
+}
+
+impl WireCodec for Message {
+    fn encode_body(&self, w: &mut WireWriter) {
+        match self {
+            Message::ExecRemote {
+                txn,
+                coordinator,
+                op_seq,
+                op,
+                corr,
+                update_txn,
+                doc_version,
+                fragment,
+            } => {
+                w.put_u8(0);
+                put_txn(w, *txn);
+                put_site(w, *coordinator);
+                put_usize(w, *op_seq);
+                put_op_spec(w, op);
+                w.put_varint(*corr);
+                w.put_bool(*update_txn);
+                w.put_varint(*doc_version);
+                w.put_bool(*fragment);
+            }
+            Message::RemoteDone {
+                txn,
+                op_seq,
+                corr,
+                site,
+                acquired,
+                executed,
+                failed,
+                deadlock,
+                stale,
+                result,
+            } => {
+                w.put_u8(1);
+                put_txn(w, *txn);
+                put_usize(w, *op_seq);
+                w.put_varint(*corr);
+                put_site(w, *site);
+                w.put_bool(*acquired);
+                w.put_bool(*executed);
+                w.put_bool(*failed);
+                w.put_bool(*deadlock);
+                w.put_bool(*stale);
+                match result {
+                    Some(res) => {
+                        w.put_bool(true);
+                        put_op_result(w, res);
+                    }
+                    None => w.put_bool(false),
+                }
+            }
+            Message::UndoOp { txn, op_seq } => {
+                w.put_u8(2);
+                put_txn(w, *txn);
+                put_usize(w, *op_seq);
+            }
+            Message::TerminateBatch { commits, aborts } => {
+                w.put_u8(3);
+                put_txn_vec(w, commits);
+                put_txn_vec(w, aborts);
+            }
+            Message::TerminateBatchAck {
+                site,
+                commits,
+                aborts,
+            } => {
+                w.put_u8(4);
+                put_site(w, *site);
+                put_ack_vec(w, commits);
+                put_ack_vec(w, aborts);
+            }
+            Message::Fail { txn } => {
+                w.put_u8(5);
+                put_txn(w, *txn);
+            }
+            Message::WfgRequest { from, round } => {
+                w.put_u8(6);
+                put_site(w, *from);
+                w.put_varint(*round);
+            }
+            Message::WfgReply { site, round, graph } => {
+                w.put_u8(7);
+                put_site(w, *site);
+                w.put_varint(*round);
+                put_wfg(w, graph);
+            }
+            Message::AbortVictim { txn } => {
+                w.put_u8(8);
+                put_txn(w, *txn);
+            }
+            Message::Wake { txn } => {
+                w.put_u8(9);
+                put_txn(w, *txn);
+            }
+            Message::ClearWaits { txn } => {
+                w.put_u8(10);
+                put_txn(w, *txn);
+            }
+            Message::Prepare {
+                txn,
+                corr,
+                participants,
+            } => {
+                w.put_u8(11);
+                put_txn(w, *txn);
+                w.put_varint(*corr);
+                put_site_vec(w, participants);
+            }
+            Message::PrepareAck {
+                txn,
+                corr,
+                site,
+                ok,
+            } => {
+                w.put_u8(12);
+                put_txn(w, *txn);
+                w.put_varint(*corr);
+                put_site(w, *site);
+                w.put_bool(*ok);
+            }
+            Message::DecisionRequest { txn, from } => {
+                w.put_u8(13);
+                put_txn(w, *txn);
+                put_site(w, *from);
+            }
+            Message::DecisionReply { txn, decision } => {
+                w.put_u8(14);
+                put_txn(w, *txn);
+                put_decision(w, *decision);
+            }
+            Message::InDoubtQuery { txn, from } => {
+                w.put_u8(15);
+                put_txn(w, *txn);
+                put_site(w, *from);
+            }
+        }
+    }
+
+    fn decode_body(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(Message::ExecRemote {
+                txn: read_txn(r)?,
+                coordinator: read_site(r)?,
+                op_seq: read_usize(r)?,
+                op: read_op_spec(r)?,
+                corr: r.varint()?,
+                update_txn: r.bool()?,
+                doc_version: r.varint()?,
+                fragment: r.bool()?,
+            }),
+            1 => Ok(Message::RemoteDone {
+                txn: read_txn(r)?,
+                op_seq: read_usize(r)?,
+                corr: r.varint()?,
+                site: read_site(r)?,
+                acquired: r.bool()?,
+                executed: r.bool()?,
+                failed: r.bool()?,
+                deadlock: r.bool()?,
+                stale: r.bool()?,
+                result: if r.bool()? {
+                    Some(read_op_result(r)?)
+                } else {
+                    None
+                },
+            }),
+            2 => Ok(Message::UndoOp {
+                txn: read_txn(r)?,
+                op_seq: read_usize(r)?,
+            }),
+            3 => Ok(Message::TerminateBatch {
+                commits: read_txn_vec(r)?,
+                aborts: read_txn_vec(r)?,
+            }),
+            4 => Ok(Message::TerminateBatchAck {
+                site: read_site(r)?,
+                commits: read_ack_vec(r)?,
+                aborts: read_ack_vec(r)?,
+            }),
+            5 => Ok(Message::Fail { txn: read_txn(r)? }),
+            6 => Ok(Message::WfgRequest {
+                from: read_site(r)?,
+                round: r.varint()?,
+            }),
+            7 => Ok(Message::WfgReply {
+                site: read_site(r)?,
+                round: r.varint()?,
+                graph: read_wfg(r)?,
+            }),
+            8 => Ok(Message::AbortVictim { txn: read_txn(r)? }),
+            9 => Ok(Message::Wake { txn: read_txn(r)? }),
+            10 => Ok(Message::ClearWaits { txn: read_txn(r)? }),
+            11 => Ok(Message::Prepare {
+                txn: read_txn(r)?,
+                corr: r.varint()?,
+                participants: read_site_vec(r)?,
+            }),
+            12 => Ok(Message::PrepareAck {
+                txn: read_txn(r)?,
+                corr: r.varint()?,
+                site: read_site(r)?,
+                ok: r.bool()?,
+            }),
+            13 => Ok(Message::DecisionRequest {
+                txn: read_txn(r)?,
+                from: read_site(r)?,
+            }),
+            14 => Ok(Message::DecisionReply {
+                txn: read_txn(r)?,
+                decision: read_decision(r)?,
+            }),
+            15 => Ok(Message::InDoubtQuery {
+                txn: read_txn(r)?,
+                from: read_site(r)?,
+            }),
+            t => Err(WireError::BadTag {
+                what: "Message",
+                tag: t as u64,
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Control plane
+// ---------------------------------------------------------------------
+
+fn put_status(w: &mut WireWriter, s: &TxnStatus) {
+    match s {
+        TxnStatus::Committed => w.put_u8(0),
+        TxnStatus::Aborted(reason) => {
+            w.put_u8(1);
+            match reason {
+                AbortReason::Deadlock => w.put_u8(0),
+                AbortReason::OperationFailed(detail) => {
+                    w.put_u8(1);
+                    w.put_str(detail);
+                }
+                AbortReason::RemoteTimeout => w.put_u8(2),
+                AbortReason::StaleCatalog => w.put_u8(3),
+                AbortReason::CommitFailed => w.put_u8(4),
+                AbortReason::Shutdown => w.put_u8(5),
+            }
+        }
+        TxnStatus::Failed(detail) => {
+            w.put_u8(2);
+            w.put_str(detail);
+        }
+    }
+}
+
+fn read_status(r: &mut WireReader<'_>) -> Result<TxnStatus, WireError> {
+    match r.u8()? {
+        0 => Ok(TxnStatus::Committed),
+        1 => Ok(TxnStatus::Aborted(match r.u8()? {
+            0 => AbortReason::Deadlock,
+            1 => AbortReason::OperationFailed(r.str()?),
+            2 => AbortReason::RemoteTimeout,
+            3 => AbortReason::StaleCatalog,
+            4 => AbortReason::CommitFailed,
+            5 => AbortReason::Shutdown,
+            t => {
+                return Err(WireError::BadTag {
+                    what: "AbortReason",
+                    tag: t as u64,
+                })
+            }
+        })),
+        2 => Ok(TxnStatus::Failed(r.str()?)),
+        t => Err(WireError::BadTag {
+            what: "TxnStatus",
+            tag: t as u64,
+        }),
+    }
+}
+
+fn put_delta(w: &mut WireWriter, d: &CatalogDelta) {
+    w.put_str(&d.doc);
+    w.put_varint(d.version);
+    put_site_vec(w, &d.sites);
+    w.put_bool(d.fragmented);
+    put_site(w, d.origin);
+}
+
+fn read_delta(r: &mut WireReader<'_>) -> Result<CatalogDelta, WireError> {
+    Ok(CatalogDelta {
+        doc: r.str()?,
+        version: r.varint()?,
+        sites: read_site_vec(r)?,
+        fragmented: r.bool()?,
+        origin: read_site(r)?,
+    })
+}
+
+/// Control-plane traffic between a driver and `dtx-site` processes (and
+/// between site processes, for gossip): carried in `Ctrl` frames, tagged
+/// like [`Message`] (tag table in `WIRE.md` §5). The scheduler never
+/// sees these — a [`crate::process::SiteHost`] control thread decodes
+/// them and calls the same `DtxInstance` surface a local caller would.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtrlMsg {
+    /// Driver → node: the cluster shape — total site count (for strided
+    /// txn-id allocation) and every site's host address.
+    Peers {
+        /// Total number of scheduler sites in the cluster.
+        total_sites: u16,
+        /// `(site, "host:port")` for every site in the cluster.
+        peers: Vec<(SiteId, String)>,
+    },
+    /// Node → driver: peer connections are up, schedulers are running.
+    Ready {
+        /// Lowest site id hosted by the reporting process.
+        node: SiteId,
+    },
+    /// Driver → node: register a document's placement (applied to the
+    /// node's local catalog; identical sequences on every node mint
+    /// identical versions).
+    Register {
+        /// Correlation id, echoed in the [`CtrlMsg::Ack`].
+        corr: u64,
+        /// Document (or logical fragmented document) name.
+        doc: String,
+        /// Placement sites.
+        sites: Vec<SiteId>,
+        /// Fragmented (disjoint per-site parts) vs replicated.
+        fragmented: bool,
+    },
+    /// Driver → node: load a document (or one fragment of it) into the
+    /// destination site's store.
+    LoadDoc {
+        /// Correlation id, echoed in the [`CtrlMsg::Ack`].
+        corr: u64,
+        /// Name the data is stored under.
+        doc: String,
+        /// Raw XML of the document or fragment.
+        xml: String,
+    },
+    /// Node → driver: a `Register`/`LoadDoc` completed.
+    Ack {
+        /// Correlation id of the request this acknowledges.
+        corr: u64,
+        /// Success flag; `detail` explains a failure.
+        ok: bool,
+        /// Error detail (empty on success).
+        detail: String,
+    },
+    /// Driver → node: submit a transaction at the destination site.
+    Submit {
+        /// Correlation id, echoed in the [`CtrlMsg::Outcome`].
+        corr: u64,
+        /// The transaction.
+        spec: TxnSpec,
+    },
+    /// Node → driver: a submitted transaction terminated.
+    Outcome {
+        /// Correlation id of the submission.
+        corr: u64,
+        /// Assigned transaction id.
+        txn: TxnId,
+        /// Terminal status (full fidelity, including abort reasons).
+        status: TxnStatus,
+        /// Submission-to-termination latency in microseconds.
+        response_us: u64,
+        /// Per-operation results (empty unless committed).
+        results: Vec<OpResult>,
+    },
+    /// Node ↔ node: anti-entropy catalog gossip (see [`crate::gossip`]).
+    Gossip {
+        /// The sender's full delta set.
+        deltas: Vec<CatalogDelta>,
+    },
+    /// Driver → node: report transport counters.
+    StatsRequest {
+        /// Correlation id, echoed in the [`CtrlMsg::StatsReply`].
+        corr: u64,
+    },
+    /// Node → driver: transport counters (real bytes on the wire).
+    StatsReply {
+        /// Correlation id of the request.
+        corr: u64,
+        /// Framed bytes written to sockets by this process.
+        bytes_out: u64,
+        /// Framed bytes read from sockets by this process.
+        bytes_in: u64,
+        /// Frames sent.
+        frames_out: u64,
+        /// Frames received.
+        frames_in: u64,
+    },
+    /// Driver → node: shut the schedulers down and exit.
+    Shutdown,
+}
+
+/// Every [`CtrlMsg`] variant's wire tag (first body byte of a `Ctrl`
+/// frame), mirroring [`MESSAGE_TAGS`]; frozen by `WIRE.md` §5.
+pub const CTRL_TAGS: [(&str, u8); 10] = [
+    ("Peers", 0),
+    ("Ready", 1),
+    ("Register", 2),
+    ("LoadDoc", 3),
+    ("Ack", 4),
+    ("Submit", 5),
+    ("Outcome", 6),
+    ("Gossip", 7),
+    ("StatsRequest", 8),
+    ("StatsReply", 9),
+];
+
+impl CtrlMsg {
+    /// The variant's name in [`CTRL_TAGS`] (and `WIRE.md` §5).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CtrlMsg::Peers { .. } => "Peers",
+            CtrlMsg::Ready { .. } => "Ready",
+            CtrlMsg::Register { .. } => "Register",
+            CtrlMsg::LoadDoc { .. } => "LoadDoc",
+            CtrlMsg::Ack { .. } => "Ack",
+            CtrlMsg::Submit { .. } => "Submit",
+            CtrlMsg::Outcome { .. } => "Outcome",
+            CtrlMsg::Gossip { .. } => "Gossip",
+            CtrlMsg::StatsRequest { .. } => "StatsRequest",
+            CtrlMsg::StatsReply { .. } => "StatsReply",
+            CtrlMsg::Shutdown => "Shutdown",
+        }
+    }
+}
+
+impl WireCodec for CtrlMsg {
+    fn encode_body(&self, w: &mut WireWriter) {
+        match self {
+            CtrlMsg::Peers { total_sites, peers } => {
+                w.put_u8(0);
+                w.put_varint(*total_sites as u64);
+                put_usize(w, peers.len());
+                for (site, addr) in peers {
+                    put_site(w, *site);
+                    w.put_str(addr);
+                }
+            }
+            CtrlMsg::Ready { node } => {
+                w.put_u8(1);
+                put_site(w, *node);
+            }
+            CtrlMsg::Register {
+                corr,
+                doc,
+                sites,
+                fragmented,
+            } => {
+                w.put_u8(2);
+                w.put_varint(*corr);
+                w.put_str(doc);
+                put_site_vec(w, sites);
+                w.put_bool(*fragmented);
+            }
+            CtrlMsg::LoadDoc { corr, doc, xml } => {
+                w.put_u8(3);
+                w.put_varint(*corr);
+                w.put_str(doc);
+                w.put_str(xml);
+            }
+            CtrlMsg::Ack { corr, ok, detail } => {
+                w.put_u8(4);
+                w.put_varint(*corr);
+                w.put_bool(*ok);
+                w.put_str(detail);
+            }
+            CtrlMsg::Submit { corr, spec } => {
+                w.put_u8(5);
+                w.put_varint(*corr);
+                put_usize(w, spec.ops.len());
+                for op in &spec.ops {
+                    put_op_spec(w, op);
+                }
+            }
+            CtrlMsg::Outcome {
+                corr,
+                txn,
+                status,
+                response_us,
+                results,
+            } => {
+                w.put_u8(6);
+                w.put_varint(*corr);
+                put_txn(w, *txn);
+                put_status(w, status);
+                w.put_varint(*response_us);
+                put_usize(w, results.len());
+                for res in results {
+                    put_op_result(w, res);
+                }
+            }
+            CtrlMsg::Gossip { deltas } => {
+                w.put_u8(7);
+                put_usize(w, deltas.len());
+                for d in deltas {
+                    put_delta(w, d);
+                }
+            }
+            CtrlMsg::StatsRequest { corr } => {
+                w.put_u8(8);
+                w.put_varint(*corr);
+            }
+            CtrlMsg::StatsReply {
+                corr,
+                bytes_out,
+                bytes_in,
+                frames_out,
+                frames_in,
+            } => {
+                w.put_u8(9);
+                w.put_varint(*corr);
+                w.put_varint(*bytes_out);
+                w.put_varint(*bytes_in);
+                w.put_varint(*frames_out);
+                w.put_varint(*frames_in);
+            }
+            CtrlMsg::Shutdown => w.put_u8(10),
+        }
+    }
+
+    fn decode_body(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => {
+                let total = r.varint()?;
+                let total_sites = u16::try_from(total).map_err(|_| WireError::BadTag {
+                    what: "Peers.total_sites",
+                    tag: total,
+                })?;
+                let count = read_usize(r)?;
+                if count > r.remaining() {
+                    return Err(WireError::BadLength(count as u64));
+                }
+                let mut peers = Vec::with_capacity(count);
+                for _ in 0..count {
+                    peers.push((read_site(r)?, r.str()?));
+                }
+                Ok(CtrlMsg::Peers { total_sites, peers })
+            }
+            1 => Ok(CtrlMsg::Ready {
+                node: read_site(r)?,
+            }),
+            2 => Ok(CtrlMsg::Register {
+                corr: r.varint()?,
+                doc: r.str()?,
+                sites: read_site_vec(r)?,
+                fragmented: r.bool()?,
+            }),
+            3 => Ok(CtrlMsg::LoadDoc {
+                corr: r.varint()?,
+                doc: r.str()?,
+                xml: r.str()?,
+            }),
+            4 => Ok(CtrlMsg::Ack {
+                corr: r.varint()?,
+                ok: r.bool()?,
+                detail: r.str()?,
+            }),
+            5 => {
+                let corr = r.varint()?;
+                let count = read_usize(r)?;
+                if count > r.remaining() {
+                    return Err(WireError::BadLength(count as u64));
+                }
+                let mut ops = Vec::with_capacity(count);
+                for _ in 0..count {
+                    ops.push(read_op_spec(r)?);
+                }
+                Ok(CtrlMsg::Submit {
+                    corr,
+                    spec: TxnSpec { ops },
+                })
+            }
+            6 => {
+                let corr = r.varint()?;
+                let txn = read_txn(r)?;
+                let status = read_status(r)?;
+                let response_us = r.varint()?;
+                let count = read_usize(r)?;
+                if count > r.remaining() {
+                    return Err(WireError::BadLength(count as u64));
+                }
+                let mut results = Vec::with_capacity(count);
+                for _ in 0..count {
+                    results.push(read_op_result(r)?);
+                }
+                Ok(CtrlMsg::Outcome {
+                    corr,
+                    txn,
+                    status,
+                    response_us,
+                    results,
+                })
+            }
+            7 => {
+                let count = read_usize(r)?;
+                if count > r.remaining() {
+                    return Err(WireError::BadLength(count as u64));
+                }
+                let mut deltas = Vec::with_capacity(count);
+                for _ in 0..count {
+                    deltas.push(read_delta(r)?);
+                }
+                Ok(CtrlMsg::Gossip { deltas })
+            }
+            8 => Ok(CtrlMsg::StatsRequest { corr: r.varint()? }),
+            9 => Ok(CtrlMsg::StatsReply {
+                corr: r.varint()?,
+                bytes_out: r.varint()?,
+                bytes_in: r.varint()?,
+                frames_out: r.varint()?,
+                frames_in: r.varint()?,
+            }),
+            10 => Ok(CtrlMsg::Shutdown),
+            t => Err(WireError::BadTag {
+                what: "CtrlMsg",
+                tag: t as u64,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtx_net::Wire;
+
+    /// One sample of every `Message` variant, in tag order, with every
+    /// field populated non-trivially.
+    pub(crate) fn sample_messages() -> Vec<Message> {
+        let q = Query::parse("/site/people/person[id=7]").unwrap();
+        let mut g = WaitForGraph::new();
+        g.add_edge(TxnId(3), TxnId(9));
+        g.add_edge(TxnId(9), TxnId(12));
+        g.add_edge(TxnId(12), TxnId(3));
+        vec![
+            Message::ExecRemote {
+                txn: TxnId(41),
+                coordinator: SiteId(2),
+                op_seq: 3,
+                op: OpSpec::update(
+                    "xmark",
+                    UpdateOp::Insert {
+                        target: q.clone(),
+                        fragment: Fragment::elem(
+                            "watch",
+                            vec![
+                                Fragment::attr("open", "yes"),
+                                Fragment::elem_text("item", "umbrella"),
+                            ],
+                        ),
+                        pos: InsertPos::After,
+                    },
+                ),
+                corr: 901,
+                update_txn: true,
+                doc_version: 17,
+                fragment: true,
+            },
+            Message::RemoteDone {
+                txn: TxnId(41),
+                op_seq: 3,
+                corr: 901,
+                site: SiteId(1),
+                acquired: true,
+                executed: true,
+                failed: false,
+                deadlock: false,
+                stale: false,
+                result: Some(OpResult::Query {
+                    values: vec!["a".into(), "héllo".into(), String::new()],
+                }),
+            },
+            Message::UndoOp {
+                txn: TxnId(41),
+                op_seq: 2,
+            },
+            Message::TerminateBatch {
+                commits: vec![TxnId(1), TxnId(5), TxnId(130)],
+                aborts: vec![TxnId(7)],
+            },
+            Message::TerminateBatchAck {
+                site: SiteId(3),
+                commits: vec![(TxnId(1), true), (TxnId(5), false)],
+                aborts: vec![(TxnId(7), true)],
+            },
+            Message::Fail { txn: TxnId(99) },
+            Message::WfgRequest {
+                from: SiteId(0),
+                round: 4,
+            },
+            Message::WfgReply {
+                site: SiteId(2),
+                round: 4,
+                graph: g,
+            },
+            Message::AbortVictim { txn: TxnId(12) },
+            Message::Wake { txn: TxnId(3) },
+            Message::ClearWaits { txn: TxnId(9) },
+            Message::Prepare {
+                txn: TxnId(41),
+                corr: 902,
+                participants: vec![SiteId(1), SiteId(3)],
+            },
+            Message::PrepareAck {
+                txn: TxnId(41),
+                corr: 902,
+                site: SiteId(3),
+                ok: true,
+            },
+            Message::DecisionRequest {
+                txn: TxnId(41),
+                from: SiteId(1),
+            },
+            Message::DecisionReply {
+                txn: TxnId(41),
+                decision: Decision::Uncertain,
+            },
+            Message::InDoubtQuery {
+                txn: TxnId(41),
+                from: SiteId(3),
+            },
+        ]
+    }
+
+    /// `Message` has no `PartialEq` by design; byte-stability of
+    /// `encode ∘ decode` is the round-trip witness.
+    #[test]
+    fn every_variant_round_trips_to_identical_bytes() {
+        let samples = sample_messages();
+        assert_eq!(samples.len(), MESSAGE_TAGS.len(), "one sample per tag");
+        for m in &samples {
+            let bytes = m.encode();
+            let decoded = Message::decode(&bytes)
+                .unwrap_or_else(|e| panic!("decode {} failed: {e}", m.wire_label()));
+            assert_eq!(
+                decoded.encode(),
+                bytes,
+                "re-encode of {} differs",
+                m.wire_label()
+            );
+        }
+    }
+
+    #[test]
+    fn tag_table_matches_the_codec_and_the_labels() {
+        let samples = sample_messages();
+        for (m, &(name, tag)) in samples.iter().zip(MESSAGE_TAGS.iter()) {
+            assert_eq!(m.wire_label(), name, "sample order matches tag table");
+            let bytes = m.encode();
+            assert_eq!(bytes[0], tag, "first body byte of {name} is its tag");
+        }
+        // Tags are dense and in declaration order.
+        for (i, &(_, tag)) in MESSAGE_TAGS.iter().enumerate() {
+            assert_eq!(tag as usize, i);
+        }
+    }
+
+    #[test]
+    fn a_64kib_exec_remote_round_trips() {
+        let blob = "x".repeat(64 * 1024);
+        let m = Message::ExecRemote {
+            txn: TxnId(7),
+            coordinator: SiteId(0),
+            op_seq: 0,
+            op: OpSpec::update(
+                "xmark",
+                UpdateOp::Insert {
+                    target: Query::parse("/site/regions").unwrap(),
+                    fragment: Fragment::elem_text("blob", blob),
+                    pos: InsertPos::Into,
+                },
+            ),
+            corr: 1,
+            update_txn: true,
+            doc_version: 1,
+            fragment: false,
+        };
+        let bytes = m.encode();
+        assert!(bytes.len() > 64 * 1024, "payload dominates the encoding");
+        let decoded = Message::decode(&bytes).expect("decodes");
+        assert_eq!(decoded.encode(), bytes);
+        // Compactness sanity: framing overhead over the raw payload is
+        // under 1 % at this size.
+        assert!(bytes.len() < 64 * 1024 + 650);
+    }
+
+    #[test]
+    fn ctrl_round_trips_every_variant() {
+        let q = Query::parse("/site/people/person").unwrap();
+        let samples = vec![
+            CtrlMsg::Peers {
+                total_sites: 4,
+                peers: vec![
+                    (SiteId(0), "127.0.0.1:4100".into()),
+                    (SiteId(1), "127.0.0.1:4101".into()),
+                ],
+            },
+            CtrlMsg::Ready { node: SiteId(2) },
+            CtrlMsg::Register {
+                corr: 5,
+                doc: "xmark".into(),
+                sites: vec![SiteId(0), SiteId(1)],
+                fragmented: true,
+            },
+            CtrlMsg::LoadDoc {
+                corr: 6,
+                doc: "xmark".into(),
+                xml: "<site><people/></site>".into(),
+            },
+            CtrlMsg::Ack {
+                corr: 6,
+                ok: false,
+                detail: "no such site".into(),
+            },
+            CtrlMsg::Submit {
+                corr: 7,
+                spec: TxnSpec::new(vec![
+                    OpSpec::query("xmark", q.clone()),
+                    OpSpec::update(
+                        "xmark",
+                        UpdateOp::Change {
+                            target: q,
+                            new_value: "42".into(),
+                        },
+                    ),
+                ]),
+            },
+            CtrlMsg::Outcome {
+                corr: 7,
+                txn: TxnId(19),
+                status: TxnStatus::Aborted(AbortReason::OperationFailed("boom".into())),
+                response_us: 1234,
+                results: vec![OpResult::Update { affected: 2 }],
+            },
+            CtrlMsg::Gossip {
+                deltas: vec![CatalogDelta {
+                    doc: "xmark".into(),
+                    version: 9,
+                    sites: vec![SiteId(0), SiteId(3)],
+                    fragmented: true,
+                    origin: SiteId(0),
+                }],
+            },
+            CtrlMsg::StatsRequest { corr: 8 },
+            CtrlMsg::StatsReply {
+                corr: 8,
+                bytes_out: 1,
+                bytes_in: 2,
+                frames_out: 3,
+                frames_in: 4,
+            },
+            CtrlMsg::Shutdown,
+        ];
+        assert_eq!(samples.len(), CTRL_TAGS.len() + 1, "Shutdown has tag 10");
+        for c in &samples {
+            let bytes = c.encode();
+            let decoded = CtrlMsg::decode(&bytes)
+                .unwrap_or_else(|e| panic!("decode {} failed: {e}", c.label()));
+            assert_eq!(&decoded, c, "{} round trips", c.label());
+        }
+    }
+
+    #[test]
+    fn unknown_tags_error_cleanly() {
+        assert!(matches!(
+            Message::decode(&[200]),
+            Err(WireError::BadTag {
+                what: "Message",
+                ..
+            })
+        ));
+        assert!(matches!(
+            CtrlMsg::decode(&[200]),
+            Err(WireError::BadTag {
+                what: "CtrlMsg",
+                ..
+            })
+        ));
+        assert!(matches!(Message::decode(&[]), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn deep_fragment_nesting_is_rejected_not_overflowed() {
+        // Build bytes for a fragment nested past the depth cap by hand:
+        // each level is Element(tag 0) + empty label + child count 1.
+        let mut w = WireWriter::new();
+        for _ in 0..(MAX_FRAGMENT_DEPTH + 8) {
+            w.put_u8(0);
+            w.put_str("");
+            w.put_varint(1);
+        }
+        w.put_u8(2);
+        w.put_str("leaf");
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(
+            read_fragment(&mut r, 0),
+            Err(WireError::Malformed("fragment nested too deep"))
+        );
+    }
+
+    /// Pulls the `(tag, variant)` rows out of one of `WIRE.md`'s
+    /// normative tables: rows look like ``| `3` | `TerminateBatch` | …``.
+    fn spec_table(section: &str) -> Vec<(u8, String)> {
+        let mut rows = Vec::new();
+        for line in section.lines() {
+            let mut cells = line.split('|').map(str::trim).skip(1);
+            let (Some(tag), Some(name)) = (cells.next(), cells.next()) else {
+                continue;
+            };
+            let (Some(tag), Some(name)) = (
+                tag.strip_prefix('`').and_then(|t| t.strip_suffix('`')),
+                name.strip_prefix('`').and_then(|n| n.strip_suffix('`')),
+            ) else {
+                continue;
+            };
+            let Ok(tag) = tag.parse::<u8>() else { continue };
+            rows.push((tag, name.to_string()));
+        }
+        rows
+    }
+
+    /// `WIRE.md` §4–5 are normative: the spec's tag tables must equal
+    /// the frozen constants (which the codec tests above tie to the
+    /// actual first body byte). Editing the doc or the code alone
+    /// fails here.
+    #[test]
+    fn wire_md_tag_tables_match_the_codec() {
+        let spec = include_str!("../../../WIRE.md");
+        let s4 = spec
+            .split("## 4.")
+            .nth(1)
+            .expect("WIRE.md has a section 4")
+            .split("## 5.")
+            .next()
+            .unwrap()
+            .to_string();
+        let s5 = spec
+            .split("## 5.")
+            .nth(1)
+            .expect("WIRE.md has a section 5")
+            .split("## 6.")
+            .next()
+            .unwrap()
+            .to_string();
+
+        let msg_rows = spec_table(&s4);
+        assert_eq!(
+            msg_rows.len(),
+            MESSAGE_TAGS.len(),
+            "WIRE.md §4 lists every Message variant"
+        );
+        for ((spec_tag, spec_name), &(name, tag)) in msg_rows.iter().zip(MESSAGE_TAGS.iter()) {
+            assert_eq!(spec_name, name, "WIRE.md §4 row order matches MESSAGE_TAGS");
+            assert_eq!(*spec_tag, tag, "WIRE.md §4 tag for {name}");
+        }
+
+        // §5 is CTRL_TAGS plus the Shutdown row (tag 10, no fields).
+        let ctrl_rows = spec_table(&s5);
+        assert_eq!(
+            ctrl_rows.len(),
+            CTRL_TAGS.len() + 1,
+            "WIRE.md §5 lists every CtrlMsg variant incl. Shutdown"
+        );
+        for ((spec_tag, spec_name), &(name, tag)) in ctrl_rows.iter().zip(CTRL_TAGS.iter()) {
+            assert_eq!(spec_name, name, "WIRE.md §5 row order matches CTRL_TAGS");
+            assert_eq!(*spec_tag, tag, "WIRE.md §5 tag for {name}");
+        }
+        let last = ctrl_rows.last().unwrap();
+        assert_eq!(
+            (last.0, last.1.as_str()),
+            (CTRL_TAGS.len() as u8, "Shutdown"),
+            "Shutdown closes the §5 table at the next free tag"
+        );
+
+        // Header constants quoted in §2 stay honest too.
+        assert!(spec.contains("`0xD7 0x58`"), "§2 quotes MAGIC");
+        assert!(
+            spec.contains(&format!(
+                "`{}` (this document)",
+                dtx_net::wire::WIRE_VERSION
+            )),
+            "§2 quotes WIRE_VERSION"
+        );
+    }
+}

@@ -23,22 +23,43 @@ impl fmt::Display for TxnId {
 }
 
 /// Allocator of transaction ids (one per cluster).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TxnIdGen {
     next: AtomicU64,
+    stride: u64,
+}
+
+impl Default for TxnIdGen {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl TxnIdGen {
-    /// Creates a generator starting at id 1.
+    /// Creates a generator starting at id 1 with stride 1 (the
+    /// single-process case: one shared allocator, densely increasing).
     pub fn new() -> Self {
+        Self::strided(1, 1)
+    }
+
+    /// Creates a generator that allocates `start, start+stride,
+    /// start+2·stride, …` — the multi-process partition of the id space.
+    /// With `stride` = total sites and `start` = 1 + lowest hosted site
+    /// id, every process draws from a disjoint residue class, so ids stay
+    /// globally unique without coordination while remaining *approximately*
+    /// start-ordered (deadlock victim selection prefers larger ids; a
+    /// cross-process skew of at most one stride does not change which
+    /// transaction is "most recent" in any contended cycle that matters).
+    pub fn strided(start: u64, stride: u64) -> Self {
         TxnIdGen {
-            next: AtomicU64::new(1),
+            next: AtomicU64::new(start),
+            stride: stride.max(1),
         }
     }
 
     /// Allocates the next id. Thread-safe; ids are strictly increasing.
     pub fn next(&self) -> TxnId {
-        TxnId(self.next.fetch_add(1, Ordering::Relaxed))
+        TxnId(self.next.fetch_add(self.stride, Ordering::Relaxed))
     }
 }
 

@@ -100,6 +100,19 @@ impl WaitForGraph {
         v
     }
 
+    /// Every edge as a `(waiter, holder)` pair, sorted — the canonical
+    /// form the wire codec serializes (a decoded graph rebuilt through
+    /// [`WaitForGraph::add_edge`] re-encodes to identical bytes).
+    pub fn edges(&self) -> Vec<(TxnId, TxnId)> {
+        let mut v: Vec<(TxnId, TxnId)> = self
+            .edges
+            .iter()
+            .flat_map(|(&w, holders)| holders.iter().map(move |&h| (w, h)))
+            .collect();
+        v.sort();
+        v
+    }
+
     /// Merges `other` into `self` (Algorithm 4 l. 5:
     /// `result_graph.union(graph)`).
     pub fn union(&mut self, other: &WaitForGraph) {

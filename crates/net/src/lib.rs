@@ -55,6 +55,9 @@
 
 #![deny(missing_docs)]
 
+pub mod socket;
+pub mod wire;
+
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use dtx_trace::{EventKind, Tracer};
 use parking_lot::{Mutex, RwLock};
@@ -416,8 +419,24 @@ struct LinkBook<M> {
     tx: Option<Sender<Delayed<M>>>,
 }
 
+/// Where envelopes bound for remote-process sites go — installed by the
+/// socket transport via [`Network::set_uplink`].
+pub type UplinkFn<M> = Arc<dyn Fn(Envelope<M>) + Send + Sync>;
+
 struct Inner<M> {
     endpoints: RwLock<HashMap<SiteId, Sender<Envelope<M>>>>,
+    /// Sites hosted by *other OS processes* (multi-process mode):
+    /// [`Network::send`] hands their traffic to the uplink instead of a
+    /// local endpoint, and [`Network::sites`] lists them so broadcasts
+    /// (the deadlock detector's WFG request round) reach them. Empty in
+    /// single-process clusters.
+    remote: RwLock<HashSet<SiteId>>,
+    /// The remote-traffic sink (the socket transport's enqueue), present
+    /// iff any remote site is routed.
+    uplink: RwLock<Option<UplinkFn<M>>>,
+    /// Fast-path flag: true when any remote site is routed, so the
+    /// single-process send path pays one relaxed load, never a lock.
+    remote_armed: AtomicBool,
     /// Sites that were [`Network::deregister`]ed (killed) and not yet
     /// re-registered. Traffic to them is silently dropped; traffic to a
     /// site that was *never* registered stays an error (a wiring bug,
@@ -538,6 +557,9 @@ impl<M: Wire> Network<M> {
         let cfg = cfg.sanitized();
         let inner = Arc::new(Inner {
             endpoints: RwLock::new(HashMap::new()),
+            remote: RwLock::new(HashSet::new()),
+            uplink: RwLock::new(None),
+            remote_armed: AtomicBool::new(false),
             dead: RwLock::new(HashSet::new()),
             latency,
             topology,
@@ -702,6 +724,25 @@ impl<M: Wire> Network<M> {
                 }
             }
         }
+        // Multi-process routing: a site hosted by another OS process has
+        // no local endpoint — its traffic leaves through the uplink (the
+        // socket transport encodes and ships it). Checked after fault
+        // injection so partitions and seeded drops apply to remote links
+        // exactly like local ones.
+        if self.inner.remote_armed.load(Ordering::Relaxed) && self.inner.remote.read().contains(&to)
+        {
+            if let Some(tr) = &tracer {
+                trace_send(tr, msg_id, from, to, label, 0, bytes);
+            }
+            let uplink = self.inner.uplink.read().clone();
+            return match uplink {
+                Some(up) => {
+                    up(Envelope { from, to, payload });
+                    Ok(())
+                }
+                None => Err(NetError::UnknownSite(to)),
+            };
+        }
         let envelope = Envelope { from, to, payload };
         if self.inner.latency.is_zero() {
             let endpoints = self.inner.endpoints.read();
@@ -842,11 +883,44 @@ impl<M: Wire> Network<M> {
         }
     }
 
-    /// Registered site ids (sorted).
+    /// Registered site ids (sorted) — local endpoints plus any
+    /// remote-process sites routed through the uplink, so cluster-wide
+    /// broadcasts (e.g. the deadlock detector's WFG round) span process
+    /// boundaries without the caller knowing which sites are remote.
     pub fn sites(&self) -> Vec<SiteId> {
         let mut v: Vec<SiteId> = self.inner.endpoints.read().keys().copied().collect();
+        v.extend(self.inner.remote.read().iter().copied());
         v.sort();
+        v.dedup();
         v
+    }
+
+    /// Routes `site` through the uplink: it is hosted by another OS
+    /// process, reachable only via [`Network::set_uplink`]'s sink. Listed
+    /// by [`Network::sites`]; sending to it without an uplink installed
+    /// is [`NetError::UnknownSite`].
+    pub fn add_remote_site(&self, site: SiteId) {
+        self.inner.remote.write().insert(site);
+        self.inner.remote_armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs (or clears) the remote-traffic sink. The socket transport
+    /// installs a closure that encodes the envelope and queues it on the
+    /// destination process's connection.
+    pub fn set_uplink(&self, uplink: Option<UplinkFn<M>>) {
+        *self.inner.uplink.write() = uplink;
+    }
+
+    /// Delivers an envelope straight to a *local* endpoint, bypassing the
+    /// latency model, stats and fault injection — the ingress path for
+    /// messages that arrived from another process over the socket
+    /// transport (their latency already happened on the real wire).
+    pub fn deliver(&self, envelope: Envelope<M>) -> Result<(), NetError> {
+        let endpoints = self.inner.endpoints.read();
+        match endpoints.get(&envelope.to) {
+            Some(dest) => dest.send(envelope).map_err(|_| NetError::Closed),
+            None => Err(NetError::UnknownSite(envelope.to)),
+        }
     }
 
     /// Counters.
